@@ -1,0 +1,151 @@
+//! Degree-based seed selection: High Degree and Smart High Degree.
+
+use infprop_hll::hash::FastHashSet;
+use infprop_temporal_graph::{NodeId, StaticGraph};
+
+/// High Degree (HD): the `k` nodes with the largest static out-degree
+/// (ties broken by node id). The classic baseline from Kempe et al.
+pub fn high_degree(graph: &StaticGraph, k: usize) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = (0..graph.num_nodes()).map(NodeId::from_index).collect();
+    order.sort_by_key(|&u| (std::cmp::Reverse(graph.out_degree(u)), u));
+    order.truncate(k);
+    order
+}
+
+/// Smart High Degree (SHD): the paper's overlap-aware variant — greedily
+/// pick nodes maximizing the number of **distinct** out-neighbours covered
+/// so far ("select a set of nodes that together have maximal outdegree").
+///
+/// This is exactly greedy maximum coverage over one-hop neighbourhoods, or
+/// equivalently the IRS greedy with ω = 0 (only direct contacts count).
+/// Selection stops early if every remaining node adds zero new coverage.
+pub fn smart_high_degree(graph: &StaticGraph, k: usize) -> Vec<NodeId> {
+    let n = graph.num_nodes();
+    let mut covered: FastHashSet<NodeId> = FastHashSet::default();
+    let mut picked = vec![false; n];
+    let mut result = Vec::with_capacity(k.min(n));
+    // Lazy greedy: stale gains are upper bounds (coverage is submodular).
+    let mut heap: std::collections::BinaryHeap<(usize, std::cmp::Reverse<NodeId>, usize)> = (0..n)
+        .map(|i| {
+            let u = NodeId::from_index(i);
+            (graph.out_degree(u), std::cmp::Reverse(u), 0usize)
+        })
+        .collect();
+    let mut round = 0usize;
+
+    while result.len() < k {
+        let Some((gain, std::cmp::Reverse(u), stamped)) = heap.pop() else {
+            break;
+        };
+        if picked[u.index()] {
+            continue;
+        }
+        if stamped == round {
+            if gain == 0 {
+                break;
+            }
+            picked[u.index()] = true;
+            covered.extend(graph.neighbors(u).iter().copied());
+            result.push(u);
+            round += 1;
+        } else {
+            let fresh = graph
+                .neighbors(u)
+                .iter()
+                .filter(|v| !covered.contains(v))
+                .count();
+            heap.push((fresh, std::cmp::Reverse(u), round));
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infprop_temporal_graph::InteractionNetwork;
+
+    fn graph(triples: &[(u32, u32)]) -> StaticGraph {
+        InteractionNetwork::from_triples(
+            triples
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, d))| (s, d, i as i64)),
+        )
+        .to_static()
+    }
+
+    #[test]
+    fn hd_picks_by_degree() {
+        let g = graph(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(high_degree(&g, 2), vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn hd_breaks_ties_by_id() {
+        let g = graph(&[(2, 3), (1, 3), (0, 3)]);
+        assert_eq!(high_degree(&g, 2), vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn shd_avoids_overlap() {
+        // 0 and 1 both cover {4,5,6}; 2 covers {7,8}. HD picks 0,1 (degree
+        // 3,3) but SHD must pick 0 then 2.
+        let g = graph(&[
+            (0, 4),
+            (0, 5),
+            (0, 6),
+            (1, 4),
+            (1, 5),
+            (1, 6),
+            (2, 7),
+            (2, 8),
+        ]);
+        assert_eq!(high_degree(&g, 2), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(smart_high_degree(&g, 2), vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn shd_stops_at_zero_gain() {
+        let g = graph(&[(0, 1), (0, 2)]);
+        // After node 0, every other node adds nothing.
+        assert_eq!(smart_high_degree(&g, 5), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn shd_first_pick_matches_hd() {
+        let g = graph(&[(0, 1), (0, 2), (0, 3), (1, 2), (2, 0)]);
+        assert_eq!(smart_high_degree(&g, 1), high_degree(&g, 1));
+    }
+
+    #[test]
+    fn shd_covers_more_than_hd() {
+        // Quantitative check on the overlap scenario.
+        let g = graph(&[
+            (0, 4),
+            (0, 5),
+            (0, 6),
+            (1, 4),
+            (1, 5),
+            (1, 6),
+            (2, 7),
+            (2, 8),
+        ]);
+        let coverage = |seeds: &[NodeId]| {
+            let mut s: FastHashSet<NodeId> = FastHashSet::default();
+            for &u in seeds {
+                s.extend(g.neighbors(u).iter().copied());
+            }
+            s.len()
+        };
+        assert_eq!(coverage(&high_degree(&g, 2)), 3);
+        assert_eq!(coverage(&smart_high_degree(&g, 2)), 5);
+    }
+
+    #[test]
+    fn empty_graph_yields_empty() {
+        let g = StaticGraph::from_edges(0, std::iter::empty());
+        assert!(high_degree(&g, 3).is_empty());
+        assert!(smart_high_degree(&g, 3).is_empty());
+    }
+}

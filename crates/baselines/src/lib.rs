@@ -1,0 +1,44 @@
+//! Influence-maximization baselines from §6 of the paper.
+//!
+//! All baselines consume the flattened static view of the interaction
+//! network — "removing repeated interactions and the time stamp of every
+//! interaction" — exactly as the paper preprocesses its competitors' input:
+//!
+//! * [`pagerank`] — PageRank on the **reversed** graph (restart 0.15, L1
+//!   tolerance 1e-4, the paper's settings): incoming importance becomes
+//!   outgoing influence.
+//! * [`high_degree`] — top-k nodes by static out-degree (HD).
+//! * [`smart_high_degree`] — greedy distinct-out-neighbour max coverage
+//!   (SHD), the paper's overlap-aware variant of HD — "actually a special
+//!   case of our IRS algorithm where we set ω = 0".
+//! * [`degree_discount`] — Chen et al.'s KDD 2009 DegreeDiscount heuristic
+//!   (cited in the paper's related work), adapted to directed graphs.
+//! * [`Skim`] — a from-scratch implementation of Cohen et al.'s
+//!   *Sketch-based Influence Maximization* (CIKM 2014): combined bottom-k
+//!   reachability sketches over sampled Independent Cascade instances, with
+//!   residual-coverage greedy selection.
+//! * [`ConTinEst`] — a from-scratch implementation of Du et al.'s
+//!   continuous-time influence estimation (NIPS 2013): the interaction
+//!   network becomes a transmission-time-weighted graph (paper §6's
+//!   `t − u_i` transformation), influence is the expected number of nodes
+//!   reachable within a time budget under exponential edge delays, and
+//!   neighbourhood sizes are estimated with Cohen's exponential-rank
+//!   least-label lists.
+//!
+//! Every randomized method takes an explicit RNG seed and is fully
+//! reproducible.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod continest;
+mod degree;
+mod degree_discount;
+mod pagerank;
+mod skim;
+
+pub use continest::{ConTinEst, ConTinEstConfig};
+pub use degree::{high_degree, smart_high_degree};
+pub use degree_discount::degree_discount;
+pub use pagerank::{pagerank, pagerank_top_k, PageRankConfig};
+pub use skim::{Skim, SkimConfig};

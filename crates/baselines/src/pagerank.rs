@@ -1,0 +1,178 @@
+//! PageRank on the reversed static graph.
+//!
+//! The paper's setup (§6.5): "we used 0.15 as the restart probability and a
+//! difference of 10⁻⁴ in the L1 norm between two successive iterations as
+//! the stopping criterion", with edges reversed "as PageRank measures
+//! incoming importance whereas we need outgoing influence".
+
+use infprop_temporal_graph::{NodeId, StaticGraph};
+
+/// PageRank parameters. Defaults match the paper.
+#[derive(Clone, Copy, Debug)]
+pub struct PageRankConfig {
+    /// Restart (teleport) probability, paper: 0.15.
+    pub restart: f64,
+    /// L1 convergence tolerance, paper: 1e-4.
+    pub tolerance: f64,
+    /// Iteration cap (safety net; the tolerance normally fires first).
+    pub max_iterations: usize,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            restart: 0.15,
+            tolerance: 1e-4,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// Computes PageRank scores **on the graph as given** (callers wanting the
+/// paper's influence semantics pass the reversed graph; see
+/// [`pagerank_top_k`]). Returns one score per node, summing to 1.
+///
+/// Dangling mass is redistributed uniformly, the standard convention.
+pub fn pagerank(graph: &StaticGraph, config: &PageRankConfig) -> Vec<f64> {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(
+        (0.0..1.0).contains(&config.restart),
+        "restart probability must be in [0, 1)"
+    );
+    let damping = 1.0 - config.restart;
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+
+    for _ in 0..config.max_iterations {
+        next.fill(0.0);
+        let mut dangling = 0.0f64;
+        for (u, &r) in rank.iter().enumerate() {
+            let node = NodeId::from_index(u);
+            let out = graph.out_degree(node);
+            if out == 0 {
+                dangling += r;
+            } else {
+                let share = r / out as f64;
+                for &v in graph.neighbors(node) {
+                    next[v.index()] += share;
+                }
+            }
+        }
+        let base = config.restart * uniform + damping * dangling * uniform;
+        let mut l1 = 0.0f64;
+        for u in 0..n {
+            let value = base + damping * next[u];
+            l1 += (value - rank[u]).abs();
+            rank[u] = value;
+        }
+        if l1 < config.tolerance {
+            break;
+        }
+    }
+    rank
+}
+
+/// The paper's PageRank baseline: scores on the **reversed** graph, top-k
+/// nodes by score (ties broken by node id for determinism).
+pub fn pagerank_top_k(graph: &StaticGraph, k: usize, config: &PageRankConfig) -> Vec<NodeId> {
+    let scores = pagerank(&graph.transpose(), config);
+    let mut order: Vec<NodeId> = (0..graph.num_nodes()).map(NodeId::from_index).collect();
+    order.sort_by(|&a, &b| {
+        scores[b.index()]
+            .total_cmp(&scores[a.index()])
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infprop_temporal_graph::InteractionNetwork;
+
+    fn graph(triples: &[(u32, u32)]) -> StaticGraph {
+        InteractionNetwork::from_triples(
+            triples
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, d))| (s, d, i as i64)),
+        )
+        .to_static()
+    }
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = graph(&[(0, 1), (1, 2), (2, 0), (0, 2)]);
+        let r = pagerank(&g, &PageRankConfig::default());
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn sink_attracts_rank() {
+        // Everyone points at node 3.
+        let g = graph(&[(0, 3), (1, 3), (2, 3)]);
+        let r = pagerank(&g, &PageRankConfig::default());
+        for u in 0..3 {
+            assert!(r[3] > r[u], "sink should outrank feeders");
+        }
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        let g = graph(&[(0, 1), (1, 2), (2, 0)]);
+        let r = pagerank(&g, &PageRankConfig::default());
+        for w in r.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dangling_mass_is_redistributed() {
+        // 0 -> 1, and 1 dangles.
+        let g = graph(&[(0, 1)]);
+        let r = pagerank(&g, &PageRankConfig::default());
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(r[1] > r[0]);
+    }
+
+    #[test]
+    fn top_k_reverses_for_influence() {
+        // Hub 0 sends to everyone: on the reversed graph, everyone points at
+        // 0, so 0 is the top influencer.
+        let g = graph(&[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let top = pagerank_top_k(&g, 2, &PageRankConfig::default());
+        assert_eq!(top[0], NodeId(0));
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = StaticGraph::from_edges(0, std::iter::empty());
+        assert!(pagerank(&g, &PageRankConfig::default()).is_empty());
+        assert!(pagerank_top_k(&g, 3, &PageRankConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let g = graph(&[(0, 1)]);
+        assert_eq!(pagerank_top_k(&g, 10, &PageRankConfig::default()).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart probability")]
+    fn bad_restart_panics() {
+        let g = graph(&[(0, 1)]);
+        let cfg = PageRankConfig {
+            restart: 1.0,
+            ..Default::default()
+        };
+        let _ = pagerank(&g, &cfg);
+    }
+}

@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the extension APIs: channel-witness
+//! extraction, sliding-contact profiles, and sketch serialization.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use infprop_core::{find_channel, ApproxIrs, ContactDirection, InfluenceOracle, SlidingContacts};
+use infprop_datasets::synthetic::SyntheticConfig;
+use infprop_temporal_graph::{InteractionNetwork, NodeId};
+
+fn network() -> InteractionNetwork {
+    SyntheticConfig::new(1_000, 10_000, 100_000)
+        .with_seed(12)
+        .generate()
+}
+
+fn bench_channel_witness(c: &mut Criterion) {
+    let net = network();
+    let window = net.window_from_percent(10.0);
+    c.bench_function("find_channel_10k_interactions", |b| {
+        let mut pair = 0u32;
+        b.iter(|| {
+            pair = (pair + 7) % 1_000;
+            black_box(find_channel(
+                &net,
+                NodeId(pair),
+                NodeId((pair + 13) % 1_000),
+                window,
+            ))
+        })
+    });
+}
+
+fn bench_sliding_profile(c: &mut Criterion) {
+    let net = network();
+    let window = net.window_from_percent(10.0);
+    let mut group = c.benchmark_group("sliding_contacts");
+    group.sample_size(20);
+    group.bench_function("build_10k", |b| {
+        b.iter(|| {
+            black_box(
+                SlidingContacts::build(&net, window, ContactDirection::Outgoing, 9).num_nodes(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let net = network();
+    let irs = ApproxIrs::compute(&net, net.window_from_percent(10.0));
+    let oracle = irs.oracle();
+    let mut bytes = Vec::new();
+    oracle.write_to(&mut bytes).unwrap();
+    let mut group = c.benchmark_group("oracle_codec");
+    group.bench_function("write", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(bytes.len());
+            oracle.write_to(&mut out).unwrap();
+            black_box(out.len())
+        })
+    });
+    group.bench_function("read", |b| {
+        b.iter(|| {
+            black_box(
+                infprop_core::ApproxOracle::read_from(&mut bytes.as_slice())
+                    .unwrap()
+                    .num_nodes(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_channel_witness,
+    bench_sliding_profile,
+    bench_codec
+);
+criterion_main!(benches);

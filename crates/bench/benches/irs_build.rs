@@ -1,0 +1,67 @@
+//! Criterion benchmarks for IRS construction (the cost behind Figure 3):
+//! exact vs approximate one-pass builds, and the reverse-vs-forward
+//! ablation on a small input.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use infprop_core::{brute_force_irs_all, ApproxIrs, ExactIrs};
+use infprop_datasets::synthetic::SyntheticConfig;
+use infprop_temporal_graph::InteractionNetwork;
+
+fn network(nodes: usize, interactions: usize) -> InteractionNetwork {
+    SyntheticConfig::new(nodes, interactions, interactions as i64 * 10)
+        .with_seed(99)
+        .generate()
+}
+
+fn bench_exact_vs_approx(c: &mut Criterion) {
+    let net = network(2_000, 20_000);
+    let window = net.window_from_percent(10.0);
+    let mut group = c.benchmark_group("irs_build_20k_interactions");
+    group.sample_size(10);
+    group.bench_function("exact", |b| {
+        b.iter(|| black_box(ExactIrs::compute(&net, window).total_entries()))
+    });
+    group.bench_function("approx_beta512", |b| {
+        b.iter(|| black_box(ApproxIrs::compute(&net, window).total_entries()))
+    });
+    group.bench_function("approx_beta64", |b| {
+        b.iter(|| black_box(ApproxIrs::compute_with_precision(&net, window, 6).total_entries()))
+    });
+    group.finish();
+}
+
+fn bench_window_sweep(c: &mut Criterion) {
+    let net = network(1_000, 10_000);
+    let mut group = c.benchmark_group("approx_build_vs_window");
+    group.sample_size(10);
+    for pct in [1.0f64, 10.0, 50.0, 100.0] {
+        let window = net.window_from_percent(pct);
+        group.bench_with_input(BenchmarkId::from_parameter(pct as u64), &window, |b, &w| {
+            b.iter(|| black_box(ApproxIrs::compute(&net, w).total_entries()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reverse_vs_forward(c: &mut Criterion) {
+    // Small input: the forward brute force is quadratic.
+    let net = network(200, 1_500);
+    let window = net.window_from_percent(10.0);
+    let mut group = c.benchmark_group("reverse_vs_forward_1500");
+    group.sample_size(10);
+    group.bench_function("reverse_one_pass", |b| {
+        b.iter(|| black_box(ExactIrs::compute(&net, window).total_entries()))
+    });
+    group.bench_function("forward_brute_force", |b| {
+        b.iter(|| black_box(brute_force_irs_all(&net, window).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_vs_approx,
+    bench_window_sweep,
+    bench_reverse_vs_forward
+);
+criterion_main!(benches);

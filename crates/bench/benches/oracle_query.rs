@@ -1,0 +1,58 @@
+//! Criterion benchmarks for influence-oracle queries (Figure 4's cost):
+//! seed-set influence and marginal-gain probes on both oracles.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use infprop_core::{ApproxIrs, ExactIrs, InfluenceOracle};
+use infprop_datasets::synthetic::SyntheticConfig;
+use infprop_temporal_graph::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_oracle_query(c: &mut Criterion) {
+    let net = SyntheticConfig::new(3_000, 30_000, 300_000)
+        .with_seed(4)
+        .generate();
+    let window = net.window_from_percent(20.0);
+    let approx = ApproxIrs::compute(&net, window);
+    let oracle = approx.oracle();
+    let mut rng = SmallRng::seed_from_u64(8);
+    let mut group = c.benchmark_group("approx_oracle_influence");
+    for seeds in [10usize, 100, 1_000] {
+        let set: Vec<NodeId> = (0..seeds)
+            .map(|_| NodeId(rng.gen_range(0..3_000)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(seeds), &set, |b, set| {
+            b.iter(|| black_box(oracle.influence(set)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_marginal_gain(c: &mut Criterion) {
+    let net = SyntheticConfig::new(2_000, 20_000, 200_000)
+        .with_seed(5)
+        .generate();
+    let window = net.window_from_percent(20.0);
+    let exact = ExactIrs::compute(&net, window);
+    let approx = ApproxIrs::compute(&net, window);
+    let eo = exact.oracle();
+    let ao = approx.oracle();
+
+    let mut eu = eo.empty_union();
+    let mut au = ao.empty_union();
+    for s in 0..20u32 {
+        eo.absorb(&mut eu, NodeId(s));
+        ao.absorb(&mut au, NodeId(s));
+    }
+    let mut group = c.benchmark_group("marginal_gain_probe");
+    group.bench_function("exact", |b| {
+        b.iter(|| black_box(eo.marginal_gain(&eu, NodeId(777))))
+    });
+    group.bench_function("approx_beta512", |b| {
+        b.iter(|| black_box(ao.marginal_gain(&au, NodeId(777))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle_query, bench_marginal_gain);
+criterion_main!(benches);

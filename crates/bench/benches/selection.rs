@@ -1,0 +1,60 @@
+//! Criterion benchmarks for seed selection (Table 6's cost): greedy IRS,
+//! SKIM, PageRank, degree heuristics and the TCIC simulator itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use infprop_baselines::{
+    high_degree, pagerank_top_k, smart_high_degree, PageRankConfig, Skim, SkimConfig,
+};
+use infprop_core::{greedy_top_k, ApproxIrs};
+use infprop_datasets::synthetic::SyntheticConfig;
+use infprop_diffusion::{tcic_spread, TcicConfig};
+use infprop_temporal_graph::{InteractionNetwork, NodeId};
+
+fn network() -> InteractionNetwork {
+    SyntheticConfig::new(2_000, 20_000, 200_000)
+        .with_seed(6)
+        .generate()
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let net = network();
+    let window = net.window_from_percent(10.0);
+    let static_graph = net.to_static();
+    let mut group = c.benchmark_group("select_top20");
+    group.sample_size(10);
+    group.bench_function("irs_approx_greedy", |b| {
+        b.iter(|| {
+            let irs = ApproxIrs::compute(&net, window);
+            black_box(greedy_top_k(&irs.oracle(), 20).len())
+        })
+    });
+    group.bench_function("skim", |b| {
+        b.iter(|| {
+            let skim = Skim::new(&static_graph, SkimConfig::default());
+            black_box(skim.top_k(20).len())
+        })
+    });
+    group.bench_function("pagerank", |b| {
+        b.iter(|| black_box(pagerank_top_k(&static_graph, 20, &PageRankConfig::default()).len()))
+    });
+    group.bench_function("high_degree", |b| {
+        b.iter(|| black_box(high_degree(&static_graph, 20).len()))
+    });
+    group.bench_function("smart_high_degree", |b| {
+        b.iter(|| black_box(smart_high_degree(&static_graph, 20).len()))
+    });
+    group.finish();
+}
+
+fn bench_tcic(c: &mut Criterion) {
+    let net = network();
+    let window = net.window_from_percent(10.0);
+    let seeds: Vec<NodeId> = (0..20).map(NodeId).collect();
+    c.bench_function("tcic_single_run_20k_interactions", |b| {
+        let cfg = TcicConfig::new(window, 0.5).with_runs(1).with_seed(3);
+        b.iter(|| black_box(tcic_spread(&net, &seeds, &cfg)))
+    });
+}
+
+criterion_group!(benches, bench_selection, bench_tcic);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks for the sketch primitives behind Figures 3–4:
+//! vHLL add/merge/estimate and plain-HLL union.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use infprop_hll::{hash, HyperLogLog, VersionedHll};
+
+fn bench_vhll_add(c: &mut Criterion) {
+    c.bench_function("vhll_add_10k_items", |b| {
+        b.iter(|| {
+            let mut s = VersionedHll::new(9);
+            // Reverse-time discipline, as in the IRS scan.
+            for i in 0..10_000u64 {
+                s.add_hash(hash::hash64(i % 2_000), 10_000 - i as i64);
+            }
+            black_box(s.total_entries())
+        })
+    });
+}
+
+fn bench_vhll_merge(c: &mut Criterion) {
+    let mut a = VersionedHll::new(9);
+    let mut b_sketch = VersionedHll::new(9);
+    for i in 0..5_000u64 {
+        a.add_hash(hash::hash64(i), 10_000 - i as i64);
+        b_sketch.add_hash(hash::hash64(i + 2_500), 10_000 - i as i64);
+    }
+    c.bench_function("vhll_merge_windowed", |b| {
+        b.iter(|| {
+            let mut dst = a.clone();
+            dst.merge_from(black_box(&b_sketch), 4_000, 3_000);
+            black_box(dst.total_entries())
+        })
+    });
+}
+
+fn bench_vhll_estimate(c: &mut Criterion) {
+    let mut s = VersionedHll::new(9);
+    for i in 0..50_000u64 {
+        s.add_hash(hash::hash64(i), 100_000 - i as i64);
+    }
+    c.bench_function("vhll_estimate_beta512", |b| {
+        b.iter(|| black_box(s.estimate()))
+    });
+}
+
+fn bench_hll_union(c: &mut Criterion) {
+    let mut a = HyperLogLog::new(9);
+    let mut u = HyperLogLog::new(9);
+    for i in 0..20_000u64 {
+        a.add_u64(i);
+        u.add_u64(i + 10_000);
+    }
+    c.bench_function("hll_estimate_union_beta512", |b| {
+        b.iter(|| black_box(a.estimate_union(&u)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_vhll_add,
+    bench_vhll_merge,
+    bench_vhll_estimate,
+    bench_hll_union
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the paper's ablation (see DESIGN.md's experiment index).
+fn main() {
+    infprop_bench::experiments::ablation::run(42);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig3 (see DESIGN.md's experiment index).
+fn main() {
+    infprop_bench::experiments::fig3::run(42);
+}

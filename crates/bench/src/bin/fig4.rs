@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig4 (see DESIGN.md's experiment index).
+fn main() {
+    infprop_bench::experiments::fig4::run(42);
+}

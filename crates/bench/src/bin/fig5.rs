@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig5 (see DESIGN.md's experiment index).
+fn main() {
+    infprop_bench::experiments::fig5::run(42);
+}

@@ -1,0 +1,16 @@
+//! Runs every table and figure experiment in order (the full §6 suite).
+use infprop_bench::experiments as ex;
+
+fn main() {
+    let seed = 42;
+    ex::table2::run(seed);
+    ex::shape::run(seed);
+    ex::table3::run(seed);
+    ex::table4::run(seed);
+    ex::fig3::run(seed);
+    ex::fig4::run(seed);
+    ex::fig5::run(seed);
+    ex::table5::run(seed);
+    ex::table6::run(seed);
+    ex::ablation::run(seed);
+}

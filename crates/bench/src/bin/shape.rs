@@ -1,0 +1,4 @@
+//! Prints the dataset shape report (see DESIGN.md's substitution table).
+fn main() {
+    infprop_bench::experiments::shape::run(42);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 (see DESIGN.md's experiment index).
+fn main() {
+    infprop_bench::experiments::table2::run(42);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table3 (see DESIGN.md's experiment index).
+fn main() {
+    infprop_bench::experiments::table3::run(42);
+}

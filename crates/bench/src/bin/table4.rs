@@ -1,0 +1,4 @@
+//! Regenerates the paper's table4 (see DESIGN.md's experiment index).
+fn main() {
+    infprop_bench::experiments::table4::run(42);
+}

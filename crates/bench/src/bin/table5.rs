@@ -1,0 +1,4 @@
+//! Regenerates the paper's table5 (see DESIGN.md's experiment index).
+fn main() {
+    infprop_bench::experiments::table5::run(42);
+}

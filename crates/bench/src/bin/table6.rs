@@ -1,0 +1,4 @@
+//! Regenerates the paper's table6 (see DESIGN.md's experiment index).
+fn main() {
+    infprop_bench::experiments::table6::run(42);
+}

@@ -1,0 +1,14 @@
+//! One experiment per paper artefact. Binaries in `src/bin/` are thin
+//! wrappers over these functions so `run_all` can chain everything.
+
+pub mod ablation;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod methods;
+pub mod shape;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;

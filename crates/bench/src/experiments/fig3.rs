@@ -1,0 +1,38 @@
+//! Figure 3: time to process all interactions (build the approximate IRS)
+//! as a function of the window length ω, per dataset.
+//!
+//! The paper plots log(time) for ω from 1% to 100% and observes the curve
+//! flattening once ω exceeds ~10% (the IRS stops changing much, so merges
+//! stop growing).
+
+use crate::support::{build_datasets, time_it};
+use infprop_core::ApproxIrs;
+
+/// Window percentages swept by the figure.
+pub const SWEEP: [f64; 8] = [1.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0];
+
+/// Runs the Figure 3 experiment; prints one row per (dataset, ω).
+pub fn run(seed: u64) {
+    println!("Figure 3: approximate-IRS build time vs window length");
+    let header = format!(
+        "{:<10} {:>8} {:>14} {:>14}",
+        "Dataset", "w (%)", "time (ms)", "entries"
+    );
+    println!("{header}");
+    crate::support::rule(&header);
+    for d in build_datasets(seed) {
+        let net = &d.data.network;
+        for &pct in &SWEEP {
+            let window = net.window_from_percent(pct);
+            let (approx, took) = time_it(|| ApproxIrs::compute(net, window));
+            println!(
+                "{:<10} {:>8.0} {:>14.1} {:>14}",
+                d.data.name,
+                pct,
+                took.as_secs_f64() * 1_000.0,
+                approx.total_entries()
+            );
+        }
+    }
+    println!();
+}

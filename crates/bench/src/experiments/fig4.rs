@@ -1,0 +1,56 @@
+//! Figure 4: influence-oracle query time as a function of the seed-set
+//! size, at ω = 20%.
+//!
+//! The paper's observation: query time is almost independent of the graph
+//! size (an HLL union is O(β) per seed) and grows linearly in the number of
+//! seeds, staying in single-digit milliseconds even for 10 000 seeds.
+
+use crate::support::{build_datasets, time_it};
+use infprop_core::{ApproxIrs, InfluenceOracle};
+use infprop_temporal_graph::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Seed-set sizes swept by the figure.
+pub const SEED_COUNTS: [usize; 5] = [10, 100, 1_000, 5_000, 10_000];
+
+/// Repetitions averaged per measurement.
+const REPS: usize = 5;
+
+/// Runs the Figure 4 experiment.
+pub fn run(seed: u64) {
+    println!("Figure 4: oracle query time vs seed-set size (w = 20%)");
+    let header = format!(
+        "{:<10} {:>8} {:>16} {:>14}",
+        "Dataset", "seeds", "query (ms)", "influence"
+    );
+    println!("{header}");
+    crate::support::rule(&header);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xF164);
+    for d in build_datasets(seed) {
+        let net = &d.data.network;
+        let oracle = ApproxIrs::compute(net, net.window_from_percent(20.0)).oracle();
+        let n = net.num_nodes();
+        for &count in &SEED_COUNTS {
+            let take = count.min(n);
+            let seeds: Vec<NodeId> = (0..take)
+                .map(|_| NodeId(rng.gen_range(0..n as u32)))
+                .collect();
+            let (inf, took) = time_it(|| {
+                let mut last = 0.0;
+                for _ in 0..REPS {
+                    last = oracle.influence(&seeds);
+                }
+                last
+            });
+            println!(
+                "{:<10} {:>8} {:>16.3} {:>14.0}",
+                d.data.name,
+                take,
+                took.as_secs_f64() * 1_000.0 / REPS as f64,
+                inf
+            );
+        }
+    }
+    println!();
+}

@@ -1,0 +1,28 @@
+//! Table 2: characteristics of the interaction networks.
+
+use crate::support::build_datasets;
+use infprop_temporal_graph::NetworkStats;
+
+/// Prints the Table 2 counterpart for the generated datasets.
+pub fn run(seed: u64) {
+    println!("Table 2: characteristics of interaction networks (generated profiles)");
+    let header = format!(
+        "{:<10} {:>10} {:>12} {:>8} {:>14} {:>7}",
+        "Dataset", "|V| [.10^3]", "|E| [.10^3]", "Days", "static edges", "scale"
+    );
+    println!("{header}");
+    crate::support::rule(&header);
+    for d in build_datasets(seed) {
+        let stats = NetworkStats::compute(&d.data.network, d.data.units_per_day);
+        println!(
+            "{:<10} {:>10.1} {:>12.1} {:>8.0} {:>14} {:>7.4}",
+            d.data.name,
+            stats.nodes_thousands(),
+            stats.interactions_thousands(),
+            stats.days,
+            stats.num_static_edges,
+            d.scale
+        );
+    }
+    println!();
+}

@@ -1,0 +1,36 @@
+//! Table 4: memory used by the approximate algorithm's sketches after
+//! processing all interactions, per window length.
+//!
+//! The paper reports resident MB of its C++ process; we report exact heap
+//! bytes held by the vHLL sketches (cell headers + version pairs), which
+//! tracks the same trend without OS-level noise (see DESIGN.md's
+//! substitution table).
+
+use crate::support::{build_datasets, TABLE_WINDOWS_PERCENT};
+use infprop_core::ApproxIrs;
+
+/// Runs the Table 4 experiment.
+pub fn run(seed: u64) {
+    println!("Table 4: sketch memory (MB) after processing all interactions");
+    let header = format!(
+        "{:<10} {:>10} {:>10} {:>10} {:>14}",
+        "Dataset", "w=1%", "w=10%", "w=20%", "entries(w=20%)"
+    );
+    println!("{header}");
+    crate::support::rule(&header);
+    for d in build_datasets(seed) {
+        let net = &d.data.network;
+        let mut mbs = Vec::new();
+        let mut last_entries = 0usize;
+        for &pct in &TABLE_WINDOWS_PERCENT {
+            let approx = ApproxIrs::compute(net, net.window_from_percent(pct));
+            mbs.push(approx.heap_bytes() as f64 / (1024.0 * 1024.0));
+            last_entries = approx.total_entries();
+        }
+        println!(
+            "{:<10} {:>10.1} {:>10.1} {:>10.1} {:>14}",
+            d.data.name, mbs[0], mbs[1], mbs[2], last_entries
+        );
+    }
+    println!();
+}

@@ -1,0 +1,20 @@
+//! Experiment harnesses regenerating every table and figure of the paper's
+//! evaluation (§6), plus shared plumbing for the criterion benches.
+//!
+//! Each table/figure has a binary (`cargo run -p infprop-bench --release
+//! --bin table3` etc.) and a library entry point (so `run_all` can chain
+//! them). Experiments run on the six synthetic dataset profiles of
+//! `infprop-datasets` at laptop scale; set the `INFPROP_SCALE` environment
+//! variable to grow or shrink every dataset proportionally (default 1.0,
+//! e.g. `INFPROP_SCALE=4` quadruples all sizes).
+//!
+//! The mapping from experiment to paper artefact is indexed in DESIGN.md;
+//! EXPERIMENTS.md records paper-vs-measured outcomes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod support;
+
+pub use support::{build_datasets, scale_factor, DatasetAtScale};

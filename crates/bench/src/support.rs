@@ -1,0 +1,138 @@
+//! Shared experiment plumbing: dataset construction, timing, formatting.
+
+use infprop_datasets::profiles::{self, GeneratedDataset};
+use infprop_temporal_graph::Window;
+use std::time::{Duration, Instant};
+
+/// Base per-profile scales chosen so every dataset lands around 15k–25k
+/// interactions — large enough to show the paper's trends, small enough
+/// that the full experiment suite runs in minutes on a laptop. The
+/// `INFPROP_SCALE` environment variable multiplies all of them.
+const BASE_SCALES: [(&str, f64); 6] = [
+    ("Enron", 0.02),
+    ("Lkml", 0.02),
+    ("Facebook", 0.02),
+    ("Higgs", 0.04),
+    ("Slashdot", 0.10),
+    ("US-2016", 0.0005),
+];
+
+/// A generated dataset plus the scale it was built at.
+pub struct DatasetAtScale {
+    /// The generated dataset (name, network, clock granularity).
+    pub data: GeneratedDataset,
+    /// Effective scale relative to the full Table 2 size.
+    pub scale: f64,
+}
+
+/// Reads the global scale multiplier from `INFPROP_SCALE` (default 1.0).
+pub fn scale_factor() -> f64 {
+    std::env::var("INFPROP_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|&v| v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Builds the six Table 2 dataset profiles at experiment scale.
+pub fn build_datasets(seed: u64) -> Vec<DatasetAtScale> {
+    let multiplier = scale_factor();
+    profiles::all(seed)
+        .into_iter()
+        .map(|profile| {
+            let base = BASE_SCALES
+                .iter()
+                .find(|(name, _)| *name == profile.name)
+                .map(|&(_, s)| s)
+                .expect("profile must have a base scale");
+            let scale = (base * multiplier).min(1.0);
+            DatasetAtScale {
+                data: profile.build(scale),
+                scale,
+            }
+        })
+        .collect()
+}
+
+/// Builds one named profile at experiment scale.
+pub fn build_dataset(name: &str, seed: u64) -> DatasetAtScale {
+    build_datasets(seed)
+        .into_iter()
+        .find(|d| d.data.name == name)
+        .unwrap_or_else(|| panic!("unknown dataset profile {name:?}"))
+}
+
+/// Times a closure.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// The window lengths (percent of time span) used throughout §6's tables.
+pub const TABLE_WINDOWS_PERCENT: [f64; 3] = [1.0, 10.0, 20.0];
+
+/// Converts a percent window for a dataset, mirroring the paper's
+/// convention.
+pub fn window_percent(data: &GeneratedDataset, percent: f64) -> Window {
+    data.network.window_from_percent(percent)
+}
+
+/// Prints a horizontal rule sized to a header line.
+pub fn rule(header: &str) {
+    println!("{}", "-".repeat(header.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Env-var mutations must not race across parallel tests.
+    fn env_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(())).lock().unwrap()
+    }
+
+    #[test]
+    fn six_datasets_at_scale() {
+        let _guard = env_lock();
+        // Tiny scale so the test stays fast.
+        std::env::set_var("INFPROP_SCALE", "0.05");
+        let ds = build_datasets(0);
+        std::env::remove_var("INFPROP_SCALE");
+        assert_eq!(ds.len(), 6);
+        for d in &ds {
+            assert!(d.data.network.num_interactions() > 0, "{}", d.data.name);
+            assert!(d.scale > 0.0 && d.scale <= 1.0);
+        }
+    }
+
+    #[test]
+    fn named_lookup_works() {
+        let _guard = env_lock();
+        std::env::set_var("INFPROP_SCALE", "0.05");
+        let d = build_dataset("Slashdot", 0);
+        std::env::remove_var("INFPROP_SCALE");
+        assert_eq!(d.data.name, "Slashdot");
+    }
+
+    #[test]
+    fn default_scale_is_one() {
+        let _guard = env_lock();
+        std::env::remove_var("INFPROP_SCALE");
+        assert_eq!(scale_factor(), 1.0);
+        std::env::set_var("INFPROP_SCALE", "2.5");
+        assert_eq!(scale_factor(), 2.5);
+        std::env::set_var("INFPROP_SCALE", "junk");
+        assert_eq!(scale_factor(), 1.0);
+        std::env::remove_var("INFPROP_SCALE");
+    }
+
+    #[test]
+    fn timing_returns_value() {
+        let (v, d) = time_it(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+}

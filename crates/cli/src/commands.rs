@@ -1,0 +1,385 @@
+//! Command implementations: each takes parsed arguments, does the work,
+//! and prints human-readable results to stdout.
+
+use crate::args::{ArgError, ParsedArgs};
+use infprop_baselines::{
+    degree_discount, high_degree, pagerank_top_k, smart_high_degree, ConTinEst, ConTinEstConfig,
+    PageRankConfig, Skim, SkimConfig,
+};
+use infprop_core::{
+    find_channel, greedy_top_k, ApproxIrs, ApproxOracle, ExactIrs, InfluenceOracle,
+};
+use infprop_datasets::profiles;
+use infprop_diffusion::{tcic_spread, tclt_spread, LtWeights, TcicConfig};
+use infprop_temporal_graph::{
+    io, metrics, InteractionNetwork, NetworkStats, NodeId, WeightedStaticGraph, Window,
+};
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Validates a `--beta` value and converts it to a sketch precision.
+fn beta_to_precision(beta: usize) -> Result<u8, ArgError> {
+    if !beta.is_power_of_two() || !(16..=65_536).contains(&beta) {
+        return Err(ArgError::BadValue {
+            flag: "beta".into(),
+            value: beta.to_string(),
+            expected: "a power of two in [16, 65536]",
+        });
+    }
+    Ok(beta.trailing_zeros() as u8)
+}
+
+fn load(path: &str) -> Result<io::LoadedNetwork, Box<dyn Error>> {
+    Ok(io::read_interactions_path(path)?)
+}
+
+fn window_of(args: &ParsedArgs, net: &InteractionNetwork) -> Result<Window, Box<dyn Error>> {
+    if let Some(raw) = args.optional("window") {
+        let w: i64 = raw.parse().map_err(|_| ArgError::BadValue {
+            flag: "window".into(),
+            value: raw.into(),
+            expected: "an absolute window length (time units)",
+        })?;
+        Ok(Window(w))
+    } else {
+        let pct: f64 = args.parse_required("window-pct", "a percentage in [0, 100]")?;
+        Ok(net.window_from_percent(pct))
+    }
+}
+
+/// `infprop stats <file> [--units-per-day N]`
+pub fn stats(args: &ParsedArgs) -> CmdResult {
+    let path = args.one_positional("expected exactly one input path")?;
+    let loaded = load(path)?;
+    let net = &loaded.network;
+    let units: i64 = args.parse_or("units-per-day", 86_400, "ticks per day")?;
+    let s = NetworkStats::compute(net, units);
+    println!("{path}: {s}");
+    println!("  distinct timestamps: {}", net.has_distinct_timestamps());
+    let deg = metrics::interaction_out_degree_summary(net);
+    println!(
+        "  out-degree: max {} mean {:.2} gini {:.3}",
+        deg.max, deg.mean, deg.gini
+    );
+    println!(
+        "  contact repetition: {:.2} interactions/static-edge | reciprocity {:.3}",
+        metrics::contact_repetition(net),
+        metrics::reciprocity(net)
+    );
+    let profile = metrics::temporal_profile(net);
+    println!(
+        "  inter-arrival: mean {:.1} std {:.1} | burstiness {:.3}",
+        profile.mean_gap, profile.std_gap, profile.burstiness
+    );
+    Ok(())
+}
+
+/// `infprop irs <file> --window-pct P [--exact] [--beta B] [--top K]`
+pub fn irs(args: &ParsedArgs) -> CmdResult {
+    let path = args.one_positional("expected exactly one input path")?;
+    let loaded = load(path)?;
+    let net = &loaded.network;
+    let window = window_of(args, net)?;
+    let top: usize = args.parse_or("top", 10, "an integer")?;
+    println!("window = {} time units", window.get());
+    let mut sizes: Vec<(NodeId, f64)>;
+    if args.boolean("exact") {
+        let irs = ExactIrs::compute(net, window);
+        sizes = net
+            .node_ids()
+            .map(|u| (u, irs.irs_size(u) as f64))
+            .collect();
+    } else {
+        let beta: usize = args.parse_or("beta", 512, "a power of two in [16, 65536]")?;
+        if !beta.is_power_of_two() || !(16..=65_536).contains(&beta) {
+            return Err(Box::new(ArgError::BadValue {
+                flag: "beta".into(),
+                value: beta.to_string(),
+                expected: "a power of two in [16, 65536]",
+            }));
+        }
+        let irs = ApproxIrs::compute_with_precision(net, window, beta.trailing_zeros() as u8);
+        sizes = net
+            .node_ids()
+            .map(|u| (u, irs.irs_size_estimate(u)))
+            .collect();
+    }
+    sizes.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (u, size) in sizes.into_iter().take(top) {
+        let label = loaded.interner.label(u).unwrap_or("?");
+        println!("{label:<20} |IRS| = {size:.1}");
+    }
+    Ok(())
+}
+
+/// `infprop topk <file> --k K --window-pct P [--method M] [--seed S]`
+pub fn topk(args: &ParsedArgs) -> CmdResult {
+    let path = args.one_positional("expected exactly one input path")?;
+    let loaded = load(path)?;
+    let net = &loaded.network;
+    let window = window_of(args, net)?;
+    let k: usize = args.parse_required("k", "an integer")?;
+    let seed: u64 = args.parse_or("seed", 42, "an integer")?;
+    let method = args.optional("method").unwrap_or("irs");
+    let seeds: Vec<NodeId> = match method {
+        "irs" => greedy_top_k(&ApproxIrs::compute(net, window).oracle(), k)
+            .into_iter()
+            .map(|s| s.node)
+            .collect(),
+        "irs-exact" => greedy_top_k(&ExactIrs::compute(net, window).oracle(), k)
+            .into_iter()
+            .map(|s| s.node)
+            .collect(),
+        "pagerank" => pagerank_top_k(&net.to_static(), k, &PageRankConfig::default()),
+        "hd" => high_degree(&net.to_static(), k),
+        "shd" => smart_high_degree(&net.to_static(), k),
+        "degree-discount" => degree_discount(&net.to_static(), k, 0.5),
+        "skim" => Skim::new(
+            &net.to_static(),
+            SkimConfig {
+                seed,
+                ..Default::default()
+            },
+        )
+        .top_k(k),
+        "cte" => {
+            let weighted = WeightedStaticGraph::from_network(net);
+            ConTinEst::new(
+                &weighted,
+                &ConTinEstConfig::new(window.get() as f64).with_seed(seed),
+            )
+            .top_k(k)
+        }
+        other => {
+            return Err(Box::new(ArgError::BadValue {
+                flag: "method".into(),
+                value: other.into(),
+                expected: "irs|irs-exact|pagerank|hd|shd|degree-discount|skim|cte",
+            }))
+        }
+    };
+    for (rank, u) in seeds.iter().enumerate() {
+        let label = loaded.interner.label(*u).unwrap_or("?");
+        println!("{:>3}. {label}", rank + 1);
+    }
+    Ok(())
+}
+
+/// `infprop simulate <file> --seeds a,b,c --window-pct P [--p F] [--runs N]
+///  [--model tcic|tclt] [--seed S]`
+pub fn simulate(args: &ParsedArgs) -> CmdResult {
+    let path = args.one_positional("expected exactly one input path")?;
+    let loaded = load(path)?;
+    let net = &loaded.network;
+    let window = window_of(args, net)?;
+    let ids = args.node_list("seeds")?;
+    let seeds: Vec<NodeId> = ids.into_iter().map(NodeId).collect();
+    for s in &seeds {
+        if s.index() >= net.num_nodes() {
+            return Err(Box::new(ArgError::BadValue {
+                flag: "seeds".into(),
+                value: s.to_string(),
+                expected: "node ids inside the network",
+            }));
+        }
+    }
+    let p: f64 = args.parse_or("p", 0.5, "a probability")?;
+    let runs: usize = args.parse_or("runs", 100, "an integer")?;
+    let seed: u64 = args.parse_or("seed", 42, "an integer")?;
+    let model = args.optional("model").unwrap_or("tcic");
+    let spread = match model {
+        "tcic" => {
+            let cfg = TcicConfig::new(window, p).with_runs(runs).with_seed(seed);
+            tcic_spread(net, &seeds, &cfg)
+        }
+        "tclt" => {
+            let weights = LtWeights::from_network(net);
+            tclt_spread(net, &weights, &seeds, window, runs, seed)
+        }
+        other => {
+            return Err(Box::new(ArgError::BadValue {
+                flag: "model".into(),
+                value: other.into(),
+                expected: "tcic|tclt",
+            }))
+        }
+    };
+    println!(
+        "{model} spread of {} seeds over {runs} runs (w = {}, p = {p}): {spread:.2}",
+        seeds.len(),
+        window.get()
+    );
+    Ok(())
+}
+
+/// `infprop channel <file> --from U --to V --window-pct P`
+pub fn channel(args: &ParsedArgs) -> CmdResult {
+    let path = args.one_positional("expected exactly one input path")?;
+    let loaded = load(path)?;
+    let net = &loaded.network;
+    let window = window_of(args, net)?;
+    let from: u32 = args.parse_required("from", "a node id")?;
+    let to: u32 = args.parse_required("to", "a node id")?;
+    match find_channel(net, NodeId(from), NodeId(to), window) {
+        Some(c) => {
+            println!(
+                "channel with {} hops, duration {}, end time {}:",
+                c.hops.len(),
+                c.duration(),
+                c.end_time()
+            );
+            for hop in &c.hops {
+                let s = loaded.interner.label(hop.src).unwrap_or("?");
+                let d = loaded.interner.label(hop.dst).unwrap_or("?");
+                println!("  {s} -> {d} @ {}", hop.time);
+            }
+        }
+        None => println!("no information channel within the window"),
+    }
+    Ok(())
+}
+
+/// `infprop generate --profile NAME --scale S [--seed N] --out FILE`
+pub fn generate(args: &ParsedArgs) -> CmdResult {
+    let name = args.required("profile")?;
+    let scale: f64 = args.parse_required("scale", "a fraction in (0, 1]")?;
+    let seed: u64 = args.parse_or("seed", 42, "an integer")?;
+    let out = args.required("out")?;
+    let profile = match name {
+        "enron" => profiles::enron_like(seed),
+        "lkml" => profiles::lkml_like(seed),
+        "facebook" => profiles::facebook_like(seed),
+        "higgs" => profiles::higgs_like(seed),
+        "slashdot" => profiles::slashdot_like(seed),
+        "us2016" => profiles::us2016_like(seed),
+        other => {
+            return Err(Box::new(ArgError::BadValue {
+                flag: "profile".into(),
+                value: other.into(),
+                expected: "enron|lkml|facebook|higgs|slashdot|us2016",
+            }))
+        }
+    };
+    let dataset = profile.build(scale);
+    io::write_interactions_path(&dataset.network, out)?;
+    let s = NetworkStats::compute(&dataset.network, dataset.units_per_day);
+    println!("wrote {out}: {s}");
+    Ok(())
+}
+
+/// `infprop oracle-build <file> --window-pct P --out oracle.bin
+///  [--beta B | --exact]`
+pub fn oracle_build(args: &ParsedArgs) -> CmdResult {
+    let path = args.one_positional("expected exactly one input path")?;
+    let loaded = load(path)?;
+    let net = &loaded.network;
+    let window = window_of(args, net)?;
+    let out = args.required("out")?;
+    let mut w = BufWriter::new(File::create(out)?);
+    if args.boolean("exact") {
+        let irs = ExactIrs::compute(net, window);
+        irs.write_to(&mut w)?;
+        println!(
+            "wrote {out}: exact summaries for {} nodes ({} entries), window = {}",
+            net.num_nodes(),
+            irs.total_entries(),
+            window.get()
+        );
+    } else {
+        let beta: usize = args.parse_or("beta", 512, "a power of two in [16, 65536]")?;
+        let irs = ApproxIrs::compute_with_precision(net, window, beta_to_precision(beta)?);
+        irs.oracle().write_to(&mut w)?;
+        println!(
+            "wrote {out}: {} node sketches, beta = {beta}, window = {}",
+            net.num_nodes(),
+            window.get()
+        );
+    }
+    Ok(())
+}
+
+/// `infprop oracle-query <oracle-file> --seeds a,b,c`
+///
+/// Detects the on-disk format by magic: `IPAO` sketch oracles and `IPEI`
+/// exact summaries are both accepted.
+pub fn oracle_query(args: &ParsedArgs) -> CmdResult {
+    let path = args.one_positional("expected exactly one oracle path")?;
+    let ids = args.node_list("seeds")?;
+    let seeds: Vec<NodeId> = ids.into_iter().map(NodeId).collect();
+
+    let mut magic = [0u8; 4];
+    {
+        use std::io::Read;
+        File::open(path)?.read_exact(&mut magic)?;
+    }
+    let check_seeds = |n: usize| -> Result<(), ArgError> {
+        for s in &seeds {
+            if s.index() >= n {
+                return Err(ArgError::BadValue {
+                    flag: "seeds".into(),
+                    value: s.to_string(),
+                    expected: "node ids inside the oracle",
+                });
+            }
+        }
+        Ok(())
+    };
+    let influence = match &magic {
+        b"IPEI" => {
+            let mut r = BufReader::new(File::open(path)?);
+            let irs = ExactIrs::read_from(&mut r)?;
+            check_seeds(irs.num_nodes())?;
+            irs.oracle().influence(&seeds)
+        }
+        _ => {
+            let mut r = BufReader::new(File::open(path)?);
+            let oracle = ApproxOracle::read_from(&mut r)?;
+            check_seeds(oracle.num_nodes())?;
+            oracle.influence(&seeds)
+        }
+    };
+    println!("Inf(S) = {influence:.1}");
+    Ok(())
+}
+
+/// Usage text printed on `--help`, no command, or errors.
+pub const USAGE: &str = "\
+infprop — information propagation in interaction networks (EDBT 2017)
+
+USAGE:
+  infprop stats <file> [--units-per-day N]
+  infprop irs <file> (--window-pct P | --window W) [--exact] [--beta B] [--top K]
+  infprop topk <file> --k K (--window-pct P | --window W)
+                 [--method irs|irs-exact|pagerank|hd|shd|degree-discount|skim|cte] [--seed S]
+  infprop simulate <file> --seeds a,b,c (--window-pct P | --window W)
+                 [--p F] [--runs N] [--model tcic|tclt] [--seed S]
+  infprop channel <file> --from U --to V (--window-pct P | --window W)
+  infprop generate --profile enron|lkml|facebook|higgs|slashdot|us2016
+                 --scale S --out FILE [--seed N]
+  infprop oracle-build <file> (--window-pct P | --window W) --out FILE [--beta B | --exact]
+  infprop oracle-query <oracle-file> --seeds a,b,c
+
+Input files are SNAP-style edge lists: `src dst time` per line, `#` comments.
+";
+
+/// Dispatches a parsed command line.
+pub fn dispatch(parsed: &ParsedArgs) -> CmdResult {
+    match parsed.command.as_str() {
+        "stats" => stats(parsed),
+        "irs" => irs(parsed),
+        "topk" => topk(parsed),
+        "simulate" => simulate(parsed),
+        "channel" => channel(parsed),
+        "generate" => generate(parsed),
+        "oracle-build" => oracle_build(parsed),
+        "oracle-query" => oracle_query(parsed),
+        "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
+    }
+}

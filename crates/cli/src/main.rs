@@ -1,0 +1,35 @@
+//! `infprop` — command-line interface for information-propagation analysis
+//! of interaction networks (reproduction of Kumar & Calders, EDBT 2017).
+//!
+//! See [`commands::USAGE`] or run `infprop help` for the command reference.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(&raw) {
+        Ok(p) => p,
+        Err(args::ArgError::NoCommand) => {
+            eprintln!("{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    if parsed.boolean("help") {
+        println!("{}", commands::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    match commands::dispatch(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

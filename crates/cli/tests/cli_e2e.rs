@@ -1,0 +1,305 @@
+//! End-to-end tests driving the compiled `infprop` binary.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_infprop"))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("infprop-cli-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Writes a small deterministic network and returns its path.
+fn sample_network(dir: &Path) -> String {
+    let path = dir.join("net.txt");
+    let mut text = String::from("# test network\n");
+    for i in 0..200u32 {
+        let src = i % 17;
+        let dst = (i * 5 + 1) % 17;
+        if src != dst {
+            text.push_str(&format!("{src} {dst} {i}\n"));
+        }
+    }
+    std::fs::write(&path, text).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+}
+
+#[test]
+fn no_command_fails_with_usage() {
+    let out = run(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn stats_reports_counts() {
+    let dir = tempdir("stats");
+    let net = sample_network(&dir);
+    let out = run(&["stats", &net, "--units-per-day", "1"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("|V|"), "{text}");
+    assert!(text.contains("distinct timestamps: true"));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn irs_exact_and_approx_agree_on_top_node() {
+    let dir = tempdir("irs");
+    let net = sample_network(&dir);
+    let exact = run(&["irs", &net, "--window-pct", "50", "--exact", "--top", "1"]);
+    let approx = run(&[
+        "irs",
+        &net,
+        "--window-pct",
+        "50",
+        "--top",
+        "1",
+        "--beta",
+        "4096",
+    ]);
+    assert!(exact.status.success() && approx.status.success());
+    let top_exact = stdout(&exact)
+        .lines()
+        .nth(1)
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_owned();
+    let top_approx = stdout(&approx)
+        .lines()
+        .nth(1)
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_owned();
+    assert_eq!(top_exact, top_approx);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn topk_all_methods_run() {
+    let dir = tempdir("topk");
+    let net = sample_network(&dir);
+    for method in [
+        "irs",
+        "irs-exact",
+        "pagerank",
+        "hd",
+        "shd",
+        "degree-discount",
+        "skim",
+        "cte",
+    ] {
+        let out = run(&[
+            "topk",
+            &net,
+            "--k",
+            "3",
+            "--window-pct",
+            "20",
+            "--method",
+            method,
+        ]);
+        assert!(out.status.success(), "{method}: {}", stderr(&out));
+        assert_eq!(stdout(&out).lines().count(), 3, "{method}");
+    }
+    let bad = run(&[
+        "topk",
+        &net,
+        "--k",
+        "3",
+        "--window-pct",
+        "20",
+        "--method",
+        "nope",
+    ]);
+    assert!(!bad.status.success());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn simulate_both_models() {
+    let dir = tempdir("sim");
+    let net = sample_network(&dir);
+    for model in ["tcic", "tclt"] {
+        let out = run(&[
+            "simulate",
+            &net,
+            "--seeds",
+            "0,1",
+            "--window-pct",
+            "20",
+            "--runs",
+            "20",
+            "--model",
+            model,
+        ]);
+        assert!(out.status.success(), "{model}: {}", stderr(&out));
+        assert!(stdout(&out).contains("spread"));
+    }
+    // Out-of-range seed is rejected.
+    let bad = run(&["simulate", &net, "--seeds", "9999", "--window-pct", "20"]);
+    assert!(!bad.status.success());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn generate_then_full_pipeline() {
+    let dir = tempdir("gen");
+    let net_path = dir.join("gen.txt").to_string_lossy().into_owned();
+    let out = run(&[
+        "generate",
+        "--profile",
+        "slashdot",
+        "--scale",
+        "0.001",
+        "--seed",
+        "5",
+        "--out",
+        &net_path,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(std::fs::metadata(&net_path).unwrap().len() > 0);
+
+    let oracle_path = dir.join("oracle.bin").to_string_lossy().into_owned();
+    let built = run(&[
+        "oracle-build",
+        &net_path,
+        "--window-pct",
+        "10",
+        "--out",
+        &oracle_path,
+    ]);
+    assert!(built.status.success(), "{}", stderr(&built));
+
+    let query = run(&["oracle-query", &oracle_path, "--seeds", "0,1,2"]);
+    assert!(query.status.success(), "{}", stderr(&query));
+    assert!(stdout(&query).contains("Inf(S)"));
+
+    // Reading the oracle as a network must fail cleanly.
+    let confused = run(&["stats", &oracle_path]);
+    assert!(!confused.status.success());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn channel_found_and_not_found() {
+    let dir = tempdir("chan");
+    let path = dir.join("chain.txt");
+    std::fs::write(&path, "a b 1\nb c 2\nc d 3\n").unwrap();
+    let p = path.to_string_lossy().into_owned();
+    let found = run(&["channel", &p, "--from", "0", "--to", "3", "--window", "5"]);
+    assert!(found.status.success(), "{}", stderr(&found));
+    assert!(stdout(&found).contains("3 hops"), "{}", stdout(&found));
+    let missing = run(&["channel", &p, "--from", "3", "--to", "0", "--window", "5"]);
+    assert!(stdout(&missing).contains("no information channel"));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn absolute_window_flag_works() {
+    let dir = tempdir("absw");
+    let net = sample_network(&dir);
+    let out = run(&["irs", &net, "--window", "25", "--exact", "--top", "2"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("window = 25 time units"));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn exact_oracle_roundtrip_via_cli() {
+    let dir = tempdir("exact-oracle");
+    let net = sample_network(&dir);
+    let oracle_path = dir.join("exact.bin").to_string_lossy().into_owned();
+    let built = run(&[
+        "oracle-build",
+        &net,
+        "--window-pct",
+        "30",
+        "--exact",
+        "--out",
+        &oracle_path,
+    ]);
+    assert!(built.status.success(), "{}", stderr(&built));
+    assert!(stdout(&built).contains("exact summaries"));
+
+    let query = run(&["oracle-query", &oracle_path, "--seeds", "0,1"]);
+    assert!(query.status.success(), "{}", stderr(&query));
+    assert!(stdout(&query).contains("Inf(S)"));
+
+    // Out-of-range seed fails cleanly, not with a panic.
+    let bad = run(&["oracle-query", &oracle_path, "--seeds", "100000"]);
+    assert!(!bad.status.success());
+    assert!(stderr(&bad).contains("inside the oracle"));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn invalid_beta_rejected_everywhere() {
+    let dir = tempdir("beta");
+    let net = sample_network(&dir);
+    for cmd in [
+        vec!["irs", net.as_str(), "--window-pct", "10", "--beta", "100"],
+        vec![
+            "oracle-build",
+            net.as_str(),
+            "--window-pct",
+            "10",
+            "--beta",
+            "0",
+            "--out",
+            "/dev/null",
+        ],
+    ] {
+        let out = run(&cmd);
+        assert!(!out.status.success(), "{cmd:?} should fail");
+        assert!(stderr(&out).contains("power of two"), "{}", stderr(&out));
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn stats_reports_shape_metrics() {
+    let dir = tempdir("shape-stats");
+    let net = sample_network(&dir);
+    let out = run(&["stats", &net, "--units-per-day", "1"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    for needle in ["out-degree", "gini", "contact repetition", "burstiness"] {
+        assert!(text.contains(needle), "missing {needle}: {text}");
+    }
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -1,0 +1,128 @@
+//! Brute-force temporal reachability — the correctness reference.
+//!
+//! This is the naive *forward* computation the paper's Lemma 1 argues
+//! against: for every node and every possible channel start time, scan the
+//! interaction list chronologically and propagate earliest-arrival times.
+//! `O(d⁺(u) · m)` per node — hopeless at scale, but an unimpeachable oracle
+//! for testing the one-pass algorithms and the baseline for the
+//! `reverse_vs_forward` ablation bench.
+
+use infprop_hll::hash::FastHashSet;
+use infprop_temporal_graph::{InteractionNetwork, NodeId, Window};
+
+/// Computes `σω(u)` by exhaustive forward temporal BFS.
+///
+/// A node `v ≠ u` is in the result iff there is a strictly time-increasing
+/// path from `u` to it whose first hop happens at time `t0` and whose last
+/// hop happens at most at `t0 + ω − 1`. The source itself is never included
+/// (a node does not influence itself), matching [`ExactIrs`](crate::ExactIrs).
+pub fn brute_force_irs(net: &InteractionNetwork, u: NodeId, window: Window) -> FastHashSet<NodeId> {
+    assert!(window.get() >= 1, "window must be at least 1 time unit");
+    let n = net.num_nodes();
+    let mut result: FastHashSet<NodeId> = FastHashSet::default();
+    // Candidate start times: every out-interaction of u. (A channel's first
+    // hop is an out-interaction of u at the channel's start time.)
+    let start_times: Vec<i64> = net
+        .iter()
+        .filter(|i| i.src == u)
+        .map(|i| i.time.get())
+        .collect();
+    // Earliest time each node becomes "informed" in the current window run;
+    // i64::MAX means unreached.
+    let mut informed_at = vec![i64::MAX; n];
+    for &t0 in &start_times {
+        let deadline = t0.saturating_add(window.get() - 1);
+        informed_at.fill(i64::MAX);
+        // u knows the message "just before" t0, so its hop at t0 qualifies.
+        informed_at[u.index()] = t0 - 1;
+        for i in net.iter() {
+            let t = i.time.get();
+            if t < t0 {
+                continue;
+            }
+            if t > deadline {
+                break;
+            }
+            // Strict increase: the carrier must have been informed *before*
+            // this interaction (equal timestamps never chain).
+            if informed_at[i.src.index()] < t && t < informed_at[i.dst.index()] {
+                informed_at[i.dst.index()] = t;
+                if i.dst != u {
+                    result.insert(i.dst);
+                }
+            }
+        }
+    }
+    result
+}
+
+/// [`brute_force_irs`] for every node; returns per-node reachability sets.
+pub fn brute_force_irs_all(net: &InteractionNetwork, window: Window) -> Vec<FastHashSet<NodeId>> {
+    net.node_ids()
+        .map(|u| brute_force_irs(net, u, window))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactIrs;
+
+    fn figure1a() -> InteractionNetwork {
+        InteractionNetwork::from_triples([
+            (0, 3, 1),
+            (4, 5, 2),
+            (3, 4, 3),
+            (4, 1, 4),
+            (0, 1, 5),
+            (1, 4, 6),
+            (4, 2, 7),
+            (1, 2, 8),
+        ])
+    }
+
+    #[test]
+    fn brute_matches_exact_on_figure1a_all_windows() {
+        let net = figure1a();
+        for w in 1..=9 {
+            let exact = ExactIrs::compute(&net, Window(w));
+            for u in net.node_ids() {
+                let mut brute: Vec<NodeId> =
+                    brute_force_irs(&net, u, Window(w)).into_iter().collect();
+                brute.sort_unstable();
+                assert_eq!(exact.irs_sorted(u), brute, "node {u:?} ω={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn brute_respects_window() {
+        let net = InteractionNetwork::from_triples([(0, 1, 1), (1, 2, 10)]);
+        assert!(!brute_force_irs(&net, NodeId(0), Window(9)).contains(&NodeId(2)));
+        assert!(brute_force_irs(&net, NodeId(0), Window(10)).contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn brute_never_includes_source() {
+        let net = InteractionNetwork::from_triples([(0, 1, 1), (1, 0, 2)]);
+        assert!(!brute_force_irs(&net, NodeId(0), Window(5)).contains(&NodeId(0)));
+        assert!(brute_force_irs(&net, NodeId(0), Window(5)).contains(&NodeId(1)));
+        assert!(!brute_force_irs(&net, NodeId(1), Window(5)).contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn brute_all_has_one_set_per_node() {
+        let net = figure1a();
+        let all = brute_force_irs_all(&net, Window(3));
+        assert_eq!(all.len(), net.num_nodes());
+        assert!(all[2].is_empty()); // c has no outgoing interactions
+    }
+
+    #[test]
+    fn equal_timestamps_do_not_chain() {
+        let net = InteractionNetwork::from_triples([(0, 1, 5), (1, 2, 5)]);
+        let r = brute_force_irs(&net, NodeId(0), Window(10));
+        assert!(r.contains(&NodeId(1)));
+        assert!(!r.contains(&NodeId(2)));
+    }
+}

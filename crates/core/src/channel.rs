@@ -1,0 +1,281 @@
+//! Information-channel *witness* extraction.
+//!
+//! The IRS algorithms answer "can `u` reach `v` within ω?"; this module
+//! answers "**show me the channel**": an explicit sequence of interactions
+//! `(u, n1, t1), (n1, n2, t2), …, (nk, v, tk)` with strictly increasing
+//! timestamps and duration `tk − t1 + 1 ≤ ω` (paper Definition 1). Among
+//! all admissible channels it returns one with the **earliest end time**
+//! (`tk = λ(u, v)`), matching the summaries' λ entries — the natural
+//! "fastest possible leak" witness for auditing or visualization.
+//!
+//! Extraction is an on-demand forward scan with predecessor tracking
+//! (`O(d⁺(u) · m)` worst case — fine for interactive queries; bulk
+//! reachability should use [`ExactIrs`](crate::ExactIrs)).
+
+use infprop_temporal_graph::{Interaction, InteractionNetwork, NodeId, Window};
+
+/// An explicit information channel: a time-respecting interaction path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Channel {
+    /// The interactions of the path, in hop order.
+    pub hops: Vec<Interaction>,
+}
+
+impl Channel {
+    /// Channel duration `tk − t1 + 1` (paper Definition 1).
+    pub fn duration(&self) -> i64 {
+        let first = self.hops.first().expect("channel has at least one hop");
+        let last = self.hops.last().expect("channel has at least one hop");
+        last.time.delta(first.time) + 1
+    }
+
+    /// Channel end time `tk`.
+    pub fn end_time(&self) -> i64 {
+        self.hops
+            .last()
+            .expect("channel has at least one hop")
+            .time
+            .get()
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.hops.first().expect("channel has at least one hop").src
+    }
+
+    /// The destination node.
+    pub fn destination(&self) -> NodeId {
+        self.hops.last().expect("channel has at least one hop").dst
+    }
+
+    /// Checks Definition 1 on this hop sequence: consecutive hops chain
+    /// (`dst_i == src_{i+1}`) with strictly increasing timestamps, and the
+    /// duration fits `window`.
+    pub fn is_valid(&self, window: Window) -> bool {
+        if self.hops.is_empty() {
+            return false;
+        }
+        let chained = self
+            .hops
+            .windows(2)
+            .all(|w| w[0].dst == w[1].src && w[0].time < w[1].time);
+        chained && window.admits(self.hops[0].time, self.hops[self.hops.len() - 1].time)
+    }
+}
+
+/// Finds an admissible information channel from `u` to `v` with the
+/// earliest possible end time (`λ(u, v)`), or `None` if no channel of
+/// duration ≤ ω exists.
+///
+/// Matches [`ExactIrs::lambda`](crate::ExactIrs::lambda): the returned
+/// channel's end time equals the λ entry for `(u, v)` whenever one exists.
+/// Like the IRS, a trivial empty channel does not count: `u = v` only
+/// succeeds through a genuine cycle.
+pub fn find_channel(
+    net: &InteractionNetwork,
+    u: NodeId,
+    v: NodeId,
+    window: Window,
+) -> Option<Channel> {
+    assert!(window.get() >= 1, "window must be at least 1 time unit");
+    let n = net.num_nodes();
+    if u.index() >= n || v.index() >= n {
+        return None;
+    }
+    let interactions = net.interactions();
+    let start_times: Vec<i64> = interactions
+        .iter()
+        .filter(|i| i.src == u)
+        .map(|i| i.time.get())
+        .collect();
+
+    let mut best: Option<(i64, Vec<usize>)> = None; // (end time, hop indices)
+    let mut informed_at = vec![i64::MAX; n];
+    let mut pred: Vec<Option<usize>> = vec![None; n];
+
+    for &t0 in &start_times {
+        // A start later than an already-found end cannot beat it.
+        if let Some((end, _)) = &best {
+            if t0 > *end {
+                continue;
+            }
+        }
+        let deadline = t0.saturating_add(window.get() - 1);
+        informed_at.fill(i64::MAX);
+        pred.fill(None);
+        informed_at[u.index()] = t0 - 1;
+        let from = interactions.partition_point(|i| i.time.get() < t0);
+        for (offset, i) in interactions[from..].iter().enumerate() {
+            let t = i.time.get();
+            if t > deadline {
+                break;
+            }
+            if informed_at[i.src.index()] >= t {
+                continue; // carrier not informed strictly before this hop
+            }
+            // Arrival at the target along this very interaction. Handled
+            // before relaxation so that cycles back to the source (whose
+            // `informed_at` never improves) are still witnessed.
+            if i.dst == v && best.as_ref().is_none_or(|(b, _)| t < *b) {
+                let mut hops = vec![from + offset];
+                let mut cur = i.src;
+                while cur != u {
+                    let idx =
+                        pred[cur.index()].expect("informed non-source node has a predecessor");
+                    hops.push(idx);
+                    cur = interactions[idx].src;
+                }
+                hops.reverse();
+                best = Some((t, hops));
+            }
+            if t < informed_at[i.dst.index()] {
+                informed_at[i.dst.index()] = t;
+                pred[i.dst.index()] = Some(from + offset);
+            }
+        }
+    }
+
+    best.map(|(_, idxs)| Channel {
+        hops: idxs.into_iter().map(|i| interactions[i]).collect(),
+    })
+}
+
+/// λ(u, ·) for every reachable node, with witnesses — the explicit version
+/// of one node's IRS summary. Returns `(v, channel)` pairs sorted by `v`.
+pub fn channels_from(
+    net: &InteractionNetwork,
+    u: NodeId,
+    window: Window,
+) -> Vec<(NodeId, Channel)> {
+    let mut out: Vec<(NodeId, Channel)> = net
+        .node_ids()
+        .filter_map(|v| find_channel(net, u, v, window).map(|c| (v, c)))
+        .collect();
+    out.sort_by_key(|&(v, _)| v);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactIrs;
+    use infprop_temporal_graph::Timestamp;
+
+    fn figure1a() -> InteractionNetwork {
+        InteractionNetwork::from_triples([
+            (0, 3, 1),
+            (4, 5, 2),
+            (3, 4, 3),
+            (4, 1, 4),
+            (0, 1, 5),
+            (1, 4, 6),
+            (4, 2, 7),
+            (1, 2, 8),
+        ])
+    }
+
+    #[test]
+    fn witness_matches_lambda_on_figure1a() {
+        let net = figure1a();
+        for w in 1..=9 {
+            let irs = ExactIrs::compute(&net, Window(w));
+            for u in net.node_ids() {
+                for v in net.node_ids() {
+                    let witness = find_channel(&net, u, v, Window(w));
+                    if u == v {
+                        // The IRS excludes self-entries by design, but a
+                        // genuine cycle channel is a valid witness.
+                        if let Some(c) = witness {
+                            assert!(c.is_valid(Window(w)));
+                            assert_eq!(c.source(), u);
+                            assert_eq!(c.destination(), u);
+                        }
+                        continue;
+                    }
+                    match irs.lambda(u, v) {
+                        Some(lambda) => {
+                            let c = witness
+                                .unwrap_or_else(|| panic!("missing witness {u:?}->{v:?} ω={w}"));
+                            assert!(c.is_valid(Window(w)), "invalid witness {c:?}");
+                            assert_eq!(c.source(), u);
+                            assert_eq!(c.destination(), v);
+                            assert_eq!(Timestamp(c.end_time()), lambda, "{u:?}->{v:?} ω={w}");
+                        }
+                        None => assert!(witness.is_none(), "spurious witness {u:?}->{v:?} ω={w}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn direct_edge_is_single_hop() {
+        let net = figure1a();
+        let c = find_channel(&net, NodeId(0), NodeId(3), Window(5)).unwrap();
+        assert_eq!(c.hops.len(), 1);
+        assert_eq!(c.duration(), 1);
+        assert_eq!(c.end_time(), 1);
+    }
+
+    #[test]
+    fn multi_hop_witness_is_time_respecting() {
+        // At ω = 3 the earliest-ending channel a -> e is (a,d,1),(d,e,3).
+        let net = figure1a();
+        let c = find_channel(&net, NodeId(0), NodeId(4), Window(3)).unwrap();
+        assert_eq!(c.hops.len(), 2);
+        assert_eq!(c.duration(), 3);
+        assert_eq!(c.end_time(), 3);
+        assert!(c.is_valid(Window(3)));
+        // At ω = 2 only the later (a,b,5),(b,e,6) channel fits (duration 2).
+        let c2 = find_channel(&net, NodeId(0), NodeId(4), Window(2)).unwrap();
+        assert_eq!(c2.duration(), 2);
+        assert_eq!(c2.end_time(), 6);
+        // At ω = 1 there is no channel a -> e at all.
+        assert!(find_channel(&net, NodeId(0), NodeId(4), Window(1)).is_none());
+    }
+
+    #[test]
+    fn no_channel_to_f_from_a() {
+        // The paper's intro claim.
+        let net = figure1a();
+        assert!(find_channel(&net, NodeId(0), NodeId(5), Window::unbounded()).is_none());
+    }
+
+    #[test]
+    fn cycle_witness_back_to_source() {
+        let net = InteractionNetwork::from_triples([(0, 1, 1), (1, 0, 2)]);
+        let c = find_channel(&net, NodeId(0), NodeId(0), Window(5)).unwrap();
+        assert_eq!(c.hops.len(), 2);
+        assert_eq!(c.source(), NodeId(0));
+        assert_eq!(c.destination(), NodeId(0));
+        assert!(c.is_valid(Window(5)));
+    }
+
+    #[test]
+    fn channels_from_lists_all_reachable() {
+        let net = figure1a();
+        let irs = ExactIrs::compute(&net, Window(3));
+        let all = channels_from(&net, NodeId(0), Window(3));
+        // IRS excludes self; channels_from may include a cycle witness.
+        let nodes: Vec<NodeId> = all
+            .iter()
+            .map(|(v, _)| *v)
+            .filter(|&v| v != NodeId(0))
+            .collect();
+        assert_eq!(nodes, irs.irs_sorted(NodeId(0)));
+    }
+
+    #[test]
+    fn out_of_range_nodes_yield_none() {
+        let net = figure1a();
+        assert!(find_channel(&net, NodeId(99), NodeId(0), Window(3)).is_none());
+        assert!(find_channel(&net, NodeId(0), NodeId(99), Window(3)).is_none());
+    }
+
+    #[test]
+    fn equal_timestamps_never_chain_in_witnesses() {
+        let net = InteractionNetwork::from_triples([(0, 1, 5), (1, 2, 5)]);
+        assert!(find_channel(&net, NodeId(0), NodeId(2), Window(10)).is_none());
+        assert!(find_channel(&net, NodeId(0), NodeId(1), Window(10)).is_some());
+    }
+}

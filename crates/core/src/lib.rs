@@ -1,0 +1,81 @@
+//! The paper's primary contribution: influence-reachability sets (IRS) over
+//! time-constrained information channels, computed in **one pass** over an
+//! interaction network — exactly or with versioned-HyperLogLog sketches —
+//! plus the influence oracle and greedy influence maximization built on top.
+//!
+//! # The algorithms
+//!
+//! Both algorithms scan the interactions in **reverse chronological order**.
+//! Lemma 1 of the paper shows why: prepending the earliest interaction
+//! `(u, v, t)` can only change the summary of `u`, so each interaction costs
+//! one `Add` (record the direct channel `u → v`) and one `Merge` (inherit
+//! `v`'s reachable set, filtered to channels that still fit in the window
+//! `ω` when extended back to time `t`).
+//!
+//! * [`ExactIrs`] (paper Algorithm 2) keeps, per node, the full summary
+//!   `φω(u) = {(v, λ(u, v))}` — every reachable node with the earliest end
+//!   time of an admissible channel. `O(mn)` time, `O(n²)` space worst case.
+//! * [`ApproxIrs`] (paper Algorithm 3) replaces each summary with a
+//!   [`VersionedHll`](infprop_hll::VersionedHll): expected
+//!   `O(m·β·log²ω)` time and `O(n·β·log²ω)` space, at the cost of a
+//!   `≈ 1.04/√β` relative error on set sizes.
+//!
+//! # Applications
+//!
+//! * [`InfluenceOracle`] — given any seed set `S`, estimate
+//!   `|⋃_{u∈S} σω(u)|` (paper §4.1). Exact summaries use hash-set unions;
+//!   sketches use `O(β)` register-max unions.
+//! * [`greedy_top_k`] — the lazy (CELF-style) greedy maximizer; its output
+//!   matches the paper's Algorithm 4 (implemented verbatim as
+//!   [`greedy_top_k_paper`]) because the influence function is monotone and
+//!   submodular (paper Lemma 8).
+//!
+//! # Timestamp ties
+//!
+//! The paper assumes all-distinct timestamps. This implementation also
+//! accepts ties and keeps the channel semantics strict (`t1 < t2 < …`):
+//! interactions sharing a timestamp are processed as a two-phase batch so
+//! that no channel ever chains two equal-time hops. See
+//! [`ExactIrs::compute`] for details.
+//!
+//! # Example
+//!
+//! ```
+//! use infprop_core::{ExactIrs, greedy_top_k};
+//! use infprop_temporal_graph::{InteractionNetwork, NodeId, Window};
+//!
+//! // Figure 2 of the paper: two channels from c (=2) to f (=5).
+//! let net = InteractionNetwork::from_triples([
+//!     (0, 1, 1), (0, 3, 2), (3, 2, 3), (4, 2, 6), (1, 2, 4),
+//!     (2, 4, 3), (2, 5, 5), (2, 5, 8),
+//! ]);
+//! let irs = ExactIrs::compute(&net, Window(3));
+//! // φ3(c) = {(f, 5), (e, 3)}  (paper Example 1)
+//! assert_eq!(irs.irs_size(NodeId(2)), 2);
+//!
+//! let oracle = irs.oracle();
+//! let top = greedy_top_k(&oracle, 2);
+//! assert_eq!(top.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod approx;
+mod brute;
+mod channel;
+mod exact;
+mod maximize;
+mod oracle;
+mod persist;
+mod profile;
+mod stream;
+
+pub use approx::{ApproxIrs, DEFAULT_PRECISION};
+pub use brute::{brute_force_irs, brute_force_irs_all};
+pub use channel::{channels_from, find_channel, Channel};
+pub use exact::ExactIrs;
+pub use maximize::{greedy_top_k, greedy_top_k_paper, Selection};
+pub use oracle::{ApproxOracle, ExactOracle, InfluenceOracle};
+pub use profile::{ContactDirection, SlidingContacts};
+pub use stream::{ApproxIrsStream, ExactIrsStream, OutOfOrder};

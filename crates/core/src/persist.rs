@@ -1,0 +1,303 @@
+//! Persistence for the build-once / query-many structures.
+//!
+//! Building an [`ApproxIrs`](crate::ApproxIrs) costs one pass over the full
+//! interaction log; the resulting sketches are small. These codecs let an
+//! application precompute the sketches offline and serve
+//! influence-oracle queries from a file:
+//!
+//! * [`ApproxOracle`]: `"IPAO"` header + per-node raw HLL registers — the
+//!   minimal artefact needed to answer `Inf(S)` queries.
+//! * [`ApproxIrs`]: `"IPAI"` header + window + per-node versioned-HLL
+//!   blocks — the full sketch state, from which the oracle can be rebuilt
+//!   and per-node estimates queried.
+//!
+//! Formats are little-endian and validated on read (magic, version,
+//! precision, per-sketch invariants) via [`CodecError`].
+
+use crate::approx::ApproxIrs;
+use crate::exact::ExactIrs;
+use crate::oracle::ApproxOracle;
+use infprop_hll::hash::FastHashMap;
+use infprop_hll::{CodecError, HyperLogLog, VersionedHll, FORMAT_VERSION};
+use infprop_temporal_graph::{NodeId, Timestamp, Window};
+use std::io::{Read, Write};
+
+const ORACLE_MAGIC: &[u8; 4] = b"IPAO";
+const IRS_MAGIC: &[u8; 4] = b"IPAI";
+const EXACT_MAGIC: &[u8; 4] = b"IPEI";
+
+fn read_array<const N: usize>(r: &mut impl Read) -> Result<[u8; N], CodecError> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+impl ApproxOracle {
+    /// Writes the oracle (all per-node collapsed sketches) in `IPAO` format.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), CodecError> {
+        let precision = self.precision_value();
+        w.write_all(ORACLE_MAGIC)?;
+        w.write_all(&[FORMAT_VERSION, precision])?;
+        let n = u32::try_from(self.num_nodes_value())
+            .map_err(|_| CodecError::Corrupt("too many nodes to encode"))?;
+        w.write_all(&n.to_le_bytes())?;
+        for u in 0..self.num_nodes_value() {
+            w.write_all(
+                self.sketch(infprop_temporal_graph::NodeId::from_index(u))
+                    .registers(),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Reads an oracle written by [`write_to`](Self::write_to).
+    pub fn read_from(r: &mut impl Read) -> Result<Self, CodecError> {
+        let header: [u8; 4] = read_array(r)?;
+        if &header != ORACLE_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let [version, precision] = read_array::<2>(r)?;
+        if version != FORMAT_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        if !(4..=16).contains(&precision) {
+            return Err(CodecError::Corrupt("precision out of range"));
+        }
+        let n = u32::from_le_bytes(read_array(r)?) as usize;
+        let beta = 1usize << precision;
+        let max_rho = 64 - precision + 1;
+        let mut sketches = Vec::with_capacity(n);
+        let mut registers = vec![0u8; beta];
+        for _ in 0..n {
+            r.read_exact(&mut registers)?;
+            if registers.iter().any(|&b| b > max_rho) {
+                return Err(CodecError::Corrupt("register exceeds maximal rho"));
+            }
+            sketches.push(HyperLogLog::from_registers(registers.clone()));
+        }
+        if n == 0 {
+            return Ok(ApproxOracle::from_sketches(Vec::new()));
+        }
+        Ok(ApproxOracle::from_sketches(sketches))
+    }
+}
+
+impl ApproxIrs {
+    /// Writes the full sketch state (window, precision, per-node versioned
+    /// HLLs) in `IPAI` format.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), CodecError> {
+        w.write_all(IRS_MAGIC)?;
+        w.write_all(&[FORMAT_VERSION, self.precision()])?;
+        w.write_all(&self.window().get().to_le_bytes())?;
+        let n = u32::try_from(self.num_nodes())
+            .map_err(|_| CodecError::Corrupt("too many nodes to encode"))?;
+        w.write_all(&n.to_le_bytes())?;
+        for u in 0..self.num_nodes() {
+            self.sketch(infprop_temporal_graph::NodeId::from_index(u))
+                .write_to(w)?;
+        }
+        Ok(())
+    }
+
+    /// Reads sketch state written by [`write_to`](Self::write_to).
+    pub fn read_from(r: &mut impl Read) -> Result<Self, CodecError> {
+        let header: [u8; 4] = read_array(r)?;
+        if &header != IRS_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let [version, precision] = read_array::<2>(r)?;
+        if version != FORMAT_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let window = Window(i64::from_le_bytes(read_array(r)?));
+        if window.get() < 1 {
+            return Err(CodecError::Corrupt("window must be positive"));
+        }
+        let n = u32::from_le_bytes(read_array(r)?) as usize;
+        let mut sketches = Vec::with_capacity(n);
+        for _ in 0..n {
+            let sketch = VersionedHll::read_from(r)?;
+            if sketch.precision() != precision {
+                return Err(CodecError::Corrupt("mixed sketch precisions"));
+            }
+            sketches.push(sketch);
+        }
+        Ok(ApproxIrs::from_parts(window, precision, sketches))
+    }
+}
+
+impl ExactIrs {
+    /// Writes the exact summaries (window + per-node `(v, λ)` maps) in
+    /// `IPEI` format. Entries are written in ascending `v` order so the
+    /// output is byte-deterministic.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), CodecError> {
+        w.write_all(EXACT_MAGIC)?;
+        w.write_all(&[FORMAT_VERSION])?;
+        w.write_all(&self.window().get().to_le_bytes())?;
+        let n = u32::try_from(self.num_nodes())
+            .map_err(|_| CodecError::Corrupt("too many nodes to encode"))?;
+        w.write_all(&n.to_le_bytes())?;
+        for u in 0..self.num_nodes() {
+            let summary = self.summary(NodeId::from_index(u));
+            let len = u32::try_from(summary.len())
+                .map_err(|_| CodecError::Corrupt("summary too long to encode"))?;
+            w.write_all(&len.to_le_bytes())?;
+            let mut entries: Vec<(NodeId, Timestamp)> =
+                summary.iter().map(|(&v, &t)| (v, t)).collect();
+            entries.sort_unstable_by_key(|&(v, _)| v);
+            for (v, t) in entries {
+                w.write_all(&v.0.to_le_bytes())?;
+                w.write_all(&t.get().to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads summaries written by [`write_to`](Self::write_to).
+    pub fn read_from(r: &mut impl Read) -> Result<Self, CodecError> {
+        let header: [u8; 4] = read_array(r)?;
+        if &header != EXACT_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let [version] = read_array::<1>(r)?;
+        if version != FORMAT_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let window = Window(i64::from_le_bytes(read_array(r)?));
+        if window.get() < 1 {
+            return Err(CodecError::Corrupt("window must be positive"));
+        }
+        let n = u32::from_le_bytes(read_array(r)?) as usize;
+        let mut summaries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = u32::from_le_bytes(read_array(r)?) as usize;
+            if len > n {
+                return Err(CodecError::Corrupt("summary larger than node universe"));
+            }
+            let mut map = FastHashMap::default();
+            map.reserve(len);
+            for _ in 0..len {
+                let v = NodeId(u32::from_le_bytes(read_array(r)?));
+                if v.index() >= n {
+                    return Err(CodecError::Corrupt("summary entry outside universe"));
+                }
+                let t = Timestamp(i64::from_le_bytes(read_array(r)?));
+                if map.insert(v, t).is_some() {
+                    return Err(CodecError::Corrupt("duplicate summary entry"));
+                }
+            }
+            summaries.push(map);
+        }
+        Ok(ExactIrs::from_parts(window, summaries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infprop_temporal_graph::{InteractionNetwork, NodeId};
+
+    fn network() -> InteractionNetwork {
+        InteractionNetwork::from_triples((0..500u32).map(|i| (i % 40, (i * 13 + 1) % 40, i as i64)))
+    }
+
+    #[test]
+    fn oracle_roundtrip_preserves_queries() {
+        let net = network();
+        let irs = ApproxIrs::compute_with_precision(&net, Window(100), 7);
+        let oracle = irs.oracle();
+        let mut bytes = Vec::new();
+        oracle.write_to(&mut bytes).unwrap();
+        let back = ApproxOracle::read_from(&mut bytes.as_slice()).unwrap();
+        use crate::oracle::InfluenceOracle;
+        let seeds: Vec<NodeId> = (0..10).map(NodeId).collect();
+        assert_eq!(oracle.influence(&seeds), back.influence(&seeds));
+        for u in net.node_ids() {
+            assert_eq!(oracle.individual(u), back.individual(u));
+        }
+    }
+
+    #[test]
+    fn irs_roundtrip_preserves_everything() {
+        let net = network();
+        let irs = ApproxIrs::compute_with_precision(&net, Window(250), 6);
+        let mut bytes = Vec::new();
+        irs.write_to(&mut bytes).unwrap();
+        let back = ApproxIrs::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.window(), irs.window());
+        assert_eq!(back.precision(), irs.precision());
+        assert_eq!(back.num_nodes(), irs.num_nodes());
+        for u in net.node_ids() {
+            assert_eq!(back.sketch(u), irs.sketch(u));
+        }
+    }
+
+    #[test]
+    fn empty_oracle_roundtrips() {
+        let oracle = ApproxOracle::from_sketches(Vec::new());
+        let mut bytes = Vec::new();
+        oracle.write_to(&mut bytes).unwrap();
+        let back = ApproxOracle::read_from(&mut bytes.as_slice()).unwrap();
+        use crate::oracle::InfluenceOracle;
+        assert_eq!(back.num_nodes(), 0);
+    }
+
+    #[test]
+    fn cross_format_magic_rejected() {
+        let net = network();
+        let irs = ApproxIrs::compute_with_precision(&net, Window(10), 5);
+        let mut bytes = Vec::new();
+        irs.write_to(&mut bytes).unwrap();
+        // Reading an IRS file as an oracle fails on magic.
+        assert!(matches!(
+            ApproxOracle::read_from(&mut bytes.as_slice()),
+            Err(CodecError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn exact_irs_roundtrip() {
+        let net = network();
+        let irs = ExactIrs::compute(&net, Window(300));
+        let mut bytes = Vec::new();
+        irs.write_to(&mut bytes).unwrap();
+        let back = ExactIrs::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.window(), irs.window());
+        assert_eq!(back.num_nodes(), irs.num_nodes());
+        for u in net.node_ids() {
+            assert_eq!(back.irs_sorted(u), irs.irs_sorted(u));
+            for v in net.node_ids() {
+                assert_eq!(back.lambda(u, v), irs.lambda(u, v));
+            }
+        }
+        // Byte-deterministic output.
+        let mut again = Vec::new();
+        irs.write_to(&mut again).unwrap();
+        assert_eq!(bytes, again);
+    }
+
+    #[test]
+    fn exact_irs_corrupt_entry_rejected() {
+        let net = network();
+        let irs = ExactIrs::compute(&net, Window(50));
+        let mut bytes = Vec::new();
+        irs.write_to(&mut bytes).unwrap();
+        // Clobber the node-count field to a smaller universe: summary
+        // entries then point outside it.
+        bytes[13] = 1;
+        bytes[14] = 0;
+        bytes[15] = 0;
+        bytes[16] = 0;
+        assert!(ExactIrs::read_from(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_irs_rejected() {
+        let net = network();
+        let irs = ApproxIrs::compute_with_precision(&net, Window(10), 5);
+        let mut bytes = Vec::new();
+        irs.write_to(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        assert!(ApproxIrs::read_from(&mut bytes.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! Streaming (incremental) builders for the one-pass IRS algorithms.
+//!
+//! [`ExactIrs::compute`](crate::ExactIrs::compute) and
+//! [`ApproxIrs::compute`](crate::ApproxIrs::compute) take a fully
+//! materialized [`InteractionNetwork`]. The paper stresses that the
+//! algorithms are *one-pass* over the reverse-chronological interaction
+//! list — "it treats every interaction exactly once and the time spent per
+//! processed interaction is very low" — so this module exposes that shape
+//! directly: feed interactions one at a time in **non-increasing time
+//! order** (e.g. while scanning a huge log file backwards) and finish into
+//! the same summaries `compute` would produce, without ever holding the
+//! interaction list in memory.
+//!
+//! Timestamp ties are buffered and flushed as a batch with the same
+//! two-phase semantics as the batch `compute` paths, so streamed and batch
+//! results are identical — a property-tested guarantee.
+//!
+//! ```
+//! use infprop_core::{ExactIrs, ExactIrsStream};
+//! use infprop_temporal_graph::{Interaction, InteractionNetwork, NodeId, Window};
+//!
+//! let net = InteractionNetwork::from_triples([(0, 1, 1), (1, 2, 5)]);
+//! let mut stream = ExactIrsStream::new(Window(10));
+//! for i in net.iter_reverse() {
+//!     stream.push(*i).unwrap();
+//! }
+//! let irs = stream.finish();
+//! assert!(irs.reaches(NodeId(0), NodeId(2)));
+//! ```
+//!
+//! [`InteractionNetwork`]: infprop_temporal_graph::InteractionNetwork
+
+use crate::approx::ApproxIrs;
+use crate::exact::ExactIrs;
+use infprop_hll::hash::FastHashMap;
+use infprop_hll::VersionedHll;
+use infprop_temporal_graph::{Interaction, NodeId, Timestamp, Window};
+use std::fmt;
+
+/// Error returned when the reverse-order contract is violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfOrder {
+    /// Timestamp of the rejected interaction.
+    pub got: Timestamp,
+    /// The stream frontier (smallest timestamp accepted so far).
+    pub frontier: Timestamp,
+}
+
+impl fmt::Display for OutOfOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "interaction at {} arrived after frontier {} (stream must be non-increasing in time)",
+            self.got, self.frontier
+        )
+    }
+}
+
+impl std::error::Error for OutOfOrder {}
+
+/// Shared reverse-stream plumbing: frontier tracking and tie buffering.
+struct ReverseFeed {
+    frontier: Option<Timestamp>,
+    tie_buffer: Vec<Interaction>,
+}
+
+impl ReverseFeed {
+    fn new() -> Self {
+        ReverseFeed {
+            frontier: None,
+            tie_buffer: Vec::new(),
+        }
+    }
+
+    /// Accepts the next interaction; returns a batch to flush when the time
+    /// strictly drops below the buffered tie group.
+    fn accept(&mut self, i: Interaction) -> Result<Option<Vec<Interaction>>, OutOfOrder> {
+        if let Some(f) = self.frontier {
+            if i.time > f {
+                return Err(OutOfOrder {
+                    got: i.time,
+                    frontier: f,
+                });
+            }
+        }
+        let flush = match self.tie_buffer.last() {
+            Some(last) if last.time != i.time => Some(std::mem::take(&mut self.tie_buffer)),
+            _ => None,
+        };
+        self.frontier = Some(i.time);
+        self.tie_buffer.push(i);
+        Ok(flush)
+    }
+
+    fn drain(&mut self) -> Vec<Interaction> {
+        std::mem::take(&mut self.tie_buffer)
+    }
+}
+
+/// Streaming builder for [`ExactIrs`].
+pub struct ExactIrsStream {
+    window: Window,
+    summaries: Vec<FastHashMap<NodeId, Timestamp>>,
+    feed: ReverseFeed,
+    interactions_seen: usize,
+}
+
+impl ExactIrsStream {
+    /// A builder with an empty node universe (it grows as ids appear).
+    pub fn new(window: Window) -> Self {
+        assert!(window.get() >= 1, "window must be at least 1 time unit");
+        ExactIrsStream {
+            window,
+            summaries: Vec::new(),
+            feed: ReverseFeed::new(),
+            interactions_seen: 0,
+        }
+    }
+
+    /// Number of interactions accepted so far.
+    pub fn interactions_seen(&self) -> usize {
+        self.interactions_seen
+    }
+
+    fn ensure(&mut self, id: NodeId) {
+        if id.index() >= self.summaries.len() {
+            self.summaries
+                .resize_with(id.index() + 1, FastHashMap::default);
+        }
+    }
+
+    /// Feeds one interaction (time must be ≤ every previous time). Ties are
+    /// buffered and flushed together, exactly like the batch algorithm.
+    pub fn push(&mut self, i: Interaction) -> Result<(), OutOfOrder> {
+        self.ensure(i.src);
+        self.ensure(i.dst);
+        if let Some(batch) = self.feed.accept(i)? {
+            ExactIrs::apply_batch(&mut self.summaries, &batch, self.window);
+        }
+        self.interactions_seen += 1;
+        Ok(())
+    }
+
+    /// Flushes any buffered ties and returns the finished summaries.
+    pub fn finish(mut self) -> ExactIrs {
+        let batch = self.feed.drain();
+        if !batch.is_empty() {
+            ExactIrs::apply_batch(&mut self.summaries, &batch, self.window);
+        }
+        ExactIrs::from_parts(self.window, self.summaries)
+    }
+}
+
+/// Streaming builder for [`ApproxIrs`].
+pub struct ApproxIrsStream {
+    window: Window,
+    precision: u8,
+    sketches: Vec<VersionedHll>,
+    feed: ReverseFeed,
+    interactions_seen: usize,
+}
+
+impl ApproxIrsStream {
+    /// A builder with the paper-default precision (β = 512).
+    pub fn new(window: Window) -> Self {
+        Self::with_precision(window, crate::DEFAULT_PRECISION)
+    }
+
+    /// A builder with `β = 2^precision` cells per node.
+    pub fn with_precision(window: Window, precision: u8) -> Self {
+        assert!(window.get() >= 1, "window must be at least 1 time unit");
+        ApproxIrsStream {
+            window,
+            precision,
+            sketches: Vec::new(),
+            feed: ReverseFeed::new(),
+            interactions_seen: 0,
+        }
+    }
+
+    /// Number of interactions accepted so far.
+    pub fn interactions_seen(&self) -> usize {
+        self.interactions_seen
+    }
+
+    fn ensure(&mut self, id: NodeId) {
+        if id.index() >= self.sketches.len() {
+            let precision = self.precision;
+            self.sketches
+                .resize_with(id.index() + 1, || VersionedHll::new(precision));
+        }
+    }
+
+    /// Feeds one interaction (time must be ≤ every previous time).
+    pub fn push(&mut self, i: Interaction) -> Result<(), OutOfOrder> {
+        self.ensure(i.src);
+        self.ensure(i.dst);
+        if let Some(batch) = self.feed.accept(i)? {
+            ApproxIrs::apply_batch(&mut self.sketches, &batch, self.window);
+        }
+        self.interactions_seen += 1;
+        Ok(())
+    }
+
+    /// Flushes any buffered ties and returns the finished sketches.
+    pub fn finish(mut self) -> ApproxIrs {
+        let batch = self.feed.drain();
+        if !batch.is_empty() {
+            ApproxIrs::apply_batch(&mut self.sketches, &batch, self.window);
+        }
+        ApproxIrs::from_parts(self.window, self.precision, self.sketches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infprop_temporal_graph::InteractionNetwork;
+
+    fn figure1a() -> InteractionNetwork {
+        InteractionNetwork::from_triples([
+            (0, 3, 1),
+            (4, 5, 2),
+            (3, 4, 3),
+            (4, 1, 4),
+            (0, 1, 5),
+            (1, 4, 6),
+            (4, 2, 7),
+            (1, 2, 8),
+        ])
+    }
+
+    #[test]
+    fn streamed_exact_equals_batch() {
+        let net = figure1a();
+        for w in [1i64, 3, 8] {
+            let batch = ExactIrs::compute(&net, Window(w));
+            let mut stream = ExactIrsStream::new(Window(w));
+            for i in net.iter_reverse() {
+                stream.push(*i).unwrap();
+            }
+            let streamed = stream.finish();
+            for u in net.node_ids() {
+                assert_eq!(streamed.irs_sorted(u), batch.irs_sorted(u), "ω={w}");
+                for (v, t) in batch.summary(u) {
+                    assert_eq!(streamed.lambda(u, *v), Some(*t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_approx_equals_batch() {
+        let net = figure1a();
+        let batch = ApproxIrs::compute_with_precision(&net, Window(3), 6);
+        let mut stream = ApproxIrsStream::with_precision(Window(3), 6);
+        for i in net.iter_reverse() {
+            stream.push(*i).unwrap();
+        }
+        let streamed = stream.finish();
+        for u in net.node_ids() {
+            assert_eq!(streamed.sketch(u), batch.sketch(u));
+        }
+    }
+
+    #[test]
+    fn ties_are_buffered_and_flushed_together() {
+        let net = InteractionNetwork::from_triples([(0, 1, 5), (1, 2, 5), (1, 3, 7)]);
+        let batch = ExactIrs::compute(&net, Window(10));
+        let mut stream = ExactIrsStream::new(Window(10));
+        for i in net.iter_reverse() {
+            stream.push(*i).unwrap();
+        }
+        let streamed = stream.finish();
+        for u in net.node_ids() {
+            assert_eq!(streamed.irs_sorted(u), batch.irs_sorted(u));
+        }
+        // The tie at t=5 must not have chained.
+        assert!(!streamed.reaches(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn out_of_order_push_is_rejected() {
+        let mut stream = ExactIrsStream::new(Window(5));
+        stream.push(Interaction::from_raw(0, 1, 10)).unwrap();
+        stream.push(Interaction::from_raw(1, 2, 10)).unwrap(); // tie ok
+        let err = stream.push(Interaction::from_raw(2, 3, 11)).unwrap_err();
+        assert_eq!(err.got, Timestamp(11));
+        assert_eq!(err.frontier, Timestamp(10));
+        assert!(err.to_string().contains("non-increasing"));
+        // Earlier times still accepted after the error.
+        stream.push(Interaction::from_raw(2, 3, 9)).unwrap();
+        assert_eq!(stream.interactions_seen(), 3);
+    }
+
+    #[test]
+    fn node_universe_grows_on_demand() {
+        let mut stream = ExactIrsStream::new(Window(5));
+        stream.push(Interaction::from_raw(100, 7, 2)).unwrap();
+        let irs = stream.finish();
+        assert_eq!(irs.num_nodes(), 101);
+        assert!(irs.reaches(NodeId(100), NodeId(7)));
+    }
+
+    #[test]
+    fn empty_stream_finishes_empty() {
+        let irs = ExactIrsStream::new(Window(3)).finish();
+        assert_eq!(irs.num_nodes(), 0);
+        let approx = ApproxIrsStream::new(Window(3)).finish();
+        assert_eq!(approx.num_nodes(), 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Property tests for the IRS algorithms: the one-pass reverse-scan
+//! algorithms must agree with brute-force forward temporal BFS on random
+//! interaction networks, across random windows — including timestamp ties.
+
+use infprop_core::{
+    brute_force_irs, greedy_top_k, greedy_top_k_paper, ApproxIrs, ExactIrs, InfluenceOracle,
+};
+use infprop_temporal_graph::{InteractionNetwork, NodeId, Window};
+use proptest::prelude::*;
+
+/// Random networks: up to 14 nodes, up to 60 interactions, timestamps in a
+/// narrow range so ties and dense temporal paths actually occur.
+fn networks() -> impl Strategy<Value = InteractionNetwork> {
+    prop::collection::vec((0u32..14, 0u32..14, 0i64..40), 0..60)
+        .prop_map(InteractionNetwork::from_triples)
+}
+
+/// Distinct-timestamp networks (the paper's assumption).
+fn distinct_networks() -> impl Strategy<Value = InteractionNetwork> {
+    prop::collection::vec((0u32..14, 0u32..14), 0..60).prop_map(|pairs| {
+        InteractionNetwork::from_triples(
+            pairs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (s, d))| (s, d, i as i64)),
+        )
+    })
+}
+
+proptest! {
+    /// THE core correctness property: Algorithm 2 ≡ brute force, for every
+    /// node and window, with distinct timestamps.
+    #[test]
+    fn exact_equals_brute_force_distinct(net in distinct_networks(), w in 1i64..50) {
+        let exact = ExactIrs::compute(&net, Window(w));
+        for u in net.node_ids() {
+            let mut brute: Vec<NodeId> =
+                brute_force_irs(&net, u, Window(w)).into_iter().collect();
+            brute.sort_unstable();
+            prop_assert_eq!(exact.irs_sorted(u), brute, "node {:?} ω={}", u, w);
+        }
+    }
+
+    /// Same property with timestamp ties present (two-phase batch path).
+    #[test]
+    fn exact_equals_brute_force_with_ties(net in networks(), w in 1i64..50) {
+        let exact = ExactIrs::compute(&net, Window(w));
+        for u in net.node_ids() {
+            let mut brute: Vec<NodeId> =
+                brute_force_irs(&net, u, Window(w)).into_iter().collect();
+            brute.sort_unstable();
+            prop_assert_eq!(exact.irs_sorted(u), brute, "node {:?} ω={}", u, w);
+        }
+    }
+
+    /// λ(u, v) really is the minimum end time: no admissible channel ends
+    /// earlier (validated by shrinking the window just below λ − start).
+    #[test]
+    fn lambda_entries_are_admissible(net in distinct_networks(), w in 1i64..50) {
+        let exact = ExactIrs::compute(&net, Window(w));
+        for u in net.node_ids() {
+            for (&v, &lambda) in exact.summary(u) {
+                // There must exist a channel ending exactly at a time ≤ any
+                // other; at minimum, v is brute-force reachable.
+                prop_assert!(brute_force_irs(&net, u, Window(w)).contains(&v));
+                // λ is the end time of some interaction into v.
+                prop_assert!(net.iter().any(|i| i.dst == v && i.time == lambda));
+            }
+        }
+    }
+
+    /// IRS is monotone in the window: σω ⊆ σω′ for ω ≤ ω′.
+    #[test]
+    fn irs_monotone_in_window(net in networks(), w in 1i64..30, extra in 0i64..30) {
+        let small = ExactIrs::compute(&net, Window(w));
+        let large = ExactIrs::compute(&net, Window(w + extra));
+        for u in net.node_ids() {
+            for v in small.irs_sorted(u) {
+                prop_assert!(large.reaches(u, v), "lost {:?} -> {:?}", u, v);
+            }
+        }
+    }
+
+    /// The sketch-based IRS never misses a node the exact IRS reaches (its
+    /// per-cell maxima dominate), and on small graphs with high precision
+    /// the estimate is within self-cycle slack of the truth.
+    #[test]
+    fn approx_tracks_exact(net in networks(), w in 1i64..50) {
+        let exact = ExactIrs::compute(&net, Window(w));
+        let approx = ApproxIrs::compute_with_precision(&net, Window(w), 12);
+        for u in net.node_ids() {
+            let est = approx.irs_size_estimate(u);
+            let truth = exact.irs_size(u) as f64;
+            // +1 slack: sketches may count the source's own cycle.
+            prop_assert!(est >= truth - 0.5 && est <= truth + 1.5,
+                "node {:?} ω={}: est {} truth {}", u, w, est, truth);
+        }
+    }
+
+    /// Oracle influence equals the true union size of exact IRS sets.
+    #[test]
+    fn oracle_influence_is_union(net in networks(), w in 1i64..50, picks in prop::collection::vec(0u32..14, 0..6)) {
+        let exact = ExactIrs::compute(&net, Window(w));
+        let oracle = exact.oracle();
+        let seeds: Vec<NodeId> = picks
+            .into_iter()
+            .filter(|&p| (p as usize) < net.num_nodes())
+            .map(NodeId)
+            .collect();
+        let mut union = std::collections::HashSet::new();
+        for &s in &seeds {
+            union.extend(exact.irs_sorted(s));
+        }
+        prop_assert_eq!(oracle.influence(&seeds), union.len() as f64);
+    }
+
+    /// Lazy CELF greedy and the paper's Algorithm 4 produce identical
+    /// selections on exact oracles.
+    #[test]
+    fn lazy_greedy_equals_paper_greedy(net in networks(), w in 1i64..50, k in 0usize..6) {
+        let exact = ExactIrs::compute(&net, Window(w));
+        let oracle = exact.oracle();
+        prop_assert_eq!(greedy_top_k(&oracle, k), greedy_top_k_paper(&oracle, k));
+    }
+
+    /// Greedy at k=1 is optimal, and each marginal equals the realized
+    /// cumulative increment.
+    #[test]
+    fn greedy_invariants(net in networks(), w in 1i64..50) {
+        let exact = ExactIrs::compute(&net, Window(w));
+        let oracle = exact.oracle();
+        let picks = greedy_top_k(&oracle, 4);
+        if let Some(first) = picks.first() {
+            let best = net
+                .node_ids()
+                .map(|u| exact.irs_size(u))
+                .max()
+                .unwrap_or(0) as f64;
+            prop_assert_eq!(first.marginal, best);
+        }
+        let mut prev = 0.0;
+        for s in &picks {
+            prop_assert!((s.cumulative - prev - s.marginal).abs() < 1e-9);
+            prev = s.cumulative;
+        }
+    }
+
+    /// Submodularity (Lemma 8) on random seed pairs: marginal gain w.r.t. a
+    /// subset is at least the gain w.r.t. a superset.
+    #[test]
+    fn submodularity(net in networks(), w in 1i64..50, a in 0u32..14, b in 0u32..14, x in 0u32..14) {
+        let n = net.num_nodes() as u32;
+        if a < n && b < n && x < n {
+            let exact = ExactIrs::compute(&net, Window(w));
+            let oracle = exact.oracle();
+            let mut small = oracle.empty_union();
+            oracle.absorb(&mut small, NodeId(a));
+            let mut large = small.clone();
+            oracle.absorb(&mut large, NodeId(b));
+            prop_assert!(
+                oracle.marginal_gain(&small, NodeId(x)) + 1e-9
+                    >= oracle.marginal_gain(&large, NodeId(x))
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Witness extraction agrees with the one-pass summaries: a channel
+    /// witness exists iff λ(u, v) does, it is valid per Definition 1, and
+    /// its end time equals λ(u, v).
+    #[test]
+    fn witnesses_match_summaries(net in distinct_networks(), w in 1i64..50) {
+        use infprop_core::find_channel;
+        let exact = ExactIrs::compute(&net, Window(w));
+        for u in net.node_ids() {
+            for v in net.node_ids() {
+                if u == v {
+                    continue; // IRS excludes self; cycles may still witness
+                }
+                let witness = find_channel(&net, u, v, Window(w));
+                match exact.lambda(u, v) {
+                    Some(lambda) => {
+                        let c = witness.expect("missing witness");
+                        prop_assert!(c.is_valid(Window(w)));
+                        prop_assert_eq!(c.source(), u);
+                        prop_assert_eq!(c.destination(), v);
+                        prop_assert_eq!(c.end_time(), lambda.get());
+                    }
+                    None => prop_assert!(witness.is_none(), "spurious {:?}->{:?}", u, v),
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Streamed construction (reverse feed with tie buffering) produces
+    /// byte-identical results to batch construction — ties included.
+    #[test]
+    fn streamed_equals_batch(net in networks(), w in 1i64..50) {
+        use infprop_core::{ApproxIrsStream, ExactIrsStream};
+        let batch = ExactIrs::compute(&net, Window(w));
+        let mut es = ExactIrsStream::new(Window(w));
+        for i in net.iter_reverse() {
+            es.push(*i).unwrap();
+        }
+        let streamed = es.finish();
+        for u in net.node_ids() {
+            prop_assert_eq!(streamed.irs_sorted(u), batch.irs_sorted(u));
+        }
+
+        let abatch = ApproxIrs::compute_with_precision(&net, Window(w), 5);
+        let mut as_ = ApproxIrsStream::with_precision(Window(w), 5);
+        for i in net.iter_reverse() {
+            as_.push(*i).unwrap();
+        }
+        let astreamed = as_.finish();
+        for u in net.node_ids() {
+            prop_assert_eq!(astreamed.sketch(u), abatch.sketch(u));
+        }
+    }
+}

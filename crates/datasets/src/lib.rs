@@ -1,0 +1,41 @@
+//! Interaction-network datasets for the `infprop` workspace.
+//!
+//! The paper evaluates on six real interaction networks (Table 2): Enron and
+//! Lkml (email), Facebook, Slashdot and Higgs (social), and US-2016 (a
+//! Twitter election crawl). Those datasets are not redistributable here, so
+//! this crate provides:
+//!
+//! * [`toy`] — the deterministic example networks from the paper's figures,
+//!   used throughout tests and documentation;
+//! * [`synthetic`] — a seeded generator of realistic interaction networks
+//!   (heavy-tailed activity and popularity, repeated contacts, optional
+//!   activity bursts for cascade-style datasets);
+//! * [`profiles`] — six named generator configurations mirroring each
+//!   Table 2 dataset's shape (node/interaction counts scaled to laptop
+//!   size, matching time spans and clock granularity).
+//!
+//! Real data in SNAP edge-list format (`src dst time` lines) can be loaded
+//! with [`infprop_temporal_graph::io`] and used everywhere a generated
+//! network is.
+//!
+//! # Example
+//!
+//! ```
+//! use infprop_datasets::{synthetic::SyntheticConfig, profiles};
+//!
+//! let net = SyntheticConfig::new(500, 5_000, 1_000).with_seed(42).generate();
+//! assert_eq!(net.num_nodes(), 500);
+//! assert_eq!(net.num_interactions(), 5_000);
+//! assert!(net.has_distinct_timestamps());
+//!
+//! // A laptop-scale Enron-shaped network:
+//! let enron = profiles::enron_like(1).build(0.02); // 2% of full scale
+//! assert!(enron.network.num_interactions() > 10_000);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod profiles;
+pub mod synthetic;
+pub mod toy;

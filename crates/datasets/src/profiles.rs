@@ -1,0 +1,222 @@
+//! Named generator profiles mirroring the paper's six datasets (Table 2).
+//!
+//! Full-scale parameters follow Table 2 exactly:
+//!
+//! | Dataset  | \|V\| (k) | \|E\| (k) | Days  | Shape |
+//! |----------|-----------|-----------|-------|-------|
+//! | Enron    | 87.3      | 1 148.1   | 8 767 | email: strong contact repetition |
+//! | Lkml     | 27.4      | 1 048.6   | 2 923 | email/list: very strong repetition, few hubs |
+//! | Facebook | 46.9      | 877.0     | 1 592 | social wall posts |
+//! | Higgs    | 304.7     | 526.2     | 7     | retweet cascade: extreme bursts |
+//! | Slashdot | 51.1      | 140.8     | 978   | social replies |
+//! | US-2016  | 4 468     | 44 638    | 16    | election tweets: bursts + hubs |
+//!
+//! [`DatasetProfile::build`] scales node and interaction counts by a factor
+//! so experiments fit a laptop; the time span and clock granularity are kept
+//! at full scale so *window percentages mean the same thing as in the
+//! paper*. The default experiment scale in `infprop-bench` is 2% (e.g.
+//! Enron-like: ~1.7k nodes, ~23k interactions).
+
+use crate::synthetic::SyntheticConfig;
+use infprop_temporal_graph::InteractionNetwork;
+
+/// Seconds per day — the clock unit of every profile (real interaction logs
+/// are second-granularity; a coarser clock could not keep timestamps
+/// distinct on the dense datasets).
+const DAY_SECONDS: i64 = 86_400;
+
+/// A named dataset profile: generator shape plus full-scale Table 2 numbers.
+#[derive(Clone, Debug)]
+pub struct DatasetProfile {
+    /// Dataset name as used in the paper's tables.
+    pub name: &'static str,
+    /// Full-scale node count.
+    pub full_nodes: usize,
+    /// Full-scale interaction count.
+    pub full_interactions: usize,
+    /// Time span in days (Table 2's "Days" column).
+    pub days: i64,
+    /// Clock ticks per day (1 = day-granularity logs, 86 400 = seconds).
+    pub units_per_day: i64,
+    /// Generator shape (probabilities, bursts); counts are filled by
+    /// [`build`](Self::build).
+    shape: SyntheticConfig,
+}
+
+/// A generated dataset: the network plus its provenance.
+#[derive(Clone, Debug)]
+pub struct GeneratedDataset {
+    /// Profile name ("Enron", …).
+    pub name: &'static str,
+    /// The generated interaction network.
+    pub network: InteractionNetwork,
+    /// Clock ticks per day, for [`NetworkStats`](infprop_temporal_graph::NetworkStats).
+    pub units_per_day: i64,
+}
+
+impl DatasetProfile {
+    /// Generates the network at `scale` (1.0 = full Table 2 size). Node and
+    /// interaction counts scale linearly; the time span stays full-scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < scale ≤ 1`.
+    pub fn build(&self, scale: f64) -> GeneratedDataset {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let mut cfg = self.shape.clone();
+        cfg.num_nodes = ((self.full_nodes as f64 * scale) as usize).max(2);
+        cfg.num_interactions = ((self.full_interactions as f64 * scale) as usize).max(1);
+        cfg.time_span = self.days * self.units_per_day;
+        GeneratedDataset {
+            name: self.name,
+            network: cfg.generate(),
+            units_per_day: self.units_per_day,
+        }
+    }
+}
+
+fn shape(seed: u64) -> SyntheticConfig {
+    // Counts are overwritten by `build`; only shape parameters matter here.
+    SyntheticConfig::new(2, 1, 1).with_seed(seed)
+}
+
+/// Enron email network: long span, strong contact repetition.
+pub fn enron_like(seed: u64) -> DatasetProfile {
+    DatasetProfile {
+        name: "Enron",
+        full_nodes: 87_300,
+        full_interactions: 1_148_100,
+        days: 8_767,
+        units_per_day: DAY_SECONDS,
+        shape: shape(seed).with_skew(0.65, 0.5).with_contact_locality(0.6),
+    }
+}
+
+/// Linux-kernel mailing list: fewer nodes, very strong repetition and hubs.
+pub fn lkml_like(seed: u64) -> DatasetProfile {
+    DatasetProfile {
+        name: "Lkml",
+        full_nodes: 27_400,
+        full_interactions: 1_048_600,
+        days: 2_923,
+        units_per_day: DAY_SECONDS,
+        shape: shape(seed).with_skew(0.75, 0.6).with_contact_locality(0.7),
+    }
+}
+
+/// Facebook wall posts: social, moderate skew.
+pub fn facebook_like(seed: u64) -> DatasetProfile {
+    DatasetProfile {
+        name: "Facebook",
+        full_nodes: 46_900,
+        full_interactions: 877_000,
+        days: 1_592,
+        units_per_day: DAY_SECONDS,
+        shape: shape(seed).with_skew(0.55, 0.45).with_contact_locality(0.5),
+    }
+}
+
+/// Higgs retweet cascade: 7 days, second-granularity clock, extreme bursts.
+pub fn higgs_like(seed: u64) -> DatasetProfile {
+    DatasetProfile {
+        name: "Higgs",
+        full_nodes: 304_700,
+        full_interactions: 526_200,
+        days: 7,
+        units_per_day: DAY_SECONDS,
+        shape: shape(seed)
+            .with_skew(0.6, 0.75)
+            .with_contact_locality(0.15)
+            .with_bursts(0.7, 3),
+    }
+}
+
+/// Slashdot replies: smallest interaction count, social shape.
+pub fn slashdot_like(seed: u64) -> DatasetProfile {
+    DatasetProfile {
+        name: "Slashdot",
+        full_nodes: 51_100,
+        full_interactions: 140_800,
+        days: 978,
+        units_per_day: DAY_SECONDS,
+        shape: shape(seed).with_skew(0.5, 0.5).with_contact_locality(0.35),
+    }
+}
+
+/// US-2016 election tweets: the scalability dataset — huge, bursty, hubby.
+pub fn us2016_like(seed: u64) -> DatasetProfile {
+    DatasetProfile {
+        name: "US-2016",
+        full_nodes: 4_468_000,
+        full_interactions: 44_638_000,
+        days: 16,
+        units_per_day: DAY_SECONDS,
+        shape: shape(seed)
+            .with_skew(0.65, 0.8)
+            .with_contact_locality(0.2)
+            .with_bursts(0.75, 5),
+    }
+}
+
+/// All six profiles, in the paper's Table 2 order.
+pub fn all(seed: u64) -> Vec<DatasetProfile> {
+    vec![
+        enron_like(seed),
+        lkml_like(seed),
+        facebook_like(seed),
+        higgs_like(seed),
+        slashdot_like(seed),
+        us2016_like(seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infprop_temporal_graph::NetworkStats;
+
+    #[test]
+    fn six_profiles_in_table2_order() {
+        let names: Vec<&str> = all(0).iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["Enron", "Lkml", "Facebook", "Higgs", "Slashdot", "US-2016"]
+        );
+    }
+
+    #[test]
+    fn build_scales_counts_but_not_span() {
+        let p = slashdot_like(3);
+        let d = p.build(0.02);
+        assert_eq!(d.network.num_nodes(), (51_100.0 * 0.02) as usize);
+        assert_eq!(d.network.num_interactions(), (140_800.0 * 0.02) as usize);
+        // Span stays near full scale (978 days, second granularity).
+        let stats = NetworkStats::compute(&d.network, d.units_per_day);
+        assert!(
+            stats.days > 800.0 && stats.days < 1_100.0,
+            "days {}",
+            stats.days
+        );
+    }
+
+    #[test]
+    fn cascade_profiles_have_short_spans_in_days() {
+        let d = higgs_like(1).build(0.005);
+        let stats = NetworkStats::compute(&d.network, d.units_per_day);
+        assert!(stats.days <= 9.0, "days {}", stats.days);
+        assert!(d.network.has_distinct_timestamps());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = enron_like(5).build(0.005);
+        let b = enron_like(5).build(0.005);
+        assert_eq!(a.network.interactions(), b.network.interactions());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in (0, 1]")]
+    fn zero_scale_panics() {
+        let _ = enron_like(0).build(0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! The paper's deterministic example networks.
+//!
+//! Node letters map to dense ids alphabetically: `a=0, b=1, c=2, d=3, e=4,
+//! f=5`.
+
+use infprop_temporal_graph::InteractionNetwork;
+
+/// Figure 1a: the running example of the exact algorithm (Example 2).
+///
+/// Interactions: a→d@1, e→f@2, d→e@3, e→b@4, a→b@5, b→e@6, e→c@7, b→c@8.
+pub fn figure1a() -> InteractionNetwork {
+    InteractionNetwork::from_triples([
+        (0, 3, 1),
+        (4, 5, 2),
+        (3, 4, 3),
+        (4, 1, 4),
+        (0, 1, 5),
+        (1, 4, 6),
+        (4, 2, 7),
+        (1, 2, 8),
+    ])
+}
+
+/// A reconstruction of Figure 2: multiple information channels between
+/// c and f, window-sensitive reachability from a
+/// (σ3(a) = {b, c, d}, σ5(a) = {b, c, d, f}).
+///
+/// Interactions: a→b@1, a→d@2, d→c@3, c→e@3, b→c@4, c→f@5, e→c@6, c→f@8.
+pub fn figure2() -> InteractionNetwork {
+    InteractionNetwork::from_triples([
+        (0, 1, 1),
+        (0, 3, 2),
+        (3, 2, 3),
+        (2, 4, 3),
+        (1, 2, 4),
+        (2, 5, 5),
+        (4, 2, 6),
+        (2, 5, 8),
+    ])
+}
+
+/// A simple k-hop chain `0 → 1 → … → len` with unit time steps — handy for
+/// window-threshold tests.
+pub fn chain(len: usize) -> InteractionNetwork {
+    InteractionNetwork::from_triples((0..len).map(|i| (i as u32, i as u32 + 1, i as i64 + 1)))
+}
+
+/// A star: node 0 contacts `1..=leaves` at times `1..=leaves`.
+pub fn star(leaves: usize) -> InteractionNetwork {
+    InteractionNetwork::from_triples((1..=leaves).map(|v| (0u32, v as u32, v as i64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infprop_temporal_graph::{NodeId, Timestamp};
+
+    #[test]
+    fn figure1a_shape() {
+        let net = figure1a();
+        assert_eq!(net.num_nodes(), 6);
+        assert_eq!(net.num_interactions(), 8);
+        assert!(net.has_distinct_timestamps());
+        assert_eq!(net.max_time(), Some(Timestamp(8)));
+    }
+
+    #[test]
+    fn figure2_shape() {
+        let net = figure2();
+        assert_eq!(net.num_nodes(), 6);
+        assert_eq!(net.num_interactions(), 8);
+        // Figure 2 deliberately has a timestamp tie (d→c and c→e at t=3).
+        assert!(!net.has_distinct_timestamps());
+    }
+
+    #[test]
+    fn chain_and_star_shapes() {
+        let c = chain(5);
+        assert_eq!(c.num_nodes(), 6);
+        assert_eq!(c.num_interactions(), 5);
+        let s = star(10);
+        assert_eq!(s.num_nodes(), 11);
+        assert_eq!(s.interaction_out_degrees()[0], 10);
+        assert_eq!(s.to_static().out_degree(NodeId(0)), 10);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the synthetic dataset generator.
+
+use infprop_datasets::synthetic::SyntheticConfig;
+use infprop_temporal_graph::metrics;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The generator always hits the requested sizes exactly, with strictly
+    /// increasing timestamps and no self-loops, for any shape parameters.
+    #[test]
+    fn generator_respects_contract(
+        nodes in 2usize..200,
+        interactions in 0usize..2_000,
+        span in 1i64..50_000,
+        source_repeat in 0.0f64..=1.0,
+        locality in 0.0f64..=1.0,
+        preferential in 0.0f64..=1.0,
+        burstiness in 0.0f64..=1.0,
+        bursts in 1usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let net = SyntheticConfig::new(nodes, interactions, span)
+            .with_seed(seed)
+            .with_skew(source_repeat, preferential)
+            .with_contact_locality(locality)
+            .with_bursts(burstiness, bursts)
+            .generate();
+        prop_assert_eq!(net.num_nodes(), nodes);
+        prop_assert_eq!(net.num_interactions(), interactions);
+        prop_assert!(net.has_distinct_timestamps());
+        prop_assert!(net.iter().all(|i| i.src != i.dst));
+        prop_assert!(net.iter().all(|i| i.time.get() >= 0));
+    }
+
+    /// Determinism: identical configs generate identical networks; the seed
+    /// actually matters for non-trivial sizes.
+    #[test]
+    fn generator_deterministic(seed in 0u64..500) {
+        let make = |s| {
+            SyntheticConfig::new(30, 300, 3_000)
+                .with_seed(s)
+                .generate()
+        };
+        let (a, b, c) = (make(seed), make(seed), make(seed.wrapping_add(1)));
+        prop_assert_eq!(a.interactions(), b.interactions());
+        prop_assert_ne!(a.interactions(), c.interactions());
+    }
+
+    /// Stronger contact locality ⇒ at most as many distinct static edges
+    /// (more repetition), comparing extremes on the same seed.
+    #[test]
+    fn locality_increases_repetition(seed in 0u64..200) {
+        let loose = SyntheticConfig::new(50, 2_000, 20_000)
+            .with_seed(seed)
+            .with_contact_locality(0.0)
+            .generate();
+        let tight = SyntheticConfig::new(50, 2_000, 20_000)
+            .with_seed(seed)
+            .with_contact_locality(0.9)
+            .generate();
+        prop_assert!(
+            metrics::contact_repetition(&tight) >= metrics::contact_repetition(&loose),
+            "tight {} loose {}",
+            metrics::contact_repetition(&tight),
+            metrics::contact_repetition(&loose)
+        );
+    }
+
+    /// Higher source skew ⇒ higher out-degree inequality (Gini), comparing
+    /// extremes on the same seed.
+    #[test]
+    fn skew_increases_gini(seed in 0u64..200) {
+        let flat = SyntheticConfig::new(100, 3_000, 30_000)
+            .with_seed(seed)
+            .with_skew(0.0, 0.0)
+            .generate();
+        let skewed = SyntheticConfig::new(100, 3_000, 30_000)
+            .with_seed(seed)
+            .with_skew(0.9, 0.0)
+            .generate();
+        let g_flat = metrics::interaction_out_degree_summary(&flat).gini;
+        let g_skewed = metrics::interaction_out_degree_summary(&skewed).gini;
+        prop_assert!(g_skewed > g_flat, "skewed {} flat {}", g_skewed, g_flat);
+    }
+}

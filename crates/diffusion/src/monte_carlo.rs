@@ -1,0 +1,200 @@
+//! Monte-Carlo averaging of TCIC cascades.
+
+use crate::tcic::tcic_simulate_once;
+use infprop_temporal_graph::{InteractionNetwork, NodeId, Window};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for a Monte-Carlo TCIC evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct TcicConfig {
+    /// Maximal window ω of the cascade model.
+    pub window: Window,
+    /// Per-interaction infection probability `p` (the paper uses 0.5 and 1.0).
+    pub infection_prob: f64,
+    /// Number of independent cascade replicates to average.
+    pub runs: usize,
+    /// Base RNG seed; replicate `i` uses `seed + i`, so results do not
+    /// depend on the thread count.
+    pub seed: u64,
+    /// Worker threads (1 = run inline on the caller's thread).
+    pub threads: usize,
+}
+
+impl TcicConfig {
+    /// A config with the given window and infection probability,
+    /// 100 replicates, seed 0, single-threaded.
+    pub fn new(window: Window, infection_prob: f64) -> Self {
+        TcicConfig {
+            window,
+            infection_prob,
+            runs: 100,
+            seed: 0,
+            threads: 1,
+        }
+    }
+
+    /// Sets the number of replicates.
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the base RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// Reusable Monte-Carlo evaluator bound to one network.
+pub struct MonteCarlo<'a> {
+    net: &'a InteractionNetwork,
+    config: TcicConfig,
+}
+
+impl<'a> MonteCarlo<'a> {
+    /// Binds a configuration to a network.
+    pub fn new(net: &'a InteractionNetwork, config: TcicConfig) -> Self {
+        MonteCarlo { net, config }
+    }
+
+    /// Average spread of `seeds` over `config.runs` replicates.
+    ///
+    /// Deterministic in `(config.seed, config.runs)` regardless of
+    /// `config.threads`: replicate `i` always draws from
+    /// `SmallRng::seed_from_u64(seed + i)`.
+    pub fn average_spread(&self, seeds: &[NodeId]) -> f64 {
+        let cfg = &self.config;
+        if cfg.runs == 0 {
+            return 0.0;
+        }
+        // p = 1 is deterministic: one replicate suffices.
+        let runs = if cfg.infection_prob >= 1.0 {
+            1
+        } else {
+            cfg.runs
+        };
+        let total: u64 = if cfg.threads <= 1 || runs == 1 {
+            (0..runs)
+                .map(|i| {
+                    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(i as u64));
+                    tcic_simulate_once(self.net, seeds, cfg.window, cfg.infection_prob, &mut rng)
+                        as u64
+                })
+                .sum()
+        } else {
+            self.parallel_total(seeds, runs)
+        };
+        total as f64 / runs as f64
+    }
+
+    fn parallel_total(&self, seeds: &[NodeId], runs: usize) -> u64 {
+        let cfg = &self.config;
+        let threads = cfg.threads.min(runs);
+        let chunk = runs.div_ceil(threads);
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(runs);
+                    scope.spawn(move |_| {
+                        (lo..hi)
+                            .map(|i| {
+                                let mut rng =
+                                    SmallRng::seed_from_u64(cfg.seed.wrapping_add(i as u64));
+                                tcic_simulate_once(
+                                    self.net,
+                                    seeds,
+                                    cfg.window,
+                                    cfg.infection_prob,
+                                    &mut rng,
+                                ) as u64
+                            })
+                            .sum::<u64>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum()
+        })
+        .expect("crossbeam scope failed")
+    }
+}
+
+/// One-shot convenience: average TCIC spread of `seeds` under `config`.
+pub fn tcic_spread(net: &InteractionNetwork, seeds: &[NodeId], config: &TcicConfig) -> f64 {
+    MonteCarlo::new(net, *config).average_spread(seeds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> InteractionNetwork {
+        InteractionNetwork::from_triples([(0, 1, 1), (1, 2, 2), (2, 3, 3)])
+    }
+
+    #[test]
+    fn deterministic_at_full_probability() {
+        let net = chain();
+        let cfg = TcicConfig::new(Window(10), 1.0).with_runs(5);
+        assert_eq!(tcic_spread(&net, &[NodeId(0)], &cfg), 4.0);
+    }
+
+    #[test]
+    fn average_lies_between_extremes() {
+        let net = chain();
+        let cfg = TcicConfig::new(Window(10), 0.5).with_runs(400).with_seed(7);
+        let avg = tcic_spread(&net, &[NodeId(0)], &cfg);
+        assert!((1.0..=4.0).contains(&avg), "avg {avg}");
+        // Expected value: 1 + 1/2 + 1/4 + 1/8 = 1.875; allow wide noise.
+        assert!((avg - 1.875).abs() < 0.25, "avg {avg}");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let net = InteractionNetwork::from_triples(
+            (0..300u32).map(|i| (i % 30, (i * 7 + 1) % 30, i as i64)),
+        );
+        let base = TcicConfig::new(Window(100), 0.5).with_runs(64).with_seed(3);
+        let serial = tcic_spread(&net, &[NodeId(0), NodeId(5)], &base.with_threads(1));
+        let parallel = tcic_spread(&net, &[NodeId(0), NodeId(5)], &base.with_threads(4));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_runs_yields_zero() {
+        let net = chain();
+        let cfg = TcicConfig::new(Window(10), 0.5).with_runs(0);
+        assert_eq!(tcic_spread(&net, &[NodeId(0)], &cfg), 0.0);
+    }
+
+    #[test]
+    fn empty_seed_set_spreads_nothing() {
+        let net = chain();
+        let cfg = TcicConfig::new(Window(10), 1.0);
+        assert_eq!(tcic_spread(&net, &[], &cfg), 0.0);
+    }
+
+    #[test]
+    fn more_seeds_never_hurt_on_average() {
+        let net = InteractionNetwork::from_triples(
+            (0..200u32).map(|i| (i % 25, (i * 3 + 2) % 25, i as i64)),
+        );
+        let cfg = TcicConfig::new(Window(80), 0.5)
+            .with_runs(200)
+            .with_seed(11);
+        let one = tcic_spread(&net, &[NodeId(0)], &cfg);
+        let two = tcic_spread(&net, &[NodeId(0), NodeId(1)], &cfg);
+        assert!(two + 1e-9 >= one, "one={one} two={two}");
+    }
+}

@@ -1,0 +1,226 @@
+//! Time-Constrained Linear Threshold (TC-LT) — an extension cascade model.
+//!
+//! The paper derives its TCIC model from Independent Cascade and notes that
+//! the classic static models (IC **and LT**) "no longer suffice as they do
+//! not take the temporal aspect into account". TCIC covers the IC side;
+//! this module supplies the analogous Linear-Threshold adaptation, useful
+//! for checking that IRS-selected seeds are robust to the diffusion model
+//! (a model-independence claim the paper makes for the IRS approach).
+//!
+//! Semantics (forward chronological sweep, mirroring Algorithm 1's shape):
+//!
+//! * every node `v` draws a threshold `θ_v ~ U(0, 1]` once per cascade;
+//! * seeds activate at their first outgoing interaction and re-anchor at
+//!   each one, exactly like TCIC seeds;
+//! * an interaction `(u, v, t)` with `u` active and `t − anchor(u) ≤ ω`
+//!   adds `u`'s **influence weight** `w(u→v)` to `v`'s accumulated
+//!   pressure; each active in-neighbour contributes at most once;
+//! * `v` activates when its accumulated pressure reaches `θ_v`, inheriting
+//!   the later of the contributing anchors (the same window-inheritance
+//!   rule as TCIC).
+//!
+//! Influence weights follow the standard LT normalization: `w(u→v) =
+//! c(u, v) / c(·, v)` where `c` counts interactions, so the weights into
+//! each node sum to 1.
+
+use crate::tcic::CascadeOutcome;
+use infprop_hll::hash::FastHashMap;
+use infprop_temporal_graph::{InteractionNetwork, NodeId, Window};
+use rand::Rng;
+
+/// Precomputed LT influence weights: `w(u→v)` per interacting pair.
+#[derive(Clone, Debug)]
+pub struct LtWeights {
+    /// `(src, dst) → weight`, with `Σ_u w(u→v) = 1` for every `v` that has
+    /// any incoming interaction.
+    weights: FastHashMap<(NodeId, NodeId), f64>,
+}
+
+impl LtWeights {
+    /// Derives weights from interaction counts.
+    pub fn from_network(net: &InteractionNetwork) -> Self {
+        let mut pair_counts: FastHashMap<(NodeId, NodeId), u32> = FastHashMap::default();
+        let mut in_counts = vec![0u32; net.num_nodes()];
+        for i in net.iter() {
+            *pair_counts.entry((i.src, i.dst)).or_insert(0) += 1;
+            in_counts[i.dst.index()] += 1;
+        }
+        let weights = pair_counts
+            .into_iter()
+            .map(|((u, v), c)| ((u, v), f64::from(c) / f64::from(in_counts[v.index()])))
+            .collect();
+        LtWeights { weights }
+    }
+
+    /// The weight `w(u→v)`, zero if the pair never interacted.
+    pub fn weight(&self, u: NodeId, v: NodeId) -> f64 {
+        self.weights.get(&(u, v)).copied().unwrap_or(0.0)
+    }
+
+    /// Number of weighted pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+/// Runs one TC-LT cascade; returns the full outcome (same shape as TCIC's).
+pub fn tclt_run(
+    net: &InteractionNetwork,
+    weights: &LtWeights,
+    seeds: &[NodeId],
+    window: Window,
+    rng: &mut impl Rng,
+) -> CascadeOutcome {
+    assert!(window.get() >= 1, "window must be at least 1 time unit");
+    let n = net.num_nodes();
+    let mut active = vec![false; n];
+    let mut anchor: Vec<Option<i64>> = vec![None; n];
+    let mut is_seed = vec![false; n];
+    for &s in seeds {
+        assert!(s.index() < n, "seed {s:?} outside node universe");
+        is_seed[s.index()] = true;
+    }
+    // θ_v ~ U(0, 1]: a zero threshold would activate v with no pressure.
+    let thresholds: Vec<f64> = (0..n).map(|_| 1.0 - rng.gen::<f64>()).collect();
+    let mut pressure = vec![0.0f64; n];
+    // Which active in-neighbours already contributed to v (each counts once).
+    let mut contributed: FastHashMap<(NodeId, NodeId), ()> = FastHashMap::default();
+
+    for i in net.iter() {
+        let (u, v, t) = (i.src.index(), i.dst.index(), i.time.get());
+        if is_seed[u] {
+            active[u] = true;
+            anchor[u] = Some(t);
+        }
+        if !active[u] {
+            continue;
+        }
+        let a = anchor[u].expect("active node carries an anchor");
+        if t - a > window.get() {
+            continue;
+        }
+        if active[v] {
+            // Already active: only the anchor-inheritance rule applies.
+            if anchor[u] > anchor[v] {
+                anchor[v] = anchor[u];
+            }
+            continue;
+        }
+        if contributed.insert((i.src, i.dst), ()).is_none() {
+            pressure[v] += weights.weight(i.src, i.dst);
+        }
+        if pressure[v] >= thresholds[v] {
+            active[v] = true;
+            if anchor[u] > anchor[v] {
+                anchor[v] = anchor[u];
+            }
+        }
+    }
+
+    CascadeOutcome { active, anchor }
+}
+
+/// Average TC-LT spread of `seeds` over `runs` replicates (seeded).
+pub fn tclt_spread(
+    net: &InteractionNetwork,
+    weights: &LtWeights,
+    seeds: &[NodeId],
+    window: Window,
+    runs: usize,
+    seed: u64,
+) -> f64 {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    if runs == 0 {
+        return 0.0;
+    }
+    let total: usize = (0..runs)
+        .map(|i| {
+            let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(i as u64));
+            tclt_run(net, weights, seeds, window, &mut rng).spread()
+        })
+        .sum();
+    total as f64 / runs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xACE)
+    }
+
+    #[test]
+    fn weights_normalize_per_destination() {
+        let net = InteractionNetwork::from_triples([(0, 2, 1), (0, 2, 3), (1, 2, 2), (3, 4, 5)]);
+        let w = LtWeights::from_network(&net);
+        assert!((w.weight(NodeId(0), NodeId(2)) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((w.weight(NodeId(1), NodeId(2)) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(w.weight(NodeId(3), NodeId(4)), 1.0);
+        assert_eq!(w.weight(NodeId(2), NodeId(0)), 0.0);
+        assert_eq!(w.num_pairs(), 3);
+    }
+
+    #[test]
+    fn sole_influencer_always_activates_target() {
+        // v's only in-neighbour has weight 1 ≥ any θ ∈ (0, 1].
+        let net = InteractionNetwork::from_triples([(0, 1, 1), (1, 2, 2)]);
+        let w = LtWeights::from_network(&net);
+        for s in 0..20 {
+            let mut r = SmallRng::seed_from_u64(s);
+            let out = tclt_run(&net, &w, &[NodeId(0)], Window(10), &mut r);
+            assert_eq!(out.spread(), 3, "seed {s}");
+        }
+    }
+
+    #[test]
+    fn window_blocks_late_pressure() {
+        let net = InteractionNetwork::from_triples([(0, 1, 1), (1, 2, 50)]);
+        let w = LtWeights::from_network(&net);
+        let out = tclt_run(&net, &w, &[NodeId(0)], Window(5), &mut rng());
+        assert!(out.active[1]);
+        assert!(!out.active[2]); // 50 − 1 > 5 from the inherited anchor
+    }
+
+    #[test]
+    fn partial_influence_activates_probabilistically() {
+        // Node 2 has two in-neighbours with weight 1/2 each; seeding only
+        // one of them activates 2 iff θ_2 ≤ 0.5 — about half the runs.
+        let net = InteractionNetwork::from_triples([(0, 2, 1), (1, 2, 2), (0, 2, 3)]);
+        // weights: 0->2 = 2/3, 1->2 = 1/3.
+        let w = LtWeights::from_network(&net);
+        let avg = tclt_spread(&net, &w, &[NodeId(0)], Window(10), 600, 7);
+        // Spread is 1 (seed) + P(θ ≤ 2/3).
+        assert!((avg - (1.0 + 2.0 / 3.0)).abs() < 0.1, "avg {avg}");
+    }
+
+    #[test]
+    fn each_pair_contributes_once() {
+        // Repeated interactions from the same active neighbour must not
+        // stack pressure: 0->2 has weight 2/3 < some thresholds even after
+        // two interactions.
+        let net = InteractionNetwork::from_triples([(0, 2, 1), (0, 2, 2), (1, 2, 3)]);
+        let w = LtWeights::from_network(&net);
+        let mut activated = 0;
+        let runs = 400;
+        for s in 0..runs as u64 {
+            let mut r = SmallRng::seed_from_u64(s);
+            if tclt_run(&net, &w, &[NodeId(0)], Window(10), &mut r).active[2] {
+                activated += 1;
+            }
+        }
+        let frac = activated as f64 / runs as f64;
+        assert!((frac - 2.0 / 3.0).abs() < 0.1, "activation rate {frac}");
+    }
+
+    #[test]
+    fn zero_runs_and_empty_seeds() {
+        let net = InteractionNetwork::from_triples([(0, 1, 1)]);
+        let w = LtWeights::from_network(&net);
+        assert_eq!(tclt_spread(&net, &w, &[NodeId(0)], Window(5), 0, 1), 0.0);
+        assert_eq!(tclt_run(&net, &w, &[], Window(5), &mut rng()).spread(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the cascade models.
+
+use infprop_diffusion::{tcic_run, tcic_spread, tclt_run, LtWeights, TcicConfig};
+use infprop_temporal_graph::{InteractionNetwork, NodeId, Window};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn networks() -> impl Strategy<Value = InteractionNetwork> {
+    prop::collection::vec((0u32..12, 0u32..12), 1..60).prop_map(|pairs| {
+        InteractionNetwork::from_triples(
+            pairs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (s, d))| (s, d, i as i64)),
+        )
+    })
+}
+
+proptest! {
+    /// Every infected node is either a seed with an outgoing interaction or
+    /// the destination of some interaction; seeds without activity stay out.
+    #[test]
+    fn tcic_infections_are_explainable(net in networks(), w in 1i64..80, s in 0u32..12, p in 0.0f64..=1.0) {
+        if (s as usize) >= net.num_nodes() {
+            return Ok(());
+        }
+        let seed = NodeId(s);
+        let out = tcic_run(&net, &[seed], Window(w), p, &mut SmallRng::seed_from_u64(1));
+        let has_out = net.iter().any(|i| i.src == seed);
+        for (v, &active) in out.active.iter().enumerate() {
+            if !active {
+                continue;
+            }
+            let v = NodeId::from_index(v);
+            if v == seed {
+                prop_assert!(has_out, "inactive seed got infected");
+            } else {
+                prop_assert!(
+                    net.iter().any(|i| i.dst == v),
+                    "{v:?} infected without any incoming interaction"
+                );
+            }
+        }
+        // Active nodes always carry an anchor.
+        for (v, &active) in out.active.iter().enumerate() {
+            if active {
+                prop_assert!(out.anchor[v].is_some());
+            }
+        }
+    }
+
+    /// Monotonicity in p on averages: spread at higher infection
+    /// probability dominates (same replicate count and seeds).
+    #[test]
+    fn tcic_spread_monotone_in_probability(net in networks(), w in 1i64..80, s in 0u32..12) {
+        if (s as usize) >= net.num_nodes() {
+            return Ok(());
+        }
+        let lo = tcic_spread(
+            &net,
+            &[NodeId(s)],
+            &TcicConfig::new(Window(w), 0.2).with_runs(80).with_seed(9),
+        );
+        let hi = tcic_spread(
+            &net,
+            &[NodeId(s)],
+            &TcicConfig::new(Window(w), 0.9).with_runs(80).with_seed(9),
+        );
+        // Per-replicate RNG streams differ once draws diverge, so compare
+        // averages with slack for Monte-Carlo noise.
+        prop_assert!(hi + 1.0 >= lo, "hi {} lo {}", hi, lo);
+    }
+
+    /// The p = 1 cascade from a seed set equals the union of the single-seed
+    /// p = 1 cascades (deterministic reachability unions).
+    #[test]
+    fn tcic_deterministic_cascades_union(net in networks(), w in 1i64..80, a in 0u32..12, b in 0u32..12) {
+        let n = net.num_nodes() as u32;
+        if a >= n || b >= n {
+            return Ok(());
+        }
+        let mut rng = SmallRng::seed_from_u64(0);
+        let ra = tcic_run(&net, &[NodeId(a)], Window(w), 1.0, &mut rng);
+        let rb = tcic_run(&net, &[NodeId(b)], Window(w), 1.0, &mut rng);
+        let rab = tcic_run(&net, &[NodeId(a), NodeId(b)], Window(w), 1.0, &mut rng);
+        for v in 0..net.num_nodes() {
+            prop_assert_eq!(
+                rab.active[v],
+                ra.active[v] || rb.active[v],
+                "node {} differs", v
+            );
+        }
+    }
+
+    /// TC-LT activations are explainable too, and the cascade is contained
+    /// in the TCIC p = 1 cascade (thresholds can only lose activations).
+    #[test]
+    fn tclt_contained_in_tcic(net in networks(), w in 1i64..80, s in 0u32..12, rng_seed in 0u64..20) {
+        if (s as usize) >= net.num_nodes() {
+            return Ok(());
+        }
+        let weights = LtWeights::from_network(&net);
+        let lt = tclt_run(
+            &net,
+            &weights,
+            &[NodeId(s)],
+            Window(w),
+            &mut SmallRng::seed_from_u64(rng_seed),
+        );
+        let ic = tcic_run(
+            &net,
+            &[NodeId(s)],
+            Window(w),
+            1.0,
+            &mut SmallRng::seed_from_u64(rng_seed),
+        );
+        for v in 0..net.num_nodes() {
+            prop_assert!(
+                !lt.active[v] || ic.active[v],
+                "TC-LT infected {} that TCIC(p=1) cannot reach", v
+            );
+        }
+    }
+
+    /// LT weights into any node sum to 1 (or the node has no incoming
+    /// interaction at all).
+    #[test]
+    fn lt_weights_normalized(net in networks()) {
+        let weights = LtWeights::from_network(&net);
+        for v in net.node_ids() {
+            let total: f64 = net
+                .node_ids()
+                .map(|u| weights.weight(u, v))
+                .sum();
+            let has_in = net.iter().any(|i| i.dst == v);
+            if has_in {
+                prop_assert!((total - 1.0).abs() < 1e-9, "node {:?} sums to {}", v, total);
+            } else {
+                prop_assert_eq!(total, 0.0);
+            }
+        }
+    }
+}

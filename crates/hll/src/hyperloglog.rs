@@ -1,0 +1,389 @@
+//! Classic HyperLogLog cardinality sketch (Flajolet et al., AofA 2007).
+//!
+//! A HyperLogLog with precision `k` keeps `β = 2^k` one-byte registers. For
+//! each incoming 64-bit hash `h`, the low `k` bits pick a register `ι(h)`
+//! and `ρ(h)` — the 1-based position of the least-significant set bit of the
+//! remaining bits (the convention used in the paper, §3.2.1) — updates the
+//! register to `max(register, ρ)`. The harmonic-mean estimator with
+//! small-range (linear-counting) correction recovers the number of distinct
+//! items within a relative standard error of about `1.04 / sqrt(β)`.
+//!
+//! Unions are lossless: register-wise max of two sketches equals the sketch
+//! of the union of the two streams — the property the influence oracle
+//! (paper §4.1) exploits.
+
+use crate::hash;
+
+/// Supported precision range: `β = 2^k` registers for `k ∈ [4, 16]`.
+pub const MIN_PRECISION: u8 = 4;
+/// See [`MIN_PRECISION`].
+pub const MAX_PRECISION: u8 = 16;
+
+/// A classic HyperLogLog sketch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HyperLogLog {
+    precision: u8,
+    registers: Vec<u8>,
+}
+
+/// Splits a 64-bit hash into `(register index, ρ)` for precision `k`.
+///
+/// The low `k` bits index the register; ρ is the position (1-based) of the
+/// least-significant 1 bit of the remaining `64 − k` bits, capped at
+/// `64 − k + 1` when those bits are all zero.
+#[inline]
+pub(crate) fn split_hash(h: u64, precision: u8) -> (usize, u8) {
+    let idx = (h & ((1u64 << precision) - 1)) as usize;
+    let rest = h >> precision;
+    let max_rho = 64 - precision as u32 + 1;
+    let rho = if rest == 0 {
+        max_rho
+    } else {
+        rest.trailing_zeros() + 1
+    };
+    (idx, rho as u8)
+}
+
+/// The bias-correction constant `α_β` from the HLL paper.
+#[inline]
+fn alpha(num_registers: usize) -> f64 {
+    match num_registers {
+        16 => 0.673,
+        32 => 0.697,
+        64 => 0.709,
+        m => 0.7213 / (1.0 + 1.079 / m as f64),
+    }
+}
+
+/// Estimates cardinality from a register array (shared by [`HyperLogLog`]
+/// and the versioned sketch, whose per-cell maxima form the same array).
+pub(crate) fn estimate_from_registers(registers: &[u8]) -> f64 {
+    let m = registers.len() as f64;
+    let mut sum = 0.0f64;
+    let mut zeros = 0usize;
+    for &r in registers {
+        // r ≤ 64 − k + 1 ≤ 61, so the shift cannot overflow.
+        sum += 1.0 / (1u64 << r) as f64;
+        if r == 0 {
+            zeros += 1;
+        }
+    }
+    let raw = alpha(registers.len()) * m * m / sum;
+    // Small-range correction: fall back to linear counting while registers
+    // remain empty. (No large-range correction is needed with 64-bit hashes.)
+    if raw <= 2.5 * m && zeros > 0 {
+        m * (m / zeros as f64).ln()
+    } else {
+        raw
+    }
+}
+
+impl HyperLogLog {
+    /// Creates an empty sketch with `β = 2^precision` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precision` is outside `[4, 16]`.
+    pub fn new(precision: u8) -> Self {
+        assert!(
+            (MIN_PRECISION..=MAX_PRECISION).contains(&precision),
+            "precision must be in [{MIN_PRECISION}, {MAX_PRECISION}], got {precision}"
+        );
+        HyperLogLog {
+            precision,
+            registers: vec![0; 1 << precision],
+        }
+    }
+
+    /// The precision `k` (so `β = 2^k`).
+    #[inline]
+    pub fn precision(&self) -> u8 {
+        self.precision
+    }
+
+    /// Number of registers `β`.
+    #[inline]
+    pub fn num_registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Adds an already-hashed item.
+    #[inline]
+    pub fn add_hash(&mut self, h: u64) {
+        let (idx, rho) = split_hash(h, self.precision);
+        if rho > self.registers[idx] {
+            self.registers[idx] = rho;
+        }
+    }
+
+    /// Hashes and adds a `u64` item.
+    #[inline]
+    pub fn add_u64(&mut self, item: u64) {
+        self.add_hash(hash::hash64(item));
+    }
+
+    /// Estimates the number of distinct items added.
+    pub fn estimate(&self) -> f64 {
+        estimate_from_registers(&self.registers)
+    }
+
+    /// The theoretical relative standard error `≈ 1.04 / sqrt(β)`.
+    pub fn relative_error(&self) -> f64 {
+        1.04 / (self.num_registers() as f64).sqrt()
+    }
+
+    /// Union: register-wise maximum. Both sketches must share a precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics on precision mismatch.
+    pub fn merge(&mut self, other: &HyperLogLog) {
+        assert_eq!(
+            self.precision, other.precision,
+            "cannot merge HLL sketches of different precision"
+        );
+        for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
+            if b > *a {
+                *a = b;
+            }
+        }
+    }
+
+    /// Estimates the cardinality of the union of `self` and `other` without
+    /// materializing the merged sketch — the hot operation of greedy
+    /// influence maximization (one marginal-gain probe per candidate).
+    ///
+    /// # Panics
+    ///
+    /// Panics on precision mismatch.
+    pub fn estimate_union(&self, other: &HyperLogLog) -> f64 {
+        assert_eq!(
+            self.precision, other.precision,
+            "cannot union HLL sketches of different precision"
+        );
+        let m = self.registers.len() as f64;
+        let mut sum = 0.0f64;
+        let mut zeros = 0usize;
+        for (&a, &b) in self.registers.iter().zip(&other.registers) {
+            let r = a.max(b);
+            sum += 1.0 / (1u64 << r) as f64;
+            if r == 0 {
+                zeros += 1;
+            }
+        }
+        let raw = alpha(self.registers.len()) * m * m / sum;
+        if raw <= 2.5 * m && zeros > 0 {
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+
+    /// Whether no item has ever been added.
+    pub fn is_empty(&self) -> bool {
+        self.registers.iter().all(|&r| r == 0)
+    }
+
+    /// Resets all registers to zero.
+    pub fn clear(&mut self) {
+        self.registers.fill(0);
+    }
+
+    /// Direct access to the register array (read-only).
+    pub fn registers(&self) -> &[u8] {
+        &self.registers
+    }
+
+    /// Builds a sketch from an explicit register array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two in `[2^4, 2^16]`.
+    pub fn from_registers(registers: Vec<u8>) -> Self {
+        let len = registers.len();
+        assert!(
+            len.is_power_of_two() && ((1 << MIN_PRECISION)..=(1 << MAX_PRECISION)).contains(&len),
+            "register array length must be a power of two in [16, 65536]"
+        );
+        HyperLogLog {
+            precision: len.trailing_zeros() as u8,
+            registers,
+        }
+    }
+
+    /// Heap bytes used by the sketch (for memory accounting, Table 4).
+    pub fn heap_bytes(&self) -> usize {
+        self.registers.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_hash_uses_low_bits_for_index() {
+        // k = 4: low 4 bits index, then trailing zeros of the rest + 1.
+        // h = 0b...101_0110: idx = 0b0110 = 6, rest = ...101 -> rho = 1.
+        let (idx, rho) = split_hash(0b101_0110, 4);
+        assert_eq!(idx, 6);
+        assert_eq!(rho, 1);
+        // rest with two trailing zeros -> rho 3.
+        let (_, rho) = split_hash(0b100_0000, 4);
+        assert_eq!(rho, 3);
+        // all-zero rest saturates at 64 - k + 1.
+        let (idx, rho) = split_hash(0b1111, 4);
+        assert_eq!(idx, 15);
+        assert_eq!(rho, 61);
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let s = HyperLogLog::new(9);
+        assert!(s.is_empty());
+        assert_eq!(s.estimate(), 0.0);
+    }
+
+    #[test]
+    fn duplicates_do_not_change_sketch() {
+        let mut s = HyperLogLog::new(8);
+        s.add_u64(42);
+        let snapshot = s.clone();
+        for _ in 0..100 {
+            s.add_u64(42);
+        }
+        assert_eq!(s, snapshot);
+    }
+
+    #[test]
+    fn small_cardinalities_are_near_exact() {
+        let mut s = HyperLogLog::new(10);
+        for v in 0..100u64 {
+            s.add_u64(v);
+        }
+        let est = s.estimate();
+        assert!((est - 100.0).abs() < 10.0, "estimate {est}");
+    }
+
+    #[test]
+    fn large_cardinality_within_error_bound() {
+        for &precision in &[6u8, 9, 12] {
+            let mut s = HyperLogLog::new(precision);
+            let n = 50_000u64;
+            for v in 0..n {
+                s.add_u64(v);
+            }
+            let est = s.estimate();
+            let rel = (est - n as f64).abs() / n as f64;
+            // Allow 5 standard errors.
+            assert!(
+                rel < 5.0 * s.relative_error(),
+                "k={precision}: rel err {rel} vs bound {}",
+                5.0 * s.relative_error()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = HyperLogLog::new(9);
+        let mut b = HyperLogLog::new(9);
+        let mut u = HyperLogLog::new(9);
+        for v in 0..3000u64 {
+            a.add_u64(v);
+            u.add_u64(v);
+        }
+        for v in 2000..6000u64 {
+            b.add_u64(v);
+            u.add_u64(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, u);
+    }
+
+    #[test]
+    fn estimate_union_matches_materialized_merge() {
+        let mut a = HyperLogLog::new(9);
+        let mut b = HyperLogLog::new(9);
+        for v in 0..4000u64 {
+            a.add_u64(v);
+        }
+        for v in 3000..9000u64 {
+            b.add_u64(v);
+        }
+        let lazy = a.estimate_union(&b);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(lazy, merged.estimate());
+        // Union with an empty sketch is the original estimate.
+        assert_eq!(a.estimate_union(&HyperLogLog::new(9)), a.estimate());
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_commutative() {
+        let mut a = HyperLogLog::new(7);
+        let mut b = HyperLogLog::new(7);
+        for v in 0..500u64 {
+            if v % 2 == 0 {
+                a.add_u64(v);
+            } else {
+                b.add_u64(v);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let mut abb = ab.clone();
+        abb.merge(&b);
+        assert_eq!(abb, ab);
+    }
+
+    #[test]
+    #[should_panic(expected = "different precision")]
+    fn merge_precision_mismatch_panics() {
+        let mut a = HyperLogLog::new(8);
+        let b = HyperLogLog::new(9);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision must be in")]
+    fn bad_precision_panics() {
+        let _ = HyperLogLog::new(3);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = HyperLogLog::new(6);
+        s.add_u64(1);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn from_registers_roundtrip() {
+        let mut s = HyperLogLog::new(5);
+        for v in 0..200u64 {
+            s.add_u64(v);
+        }
+        let rebuilt = HyperLogLog::from_registers(s.registers().to_vec());
+        assert_eq!(rebuilt, s);
+        assert_eq!(rebuilt.precision(), 5);
+    }
+
+    #[test]
+    fn paper_example_sketch_updates() {
+        // §3.2.1 example: 4 cells, arrivals (c3,2), (c1,3), (c0,7), (c2,2),
+        // (c1,2) yield registers [7, 3, 2, 2].
+        let mut regs = vec![0u8; 4];
+        for (cell, rho) in [(3, 2), (1, 3), (0, 7), (2, 2), (1, 2)] {
+            if rho > regs[cell] {
+                regs[cell] = rho;
+            }
+        }
+        assert_eq!(regs, vec![7, 3, 2, 2]);
+    }
+}

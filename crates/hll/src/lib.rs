@@ -1,0 +1,42 @@
+//! From-scratch cardinality sketches for the `infprop` workspace.
+//!
+//! Three pieces live here:
+//!
+//! * [`hash`] — deterministic 64-bit mixing (splitmix64 family) used to hash
+//!   node ids into sketches, plus a fast non-cryptographic [`std::hash::Hasher`]
+//!   for node-keyed hash maps (HashDoS is not a threat model for an offline
+//!   analytics library, so we trade SipHash for speed, the same reasoning as
+//!   `rustc-hash`).
+//! * [`HyperLogLog`] — the classic Flajolet–Fusy–Gandouet–Meunier sketch:
+//!   `β = 2^k` one-byte registers, harmonic-mean estimator with small-range
+//!   correction, lossless unions by register-wise max.
+//! * [`VersionedHll`] — the paper's contribution at the sketch level
+//!   (§3.2.2): each register holds a *time-versioned list* of `(ρ, t)` pairs
+//!   under dominance pruning, so the sketch can be merged into a predecessor
+//!   node's sketch **at an earlier anchor time** while honouring the maximal
+//!   channel duration ω. This is the engine of the approximate IRS algorithm.
+//!
+//! # Example
+//!
+//! ```
+//! use infprop_hll::{hash, HyperLogLog};
+//!
+//! let mut sketch = HyperLogLog::new(9); // β = 512 registers, paper default
+//! for v in 0u64..10_000 {
+//!     sketch.add_hash(hash::hash64(v));
+//! }
+//! let est = sketch.estimate();
+//! assert!((est - 10_000.0).abs() / 10_000.0 < 0.10);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hash;
+mod hyperloglog;
+mod serialize;
+mod vhll;
+
+pub use hyperloglog::HyperLogLog;
+pub use serialize::{CodecError, FORMAT_VERSION};
+pub use vhll::{VersionEntry, VersionedHll};

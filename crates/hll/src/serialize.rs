@@ -1,0 +1,298 @@
+//! Compact binary serialization for sketches.
+//!
+//! The influence oracle is a build-once / query-many structure: computing
+//! the per-node sketches takes one pass over the (possibly huge) interaction
+//! log, but the sketches themselves are small. This module provides a tiny,
+//! dependency-free binary codec so oracles can be persisted and reloaded:
+//!
+//! * [`HyperLogLog`]: `"IPHL"` magic, format version, precision, raw
+//!   register bytes.
+//! * [`VersionedHll`]: `"IPVH"` magic, format version, precision, per-cell
+//!   entry counts and `(time: i64 LE, ρ: u8)` pairs.
+//!
+//! All integers are little-endian. Readers validate magic, version,
+//! precision bounds and structural invariants, so corrupted or truncated
+//! inputs fail loudly instead of producing broken sketches.
+
+use crate::hyperloglog::{HyperLogLog, MAX_PRECISION, MIN_PRECISION};
+use crate::vhll::{VersionEntry, VersionedHll};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u8 = 1;
+
+const HLL_MAGIC: &[u8; 4] = b"IPHL";
+const VHLL_MAGIC: &[u8; 4] = b"IPVH";
+
+/// Errors produced while decoding a sketch.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying I/O failure (including truncation).
+    Io(io::Error),
+    /// The input does not start with the expected magic bytes.
+    BadMagic,
+    /// The input uses an unsupported format version.
+    BadVersion(u8),
+    /// Structurally invalid content (precision out of range, broken
+    /// invariants, implausible lengths).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "i/o error: {e}"),
+            CodecError::BadMagic => write!(f, "bad magic bytes (not a sketch file)"),
+            CodecError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            CodecError::Corrupt(what) => write!(f, "corrupt sketch data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+fn read_exact<const N: usize>(r: &mut impl Read) -> Result<[u8; N], CodecError> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn check_header(r: &mut impl Read, magic: &[u8; 4]) -> Result<u8, CodecError> {
+    let got: [u8; 4] = read_exact(r)?;
+    if &got != magic {
+        return Err(CodecError::BadMagic);
+    }
+    let [version] = read_exact::<1>(r)?;
+    if version != FORMAT_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let [precision] = read_exact::<1>(r)?;
+    if !(MIN_PRECISION..=MAX_PRECISION).contains(&precision) {
+        return Err(CodecError::Corrupt("precision out of range"));
+    }
+    Ok(precision)
+}
+
+impl HyperLogLog {
+    /// Writes the sketch in the `IPHL` format.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), CodecError> {
+        w.write_all(HLL_MAGIC)?;
+        w.write_all(&[FORMAT_VERSION, self.precision()])?;
+        w.write_all(self.registers())?;
+        Ok(())
+    }
+
+    /// Reads a sketch written by [`write_to`](Self::write_to).
+    pub fn read_from(r: &mut impl Read) -> Result<Self, CodecError> {
+        let precision = check_header(r, HLL_MAGIC)?;
+        let mut registers = vec![0u8; 1usize << precision];
+        r.read_exact(&mut registers)?;
+        let max_rho = 64 - precision + 1;
+        if registers.iter().any(|&b| b > max_rho) {
+            return Err(CodecError::Corrupt("register exceeds maximal rho"));
+        }
+        Ok(HyperLogLog::from_registers(registers))
+    }
+
+    /// Serializes to an owned byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(6 + self.num_registers());
+        self.write_to(&mut out).expect("writing to Vec cannot fail");
+        out
+    }
+
+    /// Deserializes from a byte slice.
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, CodecError> {
+        Self::read_from(&mut bytes)
+    }
+}
+
+impl VersionedHll {
+    /// Writes the sketch in the `IPVH` format.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), CodecError> {
+        w.write_all(VHLL_MAGIC)?;
+        w.write_all(&[FORMAT_VERSION, self.precision()])?;
+        for cell in 0..self.num_cells() {
+            let entries = self.cell(cell);
+            let len = u32::try_from(entries.len())
+                .map_err(|_| CodecError::Corrupt("cell list too long to encode"))?;
+            w.write_all(&len.to_le_bytes())?;
+            for e in entries {
+                w.write_all(&e.time.to_le_bytes())?;
+                w.write_all(&[e.rho])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a sketch written by [`write_to`](Self::write_to); validates
+    /// the dominance invariant on every cell.
+    pub fn read_from(r: &mut impl Read) -> Result<Self, CodecError> {
+        let precision = check_header(r, VHLL_MAGIC)?;
+        let mut sketch = VersionedHll::new(precision);
+        let max_rho = 64 - precision + 1;
+        for cell in 0..sketch.num_cells() {
+            let len = u32::from_le_bytes(read_exact(r)?) as usize;
+            if len > 1 << 20 {
+                return Err(CodecError::Corrupt("implausible cell length"));
+            }
+            let mut prev: Option<VersionEntry> = None;
+            for _ in 0..len {
+                let time = i64::from_le_bytes(read_exact(r)?);
+                let [rho] = read_exact::<1>(r)?;
+                if rho == 0 || rho > max_rho {
+                    return Err(CodecError::Corrupt("rho out of range"));
+                }
+                if let Some(p) = prev {
+                    if !(p.time < time && p.rho < rho) {
+                        return Err(CodecError::Corrupt("dominance invariant violated"));
+                    }
+                }
+                prev = Some(VersionEntry { time, rho });
+                if !sketch.insert_raw(cell, rho, time) {
+                    return Err(CodecError::Corrupt("redundant version entry"));
+                }
+            }
+        }
+        Ok(sketch)
+    }
+
+    /// Serializes to an owned byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_to(&mut out).expect("writing to Vec cannot fail");
+        out
+    }
+
+    /// Deserializes from a byte slice.
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, CodecError> {
+        Self::read_from(&mut bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hll_roundtrip() {
+        let mut s = HyperLogLog::new(7);
+        for v in 0..5_000u64 {
+            s.add_u64(v);
+        }
+        let bytes = s.to_bytes();
+        let back = HyperLogLog::from_bytes(&bytes).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(bytes.len(), 6 + 128);
+    }
+
+    #[test]
+    fn vhll_roundtrip() {
+        let mut s = VersionedHll::new(6);
+        for v in 0..2_000u64 {
+            s.add_u64(v, 5_000 - v as i64);
+        }
+        let back = VersionedHll::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(back, s);
+        assert!(back.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn empty_sketches_roundtrip() {
+        let h = HyperLogLog::new(4);
+        assert_eq!(HyperLogLog::from_bytes(&h.to_bytes()).unwrap(), h);
+        let v = VersionedHll::new(4);
+        assert_eq!(VersionedHll::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = HyperLogLog::new(5).to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            HyperLogLog::from_bytes(&bytes),
+            Err(CodecError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = VersionedHll::new(5).to_bytes();
+        bytes[4] = 99;
+        assert!(matches!(
+            VersionedHll::from_bytes(&bytes),
+            Err(CodecError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = {
+            let mut s = HyperLogLog::new(6);
+            s.add_u64(9);
+            s.to_bytes()
+        };
+        assert!(matches!(
+            HyperLogLog::from_bytes(&bytes[..bytes.len() - 3]),
+            Err(CodecError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_register_is_rejected() {
+        let mut bytes = HyperLogLog::new(4).to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] = 255; // rho cannot exceed 61 at precision 4
+        assert!(matches!(
+            HyperLogLog::from_bytes(&bytes),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn broken_invariant_is_rejected() {
+        // Hand-craft a vHLL payload whose cell violates the invariant:
+        // two entries with non-increasing rho.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"IPVH");
+        bytes.push(FORMAT_VERSION);
+        bytes.push(4); // precision -> 16 cells
+                       // cell 0: 2 entries (t=1, rho=5), (t=2, rho=5)
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&1i64.to_le_bytes());
+        bytes.push(5);
+        bytes.extend_from_slice(&2i64.to_le_bytes());
+        bytes.push(5);
+        for _ in 1..16 {
+            bytes.extend_from_slice(&0u32.to_le_bytes());
+        }
+        assert!(matches!(
+            VersionedHll::from_bytes(&bytes),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        assert!(CodecError::BadMagic.to_string().contains("magic"));
+        assert!(CodecError::BadVersion(3).to_string().contains('3'));
+        let io_err = CodecError::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        assert!(io_err.source().is_some());
+        assert!(CodecError::Corrupt("x").source().is_none());
+    }
+}

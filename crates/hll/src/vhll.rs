@@ -1,0 +1,479 @@
+//! The versioned HyperLogLog (vHLL) sketch — §3.2.2 of the paper.
+//!
+//! A plain HyperLogLog register keeps only the maximum ρ ever seen, which is
+//! wrong for the IRS computation: when a sketch is merged into a
+//! *predecessor* node's sketch at an earlier anchor time `t`, only the items
+//! whose information channel ends within `[t, t + ω − 1]` may contribute. The
+//! vHLL therefore keeps, per register, a **version list** of `(ρ, time)`
+//! pairs under dominance pruning:
+//!
+//! > `(ρ′, t′)` *dominates* `(ρ, t)` iff `t′ ≤ t` and `ρ′ ≥ ρ`.
+//!
+//! A dominated pair can never be the in-window maximum for any anchor, so it
+//! is dropped. The surviving list, sorted by **strictly increasing time, has
+//! strictly increasing ρ** — the core invariant of this module (checked by
+//! [`VersionedHll::check_invariants`] and property tests). Lemma 4 of the
+//! paper shows the expected list length is `O(log ω)`.
+//!
+//! The sketch supports:
+//!
+//! * [`add_hash`](VersionedHll::add_hash) — insert an item observed at a time,
+//! * [`merge_from`](VersionedHll::merge_from) — the window-filtered merge used
+//!   when processing an interaction `(u, v, t)` in reverse time order
+//!   (`φ(u) ← φ(u) ∪ {entries of φ(v) ending within ω of t}`),
+//! * [`estimate`](VersionedHll::estimate) — cardinality of *all* items ever
+//!   retained (the size of the node's IRS),
+//! * [`estimate_window`](VersionedHll::estimate_window) — sliding-window
+//!   cardinality at an arbitrary anchor (the sliding-window HLL view of
+//!   Kumar et al., ECML-PKDD 2015, that inspired the sketch),
+//! * [`to_hyperloglog`](VersionedHll::to_hyperloglog) — collapse to a plain
+//!   HLL of per-cell maxima, enabling O(β) influence-oracle unions.
+
+use crate::hash;
+use crate::hyperloglog::split_hash;
+use crate::hyperloglog::{estimate_from_registers, HyperLogLog, MAX_PRECISION, MIN_PRECISION};
+
+/// One `(ρ, time)` version pair in a register's list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VersionEntry {
+    /// Observation time (for IRS: the channel's earliest end time `λ`).
+    pub time: i64,
+    /// The ρ value (1-based least-significant-set-bit position).
+    pub rho: u8,
+}
+
+/// A versioned HyperLogLog sketch with `β = 2^precision` registers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VersionedHll {
+    precision: u8,
+    cells: Vec<Vec<VersionEntry>>,
+}
+
+impl VersionedHll {
+    /// Creates an empty sketch with `β = 2^precision` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precision` is outside `[4, 16]`.
+    pub fn new(precision: u8) -> Self {
+        assert!(
+            (MIN_PRECISION..=MAX_PRECISION).contains(&precision),
+            "precision must be in [{MIN_PRECISION}, {MAX_PRECISION}], got {precision}"
+        );
+        VersionedHll {
+            precision,
+            cells: vec![Vec::new(); 1 << precision],
+        }
+    }
+
+    /// The precision `k` (so `β = 2^k`).
+    #[inline]
+    pub fn precision(&self) -> u8 {
+        self.precision
+    }
+
+    /// Number of cells `β`.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Adds an already-hashed item observed at `time`.
+    ///
+    /// Returns `true` if the sketch changed (the pair was not dominated).
+    #[inline]
+    pub fn add_hash(&mut self, h: u64, time: i64) -> bool {
+        let (idx, rho) = split_hash(h, self.precision);
+        Self::insert_entry(&mut self.cells[idx], rho, time)
+    }
+
+    /// Hashes and adds a `u64` item observed at `time`.
+    #[inline]
+    pub fn add_u64(&mut self, item: u64, time: i64) -> bool {
+        self.add_hash(hash::hash64(item), time)
+    }
+
+    /// The `ApproxAdd` routine (paper Alg. 3): inserts `(ρ, time)` into a
+    /// cell list unless dominated; removes every pair the new one dominates.
+    ///
+    /// The list is kept sorted by strictly increasing time with strictly
+    /// increasing ρ, so both checks are binary searches plus a bounded scan.
+    fn insert_entry(cell: &mut Vec<VersionEntry>, rho: u8, time: i64) -> bool {
+        // Dominated? Some (ρ′, t′) with t′ ≤ time has ρ′ ≥ rho. Since ρ grows
+        // with t, the strongest candidate is the last entry with t′ ≤ time.
+        let pos_le = cell.partition_point(|e| e.time <= time);
+        if pos_le > 0 && cell[pos_le - 1].rho >= rho {
+            return false;
+        }
+        // Remove pairs the newcomer dominates: t′ ≥ time and ρ′ ≤ rho — a
+        // contiguous run starting at the first entry with t′ ≥ time.
+        let pos_lt = cell.partition_point(|e| e.time < time);
+        let mut end = pos_lt;
+        while end < cell.len() && cell[end].rho <= rho {
+            end += 1;
+        }
+        cell.splice(pos_lt..end, std::iter::once(VersionEntry { time, rho }));
+        true
+    }
+
+    /// The `ApproxMerge` routine (paper Alg. 3): folds `other` into `self`,
+    /// keeping only pairs whose time lies within the window anchored at
+    /// `anchor`, i.e. `e.time − anchor < window` (equivalently
+    /// `e.time − anchor + 1 ≤ ω`).
+    ///
+    /// In the IRS reverse scan, `anchor` is the current interaction's
+    /// timestamp and `other` is the destination node's sketch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on precision mismatch.
+    pub fn merge_from(&mut self, other: &VersionedHll, anchor: i64, window: i64) {
+        assert_eq!(
+            self.precision, other.precision,
+            "cannot merge vHLL sketches of different precision"
+        );
+        let limit = anchor.saturating_add(window);
+        for (mine, theirs) in self.cells.iter_mut().zip(&other.cells) {
+            // Times are increasing, so the in-window pairs form a prefix.
+            let take = theirs.partition_point(|e| e.time < limit);
+            for e in &theirs[..take] {
+                Self::insert_entry(mine, e.rho, e.time);
+            }
+        }
+    }
+
+    /// Unfiltered union of two version sketches (all pairs merged under
+    /// dominance). Equivalent to `merge_from` with an unbounded window and
+    /// an anchor at −∞.
+    pub fn merge_all(&mut self, other: &VersionedHll) {
+        self.merge_from(other, i64::MIN / 4, i64::MAX / 2);
+    }
+
+    /// Estimates the number of distinct items ever retained: the per-cell
+    /// maximum ρ is the **last** list entry (the invariant makes it so), and
+    /// the plain HLL estimator does the rest.
+    pub fn estimate(&self) -> f64 {
+        let registers: Vec<u8> = self
+            .cells
+            .iter()
+            .map(|c| c.last().map_or(0, |e| e.rho))
+            .collect();
+        estimate_from_registers(&registers)
+    }
+
+    /// Sliding-window estimate: the number of distinct items observed within
+    /// `[anchor, anchor + window − 1]`.
+    ///
+    /// # Contract
+    ///
+    /// Like the paper's sliding-window sketch, this is sound under the
+    /// **reverse-time discipline**: insertions arrive in non-increasing time
+    /// order and the query `anchor` is at or before the earliest insertion
+    /// time processed so far. Querying a *later* anchor after earlier-time
+    /// insertions may undercount, because dominance pruning has already
+    /// discarded pairs that only such out-of-discipline queries would need.
+    /// ([`estimate`](Self::estimate), by contrast, is always exact w.r.t. the
+    /// retained maxima: a dominating pair has ρ′ ≥ ρ, so per-cell maxima are
+    /// unaffected by pruning.)
+    pub fn estimate_window(&self, anchor: i64, window: i64) -> f64 {
+        let limit = anchor.saturating_add(window);
+        let registers: Vec<u8> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let lo = c.partition_point(|e| e.time < anchor);
+                let hi = c.partition_point(|e| e.time < limit);
+                if hi > lo {
+                    c[hi - 1].rho // ρ increases with time: last in range is max
+                } else {
+                    0
+                }
+            })
+            .collect();
+        estimate_from_registers(&registers)
+    }
+
+    /// Collapses to a plain [`HyperLogLog`] of per-cell maxima. The result
+    /// estimates the same cardinality as [`estimate`](Self::estimate) and can
+    /// be unioned in `O(β)` — the influence-oracle fast path (paper §4.1).
+    pub fn to_hyperloglog(&self) -> HyperLogLog {
+        HyperLogLog::from_registers(
+            self.cells
+                .iter()
+                .map(|c| c.last().map_or(0, |e| e.rho))
+                .collect(),
+        )
+    }
+
+    /// Streaming-window maintenance (paper §3.2.2: "periodically entries
+    /// (r, t) with t − tcurrent + 1 > ω are removed"): drops pairs too far in
+    /// the future of `anchor` to ever fall inside the window again.
+    ///
+    /// Not used by the reverse-scan IRS algorithm (whose pairs stay valid for
+    /// the anchors already processed), but part of the sliding-window sketch.
+    pub fn prune_outside(&mut self, anchor: i64, window: i64) {
+        let limit = anchor.saturating_add(window);
+        for cell in &mut self.cells {
+            cell.retain(|e| e.time < limit);
+        }
+    }
+
+    /// Total number of version pairs across all cells.
+    pub fn total_entries(&self) -> usize {
+        self.cells.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no item was ever retained.
+    pub fn is_empty(&self) -> bool {
+        self.cells.iter().all(Vec::is_empty)
+    }
+
+    /// Heap bytes held by the sketch (cell headers + version pairs), used by
+    /// the Table 4 memory accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.cells.capacity() * std::mem::size_of::<Vec<VersionEntry>>()
+            + self
+                .cells
+                .iter()
+                .map(|c| c.capacity() * std::mem::size_of::<VersionEntry>())
+                .sum::<usize>()
+    }
+
+    /// Read-only view of a cell's version list (tests, debugging).
+    pub fn cell(&self, idx: usize) -> &[VersionEntry] {
+        &self.cells[idx]
+    }
+
+    /// Verifies the core invariant: every cell is sorted by strictly
+    /// increasing time with strictly increasing ρ. Returns the offending
+    /// cell index on failure.
+    pub fn check_invariants(&self) -> Result<(), usize> {
+        for (i, cell) in self.cells.iter().enumerate() {
+            for w in cell.windows(2) {
+                if !(w[0].time < w[1].time && w[0].rho < w[1].rho) {
+                    return Err(i);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Direct cell-level insertion for tests that need to script exact
+    /// `(cell, ρ, time)` sequences (like the paper's worked examples).
+    pub fn insert_raw(&mut self, cell_idx: usize, rho: u8, time: i64) -> bool {
+        Self::insert_entry(&mut self.cells[cell_idx], rho, time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(sketch: &VersionedHll, idx: usize) -> Vec<(u8, i64)> {
+        sketch.cell(idx).iter().map(|e| (e.rho, e.time)).collect()
+    }
+
+    /// The paper's Example 3: reverse-processing the stream e,d,c,a,b,a.
+    #[test]
+    fn paper_example_3_add_sequence() {
+        let mut s = VersionedHll::new(4); // 16 cells; example uses 4, ids 0..3
+                                          // (item, ι, ρ, t): processed in reverse order of original stream.
+        let updates = [
+            (1usize, 3u8, 6i64), // a @ t6
+            (3, 1, 5),           // b @ t5
+            (1, 3, 4),           // a @ t4 — earlier copy replaces (3, t6)
+            (3, 2, 3),           // c @ t3 — dominates (1, t5)
+            (2, 2, 2),           // d @ t2
+            (2, 1, 1),           // e @ t1 — kept alongside (2, t2)
+        ];
+        for (cell, rho, t) in updates {
+            s.insert_raw(cell, rho, t);
+        }
+        assert_eq!(entries(&s, 0), vec![]);
+        assert_eq!(entries(&s, 1), vec![(3, 4)]);
+        assert_eq!(entries(&s, 2), vec![(1, 1), (2, 2)]);
+        assert_eq!(entries(&s, 3), vec![(2, 3)]);
+        assert!(s.check_invariants().is_ok());
+    }
+
+    /// The paper's Example 4: merging two version sketches.
+    #[test]
+    fn paper_example_4_merge() {
+        let mut a = VersionedHll::new(4);
+        a.insert_raw(1, 3, 4);
+        a.insert_raw(2, 1, 1);
+        a.insert_raw(2, 2, 2);
+        a.insert_raw(3, 2, 3);
+
+        let mut b = VersionedHll::new(4);
+        b.insert_raw(0, 5, 1);
+        b.insert_raw(1, 3, 2);
+        b.insert_raw(2, 4, 3);
+        b.insert_raw(3, 1, 4);
+
+        a.merge_all(&b);
+        assert_eq!(entries(&a, 0), vec![(5, 1)]);
+        assert_eq!(entries(&a, 1), vec![(3, 2)]); // (3,t2) dominates (3,t4)
+        assert_eq!(entries(&a, 2), vec![(1, 1), (2, 2), (4, 3)]);
+        assert_eq!(entries(&a, 3), vec![(2, 3)]); // (2,t3) dominates (1,t4)
+        assert!(a.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn dominated_insert_is_rejected() {
+        let mut s = VersionedHll::new(4);
+        assert!(s.insert_raw(0, 5, 10));
+        // Same ρ, later time: dominated.
+        assert!(!s.insert_raw(0, 5, 12));
+        // Smaller ρ, later time: dominated.
+        assert!(!s.insert_raw(0, 3, 11));
+        // Same time, smaller ρ: dominated.
+        assert!(!s.insert_raw(0, 4, 10));
+        assert_eq!(entries(&s, 0), vec![(5, 10)]);
+    }
+
+    #[test]
+    fn newcomer_evicts_dominated_entries() {
+        let mut s = VersionedHll::new(4);
+        s.insert_raw(0, 1, 10);
+        s.insert_raw(0, 2, 20);
+        s.insert_raw(0, 7, 30);
+        // (4, 5) dominates (1,10) and (2,20) but not (7,30).
+        assert!(s.insert_raw(0, 4, 5));
+        assert_eq!(entries(&s, 0), vec![(4, 5), (7, 30)]);
+        // Same time, larger ρ evicts the equal-time entry.
+        assert!(s.insert_raw(0, 5, 5));
+        assert_eq!(entries(&s, 0), vec![(5, 5), (7, 30)]);
+    }
+
+    #[test]
+    fn merge_respects_window_filter() {
+        let mut dst = VersionedHll::new(4);
+        let mut src = VersionedHll::new(4);
+        src.insert_raw(0, 2, 10);
+        src.insert_raw(0, 4, 50);
+        // anchor 8, window 5 → keep times < 13 only.
+        dst.merge_from(&src, 8, 5);
+        assert_eq!(entries(&dst, 0), vec![(2, 10)]);
+        // Unbounded keeps everything.
+        let mut dst2 = VersionedHll::new(4);
+        dst2.merge_all(&src);
+        assert_eq!(entries(&dst2, 0), vec![(2, 10), (4, 50)]);
+    }
+
+    #[test]
+    fn estimate_counts_distinct_items() {
+        let mut s = VersionedHll::new(10);
+        let n = 20_000u64;
+        for v in 0..n {
+            s.add_u64(v, (v % 100) as i64);
+        }
+        let est = s.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.15, "relative error {rel}");
+        // Duplicates at later times change nothing.
+        let snapshot = s.clone();
+        for v in 0..n {
+            s.add_u64(v, 1_000);
+        }
+        assert_eq!(s, snapshot);
+    }
+
+    #[test]
+    fn estimate_matches_collapsed_hll() {
+        let mut s = VersionedHll::new(8);
+        for v in 0..5_000u64 {
+            s.add_u64(v, (v as i64) % 37);
+        }
+        let hll = s.to_hyperloglog();
+        assert_eq!(s.estimate(), hll.estimate());
+    }
+
+    #[test]
+    fn estimate_window_sees_only_in_window_items() {
+        // Reverse-time discipline: the late batch (times 100..110) is
+        // inserted first, queries anchor at the current frontier.
+        let mut s = VersionedHll::new(10);
+        for v in 1000..2000u64 {
+            s.add_u64(v, 100 + (v % 10) as i64);
+        }
+        let late = s.estimate_window(100, 50);
+        assert!((late - 1000.0).abs() / 1000.0 < 0.2, "late {late}");
+
+        for v in 0..1000u64 {
+            s.add_u64(v, (v % 10) as i64);
+        }
+        // Window [0, 50) sees only the early batch.
+        let early = s.estimate_window(0, 50);
+        assert!((early - 1000.0).abs() / 1000.0 < 0.2, "early {early}");
+        // A window covering everything sees both batches: eviction only ever
+        // removes a pair in favour of a dominating pair inside any window
+        // that contained it, so per-cell maxima are preserved.
+        let all = s.estimate_window(0, 1000);
+        assert!((all - 2000.0).abs() / 2000.0 < 0.2, "all {all}");
+        assert_eq!(s.estimate_window(500, 10), 0.0);
+    }
+
+    #[test]
+    fn prune_outside_drops_future_entries() {
+        let mut s = VersionedHll::new(4);
+        s.insert_raw(0, 1, 5);
+        s.insert_raw(0, 3, 30);
+        s.prune_outside(0, 10); // keep times < 10
+        assert_eq!(entries(&s, 0), vec![(1, 5)]);
+    }
+
+    #[test]
+    fn empty_sketch_properties() {
+        let s = VersionedHll::new(6);
+        assert!(s.is_empty());
+        assert_eq!(s.estimate(), 0.0);
+        assert_eq!(s.total_entries(), 0);
+        assert!(s.check_invariants().is_ok());
+        assert!(s.heap_bytes() >= 64 * std::mem::size_of::<Vec<VersionEntry>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "different precision")]
+    fn merge_precision_mismatch_panics() {
+        let mut a = VersionedHll::new(4);
+        let b = VersionedHll::new(5);
+        a.merge_all(&b);
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut a = VersionedHll::new(6);
+        let mut b = VersionedHll::new(6);
+        for v in 0..200u64 {
+            b.add_u64(v, (v % 40) as i64);
+        }
+        a.merge_all(&b);
+        let once = a.clone();
+        a.merge_all(&b);
+        assert_eq!(a, once);
+    }
+
+    #[test]
+    fn total_entries_and_heap_bytes_grow() {
+        let mut s = VersionedHll::new(4);
+        let before = s.heap_bytes();
+        // Decreasing times with increasing rho stack up (none dominates).
+        for i in 0..10u8 {
+            s.insert_raw(0, 10 - i, i64::from(i));
+        }
+        // With decreasing rho over increasing... here times 0..9 and rho 10..1:
+        // each later (smaller-rho, larger-time) insert is dominated.
+        assert_eq!(s.total_entries(), 1);
+        for i in 0..10u8 {
+            s.insert_raw(1, i + 1, -i64::from(i));
+        }
+        // Each newcomer (earlier time, larger rho) dominates the previous.
+        assert_eq!(s.cell(1).len(), 1);
+        s.insert_raw(2, 1, 0);
+        s.insert_raw(2, 2, 1);
+        s.insert_raw(2, 3, 2);
+        assert_eq!(s.cell(2).len(), 3);
+        assert!(s.heap_bytes() > before);
+    }
+}

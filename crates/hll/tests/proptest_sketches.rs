@@ -1,0 +1,220 @@
+//! Property tests for the HyperLogLog and versioned-HLL sketches.
+
+use infprop_hll::{HyperLogLog, VersionedHll};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Random `(item, time)` streams in decreasing time order (the reverse-scan
+/// discipline the IRS algorithm uses).
+fn reverse_stream() -> impl Strategy<Value = Vec<(u64, i64)>> {
+    prop::collection::vec((0u64..500, 0i64..1000), 0..300).prop_map(|mut v| {
+        v.sort_by_key(|&(_, t)| std::cmp::Reverse(t));
+        v
+    })
+}
+
+proptest! {
+    /// HLL merge equals the sketch of the concatenated streams.
+    #[test]
+    fn hll_merge_is_union(
+        xs in prop::collection::vec(any::<u64>(), 0..500),
+        ys in prop::collection::vec(any::<u64>(), 0..500),
+    ) {
+        let mut a = HyperLogLog::new(6);
+        let mut b = HyperLogLog::new(6);
+        let mut u = HyperLogLog::new(6);
+        for &x in &xs { a.add_u64(x); u.add_u64(x); }
+        for &y in &ys { b.add_u64(y); u.add_u64(y); }
+        a.merge(&b);
+        prop_assert_eq!(a, u);
+    }
+
+    /// HLL is insertion-order independent and duplicate-insensitive.
+    #[test]
+    fn hll_order_independent(mut xs in prop::collection::vec(any::<u64>(), 0..300)) {
+        let mut fwd = HyperLogLog::new(7);
+        for &x in &xs { fwd.add_u64(x); }
+        xs.reverse();
+        xs.extend_from_slice(&xs.clone()); // duplicates
+        let mut rev = HyperLogLog::new(7);
+        for &x in &xs { rev.add_u64(x); }
+        prop_assert_eq!(fwd, rev);
+    }
+
+    /// HLL estimate is within loose statistical bounds of the true count.
+    #[test]
+    fn hll_estimate_reasonable(xs in prop::collection::vec(0u64..100_000, 1..2000)) {
+        let truth = xs.iter().collect::<HashSet<_>>().len() as f64;
+        let mut s = HyperLogLog::new(10);
+        for &x in &xs { s.add_u64(x); }
+        let est = s.estimate();
+        // 10 standard errors at k=10 (±3.3%) → about ±33%; generous so the
+        // property never flakes while still catching broken estimators.
+        prop_assert!((est - truth).abs() <= truth.max(8.0) * 0.33 + 8.0,
+            "est {} truth {}", est, truth);
+    }
+
+    /// vHLL invariant (strictly increasing time ⇒ strictly increasing ρ)
+    /// survives arbitrary insertion sequences.
+    #[test]
+    fn vhll_invariant_holds(stream in prop::collection::vec((0u64..500, -200i64..200), 0..400)) {
+        let mut s = VersionedHll::new(4);
+        for (item, t) in stream {
+            s.add_u64(item, t);
+        }
+        prop_assert!(s.check_invariants().is_ok());
+    }
+
+    /// vHLL `estimate` equals the plain-HLL estimate of the same item set,
+    /// whatever the timestamps: versioning never loses per-cell maxima.
+    #[test]
+    fn vhll_estimate_matches_plain_hll(stream in prop::collection::vec((0u64..1000, -100i64..100), 0..500)) {
+        let mut v = VersionedHll::new(6);
+        let mut h = HyperLogLog::new(6);
+        for &(item, t) in &stream {
+            v.add_u64(item, t);
+            h.add_u64(item);
+        }
+        prop_assert_eq!(v.estimate(), h.estimate());
+        prop_assert_eq!(v.to_hyperloglog(), h);
+    }
+
+    /// Unfiltered vHLL merge equals inserting both streams into one sketch.
+    #[test]
+    fn vhll_merge_all_is_union(
+        xs in prop::collection::vec((0u64..300, -50i64..50), 0..200),
+        ys in prop::collection::vec((0u64..300, -50i64..50), 0..200),
+    ) {
+        let mut a = VersionedHll::new(5);
+        let mut b = VersionedHll::new(5);
+        let mut u = VersionedHll::new(5);
+        for &(x, t) in &xs { a.add_u64(x, t); u.add_u64(x, t); }
+        for &(y, t) in &ys { b.add_u64(y, t); u.add_u64(y, t); }
+        a.merge_all(&b);
+        prop_assert_eq!(a.to_hyperloglog(), u.to_hyperloglog());
+        prop_assert!(a.check_invariants().is_ok());
+    }
+
+    /// Window-filtered merge only admits in-window pairs: the merged sketch
+    /// never exceeds (per cell) what inserting the filtered pairs produces.
+    #[test]
+    fn vhll_merge_filter_equals_manual_filter(
+        xs in prop::collection::vec((0u64..300, 0i64..100), 0..200),
+        anchor in 0i64..100,
+        window in 1i64..100,
+    ) {
+        let mut src = VersionedHll::new(5);
+        for &(x, t) in &xs { src.add_u64(x, t); }
+        let mut merged = VersionedHll::new(5);
+        merged.merge_from(&src, anchor, window);
+        // Manual: re-insert only the retained pairs that pass the filter.
+        let mut manual = VersionedHll::new(5);
+        for c in 0..src.num_cells() {
+            for e in src.cell(c) {
+                if e.time - anchor < window {
+                    manual.insert_raw(c, e.rho, e.time);
+                }
+            }
+        }
+        prop_assert_eq!(merged, manual);
+    }
+
+    /// Under the reverse-time discipline, the windowed estimate anchored at
+    /// the stream frontier tracks the true windowed distinct count.
+    #[test]
+    fn vhll_windowed_estimate_under_discipline(stream in reverse_stream(), window in 1i64..500) {
+        let mut s = VersionedHll::new(10);
+        for &(item, t) in &stream {
+            s.add_u64(item, t);
+        }
+        if let Some(&(_, frontier)) = stream.last() {
+            let truth = stream
+                .iter()
+                .filter(|&&(_, t)| t - frontier < window)
+                .map(|&(item, _)| item)
+                .collect::<HashSet<_>>()
+                .len() as f64;
+            let est = s.estimate_window(frontier, window);
+            prop_assert!((est - truth).abs() <= truth.max(8.0) * 0.35 + 8.0,
+                "est {} truth {}", est, truth);
+        }
+    }
+
+    /// Dominance: inserting any pair twice (second time with a later or
+    /// equal timestamp) leaves the sketch unchanged.
+    #[test]
+    fn vhll_duplicate_later_is_noop(stream in prop::collection::vec((0u64..200, 0i64..100), 1..200), delta in 0i64..50) {
+        let mut s = VersionedHll::new(5);
+        for &(item, t) in &stream { s.add_u64(item, t); }
+        let snapshot = s.clone();
+        for &(item, t) in &stream { s.add_u64(item, t + delta); }
+        prop_assert_eq!(s, snapshot);
+    }
+}
+
+/// Codec robustness: decoders must return clean errors — never panic —
+/// whatever bytes they are fed.
+mod codec_fuzz {
+    use infprop_hll::{HyperLogLog, VersionedHll};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arbitrary garbage never panics either decoder.
+        #[test]
+        fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+            let _ = HyperLogLog::from_bytes(&bytes);
+            let _ = VersionedHll::from_bytes(&bytes);
+        }
+
+        /// Single-byte mutations of a valid HLL payload either round-trip
+        /// (the byte was redundant or still valid) or fail cleanly.
+        #[test]
+        fn mutated_hll_never_panics(
+            items in prop::collection::vec(any::<u64>(), 0..200),
+            pos_seed in any::<usize>(),
+            new_byte in any::<u8>(),
+        ) {
+            let mut s = HyperLogLog::new(5);
+            for &x in &items {
+                s.add_u64(x);
+            }
+            let mut bytes = s.to_bytes();
+            let pos = pos_seed % bytes.len();
+            bytes[pos] = new_byte;
+            let _ = HyperLogLog::from_bytes(&bytes);
+        }
+
+        /// Same for the versioned sketch (richer structure, richer ways to
+        /// be corrupt).
+        #[test]
+        fn mutated_vhll_never_panics(
+            items in prop::collection::vec((any::<u64>(), -1000i64..1000), 0..200),
+            pos_seed in any::<usize>(),
+            new_byte in any::<u8>(),
+        ) {
+            let mut s = VersionedHll::new(4);
+            for &(x, t) in &items {
+                s.add_u64(x, t);
+            }
+            let mut bytes = s.to_bytes();
+            let pos = pos_seed % bytes.len();
+            bytes[pos] = new_byte;
+            let _ = VersionedHll::from_bytes(&bytes);
+        }
+
+        /// Truncation at any point fails cleanly.
+        #[test]
+        fn truncated_vhll_never_panics(
+            items in prop::collection::vec((any::<u64>(), 0i64..100), 1..100),
+            cut_seed in any::<usize>(),
+        ) {
+            let mut s = VersionedHll::new(4);
+            for &(x, t) in &items {
+                s.add_u64(x, t);
+            }
+            let bytes = s.to_bytes();
+            let cut = cut_seed % bytes.len();
+            let _ = VersionedHll::from_bytes(&bytes[..cut]);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for the temporal-graph substrate.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while building or loading interaction networks.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying I/O failure while reading or writing an edge list.
+    Io(io::Error),
+    /// A malformed line in an edge-list file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of what was wrong.
+        message: String,
+    },
+    /// The input contained no interactions where at least one was required.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Empty => write!(f, "interaction network is empty"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad timestamp".into(),
+        };
+        assert_eq!(format!("{e}"), "parse error on line 3: bad timestamp");
+        assert_eq!(
+            format!("{}", GraphError::Empty),
+            "interaction network is empty"
+        );
+        let io_err = GraphError::from(io::Error::new(io::ErrorKind::NotFound, "nope"));
+        assert!(format!("{io_err}").contains("nope"));
+    }
+
+    #[test]
+    fn io_source_is_propagated() {
+        use std::error::Error;
+        let e = GraphError::from(io::Error::other("disk"));
+        assert!(e.source().is_some());
+        assert!(GraphError::Empty.source().is_none());
+    }
+}

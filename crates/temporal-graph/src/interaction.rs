@@ -1,0 +1,111 @@
+//! A single timestamped, directed interaction.
+
+use crate::types::{NodeId, Timestamp};
+use std::fmt;
+
+/// A directed interaction `(src, dst, time)`: `src` contacted `dst` at `time`.
+///
+/// Interactions are the atoms of an
+/// [`InteractionNetwork`](crate::InteractionNetwork). They are `Copy` and
+/// 16 bytes, so slices of interactions stream through the one-pass IRS
+/// algorithms cache-friendly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interaction {
+    /// Source node (the sender).
+    pub src: NodeId,
+    /// Destination node (the receiver).
+    pub dst: NodeId,
+    /// Time of the interaction.
+    pub time: Timestamp,
+}
+
+impl Interaction {
+    /// Creates an interaction from its parts.
+    #[inline]
+    pub fn new(src: NodeId, dst: NodeId, time: Timestamp) -> Self {
+        Interaction { src, dst, time }
+    }
+
+    /// Creates an interaction from raw `(u32, u32, i64)` values.
+    #[inline]
+    pub fn from_raw(src: u32, dst: u32, time: i64) -> Self {
+        Interaction {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            time: Timestamp(time),
+        }
+    }
+
+    /// Is this a self-loop (`src == dst`)?
+    ///
+    /// Self-loops carry no propagation information (a node always "knows"
+    /// its own message) and are dropped by the network builder.
+    #[inline]
+    pub fn is_self_loop(&self) -> bool {
+        self.src == self.dst
+    }
+
+    /// The interaction with source and destination swapped, same time.
+    #[inline]
+    pub fn reversed(&self) -> Self {
+        Interaction {
+            src: self.dst,
+            dst: self.src,
+            time: self.time,
+        }
+    }
+}
+
+impl fmt::Debug for Interaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?} -> {:?} @ {:?})", self.src, self.dst, self.time)
+    }
+}
+
+impl From<(u32, u32, i64)> for Interaction {
+    #[inline]
+    fn from((s, d, t): (u32, u32, i64)) -> Self {
+        Interaction::from_raw(s, d, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interaction_is_16_bytes() {
+        // Keep the hot streaming type compact; see perf notes in DESIGN.md.
+        assert_eq!(std::mem::size_of::<Interaction>(), 16);
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let i = Interaction::from_raw(1, 2, 8);
+        assert_eq!(i.src, NodeId(1));
+        assert_eq!(i.dst, NodeId(2));
+        assert_eq!(i.time, Timestamp(8));
+        assert!(!i.is_self_loop());
+        assert!(Interaction::from_raw(3, 3, 1).is_self_loop());
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints_only() {
+        let i = Interaction::from_raw(1, 2, 8);
+        let r = i.reversed();
+        assert_eq!(r, Interaction::from_raw(2, 1, 8));
+        assert_eq!(r.reversed(), i);
+    }
+
+    #[test]
+    fn debug_format() {
+        let i = Interaction::from_raw(0, 5, 3);
+        assert_eq!(format!("{i:?}"), "(n0 -> n5 @ t3)");
+    }
+
+    #[test]
+    fn from_tuple() {
+        let i: Interaction = (7, 9, 100).into();
+        assert_eq!(i, Interaction::from_raw(7, 9, 100));
+    }
+}

@@ -1,0 +1,94 @@
+//! String-label → dense [`NodeId`] interner for dataset loading.
+
+use crate::types::NodeId;
+use std::collections::HashMap;
+
+/// Maps arbitrary node labels (user names, sparse integer ids, …) onto the
+/// dense `0..n` id space used by every algorithm in the workspace.
+///
+/// Ids are assigned in first-seen order, so loading the same file twice
+/// yields identical ids — important for reproducible experiments.
+#[derive(Clone, Debug, Default)]
+pub struct NodeInterner {
+    by_label: HashMap<String, NodeId>,
+    labels: Vec<String>,
+}
+
+impl NodeInterner {
+    /// A fresh, empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interner pre-sized for about `n` distinct labels.
+    pub fn with_capacity(n: usize) -> Self {
+        NodeInterner {
+            by_label: HashMap::with_capacity(n),
+            labels: Vec::with_capacity(n),
+        }
+    }
+
+    /// Returns the id for `label`, allocating the next dense id on first use.
+    pub fn intern(&mut self, label: &str) -> NodeId {
+        if let Some(&id) = self.by_label.get(label) {
+            return id;
+        }
+        let id = NodeId::from_index(self.labels.len());
+        self.by_label.insert(label.to_owned(), id);
+        self.labels.push(label.to_owned());
+        id
+    }
+
+    /// Looks up an already-interned label.
+    pub fn get(&self, label: &str) -> Option<NodeId> {
+        self.by_label.get(label).copied()
+    }
+
+    /// The label behind an id, if the id was allocated by this interner.
+    pub fn label(&self, id: NodeId) -> Option<&str> {
+        self.labels.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assigns_dense_ids_in_first_seen_order() {
+        let mut it = NodeInterner::new();
+        assert_eq!(it.intern("alice"), NodeId(0));
+        assert_eq!(it.intern("bob"), NodeId(1));
+        assert_eq!(it.intern("alice"), NodeId(0));
+        assert_eq!(it.intern("carol"), NodeId(2));
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn lookup_and_reverse_lookup() {
+        let mut it = NodeInterner::with_capacity(4);
+        it.intern("x");
+        it.intern("y");
+        assert_eq!(it.get("x"), Some(NodeId(0)));
+        assert_eq!(it.get("z"), None);
+        assert_eq!(it.label(NodeId(1)), Some("y"));
+        assert_eq!(it.label(NodeId(9)), None);
+    }
+
+    #[test]
+    fn empty_state() {
+        let it = NodeInterner::new();
+        assert!(it.is_empty());
+        assert_eq!(it.len(), 0);
+    }
+}

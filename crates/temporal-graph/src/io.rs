@@ -1,0 +1,173 @@
+//! Plain-text edge-list I/O for interaction networks.
+//!
+//! The supported format is the SNAP-style whitespace-separated triple
+//! `src dst time`, one interaction per line; `#`-prefixed lines and blank
+//! lines are comments. Node labels may be arbitrary tokens — they are mapped
+//! to dense ids by a [`NodeInterner`]. Timestamps must parse as `i64`.
+//!
+//! Reading is buffered with a single reusable line buffer (no per-line
+//! allocation for the numeric fast path), per the I/O guidance in the Rust
+//! performance notes this workspace follows.
+
+use crate::error::GraphError;
+use crate::interaction::Interaction;
+use crate::interner::NodeInterner;
+use crate::network::{InteractionNetwork, InteractionNetworkBuilder};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Result of loading a labelled edge list: the network plus the label map.
+#[derive(Debug)]
+pub struct LoadedNetwork {
+    /// The parsed network.
+    pub network: InteractionNetwork,
+    /// Label ↔ id mapping discovered while parsing.
+    pub interner: NodeInterner,
+}
+
+/// Reads an interaction network from any `Read` source.
+///
+/// Each non-comment line must be `src dst time` (whitespace- or
+/// comma-separated). Labels are interned in first-seen order.
+pub fn read_interactions<R: Read>(reader: R) -> Result<LoadedNetwork, GraphError> {
+    let mut reader = BufReader::new(reader);
+    let mut interner = NodeInterner::new();
+    let mut builder = InteractionNetworkBuilder::new();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed
+            .split(|c: char| c.is_whitespace() || c == ',')
+            .filter(|f| !f.is_empty());
+        let (src, dst, time) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(s), Some(d), Some(t)) => (s, d, t),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message: format!("expected `src dst time`, got {trimmed:?}"),
+                })
+            }
+        };
+        let time: i64 = time.parse().map_err(|_| GraphError::Parse {
+            line: lineno,
+            message: format!("invalid timestamp {time:?}"),
+        })?;
+        let src = interner.intern(src);
+        let dst = interner.intern(dst);
+        builder.push(Interaction::new(src, dst, time.into()));
+    }
+    let network = builder.build();
+    network.check_invariants()?;
+    Ok(LoadedNetwork { network, interner })
+}
+
+/// Reads an interaction network from a file path. See [`read_interactions`].
+pub fn read_interactions_path<P: AsRef<Path>>(path: P) -> Result<LoadedNetwork, GraphError> {
+    read_interactions(File::open(path)?)
+}
+
+/// Writes a network as `src dst time` lines (dense numeric ids), sorted by
+/// ascending time. Round-trips through [`read_interactions`].
+pub fn write_interactions<W: Write>(net: &InteractionNetwork, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    for i in net.iter() {
+        writeln!(w, "{} {} {}", i.src, i.dst, i.time)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a network to a file path. See [`write_interactions`].
+pub fn write_interactions_path<P: AsRef<Path>>(
+    net: &InteractionNetwork,
+    path: P,
+) -> Result<(), GraphError> {
+    write_interactions(net, File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{NodeId, Timestamp};
+
+    #[test]
+    fn parses_whitespace_and_comments() {
+        let text = "# an email log\n\nalice bob 5\nbob  carol\t7\n";
+        let loaded = read_interactions(text.as_bytes()).unwrap();
+        assert_eq!(loaded.network.num_interactions(), 2);
+        assert_eq!(loaded.network.num_nodes(), 3);
+        assert_eq!(loaded.interner.get("alice"), Some(NodeId(0)));
+        assert_eq!(loaded.interner.get("carol"), Some(NodeId(2)));
+        let first = loaded.network.iter().next().unwrap();
+        assert_eq!(first.time, Timestamp(5));
+    }
+
+    #[test]
+    fn parses_comma_separated() {
+        let text = "1,2,10\n2,3,20\n";
+        let loaded = read_interactions(text.as_bytes()).unwrap();
+        assert_eq!(loaded.network.num_interactions(), 2);
+    }
+
+    #[test]
+    fn rejects_short_lines() {
+        let err = read_interactions("a b\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_timestamp() {
+        let err = read_interactions("a b xyz\n".as_bytes()).unwrap_err();
+        assert!(format!("{err}").contains("invalid timestamp"));
+    }
+
+    #[test]
+    fn negative_timestamps_allowed() {
+        let loaded = read_interactions("a b -5\nb c 0\n".as_bytes()).unwrap();
+        assert_eq!(loaded.network.min_time(), Some(Timestamp(-5)));
+        assert_eq!(loaded.network.time_span(), 6);
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let net = InteractionNetwork::from_triples([(0, 1, 3), (1, 2, 1), (2, 0, 2)]);
+        let mut buf = Vec::new();
+        write_interactions(&net, &mut buf).unwrap();
+        let reparsed = read_interactions(buf.as_slice()).unwrap().network;
+        assert_eq!(reparsed.num_interactions(), net.num_interactions());
+        let a: Vec<_> = net.iter().map(|i| i.time.0).collect();
+        let b: Vec<_> = reparsed.iter().map(|i| i.time.0).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_network() {
+        let loaded = read_interactions("# only comments\n".as_bytes()).unwrap();
+        assert!(loaded.network.is_empty());
+    }
+
+    #[test]
+    fn path_roundtrip() {
+        let dir = std::env::temp_dir().join("infprop-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.txt");
+        let net = InteractionNetwork::from_triples([(0, 1, 1), (1, 2, 2)]);
+        write_interactions_path(&net, &path).unwrap();
+        let loaded = read_interactions_path(&path).unwrap();
+        assert_eq!(loaded.network.num_interactions(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

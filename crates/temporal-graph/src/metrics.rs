@@ -1,0 +1,250 @@
+//! Temporal and structural metrics of interaction networks.
+//!
+//! These quantities characterize the *shape* of an interaction log — the
+//! properties the synthetic generators in `infprop-datasets` are tuned to
+//! reproduce and the evaluation narrative relies on: heavy-tailed activity,
+//! repeated contacts, reciprocity, and bursty timing.
+
+use crate::network::InteractionNetwork;
+use crate::types::NodeId;
+
+/// Summary of a non-negative integer distribution (degrees, counts).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistributionSummary {
+    /// Largest value.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Gini coefficient in `[0, 1]` (0 = perfectly even, → 1 = one node
+    /// holds everything). The standard inequality measure for degree skew.
+    pub gini: f64,
+}
+
+impl DistributionSummary {
+    /// Computes the summary of a value vector (order irrelevant).
+    pub fn of(values: &[u64]) -> Self {
+        if values.is_empty() {
+            return DistributionSummary {
+                max: 0,
+                mean: 0.0,
+                gini: 0.0,
+            };
+        }
+        let n = values.len() as f64;
+        let total: u64 = values.iter().sum();
+        let mean = total as f64 / n;
+        let max = *values.iter().max().expect("non-empty");
+        let gini = if total == 0 {
+            0.0
+        } else {
+            let mut sorted = values.to_vec();
+            sorted.sort_unstable();
+            // G = (2 Σ_i i·x_i) / (n Σ x) − (n + 1)/n, with 1-based ranks.
+            let weighted: f64 = sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+                .sum();
+            (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+        };
+        DistributionSummary { max, mean, gini }
+    }
+}
+
+/// Temporal shape of a network: inter-arrival statistics and burstiness.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TemporalProfile {
+    /// Mean gap between consecutive interactions (global clock).
+    pub mean_gap: f64,
+    /// Standard deviation of the gaps.
+    pub std_gap: f64,
+    /// Goh–Barabási burstiness `B = (σ − μ) / (σ + μ)` of the inter-arrival
+    /// gaps: −1 for perfectly regular, 0 for Poisson, → 1 for extreme bursts.
+    pub burstiness: f64,
+}
+
+/// Out-degree distribution of the interaction multigraph (repeats counted).
+pub fn interaction_out_degree_summary(net: &InteractionNetwork) -> DistributionSummary {
+    let degs: Vec<u64> = net
+        .interaction_out_degrees()
+        .into_iter()
+        .map(u64::from)
+        .collect();
+    DistributionSummary::of(&degs)
+}
+
+/// Fraction of distinct static edges `(u, v)` whose reverse `(v, u)` also
+/// occurs — conversation-ness of the network.
+pub fn reciprocity(net: &InteractionNetwork) -> f64 {
+    let g = net.to_static();
+    let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    if edges.is_empty() {
+        return 0.0;
+    }
+    let set: std::collections::HashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
+    let mutual = edges
+        .iter()
+        .filter(|&&(u, v)| set.contains(&(v, u)))
+        .count();
+    mutual as f64 / edges.len() as f64
+}
+
+/// Average number of interactions per distinct static edge — how strongly
+/// repeated contacts collapse when flattening (≫ 1 for email networks).
+pub fn contact_repetition(net: &InteractionNetwork) -> f64 {
+    let static_edges = net.to_static().num_edges();
+    if static_edges == 0 {
+        return 0.0;
+    }
+    net.num_interactions() as f64 / static_edges as f64
+}
+
+/// Computes the temporal profile from consecutive interaction gaps.
+pub fn temporal_profile(net: &InteractionNetwork) -> TemporalProfile {
+    let times: Vec<i64> = net.iter().map(|i| i.time.get()).collect();
+    if times.len() < 2 {
+        return TemporalProfile {
+            mean_gap: 0.0,
+            std_gap: 0.0,
+            burstiness: 0.0,
+        };
+    }
+    let gaps: Vec<f64> = times.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+    let n = gaps.len() as f64;
+    let mean = gaps.iter().sum::<f64>() / n;
+    let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n;
+    let std = var.sqrt();
+    let burstiness = if std + mean == 0.0 {
+        0.0
+    } else {
+        (std - mean) / (std + mean)
+    };
+    TemporalProfile {
+        mean_gap: mean,
+        std_gap: std,
+        burstiness,
+    }
+}
+
+/// Histogram of interaction counts over `bins` equal time slices.
+pub fn activity_timeline(net: &InteractionNetwork, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "need at least one bin");
+    let mut hist = vec![0usize; bins];
+    let (Some(lo), span) = (net.min_time(), net.time_span()) else {
+        return hist;
+    };
+    if span == 0 {
+        return hist;
+    }
+    for i in net.iter() {
+        let offset = i.time.delta(lo);
+        let b = ((offset as u128 * bins as u128) / span as u128) as usize;
+        hist[b.min(bins - 1)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_summary_even_and_skewed() {
+        let even = DistributionSummary::of(&[5, 5, 5, 5]);
+        assert_eq!(even.max, 5);
+        assert_eq!(even.mean, 5.0);
+        assert!(even.gini.abs() < 1e-9);
+
+        let skewed = DistributionSummary::of(&[0, 0, 0, 100]);
+        assert_eq!(skewed.max, 100);
+        assert!(skewed.gini > 0.7, "gini {}", skewed.gini);
+        assert!(skewed.gini <= 1.0);
+    }
+
+    #[test]
+    fn distribution_summary_edge_cases() {
+        let empty = DistributionSummary::of(&[]);
+        assert_eq!(
+            empty,
+            DistributionSummary {
+                max: 0,
+                mean: 0.0,
+                gini: 0.0
+            }
+        );
+        let zeros = DistributionSummary::of(&[0, 0]);
+        assert_eq!(zeros.gini, 0.0);
+    }
+
+    #[test]
+    fn reciprocity_counts_mutual_edges() {
+        // 0<->1 mutual; 0->2 one-way.
+        let net = InteractionNetwork::from_triples([(0, 1, 1), (1, 0, 2), (0, 2, 3)]);
+        let r = reciprocity(&net);
+        assert!((r - 2.0 / 3.0).abs() < 1e-12, "r {r}");
+        let empty = InteractionNetwork::from_triples(std::iter::empty());
+        assert_eq!(reciprocity(&empty), 0.0);
+    }
+
+    #[test]
+    fn contact_repetition_measures_collapse() {
+        let net = InteractionNetwork::from_triples([(0, 1, 1), (0, 1, 2), (0, 1, 3), (1, 2, 4)]);
+        assert_eq!(contact_repetition(&net), 2.0); // 4 interactions / 2 edges
+    }
+
+    #[test]
+    fn regular_clock_has_negative_burstiness() {
+        let net =
+            InteractionNetwork::from_triples((0..100u32).map(|i| (0, 1 + i % 3, i as i64 * 10)));
+        let p = temporal_profile(&net);
+        assert_eq!(p.mean_gap, 10.0);
+        assert!(p.burstiness < -0.99, "burstiness {}", p.burstiness);
+    }
+
+    #[test]
+    fn bursty_clock_has_positive_burstiness() {
+        // 50 interactions at consecutive ticks, then a huge gap, then 50 more.
+        let mut triples = Vec::new();
+        for i in 0..50u32 {
+            triples.push((0, 1 + i % 3, i as i64));
+        }
+        for i in 0..50u32 {
+            triples.push((1, 2 + i % 3, 1_000_000 + i as i64));
+        }
+        let p = temporal_profile(&InteractionNetwork::from_triples(triples));
+        assert!(p.burstiness > 0.5, "burstiness {}", p.burstiness);
+    }
+
+    #[test]
+    fn timeline_bins_sum_to_interactions() {
+        let net =
+            InteractionNetwork::from_triples((0..97u32).map(|i| (i % 5, (i + 1) % 5, i as i64)));
+        let hist = activity_timeline(&net, 10);
+        assert_eq!(hist.len(), 10);
+        assert_eq!(hist.iter().sum::<usize>(), 97);
+    }
+
+    #[test]
+    fn timeline_handles_tiny_networks() {
+        let one = InteractionNetwork::from_triples([(0, 1, 5)]);
+        let hist = activity_timeline(&one, 4);
+        assert_eq!(hist.iter().sum::<usize>(), 1);
+        let empty = InteractionNetwork::from_triples(std::iter::empty());
+        assert_eq!(activity_timeline(&empty, 4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn degree_summary_on_star() {
+        let net = InteractionNetwork::from_triples((1..=20u32).map(|v| (0, v, v as i64)));
+        let s = interaction_out_degree_summary(&net);
+        assert_eq!(s.max, 20);
+        assert!(s.gini > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one bin")]
+    fn zero_bins_panics() {
+        let net = InteractionNetwork::from_triples([(0, 1, 1)]);
+        let _ = activity_timeline(&net, 0);
+    }
+}

@@ -1,0 +1,415 @@
+//! The [`InteractionNetwork`] container and its builder.
+
+use crate::error::GraphError;
+use crate::interaction::Interaction;
+use crate::static_graph::StaticGraph;
+use crate::types::{NodeId, Timestamp, Window};
+
+/// A time-ordered interaction network `G(V, E)`.
+///
+/// Nodes are dense ids `0..num_nodes`. Interactions are stored sorted by
+/// ascending timestamp (ties keep their insertion order), which makes both
+/// the forward chronological scan (used by the TCIC simulator) and the
+/// reverse scan (used by the one-pass IRS algorithms, per Lemma 1 of the
+/// paper) a cache-friendly sweep over one contiguous slice.
+///
+/// Self-loops are dropped at construction: a node trivially "reaches" itself
+/// and the paper's reachability sets never include the source.
+#[derive(Clone, Debug)]
+pub struct InteractionNetwork {
+    num_nodes: usize,
+    /// Sorted by ascending `time`; ties preserve insertion order.
+    interactions: Vec<Interaction>,
+}
+
+impl InteractionNetwork {
+    /// Builds a network from raw `(src, dst, time)` triples.
+    ///
+    /// Input may be in any time order; it is sorted once here. Self-loops are
+    /// dropped. The node universe is `0..=max_id` over all endpoints.
+    pub fn from_triples<I>(triples: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, u32, i64)>,
+    {
+        Self::from_interactions(triples.into_iter().map(Interaction::from).collect())
+    }
+
+    /// Builds a network from a vector of interactions (any time order).
+    pub fn from_interactions(interactions: Vec<Interaction>) -> Self {
+        InteractionNetworkBuilder::new()
+            .extend(interactions)
+            .build()
+    }
+
+    /// Starts an incremental [`InteractionNetworkBuilder`].
+    pub fn builder() -> InteractionNetworkBuilder {
+        InteractionNetworkBuilder::new()
+    }
+
+    /// Number of nodes `n = |V|` (dense universe, including isolated ids).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of interactions `m = |E|`.
+    #[inline]
+    pub fn num_interactions(&self) -> usize {
+        self.interactions.len()
+    }
+
+    /// Whether the network has no interactions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.interactions.is_empty()
+    }
+
+    /// All interactions, sorted by ascending timestamp.
+    #[inline]
+    pub fn interactions(&self) -> &[Interaction] {
+        &self.interactions
+    }
+
+    /// Chronological (ascending time) iteration.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &Interaction> + '_ {
+        self.interactions.iter()
+    }
+
+    /// Reverse-chronological (descending time) iteration — the processing
+    /// order of the one-pass IRS algorithms.
+    pub fn iter_reverse(&self) -> impl ExactSizeIterator<Item = &Interaction> + '_ {
+        self.interactions.iter().rev()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> {
+        (0..self.num_nodes as u32).map(NodeId)
+    }
+
+    /// Earliest timestamp, or `None` for an empty network.
+    #[inline]
+    pub fn min_time(&self) -> Option<Timestamp> {
+        self.interactions.first().map(|i| i.time)
+    }
+
+    /// Latest timestamp, or `None` for an empty network.
+    #[inline]
+    pub fn max_time(&self) -> Option<Timestamp> {
+        self.interactions.last().map(|i| i.time)
+    }
+
+    /// Total time span `max − min + 1`, or 0 for an empty network.
+    ///
+    /// The `+1` mirrors the paper's inclusive channel-duration convention
+    /// (`dur(ic) = tk − t1 + 1`): a network whose interactions all share one
+    /// timestamp has span 1, not 0.
+    pub fn time_span(&self) -> i64 {
+        match (self.min_time(), self.max_time()) {
+            (Some(lo), Some(hi)) => hi.0 - lo.0 + 1,
+            _ => 0,
+        }
+    }
+
+    /// Converts a window length expressed as a percentage of the total time
+    /// span (the paper's convention in §6) into an absolute [`Window`].
+    ///
+    /// The result is rounded up and clamped to at least 1, so `ω = 0%` still
+    /// admits single-interaction channels (the paper's `ω = 0` case is the
+    /// Smart High Degree special case, reachable via [`Window::UNIT`]).
+    pub fn window_from_percent(&self, percent: f64) -> Window {
+        assert!(
+            (0.0..=100.0).contains(&percent),
+            "window percent must be within [0, 100], got {percent}"
+        );
+        let span = self.time_span() as f64;
+        Window(((span * percent / 100.0).ceil() as i64).max(1))
+    }
+
+    /// Out-degree of every node, counting repeated interactions.
+    pub fn interaction_out_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_nodes];
+        for i in &self.interactions {
+            deg[i.src.index()] += 1;
+        }
+        deg
+    }
+
+    /// Whether every interaction has a distinct timestamp — the paper's
+    /// simplifying assumption. The algorithms in this workspace accept ties
+    /// (see DESIGN.md), but generators in `infprop-datasets` produce distinct
+    /// timestamps by default to match the paper's setting.
+    pub fn has_distinct_timestamps(&self) -> bool {
+        self.interactions.windows(2).all(|w| w[0].time < w[1].time)
+    }
+
+    /// Flattens into the unweighted static graph used by static baselines:
+    /// repeated interactions collapse into a single directed edge and
+    /// timestamps are discarded (the preprocessing the paper applies before
+    /// running SKIM, PageRank and the degree heuristics).
+    pub fn to_static(&self) -> StaticGraph {
+        StaticGraph::from_network(self)
+    }
+
+    /// The network with every interaction's direction reversed (used for
+    /// PageRank, which measures incoming importance; the paper reverses
+    /// edges so that it measures outgoing influence instead).
+    pub fn reversed(&self) -> InteractionNetwork {
+        let mut rev: Vec<Interaction> = self
+            .interactions
+            .iter()
+            .map(Interaction::reversed)
+            .collect();
+        // Reversal preserves timestamps, so the vector is still sorted.
+        debug_assert!(rev.windows(2).all(|w| w[0].time <= w[1].time));
+        rev.shrink_to_fit();
+        InteractionNetwork {
+            num_nodes: self.num_nodes,
+            interactions: rev,
+        }
+    }
+
+    /// Returns the sub-network containing only interactions with
+    /// `time ∈ [from, to]` (inclusive), over the same node universe.
+    pub fn slice_time(&self, from: Timestamp, to: Timestamp) -> InteractionNetwork {
+        let start = self.interactions.partition_point(|i| i.time < from);
+        let end = self.interactions.partition_point(|i| i.time <= to);
+        InteractionNetwork {
+            num_nodes: self.num_nodes,
+            interactions: self.interactions[start..end].to_vec(),
+        }
+    }
+
+    /// Validates basic structural invariants; used by tests and the I/O layer.
+    pub(crate) fn check_invariants(&self) -> Result<(), GraphError> {
+        if self
+            .interactions
+            .iter()
+            .any(|i| i.src.index() >= self.num_nodes || i.dst.index() >= self.num_nodes)
+        {
+            return Err(GraphError::Parse {
+                line: 0,
+                message: "interaction endpoint outside node universe".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`InteractionNetwork`].
+///
+/// Accepts interactions in any order, drops self-loops, can reserve a larger
+/// node universe than the endpoints mention (for isolated nodes), and sorts
+/// once at [`build`](InteractionNetworkBuilder::build) time.
+#[derive(Clone, Debug, Default)]
+pub struct InteractionNetworkBuilder {
+    interactions: Vec<Interaction>,
+    min_num_nodes: usize,
+    dropped_self_loops: usize,
+}
+
+impl InteractionNetworkBuilder {
+    /// A fresh, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-allocates space for `m` interactions.
+    pub fn with_capacity(m: usize) -> Self {
+        InteractionNetworkBuilder {
+            interactions: Vec::with_capacity(m),
+            min_num_nodes: 0,
+            dropped_self_loops: 0,
+        }
+    }
+
+    /// Forces the node universe to contain at least `n` nodes, even if some
+    /// never appear in an interaction.
+    pub fn with_min_nodes(mut self, n: usize) -> Self {
+        self.min_num_nodes = self.min_num_nodes.max(n);
+        self
+    }
+
+    /// Adds one interaction. Self-loops are counted and dropped.
+    pub fn push(&mut self, interaction: Interaction) {
+        if interaction.is_self_loop() {
+            self.dropped_self_loops += 1;
+        } else {
+            self.interactions.push(interaction);
+        }
+    }
+
+    /// Adds one raw `(src, dst, time)` triple.
+    pub fn push_raw(&mut self, src: u32, dst: u32, time: i64) {
+        self.push(Interaction::from_raw(src, dst, time));
+    }
+
+    /// Adds many interactions; returns `self` for chaining.
+    pub fn extend<I>(mut self, interactions: I) -> Self
+    where
+        I: IntoIterator<Item = Interaction>,
+    {
+        for i in interactions {
+            self.push(i);
+        }
+        self
+    }
+
+    /// Number of self-loops dropped so far.
+    pub fn dropped_self_loops(&self) -> usize {
+        self.dropped_self_loops
+    }
+
+    /// Finishes: sorts by ascending timestamp (stable — ties keep insertion
+    /// order) and fixes the node universe.
+    pub fn build(mut self) -> InteractionNetwork {
+        self.interactions.sort_by_key(|i| i.time);
+        let max_endpoint = self
+            .interactions
+            .iter()
+            .map(|i| i.src.index().max(i.dst.index()) + 1)
+            .max()
+            .unwrap_or(0);
+        self.interactions.shrink_to_fit();
+        InteractionNetwork {
+            num_nodes: max_endpoint.max(self.min_num_nodes),
+            interactions: self.interactions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 1a toy network (a=0, b=1, c=2, d=3, e=4, f=5).
+    fn figure1a() -> InteractionNetwork {
+        InteractionNetwork::from_triples([
+            (1, 2, 8),
+            (4, 2, 7),
+            (1, 4, 6),
+            (0, 1, 5),
+            (4, 1, 4),
+            (3, 4, 3),
+            (4, 5, 2),
+            (0, 3, 1),
+        ])
+    }
+
+    #[test]
+    fn sorts_unsorted_input() {
+        let net = figure1a();
+        let times: Vec<i64> = net.iter().map(|i| i.time.0).collect();
+        assert_eq!(times, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(net.has_distinct_timestamps());
+    }
+
+    #[test]
+    fn reverse_iteration_order() {
+        let net = figure1a();
+        let times: Vec<i64> = net.iter_reverse().map(|i| i.time.0).collect();
+        assert_eq!(times, vec![8, 7, 6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn counts_and_span() {
+        let net = figure1a();
+        assert_eq!(net.num_nodes(), 6);
+        assert_eq!(net.num_interactions(), 8);
+        assert_eq!(net.min_time(), Some(Timestamp(1)));
+        assert_eq!(net.max_time(), Some(Timestamp(8)));
+        assert_eq!(net.time_span(), 8);
+    }
+
+    #[test]
+    fn empty_network() {
+        let net = InteractionNetwork::from_triples(std::iter::empty());
+        assert!(net.is_empty());
+        assert_eq!(net.num_nodes(), 0);
+        assert_eq!(net.time_span(), 0);
+        assert_eq!(net.min_time(), None);
+        assert!(net.has_distinct_timestamps());
+    }
+
+    #[test]
+    fn self_loops_are_dropped() {
+        let mut b = InteractionNetwork::builder();
+        b.push_raw(0, 0, 1);
+        b.push_raw(0, 1, 2);
+        b.push_raw(1, 1, 3);
+        assert_eq!(b.dropped_self_loops(), 2);
+        let net = b.build();
+        assert_eq!(net.num_interactions(), 1);
+        assert_eq!(net.num_nodes(), 2);
+    }
+
+    #[test]
+    fn min_nodes_extends_universe() {
+        let net = InteractionNetworkBuilder::new()
+            .extend([Interaction::from_raw(0, 1, 5)])
+            .with_min_nodes(10)
+            .build();
+        assert_eq!(net.num_nodes(), 10);
+        assert_eq!(net.node_ids().count(), 10);
+    }
+
+    #[test]
+    fn window_from_percent_rounds_up_and_clamps() {
+        let net = figure1a(); // span 8
+        assert_eq!(net.window_from_percent(50.0), Window(4));
+        assert_eq!(net.window_from_percent(1.0), Window(1)); // ceil(0.08) = 1
+        assert_eq!(net.window_from_percent(0.0), Window(1)); // clamped
+        assert_eq!(net.window_from_percent(100.0), Window(8));
+        // 30% of 8 = 2.4 -> 3
+        assert_eq!(net.window_from_percent(30.0), Window(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "window percent must be within")]
+    fn window_percent_out_of_range_panics() {
+        figure1a().window_from_percent(120.0);
+    }
+
+    #[test]
+    fn interaction_out_degrees_count_repeats() {
+        let net = InteractionNetwork::from_triples([(0, 1, 1), (0, 1, 2), (0, 2, 3), (1, 0, 4)]);
+        assert_eq!(net.interaction_out_degrees(), vec![3, 1, 0]);
+    }
+
+    #[test]
+    fn reversed_swaps_all_edges() {
+        let net = figure1a();
+        let rev = net.reversed();
+        assert_eq!(rev.num_nodes(), net.num_nodes());
+        assert_eq!(rev.num_interactions(), net.num_interactions());
+        for (a, b) in net.iter().zip(rev.iter()) {
+            assert_eq!(a.src, b.dst);
+            assert_eq!(a.dst, b.src);
+            assert_eq!(a.time, b.time);
+        }
+    }
+
+    #[test]
+    fn slice_time_is_inclusive() {
+        let net = figure1a();
+        let mid = net.slice_time(Timestamp(3), Timestamp(6));
+        let times: Vec<i64> = mid.iter().map(|i| i.time.0).collect();
+        assert_eq!(times, vec![3, 4, 5, 6]);
+        assert_eq!(mid.num_nodes(), net.num_nodes());
+        // Empty slice.
+        assert!(net.slice_time(Timestamp(100), Timestamp(200)).is_empty());
+    }
+
+    #[test]
+    fn ties_preserve_insertion_order() {
+        let net = InteractionNetwork::from_triples([(0, 1, 5), (2, 3, 5), (4, 5, 5)]);
+        let pairs: Vec<(u32, u32)> = net.iter().map(|i| (i.src.0, i.dst.0)).collect();
+        assert_eq!(pairs, vec![(0, 1), (2, 3), (4, 5)]);
+        assert!(!net.has_distinct_timestamps());
+        assert_eq!(net.time_span(), 1);
+    }
+
+    #[test]
+    fn invariants_hold_for_built_networks() {
+        assert!(figure1a().check_invariants().is_ok());
+    }
+}

@@ -1,0 +1,225 @@
+//! Unweighted static flattening of an interaction network.
+//!
+//! The static view is what the paper's static baselines consume: "we convert
+//! the interaction network data into the required static graph format by
+//! removing repeated interactions and the time stamp of every interaction"
+//! (§6). We store it in compressed sparse row (CSR) form: one offsets array
+//! and one contiguous neighbour array, which makes BFS/PageRank sweeps
+//! allocation-free and cache-friendly.
+
+use crate::network::InteractionNetwork;
+use crate::types::NodeId;
+
+/// A directed, unweighted static graph in CSR form with deduplicated edges.
+#[derive(Clone, Debug)]
+pub struct StaticGraph {
+    /// `offsets[u]..offsets[u+1]` indexes `targets` for node `u`'s out-edges.
+    offsets: Vec<usize>,
+    /// Concatenated, per-source-sorted, deduplicated out-neighbour lists.
+    targets: Vec<NodeId>,
+}
+
+impl StaticGraph {
+    /// Flattens an interaction network: repeated `(src, dst)` pairs collapse
+    /// into one edge; timestamps are discarded; self-loops were already
+    /// removed by the network builder.
+    pub fn from_network(net: &InteractionNetwork) -> Self {
+        let mut edges: Vec<(NodeId, NodeId)> = net.iter().map(|i| (i.src, i.dst)).collect();
+        edges.sort_unstable();
+        edges.dedup();
+        Self::from_sorted_edges(net.num_nodes(), &edges)
+    }
+
+    /// Builds from an explicit edge list (any order, duplicates allowed).
+    ///
+    /// `num_nodes` must be at least `max endpoint + 1`.
+    pub fn from_edges(num_nodes: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        let mut edges: Vec<(NodeId, NodeId)> = edges.into_iter().collect();
+        edges.sort_unstable();
+        edges.dedup();
+        Self::from_sorted_edges(num_nodes, &edges)
+    }
+
+    fn from_sorted_edges(num_nodes: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        if let Some(&(s, d)) = edges.last() {
+            assert!(
+                s.index() < num_nodes
+                    && edges.iter().all(|e| e.1.index() < num_nodes)
+                    && d.index() < num_nodes,
+                "edge endpoint outside node universe"
+            );
+        }
+        let mut offsets = vec![0usize; num_nodes + 1];
+        for &(src, _) in edges {
+            offsets[src.index() + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let targets: Vec<NodeId> = edges.iter().map(|&(_, dst)| dst).collect();
+        StaticGraph { offsets, targets }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of distinct directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbours of `u`, sorted ascending, no duplicates.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[u.index()]..self.offsets[u.index() + 1]]
+    }
+
+    /// Out-degree of `u` in the deduplicated graph.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.offsets[u.index() + 1] - self.offsets[u.index()]
+    }
+
+    /// Out-degree of every node.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        (0..self.num_nodes())
+            .map(|u| self.out_degree(NodeId::from_index(u)))
+            .collect()
+    }
+
+    /// The transpose (every edge reversed), e.g. for PageRank pull-style
+    /// iteration or reverse reachability.
+    pub fn transpose(&self) -> StaticGraph {
+        let edges: Vec<(NodeId, NodeId)> = (0..self.num_nodes())
+            .flat_map(|u| {
+                let u = NodeId::from_index(u);
+                self.neighbors(u).iter().map(move |&v| (v, u))
+            })
+            .collect();
+        StaticGraph::from_edges(self.num_nodes(), edges)
+    }
+
+    /// Iterator over all edges `(src, dst)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes()).flat_map(move |u| {
+            let u = NodeId::from_index(u);
+            self.neighbors(u).iter().map(move |&v| (u, v))
+        })
+    }
+
+    /// Nodes reachable from `src` (including `src`) by directed BFS.
+    ///
+    /// `scratch` is a reusable visited buffer of length `num_nodes`; it is
+    /// cleared on entry. Returns the reached nodes in BFS order.
+    pub fn bfs_reachable(&self, src: NodeId, scratch: &mut Vec<bool>) -> Vec<NodeId> {
+        scratch.clear();
+        scratch.resize(self.num_nodes(), false);
+        let mut queue = std::collections::VecDeque::new();
+        let mut order = Vec::new();
+        scratch[src.index()] = true;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in self.neighbors(u) {
+                if !scratch[v.index()] {
+                    scratch[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::InteractionNetwork;
+
+    fn diamond() -> StaticGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, with a repeated interaction 0->1.
+        let net = InteractionNetwork::from_triples([
+            (0, 1, 1),
+            (0, 1, 9),
+            (0, 2, 2),
+            (1, 3, 3),
+            (2, 3, 4),
+        ]);
+        net.to_static()
+    }
+
+    #[test]
+    fn dedups_repeated_interactions() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.out_degree(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn out_degrees_vector() {
+        assert_eq!(diamond().out_degrees(), vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.num_edges(), g.num_edges());
+        assert_eq!(t.neighbors(NodeId(3)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(t.neighbors(NodeId(0)), &[] as &[NodeId]);
+        // Transposing twice gives the original edge set.
+        let tt = t.transpose();
+        let mut e1: Vec<_> = g.edges().collect();
+        let mut e2: Vec<_> = tt.edges().collect();
+        e1.sort_unstable();
+        e2.sort_unstable();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn edges_iterator_matches_neighbors() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().map(|(a, b)| (a.0, b.0)).collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn bfs_reaches_diamond_sink() {
+        let g = diamond();
+        let mut scratch = Vec::new();
+        let reach = g.bfs_reachable(NodeId(0), &mut scratch);
+        assert_eq!(reach.len(), 4);
+        assert_eq!(reach[0], NodeId(0));
+        // Node 3 reaches only itself.
+        assert_eq!(g.bfs_reachable(NodeId(3), &mut scratch), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = StaticGraph::from_edges(0, std::iter::empty());
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_no_neighbors() {
+        let g = StaticGraph::from_edges(5, [(NodeId(0), NodeId(1))]);
+        assert_eq!(g.num_nodes(), 5);
+        for u in 2..5 {
+            assert_eq!(g.out_degree(NodeId(u)), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "edge endpoint outside node universe")]
+    fn out_of_range_endpoint_panics() {
+        let _ = StaticGraph::from_edges(2, [(NodeId(0), NodeId(5))]);
+    }
+}

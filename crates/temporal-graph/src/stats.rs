@@ -1,0 +1,102 @@
+//! Summary statistics of an interaction network (the Table 2 quantities).
+
+use crate::network::InteractionNetwork;
+use std::fmt;
+
+/// The characteristics the paper reports per dataset in Table 2: node count,
+/// interaction count, and the time span expressed in days.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkStats {
+    /// `|V|` — number of nodes.
+    pub num_nodes: usize,
+    /// `|E|` — number of interactions (repeats included).
+    pub num_interactions: usize,
+    /// Total time span in raw time units (`max − min + 1`).
+    pub time_span: i64,
+    /// Time span expressed in days, given the units-per-day used by the
+    /// dataset's clock.
+    pub days: f64,
+    /// Number of distinct static edges after flattening.
+    pub num_static_edges: usize,
+}
+
+impl NetworkStats {
+    /// Computes statistics for `net`, interpreting timestamps as having
+    /// `units_per_day` ticks per day (e.g. `86_400` for Unix seconds, `1`
+    /// for synthetic day-granularity clocks).
+    pub fn compute(net: &InteractionNetwork, units_per_day: i64) -> Self {
+        assert!(units_per_day > 0, "units_per_day must be positive");
+        let span = net.time_span();
+        NetworkStats {
+            num_nodes: net.num_nodes(),
+            num_interactions: net.num_interactions(),
+            time_span: span,
+            days: span as f64 / units_per_day as f64,
+            num_static_edges: net.to_static().num_edges(),
+        }
+    }
+
+    /// `|V|` in thousands — the unit Table 2 uses.
+    pub fn nodes_thousands(&self) -> f64 {
+        self.num_nodes as f64 / 1_000.0
+    }
+
+    /// `|E|` in thousands — the unit Table 2 uses.
+    pub fn interactions_thousands(&self) -> f64 {
+        self.num_interactions as f64 / 1_000.0
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|V|={:.1}k |E|={:.1}k days={:.0} static-edges={}",
+            self.nodes_thousands(),
+            self.interactions_thousands(),
+            self.days,
+            self.num_static_edges
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_table2_quantities() {
+        // 3 nodes, 4 interactions (one repeated pair), span 10 units.
+        let net = InteractionNetwork::from_triples([(0, 1, 1), (0, 1, 5), (1, 2, 8), (2, 0, 10)]);
+        let s = NetworkStats::compute(&net, 1);
+        assert_eq!(s.num_nodes, 3);
+        assert_eq!(s.num_interactions, 4);
+        assert_eq!(s.time_span, 10);
+        assert_eq!(s.days, 10.0);
+        assert_eq!(s.num_static_edges, 3);
+    }
+
+    #[test]
+    fn seconds_per_day_conversion() {
+        let net = InteractionNetwork::from_triples([(0, 1, 0), (1, 2, 86_400 * 2 - 1)]);
+        let s = NetworkStats::compute(&net, 86_400);
+        assert!((s.days - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thousands_helpers_and_display() {
+        let net = InteractionNetwork::from_triples((0..1500u32).map(|k| (k, k + 1, k as i64)));
+        let s = NetworkStats::compute(&net, 1);
+        assert!((s.nodes_thousands() - 1.501).abs() < 1e-9);
+        assert!((s.interactions_thousands() - 1.5).abs() < 1e-9);
+        let text = format!("{s}");
+        assert!(text.contains("|V|=1.5k"));
+    }
+
+    #[test]
+    #[should_panic(expected = "units_per_day must be positive")]
+    fn zero_units_per_day_panics() {
+        let net = InteractionNetwork::from_triples([(0, 1, 1)]);
+        let _ = NetworkStats::compute(&net, 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Core value types: node identifiers, timestamps and window durations.
+//!
+//! Nodes are dense `u32` indices (`0..n`), which keeps the hot data
+//! structures of the IRS algorithms compact: an [`Interaction`] is 16 bytes
+//! and per-node tables are plain vectors indexed by [`NodeId`].
+//!
+//! [`Interaction`]: crate::Interaction
+
+use std::fmt;
+
+/// A node identifier: a dense index in `0..n`.
+///
+/// Datasets with arbitrary string or sparse integer labels are mapped onto
+/// dense ids by [`NodeInterner`](crate::NodeInterner) at load time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index, for vector-indexed per-node tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32` (more than ~4.2 billion nodes).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A discrete timestamp.
+///
+/// The paper models timestamps as natural numbers; we use `i64` so that both
+/// Unix epochs (seconds or milliseconds) and small synthetic clocks fit
+/// without conversion. Ordering is the plain integer ordering.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// Raw value.
+    #[inline]
+    pub fn get(self) -> i64 {
+        self.0
+    }
+
+    /// `self - other` as a signed number of time units.
+    #[inline]
+    pub fn delta(self, other: Timestamp) -> i64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Timestamp {
+    #[inline]
+    fn from(v: i64) -> Self {
+        Timestamp(v)
+    }
+}
+
+/// A maximal information-channel duration `ω`, in time units.
+///
+/// A channel `(u,n1,t1),…,(nk,v,tk)` has duration `tk − t1 + 1`; it is
+/// admissible under window `ω` iff `tk − t1 + 1 ≤ ω`. The paper expresses
+/// window lengths as a percentage of the dataset's total time span;
+/// [`InteractionNetwork::window_from_percent`] performs that conversion.
+///
+/// [`InteractionNetwork::window_from_percent`]:
+///     crate::InteractionNetwork::window_from_percent
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Window(pub i64);
+
+impl Window {
+    /// The window that admits only single-interaction channels
+    /// (`dur(ic) = 1 ≤ 1`): direct out-neighbours within one time unit.
+    pub const UNIT: Window = Window(1);
+
+    /// Raw length in time units.
+    #[inline]
+    pub fn get(self) -> i64 {
+        self.0
+    }
+
+    /// Does a channel starting at `start` and ending at `end` fit in the
+    /// window? Equivalent to `end − start + 1 ≤ ω`.
+    #[inline]
+    pub fn admits(self, start: Timestamp, end: Timestamp) -> bool {
+        end.0 - start.0 < self.0
+    }
+
+    /// An effectively unbounded window (admits every channel).
+    #[inline]
+    pub fn unbounded() -> Self {
+        Window(i64::MAX / 4)
+    }
+}
+
+impl fmt::Debug for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ω={}", self.0)
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Window {
+    #[inline]
+    fn from(v: i64) -> Self {
+        Window(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id, NodeId(42));
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    fn node_id_ordering_is_numeric() {
+        assert!(NodeId(2) < NodeId(10));
+        assert_eq!(NodeId::default(), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32 range")]
+    fn node_id_overflow_panics() {
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn timestamp_delta() {
+        assert_eq!(Timestamp(8).delta(Timestamp(5)), 3);
+        assert_eq!(Timestamp(5).delta(Timestamp(8)), -3);
+        assert_eq!(format!("{:?}", Timestamp(7)), "t7");
+    }
+
+    #[test]
+    fn window_admits_inclusive_duration() {
+        // Duration of a single interaction is 1.
+        assert!(Window(1).admits(Timestamp(5), Timestamp(5)));
+        // Duration 4 (t1=1, tk=4) needs ω ≥ 4.
+        assert!(!Window(3).admits(Timestamp(1), Timestamp(4)));
+        assert!(Window(4).admits(Timestamp(1), Timestamp(4)));
+    }
+
+    #[test]
+    fn window_unbounded_admits_full_span() {
+        let w = Window::unbounded();
+        assert!(w.admits(Timestamp(0), Timestamp(i64::MAX / 8)));
+    }
+
+    #[test]
+    fn window_from_i64() {
+        let w: Window = 12.into();
+        assert_eq!(w.get(), 12);
+        assert_eq!(format!("{w:?}"), "ω=12");
+    }
+}

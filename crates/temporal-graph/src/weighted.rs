@@ -1,0 +1,204 @@
+//! Weighted static graph: the interaction → ConTinEst input transformation.
+//!
+//! §6 of the paper describes how interactions are fed to ConTinEst, which
+//! expects a static graph whose edge weights are *transmission times*:
+//!
+//! > The first time a node `u` appears as the source of an interaction we
+//! > assign the infection time `u_i` for the source node as the interaction
+//! > time. Then each interaction `(u, v, t)` is transformed into a weighted
+//! > edge `(u, v)` with the edge weight as the difference of the interaction
+//! > time and the time when the source gets infected, i.e. `t − u_i`.
+//!
+//! When the same `(u, v)` pair recurs we keep the **smallest** observed
+//! transmission time — the fastest channel the data exhibits; this choice is
+//! documented here because the paper does not pin it down. Weights of zero
+//! (the very first interaction of `u`) are clamped to 1 time unit so they can
+//! parameterize an exponential transmission-time distribution.
+
+use crate::network::InteractionNetwork;
+use crate::types::{NodeId, Timestamp};
+
+/// One weighted directed edge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeightedEdge {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Transmission-time weight (≥ 1.0, see module docs).
+    pub weight: f64,
+}
+
+/// A directed static graph with per-edge transmission-time weights, in CSR
+/// form (mirror of [`StaticGraph`](crate::StaticGraph) plus weights).
+#[derive(Clone, Debug)]
+pub struct WeightedStaticGraph {
+    offsets: Vec<usize>,
+    edges: Vec<WeightedEdge>,
+}
+
+impl WeightedStaticGraph {
+    /// Applies the paper's interaction → weighted-graph transformation.
+    pub fn from_network(net: &InteractionNetwork) -> Self {
+        let n = net.num_nodes();
+        // First-activity time of each node as a source, from the forward scan.
+        let mut first_src_time: Vec<Option<Timestamp>> = vec![None; n];
+        let mut weighted: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(net.num_interactions());
+        for i in net.iter() {
+            let u = i.src.index();
+            let infected_at = *first_src_time[u].get_or_insert(i.time);
+            let w = (i.time.delta(infected_at) as f64).max(1.0);
+            weighted.push((i.src, i.dst, w));
+        }
+        // Keep the minimum transmission time per (src, dst) pair.
+        weighted.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
+        weighted.dedup_by_key(|e| (e.0, e.1));
+        Self::from_weighted_edges(n, weighted)
+    }
+
+    /// Builds from explicit `(src, dst, weight)` triples (duplicates keep the
+    /// smallest weight).
+    pub fn from_weighted_edges(num_nodes: usize, mut triples: Vec<(NodeId, NodeId, f64)>) -> Self {
+        triples.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
+        triples.dedup_by_key(|e| (e.0, e.1));
+        assert!(
+            triples
+                .iter()
+                .all(|&(s, d, _)| s.index() < num_nodes && d.index() < num_nodes),
+            "edge endpoint outside node universe"
+        );
+        let mut offsets = vec![0usize; num_nodes + 1];
+        for &(src, _, _) in &triples {
+            offsets[src.index() + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let edges = triples
+            .into_iter()
+            .map(|(_, dst, weight)| WeightedEdge { dst, weight })
+            .collect();
+        WeightedStaticGraph { offsets, edges }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of distinct directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Weighted out-edges of `u`, sorted by destination id.
+    #[inline]
+    pub fn out_edges(&self, u: NodeId) -> &[WeightedEdge] {
+        &self.edges[self.offsets[u.index()]..self.offsets[u.index() + 1]]
+    }
+
+    /// The transpose, preserving weights (used by reverse Dijkstra sweeps).
+    pub fn transpose(&self) -> WeightedStaticGraph {
+        let mut triples = Vec::with_capacity(self.num_edges());
+        for u in 0..self.num_nodes() {
+            let u = NodeId::from_index(u);
+            for e in self.out_edges(u) {
+                triples.push((e.dst, u, e.weight));
+            }
+        }
+        WeightedStaticGraph::from_weighted_edges(self.num_nodes(), triples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_transformation_weights() {
+        // u=0 first sends at t=10 (u_i = 10), then at t=13 and t=15.
+        let net = InteractionNetwork::from_triples([
+            (0, 1, 10), // weight max(0,1) = 1 (clamped)
+            (0, 2, 13), // weight 3
+            (0, 1, 15), // weight 5, but (0,1) already has 1 -> min kept
+            (2, 3, 14), // u=2 first source at 14, weight clamped to 1
+        ]);
+        let g = WeightedStaticGraph::from_network(&net);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        let e0 = g.out_edges(NodeId(0));
+        assert_eq!(e0.len(), 2);
+        assert_eq!(
+            e0[0],
+            WeightedEdge {
+                dst: NodeId(1),
+                weight: 1.0
+            }
+        );
+        assert_eq!(
+            e0[1],
+            WeightedEdge {
+                dst: NodeId(2),
+                weight: 3.0
+            }
+        );
+        assert_eq!(
+            g.out_edges(NodeId(2)),
+            &[WeightedEdge {
+                dst: NodeId(3),
+                weight: 1.0
+            }]
+        );
+    }
+
+    #[test]
+    fn min_weight_kept_for_duplicates() {
+        let g = WeightedStaticGraph::from_weighted_edges(
+            2,
+            vec![
+                (NodeId(0), NodeId(1), 5.0),
+                (NodeId(0), NodeId(1), 2.0),
+                (NodeId(0), NodeId(1), 9.0),
+            ],
+        );
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_edges(NodeId(0))[0].weight, 2.0);
+    }
+
+    #[test]
+    fn transpose_preserves_weights() {
+        let g = WeightedStaticGraph::from_weighted_edges(
+            3,
+            vec![(NodeId(0), NodeId(1), 2.0), (NodeId(1), NodeId(2), 4.0)],
+        );
+        let t = g.transpose();
+        assert_eq!(
+            t.out_edges(NodeId(1)),
+            &[WeightedEdge {
+                dst: NodeId(0),
+                weight: 2.0
+            }]
+        );
+        assert_eq!(
+            t.out_edges(NodeId(2)),
+            &[WeightedEdge {
+                dst: NodeId(1),
+                weight: 4.0
+            }]
+        );
+        assert_eq!(t.out_edges(NodeId(0)), &[]);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = WeightedStaticGraph::from_weighted_edges(3, vec![]);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.out_edges(NodeId(2)), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge endpoint outside node universe")]
+    fn out_of_range_panics() {
+        let _ = WeightedStaticGraph::from_weighted_edges(1, vec![(NodeId(0), NodeId(3), 1.0)]);
+    }
+}

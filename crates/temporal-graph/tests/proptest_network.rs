@@ -1,0 +1,140 @@
+//! Property tests for the interaction-network substrate.
+
+use infprop_temporal_graph::{
+    io, InteractionNetwork, NodeId, StaticGraph, Timestamp, WeightedStaticGraph,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random interaction list over up to 20 nodes and timestamps
+/// in [-50, 50], length 0..=120 (self-loops included on purpose — the
+/// builder must drop them).
+fn triples() -> impl Strategy<Value = Vec<(u32, u32, i64)>> {
+    prop::collection::vec((0u32..20, 0u32..20, -50i64..=50), 0..120)
+}
+
+proptest! {
+    /// Built networks are always sorted ascending by time.
+    #[test]
+    fn built_network_is_time_sorted(ts in triples()) {
+        let net = InteractionNetwork::from_triples(ts);
+        prop_assert!(net
+            .interactions()
+            .windows(2)
+            .all(|w| w[0].time <= w[1].time));
+    }
+
+    /// No self-loop survives construction and every endpoint is in-universe.
+    #[test]
+    fn no_self_loops_and_endpoints_in_universe(ts in triples()) {
+        let net = InteractionNetwork::from_triples(ts);
+        for i in net.iter() {
+            prop_assert_ne!(i.src, i.dst);
+            prop_assert!(i.src.index() < net.num_nodes());
+            prop_assert!(i.dst.index() < net.num_nodes());
+        }
+    }
+
+    /// Reverse iteration is the exact reverse of forward iteration.
+    #[test]
+    fn reverse_is_reverse(ts in triples()) {
+        let net = InteractionNetwork::from_triples(ts);
+        let fwd: Vec<_> = net.iter().copied().collect();
+        let mut rev: Vec<_> = net.iter_reverse().copied().collect();
+        rev.reverse();
+        prop_assert_eq!(fwd, rev);
+    }
+
+    /// Static flattening: edge count equals the number of distinct
+    /// non-self-loop (src, dst) pairs, and neighbours are sorted/deduped.
+    #[test]
+    fn static_flattening_matches_distinct_pairs(ts in triples()) {
+        let net = InteractionNetwork::from_triples(ts.clone());
+        let g = net.to_static();
+        let mut pairs: Vec<(u32, u32)> = ts
+            .iter()
+            .filter(|(s, d, _)| s != d)
+            .map(|&(s, d, _)| (s, d))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        prop_assert_eq!(g.num_edges(), pairs.len());
+        for u in 0..g.num_nodes() {
+            let nb = g.neighbors(NodeId::from_index(u));
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// Transpose twice is the identity on the edge set.
+    #[test]
+    fn transpose_involution(ts in triples()) {
+        let net = InteractionNetwork::from_triples(ts);
+        let g = net.to_static();
+        let tt = g.transpose().transpose();
+        let mut e1: Vec<_> = g.edges().collect();
+        let mut e2: Vec<_> = tt.edges().collect();
+        e1.sort_unstable();
+        e2.sort_unstable();
+        prop_assert_eq!(e1, e2);
+    }
+
+    /// Time-window slicing returns exactly the in-range interactions.
+    #[test]
+    fn slice_time_returns_range(ts in triples(), lo in -60i64..=60, len in 0i64..=40) {
+        let net = InteractionNetwork::from_triples(ts);
+        let hi = lo + len;
+        let sliced = net.slice_time(Timestamp(lo), Timestamp(hi));
+        let expect = net
+            .iter()
+            .filter(|i| i.time.0 >= lo && i.time.0 <= hi)
+            .count();
+        prop_assert_eq!(sliced.num_interactions(), expect);
+    }
+
+    /// Write → read round-trips the (src, dst, time) content exactly
+    /// (ids are dense so the interner re-derives the same numbering).
+    #[test]
+    fn io_roundtrip(ts in triples()) {
+        let net = InteractionNetwork::from_triples(ts);
+        let mut buf = Vec::new();
+        io::write_interactions(&net, &mut buf).unwrap();
+        let loaded = io::read_interactions(buf.as_slice()).unwrap().network;
+        prop_assert_eq!(loaded.num_interactions(), net.num_interactions());
+        let a: Vec<i64> = net.iter().map(|i| i.time.0).collect();
+        let b: Vec<i64> = loaded.iter().map(|i| i.time.0).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The weighted (ConTinEst) transformation yields weights ≥ 1 and at most
+    /// one edge per (src, dst) pair.
+    #[test]
+    fn weighted_transformation_invariants(ts in triples()) {
+        let net = InteractionNetwork::from_triples(ts);
+        let g = WeightedStaticGraph::from_network(&net);
+        let mut seen = std::collections::HashSet::new();
+        for u in 0..g.num_nodes() {
+            let u = NodeId::from_index(u);
+            for e in g.out_edges(u) {
+                prop_assert!(e.weight >= 1.0);
+                prop_assert!(seen.insert((u, e.dst)));
+            }
+        }
+        prop_assert!(g.num_edges() <= net.to_static().num_edges());
+    }
+
+    /// BFS from any source visits each node at most once and always includes
+    /// the source.
+    #[test]
+    fn bfs_visits_once(ts in triples(), src in 0u32..20) {
+        let net = InteractionNetwork::from_triples(ts);
+        if (src as usize) < net.num_nodes() {
+            let g: StaticGraph = net.to_static();
+            let mut scratch = Vec::new();
+            let order = g.bfs_reachable(NodeId(src), &mut scratch);
+            let mut uniq = order.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), order.len());
+            prop_assert_eq!(order.first(), Some(&NodeId(src)));
+        }
+    }
+}

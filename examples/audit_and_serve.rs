@@ -1,0 +1,88 @@
+//! A production-shaped workflow on top of the library's extension APIs:
+//!
+//! 1. **stream** a reverse-ordered interaction feed into sketches without
+//!    materializing the log ([`ApproxIrsStream`]),
+//! 2. **persist** the influence oracle to a compact binary file and serve
+//!    `Inf(S)` queries from the reloaded artefact,
+//! 3. **audit** a suspicious pair by extracting the explicit information
+//!    channel ([`find_channel`]) that could have leaked the message, and
+//! 4. **stress** the chosen seeds under both cascade models (TCIC and the
+//!    TC-LT extension) to check model robustness.
+//!
+//! Run with: `cargo run --release --example audit_and_serve`
+
+use infprop::irs::ApproxOracle;
+use infprop::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = infprop::datasets::profiles::facebook_like(21).build(0.003);
+    let net = &dataset.network;
+    let window = net.window_from_percent(10.0);
+    println!(
+        "network: {} nodes, {} interactions | window {} ticks",
+        net.num_nodes(),
+        net.num_interactions(),
+        window.get()
+    );
+
+    // 1. Stream the log in reverse time order (as a log-shipper would).
+    let mut stream = ApproxIrsStream::new(window);
+    for i in net.iter_reverse() {
+        stream.push(*i)?;
+    }
+    let irs = stream.finish();
+    println!(
+        "streamed {} interactions into sketches",
+        net.num_interactions()
+    );
+
+    // 2. Persist the oracle, reload it, serve queries.
+    let path = std::env::temp_dir().join("infprop-demo-oracle.bin");
+    {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        irs.oracle().write_to(&mut w)?;
+    }
+    let oracle = {
+        let mut r = std::io::BufReader::new(std::fs::File::open(&path)?);
+        ApproxOracle::read_from(&mut r)?
+    };
+    let bytes = std::fs::metadata(&path)?.len();
+    println!("oracle persisted: {bytes} bytes on disk");
+
+    let top = greedy_top_k(&oracle, 5);
+    let seeds: Vec<NodeId> = top.iter().map(|s| s.node).collect();
+    println!(
+        "top-5 seeds {:?} -> Inf(S) = {:.0}",
+        seeds.iter().map(|n| n.0).collect::<Vec<_>>(),
+        oracle.influence(&seeds)
+    );
+
+    // 3. Audit: how could information get from the top seed to the node it
+    // reaches latest? Show the explicit channel.
+    let source = seeds[0];
+    if let Some((target, channel)) = infprop::irs::channels_from(net, source, window)
+        .into_iter()
+        .max_by_key(|(_, c)| c.end_time())
+    {
+        println!(
+            "latest-reached node from {source}: {target} via {} hops (duration {}):",
+            channel.hops.len(),
+            channel.duration()
+        );
+        for hop in &channel.hops {
+            println!("  {} -> {} @ {}", hop.src, hop.dst, hop.time);
+        }
+    }
+
+    // 4. Model robustness: same seeds under both cascade models.
+    let tcic_cfg = TcicConfig::new(window, 0.5).with_runs(100).with_seed(9);
+    let weights = LtWeights::from_network(net);
+    println!(
+        "TCIC spread: {:.1} | TC-LT spread: {:.1}",
+        tcic_spread(net, &seeds, &tcic_cfg),
+        tclt_spread(net, &weights, &seeds, window, 100, 9)
+    );
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! # infprop — Information Propagation in Interaction Networks
+//!
+//! A from-scratch Rust reproduction of *Information Propagation in
+//! Interaction Networks* (Rohit Kumar and Toon Calders, EDBT 2017): finding
+//! potential information flow in networks of timestamped interactions via
+//! **time-window-constrained information channels**, with an exact and a
+//! versioned-HyperLogLog approximate one-pass algorithm, influence oracles,
+//! and greedy influence maximization.
+//!
+//! This facade crate re-exports the workspace's public API under one roof:
+//!
+//! * [`graph`] — interaction-network substrate (`infprop-temporal-graph`)
+//! * [`sketch`] — HyperLogLog and versioned HLL (`infprop-hll`)
+//! * [`irs`] — the paper's algorithms (`infprop-core`)
+//! * [`diffusion`] — the TCIC simulation model (`infprop-diffusion`)
+//! * [`baselines`] — PageRank / HD / SHD / SKIM / ConTinEst (`infprop-baselines`)
+//! * [`datasets`] — toy and synthetic interaction networks (`infprop-datasets`)
+//!
+//! Beyond the paper, the core crate ships channel-witness extraction
+//! ([`irs::find_channel`]), streaming one-pass builders
+//! ([`irs::ExactIrsStream`], [`irs::ApproxIrsStream`]), sliding-window
+//! contact profiles ([`irs::SlidingContacts`]) and binary persistence for
+//! summaries, sketches and oracles; the diffusion crate adds the TC-LT
+//! cascade model ([`diffusion::tclt_run`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use infprop::prelude::*;
+//!
+//! // The toy network of Figure 2 in the paper (a..f = 0..5).
+//! let net = InteractionNetwork::from_triples([
+//!     (0, 1, 1), // a -> b @ 1
+//!     (0, 3, 2), // a -> d @ 2
+//!     (1, 2, 4),
+//!     (3, 2, 3),
+//!     (2, 4, 3),
+//!     (2, 5, 5),
+//!     (5, 2, 8),
+//!     (2, 5, 8),
+//! ]);
+//!
+//! // Exact influence-reachability sets for window ω = 3.
+//! let irs = ExactIrs::compute(&net, Window(3));
+//! let sigma_a: usize = irs.irs_size(NodeId(0));
+//! assert!(sigma_a >= 1);
+//! ```
+
+pub use infprop_baselines as baselines;
+pub use infprop_core as irs;
+pub use infprop_datasets as datasets;
+pub use infprop_diffusion as diffusion;
+pub use infprop_hll as sketch;
+pub use infprop_temporal_graph as graph;
+
+/// One-stop imports for examples and applications.
+pub mod prelude {
+    pub use infprop_baselines::{
+        degree_discount, high_degree, pagerank, smart_high_degree, ConTinEst, Skim,
+    };
+    pub use infprop_core::{
+        find_channel, greedy_top_k, ApproxIrs, ApproxIrsStream, Channel, ExactIrs, ExactIrsStream,
+        InfluenceOracle,
+    };
+    pub use infprop_datasets::{profiles, toy};
+    pub use infprop_diffusion::{tcic_spread, tclt_spread, LtWeights, TcicConfig};
+    pub use infprop_hll::{HyperLogLog, VersionedHll};
+    pub use infprop_temporal_graph::{
+        Interaction, InteractionNetwork, NetworkStats, NodeId, StaticGraph, Timestamp,
+        WeightedStaticGraph, Window,
+    };
+}

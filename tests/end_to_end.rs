@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: the full pipeline from dataset generation
+//! through IRS computation, oracle queries, seed selection and TCIC
+//! evaluation.
+
+use infprop::irs::{brute_force_irs, greedy_top_k_paper};
+use infprop::prelude::*;
+
+#[test]
+fn full_pipeline_on_synthetic_email_network() {
+    let dataset = infprop::datasets::profiles::enron_like(11).build(0.002);
+    let net = &dataset.network;
+    assert!(net.num_interactions() > 1_000);
+    let window = net.window_from_percent(5.0);
+
+    // Build both IRS representations.
+    let exact = ExactIrs::compute(net, window);
+    let approx = ApproxIrs::compute(net, window);
+
+    // Approximation quality: average relative error within a few sketch
+    // standard errors (beta = 512 -> ~4.6%).
+    let mut err = 0.0;
+    for u in net.node_ids() {
+        let truth = exact.irs_size(u) as f64;
+        err += (approx.irs_size_estimate(u) - truth).abs() / truth.max(1.0);
+    }
+    err /= net.num_nodes() as f64;
+    assert!(err < 0.15, "avg relative error {err}");
+
+    // Greedy top-10 under both oracles overlap substantially.
+    let top_exact: Vec<NodeId> = greedy_top_k(&exact.oracle(), 10)
+        .into_iter()
+        .map(|s| s.node)
+        .collect();
+    let top_approx: Vec<NodeId> = greedy_top_k(&approx.oracle(), 10)
+        .into_iter()
+        .map(|s| s.node)
+        .collect();
+    let common = top_exact.iter().filter(|s| top_approx.contains(s)).count();
+    assert!(common >= 5, "only {common}/10 common seeds");
+
+    // The exact greedy seeds must beat random seeds under TCIC.
+    let cfg = TcicConfig::new(window, 0.5)
+        .with_runs(60)
+        .with_seed(5)
+        .with_threads(2);
+    let greedy_spread = tcic_spread(net, &top_exact, &cfg);
+    let random: Vec<NodeId> = (0..10u32)
+        .map(|i| NodeId(i * 7 % net.num_nodes() as u32))
+        .collect();
+    let random_spread = tcic_spread(net, &random, &cfg);
+    assert!(
+        greedy_spread > random_spread,
+        "greedy {greedy_spread} vs random {random_spread}"
+    );
+}
+
+#[test]
+fn every_method_runs_on_a_profile_dataset() {
+    use infprop::baselines::{ConTinEst, ConTinEstConfig, PageRankConfig, Skim, SkimConfig};
+    let dataset = infprop::datasets::profiles::slashdot_like(3).build(0.01);
+    let net = &dataset.network;
+    let window = net.window_from_percent(10.0);
+    let g = net.to_static();
+
+    let pr = infprop::baselines::pagerank_top_k(&g, 5, &PageRankConfig::default());
+    let hd = high_degree(&g, 5);
+    let shd = smart_high_degree(&g, 5);
+    let skim = Skim::new(
+        &g,
+        SkimConfig {
+            seed: 2,
+            ..Default::default()
+        },
+    )
+    .top_k(5);
+    let weighted = WeightedStaticGraph::from_network(net);
+    let cte = ConTinEst::new(
+        &weighted,
+        &ConTinEstConfig::new(window.get() as f64).with_seed(2),
+    )
+    .top_k(5);
+    let irs = ApproxIrs::compute(net, window);
+    let irs_seeds: Vec<NodeId> = greedy_top_k(&irs.oracle(), 5)
+        .into_iter()
+        .map(|s| s.node)
+        .collect();
+
+    for (name, seeds) in [
+        ("pr", &pr),
+        ("hd", &hd),
+        ("shd", &shd),
+        ("skim", &skim),
+        ("cte", &cte),
+        ("irs", &irs_seeds),
+    ] {
+        assert!(!seeds.is_empty(), "{name} selected nothing");
+        let spread = tcic_spread(net, seeds, &TcicConfig::new(window, 1.0).with_runs(1));
+        assert!(spread >= seeds.len() as f64 * 0.5, "{name} spread {spread}");
+    }
+}
+
+#[test]
+fn exact_equals_brute_force_on_figure_graphs() {
+    for net in [
+        infprop::datasets::toy::figure1a(),
+        infprop::datasets::toy::figure2(),
+    ] {
+        for w in 1..=9 {
+            let exact = ExactIrs::compute(&net, Window(w));
+            for u in net.node_ids() {
+                let mut brute: Vec<NodeId> =
+                    brute_force_irs(&net, u, Window(w)).into_iter().collect();
+                brute.sort_unstable();
+                assert_eq!(exact.irs_sorted(u), brute);
+            }
+        }
+    }
+}
+
+#[test]
+fn greedy_variants_agree_via_facade() {
+    let net = infprop::datasets::toy::figure2();
+    let exact = ExactIrs::compute(&net, Window(4));
+    let oracle = exact.oracle();
+    assert_eq!(greedy_top_k(&oracle, 4), greedy_top_k_paper(&oracle, 4));
+}
+
+#[test]
+fn oracle_query_scales_with_precomputed_sketches() {
+    // Figure 4's premise: oracle queries are cheap after preprocessing.
+    let dataset = infprop::datasets::profiles::facebook_like(9).build(0.002);
+    let net = &dataset.network;
+    let oracle = ApproxIrs::compute(net, net.window_from_percent(20.0)).oracle();
+    let seeds: Vec<NodeId> = net.node_ids().take(500).collect();
+    let start = std::time::Instant::now();
+    let inf = oracle.influence(&seeds);
+    let took = start.elapsed();
+    assert!(inf >= 0.0);
+    assert!(took.as_millis() < 1_000, "query took {took:?}");
+}

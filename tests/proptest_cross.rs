@@ -1,0 +1,120 @@
+//! Cross-crate property tests tying the IRS semantics to the TCIC cascade
+//! model — the two halves of the paper's story.
+//!
+//! The key identity: with infection probability 1 and distinct timestamps,
+//! a TCIC cascade from a single seed `u` under window `W` infects exactly
+//! `{u} ∪ σ_{W+1}(u)`. (TCIC admits a hop when `t − anchor ≤ W`, i.e.
+//! channel duration `≤ W + 1` in the paper's inclusive convention, and a
+//! seed re-anchors at each of its interactions — precisely the set of
+//! admissible channel start points.)
+
+use infprop::prelude::*;
+use proptest::prelude::*;
+
+/// Random distinct-timestamp networks.
+fn networks() -> impl Strategy<Value = InteractionNetwork> {
+    prop::collection::vec((0u32..12, 0u32..12), 1..50).prop_map(|pairs| {
+        InteractionNetwork::from_triples(
+            pairs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (s, d))| (s, d, i as i64)),
+        )
+    })
+}
+
+proptest! {
+    /// TCIC at p = 1 from one seed == exact IRS at window W+1, plus the
+    /// seed itself.
+    #[test]
+    fn tcic_p1_equals_irs_shifted_window(net in networks(), w in 1i64..60, seed_node in 0u32..12) {
+        if (seed_node as usize) < net.num_nodes() {
+            let seed = NodeId(seed_node);
+            let irs = ExactIrs::compute(&net, Window(w + 1));
+            let cfg = TcicConfig::new(Window(w), 1.0).with_runs(1);
+            let spread = tcic_spread(&net, &[seed], &cfg);
+            // A seed with no outgoing interaction never activates (Algorithm
+            // 1 activates seeds at their interactions); its IRS is empty too.
+            let has_out = net.iter().any(|i| i.src == seed);
+            let expected = if has_out {
+                irs.irs_size(seed) as f64 + 1.0
+            } else {
+                0.0
+            };
+            prop_assert_eq!(spread, expected,
+                "seed {:?} w {}: spread {} irs {}", seed, w, spread, expected);
+        }
+    }
+
+    /// Monotonicity: TCIC spread at p = 1 never decreases with the window.
+    #[test]
+    fn tcic_spread_monotone_in_window(net in networks(), w in 1i64..40, extra in 0i64..40, s in 0u32..12) {
+        if (s as usize) < net.num_nodes() {
+            let small = tcic_spread(&net, &[NodeId(s)], &TcicConfig::new(Window(w), 1.0).with_runs(1));
+            let large = tcic_spread(&net, &[NodeId(s)], &TcicConfig::new(Window(w + extra), 1.0).with_runs(1));
+            prop_assert!(large >= small);
+        }
+    }
+
+    /// The influence oracle never exceeds the number of nodes, and greedy
+    /// cumulative influence is bounded by it.
+    #[test]
+    fn influence_bounded_by_n(net in networks(), w in 1i64..60, k in 1usize..6) {
+        let irs = ExactIrs::compute(&net, Window(w));
+        let oracle = irs.oracle();
+        let picks = greedy_top_k(&oracle, k);
+        if let Some(last) = picks.last() {
+            prop_assert!(last.cumulative <= net.num_nodes() as f64);
+        }
+    }
+
+    /// Seeding every node reaches every node that has any in- or
+    /// out-interaction (p = 1, unbounded window).
+    #[test]
+    fn seeding_everyone_reaches_active_nodes(net in networks()) {
+        let all: Vec<NodeId> = net.node_ids().collect();
+        let spread = tcic_spread(&net, &all, &TcicConfig::new(Window::unbounded(), 1.0).with_runs(1));
+        let active = net
+            .node_ids()
+            .filter(|&u| net.iter().any(|i| i.src == u || i.dst == u))
+            .count();
+        // Every node with an outgoing interaction self-activates; every
+        // destination of such an interaction gets infected.
+        prop_assert!(spread >= net.iter().map(|i| i.src).collect::<std::collections::HashSet<_>>().len() as f64);
+        prop_assert!(spread <= active as f64);
+    }
+}
+
+/// Persistence fuzz at the oracle level: mutated oracle files either load
+/// (and answer queries without panicking) or fail with a clean error.
+mod oracle_codec_fuzz {
+    use infprop::irs::{ApproxIrs, ApproxOracle, InfluenceOracle};
+    use infprop::prelude::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn mutated_oracle_never_panics(
+            pairs in prop::collection::vec((0u32..20, 0u32..20), 1..60),
+            pos_seed in any::<usize>(),
+            new_byte in any::<u8>(),
+        ) {
+            let net = InteractionNetwork::from_triples(
+                pairs.into_iter().enumerate().map(|(i, (s, d))| (s, d, i as i64)),
+            );
+            let irs = ApproxIrs::compute_with_precision(&net, Window(10), 4);
+            let mut bytes = Vec::new();
+            irs.oracle().write_to(&mut bytes).unwrap();
+            let pos = pos_seed % bytes.len();
+            bytes[pos] = new_byte;
+            if let Ok(oracle) = ApproxOracle::read_from(&mut bytes.as_slice()) {
+                // Whatever loaded must be queryable without panicking.
+                let seeds: Vec<NodeId> =
+                    (0..oracle.num_nodes().min(3)).map(NodeId::from_index).collect();
+                let _ = oracle.influence(&seeds);
+            }
+        }
+    }
+}
