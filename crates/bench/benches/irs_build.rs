@@ -1,8 +1,10 @@
 //! Criterion benchmarks for IRS construction (the cost behind Figure 3):
-//! exact vs approximate one-pass builds, and the reverse-vs-forward
-//! ablation on a small input.
+//! exact vs approximate one-pass builds, the generic engine driven directly
+//! (wrapper-overhead check), and the reverse-vs-forward ablation on a small
+//! input.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use infprop_core::engine::{ExactStore, ReversePassEngine, VhllStore};
 use infprop_core::{brute_force_irs_all, ApproxIrs, ExactIrs};
 use infprop_datasets::synthetic::SyntheticConfig;
 use infprop_temporal_graph::InteractionNetwork;
@@ -26,6 +28,22 @@ fn bench_exact_vs_approx(c: &mut Criterion) {
     });
     group.bench_function("approx_beta64", |b| {
         b.iter(|| black_box(ApproxIrs::compute_with_precision(&net, window, 6).total_entries()))
+    });
+    // The same passes through the bare generic engine: these must track the
+    // wrapper numbers above within noise, or a wrapper grew overhead.
+    group.bench_function("engine_exact_store", |b| {
+        b.iter(|| {
+            let store =
+                ReversePassEngine::run(&net, window, ExactStore::with_nodes(net.num_nodes()));
+            black_box(store.summaries().len())
+        })
+    });
+    group.bench_function("engine_vhll_store", |b| {
+        b.iter(|| {
+            let store =
+                ReversePassEngine::run(&net, window, VhllStore::with_nodes(9, net.num_nodes()));
+            black_box(store.sketches().len())
+        })
     });
     group.finish();
 }

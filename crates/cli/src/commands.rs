@@ -43,7 +43,12 @@ fn window_of(args: &ParsedArgs, net: &InteractionNetwork) -> Result<Window, Box<
             value: raw.into(),
             expected: "an absolute window length (time units)",
         })?;
-        Ok(Window(w))
+        let window = Window::try_new(w).map_err(|_| ArgError::BadValue {
+            flag: "window".into(),
+            value: raw.into(),
+            expected: "a window of at least 1 time unit",
+        })?;
+        Ok(window)
     } else {
         let pct: f64 = args.parse_required("window-pct", "a percentage in [0, 100]")?;
         Ok(net.window_from_percent(pct))

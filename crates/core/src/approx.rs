@@ -1,14 +1,15 @@
 //! The approximate one-pass IRS algorithm (paper Algorithm 3).
 //!
-//! Identical control flow to [`ExactIrs`](crate::ExactIrs) — reverse scan,
-//! `Add` + window-filtered `Merge` per interaction — but each node's summary
-//! is a [`VersionedHll`] instead of an exact hash map. Memory per node drops
-//! from `O(n)` worst case to an expected `O(β · log²ω)` (paper Lemma 6), and
-//! set sizes come back with relative error `≈ 1.04/√β`.
+//! Identical control flow to [`ExactIrs`](crate::ExactIrs) — both run the
+//! shared [`ReversePassEngine`](crate::engine::ReversePassEngine) — but each
+//! node's summary is a [`VersionedHll`] instead of an exact hash map
+//! (the [`VhllStore`] backend). Memory per node drops from `O(n)` worst case
+//! to an expected `O(β · log²ω)` (paper Lemma 6), and set sizes come back
+//! with relative error `≈ 1.04/√β`.
 
-use infprop_hll::hash;
+use crate::engine::{ReversePassEngine, VhllStore};
 use infprop_hll::{HyperLogLog, VersionedHll};
-use infprop_temporal_graph::{Interaction, InteractionNetwork, NodeId, Window};
+use infprop_temporal_graph::{InteractionNetwork, NodeId, Window};
 
 /// Paper default: `β = 2^9 = 512` cells — §6.2 found larger β gives only
 /// modest further accuracy.
@@ -30,37 +31,14 @@ pub struct ApproxIrs {
     sketches: Vec<VersionedHll>,
 }
 
-/// Stable per-node sketch hash: nodes are hashed once per add via the
-/// deterministic 64-bit mixer, so the same network yields the same sketches
-/// in every run and on every platform.
-#[inline]
-fn node_hash(v: NodeId) -> u64 {
-    hash::hash64(u64::from(v.0))
-}
-
-#[inline]
-fn src_and_dst(
-    sketches: &mut [VersionedHll],
-    u: usize,
-    v: usize,
-) -> (&mut VersionedHll, &VersionedHll) {
-    debug_assert_ne!(u, v);
-    if u < v {
-        let (lo, hi) = sketches.split_at_mut(v);
-        (&mut lo[u], &hi[0])
-    } else {
-        let (lo, hi) = sketches.split_at_mut(u);
-        (&mut hi[0], &lo[v])
-    }
-}
-
 impl ApproxIrs {
     /// Runs Algorithm 3 with the paper-default precision (β = 512).
     pub fn compute(net: &InteractionNetwork, window: Window) -> Self {
         Self::compute_with_precision(net, window, DEFAULT_PRECISION)
     }
 
-    /// Runs Algorithm 3 with `β = 2^precision` cells per node.
+    /// Runs Algorithm 3 with `β = 2^precision` cells per node, via
+    /// [`ReversePassEngine`] with a [`VhllStore`] backend.
     ///
     /// Timestamp ties are handled with the same two-phase batching as the
     /// exact algorithm (see [`ExactIrs::compute`](crate::ExactIrs::compute)).
@@ -69,75 +47,21 @@ impl ApproxIrs {
     ///
     /// Panics if `window < 1` or `precision ∉ [4, 16]`.
     pub fn compute_with_precision(net: &InteractionNetwork, window: Window, precision: u8) -> Self {
-        assert!(window.get() >= 1, "window must be at least 1 time unit");
-        let n = net.num_nodes();
-        let mut sketches: Vec<VersionedHll> =
-            (0..n).map(|_| VersionedHll::new(precision)).collect();
-
-        let ints = net.interactions();
-        let mut hi = ints.len();
-        while hi > 0 {
-            let t = ints[hi - 1].time;
-            let mut lo = hi - 1;
-            while lo > 0 && ints[lo - 1].time == t {
-                lo -= 1;
-            }
-            Self::apply_batch(&mut sketches, &ints[lo..hi], window);
-            hi = lo;
-        }
+        let store = ReversePassEngine::run(
+            net,
+            window,
+            VhllStore::with_nodes(precision, net.num_nodes()),
+        );
         ApproxIrs {
             window,
             precision,
-            sketches,
+            sketches: store.into_sketches(),
         }
     }
 
-    /// Applies one equal-timestamp batch (size 1 = Algorithm 3 verbatim).
-    /// Shared by `compute_with_precision` and the streaming builder.
-    pub(crate) fn apply_batch(
-        sketches: &mut [VersionedHll],
-        batch: &[Interaction],
-        window: Window,
-    ) {
-        if batch.len() == 1 {
-            Self::process_one(sketches, &batch[0], window);
-        } else {
-            Self::process_batch(sketches, batch, window);
-        }
-    }
-
-    /// `ApproxAdd` + `ApproxMerge` for one interaction `(u, v, t)`.
-    fn process_one(sketches: &mut [VersionedHll], e: &Interaction, window: Window) {
-        let (phi_u, phi_v) = src_and_dst(sketches, e.src.index(), e.dst.index());
-        phi_u.add_hash(node_hash(e.dst), e.time.get());
-        phi_u.merge_from(phi_v, e.time.get(), window.get());
-    }
-
-    /// Tie batch: reads of a destination that is also a batch source go to a
-    /// pre-batch snapshot, so equal-time hops never chain.
-    fn process_batch(sketches: &mut [VersionedHll], batch: &[Interaction], window: Window) {
-        use infprop_hll::hash::{FastHashMap, FastHashSet};
-        let sources: FastHashSet<usize> = batch.iter().map(|e| e.src.index()).collect();
-        let snapshots: FastHashMap<usize, VersionedHll> = batch
-            .iter()
-            .map(|e| e.dst.index())
-            .filter(|d| sources.contains(d))
-            .map(|d| (d, sketches[d].clone()))
-            .collect();
-        for e in batch {
-            let v = e.dst.index();
-            if let Some(snap) = snapshots.get(&v) {
-                let phi_u = &mut sketches[e.src.index()];
-                phi_u.add_hash(node_hash(e.dst), e.time.get());
-                phi_u.merge_from(snap, e.time.get(), window.get());
-            } else {
-                Self::process_one(sketches, e, window);
-            }
-        }
-    }
-
-    /// Reassembles sketch state from its parts (the persistence codec's
-    /// entry point; parts must be mutually consistent).
+    /// Reassembles sketch state from its parts (the persistence codec's and
+    /// the streaming builder's entry point; parts must be mutually
+    /// consistent).
     pub(crate) fn from_parts(window: Window, precision: u8, sketches: Vec<VersionedHll>) -> Self {
         debug_assert!(sketches.iter().all(|s| s.precision() == precision));
         ApproxIrs {

@@ -17,7 +17,7 @@ use infprop_temporal_graph::{InteractionNetwork, NodeId, Window};
 /// hop happens at most at `t0 + ω − 1`. The source itself is never included
 /// (a node does not influence itself), matching [`ExactIrs`](crate::ExactIrs).
 pub fn brute_force_irs(net: &InteractionNetwork, u: NodeId, window: Window) -> FastHashSet<NodeId> {
-    assert!(window.get() >= 1, "window must be at least 1 time unit");
+    window.assert_valid();
     let n = net.num_nodes();
     let mut result: FastHashSet<NodeId> = FastHashSet::default();
     // Candidate start times: every out-interaction of u. (A channel's first

@@ -77,7 +77,7 @@ pub fn find_channel(
     v: NodeId,
     window: Window,
 ) -> Option<Channel> {
-    assert!(window.get() >= 1, "window must be at least 1 time unit");
+    window.assert_valid();
     let n = net.num_nodes();
     if u.index() >= n || v.index() >= n {
         return None;

@@ -1,0 +1,574 @@
+//! The one reverse-pass IRS engine, generic over the summary backend.
+//!
+//! Both of the paper's algorithms — exact (Algorithm 2) and versioned-HLL
+//! (Algorithm 3) — are the *same* driver: scan the interactions in reverse
+//! chronological order and, for each `(u, v, t)`, perform `Add(φ(u), (v, t))`
+//! followed by a window-filtered `Merge(φ(u), φ(v), t, ω)`. Only the summary
+//! representation differs. This module captures that split:
+//!
+//! * [`SummaryStore`] — the per-interaction contract (`add`, `merge`,
+//!   node-universe growth, and a snapshot facility for timestamp ties);
+//! * [`ExactStore`] — hash-map summaries `φ(u) = {v → λ}` (Algorithm 2);
+//! * [`VhllStore`] — versioned-HLL sketches (Algorithm 3);
+//! * [`ReversePassEngine`] — the single driver owning the reverse scan, the
+//!   two-phase equal-timestamp batch semantics, and the streaming
+//!   frontier/[`OutOfOrder`] contract.
+//!
+//! [`ExactIrs::compute`](crate::ExactIrs::compute),
+//! [`ApproxIrs::compute`](crate::ApproxIrs::compute),
+//! [`ExactIrsStream`](crate::ExactIrsStream) and
+//! [`ApproxIrsStream`](crate::ApproxIrsStream) are thin wrappers over this
+//! engine; a future sharded or parallel store drops in without touching any
+//! of those callers.
+//!
+//! # Timestamp ties
+//!
+//! The paper assumes all-distinct timestamps (`t1 < t2 < …`). The engine
+//! also accepts ties and keeps the channel semantics strict: interactions
+//! sharing a timestamp are processed as a **two-phase batch** in which every
+//! merge reads the summaries *as they were before the batch*, so a channel
+//! can never chain two hops with equal timestamps. With distinct timestamps
+//! every batch has size one and the engine follows the paper verbatim.
+
+use infprop_hll::hash::{FastHashMap, FastHashSet};
+use infprop_hll::VersionedHll;
+use infprop_temporal_graph::{Interaction, InteractionNetwork, NodeId, Timestamp, Window};
+use std::fmt;
+
+/// Error returned when the reverse-order streaming contract is violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfOrder {
+    /// Timestamp of the rejected interaction.
+    pub got: Timestamp,
+    /// The stream frontier (smallest timestamp accepted so far).
+    pub frontier: Timestamp,
+}
+
+impl fmt::Display for OutOfOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "interaction at {} arrived after frontier {} (stream must be non-increasing in time)",
+            self.got, self.frontier
+        )
+    }
+}
+
+impl std::error::Error for OutOfOrder {}
+
+/// Reverse-order frontier guard shared by every streaming consumer (the
+/// engine itself and 1-hop profiles like
+/// [`SlidingContacts`](crate::SlidingContacts)).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReverseFrontier {
+    frontier: Option<Timestamp>,
+}
+
+impl ReverseFrontier {
+    /// A frontier that has seen nothing yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepts `t` if it does not exceed the frontier, then lowers the
+    /// frontier to it.
+    #[inline]
+    pub fn accept(&mut self, t: Timestamp) -> Result<(), OutOfOrder> {
+        if let Some(f) = self.frontier {
+            if t > f {
+                return Err(OutOfOrder {
+                    got: t,
+                    frontier: f,
+                });
+            }
+        }
+        self.frontier = Some(t);
+        Ok(())
+    }
+
+    /// The smallest timestamp accepted so far, if any.
+    #[inline]
+    pub fn get(&self) -> Option<Timestamp> {
+        self.frontier
+    }
+}
+
+/// The per-interaction contract of the one-pass IRS algorithms: a growable
+/// collection of per-node summaries supporting the paper's `Add` and `Merge`
+/// operations plus the snapshot facility the two-phase tie batches need.
+///
+/// Implementations must uphold two semantic rules the engine relies on:
+///
+/// 1. `merge(u, v, t, ω)` folds into `φ(u)` exactly those entries of `φ(v)`
+///    whose channel end time `tx` satisfies `tx − t + 1 ≤ ω` (Lemma 2's
+///    admissibility filter), and
+/// 2. `merge_snapshot` applies the same filter against a snapshot taken
+///    before the current tie batch instead of the live summary.
+pub trait SummaryStore {
+    /// A pre-batch copy of one node's summary, read by
+    /// [`merge_snapshot`](Self::merge_snapshot) when a tie batch writes a
+    /// node that other batch members merge from.
+    type Snapshot;
+
+    /// Number of node slots currently allocated.
+    fn num_nodes(&self) -> usize;
+
+    /// Grows the node universe so every id below `n` is addressable.
+    fn ensure_nodes(&mut self, n: usize);
+
+    /// `Add(φ(u), (v, t))`: record the direct channel `u → v` ending at `t`.
+    fn add(&mut self, u: NodeId, v: NodeId, t: Timestamp);
+
+    /// `Merge(φ(u), φ(v), t, ω)`: inherit `v`'s reachable set, filtered to
+    /// channels that still fit in the window when extended back to time `t`.
+    /// Callers guarantee `u ≠ v`.
+    fn merge(&mut self, u: NodeId, v: NodeId, t: Timestamp, window: Window);
+
+    /// Clones `φ(d)` as it stands (called before a tie batch first writes).
+    fn snapshot(&self, d: NodeId) -> Self::Snapshot;
+
+    /// [`merge`](Self::merge), reading from a pre-batch snapshot of the
+    /// destination's summary instead of the live one.
+    fn merge_snapshot(&mut self, u: NodeId, snap: &Self::Snapshot, t: Timestamp, window: Window);
+}
+
+/// Disjoint mutable + shared borrows of two distinct slots of a slice — the
+/// split-borrow trick that lets `Merge` read `φ(v)` while writing `φ(u)`
+/// without cloning.
+#[inline]
+fn src_and_dst<T>(slots: &mut [T], u: usize, v: usize) -> (&mut T, &T) {
+    debug_assert_ne!(u, v);
+    if u < v {
+        let (lo, hi) = slots.split_at_mut(v);
+        (&mut lo[u], &hi[0])
+    } else {
+        let (lo, hi) = slots.split_at_mut(u);
+        (&mut hi[0], &lo[v])
+    }
+}
+
+/// Exact hash-map summaries: `φ(u) = {v → λ(u, v)}` (paper Algorithm 2).
+#[derive(Clone, Debug, Default)]
+pub struct ExactStore {
+    summaries: Vec<FastHashMap<NodeId, Timestamp>>,
+}
+
+/// `Add(φ(u), (v, t))` from Algorithm 2: insert or lower the end time.
+#[inline]
+fn exact_add(summary: &mut FastHashMap<NodeId, Timestamp>, v: NodeId, t: Timestamp) {
+    summary
+        .entry(v)
+        .and_modify(|cur| {
+            if t < *cur {
+                *cur = t;
+            }
+        })
+        .or_insert(t);
+}
+
+impl ExactStore {
+    /// An empty store with `n` pre-allocated node slots.
+    pub fn with_nodes(n: usize) -> Self {
+        ExactStore {
+            summaries: (0..n).map(|_| FastHashMap::default()).collect(),
+        }
+    }
+
+    /// Rebuilds a store around existing summaries (codec entry point).
+    pub fn from_summaries(summaries: Vec<FastHashMap<NodeId, Timestamp>>) -> Self {
+        ExactStore { summaries }
+    }
+
+    /// Consumes the store, yielding the per-node summary maps.
+    pub fn into_summaries(self) -> Vec<FastHashMap<NodeId, Timestamp>> {
+        self.summaries
+    }
+
+    /// Shared view of the per-node summary maps.
+    pub fn summaries(&self) -> &[FastHashMap<NodeId, Timestamp>] {
+        &self.summaries
+    }
+}
+
+impl SummaryStore for ExactStore {
+    type Snapshot = FastHashMap<NodeId, Timestamp>;
+
+    fn num_nodes(&self) -> usize {
+        self.summaries.len()
+    }
+
+    fn ensure_nodes(&mut self, n: usize) {
+        if n > self.summaries.len() {
+            self.summaries.resize_with(n, FastHashMap::default);
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, u: NodeId, v: NodeId, t: Timestamp) {
+        exact_add(&mut self.summaries[u.index()], v, t);
+    }
+
+    fn merge(&mut self, u: NodeId, v: NodeId, t: Timestamp, window: Window) {
+        let (phi_u, phi_v) = src_and_dst(&mut self.summaries, u.index(), v.index());
+        phi_u.reserve(phi_v.len());
+        for (&x, &tx) in phi_v {
+            // Lemma 2's admissibility filter: tx − t + 1 ≤ ω. Cycles back to
+            // the source are skipped — a node does not influence itself
+            // (matching the paper's Example 2 trace, where the admissible
+            // channel e → b → e is not recorded in φ(e)).
+            if x != u && tx.delta(t) < window.get() {
+                exact_add(phi_u, x, tx);
+            }
+        }
+    }
+
+    fn snapshot(&self, d: NodeId) -> Self::Snapshot {
+        self.summaries[d.index()].clone()
+    }
+
+    fn merge_snapshot(&mut self, u: NodeId, snap: &Self::Snapshot, t: Timestamp, window: Window) {
+        let phi_u = &mut self.summaries[u.index()];
+        phi_u.reserve(snap.len());
+        for (&x, &tx) in snap {
+            if x != u && tx.delta(t) < window.get() {
+                exact_add(phi_u, x, tx);
+            }
+        }
+    }
+}
+
+/// Versioned-HLL sketch summaries (paper Algorithm 3).
+///
+/// A sketch cannot filter the source node itself out of a merged cycle
+/// (hashed items carry no identity), so a node on a short cycle may count
+/// itself — an overcount of at most one, far below the sketch's own
+/// `≈ 1.04/√β` error. The paper's Algorithm 3 has the same behaviour.
+#[derive(Clone, Debug)]
+pub struct VhllStore {
+    precision: u8,
+    sketches: Vec<VersionedHll>,
+}
+
+/// Stable per-node sketch hash: nodes are hashed once per add via the
+/// deterministic 64-bit mixer, so the same network yields the same sketches
+/// in every run and on every platform.
+#[inline]
+fn node_hash(v: NodeId) -> u64 {
+    infprop_hll::hash::hash64(u64::from(v.0))
+}
+
+impl VhllStore {
+    /// An empty store with `β = 2^precision` cells per node and `n`
+    /// pre-allocated node slots.
+    pub fn with_nodes(precision: u8, n: usize) -> Self {
+        VhllStore {
+            precision,
+            sketches: (0..n).map(|_| VersionedHll::new(precision)).collect(),
+        }
+    }
+
+    /// Rebuilds a store around existing sketches (codec entry point; all
+    /// sketches must share `precision`).
+    pub fn from_sketches(precision: u8, sketches: Vec<VersionedHll>) -> Self {
+        debug_assert!(sketches.iter().all(|s| s.precision() == precision));
+        VhllStore {
+            precision,
+            sketches,
+        }
+    }
+
+    /// Sketch precision `k` (β = 2^k cells per node).
+    pub fn precision(&self) -> u8 {
+        self.precision
+    }
+
+    /// Consumes the store, yielding the per-node sketches.
+    pub fn into_sketches(self) -> Vec<VersionedHll> {
+        self.sketches
+    }
+
+    /// Shared view of the per-node sketches.
+    pub fn sketches(&self) -> &[VersionedHll] {
+        &self.sketches
+    }
+}
+
+impl SummaryStore for VhllStore {
+    type Snapshot = VersionedHll;
+
+    fn num_nodes(&self) -> usize {
+        self.sketches.len()
+    }
+
+    fn ensure_nodes(&mut self, n: usize) {
+        if n > self.sketches.len() {
+            let precision = self.precision;
+            self.sketches
+                .resize_with(n, || VersionedHll::new(precision));
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, u: NodeId, v: NodeId, t: Timestamp) {
+        self.sketches[u.index()].add_hash(node_hash(v), t.get());
+    }
+
+    fn merge(&mut self, u: NodeId, v: NodeId, t: Timestamp, window: Window) {
+        let (phi_u, phi_v) = src_and_dst(&mut self.sketches, u.index(), v.index());
+        phi_u.merge_from(phi_v, t.get(), window.get());
+    }
+
+    fn snapshot(&self, d: NodeId) -> Self::Snapshot {
+        self.sketches[d.index()].clone()
+    }
+
+    fn merge_snapshot(&mut self, u: NodeId, snap: &Self::Snapshot, t: Timestamp, window: Window) {
+        self.sketches[u.index()].merge_from(snap, t.get(), window.get());
+    }
+}
+
+/// Walks a time-sorted (ascending) interaction slice **backwards**, yielding
+/// each maximal equal-timestamp run — the reverse scan both `compute` paths
+/// share. [`ExactIrs::compute_many`](crate::ExactIrs::compute_many) uses it
+/// directly to amortize one scan across several windows.
+pub fn for_each_tie_batch(ints: &[Interaction], mut f: impl FnMut(&[Interaction])) {
+    let mut hi = ints.len();
+    while hi > 0 {
+        let t = ints[hi - 1].time;
+        let mut lo = hi - 1;
+        while lo > 0 && ints[lo - 1].time == t {
+            lo -= 1;
+        }
+        f(&ints[lo..hi]);
+        hi = lo;
+    }
+}
+
+/// Applies one equal-timestamp batch to a store (size 1 = the paper's
+/// algorithm verbatim; larger = two-phase tie semantics).
+pub fn apply_batch<S: SummaryStore>(store: &mut S, batch: &[Interaction], window: Window) {
+    if let [e] = batch {
+        if e.src != e.dst {
+            store.add(e.src, e.dst, e.time);
+            store.merge(e.src, e.dst, e.time, window);
+        }
+        return;
+    }
+    // Phase 1: snapshot φ(d) for every destination that is also a batch
+    // source — merges must read pre-batch state so equal-time hops never
+    // chain. Phase 2: apply every edge, routing reads through the snapshots.
+    let sources: FastHashSet<usize> = batch.iter().map(|e| e.src.index()).collect();
+    let snapshots: FastHashMap<usize, S::Snapshot> = batch
+        .iter()
+        .map(|e| e.dst.index())
+        .filter(|d| sources.contains(d))
+        .map(|d| (d, store.snapshot(NodeId::from_index(d))))
+        .collect();
+    for e in batch {
+        if e.src == e.dst {
+            continue;
+        }
+        store.add(e.src, e.dst, e.time);
+        if let Some(snap) = snapshots.get(&e.dst.index()) {
+            store.merge_snapshot(e.src, snap, e.time, window);
+        } else {
+            store.merge(e.src, e.dst, e.time, window);
+        }
+    }
+}
+
+/// The single one-pass driver behind every IRS entry point: owns the reverse
+/// scan, the two-phase tie-batch semantics, and the streaming
+/// frontier/[`OutOfOrder`] contract, generic over the summary backend.
+///
+/// Batch use ([`run`](Self::run)) consumes a materialized network in one
+/// call; streaming use ([`push`](Self::push) + [`finish`](Self::finish))
+/// feeds interactions one at a time in non-increasing time order, buffering
+/// timestamp ties so streamed and batch results are identical — a
+/// property-tested guarantee.
+pub struct ReversePassEngine<S: SummaryStore> {
+    window: Window,
+    store: S,
+    frontier: ReverseFrontier,
+    tie_buffer: Vec<Interaction>,
+    interactions_seen: usize,
+}
+
+impl<S: SummaryStore> ReversePassEngine<S> {
+    /// A streaming engine over `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 1` (see [`Window::assert_valid`]).
+    pub fn new(window: Window, store: S) -> Self {
+        window.assert_valid();
+        ReversePassEngine {
+            window,
+            store,
+            frontier: ReverseFrontier::new(),
+            tie_buffer: Vec::new(),
+            interactions_seen: 0,
+        }
+    }
+
+    /// Runs the full reverse pass over a materialized network and returns
+    /// the finished store. This is the batch entry point behind
+    /// [`ExactIrs::compute`](crate::ExactIrs::compute) and
+    /// [`ApproxIrs::compute`](crate::ApproxIrs::compute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 1`.
+    pub fn run(net: &InteractionNetwork, window: Window, mut store: S) -> S {
+        window.assert_valid();
+        store.ensure_nodes(net.num_nodes());
+        for_each_tie_batch(net.interactions(), |batch| {
+            apply_batch(&mut store, batch, window);
+        });
+        store
+    }
+
+    /// The window ω this engine filters merges with.
+    #[inline]
+    pub fn window(&self) -> Window {
+        self.window
+    }
+
+    /// Number of interactions accepted so far.
+    #[inline]
+    pub fn interactions_seen(&self) -> usize {
+        self.interactions_seen
+    }
+
+    /// Shared view of the backend store. Buffered ties are not yet applied.
+    #[inline]
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Feeds one interaction (time must be ≤ every previous time). Ties are
+    /// buffered and flushed together once the time strictly drops, exactly
+    /// like the batch path. Self-loops are ignored, mirroring
+    /// [`InteractionNetwork`] construction.
+    pub fn push(&mut self, i: Interaction) -> Result<(), OutOfOrder> {
+        self.frontier.accept(i.time)?;
+        self.store
+            .ensure_nodes(i.src.index().max(i.dst.index()) + 1);
+        if let Some(last) = self.tie_buffer.last() {
+            if last.time != i.time {
+                let batch = std::mem::take(&mut self.tie_buffer);
+                apply_batch(&mut self.store, &batch, self.window);
+            }
+        }
+        self.tie_buffer.push(i);
+        self.interactions_seen += 1;
+        Ok(())
+    }
+
+    /// Flushes any buffered ties and returns the finished store.
+    pub fn finish(mut self) -> S {
+        let batch = std::mem::take(&mut self.tie_buffer);
+        if !batch.is_empty() {
+            apply_batch(&mut self.store, &batch, self.window);
+        }
+        self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1a() -> InteractionNetwork {
+        InteractionNetwork::from_triples([
+            (0, 3, 1),
+            (4, 5, 2),
+            (3, 4, 3),
+            (4, 1, 4),
+            (0, 1, 5),
+            (1, 4, 6),
+            (4, 2, 7),
+            (1, 2, 8),
+        ])
+    }
+
+    #[test]
+    fn generic_run_matches_streaming_push_exact() {
+        let net = figure1a();
+        for w in [1i64, 3, 8] {
+            let batch =
+                ReversePassEngine::run(&net, Window(w), ExactStore::with_nodes(net.num_nodes()));
+            let mut engine = ReversePassEngine::new(Window(w), ExactStore::default());
+            for i in net.iter_reverse() {
+                engine.push(*i).unwrap();
+            }
+            let streamed = engine.finish();
+            assert_eq!(batch.summaries(), streamed.summaries(), "ω={w}");
+        }
+    }
+
+    #[test]
+    fn generic_run_matches_streaming_push_vhll() {
+        let net = figure1a();
+        let batch =
+            ReversePassEngine::run(&net, Window(3), VhllStore::with_nodes(6, net.num_nodes()));
+        let mut engine = ReversePassEngine::new(Window(3), VhllStore::with_nodes(6, 0));
+        for i in net.iter_reverse() {
+            engine.push(*i).unwrap();
+        }
+        let streamed = engine.finish();
+        assert_eq!(batch.sketches(), streamed.sketches());
+    }
+
+    #[test]
+    fn tie_batches_are_grouped_in_reverse() {
+        let net = InteractionNetwork::from_triples([(0, 1, 1), (1, 2, 5), (2, 3, 5), (3, 4, 9)]);
+        let mut seen: Vec<(usize, i64)> = Vec::new();
+        for_each_tie_batch(net.interactions(), |batch| {
+            seen.push((batch.len(), batch[0].time.get()));
+        });
+        assert_eq!(seen, vec![(1, 9), (2, 5), (1, 1)]);
+    }
+
+    #[test]
+    fn out_of_order_push_is_rejected_and_recoverable() {
+        let mut engine = ReversePassEngine::new(Window(5), ExactStore::default());
+        engine.push(Interaction::from_raw(0, 1, 10)).unwrap();
+        engine.push(Interaction::from_raw(1, 2, 10)).unwrap(); // tie ok
+        let err = engine.push(Interaction::from_raw(2, 3, 11)).unwrap_err();
+        assert_eq!(err.got, Timestamp(11));
+        assert_eq!(err.frontier, Timestamp(10));
+        assert!(err.to_string().contains("non-increasing"));
+        engine.push(Interaction::from_raw(2, 3, 9)).unwrap();
+        assert_eq!(engine.interactions_seen(), 3);
+    }
+
+    #[test]
+    fn self_loops_are_ignored_in_stream() {
+        let mut engine = ReversePassEngine::new(Window(5), ExactStore::default());
+        engine.push(Interaction::from_raw(1, 2, 9)).unwrap();
+        engine.push(Interaction::from_raw(0, 0, 5)).unwrap();
+        let store = engine.finish();
+        assert!(store.summaries()[0].is_empty());
+        assert_eq!(store.summaries()[1].len(), 1);
+    }
+
+    #[test]
+    fn ensure_nodes_grows_and_never_shrinks() {
+        let mut store = ExactStore::with_nodes(2);
+        store.ensure_nodes(5);
+        assert_eq!(store.num_nodes(), 5);
+        store.ensure_nodes(1);
+        assert_eq!(store.num_nodes(), 5);
+        let mut vs = VhllStore::with_nodes(5, 0);
+        vs.ensure_nodes(3);
+        assert_eq!(vs.num_nodes(), 3);
+        assert_eq!(vs.precision(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least 1")]
+    fn zero_window_engine_panics() {
+        let _ = ReversePassEngine::new(Window(0), ExactStore::default());
+    }
+}

@@ -1,7 +1,13 @@
 //! The exact one-pass IRS algorithm (paper Algorithm 2).
+//!
+//! The reverse scan, tie batching and `Add`/`Merge` mechanics live in the
+//! shared [`engine`](crate::engine) module; this type is the public face of
+//! running that engine with an [`ExactStore`] backend and querying the
+//! resulting summaries.
 
+use crate::engine::{self, ExactStore, ReversePassEngine};
 use infprop_hll::hash::FastHashMap;
-use infprop_temporal_graph::{Interaction, InteractionNetwork, NodeId, Timestamp, Window};
+use infprop_temporal_graph::{InteractionNetwork, NodeId, Timestamp, Window};
 
 /// Exact influence-reachability summaries `φω(u)` for every node.
 ///
@@ -15,41 +21,9 @@ pub struct ExactIrs {
     summaries: Vec<FastHashMap<NodeId, Timestamp>>,
 }
 
-/// `Add(φ(u), (v, t))` from Algorithm 2: insert or lower the end time.
-#[inline]
-fn add(summary: &mut FastHashMap<NodeId, Timestamp>, v: NodeId, t: Timestamp) {
-    summary
-        .entry(v)
-        .and_modify(|cur| {
-            if t < *cur {
-                *cur = t;
-            }
-        })
-        .or_insert(t);
-}
-
-/// Disjoint mutable + shared borrows of two distinct slots of a slice.
-#[inline]
-fn src_and_dst(
-    summaries: &mut [FastHashMap<NodeId, Timestamp>],
-    u: usize,
-    v: usize,
-) -> (
-    &mut FastHashMap<NodeId, Timestamp>,
-    &FastHashMap<NodeId, Timestamp>,
-) {
-    debug_assert_ne!(u, v);
-    if u < v {
-        let (lo, hi) = summaries.split_at_mut(v);
-        (&mut lo[u], &hi[0])
-    } else {
-        let (lo, hi) = summaries.split_at_mut(u);
-        (&mut hi[0], &lo[v])
-    }
-}
-
 impl ExactIrs {
-    /// Runs Algorithm 2: one reverse-chronological pass over the network.
+    /// Runs Algorithm 2: one reverse-chronological pass over the network,
+    /// via [`ReversePassEngine`] with an [`ExactStore`] backend.
     ///
     /// # Timestamp ties
     ///
@@ -60,23 +34,11 @@ impl ExactIrs {
     /// all-distinct timestamps (the paper's assumption) every batch has size
     /// one and the code follows Algorithm 2 verbatim.
     pub fn compute(net: &InteractionNetwork, window: Window) -> Self {
-        assert!(window.get() >= 1, "window must be at least 1 time unit");
-        let n = net.num_nodes();
-        let mut summaries: Vec<FastHashMap<NodeId, Timestamp>> =
-            (0..n).map(|_| FastHashMap::default()).collect();
-
-        let ints = net.interactions();
-        let mut hi = ints.len();
-        while hi > 0 {
-            let t = ints[hi - 1].time;
-            let mut lo = hi - 1;
-            while lo > 0 && ints[lo - 1].time == t {
-                lo -= 1;
-            }
-            Self::apply_batch(&mut summaries, &ints[lo..hi], window);
-            hi = lo;
+        let store = ReversePassEngine::run(net, window, ExactStore::with_nodes(net.num_nodes()));
+        ExactIrs {
+            window,
+            summaries: store.into_summaries(),
         }
-        ExactIrs { window, summaries }
     }
 
     /// Computes exact summaries for several windows in **one** shared
@@ -86,105 +48,33 @@ impl ExactIrs {
     /// its cache traffic are amortized.
     pub fn compute_many(net: &InteractionNetwork, windows: &[Window]) -> Vec<ExactIrs> {
         for w in windows {
-            assert!(w.get() >= 1, "window must be at least 1 time unit");
+            w.assert_valid();
         }
         let n = net.num_nodes();
-        let mut all: Vec<Vec<FastHashMap<NodeId, Timestamp>>> = windows
-            .iter()
-            .map(|_| (0..n).map(|_| FastHashMap::default()).collect())
-            .collect();
-        let ints = net.interactions();
-        let mut hi = ints.len();
-        while hi > 0 {
-            let t = ints[hi - 1].time;
-            let mut lo = hi - 1;
-            while lo > 0 && ints[lo - 1].time == t {
-                lo -= 1;
+        let mut stores: Vec<ExactStore> =
+            windows.iter().map(|_| ExactStore::with_nodes(n)).collect();
+        engine::for_each_tie_batch(net.interactions(), |batch| {
+            for (store, &window) in stores.iter_mut().zip(windows) {
+                engine::apply_batch(store, batch, window);
             }
-            for (summaries, &window) in all.iter_mut().zip(windows) {
-                Self::apply_batch(summaries, &ints[lo..hi], window);
-            }
-            hi = lo;
-        }
-        all.into_iter()
+        });
+        stores
+            .into_iter()
             .zip(windows)
-            .map(|(summaries, &window)| ExactIrs { window, summaries })
+            .map(|(store, &window)| ExactIrs {
+                window,
+                summaries: store.into_summaries(),
+            })
             .collect()
     }
 
-    /// Reassembles summaries from parts (streaming builder's exit point).
+    /// Reassembles summaries from parts (streaming builder's and the
+    /// persistence codec's exit point).
     pub(crate) fn from_parts(
         window: Window,
         summaries: Vec<FastHashMap<NodeId, Timestamp>>,
     ) -> Self {
         ExactIrs { window, summaries }
-    }
-
-    /// Applies one equal-timestamp batch (size 1 = Algorithm 2 verbatim).
-    /// Shared by `compute` and the streaming builder.
-    pub(crate) fn apply_batch(
-        summaries: &mut [FastHashMap<NodeId, Timestamp>],
-        batch: &[Interaction],
-        window: Window,
-    ) {
-        if batch.len() == 1 {
-            Self::process_one(summaries, &batch[0], window);
-        } else {
-            Self::process_batch(summaries, batch, window);
-        }
-    }
-
-    /// Fast path: `Add` then `Merge` for a single interaction `(u, v, t)`.
-    fn process_one(
-        summaries: &mut [FastHashMap<NodeId, Timestamp>],
-        e: &Interaction,
-        window: Window,
-    ) {
-        let (phi_u, phi_v) = src_and_dst(summaries, e.src.index(), e.dst.index());
-        add(phi_u, e.dst, e.time);
-        phi_u.reserve(phi_v.len());
-        for (&x, &tx) in phi_v {
-            // Lemma 2's admissibility filter: tx − t + 1 ≤ ω. Cycles back to
-            // the source are skipped — a node does not influence itself
-            // (matching the paper's Example 2 trace, where the admissible
-            // channel e → b → e is not recorded in φ(e)).
-            if x != e.src && tx.delta(e.time) < window.get() {
-                add(phi_u, x, tx);
-            }
-        }
-    }
-
-    /// Tie batch: phase 1 computes every edge's additions against the
-    /// pre-batch summaries (snapshotting a destination only if some batch
-    /// edge also writes it), phase 2 applies them.
-    fn process_batch(
-        summaries: &mut [FastHashMap<NodeId, Timestamp>],
-        batch: &[Interaction],
-        window: Window,
-    ) {
-        use infprop_hll::hash::FastHashSet;
-        let sources: FastHashSet<usize> = batch.iter().map(|e| e.src.index()).collect();
-        // Snapshot φ(v) for destinations that are also batch sources.
-        let snapshots: FastHashMap<usize, FastHashMap<NodeId, Timestamp>> = batch
-            .iter()
-            .map(|e| e.dst.index())
-            .filter(|d| sources.contains(d))
-            .map(|d| (d, summaries[d].clone()))
-            .collect();
-        for e in batch {
-            let v = e.dst.index();
-            if let Some(snap) = snapshots.get(&v) {
-                let phi_u = &mut summaries[e.src.index()];
-                add(phi_u, e.dst, e.time);
-                for (&x, &tx) in snap {
-                    if x != e.src && tx.delta(e.time) < window.get() {
-                        add(phi_u, x, tx);
-                    }
-                }
-            } else {
-                Self::process_one(summaries, e, window);
-            }
-        }
     }
 
     /// The window ω the summaries were computed for.
@@ -438,6 +328,12 @@ mod tests {
     #[should_panic(expected = "window must be at least 1")]
     fn zero_window_panics() {
         let _ = ExactIrs::compute(&figure1a(), Window(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least 1")]
+    fn zero_window_panics_in_compute_many() {
+        let _ = ExactIrs::compute_many(&figure1a(), &[Window(3), Window(0)]);
     }
 
     #[test]

@@ -30,13 +30,24 @@
 //!   [`greedy_top_k_paper`]) because the influence function is monotone and
 //!   submodular (paper Lemma 8).
 //!
+//! # One engine, pluggable backends
+//!
+//! Both algorithms are the *same* reverse-chronological driver parameterized
+//! only by the summary representation, and the code is shaped accordingly:
+//! the [`engine`] module owns the single [`ReversePassEngine`] (reverse
+//! scan, two-phase tie batching, streaming frontier contract) and the
+//! [`SummaryStore`] trait it drives, with [`ExactStore`] and [`VhllStore`]
+//! as the two backends. [`ExactIrs`], [`ApproxIrs`], [`ExactIrsStream`] and
+//! [`ApproxIrsStream`] are thin wrappers over that engine, so a future
+//! sharded or parallel store drops in without touching callers.
+//!
 //! # Timestamp ties
 //!
 //! The paper assumes all-distinct timestamps. This implementation also
 //! accepts ties and keeps the channel semantics strict (`t1 < t2 < …`):
 //! interactions sharing a timestamp are processed as a two-phase batch so
 //! that no channel ever chains two equal-time hops. See
-//! [`ExactIrs::compute`] for details.
+//! [`ExactIrs::compute`] and [`engine`] for details.
 //!
 //! # Example
 //!
@@ -64,6 +75,7 @@
 mod approx;
 mod brute;
 mod channel;
+pub mod engine;
 mod exact;
 mod maximize;
 mod oracle;
@@ -74,8 +86,9 @@ mod stream;
 pub use approx::{ApproxIrs, DEFAULT_PRECISION};
 pub use brute::{brute_force_irs, brute_force_irs_all};
 pub use channel::{channels_from, find_channel, Channel};
+pub use engine::{ExactStore, OutOfOrder, ReversePassEngine, SummaryStore, VhllStore};
 pub use exact::ExactIrs;
 pub use maximize::{greedy_top_k, greedy_top_k_paper, Selection};
 pub use oracle::{ApproxOracle, ExactOracle, InfluenceOracle};
 pub use profile::{ContactDirection, SlidingContacts};
-pub use stream::{ApproxIrsStream, ExactIrsStream, OutOfOrder};
+pub use stream::{ApproxIrsStream, ExactIrsStream};

@@ -109,10 +109,8 @@ impl ApproxIrs {
         if version != FORMAT_VERSION {
             return Err(CodecError::BadVersion(version));
         }
-        let window = Window(i64::from_le_bytes(read_array(r)?));
-        if window.get() < 1 {
-            return Err(CodecError::Corrupt("window must be positive"));
-        }
+        let window = Window::try_new(i64::from_le_bytes(read_array(r)?))
+            .map_err(|_| CodecError::Corrupt("window must be positive"))?;
         let n = u32::from_le_bytes(read_array(r)?) as usize;
         let mut sketches = Vec::with_capacity(n);
         for _ in 0..n {
@@ -163,10 +161,8 @@ impl ExactIrs {
         if version != FORMAT_VERSION {
             return Err(CodecError::BadVersion(version));
         }
-        let window = Window(i64::from_le_bytes(read_array(r)?));
-        if window.get() < 1 {
-            return Err(CodecError::Corrupt("window must be positive"));
-        }
+        let window = Window::try_new(i64::from_le_bytes(read_array(r)?))
+            .map_err(|_| CodecError::Corrupt("window must be positive"))?;
         let n = u32::from_le_bytes(read_array(r)?) as usize;
         let mut summaries = Vec::with_capacity(n);
         for _ in 0..n {

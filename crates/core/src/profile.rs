@@ -16,6 +16,7 @@
 //! Unlike the IRS, profiles are 1-hop: no merging between nodes, so a
 //! node's sketch only ever receives its own contacts.
 
+use crate::engine::ReverseFrontier;
 use infprop_hll::hash;
 use infprop_hll::VersionedHll;
 use infprop_temporal_graph::{Interaction, InteractionNetwork, NodeId, Timestamp, Window};
@@ -35,19 +36,19 @@ pub struct SlidingContacts {
     direction: ContactDirection,
     precision: u8,
     sketches: Vec<VersionedHll>,
-    frontier: Option<Timestamp>,
+    frontier: ReverseFrontier,
 }
 
 impl SlidingContacts {
     /// An empty profile set; the node universe grows as ids appear.
     pub fn new(window: Window, direction: ContactDirection, precision: u8) -> Self {
-        assert!(window.get() >= 1, "window must be at least 1 time unit");
+        window.assert_valid();
         SlidingContacts {
             window,
             direction,
             precision,
             sketches: Vec::new(),
-            frontier: None,
+            frontier: ReverseFrontier::new(),
         }
     }
 
@@ -77,15 +78,7 @@ impl SlidingContacts {
 
     /// Feeds one interaction (non-increasing time order).
     pub fn push(&mut self, i: Interaction) -> Result<(), crate::OutOfOrder> {
-        if let Some(f) = self.frontier {
-            if i.time > f {
-                return Err(crate::OutOfOrder {
-                    got: i.time,
-                    frontier: f,
-                });
-            }
-        }
-        self.frontier = Some(i.time);
+        self.frontier.accept(i.time)?;
         let (owner, contact) = match self.direction {
             ContactDirection::Outgoing => (i.src, i.dst),
             ContactDirection::Incoming => (i.dst, i.src),
@@ -104,7 +97,7 @@ impl SlidingContacts {
     /// `[anchor, anchor + ω − 1]`. Sound for anchors at or before the
     /// stream frontier (the reverse-scan discipline).
     pub fn estimate_at(&self, u: NodeId, anchor: Timestamp) -> f64 {
-        if let Some(f) = self.frontier {
+        if let Some(f) = self.frontier.get() {
             debug_assert!(
                 anchor <= f,
                 "windowed profile queries must anchor at or before the frontier"

@@ -11,9 +11,10 @@
 //! the same summaries `compute` would produce, without ever holding the
 //! interaction list in memory.
 //!
-//! Timestamp ties are buffered and flushed as a batch with the same
-//! two-phase semantics as the batch `compute` paths, so streamed and batch
-//! results are identical — a property-tested guarantee.
+//! Both builders are thin wrappers over the shared
+//! [`ReversePassEngine`](crate::engine::ReversePassEngine): the engine owns
+//! frontier tracking, tie buffering and the two-phase flush, so streamed and
+//! batch results are identical — a property-tested guarantee.
 //!
 //! ```
 //! use infprop_core::{ExactIrs, ExactIrsStream};
@@ -31,133 +32,46 @@
 //! [`InteractionNetwork`]: infprop_temporal_graph::InteractionNetwork
 
 use crate::approx::ApproxIrs;
+use crate::engine::{ExactStore, OutOfOrder, ReversePassEngine, VhllStore};
 use crate::exact::ExactIrs;
-use infprop_hll::hash::FastHashMap;
-use infprop_hll::VersionedHll;
-use infprop_temporal_graph::{Interaction, NodeId, Timestamp, Window};
-use std::fmt;
+use infprop_temporal_graph::{Interaction, Window};
 
-/// Error returned when the reverse-order contract is violated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct OutOfOrder {
-    /// Timestamp of the rejected interaction.
-    pub got: Timestamp,
-    /// The stream frontier (smallest timestamp accepted so far).
-    pub frontier: Timestamp,
-}
-
-impl fmt::Display for OutOfOrder {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "interaction at {} arrived after frontier {} (stream must be non-increasing in time)",
-            self.got, self.frontier
-        )
-    }
-}
-
-impl std::error::Error for OutOfOrder {}
-
-/// Shared reverse-stream plumbing: frontier tracking and tie buffering.
-struct ReverseFeed {
-    frontier: Option<Timestamp>,
-    tie_buffer: Vec<Interaction>,
-}
-
-impl ReverseFeed {
-    fn new() -> Self {
-        ReverseFeed {
-            frontier: None,
-            tie_buffer: Vec::new(),
-        }
-    }
-
-    /// Accepts the next interaction; returns a batch to flush when the time
-    /// strictly drops below the buffered tie group.
-    fn accept(&mut self, i: Interaction) -> Result<Option<Vec<Interaction>>, OutOfOrder> {
-        if let Some(f) = self.frontier {
-            if i.time > f {
-                return Err(OutOfOrder {
-                    got: i.time,
-                    frontier: f,
-                });
-            }
-        }
-        let flush = match self.tie_buffer.last() {
-            Some(last) if last.time != i.time => Some(std::mem::take(&mut self.tie_buffer)),
-            _ => None,
-        };
-        self.frontier = Some(i.time);
-        self.tie_buffer.push(i);
-        Ok(flush)
-    }
-
-    fn drain(&mut self) -> Vec<Interaction> {
-        std::mem::take(&mut self.tie_buffer)
-    }
-}
-
-/// Streaming builder for [`ExactIrs`].
+/// Streaming builder for [`ExactIrs`]: a [`ReversePassEngine`] over an
+/// [`ExactStore`].
 pub struct ExactIrsStream {
-    window: Window,
-    summaries: Vec<FastHashMap<NodeId, Timestamp>>,
-    feed: ReverseFeed,
-    interactions_seen: usize,
+    engine: ReversePassEngine<ExactStore>,
 }
 
 impl ExactIrsStream {
     /// A builder with an empty node universe (it grows as ids appear).
     pub fn new(window: Window) -> Self {
-        assert!(window.get() >= 1, "window must be at least 1 time unit");
         ExactIrsStream {
-            window,
-            summaries: Vec::new(),
-            feed: ReverseFeed::new(),
-            interactions_seen: 0,
+            engine: ReversePassEngine::new(window, ExactStore::default()),
         }
     }
 
     /// Number of interactions accepted so far.
     pub fn interactions_seen(&self) -> usize {
-        self.interactions_seen
-    }
-
-    fn ensure(&mut self, id: NodeId) {
-        if id.index() >= self.summaries.len() {
-            self.summaries
-                .resize_with(id.index() + 1, FastHashMap::default);
-        }
+        self.engine.interactions_seen()
     }
 
     /// Feeds one interaction (time must be ≤ every previous time). Ties are
     /// buffered and flushed together, exactly like the batch algorithm.
     pub fn push(&mut self, i: Interaction) -> Result<(), OutOfOrder> {
-        self.ensure(i.src);
-        self.ensure(i.dst);
-        if let Some(batch) = self.feed.accept(i)? {
-            ExactIrs::apply_batch(&mut self.summaries, &batch, self.window);
-        }
-        self.interactions_seen += 1;
-        Ok(())
+        self.engine.push(i)
     }
 
     /// Flushes any buffered ties and returns the finished summaries.
-    pub fn finish(mut self) -> ExactIrs {
-        let batch = self.feed.drain();
-        if !batch.is_empty() {
-            ExactIrs::apply_batch(&mut self.summaries, &batch, self.window);
-        }
-        ExactIrs::from_parts(self.window, self.summaries)
+    pub fn finish(self) -> ExactIrs {
+        let window = self.engine.window();
+        ExactIrs::from_parts(window, self.engine.finish().into_summaries())
     }
 }
 
-/// Streaming builder for [`ApproxIrs`].
+/// Streaming builder for [`ApproxIrs`]: a [`ReversePassEngine`] over a
+/// [`VhllStore`].
 pub struct ApproxIrsStream {
-    window: Window,
-    precision: u8,
-    sketches: Vec<VersionedHll>,
-    feed: ReverseFeed,
-    interactions_seen: usize,
+    engine: ReversePassEngine<VhllStore>,
 }
 
 impl ApproxIrsStream {
@@ -168,54 +82,33 @@ impl ApproxIrsStream {
 
     /// A builder with `β = 2^precision` cells per node.
     pub fn with_precision(window: Window, precision: u8) -> Self {
-        assert!(window.get() >= 1, "window must be at least 1 time unit");
         ApproxIrsStream {
-            window,
-            precision,
-            sketches: Vec::new(),
-            feed: ReverseFeed::new(),
-            interactions_seen: 0,
+            engine: ReversePassEngine::new(window, VhllStore::with_nodes(precision, 0)),
         }
     }
 
     /// Number of interactions accepted so far.
     pub fn interactions_seen(&self) -> usize {
-        self.interactions_seen
-    }
-
-    fn ensure(&mut self, id: NodeId) {
-        if id.index() >= self.sketches.len() {
-            let precision = self.precision;
-            self.sketches
-                .resize_with(id.index() + 1, || VersionedHll::new(precision));
-        }
+        self.engine.interactions_seen()
     }
 
     /// Feeds one interaction (time must be ≤ every previous time).
     pub fn push(&mut self, i: Interaction) -> Result<(), OutOfOrder> {
-        self.ensure(i.src);
-        self.ensure(i.dst);
-        if let Some(batch) = self.feed.accept(i)? {
-            ApproxIrs::apply_batch(&mut self.sketches, &batch, self.window);
-        }
-        self.interactions_seen += 1;
-        Ok(())
+        self.engine.push(i)
     }
 
     /// Flushes any buffered ties and returns the finished sketches.
-    pub fn finish(mut self) -> ApproxIrs {
-        let batch = self.feed.drain();
-        if !batch.is_empty() {
-            ApproxIrs::apply_batch(&mut self.sketches, &batch, self.window);
-        }
-        ApproxIrs::from_parts(self.window, self.precision, self.sketches)
+    pub fn finish(self) -> ApproxIrs {
+        let window = self.engine.window();
+        let precision = self.engine.store().precision();
+        ApproxIrs::from_parts(window, precision, self.engine.finish().into_sketches())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use infprop_temporal_graph::InteractionNetwork;
+    use infprop_temporal_graph::{InteractionNetwork, NodeId, Timestamp};
 
     fn figure1a() -> InteractionNetwork {
         InteractionNetwork::from_triples([

@@ -55,7 +55,7 @@ pub fn tcic_run(
         (0.0..=1.0).contains(&infection_prob),
         "infection probability must be within [0, 1], got {infection_prob}"
     );
-    assert!(window.get() >= 1, "window must be at least 1 time unit");
+    window.assert_valid();
     let n = net.num_nodes();
     let mut active = vec![false; n];
     let mut anchor: Vec<Option<i64>> = vec![None; n];

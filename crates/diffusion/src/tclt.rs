@@ -71,7 +71,7 @@ pub fn tclt_run(
     window: Window,
     rng: &mut impl Rng,
 ) -> CascadeOutcome {
-    assert!(window.get() >= 1, "window must be at least 1 time unit");
+    window.assert_valid();
     let n = net.num_nodes();
     let mut active = vec![false; n];
     let mut anchor: Vec<Option<i64>> = vec![None; n];

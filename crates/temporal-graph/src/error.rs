@@ -17,6 +17,8 @@ pub enum GraphError {
     },
     /// The input contained no interactions where at least one was required.
     Empty,
+    /// A window shorter than one time unit (admits no channel).
+    InvalidWindow(i64),
 }
 
 impl fmt::Display for GraphError {
@@ -27,6 +29,9 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error on line {line}: {message}")
             }
             GraphError::Empty => write!(f, "interaction network is empty"),
+            GraphError::InvalidWindow(len) => {
+                write!(f, "window must be at least 1 time unit, got {len}")
+            }
         }
     }
 }
@@ -60,6 +65,10 @@ mod tests {
         assert_eq!(
             format!("{}", GraphError::Empty),
             "interaction network is empty"
+        );
+        assert_eq!(
+            format!("{}", GraphError::InvalidWindow(0)),
+            "window must be at least 1 time unit, got 0"
         );
         let io_err = GraphError::from(io::Error::new(io::ErrorKind::NotFound, "nope"));
         assert!(format!("{io_err}").contains("nope"));

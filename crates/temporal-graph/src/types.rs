@@ -6,6 +6,7 @@
 //!
 //! [`Interaction`]: crate::Interaction
 
+use crate::GraphError;
 use std::fmt;
 
 /// A node identifier: a dense index in `0..n`.
@@ -110,6 +111,44 @@ impl Window {
     /// (`dur(ic) = 1 ≤ 1`): direct out-neighbours within one time unit.
     pub const UNIT: Window = Window(1);
 
+    /// Validated constructor: a window must span at least one time unit
+    /// (`dur(ic) = tk − t1 + 1 ≥ 1` always, so anything shorter admits no
+    /// channel and is a caller bug). This is the single validation point the
+    /// IRS/diffusion entry points rely on.
+    pub fn try_new(len: i64) -> Result<Window, GraphError> {
+        if len >= 1 {
+            Ok(Window(len))
+        } else {
+            Err(GraphError::InvalidWindow(len))
+        }
+    }
+
+    /// Panicking counterpart of [`try_new`](Self::try_new) for code paths
+    /// where a sub-unit window is a programming error, not an input error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len < 1`.
+    pub fn new(len: i64) -> Window {
+        match Self::try_new(len) {
+            Ok(w) => w,
+            Err(_) => panic!("window must be at least 1 time unit, got {len}"),
+        }
+    }
+
+    /// Asserts the invariant [`try_new`](Self::try_new) establishes, for
+    /// values built via the public tuple constructor. Entry points call this
+    /// once instead of re-deriving the guard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is shorter than one time unit.
+    #[inline]
+    #[track_caller]
+    pub fn assert_valid(self) {
+        assert!(self.0 >= 1, "window must be at least 1 time unit");
+    }
+
     /// Raw length in time units.
     #[inline]
     pub fn get(self) -> i64 {
@@ -201,5 +240,32 @@ mod tests {
         let w: Window = 12.into();
         assert_eq!(w.get(), 12);
         assert_eq!(format!("{w:?}"), "ω=12");
+    }
+
+    #[test]
+    fn window_try_new_validates() {
+        assert!(matches!(Window::try_new(1), Ok(Window(1))));
+        assert!(matches!(Window::try_new(40), Ok(Window(40))));
+        assert!(matches!(
+            Window::try_new(0),
+            Err(GraphError::InvalidWindow(0))
+        ));
+        assert!(matches!(
+            Window::try_new(-3),
+            Err(GraphError::InvalidWindow(-3))
+        ));
+        Window::new(5).assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least 1 time unit")]
+    fn window_new_panics_on_zero() {
+        let _ = Window::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least 1 time unit")]
+    fn window_assert_valid_panics_on_raw_zero() {
+        Window(0).assert_valid();
     }
 }

@@ -23,6 +23,11 @@
 //! summaries, sketches and oracles; the diffusion crate adds the TC-LT
 //! cascade model ([`diffusion::tclt_run`]).
 //!
+//! All four IRS entry points are thin wrappers over one generic driver,
+//! [`irs::ReversePassEngine`], parameterized by the [`irs::SummaryStore`]
+//! backend trait ([`irs::ExactStore`] or [`irs::VhllStore`]); custom
+//! backends (sharded, instrumented, …) plug in without touching callers.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -60,7 +65,7 @@ pub mod prelude {
     };
     pub use infprop_core::{
         find_channel, greedy_top_k, ApproxIrs, ApproxIrsStream, Channel, ExactIrs, ExactIrsStream,
-        InfluenceOracle,
+        InfluenceOracle, ReversePassEngine, SummaryStore,
     };
     pub use infprop_datasets::{profiles, toy};
     pub use infprop_diffusion::{tcic_spread, tclt_spread, LtWeights, TcicConfig};
