@@ -3,6 +3,8 @@
 //!
 //! See [`commands::USAGE`] or run `infprop help` for the command reference.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

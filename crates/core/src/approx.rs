@@ -125,6 +125,14 @@ impl ApproxIrs {
     pub fn oracle(&self) -> crate::ApproxOracle {
         crate::ApproxOracle::new(self)
     }
+
+    /// Checks the dominance-chain invariant of every sketch (register lists
+    /// sorted by strictly increasing time *and* ρ, with ρ in range) — the
+    /// on-demand entry point of the [`invariants`](crate::invariants)
+    /// verification layer.
+    pub fn validate(&self) -> Result<(), crate::InvariantViolation> {
+        crate::invariants::validate_sketches(&self.sketches, None)
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! for testing the one-pass algorithms and the baseline for the
 //! `reverse_vs_forward` ablation bench.
 
-use infprop_hll::hash::FastHashSet;
+use crate::FastSet;
 use infprop_temporal_graph::{InteractionNetwork, NodeId, Window};
 
 /// Computes `σω(u)` by exhaustive forward temporal BFS.
@@ -16,10 +16,10 @@ use infprop_temporal_graph::{InteractionNetwork, NodeId, Window};
 /// path from `u` to it whose first hop happens at time `t0` and whose last
 /// hop happens at most at `t0 + ω − 1`. The source itself is never included
 /// (a node does not influence itself), matching [`ExactIrs`](crate::ExactIrs).
-pub fn brute_force_irs(net: &InteractionNetwork, u: NodeId, window: Window) -> FastHashSet<NodeId> {
+pub fn brute_force_irs(net: &InteractionNetwork, u: NodeId, window: Window) -> FastSet<NodeId> {
     window.assert_valid();
     let n = net.num_nodes();
-    let mut result: FastHashSet<NodeId> = FastHashSet::default();
+    let mut result: FastSet<NodeId> = FastSet::default();
     // Candidate start times: every out-interaction of u. (A channel's first
     // hop is an out-interaction of u at the channel's start time.)
     let start_times: Vec<i64> = net
@@ -57,7 +57,7 @@ pub fn brute_force_irs(net: &InteractionNetwork, u: NodeId, window: Window) -> F
 }
 
 /// [`brute_force_irs`] for every node; returns per-node reachability sets.
-pub fn brute_force_irs_all(net: &InteractionNetwork, window: Window) -> Vec<FastHashSet<NodeId>> {
+pub fn brute_force_irs_all(net: &InteractionNetwork, window: Window) -> Vec<FastSet<NodeId>> {
     net.node_ids()
         .map(|u| brute_force_irs(net, u, window))
         .collect()

@@ -23,28 +23,48 @@ pub struct Channel {
 
 impl Channel {
     /// Channel duration `tk − t1 + 1` (paper Definition 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty hop sequence ([`find_channel`] never returns one;
+    /// hand-built empty channels are a caller bug — see [`is_valid`](Self::is_valid)).
     pub fn duration(&self) -> i64 {
-        let first = self.hops.first().expect("channel has at least one hop");
+        // xtask-allow: no-panic (documented panic: channels are non-empty by construction)
+        let first = self.hops.first().expect("channel has at least one hop"); // xtask-allow: no-panic (same invariant)
         let last = self.hops.last().expect("channel has at least one hop");
         last.time.delta(first.time) + 1
     }
 
     /// Channel end time `tk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty hop sequence (see [`duration`](Self::duration)).
     pub fn end_time(&self) -> i64 {
         self.hops
             .last()
-            .expect("channel has at least one hop")
+            .expect("channel has at least one hop") // xtask-allow: no-panic (documented panic: non-empty by construction)
             .time
             .get()
     }
 
     /// The source node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty hop sequence (see [`duration`](Self::duration)).
     pub fn source(&self) -> NodeId {
+        // xtask-allow: no-panic (documented panic: non-empty by construction)
         self.hops.first().expect("channel has at least one hop").src
     }
 
     /// The destination node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty hop sequence (see [`duration`](Self::duration)).
     pub fn destination(&self) -> NodeId {
+        // xtask-allow: no-panic (documented panic: non-empty by construction)
         self.hops.last().expect("channel has at least one hop").dst
     }
 
@@ -120,8 +140,10 @@ pub fn find_channel(
                 let mut hops = vec![from + offset];
                 let mut cur = i.src;
                 while cur != u {
-                    let idx =
-                        pred[cur.index()].expect("informed non-source node has a predecessor");
+                    // A node with `informed_at < t` got that value through the
+                    // relaxation below, which always records a predecessor.
+                    // xtask-allow: no-panic (informed non-source nodes always carry a predecessor)
+                    let idx = pred[cur.index()].expect("informed node has a predecessor");
                     hops.push(idx);
                     cur = interactions[idx].src;
                 }

@@ -30,7 +30,7 @@
 //! can never chain two hops with equal timestamps. With distinct timestamps
 //! every batch has size one and the engine follows the paper verbatim.
 
-use infprop_hll::hash::{FastHashMap, FastHashSet};
+use crate::{FastMap, FastSet};
 use infprop_hll::VersionedHll;
 use infprop_temporal_graph::{Interaction, InteractionNetwork, NodeId, Timestamp, Window};
 use std::fmt;
@@ -130,6 +130,36 @@ pub trait SummaryStore {
     /// [`merge`](Self::merge), reading from a pre-batch snapshot of the
     /// destination's summary instead of the live one.
     fn merge_snapshot(&mut self, u: NodeId, snap: &Self::Snapshot, t: Timestamp, window: Window);
+
+    /// Validates one node's summary against the structural invariants of
+    /// [`crate::invariants`], with an optional stream-frontier lower bound
+    /// on recorded end times.
+    ///
+    /// The default accepts everything, so custom backends opt in; the two
+    /// built-in backends override it (self-exclusion and end-time bounds for
+    /// [`ExactStore`], dominance chains for [`VhllStore`]). The engine calls
+    /// it at tie-batch boundaries in debug builds.
+    fn validate_node(
+        &self,
+        _u: NodeId,
+        _frontier: Option<Timestamp>,
+    ) -> Result<(), crate::invariants::InvariantViolation> {
+        Ok(())
+    }
+
+    /// Validates every node's summary via
+    /// [`validate_node`](Self::validate_node). Public entry point of the
+    /// verification layer (also reachable as
+    /// [`crate::invariants::validate`]).
+    fn validate(
+        &self,
+        frontier: Option<Timestamp>,
+    ) -> Result<(), crate::invariants::InvariantViolation> {
+        for i in 0..self.num_nodes() {
+            self.validate_node(NodeId::from_index(i), frontier)?;
+        }
+        Ok(())
+    }
 }
 
 /// Disjoint mutable + shared borrows of two distinct slots of a slice — the
@@ -150,12 +180,12 @@ fn src_and_dst<T>(slots: &mut [T], u: usize, v: usize) -> (&mut T, &T) {
 /// Exact hash-map summaries: `φ(u) = {v → λ(u, v)}` (paper Algorithm 2).
 #[derive(Clone, Debug, Default)]
 pub struct ExactStore {
-    summaries: Vec<FastHashMap<NodeId, Timestamp>>,
+    summaries: Vec<FastMap<NodeId, Timestamp>>,
 }
 
 /// `Add(φ(u), (v, t))` from Algorithm 2: insert or lower the end time.
 #[inline]
-fn exact_add(summary: &mut FastHashMap<NodeId, Timestamp>, v: NodeId, t: Timestamp) {
+fn exact_add(summary: &mut FastMap<NodeId, Timestamp>, v: NodeId, t: Timestamp) {
     summary
         .entry(v)
         .and_modify(|cur| {
@@ -170,28 +200,28 @@ impl ExactStore {
     /// An empty store with `n` pre-allocated node slots.
     pub fn with_nodes(n: usize) -> Self {
         ExactStore {
-            summaries: (0..n).map(|_| FastHashMap::default()).collect(),
+            summaries: (0..n).map(|_| FastMap::default()).collect(),
         }
     }
 
     /// Rebuilds a store around existing summaries (codec entry point).
-    pub fn from_summaries(summaries: Vec<FastHashMap<NodeId, Timestamp>>) -> Self {
+    pub fn from_summaries(summaries: Vec<FastMap<NodeId, Timestamp>>) -> Self {
         ExactStore { summaries }
     }
 
     /// Consumes the store, yielding the per-node summary maps.
-    pub fn into_summaries(self) -> Vec<FastHashMap<NodeId, Timestamp>> {
+    pub fn into_summaries(self) -> Vec<FastMap<NodeId, Timestamp>> {
         self.summaries
     }
 
     /// Shared view of the per-node summary maps.
-    pub fn summaries(&self) -> &[FastHashMap<NodeId, Timestamp>] {
+    pub fn summaries(&self) -> &[FastMap<NodeId, Timestamp>] {
         &self.summaries
     }
 }
 
 impl SummaryStore for ExactStore {
-    type Snapshot = FastHashMap<NodeId, Timestamp>;
+    type Snapshot = FastMap<NodeId, Timestamp>;
 
     fn num_nodes(&self) -> usize {
         self.summaries.len()
@@ -199,7 +229,7 @@ impl SummaryStore for ExactStore {
 
     fn ensure_nodes(&mut self, n: usize) {
         if n > self.summaries.len() {
-            self.summaries.resize_with(n, FastHashMap::default);
+            self.summaries.resize_with(n, FastMap::default);
         }
     }
 
@@ -234,6 +264,14 @@ impl SummaryStore for ExactStore {
                 exact_add(phi_u, x, tx);
             }
         }
+    }
+
+    fn validate_node(
+        &self,
+        u: NodeId,
+        frontier: Option<Timestamp>,
+    ) -> Result<(), crate::invariants::InvariantViolation> {
+        crate::invariants::validate_exact_summary(u, &self.summaries[u.index()], frontier)
     }
 }
 
@@ -325,6 +363,14 @@ impl SummaryStore for VhllStore {
     fn merge_snapshot(&mut self, u: NodeId, snap: &Self::Snapshot, t: Timestamp, window: Window) {
         self.sketches[u.index()].merge_from(snap, t.get(), window.get());
     }
+
+    fn validate_node(
+        &self,
+        u: NodeId,
+        frontier: Option<Timestamp>,
+    ) -> Result<(), crate::invariants::InvariantViolation> {
+        crate::invariants::validate_sketch(u, &self.sketches[u.index()], frontier)
+    }
 }
 
 /// Walks a time-sorted (ascending) interaction slice **backwards**, yielding
@@ -344,6 +390,27 @@ pub fn for_each_tie_batch(ints: &[Interaction], mut f: impl FnMut(&[Interaction]
     }
 }
 
+/// Debug-build invariant sweep after one tie batch: every summary the batch
+/// wrote must still satisfy the structural invariants, with the batch time
+/// as the stream frontier (all recorded end times sit at or above it under
+/// the reverse scan). Checking only the batch's sources keeps the cost
+/// proportional to the merge work just done.
+#[cfg(debug_assertions)]
+fn debug_validate_batch<S: SummaryStore>(store: &S, batch: &[Interaction]) {
+    let frontier = batch.first().map(|e| e.time);
+    for e in batch {
+        if e.src != e.dst {
+            let checked = store.validate_node(e.src, frontier);
+            debug_assert!(
+                checked.is_ok(),
+                "structural invariant violated after tie batch at {:?}: {}",
+                frontier,
+                checked.err().map(|v| v.to_string()).unwrap_or_default(),
+            );
+        }
+    }
+}
+
 /// Applies one equal-timestamp batch to a store (size 1 = the paper's
 /// algorithm verbatim; larger = two-phase tie semantics).
 pub fn apply_batch<S: SummaryStore>(store: &mut S, batch: &[Interaction], window: Window) {
@@ -352,13 +419,15 @@ pub fn apply_batch<S: SummaryStore>(store: &mut S, batch: &[Interaction], window
             store.add(e.src, e.dst, e.time);
             store.merge(e.src, e.dst, e.time, window);
         }
+        #[cfg(debug_assertions)]
+        debug_validate_batch(store, batch);
         return;
     }
     // Phase 1: snapshot φ(d) for every destination that is also a batch
     // source — merges must read pre-batch state so equal-time hops never
     // chain. Phase 2: apply every edge, routing reads through the snapshots.
-    let sources: FastHashSet<usize> = batch.iter().map(|e| e.src.index()).collect();
-    let snapshots: FastHashMap<usize, S::Snapshot> = batch
+    let sources: FastSet<usize> = batch.iter().map(|e| e.src.index()).collect();
+    let snapshots: FastMap<usize, S::Snapshot> = batch
         .iter()
         .map(|e| e.dst.index())
         .filter(|d| sources.contains(d))
@@ -375,6 +444,8 @@ pub fn apply_batch<S: SummaryStore>(store: &mut S, batch: &[Interaction], window
             store.merge(e.src, e.dst, e.time, window);
         }
     }
+    #[cfg(debug_assertions)]
+    debug_validate_batch(store, batch);
 }
 
 /// The single one-pass driver behind every IRS entry point: owns the reverse
@@ -421,6 +492,15 @@ impl<S: SummaryStore> ReversePassEngine<S> {
     /// Panics if `window < 1`.
     pub fn run(net: &InteractionNetwork, window: Window, mut store: S) -> S {
         window.assert_valid();
+        // The reverse scan (Lemma 1) is only sound over a time-sorted input;
+        // InteractionNetwork guarantees this, so a violation here means the
+        // network was corrupted after construction.
+        debug_assert!(
+            net.interactions()
+                .windows(2)
+                .all(|w| w[0].time <= w[1].time),
+            "interaction network is not sorted by time"
+        );
         store.ensure_nodes(net.num_nodes());
         for_each_tie_batch(net.interactions(), |batch| {
             apply_batch(&mut store, batch, window);

@@ -6,7 +6,7 @@
 //! resulting summaries.
 
 use crate::engine::{self, ExactStore, ReversePassEngine};
-use infprop_hll::hash::FastHashMap;
+use crate::FastMap;
 use infprop_temporal_graph::{InteractionNetwork, NodeId, Timestamp, Window};
 
 /// Exact influence-reachability summaries `φω(u)` for every node.
@@ -18,7 +18,7 @@ use infprop_temporal_graph::{InteractionNetwork, NodeId, Timestamp, Window};
 #[derive(Clone, Debug)]
 pub struct ExactIrs {
     window: Window,
-    summaries: Vec<FastHashMap<NodeId, Timestamp>>,
+    summaries: Vec<FastMap<NodeId, Timestamp>>,
 }
 
 impl ExactIrs {
@@ -70,10 +70,7 @@ impl ExactIrs {
 
     /// Reassembles summaries from parts (streaming builder's and the
     /// persistence codec's exit point).
-    pub(crate) fn from_parts(
-        window: Window,
-        summaries: Vec<FastHashMap<NodeId, Timestamp>>,
-    ) -> Self {
+    pub(crate) fn from_parts(window: Window, summaries: Vec<FastMap<NodeId, Timestamp>>) -> Self {
         ExactIrs { window, summaries }
     }
 
@@ -91,7 +88,7 @@ impl ExactIrs {
 
     /// The summary `φω(u)`: reachable node → earliest channel end time.
     #[inline]
-    pub fn summary(&self, u: NodeId) -> &FastHashMap<NodeId, Timestamp> {
+    pub fn summary(&self, u: NodeId) -> &FastMap<NodeId, Timestamp> {
         &self.summaries[u.index()]
     }
 
@@ -122,13 +119,13 @@ impl ExactIrs {
     /// Total number of `(v, λ)` entries across all summaries — the paper's
     /// `O(n²)` worst-case memory driver.
     pub fn total_entries(&self) -> usize {
-        self.summaries.iter().map(FastHashMap::len).sum()
+        self.summaries.iter().map(FastMap::len).sum()
     }
 
     /// Approximate heap bytes held by the summaries (Table 4 accounting).
     pub fn heap_bytes(&self) -> usize {
         let entry = std::mem::size_of::<(NodeId, Timestamp)>() + std::mem::size_of::<u64>();
-        self.summaries.len() * std::mem::size_of::<FastHashMap<NodeId, Timestamp>>()
+        self.summaries.len() * std::mem::size_of::<FastMap<NodeId, Timestamp>>()
             + self
                 .summaries
                 .iter()
@@ -141,6 +138,13 @@ impl ExactIrs {
     /// [`InfluenceOracle`]: crate::InfluenceOracle
     pub fn oracle(&self) -> crate::ExactOracle<'_> {
         crate::ExactOracle::new(self)
+    }
+
+    /// Checks the structural invariants of every summary (no self-entries,
+    /// end times inside the interaction range) — the on-demand entry point
+    /// of the [`invariants`](crate::invariants) verification layer.
+    pub fn validate(&self) -> Result<(), crate::InvariantViolation> {
+        crate::invariants::validate_exact_summaries(&self.summaries, None)
     }
 }
 

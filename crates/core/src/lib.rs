@@ -77,17 +77,29 @@ mod brute;
 mod channel;
 pub mod engine;
 mod exact;
+pub mod invariants;
 mod maximize;
 mod oracle;
 mod persist;
 mod profile;
 mod stream;
 
+/// The deterministic fast hash map used on every IRS hot path (an Fx-style
+/// integer hasher instead of SipHash; HashDoS is not a threat model for an
+/// offline analytics library). All workspace code paths that key maps by
+/// [`NodeId`](infprop_temporal_graph::NodeId) or other small integers go
+/// through this single alias, so swapping the hasher is a one-line change.
+pub type FastMap<K, V> = infprop_hll::hash::FastHashMap<K, V>;
+
+/// Set counterpart of [`FastMap`].
+pub type FastSet<K> = infprop_hll::hash::FastHashSet<K>;
+
 pub use approx::{ApproxIrs, DEFAULT_PRECISION};
 pub use brute::{brute_force_irs, brute_force_irs_all};
 pub use channel::{channels_from, find_channel, Channel};
 pub use engine::{ExactStore, OutOfOrder, ReversePassEngine, SummaryStore, VhllStore};
 pub use exact::ExactIrs;
+pub use invariants::InvariantViolation;
 pub use maximize::{greedy_top_k, greedy_top_k_paper, Selection};
 pub use oracle::{ApproxOracle, ExactOracle, InfluenceOracle};
 pub use profile::{ContactDirection, SlidingContacts};

@@ -13,7 +13,7 @@
 
 use crate::approx::ApproxIrs;
 use crate::exact::ExactIrs;
-use infprop_hll::hash::FastHashSet;
+use crate::FastSet;
 use infprop_hll::HyperLogLog;
 use infprop_temporal_graph::NodeId;
 
@@ -67,14 +67,14 @@ impl<'a> ExactOracle<'a> {
 }
 
 impl InfluenceOracle for ExactOracle<'_> {
-    type Union = FastHashSet<NodeId>;
+    type Union = FastSet<NodeId>;
 
     fn num_nodes(&self) -> usize {
         self.irs.num_nodes()
     }
 
     fn empty_union(&self) -> Self::Union {
-        FastHashSet::default()
+        FastSet::default()
     }
 
     fn union_size(&self, union: &Self::Union) -> f64 {

@@ -17,7 +17,7 @@
 use crate::approx::ApproxIrs;
 use crate::exact::ExactIrs;
 use crate::oracle::ApproxOracle;
-use infprop_hll::hash::FastHashMap;
+use crate::FastMap;
 use infprop_hll::{CodecError, HyperLogLog, VersionedHll, FORMAT_VERSION};
 use infprop_temporal_graph::{NodeId, Timestamp, Window};
 use std::io::{Read, Write};
@@ -63,7 +63,7 @@ impl ApproxOracle {
         if !(4..=16).contains(&precision) {
             return Err(CodecError::Corrupt("precision out of range"));
         }
-        let n = u32::from_le_bytes(read_array(r)?) as usize;
+        let n = u32::from_le_bytes(read_array(r)?) as usize; // xtask-allow: no-lossy-cast (u32 → usize widens on ≥32-bit targets)
         let beta = 1usize << precision;
         let max_rho = 64 - precision + 1;
         let mut sketches = Vec::with_capacity(n);
@@ -111,7 +111,7 @@ impl ApproxIrs {
         }
         let window = Window::try_new(i64::from_le_bytes(read_array(r)?))
             .map_err(|_| CodecError::Corrupt("window must be positive"))?;
-        let n = u32::from_le_bytes(read_array(r)?) as usize;
+        let n = u32::from_le_bytes(read_array(r)?) as usize; // xtask-allow: no-lossy-cast (u32 → usize widens on ≥32-bit targets)
         let mut sketches = Vec::with_capacity(n);
         for _ in 0..n {
             let sketch = VersionedHll::read_from(r)?;
@@ -163,14 +163,14 @@ impl ExactIrs {
         }
         let window = Window::try_new(i64::from_le_bytes(read_array(r)?))
             .map_err(|_| CodecError::Corrupt("window must be positive"))?;
-        let n = u32::from_le_bytes(read_array(r)?) as usize;
+        let n = u32::from_le_bytes(read_array(r)?) as usize; // xtask-allow: no-lossy-cast (u32 → usize widens on ≥32-bit targets)
         let mut summaries = Vec::with_capacity(n);
         for _ in 0..n {
-            let len = u32::from_le_bytes(read_array(r)?) as usize;
+            let len = u32::from_le_bytes(read_array(r)?) as usize; // xtask-allow: no-lossy-cast (u32 → usize widens on ≥32-bit targets)
             if len > n {
                 return Err(CodecError::Corrupt("summary larger than node universe"));
             }
-            let mut map = FastHashMap::default();
+            let mut map = FastMap::default();
             map.reserve(len);
             for _ in 0..len {
                 let v = NodeId(u32::from_le_bytes(read_array(r)?));

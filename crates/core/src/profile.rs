@@ -61,6 +61,7 @@ impl SlidingContacts {
     ) -> Self {
         let mut p = Self::new(window, direction, precision);
         for i in net.iter_reverse() {
+            // xtask-allow: no-panic (iter_reverse yields non-increasing times, so push cannot fail)
             p.push(*i).expect("reverse iteration is ordered");
         }
         p
@@ -124,7 +125,7 @@ impl SlidingContacts {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use infprop_hll::hash::FastHashSet;
+    use crate::FastSet;
 
     /// Exact reference: distinct contacts of `u` in `[anchor, anchor+ω-1]`.
     fn exact_contacts(
@@ -134,7 +135,7 @@ mod tests {
         window: i64,
         direction: ContactDirection,
     ) -> usize {
-        let mut set: FastHashSet<NodeId> = FastHashSet::default();
+        let mut set: FastSet<NodeId> = FastSet::default();
         for i in net.iter() {
             let t = i.time.get();
             if t < anchor || t - anchor >= window {

@@ -1,0 +1,110 @@
+//! Property tests for the paper-invariant verification layer
+//! (`infprop_core::invariants`): summaries produced by the real algorithms
+//! must always pass the validators, and corrupted-by-construction summaries
+//! must always be rejected.
+
+use infprop_core::invariants::{self, validate_exact_summaries, InvariantViolation};
+use infprop_core::{
+    ApproxIrs, ApproxIrsStream, ExactIrs, ExactIrsStream, ExactStore, FastMap, ReversePassEngine,
+    SummaryStore, VhllStore,
+};
+use infprop_temporal_graph::{Interaction, InteractionNetwork, NodeId, Timestamp, Window};
+use proptest::prelude::*;
+
+/// Random networks with timestamp ties (exercises the two-phase batch path).
+fn networks() -> impl Strategy<Value = InteractionNetwork> {
+    prop::collection::vec((0u32..14, 0u32..14, 0i64..40), 0..60)
+        .prop_map(InteractionNetwork::from_triples)
+}
+
+proptest! {
+    /// Exact summaries from random streams always satisfy self-exclusion
+    /// and the frontier bound — via the wrapper's `validate()`, the store's
+    /// trait method, and the module-level entry point.
+    #[test]
+    fn exact_random_streams_never_trip_validators(net in networks(), w in 1i64..50) {
+        let irs = ExactIrs::compute(&net, Window(w));
+        prop_assert_eq!(irs.validate(), Ok(()));
+
+        let store = ReversePassEngine::run(&net, Window(w), ExactStore::with_nodes(net.num_nodes()));
+        let frontier = net.interactions().first().map(|i| i.time);
+        prop_assert_eq!(store.validate(frontier), Ok(()));
+        prop_assert_eq!(invariants::validate(&store, frontier), Ok(()));
+    }
+
+    /// Sketched summaries from random streams always keep their dominance
+    /// chains and the frontier bound.
+    #[test]
+    fn approx_random_streams_never_trip_validators(net in networks(), w in 1i64..50) {
+        let irs = ApproxIrs::compute_with_precision(&net, Window(w), 4);
+        prop_assert_eq!(irs.validate(), Ok(()));
+
+        let store = ReversePassEngine::run(
+            &net,
+            Window(w),
+            VhllStore::with_nodes(4, net.num_nodes()),
+        );
+        let frontier = net.interactions().first().map(|i| i.time);
+        prop_assert_eq!(invariants::validate(&store, frontier), Ok(()));
+    }
+
+    /// The streaming builders maintain the invariants at every prefix of the
+    /// (reverse-ordered) stream, not just at the end.
+    #[test]
+    fn streaming_prefixes_never_trip_validators(net in networks(), w in 1i64..50) {
+        let mut exact = ExactIrsStream::new(Window(w));
+        let mut approx = ApproxIrsStream::with_precision(Window(w), 4);
+        for i in net.iter_reverse() {
+            exact.push(*i).expect("reverse iteration is ordered");
+            approx.push(*i).expect("reverse iteration is ordered");
+        }
+        prop_assert_eq!(exact.finish().validate(), Ok(()));
+        prop_assert_eq!(approx.finish().validate(), Ok(()));
+    }
+
+    /// Feeding the stream forwards (increasing time) is rejected by the
+    /// engine's ordering contract as soon as the time increases.
+    #[test]
+    fn out_of_order_pushes_are_rejected(t0 in 0i64..100, dt in 1i64..100) {
+        let mut s = ExactIrsStream::new(Window(10));
+        prop_assert!(s.push(Interaction::from_raw(0, 1, t0)).is_ok());
+        prop_assert!(s.push(Interaction::from_raw(1, 2, t0 + dt)).is_err());
+    }
+
+    /// Corrupted-by-construction exact summaries are always rejected: a
+    /// self-entry planted at any node is found and named.
+    #[test]
+    fn planted_self_entry_is_always_found(
+        n in 1usize..12,
+        victim_seed in any::<usize>(),
+        lambda in 0i64..100,
+    ) {
+        let victim = victim_seed % n;
+        let mut summaries: Vec<FastMap<NodeId, Timestamp>> = vec![FastMap::default(); n];
+        summaries[victim].insert(NodeId::from_index(victim), Timestamp(lambda));
+        prop_assert_eq!(
+            validate_exact_summaries(&summaries, None),
+            Err(InvariantViolation::SelfEntry { node: NodeId::from_index(victim) })
+        );
+    }
+
+    /// Corrupted-by-construction end times are always rejected: any entry
+    /// pushed below the frontier trips the stale-end-time check.
+    #[test]
+    fn planted_stale_end_time_is_always_found(
+        frontier in 0i64..100,
+        below in 1i64..50,
+    ) {
+        let mut summary: FastMap<NodeId, Timestamp> = FastMap::default();
+        summary.insert(NodeId(1), Timestamp(frontier - below));
+        let store = ExactStore::from_summaries(vec![summary]);
+        prop_assert_eq!(
+            invariants::validate(&store, Some(Timestamp(frontier))),
+            Err(InvariantViolation::StaleEndTime {
+                node: NodeId(0),
+                end_time: Timestamp(frontier - below),
+                frontier: Timestamp(frontier),
+            })
+        );
+    }
+}

@@ -123,9 +123,11 @@ impl<'a> MonteCarlo<'a> {
                 .collect();
             handles
                 .into_iter()
+                // xtask-allow: no-panic (re-raising a worker panic is the correct propagation)
                 .map(|h| h.join().expect("worker panicked"))
                 .sum()
         })
+        // xtask-allow: no-panic (scope only errs if a worker panicked; re-raise it)
         .expect("crossbeam scope failed")
     }
 }

@@ -72,6 +72,7 @@ pub fn tcic_run(
             anchor[u] = Some(t);
         }
         if active[u] {
+            // xtask-allow: no-panic (activation always sets the anchor alongside the flag)
             let a = anchor[u].expect("active node always carries an anchor");
             if t - a <= window.get() {
                 // Bernoulli(p) infection trial. Drawing even when v is

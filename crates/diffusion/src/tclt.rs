@@ -95,6 +95,7 @@ pub fn tclt_run(
         if !active[u] {
             continue;
         }
+        // xtask-allow: no-panic (activation always sets the anchor alongside the flag)
         let a = anchor[u].expect("active node carries an anchor");
         if t - a > window.get() {
             continue;

@@ -6,7 +6,9 @@
 //! experiments. [`FastHashMap`]/[`FastHashSet`] provide `HashMap`s keyed by
 //! small integers with an Fx-style multiply-xor hasher instead of SipHash.
 
-use std::collections::{HashMap, HashSet};
+// The one sanctioned import of the std collections: this module *defines*
+// the fast aliases the rest of the workspace must use instead.
+use std::collections::{HashMap, HashSet}; // xtask-allow: no-default-hashmap (alias definition site)
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// The splitmix64 finalizer: a bijective 64-bit mixer with full avalanche.
@@ -64,7 +66,11 @@ impl Hasher for FxLikeHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
-            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+            // `chunks_exact(8)` guarantees 8-byte slices; copy into a fixed
+            // array rather than fallibly converting.
+            let mut word = [0u8; 8];
+            word.copy_from_slice(c);
+            self.mix(u64::from_le_bytes(word));
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {
@@ -76,7 +82,7 @@ impl Hasher for FxLikeHasher {
 
     #[inline]
     fn write_u32(&mut self, i: u32) {
-        self.mix(i as u64);
+        self.mix(u64::from(i));
     }
 
     #[inline]
@@ -86,7 +92,7 @@ impl Hasher for FxLikeHasher {
 
     #[inline]
     fn write_usize(&mut self, i: usize) {
-        self.mix(i as u64);
+        self.mix(i as u64); // xtask-allow: no-lossy-cast (usize ≤ 64 bits on every supported target)
     }
 }
 
@@ -94,9 +100,11 @@ impl Hasher for FxLikeHasher {
 pub type FastBuildHasher = BuildHasherDefault<FxLikeHasher>;
 
 /// A `HashMap` using the fast integer hasher.
+// xtask-allow: no-default-hashmap (alias definition site)
 pub type FastHashMap<K, V> = HashMap<K, V, FastBuildHasher>;
 
 /// A `HashSet` using the fast integer hasher.
+// xtask-allow: no-default-hashmap (alias definition site)
 pub type FastHashSet<K> = HashSet<K, FastBuildHasher>;
 
 #[cfg(test)]

@@ -33,15 +33,17 @@ pub struct HyperLogLog {
 /// `64 − k + 1` when those bits are all zero.
 #[inline]
 pub(crate) fn split_hash(h: u64, precision: u8) -> (usize, u8) {
-    let idx = (h & ((1u64 << precision) - 1)) as usize;
+    // Masked to the low `precision ≤ 16` bits, so the value fits any usize.
+    let idx = (h & ((1u64 << precision) - 1)) as usize; // xtask-allow: no-lossy-cast (≤16 masked bits)
     let rest = h >> precision;
-    let max_rho = 64 - precision as u32 + 1;
+    let max_rho = 64 - u32::from(precision) + 1;
     let rho = if rest == 0 {
         max_rho
     } else {
         rest.trailing_zeros() + 1
     };
-    (idx, rho as u8)
+    // ρ ≤ 64 − k + 1 ≤ 61 fits comfortably in a byte.
+    (idx, rho as u8) // xtask-allow: no-lossy-cast (ρ ≤ 61)
 }
 
 /// The bias-correction constant `α_β` from the HLL paper.
@@ -206,7 +208,8 @@ impl HyperLogLog {
             "register array length must be a power of two in [16, 65536]"
         );
         HyperLogLog {
-            precision: len.trailing_zeros() as u8,
+            // The assert above bounds len ≤ 2^16, so trailing_zeros ≤ 16.
+            precision: len.trailing_zeros() as u8, // xtask-allow: no-lossy-cast (≤ 16 after assert)
             registers,
         }
     }

@@ -111,7 +111,7 @@ impl HyperLogLog {
     /// Serializes to an owned byte vector.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(6 + self.num_registers());
-        self.write_to(&mut out).expect("writing to Vec cannot fail");
+        self.write_to(&mut out).expect("writing to Vec cannot fail"); // xtask-allow: no-panic (Vec<u8> Write is infallible)
         out
     }
 
@@ -146,7 +146,7 @@ impl VersionedHll {
         let mut sketch = VersionedHll::new(precision);
         let max_rho = 64 - precision + 1;
         for cell in 0..sketch.num_cells() {
-            let len = u32::from_le_bytes(read_exact(r)?) as usize;
+            let len = u32::from_le_bytes(read_exact(r)?) as usize; // xtask-allow: no-lossy-cast (u32 → usize widens on ≥32-bit targets)
             if len > 1 << 20 {
                 return Err(CodecError::Corrupt("implausible cell length"));
             }
@@ -174,7 +174,7 @@ impl VersionedHll {
     /// Serializes to an owned byte vector.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        self.write_to(&mut out).expect("writing to Vec cannot fail");
+        self.write_to(&mut out).expect("writing to Vec cannot fail"); // xtask-allow: no-panic (Vec<u8> Write is infallible)
         out
     }
 

@@ -32,6 +32,118 @@
 use crate::hash;
 use crate::hyperloglog::split_hash;
 use crate::hyperloglog::{estimate_from_registers, HyperLogLog, MAX_PRECISION, MIN_PRECISION};
+use std::fmt;
+
+/// Why a single version list fails the dominance-chain invariant.
+///
+/// Produced by [`check_entries`] (and wrapped with its cell index in
+/// [`SketchInvariantError::Cell`] by
+/// [`VersionedHll::check_dominance_chain`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryError {
+    /// Entries `index − 1` and `index` are not in strictly increasing
+    /// `(time, ρ)` order — one of them dominates, or should have evicted,
+    /// the other (paper Alg. 3).
+    Order {
+        /// Index of the second entry of the offending adjacent pair.
+        index: usize,
+    },
+    /// An entry's ρ lies outside `[1, 64 − k + 1]` — impossible for any
+    /// `k`-bit-prefix hash split, so the list was not produced by
+    /// `ApproxAdd`.
+    RhoRange {
+        /// Index of the offending entry.
+        index: usize,
+        /// The out-of-range ρ value.
+        rho: u8,
+        /// The maximal legal ρ (`64 − precision + 1`).
+        max_rho: u8,
+    },
+}
+
+impl fmt::Display for EntryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntryError::Order { index } => write!(
+                f,
+                "entries {} and {index} violate the dominance chain \
+                 (time and \u{3c1} must both strictly increase)",
+                index.wrapping_sub(1)
+            ),
+            EntryError::RhoRange {
+                index,
+                rho,
+                max_rho,
+            } => write!(
+                f,
+                "entry {index} has \u{3c1} = {rho} outside [1, {max_rho}]"
+            ),
+        }
+    }
+}
+
+/// Structural corruption detected in a [`VersionedHll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SketchInvariantError {
+    /// Precision outside `[MIN_PRECISION, MAX_PRECISION]`.
+    Precision(u8),
+    /// The cell vector's length is not `2^precision`.
+    CellCount {
+        /// Expected `2^precision`.
+        expected: usize,
+        /// Actual number of cells supplied.
+        got: usize,
+    },
+    /// A cell's version list fails [`check_entries`].
+    Cell {
+        /// Index of the corrupt cell.
+        cell: usize,
+        /// What is wrong with its version list.
+        error: EntryError,
+    },
+}
+
+impl fmt::Display for SketchInvariantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchInvariantError::Precision(p) => write!(
+                f,
+                "precision {p} outside [{MIN_PRECISION}, {MAX_PRECISION}]"
+            ),
+            SketchInvariantError::CellCount { expected, got } => {
+                write!(f, "expected {expected} cells, got {got}")
+            }
+            SketchInvariantError::Cell { cell, error } => {
+                write!(f, "cell {cell}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SketchInvariantError {}
+
+/// Validates one version list against the vHLL core invariant: entries
+/// sorted by strictly increasing time **and** strictly increasing ρ (the
+/// shape dominance pruning leaves behind, §3.2.2 / Alg. 3), with every ρ in
+/// `[1, max_rho]`.
+pub fn check_entries(entries: &[VersionEntry], max_rho: u8) -> Result<(), EntryError> {
+    for (i, e) in entries.iter().enumerate() {
+        if e.rho == 0 || e.rho > max_rho {
+            return Err(EntryError::RhoRange {
+                index: i,
+                rho: e.rho,
+                max_rho,
+            });
+        }
+        if i > 0 {
+            let p = entries[i - 1];
+            if !(p.time < e.time && p.rho < e.rho) {
+                return Err(EntryError::Order { index: i });
+            }
+        }
+    }
+    Ok(())
+}
 
 /// One `(ρ, time)` version pair in a register's list.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -244,18 +356,69 @@ impl VersionedHll {
         &self.cells[idx]
     }
 
+    /// The maximal legal ρ for this precision: `64 − k + 1` (a `k`-bit
+    /// prefix leaves `64 − k` suffix bits, so the 1-based first-set-bit
+    /// position is at most `64 − k + 1`).
+    #[inline]
+    pub fn max_rho(&self) -> u8 {
+        64 - self.precision + 1
+    }
+
+    /// Full structural validation of the sketch — the `check_dominance_chain`
+    /// invariant checker of the paper-verification layer.
+    ///
+    /// Verifies that the precision is in range, the cell count is
+    /// `2^precision`, and every cell's version list is a proper dominance
+    /// chain per [`check_entries`]: strictly increasing time, strictly
+    /// increasing ρ, ρ within `[1, 64 − k + 1]`. Any other shape cannot have
+    /// been produced by `ApproxAdd`/`ApproxMerge` (Alg. 3) and would silently
+    /// bias window estimates.
+    pub fn check_dominance_chain(&self) -> Result<(), SketchInvariantError> {
+        if !(MIN_PRECISION..=MAX_PRECISION).contains(&self.precision) {
+            return Err(SketchInvariantError::Precision(self.precision));
+        }
+        let expected = 1usize << self.precision;
+        if self.cells.len() != expected {
+            return Err(SketchInvariantError::CellCount {
+                expected,
+                got: self.cells.len(),
+            });
+        }
+        let max_rho = self.max_rho();
+        for (i, cell) in self.cells.iter().enumerate() {
+            check_entries(cell, max_rho)
+                .map_err(|error| SketchInvariantError::Cell { cell: i, error })?;
+        }
+        Ok(())
+    }
+
     /// Verifies the core invariant: every cell is sorted by strictly
     /// increasing time with strictly increasing ρ. Returns the offending
     /// cell index on failure.
+    ///
+    /// Thin compatibility wrapper over
+    /// [`check_dominance_chain`](Self::check_dominance_chain), which also
+    /// reports *why* a cell is corrupt. Structural errors that have no cell
+    /// index (impossible via this type's own constructors) map to cell 0.
     pub fn check_invariants(&self) -> Result<(), usize> {
-        for (i, cell) in self.cells.iter().enumerate() {
-            for w in cell.windows(2) {
-                if !(w[0].time < w[1].time && w[0].rho < w[1].rho) {
-                    return Err(i);
-                }
-            }
-        }
-        Ok(())
+        self.check_dominance_chain().map_err(|e| match e {
+            SketchInvariantError::Cell { cell, .. } => cell,
+            SketchInvariantError::Precision(_) | SketchInvariantError::CellCount { .. } => 0,
+        })
+    }
+
+    /// Validating constructor from raw cell lists: accepts exactly the
+    /// sketches [`check_dominance_chain`](Self::check_dominance_chain) would
+    /// pass, and rejects everything else. This is the only way to build a
+    /// sketch from externally supplied version lists, so corrupted-by-
+    /// construction input cannot enter the system silently.
+    pub fn from_cells(
+        precision: u8,
+        cells: Vec<Vec<VersionEntry>>,
+    ) -> Result<Self, SketchInvariantError> {
+        let sketch = VersionedHll { precision, cells };
+        sketch.check_dominance_chain()?;
+        Ok(sketch)
     }
 
     /// Direct cell-level insertion for tests that need to script exact
@@ -452,6 +615,113 @@ mod tests {
         let once = a.clone();
         a.merge_all(&b);
         assert_eq!(a, once);
+    }
+
+    #[test]
+    fn check_entries_accepts_chains_and_names_the_offender() {
+        let good = [
+            VersionEntry { time: 1, rho: 2 },
+            VersionEntry { time: 3, rho: 5 },
+            VersionEntry { time: 9, rho: 6 },
+        ];
+        assert_eq!(check_entries(&good, 61), Ok(()));
+        assert_eq!(check_entries(&[], 61), Ok(()));
+
+        let equal_time = [
+            VersionEntry { time: 3, rho: 2 },
+            VersionEntry { time: 3, rho: 5 },
+        ];
+        assert_eq!(
+            check_entries(&equal_time, 61),
+            Err(EntryError::Order { index: 1 })
+        );
+
+        let non_increasing_rho = [
+            VersionEntry { time: 1, rho: 5 },
+            VersionEntry { time: 2, rho: 5 },
+        ];
+        assert_eq!(
+            check_entries(&non_increasing_rho, 61),
+            Err(EntryError::Order { index: 1 })
+        );
+
+        let zero_rho = [VersionEntry { time: 1, rho: 0 }];
+        assert!(matches!(
+            check_entries(&zero_rho, 61),
+            Err(EntryError::RhoRange {
+                index: 0,
+                rho: 0,
+                ..
+            })
+        ));
+        let big_rho = [VersionEntry { time: 1, rho: 62 }];
+        assert!(matches!(
+            check_entries(&big_rho, 61),
+            Err(EntryError::RhoRange {
+                index: 0,
+                rho: 62,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn from_cells_rejects_corruption() {
+        // A valid two-cell-populated sketch round-trips.
+        let mut cells = vec![Vec::new(); 16];
+        cells[2] = vec![
+            VersionEntry { time: 1, rho: 1 },
+            VersionEntry { time: 4, rho: 3 },
+        ];
+        let s = VersionedHll::from_cells(4, cells.clone()).unwrap();
+        assert_eq!(s.cell(2).len(), 2);
+        assert!(s.check_dominance_chain().is_ok());
+
+        // Swapped order in one cell is rejected, naming the cell.
+        cells[9] = vec![
+            VersionEntry { time: 7, rho: 4 },
+            VersionEntry { time: 2, rho: 6 },
+        ];
+        let err = VersionedHll::from_cells(4, cells).unwrap_err();
+        assert_eq!(
+            err,
+            SketchInvariantError::Cell {
+                cell: 9,
+                error: EntryError::Order { index: 1 }
+            }
+        );
+        assert!(err.to_string().contains("cell 9"));
+
+        // Wrong cell count and precision are structural errors.
+        assert_eq!(
+            VersionedHll::from_cells(4, vec![Vec::new(); 8]).unwrap_err(),
+            SketchInvariantError::CellCount {
+                expected: 16,
+                got: 8
+            }
+        );
+        assert_eq!(
+            VersionedHll::from_cells(3, vec![Vec::new(); 8]).unwrap_err(),
+            SketchInvariantError::Precision(3)
+        );
+    }
+
+    #[test]
+    fn random_streams_keep_the_dominance_chain() {
+        let mut s = VersionedHll::new(6);
+        // Deterministic pseudo-random insertions, including repeats and
+        // decreasing/increasing time mixes.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..5_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let time = (x % 1_000) as i64; // xtask-allow: no-lossy-cast (value < 1000)
+            s.add_u64(x, time);
+            debug_assert!(s.check_dominance_chain().is_ok());
+        }
+        assert!(s.check_dominance_chain().is_ok());
+        assert_eq!(s.check_invariants(), Ok(()));
     }
 
     #[test]

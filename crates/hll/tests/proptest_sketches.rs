@@ -152,6 +152,100 @@ proptest! {
     }
 }
 
+/// The dominance-chain validators: sketches built by the algorithms always
+/// pass, and corrupted-by-construction version lists are always rejected.
+mod invariant_checks {
+    use infprop_hll::{check_entries, VersionEntry, VersionedHll};
+    use proptest::prelude::*;
+
+    /// A sketch built from a random insertion stream.
+    fn random_sketch() -> impl Strategy<Value = VersionedHll> {
+        prop::collection::vec((0u64..500, -200i64..200), 0..400).prop_map(|stream| {
+            let mut s = VersionedHll::new(4);
+            for (item, t) in stream {
+                s.add_u64(item, t);
+            }
+            s
+        })
+    }
+
+    proptest! {
+        /// Random streams never trip the checker, and the validating
+        /// constructor accepts exactly what the algorithms build.
+        #[test]
+        fn random_streams_pass_and_roundtrip(s in random_sketch()) {
+            prop_assert_eq!(s.check_dominance_chain(), Ok(()));
+            let cells: Vec<Vec<VersionEntry>> =
+                (0..s.num_cells()).map(|c| s.cell(c).to_vec()).collect();
+            let rebuilt = VersionedHll::from_cells(s.precision(), cells);
+            prop_assert_eq!(rebuilt.as_ref().map(|r| r == &s), Ok(true));
+        }
+
+        /// Swapping any two adjacent entries of a ≥2-entry list breaks the
+        /// strict (time, ρ) ordering, and the checker always says so.
+        #[test]
+        fn swapped_adjacent_entries_are_rejected(s in random_sketch(), cell_seed in any::<usize>(), pos_seed in any::<usize>()) {
+            let candidates: Vec<usize> =
+                (0..s.num_cells()).filter(|&c| s.cell(c).len() >= 2).collect();
+            prop_assume!(!candidates.is_empty());
+            let cell = candidates[cell_seed % candidates.len()];
+            let pos = pos_seed % (s.cell(cell).len() - 1);
+            let mut cells: Vec<Vec<VersionEntry>> =
+                (0..s.num_cells()).map(|c| s.cell(c).to_vec()).collect();
+            cells[cell].swap(pos, pos + 1);
+            prop_assert!(VersionedHll::from_cells(s.precision(), cells).is_err());
+        }
+
+        /// ρ outside `[1, 64 − k + 1]` is rejected wherever it is planted.
+        #[test]
+        fn out_of_range_rho_is_rejected(s in random_sketch(), cell_seed in any::<usize>(), big in 62u8..255) {
+            let cell = cell_seed % s.num_cells();
+            let mut cells: Vec<Vec<VersionEntry>> =
+                (0..s.num_cells()).map(|c| s.cell(c).to_vec()).collect();
+            cells[cell].insert(0, VersionEntry { time: i64::MIN, rho: 0 });
+            prop_assert!(VersionedHll::from_cells(s.precision(), cells.clone()).is_err());
+            cells[cell][0] = VersionEntry { time: i64::MIN, rho: big };
+            prop_assert!(VersionedHll::from_cells(s.precision(), cells).is_err());
+        }
+
+        /// Duplicated times (or duplicated ρ) violate strictness: doubling
+        /// any entry is always caught by the entry-level checker.
+        #[test]
+        fn duplicated_entries_are_rejected(
+            mut entries in prop::collection::vec((1u8..62, -100i64..100), 1..20),
+            dup_seed in any::<usize>(),
+        ) {
+            entries.sort();
+            entries.dedup();
+            let list: Vec<VersionEntry> = entries
+                .iter()
+                .enumerate()
+                .map(|(i, &(rho, _))| VersionEntry { time: i as i64, rho })
+                .collect();
+            // A strictly increasing (time, ρ) chain passes…
+            let chain: Vec<VersionEntry> = list
+                .iter()
+                .scan(0u8, |max, e| {
+                    if e.rho > *max {
+                        *max = e.rho;
+                        Some(Some(*e))
+                    } else {
+                        Some(None)
+                    }
+                })
+                .flatten()
+                .collect();
+            prop_assert_eq!(check_entries(&chain, 61), Ok(()));
+            // …and duplicating any one entry always fails.
+            prop_assume!(!chain.is_empty());
+            let mut corrupt = chain.clone();
+            let at = dup_seed % chain.len();
+            corrupt.insert(at, chain[at]);
+            prop_assert!(check_entries(&corrupt, 61).is_err());
+        }
+    }
+}
+
 /// Codec robustness: decoders must return clean errors — never panic —
 /// whatever bytes they are fed.
 mod codec_fuzz {

@@ -33,7 +33,7 @@ impl DistributionSummary {
         let n = values.len() as f64;
         let total: u64 = values.iter().sum();
         let mean = total as f64 / n;
-        let max = *values.iter().max().expect("non-empty");
+        let max = values.iter().max().copied().unwrap_or(0);
         let gini = if total == 0 {
             0.0
         } else {
@@ -137,7 +137,10 @@ pub fn activity_timeline(net: &InteractionNetwork, bins: usize) -> Vec<usize> {
         return hist;
     }
     for i in net.iter() {
+        // offset ∈ [0, span) since interactions are time-sorted, so the
+        // quotient is < bins and converts back to usize losslessly.
         let offset = i.time.delta(lo);
+        // xtask-allow: no-lossy-cast (0 ≤ offset < span widens into u128; quotient < bins fits usize)
         let b = ((offset as u128 * bins as u128) / span as u128) as usize;
         hist[b.min(bins - 1)] += 1;
     }

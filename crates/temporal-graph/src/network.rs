@@ -83,7 +83,7 @@ impl InteractionNetwork {
 
     /// Iterator over all node ids `0..n`.
     pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> {
-        (0..self.num_nodes as u32).map(NodeId)
+        (0..self.num_nodes).map(NodeId::from_index)
     }
 
     /// Earliest timestamp, or `None` for an empty network.
@@ -122,6 +122,9 @@ impl InteractionNetwork {
             "window percent must be within [0, 100], got {percent}"
         );
         let span = self.time_span() as f64;
+        // `.ceil()` yields an integral f64; `as i64` saturates rather than
+        // wraps, and spans are far below 2^53 so the value is exact.
+        // xtask-allow: no-lossy-cast (ceil of span fraction, exact below 2^53, saturating)
         Window(((span * percent / 100.0).ceil() as i64).max(1))
     }
 

@@ -20,7 +20,7 @@ impl NodeId {
     /// The id as a `usize` index, for vector-indexed per-node tables.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        self.0 as usize // xtask-allow: no-lossy-cast (u32 → usize widens on ≥32-bit targets)
     }
 
     /// Builds a `NodeId` from a `usize` index.
@@ -30,7 +30,7 @@ impl NodeId {
     /// Panics if `index` does not fit in `u32` (more than ~4.2 billion nodes).
     #[inline]
     pub fn from_index(index: usize) -> Self {
-        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range")) // xtask-allow: no-panic (documented panic: >2^32 nodes is a caller bug)
     }
 }
 
@@ -132,6 +132,7 @@ impl Window {
     pub fn new(len: i64) -> Window {
         match Self::try_new(len) {
             Ok(w) => w,
+            // xtask-allow: no-panic (documented panicking counterpart of try_new)
             Err(_) => panic!("window must be at least 1 time unit, got {len}"),
         }
     }

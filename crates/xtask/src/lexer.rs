@@ -1,0 +1,481 @@
+//! A minimal token-level scanner for Rust source.
+//!
+//! The lint rules in [`crate::rules`] need just enough lexical structure to
+//! be sound: comments (doc vs. plain) must be separated from code so that a
+//! `panic!` mentioned in prose is not a violation, string/char literals must
+//! be opaque, and identifiers/punctuation must come out as discrete tokens
+//! so rules can match sequences like `.` `unwrap` `(` or `as` `usize`.
+//!
+//! This is *not* a full Rust lexer — multi-character operators arrive as
+//! runs of single [`TokenKind::Punct`] tokens and no keyword table exists —
+//! but it handles every construct that would otherwise cause a false match:
+//! nested block comments, raw strings with `#` fences, byte/raw-byte/C
+//! strings, raw identifiers (`r#type`), lifetimes vs. char literals, and
+//! float literals vs. range expressions (`0..10`).
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// A lifetime such as `'a` (including the leading quote).
+    Lifetime,
+    /// Numeric literal, including suffixes (`1_000u64`, `0x1f`, `2.5e-3`).
+    Number,
+    /// String-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A single punctuation character (`.`, `:`, `!`, `<`, …).
+    Punct,
+    /// `// …` comment; `doc` is true for `///` and `//!` forms.
+    LineComment {
+        /// Whether this is a doc comment (`///` outer or `//!` inner).
+        doc: bool,
+    },
+    /// `/* … */` comment; `doc` is true for `/** … */` and `/*! … */` forms.
+    BlockComment {
+        /// Whether this is a doc comment (`/**` outer or `/*!` inner).
+        doc: bool,
+    },
+}
+
+/// One lexed token with its source text and 1-based start line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if the token is any kind of comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// True if the token is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    pub fn is_doc_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { doc: true } | TokenKind::BlockComment { doc: true }
+        )
+    }
+
+    /// True if the token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True if the token is a punctuation character with exactly this text.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.chars().eq(std::iter::once(ch))
+    }
+}
+
+/// Lexes `src` into a token stream, comments included.
+///
+/// The scanner never fails: malformed input (unterminated strings, stray
+/// bytes) degrades into best-effort tokens, which is the right trade-off for
+/// a linter that must not crash on code rustc itself will reject.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        src,
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(start, line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(start, line),
+                b'"' => self.string(start, line),
+                b'\'' => self.lifetime_or_char(start, line),
+                b'0'..=b'9' => self.number(start, line),
+                _ if is_ident_start(b) => self.ident_or_prefixed_literal(start, line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.tokens.push(Token {
+            kind,
+            text: self.src[start..self.pos].to_string(),
+            line,
+        });
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        // `///` is an outer doc comment unless it is a `////…` ruler line;
+        // `//!` is an inner doc comment.
+        let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+        self.push(TokenKind::LineComment { doc }, start, line);
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        let text = &self.src[start..self.pos];
+        // `/**/` is empty, not doc; `/***…` is a ruler, not doc.
+        let doc = (text.starts_with("/**") && !text.starts_with("/***") && text.len() > 4)
+            || text.starts_with("/*!");
+        self.push(TokenKind::BlockComment { doc }, start, line);
+    }
+
+    /// Plain `"…"` string with backslash escapes.
+    fn string(&mut self, start: usize, line: u32) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(TokenKind::Str, start, line);
+    }
+
+    /// Raw string body: caller has consumed the prefix up to (not including)
+    /// the `#…#"` fence. Consumes `#`* `"` … `"` `#`*.
+    fn raw_string_body(&mut self, start: usize, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) == Some(b'"') {
+            self.bump();
+        }
+        'scan: while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                // Check for `"` followed by `hashes` many `#`.
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.bump(); // closing quote
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break 'scan;
+                }
+            }
+            self.bump();
+        }
+        self.push(TokenKind::Str, start, line);
+    }
+
+    fn lifetime_or_char(&mut self, start: usize, line: u32) {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: '\n', '\u{1F600}', …
+                self.bump();
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.bump();
+                }
+                if self.pos < self.bytes.len() {
+                    self.bump();
+                }
+                self.push(TokenKind::Char, start, line);
+            }
+            Some(b) if is_ident_start(b) && self.peek(1) != Some(b'\'') => {
+                // Lifetime: 'a, 'static, '_.
+                while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                    self.bump();
+                }
+                self.push(TokenKind::Lifetime, start, line);
+            }
+            Some(_) => {
+                // Char literal: 'x', '(' — single char then closing quote.
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Char, start, line);
+            }
+            None => self.push(TokenKind::Char, start, line),
+        }
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        let mut seen_dot = false;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else if b == b'.' && !seen_dot && self.peek(1).is_some_and(|n| n.is_ascii_digit()) {
+                // Float like `2.5` — but leave `0..10` as Number Punct Punct
+                // Number, since `.` there is followed by `.`, not a digit.
+                seen_dot = true;
+                self.bump();
+            } else if (b == b'+' || b == b'-')
+                && self.pos > start
+                && matches!(self.bytes[self.pos - 1], b'e' | b'E')
+                && !self.src[start..self.pos].starts_with("0x")
+                && self.peek(1).is_some_and(|n| n.is_ascii_digit())
+            {
+                // Signed exponent: 2.5e-3.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, start, line);
+    }
+
+    fn ident_or_prefixed_literal(&mut self, start: usize, line: u32) {
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.bump();
+        }
+        let ident = &self.src[start..self.pos];
+        match (ident, self.peek(0)) {
+            // Raw strings: r"…", r#"…"#, br#"…"#, cr#"…"#. A `#` after `r`
+            // can also start a raw identifier (r#type); those continue with
+            // an identifier character instead of more `#`s or a quote.
+            ("r" | "br" | "cr", Some(b'"')) => self.raw_string_body(start, line),
+            ("r" | "br" | "cr", Some(b'#')) if self.raw_fence_ahead() => {
+                self.raw_string_body(start, line)
+            }
+            ("r", Some(b'#')) => {
+                // Raw identifier: consume `#` and the identifier body.
+                self.bump();
+                while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                    self.bump();
+                }
+                self.push(TokenKind::Ident, start, line);
+            }
+            // Byte / C strings and byte chars: b"…", c"…", b'\n'.
+            ("b" | "c", Some(b'"')) => self.string_with_prefix(start, line),
+            ("b", Some(b'\'')) => {
+                self.bump(); // opening quote
+                             // Reuse the char path: treat rest as a char literal body.
+                match self.peek(0) {
+                    Some(b'\\') => {
+                        self.bump();
+                        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                            self.bump();
+                        }
+                        if self.pos < self.bytes.len() {
+                            self.bump();
+                        }
+                    }
+                    Some(_) => {
+                        self.bump();
+                        if self.peek(0) == Some(b'\'') {
+                            self.bump();
+                        }
+                    }
+                    None => {}
+                }
+                self.push(TokenKind::Char, start, line);
+            }
+            _ => self.push(TokenKind::Ident, start, line),
+        }
+    }
+
+    /// After an `r`/`br`/`cr` prefix sitting at a `#`, is this a raw-string
+    /// fence (`#`* `"`), as opposed to a raw identifier (`#ident`)?
+    fn raw_fence_ahead(&self) -> bool {
+        let mut i = 0;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+
+    /// `b"…"` / `c"…"` after the prefix identifier has been consumed.
+    fn string_with_prefix(&mut self, start: usize, line: u32) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(TokenKind::Str, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("foo.unwrap()");
+        assert_eq!(toks.len(), 5);
+        assert_eq!(toks[1].1, ".");
+        assert_eq!(toks[2].1, "unwrap");
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let toks = kinds("0..10");
+        let texts: Vec<_> = toks.iter().map(|t| t.1.as_str()).collect();
+        assert_eq!(texts, ["0", ".", ".", "10"]);
+    }
+
+    #[test]
+    fn float_with_exponent() {
+        let toks = kinds("2.5e-3 + 1");
+        assert_eq!(toks[0].1, "2.5e-3");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "panic!(); .unwrap()";"#);
+        assert!(toks.iter().all(|t| t.1 != "panic" && t.1 != "unwrap"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r####"let s = r#"quote " inside"#; x"####);
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Str));
+        assert_eq!(toks.last().map(|t| t.1.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "r#type"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.0 == TokenKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn comments_doc_flags() {
+        let toks = lex("/// doc\n// plain\n//! inner\n//// ruler\n/* blk */\n/** docblk */");
+        let docs: Vec<bool> = toks
+            .iter()
+            .filter(|t| t.is_comment())
+            .map(Token::is_doc_comment)
+            .collect();
+        assert_eq!(docs, [true, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("/* outer /* inner */ still */ after");
+        assert_eq!(toks.last().map(|t| t.1.as_str()), Some("after"));
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn byte_char_literal() {
+        let toks = kinds("let b = b'\\n'; let s = b\"bytes\";");
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Char));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Str));
+    }
+}

@@ -1,0 +1,34 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Workspace automation for the `infprop` project.
+//!
+//! The only subcommand today is `lint`: a project-specific static-analysis
+//! pass enforcing rules clippy cannot express — the paper's structural
+//! invariants start in the source code (no panicking paths in library code,
+//! no lossy timestamp casts, no slow default hashers on the IRS hot path,
+//! a documented public API, and `#![forbid(unsafe_code)]` everywhere).
+//!
+//! Run it as `cargo xtask lint` (the alias lives in `.cargo/config.toml`).
+//! Each violation prints as `path:line: [rule] message` and the process
+//! exits non-zero if any rule fired, so CI can gate on it.
+//!
+//! Individual findings can be waived with an inline comment naming the
+//! rule(s), on the offending line or the line before:
+//!
+//! ```text
+//! let n = u32::from_le_bytes(buf) as usize; // xtask-allow: no-lossy-cast (widening on ≥32-bit)
+//! ```
+//!
+//! The engine is dependency-free by design: [`lexer`] is a hand-rolled
+//! token scanner with just enough Rust lexical structure (comments, string
+//! fences, raw identifiers, lifetimes) to make the token-sequence rules in
+//! [`rules`] sound, and [`workspace`] maps each crate to the rule set it
+//! must satisfy.
+
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{lint_file, FileContext, Rule, Violation};
+pub use workspace::{find_workspace_root, lint_workspace};

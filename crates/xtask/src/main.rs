@@ -1,0 +1,99 @@
+#![forbid(unsafe_code)]
+
+//! `cargo xtask` — workspace automation entry point.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{find_workspace_root, lint_workspace};
+
+const USAGE: &str = "\
+Usage: cargo xtask <command>
+
+Commands:
+  lint [--root <dir>]   Run the project lint rules over the workspace.
+                        Exits 1 if any rule fires, printing one
+                        `path:line: [rule] message` diagnostic per finding.
+
+Rules: no-panic, no-lossy-cast, no-default-hashmap, pub-docs,
+       forbid-unsafe, no-print.
+Waive a finding inline with `// xtask-allow: <rule>[, <rule>…]` on the
+offending line or the line before.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown xtask command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                if let Some(dir) = args.get(i + 1) {
+                    root = Some(PathBuf::from(dir));
+                    i += 2;
+                } else {
+                    eprintln!("error: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            }
+            other => {
+                eprintln!("error: unknown lint option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "error: no workspace root (Cargo.toml with [workspace]) above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("xtask lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: lint walk failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Workspace discovery and the per-crate lint scoping policy.
+//!
+//! The walker finds every Rust source file that counts as *library code*:
+//! the `src/` trees of each workspace member plus the facade crate at the
+//! repository root. Integration tests, benches and examples (`tests/`,
+//! `benches/`, `examples/` directories) are skipped wholesale — the lint
+//! contract covers shipped library code, not test scaffolding.
+
+use crate::rules::{lint_file, FileContext, Rule, Violation};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which rules apply to a crate, keyed by its directory name under
+/// `crates/` (the facade package at the workspace root is `"infprop"`).
+///
+/// * `xtask` and `bench` are tooling: only the `forbid-unsafe` floor.
+/// * `cli` is a consumer binary: panics are still banned (it must render
+///   `GraphError` nicely), but it prints by design and binary crates have no
+///   public API surface to document.
+/// * `core` and `hll` are the hot paths: everything, including the
+///   default-hasher ban.
+/// * `temporal-graph` carries the `Timestamp`/`NodeId` arithmetic, so the
+///   lossy-cast rule applies there too.
+/// * Remaining library crates (`datasets`, `diffusion`, `baselines`, the
+///   facade) get the portable rules.
+pub fn rules_for_crate(crate_dir: &str) -> Vec<Rule> {
+    match crate_dir {
+        "xtask" | "bench" => vec![Rule::ForbidUnsafe],
+        "cli" => vec![Rule::NoPanic, Rule::ForbidUnsafe],
+        "core" | "hll" => vec![
+            Rule::NoPanic,
+            Rule::NoLossyCast,
+            Rule::NoDefaultHashmap,
+            Rule::PubDocs,
+            Rule::ForbidUnsafe,
+            Rule::NoPrint,
+        ],
+        "temporal-graph" => vec![
+            Rule::NoPanic,
+            Rule::NoLossyCast,
+            Rule::PubDocs,
+            Rule::ForbidUnsafe,
+            Rule::NoPrint,
+        ],
+        _ => vec![
+            Rule::NoPanic,
+            Rule::PubDocs,
+            Rule::ForbidUnsafe,
+            Rule::NoPrint,
+        ],
+    }
+}
+
+/// A source file scheduled for linting.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+    /// Lint context (carries the workspace-relative path for diagnostics).
+    pub ctx: FileContext,
+}
+
+/// Walks the workspace rooted at `root` and returns every library source
+/// file with its lint context.
+pub fn discover(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+
+    // Facade crate: `src/` at the workspace root.
+    let facade_src = root.join("src");
+    if facade_src.is_dir() {
+        collect_crate(root, &facade_src, "infprop", &mut files)?;
+    }
+
+    // Workspace members under `crates/`.
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_crate(root, &src, &name, &mut files)?;
+            }
+        }
+    }
+
+    Ok(files)
+}
+
+/// Recursively collects `.rs` files under one crate's `src/` tree.
+fn collect_crate(
+    root: &Path,
+    src: &Path,
+    crate_dir: &str,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let rules = rules_for_crate(crate_dir);
+    let mut stack = vec![src.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                // `src/` subtrees named like test scaffolding are still
+                // modules; only top-level tests/benches/examples dirs sit
+                // outside `src/`, so no filtering is needed here.
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let is_crate_root = path
+                    .file_name()
+                    .is_some_and(|n| n == "lib.rs" || n == "main.rs")
+                    && path.parent() == Some(src);
+                let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+                out.push(SourceFile {
+                    abs_path: path.clone(),
+                    ctx: FileContext {
+                        path: rel,
+                        rules: rules.clone(),
+                        is_crate_root,
+                    },
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`. Returns all violations,
+/// sorted by file then line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    for file in discover(root)? {
+        let source = fs::read_to_string(&file.abs_path)?;
+        violations.extend(lint_file(&file.ctx, &source));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(violations)
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

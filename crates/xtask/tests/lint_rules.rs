@@ -1,0 +1,198 @@
+//! End-to-end tests for the lint engine: synthetic crates on disk are
+//! walked, linted, and must produce exactly the expected diagnostics.
+
+use std::fs;
+use std::path::Path;
+
+use xtask::workspace::rules_for_crate;
+use xtask::{lint_workspace, FileContext, Rule, Violation};
+
+fn write(root: &Path, rel: &str, contents: &str) {
+    let path = root.join(rel);
+    fs::create_dir_all(path.parent().unwrap()).unwrap();
+    fs::write(path, contents).unwrap();
+}
+
+/// Builds a miniature workspace in a temp dir and lints it.
+fn lint_fixture(files: &[(&str, &str)]) -> Vec<Violation> {
+    let dir = std::env::temp_dir().join(format!(
+        "xtask-lint-fixture-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    write(
+        &dir,
+        "Cargo.toml",
+        "[workspace]\nmembers = [\"crates/*\"]\n",
+    );
+    for (rel, contents) in files {
+        write(&dir, rel, contents);
+    }
+    let violations = lint_workspace(&dir).unwrap();
+    let _ = fs::remove_dir_all(&dir);
+    violations
+}
+
+#[test]
+fn clean_workspace_produces_no_violations() {
+    let violations = lint_fixture(&[
+        (
+            "crates/core/Cargo.toml",
+            "[package]\nname = \"infprop-core\"\n",
+        ),
+        (
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n//! Core.\n\n/// Adds.\npub fn add(a: u64, b: u64) -> u64 { a + b }\n",
+        ),
+    ]);
+    assert!(violations.is_empty(), "unexpected: {violations:?}");
+}
+
+#[test]
+fn seeded_unwrap_fails_with_file_line_diagnostic() {
+    let violations = lint_fixture(&[
+        (
+            "crates/core/Cargo.toml",
+            "[package]\nname = \"infprop-core\"\n",
+        ),
+        (
+            "crates/core/src/engine.rs",
+            "//! Engine.\n\n/// Runs.\npub fn run(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+        ),
+        (
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n//! Core.\npub mod engine;\n",
+        ),
+    ]);
+    let panics: Vec<&Violation> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::NoPanic)
+        .collect();
+    assert_eq!(panics.len(), 1);
+    let v = panics[0];
+    assert_eq!(v.file, Path::new("crates/core/src/engine.rs"));
+    assert_eq!(v.line, 5);
+    let rendered = v.to_string();
+    assert!(
+        rendered.starts_with("crates/core/src/engine.rs:5: [no-panic]"),
+        "bad diagnostic: {rendered}"
+    );
+}
+
+#[test]
+fn tests_dir_and_cfg_test_are_exempt() {
+    let violations = lint_fixture(&[
+        (
+            "crates/core/Cargo.toml",
+            "[package]\nname = \"infprop-core\"\n",
+        ),
+        (
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n//! Core.\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n",
+        ),
+        (
+            "crates/core/tests/integration.rs",
+            "fn main() { None::<u8>.unwrap(); panic!(); }\n",
+        ),
+        (
+            "crates/core/benches/bench.rs",
+            "fn main() { None::<u8>.unwrap(); }\n",
+        ),
+    ]);
+    assert!(violations.is_empty(), "unexpected: {violations:?}");
+}
+
+#[test]
+fn allow_comment_waives_exactly_the_named_rule() {
+    let violations = lint_fixture(&[
+        ("crates/hll/Cargo.toml", "[package]\nname = \"infprop-hll\"\n"),
+        (
+            "crates/hll/src/lib.rs",
+            concat!(
+                "#![forbid(unsafe_code)]\n",
+                "//! Sketches.\n\n",
+                "/// Widens.\n",
+                "pub fn widen(x: u32) -> usize {\n",
+                "    x as usize // xtask-allow: no-lossy-cast (u32 -> usize widens on every supported target)\n",
+                "}\n\n",
+                "/// Truncates — no allow, must fire.\n",
+                "pub fn truncate(x: u64) -> u32 {\n",
+                "    x as u32\n",
+                "}\n",
+            ),
+        ),
+    ]);
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].rule, Rule::NoLossyCast);
+    assert_eq!(violations[0].line, 11);
+}
+
+#[test]
+fn missing_forbid_unsafe_fires_only_on_crate_roots() {
+    let violations = lint_fixture(&[
+        (
+            "crates/cli/Cargo.toml",
+            "[package]\nname = \"infprop-cli\"\n",
+        ),
+        ("crates/cli/src/main.rs", "fn main() {}\n"),
+        ("crates/cli/src/commands.rs", "pub fn run() {}\n"),
+    ]);
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].rule, Rule::ForbidUnsafe);
+    assert_eq!(violations[0].file, Path::new("crates/cli/src/main.rs"));
+    assert_eq!(violations[0].line, 1);
+}
+
+#[test]
+fn scoping_policy_matches_crate_roles() {
+    // Hot-path crates get the hasher ban; tooling crates get almost nothing.
+    assert!(rules_for_crate("core").contains(&Rule::NoDefaultHashmap));
+    assert!(rules_for_crate("hll").contains(&Rule::NoDefaultHashmap));
+    assert!(!rules_for_crate("temporal-graph").contains(&Rule::NoDefaultHashmap));
+    assert!(rules_for_crate("temporal-graph").contains(&Rule::NoLossyCast));
+    assert!(!rules_for_crate("datasets").contains(&Rule::NoLossyCast));
+    assert_eq!(rules_for_crate("bench"), vec![Rule::ForbidUnsafe]);
+    assert_eq!(rules_for_crate("xtask"), vec![Rule::ForbidUnsafe]);
+    assert!(rules_for_crate("cli").contains(&Rule::NoPanic));
+    assert!(!rules_for_crate("cli").contains(&Rule::PubDocs));
+    assert!(!rules_for_crate("cli").contains(&Rule::NoPrint));
+    for krate in ["core", "hll", "temporal-graph", "datasets", "infprop"] {
+        assert!(rules_for_crate(krate).contains(&Rule::ForbidUnsafe));
+        assert!(rules_for_crate(krate).contains(&Rule::PubDocs));
+    }
+}
+
+#[test]
+fn hashmap_flagged_in_core_but_not_datasets() {
+    let core_src = "#![forbid(unsafe_code)]\n//! X.\nuse std::collections::HashMap;\n";
+    let datasets_src = core_src;
+    let violations = lint_fixture(&[
+        (
+            "crates/core/Cargo.toml",
+            "[package]\nname = \"infprop-core\"\n",
+        ),
+        ("crates/core/src/lib.rs", core_src),
+        (
+            "crates/datasets/Cargo.toml",
+            "[package]\nname = \"infprop-datasets\"\n",
+        ),
+        ("crates/datasets/src/lib.rs", datasets_src),
+    ]);
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].rule, Rule::NoDefaultHashmap);
+    assert_eq!(violations[0].file, Path::new("crates/core/src/lib.rs"));
+}
+
+#[test]
+fn lint_file_is_usable_as_a_library() {
+    let ctx = FileContext {
+        path: "x.rs".into(),
+        rules: vec![Rule::NoPanic],
+        is_crate_root: false,
+    };
+    let violations = xtask::lint_file(&ctx, "fn f() { todo!() }");
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].rule, Rule::NoPanic);
+}

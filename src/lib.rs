@@ -51,6 +51,9 @@
 //! assert!(sigma_a >= 1);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use infprop_baselines as baselines;
 pub use infprop_core as irs;
 pub use infprop_datasets as datasets;

@@ -1,0 +1,44 @@
+//! The paper-invariant verification layer must accept the summaries both
+//! backends produce on *every* datasets profile: self-exclusion and
+//! end-time bounds for exact summaries, dominance chains for sketches.
+
+use infprop::irs::{
+    invariants, ApproxIrs, ExactIrs, ExactStore, ReversePassEngine, SummaryStore, VhllStore,
+};
+
+#[test]
+fn every_profile_passes_validation_under_both_backends() {
+    for profile in infprop::datasets::profiles::all(17) {
+        let dataset = profile.build(0.001);
+        let net = &dataset.network;
+        let window = net.window_from_percent(5.0);
+
+        let exact = ExactIrs::compute(net, window);
+        assert_eq!(
+            exact.validate(),
+            Ok(()),
+            "exact summaries for {}",
+            dataset.name
+        );
+
+        let approx = ApproxIrs::compute_with_precision(net, window, 6);
+        assert_eq!(approx.validate(), Ok(()), "sketches for {}", dataset.name);
+    }
+}
+
+#[test]
+fn store_level_validation_honours_the_stream_frontier() {
+    let dataset = infprop::datasets::profiles::enron_like(11).build(0.001);
+    let net = &dataset.network;
+    let window = net.window_from_percent(5.0);
+    // After a full pass the frontier is the earliest interaction time; no
+    // recorded end time may precede it.
+    let frontier = net.interactions().first().map(|i| i.time);
+
+    let store = ReversePassEngine::run(net, window, ExactStore::with_nodes(net.num_nodes()));
+    assert_eq!(invariants::validate(&store, frontier), Ok(()));
+    assert_eq!(store.validate(frontier), Ok(()));
+
+    let vstore = ReversePassEngine::run(net, window, VhllStore::with_nodes(6, net.num_nodes()));
+    assert_eq!(invariants::validate(&vstore, frontier), Ok(()));
+}
