@@ -7,7 +7,7 @@ use infprop_baselines::{
     PageRankConfig, Skim, SkimConfig,
 };
 use infprop_core::{
-    find_channel, greedy_top_k, ApproxIrs, ApproxOracle, ExactIrs, InfluenceOracle,
+    find_channel, greedy_top_k_threads, ApproxIrs, ApproxOracle, ExactIrs, InfluenceOracle,
 };
 use infprop_datasets::profiles;
 use infprop_diffusion::{tcic_spread, tclt_spread, LtWeights, TcicConfig};
@@ -53,6 +53,24 @@ fn window_of(args: &ParsedArgs, net: &InteractionNetwork) -> Result<Window, Box<
         let pct: f64 = args.parse_required("window-pct", "a percentage in [0, 100]")?;
         Ok(net.window_from_percent(pct))
     }
+}
+
+/// Resolves `--threads` (defaulting to the machine's available
+/// parallelism) for the commands with a parallel fan-out.
+fn threads_of(args: &ParsedArgs) -> Result<usize, Box<dyn Error>> {
+    let threads: usize = args.parse_or(
+        "threads",
+        infprop_core::par::default_threads(),
+        "a worker count of at least 1",
+    )?;
+    if threads == 0 {
+        return Err(Box::new(ArgError::BadValue {
+            flag: "threads".into(),
+            value: threads.to_string(),
+            expected: "a worker count of at least 1",
+        }));
+    }
+    Ok(threads)
 }
 
 /// `infprop stats <file> [--units-per-day N]`
@@ -128,13 +146,14 @@ pub fn topk(args: &ParsedArgs) -> CmdResult {
     let window = window_of(args, net)?;
     let k: usize = args.parse_required("k", "an integer")?;
     let seed: u64 = args.parse_or("seed", 42, "an integer")?;
+    let threads = threads_of(args)?;
     let method = args.optional("method").unwrap_or("irs");
     let seeds: Vec<NodeId> = match method {
-        "irs" => greedy_top_k(&ApproxIrs::compute(net, window).oracle(), k)
+        "irs" => greedy_top_k_threads(&ApproxIrs::compute(net, window).oracle(), k, threads)
             .into_iter()
             .map(|s| s.node)
             .collect(),
-        "irs-exact" => greedy_top_k(&ExactIrs::compute(net, window).oracle(), k)
+        "irs-exact" => greedy_top_k_threads(&ExactIrs::compute(net, window).oracle(), k, threads)
             .into_iter()
             .map(|s| s.node)
             .collect(),
@@ -194,10 +213,14 @@ pub fn simulate(args: &ParsedArgs) -> CmdResult {
     let p: f64 = args.parse_or("p", 0.5, "a probability")?;
     let runs: usize = args.parse_or("runs", 100, "an integer")?;
     let seed: u64 = args.parse_or("seed", 42, "an integer")?;
+    let threads = threads_of(args)?;
     let model = args.optional("model").unwrap_or("tcic");
     let spread = match model {
         "tcic" => {
-            let cfg = TcicConfig::new(window, p).with_runs(runs).with_seed(seed);
+            let cfg = TcicConfig::new(window, p)
+                .with_runs(runs)
+                .with_seed(seed)
+                .with_threads(threads);
             tcic_spread(net, &seeds, &cfg)
         }
         "tclt" => {
@@ -358,9 +381,10 @@ USAGE:
   infprop stats <file> [--units-per-day N]
   infprop irs <file> (--window-pct P | --window W) [--exact] [--beta B] [--top K]
   infprop topk <file> --k K (--window-pct P | --window W)
-                 [--method irs|irs-exact|pagerank|hd|shd|degree-discount|skim|cte] [--seed S]
+                 [--method irs|irs-exact|pagerank|hd|shd|degree-discount|skim|cte]
+                 [--seed S] [--threads T]
   infprop simulate <file> --seeds a,b,c (--window-pct P | --window W)
-                 [--p F] [--runs N] [--model tcic|tclt] [--seed S]
+                 [--p F] [--runs N] [--model tcic|tclt] [--seed S] [--threads T]
   infprop channel <file> --from U --to V (--window-pct P | --window W)
   infprop generate --profile enron|lkml|facebook|higgs|slashdot|us2016
                  --scale S --out FILE [--seed N]

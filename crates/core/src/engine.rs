@@ -8,7 +8,8 @@
 //!
 //! * [`SummaryStore`] — the per-interaction contract (`add`, `merge`,
 //!   node-universe growth, and a snapshot facility for timestamp ties);
-//! * [`ExactStore`] — hash-map summaries `φ(u) = {v → λ}` (Algorithm 2);
+//! * [`ExactStore`] — dense sorted-vec summaries `φ(u) = {v → λ}`
+//!   (Algorithm 2);
 //! * [`VhllStore`] — versioned-HLL sketches (Algorithm 3);
 //! * [`ReversePassEngine`] — the single driver owning the reverse scan, the
 //!   two-phase equal-timestamp batch semantics, and the streaming
@@ -30,8 +31,7 @@
 //! can never chain two hops with equal timestamps. With distinct timestamps
 //! every batch has size one and the engine follows the paper verbatim.
 
-use crate::{FastMap, FastSet};
-use infprop_hll::VersionedHll;
+use infprop_hll::{VersionEntry, VersionedHll};
 use infprop_temporal_graph::{Interaction, InteractionNetwork, NodeId, Timestamp, Window};
 use std::fmt;
 
@@ -177,51 +177,169 @@ fn src_and_dst<T>(slots: &mut [T], u: usize, v: usize) -> (&mut T, &T) {
     }
 }
 
-/// Exact hash-map summaries: `φ(u) = {v → λ(u, v)}` (paper Algorithm 2).
+/// One exact summary: the pairs `(v, λ(u, v))` sorted by strictly
+/// increasing `NodeId`. Dense and cache-friendly — membership is a binary
+/// search, merges are a two-pointer sweep.
+pub type ExactSummary = Vec<(NodeId, Timestamp)>;
+
+/// Exact dense summaries: `φ(u) = {v → λ(u, v)}` (paper Algorithm 2), one
+/// NodeId-sorted vec per node slot plus a store-level scratch buffer so the
+/// merge path allocates nothing in the steady state.
 #[derive(Clone, Debug, Default)]
 pub struct ExactStore {
-    summaries: Vec<FastMap<NodeId, Timestamp>>,
+    summaries: Vec<ExactSummary>,
+    scratch: ExactSummary,
 }
 
 /// `Add(φ(u), (v, t))` from Algorithm 2: insert or lower the end time.
+/// `O(log |φ(u)|)` to locate the slot.
 #[inline]
-fn exact_add(summary: &mut FastMap<NodeId, Timestamp>, v: NodeId, t: Timestamp) {
-    summary
-        .entry(v)
-        .and_modify(|cur| {
-            if t < *cur {
-                *cur = t;
+fn exact_add(summary: &mut ExactSummary, v: NodeId, t: Timestamp) {
+    match summary.binary_search_by_key(&v, |&(x, _)| x) {
+        Ok(i) => {
+            if t < summary[i].1 {
+                summary[i].1 = t;
             }
-        })
-        .or_insert(t);
+        }
+        Err(i) => summary.insert(i, (v, t)),
+    }
+}
+
+/// Lemma 2's admissibility filter: `tx − t + 1 ≤ ω`. Cycles back to the
+/// source are skipped — a node does not influence itself (matching the
+/// paper's Example 2 trace, where the admissible channel e → b → e is not
+/// recorded in φ(e)).
+#[inline]
+fn exact_admissible(x: NodeId, tx: Timestamp, u: NodeId, t: Timestamp, window: Window) -> bool {
+    x != u && tx.delta(t) < window.get()
+}
+
+/// The merge kernel both [`SummaryStore::merge`] paths share: folds the
+/// admissible entries of `src` into `phi_u` with one two-pointer sweep over
+/// the two sorted runs, building the result in `scratch` and swapping the
+/// buffers, so the steady state moves entries without allocating.
+fn exact_merge_filtered(
+    phi_u: &mut ExactSummary,
+    src: &[(NodeId, Timestamp)],
+    u: NodeId,
+    t: Timestamp,
+    window: Window,
+    scratch: &mut ExactSummary,
+) {
+    if phi_u.is_empty() {
+        phi_u.extend(
+            src.iter()
+                .copied()
+                .filter(|&(x, tx)| exact_admissible(x, tx, u, t, window)),
+        );
+        return;
+    }
+    // Small-side path: when the source contributes far fewer entries than
+    // the accumulator holds (the hub pattern — a high-degree node absorbing
+    // many small neighbour summaries), per-entry binary searches beat a full
+    // rebuild: hits update a timestamp in place, and only genuinely new ids
+    // pay for insertion, via one backward in-place merge.
+    if src.len() * 4 <= phi_u.len() {
+        scratch.clear();
+        for &(x, tx) in src {
+            if !exact_admissible(x, tx, u, t, window) {
+                continue;
+            }
+            match phi_u.binary_search_by_key(&x, |&(y, _)| y) {
+                Ok(i) => {
+                    if tx < phi_u[i].1 {
+                        phi_u[i].1 = tx;
+                    }
+                }
+                Err(_) => scratch.push((x, tx)),
+            }
+        }
+        if scratch.is_empty() {
+            return;
+        }
+        // `scratch` is sorted (a filtered subset of the sorted `src`) and
+        // disjoint from `phi_u`: merge it in from the back in one pass.
+        let old_len = phi_u.len();
+        let new = scratch.len();
+        phi_u.resize(old_len + new, (NodeId(0), Timestamp(0)));
+        let (mut i, mut j, mut w) = (old_len, new, old_len + new);
+        while j > 0 {
+            if i > 0 && phi_u[i - 1].0 > scratch[j - 1].0 {
+                phi_u[w - 1] = phi_u[i - 1];
+                i -= 1;
+            } else {
+                phi_u[w - 1] = scratch[j - 1];
+                j -= 1;
+            }
+            w -= 1;
+        }
+        return;
+    }
+    if !src
+        .iter()
+        .any(|&(x, tx)| exact_admissible(x, tx, u, t, window))
+    {
+        return;
+    }
+    scratch.clear();
+    scratch.reserve(phi_u.len() + src.len());
+    let mut i = 0;
+    for &(x, tx) in src {
+        if !exact_admissible(x, tx, u, t, window) {
+            continue;
+        }
+        while i < phi_u.len() && phi_u[i].0 < x {
+            scratch.push(phi_u[i]);
+            i += 1;
+        }
+        if i < phi_u.len() && phi_u[i].0 == x {
+            scratch.push((x, phi_u[i].1.min(tx)));
+            i += 1;
+        } else {
+            scratch.push((x, tx));
+        }
+    }
+    scratch.extend_from_slice(&phi_u[i..]);
+    // The old φ(u) buffer becomes the next merge's scratch.
+    std::mem::swap(phi_u, scratch);
 }
 
 impl ExactStore {
     /// An empty store with `n` pre-allocated node slots.
     pub fn with_nodes(n: usize) -> Self {
         ExactStore {
-            summaries: (0..n).map(|_| FastMap::default()).collect(),
+            summaries: vec![Vec::new(); n],
+            scratch: Vec::new(),
         }
     }
 
-    /// Rebuilds a store around existing summaries (codec entry point).
-    pub fn from_summaries(summaries: Vec<FastMap<NodeId, Timestamp>>) -> Self {
-        ExactStore { summaries }
+    /// Rebuilds a store around existing summaries (codec entry point). Each
+    /// summary is sorted by `NodeId` on the way in; node ids must be unique
+    /// within a summary.
+    pub fn from_summaries(mut summaries: Vec<ExactSummary>) -> Self {
+        for s in &mut summaries {
+            s.sort_unstable_by_key(|&(v, _)| v);
+        }
+        ExactStore {
+            summaries,
+            scratch: Vec::new(),
+        }
     }
 
-    /// Consumes the store, yielding the per-node summary maps.
-    pub fn into_summaries(self) -> Vec<FastMap<NodeId, Timestamp>> {
+    /// Consumes the store, yielding the per-node summaries (sorted by
+    /// `NodeId`).
+    pub fn into_summaries(self) -> Vec<ExactSummary> {
         self.summaries
     }
 
-    /// Shared view of the per-node summary maps.
-    pub fn summaries(&self) -> &[FastMap<NodeId, Timestamp>] {
+    /// Shared view of the per-node summaries (each sorted by `NodeId`).
+    pub fn summaries(&self) -> &[ExactSummary] {
         &self.summaries
     }
 }
 
 impl SummaryStore for ExactStore {
-    type Snapshot = FastMap<NodeId, Timestamp>;
+    type Snapshot = ExactSummary;
 
     fn num_nodes(&self) -> usize {
         self.summaries.len()
@@ -229,7 +347,7 @@ impl SummaryStore for ExactStore {
 
     fn ensure_nodes(&mut self, n: usize) {
         if n > self.summaries.len() {
-            self.summaries.resize_with(n, FastMap::default);
+            self.summaries.resize_with(n, Vec::new);
         }
     }
 
@@ -239,17 +357,9 @@ impl SummaryStore for ExactStore {
     }
 
     fn merge(&mut self, u: NodeId, v: NodeId, t: Timestamp, window: Window) {
-        let (phi_u, phi_v) = src_and_dst(&mut self.summaries, u.index(), v.index());
-        phi_u.reserve(phi_v.len());
-        for (&x, &tx) in phi_v {
-            // Lemma 2's admissibility filter: tx − t + 1 ≤ ω. Cycles back to
-            // the source are skipped — a node does not influence itself
-            // (matching the paper's Example 2 trace, where the admissible
-            // channel e → b → e is not recorded in φ(e)).
-            if x != u && tx.delta(t) < window.get() {
-                exact_add(phi_u, x, tx);
-            }
-        }
+        let ExactStore { summaries, scratch } = self;
+        let (phi_u, phi_v) = src_and_dst(summaries, u.index(), v.index());
+        exact_merge_filtered(phi_u, phi_v, u, t, window, scratch);
     }
 
     fn snapshot(&self, d: NodeId) -> Self::Snapshot {
@@ -257,13 +367,8 @@ impl SummaryStore for ExactStore {
     }
 
     fn merge_snapshot(&mut self, u: NodeId, snap: &Self::Snapshot, t: Timestamp, window: Window) {
-        let phi_u = &mut self.summaries[u.index()];
-        phi_u.reserve(snap.len());
-        for (&x, &tx) in snap {
-            if x != u && tx.delta(t) < window.get() {
-                exact_add(phi_u, x, tx);
-            }
-        }
+        let ExactStore { summaries, scratch } = self;
+        exact_merge_filtered(&mut summaries[u.index()], snap, u, t, window, scratch);
     }
 
     fn validate_node(
@@ -285,6 +390,7 @@ impl SummaryStore for ExactStore {
 pub struct VhllStore {
     precision: u8,
     sketches: Vec<VersionedHll>,
+    scratch: Vec<VersionEntry>,
 }
 
 /// Stable per-node sketch hash: nodes are hashed once per add via the
@@ -302,6 +408,7 @@ impl VhllStore {
         VhllStore {
             precision,
             sketches: (0..n).map(|_| VersionedHll::new(precision)).collect(),
+            scratch: Vec::new(),
         }
     }
 
@@ -312,6 +419,7 @@ impl VhllStore {
         VhllStore {
             precision,
             sketches,
+            scratch: Vec::new(),
         }
     }
 
@@ -352,8 +460,11 @@ impl SummaryStore for VhllStore {
     }
 
     fn merge(&mut self, u: NodeId, v: NodeId, t: Timestamp, window: Window) {
-        let (phi_u, phi_v) = src_and_dst(&mut self.sketches, u.index(), v.index());
-        phi_u.merge_from(phi_v, t.get(), window.get());
+        let VhllStore {
+            sketches, scratch, ..
+        } = self;
+        let (phi_u, phi_v) = src_and_dst(sketches, u.index(), v.index());
+        phi_u.merge_from_with(phi_v, t.get(), window.get(), scratch);
     }
 
     fn snapshot(&self, d: NodeId) -> Self::Snapshot {
@@ -361,7 +472,10 @@ impl SummaryStore for VhllStore {
     }
 
     fn merge_snapshot(&mut self, u: NodeId, snap: &Self::Snapshot, t: Timestamp, window: Window) {
-        self.sketches[u.index()].merge_from(snap, t.get(), window.get());
+        let VhllStore {
+            sketches, scratch, ..
+        } = self;
+        sketches[u.index()].merge_from_with(snap, t.get(), window.get(), scratch);
     }
 
     fn validate_node(
@@ -426,11 +540,17 @@ pub fn apply_batch<S: SummaryStore>(store: &mut S, batch: &[Interaction], window
     // Phase 1: snapshot φ(d) for every destination that is also a batch
     // source — merges must read pre-batch state so equal-time hops never
     // chain. Phase 2: apply every edge, routing reads through the snapshots.
-    let sources: FastSet<usize> = batch.iter().map(|e| e.src.index()).collect();
-    let snapshots: FastMap<usize, S::Snapshot> = batch
-        .iter()
-        .map(|e| e.dst.index())
-        .filter(|d| sources.contains(d))
+    // Batches are tiny (one per distinct timestamp), so sorted vecs beat
+    // hash sets here and keep the path allocation-light.
+    let mut sources: Vec<usize> = batch.iter().map(|e| e.src.index()).collect();
+    sources.sort_unstable();
+    sources.dedup();
+    let mut dsts: Vec<usize> = batch.iter().map(|e| e.dst.index()).collect();
+    dsts.sort_unstable();
+    dsts.dedup();
+    let snapshots: Vec<(usize, S::Snapshot)> = dsts
+        .into_iter()
+        .filter(|d| sources.binary_search(d).is_ok())
         .map(|d| (d, store.snapshot(NodeId::from_index(d))))
         .collect();
     for e in batch {
@@ -438,8 +558,8 @@ pub fn apply_batch<S: SummaryStore>(store: &mut S, batch: &[Interaction], window
             continue;
         }
         store.add(e.src, e.dst, e.time);
-        if let Some(snap) = snapshots.get(&e.dst.index()) {
-            store.merge_snapshot(e.src, snap, e.time, window);
+        if let Ok(k) = snapshots.binary_search_by_key(&e.dst.index(), |&(d, _)| d) {
+            store.merge_snapshot(e.src, &snapshots[k].1, e.time, window);
         } else {
             store.merge(e.src, e.dst, e.time, window);
         }

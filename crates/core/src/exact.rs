@@ -5,8 +5,7 @@
 //! running that engine with an [`ExactStore`] backend and querying the
 //! resulting summaries.
 
-use crate::engine::{self, ExactStore, ReversePassEngine};
-use crate::FastMap;
+use crate::engine::{self, ExactStore, ExactSummary, ReversePassEngine};
 use infprop_temporal_graph::{InteractionNetwork, NodeId, Timestamp, Window};
 
 /// Exact influence-reachability summaries `φω(u)` for every node.
@@ -18,7 +17,7 @@ use infprop_temporal_graph::{InteractionNetwork, NodeId, Timestamp, Window};
 #[derive(Clone, Debug)]
 pub struct ExactIrs {
     window: Window,
-    summaries: Vec<FastMap<NodeId, Timestamp>>,
+    summaries: Vec<ExactSummary>,
 }
 
 impl ExactIrs {
@@ -69,8 +68,13 @@ impl ExactIrs {
     }
 
     /// Reassembles summaries from parts (streaming builder's and the
-    /// persistence codec's exit point).
-    pub(crate) fn from_parts(window: Window, summaries: Vec<FastMap<NodeId, Timestamp>>) -> Self {
+    /// persistence codec's exit point). Each summary must be sorted by
+    /// `NodeId` — [`ExactStore::into_summaries`] and the codec both
+    /// guarantee this.
+    pub(crate) fn from_parts(window: Window, summaries: Vec<ExactSummary>) -> Self {
+        debug_assert!(summaries
+            .iter()
+            .all(|s| s.windows(2).all(|w| w[0].0 < w[1].0)));
         ExactIrs { window, summaries }
     }
 
@@ -86,15 +90,17 @@ impl ExactIrs {
         self.summaries.len()
     }
 
-    /// The summary `φω(u)`: reachable node → earliest channel end time.
+    /// The summary `φω(u)` as `(v, λ(u, v))` pairs sorted by `NodeId`.
     #[inline]
-    pub fn summary(&self, u: NodeId) -> &FastMap<NodeId, Timestamp> {
+    pub fn summary(&self, u: NodeId) -> &[(NodeId, Timestamp)] {
         &self.summaries[u.index()]
     }
 
     /// `λ(u, v)`: the earliest end time of an admissible channel `u → v`.
+    /// `O(log |φ(u)|)` binary search over the sorted summary.
     pub fn lambda(&self, u: NodeId, v: NodeId) -> Option<Timestamp> {
-        self.summaries[u.index()].get(&v).copied()
+        let s = &self.summaries[u.index()];
+        s.binary_search_by_key(&v, |&(x, _)| x).ok().map(|i| s[i].1)
     }
 
     /// `|σω(u)|` — the exact IRS size of `u`.
@@ -104,28 +110,29 @@ impl ExactIrs {
     }
 
     /// The IRS `σω(u)` as a sorted vector (deterministic order for tests
-    /// and output).
+    /// and output). Summaries are already `NodeId`-sorted, so this is a
+    /// straight projection.
     pub fn irs_sorted(&self, u: NodeId) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.summaries[u.index()].keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.summaries[u.index()].iter().map(|&(v, _)| v).collect()
     }
 
     /// Does `u` have an admissible channel to `v`?
     pub fn reaches(&self, u: NodeId, v: NodeId) -> bool {
-        self.summaries[u.index()].contains_key(&v)
+        self.summaries[u.index()]
+            .binary_search_by_key(&v, |&(x, _)| x)
+            .is_ok()
     }
 
     /// Total number of `(v, λ)` entries across all summaries — the paper's
     /// `O(n²)` worst-case memory driver.
     pub fn total_entries(&self) -> usize {
-        self.summaries.iter().map(FastMap::len).sum()
+        self.summaries.iter().map(Vec::len).sum()
     }
 
     /// Approximate heap bytes held by the summaries (Table 4 accounting).
     pub fn heap_bytes(&self) -> usize {
-        let entry = std::mem::size_of::<(NodeId, Timestamp)>() + std::mem::size_of::<u64>();
-        self.summaries.len() * std::mem::size_of::<FastMap<NodeId, Timestamp>>()
+        let entry = std::mem::size_of::<(NodeId, Timestamp)>();
+        self.summaries.len() * std::mem::size_of::<ExactSummary>()
             + self
                 .summaries
                 .iter()
@@ -181,13 +188,10 @@ mod tests {
     }
 
     fn entries(irs: &ExactIrs, u: u32) -> Vec<(u32, i64)> {
-        let mut v: Vec<(u32, i64)> = irs
-            .summary(NodeId(u))
+        irs.summary(NodeId(u))
             .iter()
-            .map(|(&n, &t)| (n.0, t.0))
-            .collect();
-        v.sort_unstable();
-        v
+            .map(|&(n, t)| (n.0, t.0))
+            .collect()
     }
 
     /// Example 2 of the paper: the final summaries for Figure 1a at ω = 3.
@@ -351,8 +355,8 @@ mod tests {
             assert_eq!(irs.window(), w);
             for u in net.node_ids() {
                 assert_eq!(irs.irs_sorted(u), single.irs_sorted(u), "ω={w:?}");
-                for (v, t) in single.summary(u) {
-                    assert_eq!(irs.lambda(u, *v), Some(*t));
+                for &(v, t) in single.summary(u) {
+                    assert_eq!(irs.lambda(u, v), Some(t));
                 }
             }
         }

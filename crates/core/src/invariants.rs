@@ -23,12 +23,10 @@
 //! [`SummaryStore::validate`] and via `ExactIrs::validate` /
 //! `ApproxIrs::validate` — runs the same checks on demand in any build.
 
-use crate::engine::SummaryStore;
+use crate::engine::{ExactSummary, SummaryStore};
 use infprop_hll::{SketchInvariantError, VersionedHll};
 use infprop_temporal_graph::{NodeId, Timestamp};
 use std::fmt;
-
-use crate::FastMap;
 
 /// A broken structural invariant, reported by the validators in this module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +54,13 @@ pub enum InvariantViolation {
         /// The sketch-level error.
         error: SketchInvariantError,
     },
+    /// A dense exact summary is not sorted by strictly increasing `NodeId`
+    /// — every query on it (binary-search `λ` lookup, two-pointer merge)
+    /// assumes that order.
+    UnsortedSummary {
+        /// The node whose summary is out of order.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -75,21 +80,34 @@ impl fmt::Display for InvariantViolation {
             InvariantViolation::Sketch { node, error } => {
                 write!(f, "sketch of {node}: {error}")
             }
+            InvariantViolation::UnsortedSummary { node } => {
+                write!(
+                    f,
+                    "summary of {node} is not sorted by strictly increasing node id"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for InvariantViolation {}
 
-/// Validates one node's exact summary: no self-entry, and every end time at
-/// or above `frontier` (pass `None` to skip the frontier check when no
-/// stream position is known, e.g. for deserialized summaries).
+/// Validates one node's exact summary: sorted by strictly increasing
+/// `NodeId` (the dense representation's ordering contract), no self-entry,
+/// and every end time at or above `frontier` (pass `None` to skip the
+/// frontier check when no stream position is known, e.g. for deserialized
+/// summaries).
 pub fn validate_exact_summary(
     node: NodeId,
-    summary: &FastMap<NodeId, Timestamp>,
+    summary: &[(NodeId, Timestamp)],
     frontier: Option<Timestamp>,
 ) -> Result<(), InvariantViolation> {
-    for (&x, &lambda) in summary {
+    let mut prev: Option<NodeId> = None;
+    for &(x, lambda) in summary {
+        if prev.is_some_and(|p| p >= x) {
+            return Err(InvariantViolation::UnsortedSummary { node });
+        }
+        prev = Some(x);
         if x == node {
             return Err(InvariantViolation::SelfEntry { node });
         }
@@ -135,7 +153,7 @@ pub fn validate_sketch(
 
 /// Validates a whole slice of exact summaries (node `i` = summary `i`).
 pub fn validate_exact_summaries(
-    summaries: &[FastMap<NodeId, Timestamp>],
+    summaries: &[ExactSummary],
     frontier: Option<Timestamp>,
 ) -> Result<(), InvariantViolation> {
     for (i, summary) in summaries.iter().enumerate() {
@@ -170,13 +188,29 @@ pub fn validate<S: SummaryStore>(
     store.validate(frontier)
 }
 
+/// [`validate`] fanned out over up to `threads` scoped workers via
+/// [`crate::par`]. Node summaries are independent, so the sweep is
+/// embarrassingly parallel; the reported violation is exactly the one the
+/// serial sweep would find first (lowest node id), at any thread count.
+pub fn validate_all<S>(
+    store: &S,
+    frontier: Option<Timestamp>,
+    threads: usize,
+) -> Result<(), InvariantViolation>
+where
+    S: SummaryStore + Sync,
+{
+    crate::par::try_for_each_indexed(store.num_nodes(), threads, |i| {
+        store.validate_node(NodeId::from_index(i), frontier)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::{ExactStore, VhllStore};
-    use crate::FastMap;
 
-    fn summary(entries: &[(u32, i64)]) -> FastMap<NodeId, Timestamp> {
+    fn summary(entries: &[(u32, i64)]) -> ExactSummary {
         entries
             .iter()
             .map(|&(v, t)| (NodeId(v), Timestamp(t)))
@@ -261,5 +295,40 @@ mod tests {
             validate_exact_summaries(&summaries, None),
             Err(InvariantViolation::SelfEntry { node: NodeId(1) })
         );
+    }
+
+    #[test]
+    fn unsorted_summary_is_detected() {
+        // Bypass from_summaries' defensive sort by validating the raw slice.
+        let raw = vec![(NodeId(2), Timestamp(5)), (NodeId(1), Timestamp(5))];
+        assert_eq!(
+            validate_exact_summary(NodeId(0), &raw, None),
+            Err(InvariantViolation::UnsortedSummary { node: NodeId(0) })
+        );
+        let dup = vec![(NodeId(1), Timestamp(5)), (NodeId(1), Timestamp(6))];
+        let err = validate_exact_summary(NodeId(0), &dup, None).unwrap_err();
+        assert!(err.to_string().contains("sorted"));
+    }
+
+    #[test]
+    fn parallel_validate_all_matches_serial_at_any_thread_count() {
+        // Violation planted mid-universe: every thread count must report the
+        // same (lowest-node) violation the serial sweep finds.
+        let mut summaries: Vec<ExactSummary> = (0..64).map(|_| summary(&[(99, 7)])).collect();
+        summaries[37] = summary(&[(37, 7)]); // self-entry at node 37
+        summaries[50] = summary(&[(3, 1)]); // later violation (stale under frontier)
+        let store = ExactStore::from_summaries(summaries);
+        let serial = validate(&store, Some(Timestamp(2)));
+        assert_eq!(
+            serial,
+            Err(InvariantViolation::SelfEntry { node: NodeId(37) })
+        );
+        for threads in [1, 2, 8] {
+            assert_eq!(validate_all(&store, Some(Timestamp(2)), threads), serial);
+        }
+        let clean = ExactStore::from_summaries(vec![summary(&[(99, 5)]); 16]);
+        for threads in [1, 2, 8] {
+            assert_eq!(validate_all(&clean, None, threads), Ok(()));
+        }
     }
 }

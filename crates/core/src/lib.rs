@@ -23,8 +23,10 @@
 //! # Applications
 //!
 //! * [`InfluenceOracle`] — given any seed set `S`, estimate
-//!   `|⋃_{u∈S} σω(u)|` (paper §4.1). Exact summaries use hash-set unions;
-//!   sketches use `O(β)` register-max unions.
+//!   `|⋃_{u∈S} σω(u)|` (paper §4.1). Exact summaries use dense bitset
+//!   unions; sketches use `O(β)` register-max unions. Batch queries
+//!   ([`InfluenceOracle::influence_many`]) fan out over the deterministic
+//!   parallel layer in [`par`].
 //! * [`greedy_top_k`] — the lazy (CELF-style) greedy maximizer; its output
 //!   matches the paper's Algorithm 4 (implemented verbatim as
 //!   [`greedy_top_k_paper`]) because the influence function is monotone and
@@ -80,6 +82,7 @@ mod exact;
 pub mod invariants;
 mod maximize;
 mod oracle;
+pub mod par;
 mod persist;
 mod profile;
 mod stream;
@@ -97,10 +100,14 @@ pub type FastSet<K> = infprop_hll::hash::FastHashSet<K>;
 pub use approx::{ApproxIrs, DEFAULT_PRECISION};
 pub use brute::{brute_force_irs, brute_force_irs_all};
 pub use channel::{channels_from, find_channel, Channel};
-pub use engine::{ExactStore, OutOfOrder, ReversePassEngine, SummaryStore, VhllStore};
+pub use engine::{
+    ExactStore, ExactSummary, OutOfOrder, ReversePassEngine, SummaryStore, VhllStore,
+};
 pub use exact::ExactIrs;
-pub use invariants::InvariantViolation;
-pub use maximize::{greedy_top_k, greedy_top_k_paper, Selection};
-pub use oracle::{ApproxOracle, ExactOracle, InfluenceOracle};
+pub use invariants::{validate_all, InvariantViolation};
+pub use maximize::{
+    greedy_top_k, greedy_top_k_paper, greedy_top_k_paper_threads, greedy_top_k_threads, Selection,
+};
+pub use oracle::{ApproxOracle, ExactOracle, InfluenceOracle, NodeBitset};
 pub use profile::{ContactDirection, SlidingContacts};
 pub use stream::{ApproxIrsStream, ExactIrsStream};

@@ -73,17 +73,40 @@ impl Ord for Candidate {
 /// every remaining gain is zero — adding dead nodes is pointless). Output
 /// order is selection order; `cumulative` is non-decreasing.
 pub fn greedy_top_k<O: InfluenceOracle>(oracle: &O, k: usize) -> Vec<Selection> {
+    let individuals: Vec<f64> = (0..oracle.num_nodes())
+        .map(|i| oracle.individual(NodeId::from_index(i)))
+        .collect();
+    greedy_top_k_with_individuals(oracle, k, &individuals)
+}
+
+/// [`greedy_top_k`] with the first-round `individual()` sweep — the
+/// dominant cost on large universes, one `O(2^p)` sketch estimate per node
+/// — fanned out over up to `threads` scoped workers. Selections are
+/// byte-identical to the serial path at any thread count.
+pub fn greedy_top_k_threads<O>(oracle: &O, k: usize, threads: usize) -> Vec<Selection>
+where
+    O: InfluenceOracle + Sync,
+{
+    let individuals = oracle.individuals(threads);
+    greedy_top_k_with_individuals(oracle, k, &individuals)
+}
+
+/// The CELF selection loop proper, seeded with precomputed individual
+/// influences (`individuals[i] = |σω(node i)|`).
+fn greedy_top_k_with_individuals<O: InfluenceOracle>(
+    oracle: &O,
+    k: usize,
+    individuals: &[f64],
+) -> Vec<Selection> {
     let n = oracle.num_nodes();
-    let mut heap: BinaryHeap<Candidate> = (0..n)
-        .map(|i| {
-            let node = NodeId::from_index(i);
-            let individual = oracle.individual(node);
-            Candidate {
-                gain: individual,
-                individual,
-                node,
-                round: 0,
-            }
+    let mut heap: BinaryHeap<Candidate> = individuals
+        .iter()
+        .enumerate()
+        .map(|(i, &individual)| Candidate {
+            gain: individual,
+            individual,
+            node: NodeId::from_index(i),
+            round: 0,
         })
         .collect();
 
@@ -123,14 +146,40 @@ pub fn greedy_top_k<O: InfluenceOracle>(oracle: &O, k: usize) -> Vec<Selection> 
 /// Algorithm 4 of the paper, verbatim: sorted-scan greedy with the
 /// `gain > |σ(u)|` early-exit bound.
 pub fn greedy_top_k_paper<O: InfluenceOracle>(oracle: &O, k: usize) -> Vec<Selection> {
+    let individuals: Vec<f64> = (0..oracle.num_nodes())
+        .map(|i| oracle.individual(NodeId::from_index(i)))
+        .collect();
+    greedy_top_k_paper_with_individuals(oracle, k, &individuals)
+}
+
+/// [`greedy_top_k_paper`] with the individual-influence sweep fanned out
+/// over up to `threads` scoped workers; selections are byte-identical to
+/// the serial path at any thread count.
+pub fn greedy_top_k_paper_threads<O>(oracle: &O, k: usize, threads: usize) -> Vec<Selection>
+where
+    O: InfluenceOracle + Sync,
+{
+    let individuals = oracle.individuals(threads);
+    greedy_top_k_paper_with_individuals(oracle, k, &individuals)
+}
+
+/// Algorithm 4's sorted scan, seeded with precomputed individual
+/// influences. Computing them once up front (instead of calling
+/// `oracle.individual` inside the sort comparator *and* the per-round
+/// early-exit test, an `O(2^p)` sketch estimate each time on the approx
+/// oracle) is what makes each selection round `O(n)` oracle probes.
+fn greedy_top_k_paper_with_individuals<O: InfluenceOracle>(
+    oracle: &O,
+    k: usize,
+    individuals: &[f64],
+) -> Vec<Selection> {
     let n = oracle.num_nodes();
     // "Sort u ∈ V descending with respect to |σu|" — node id breaks ties for
     // determinism.
     let mut order: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
     order.sort_by(|&a, &b| {
-        oracle
-            .individual(b)
-            .total_cmp(&oracle.individual(a))
+        individuals[b.index()]
+            .total_cmp(&individuals[a.index()])
             .then(a.cmp(&b))
     });
 
@@ -147,7 +196,7 @@ pub fn greedy_top_k_paper<O: InfluenceOracle>(oracle: &O, k: usize) -> Vec<Selec
             }
             // Early exit: individual sizes bound marginal gains, and the
             // list is sorted by individual size.
-            if gain > oracle.individual(u) {
+            if gain > individuals[u.index()] {
                 break;
             }
             let g = oracle.marginal_gain(&covered, u);
@@ -301,5 +350,24 @@ mod tests {
         assert_eq!(picks.len(), 2);
         // High-precision sketch on a tiny graph: same first pick as exact.
         assert_eq!(picks[0].node, NodeId(0));
+    }
+
+    #[test]
+    fn threaded_greedy_matches_serial_at_any_thread_count() {
+        let net = figure1a();
+        let irs = ExactIrs::compute(&net, Window(3));
+        let approx = crate::ApproxIrs::compute(&net, Window(3));
+        let eo = irs.oracle();
+        let ao = approx.oracle();
+        for k in [1, 3, 6] {
+            let lazy = greedy_top_k(&eo, k);
+            let paper = greedy_top_k_paper(&eo, k);
+            let a_lazy = greedy_top_k(&ao, k);
+            for threads in [1, 2, 8] {
+                assert_eq!(greedy_top_k_threads(&eo, k, threads), lazy, "k={k}");
+                assert_eq!(greedy_top_k_paper_threads(&eo, k, threads), paper, "k={k}");
+                assert_eq!(greedy_top_k_threads(&ao, k, threads), a_lazy, "k={k}");
+            }
+        }
     }
 }

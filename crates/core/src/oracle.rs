@@ -13,7 +13,6 @@
 
 use crate::approx::ApproxIrs;
 use crate::exact::ExactIrs;
-use crate::FastSet;
 use infprop_hll::HyperLogLog;
 use infprop_temporal_graph::NodeId;
 
@@ -52,6 +51,79 @@ pub trait InfluenceOracle {
         }
         self.union_size(&u)
     }
+
+    /// [`individual`](Self::individual) for every node in the universe,
+    /// fanned out over up to `threads` scoped workers (see [`crate::par`]).
+    /// Byte-identical to the serial sweep at any thread count.
+    fn individuals(&self, threads: usize) -> Vec<f64>
+    where
+        Self: Sync,
+    {
+        crate::par::map_indexed(self.num_nodes(), threads, |i| {
+            self.individual(NodeId::from_index(i))
+        })
+    }
+
+    /// [`influence`](Self::influence) for a batch of seed sets, fanned out
+    /// over up to `threads` scoped workers. Each query builds its own
+    /// accumulator, so answers are byte-identical to querying serially, in
+    /// input order, at any thread count.
+    fn influence_many(&self, seed_sets: &[Vec<NodeId>], threads: usize) -> Vec<f64>
+    where
+        Self: Sync,
+    {
+        crate::par::map_indexed(seed_sets.len(), threads, |i| self.influence(&seed_sets[i]))
+    }
+}
+
+/// Dense bitset accumulator for [`ExactOracle`] unions: one bit per node
+/// plus a running popcount, so `absorb` and `marginal_gain` stream through
+/// machine words instead of hash buckets.
+#[derive(Clone, Debug, Default)]
+pub struct NodeBitset {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl NodeBitset {
+    /// An all-clear bitset covering `n` nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        NodeBitset {
+            words: vec![0; n.div_ceil(64)],
+            count: 0,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, i: usize) {
+        let (w, mask) = (i / 64, 1u64 << (i % 64));
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.count += 1;
+        }
+    }
+
+    #[inline]
+    fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Number of covered nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no node is covered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
 }
 
 /// Exact oracle: unions of the exact IRS key sets.
@@ -67,14 +139,14 @@ impl<'a> ExactOracle<'a> {
 }
 
 impl InfluenceOracle for ExactOracle<'_> {
-    type Union = FastSet<NodeId>;
+    type Union = NodeBitset;
 
     fn num_nodes(&self) -> usize {
         self.irs.num_nodes()
     }
 
     fn empty_union(&self) -> Self::Union {
-        FastSet::default()
+        NodeBitset::with_nodes(self.irs.num_nodes())
     }
 
     fn union_size(&self, union: &Self::Union) -> f64 {
@@ -82,16 +154,16 @@ impl InfluenceOracle for ExactOracle<'_> {
     }
 
     fn absorb(&self, union: &mut Self::Union, node: NodeId) {
-        let summary = self.irs.summary(node);
-        union.reserve(summary.len());
-        union.extend(summary.keys().copied());
+        for &(v, _) in self.irs.summary(node) {
+            union.insert(v.index());
+        }
     }
 
     fn marginal_gain(&self, union: &Self::Union, node: NodeId) -> f64 {
         self.irs
             .summary(node)
-            .keys()
-            .filter(|v| !union.contains(v))
+            .iter()
+            .filter(|&&(v, _)| !union.contains(v.index()))
             .count() as f64
     }
 
@@ -285,5 +357,42 @@ mod tests {
     #[should_panic(expected = "share a precision")]
     fn mixed_precision_sketches_panic() {
         let _ = ApproxOracle::from_sketches(vec![HyperLogLog::new(8), HyperLogLog::new(9)]);
+    }
+
+    #[test]
+    fn batch_queries_match_serial_at_any_thread_count() {
+        let net = figure1a();
+        let exact = ExactIrs::compute(&net, Window(3));
+        let approx = crate::ApproxIrs::compute(&net, Window(3));
+        let eo = exact.oracle();
+        let ao = approx.oracle();
+        let seed_sets: Vec<Vec<NodeId>> = vec![
+            vec![NodeId(0)],
+            vec![NodeId(0), NodeId(4)],
+            vec![],
+            vec![NodeId(3), NodeId(1), NodeId(5)],
+        ];
+        let serial_inf: Vec<f64> = seed_sets.iter().map(|s| eo.influence(s)).collect();
+        let serial_ind: Vec<f64> = (0..eo.num_nodes())
+            .map(|i| eo.individual(NodeId::from_index(i)))
+            .collect();
+        let a_serial_inf: Vec<f64> = seed_sets.iter().map(|s| ao.influence(s)).collect();
+        for threads in [1, 2, 8] {
+            assert_eq!(eo.influence_many(&seed_sets, threads), serial_inf);
+            assert_eq!(eo.individuals(threads), serial_ind);
+            assert_eq!(ao.influence_many(&seed_sets, threads), a_serial_inf);
+        }
+    }
+
+    #[test]
+    fn node_bitset_counts_distinct_insertions() {
+        let mut b = NodeBitset::with_nodes(10);
+        assert!(b.is_empty());
+        b.insert(3);
+        b.insert(3);
+        b.insert(200); // growth past the preallocated words
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(3) && b.contains(200));
+        assert!(!b.contains(4) && !b.contains(1000));
     }
 }

@@ -1,0 +1,135 @@
+//! Deterministic scoped-thread fan-out for the query layer.
+//!
+//! The IRS *build* is inherently sequential (the reverse scan threads one
+//! summary state through time), but everything after it — per-node
+//! `individual()` sweeps, batch oracle queries, invariant validation — is
+//! embarrassingly parallel over the node universe. This module provides the
+//! one fan-out primitive those call sites share, with a hard determinism
+//! contract:
+//!
+//! > For a pure `f`, `map_indexed(n, threads, f)` returns **byte-identical**
+//! > output at every thread count, including 1.
+//!
+//! The contract holds by construction: indices `0..n` are split into
+//! contiguous chunks, each worker maps its chunk in index order into its own
+//! buffer, and the buffers are concatenated in chunk order. No work queue,
+//! no atomics, no ordering races — the same deterministic chunked fan-out
+//! the Monte-Carlo simulator uses for its replicates. Threads come from
+//! [`std::thread::scope`], so the module adds no dependencies and borrows
+//! (the oracle, the store) flow into workers without `Arc`.
+
+/// Default worker count: the machine's available parallelism, falling back
+/// to 1 when it cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `0..n`, fanning out across up to `threads` scoped workers
+/// in contiguous index chunks. Results come back in index order —
+/// byte-identical to `(0..n).map(f).collect()` at any thread count.
+///
+/// `threads <= 1` (or tiny `n`) runs inline on the caller's thread.
+pub fn map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel map worker panicked")) // xtask-allow: no-panic (re-raising a worker panic is the correct propagation)
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for mut c in chunks {
+        out.append(&mut c);
+    }
+    out
+}
+
+/// Runs `check` over `0..n` in contiguous chunks and returns the error of
+/// the **lowest failing index**, exactly as the serial loop would — workers
+/// past the first failure stop at their own chunk's first error, and the
+/// chunk results are inspected in index order.
+pub fn try_for_each_indexed<E, F>(n: usize, threads: usize, check: F) -> Result<(), E>
+where
+    E: Send,
+    F: Fn(usize) -> Result<(), E> + Sync,
+{
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).try_for_each(check);
+    }
+    let chunk = n.div_ceil(workers);
+    let firsts: Vec<Result<(), E>> = std::thread::scope(|scope| {
+        let check = &check;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                scope.spawn(move || (lo..hi).try_for_each(check))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel validate worker panicked")) // xtask-allow: no-panic (re-raising a worker panic is the correct propagation)
+            .collect()
+    });
+    firsts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_is_identical_across_thread_counts() {
+        let serial: Vec<u64> = (0..1000).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = map_indexed(1000, threads, |i| (i as u64).wrapping_mul(0x9E37));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_edge_sizes() {
+        assert!(map_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(map_indexed(1, 4, |i| i), vec![0]);
+        assert_eq!(map_indexed(3, 8, |i| i * 2), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn try_for_each_reports_lowest_failing_index() {
+        for threads in [1, 2, 7] {
+            let bad = [713usize, 401, 902];
+            let got = try_for_each_indexed(1000, threads, |i| {
+                if bad.contains(&i) {
+                    Err(i)
+                } else {
+                    Ok(())
+                }
+            });
+            assert_eq!(got, Err(401), "threads={threads}");
+            let clean: Result<(), usize> = try_for_each_indexed(1000, threads, |_| Ok(()));
+            assert_eq!(clean, Ok(()));
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -15,9 +15,9 @@
 //! precision, per-sketch invariants) via [`CodecError`].
 
 use crate::approx::ApproxIrs;
+use crate::engine::ExactSummary;
 use crate::exact::ExactIrs;
 use crate::oracle::ApproxOracle;
-use crate::FastMap;
 use infprop_hll::{CodecError, HyperLogLog, VersionedHll, FORMAT_VERSION};
 use infprop_temporal_graph::{NodeId, Timestamp, Window};
 use std::io::{Read, Write};
@@ -140,10 +140,8 @@ impl ExactIrs {
             let len = u32::try_from(summary.len())
                 .map_err(|_| CodecError::Corrupt("summary too long to encode"))?;
             w.write_all(&len.to_le_bytes())?;
-            let mut entries: Vec<(NodeId, Timestamp)> =
-                summary.iter().map(|(&v, &t)| (v, t)).collect();
-            entries.sort_unstable_by_key(|&(v, _)| v);
-            for (v, t) in entries {
+            // Dense summaries are already in ascending v order.
+            for &(v, t) in summary {
                 w.write_all(&v.0.to_le_bytes())?;
                 w.write_all(&t.get().to_le_bytes())?;
             }
@@ -170,19 +168,25 @@ impl ExactIrs {
             if len > n {
                 return Err(CodecError::Corrupt("summary larger than node universe"));
             }
-            let mut map = FastMap::default();
-            map.reserve(len);
+            let mut summary: ExactSummary = Vec::with_capacity(len);
             for _ in 0..len {
                 let v = NodeId(u32::from_le_bytes(read_array(r)?));
                 if v.index() >= n {
                     return Err(CodecError::Corrupt("summary entry outside universe"));
                 }
                 let t = Timestamp(i64::from_le_bytes(read_array(r)?));
-                if map.insert(v, t).is_some() {
-                    return Err(CodecError::Corrupt("duplicate summary entry"));
+                match summary.last() {
+                    Some(&(prev, _)) if prev == v => {
+                        return Err(CodecError::Corrupt("duplicate summary entry"));
+                    }
+                    Some(&(prev, _)) if prev > v => {
+                        return Err(CodecError::Corrupt("summary entries out of order"));
+                    }
+                    _ => {}
                 }
+                summary.push((v, t));
             }
-            summaries.push(map);
+            summaries.push(summary);
         }
         Ok(ExactIrs::from_parts(window, summaries))
     }

@@ -135,8 +135,8 @@ mod tests {
             let streamed = stream.finish();
             for u in net.node_ids() {
                 assert_eq!(streamed.irs_sorted(u), batch.irs_sorted(u), "ω={w}");
-                for (v, t) in batch.summary(u) {
-                    assert_eq!(streamed.lambda(u, *v), Some(*t));
+                for &(v, t) in batch.summary(u) {
+                    assert_eq!(streamed.lambda(u, v), Some(t));
                 }
             }
         }

@@ -5,8 +5,8 @@
 
 use infprop_core::invariants::{self, validate_exact_summaries, InvariantViolation};
 use infprop_core::{
-    ApproxIrs, ApproxIrsStream, ExactIrs, ExactIrsStream, ExactStore, FastMap, ReversePassEngine,
-    SummaryStore, VhllStore,
+    ApproxIrs, ApproxIrsStream, ExactIrs, ExactIrsStream, ExactStore, ExactSummary,
+    ReversePassEngine, SummaryStore, VhllStore,
 };
 use infprop_temporal_graph::{Interaction, InteractionNetwork, NodeId, Timestamp, Window};
 use proptest::prelude::*;
@@ -80,8 +80,8 @@ proptest! {
         lambda in 0i64..100,
     ) {
         let victim = victim_seed % n;
-        let mut summaries: Vec<FastMap<NodeId, Timestamp>> = vec![FastMap::default(); n];
-        summaries[victim].insert(NodeId::from_index(victim), Timestamp(lambda));
+        let mut summaries: Vec<ExactSummary> = vec![Vec::new(); n];
+        summaries[victim].push((NodeId::from_index(victim), Timestamp(lambda)));
         prop_assert_eq!(
             validate_exact_summaries(&summaries, None),
             Err(InvariantViolation::SelfEntry { node: NodeId::from_index(victim) })
@@ -95,8 +95,7 @@ proptest! {
         frontier in 0i64..100,
         below in 1i64..50,
     ) {
-        let mut summary: FastMap<NodeId, Timestamp> = FastMap::default();
-        summary.insert(NodeId(1), Timestamp(frontier - below));
+        let summary: ExactSummary = vec![(NodeId(1), Timestamp(frontier - below))];
         let store = ExactStore::from_summaries(vec![summary]);
         prop_assert_eq!(
             invariants::validate(&store, Some(Timestamp(frontier))),

@@ -59,7 +59,7 @@ proptest! {
     fn lambda_entries_are_admissible(net in distinct_networks(), w in 1i64..50) {
         let exact = ExactIrs::compute(&net, Window(w));
         for u in net.node_ids() {
-            for (&v, &lambda) in exact.summary(u) {
+            for &(v, lambda) in exact.summary(u) {
                 // There must exist a channel ending exactly at a time ≤ any
                 // other; at minimum, v is brute-force reachable.
                 prop_assert!(brute_force_irs(&net, u, Window(w)).contains(&v));

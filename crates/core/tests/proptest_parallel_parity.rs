@@ -1,0 +1,126 @@
+//! Parallel/serial parity property tests for the deterministic query layer
+//! (`infprop_core::par` and its consumers): batch oracle queries, the
+//! thread-fanned greedy maximizers, and parallel invariant validation must
+//! return results **byte-identical** to the serial path at 1, 2, and 8
+//! threads, on arbitrary tie-heavy networks.
+
+use infprop_core::invariants::{self, validate_all};
+use infprop_core::{
+    greedy_top_k, greedy_top_k_paper, greedy_top_k_paper_threads, greedy_top_k_threads, ApproxIrs,
+    ExactIrs, ExactStore, InfluenceOracle, ReversePassEngine, SummaryStore,
+};
+use infprop_temporal_graph::{InteractionNetwork, NodeId, Window};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Random networks with timestamp ties.
+fn networks() -> impl Strategy<Value = InteractionNetwork> {
+    prop::collection::vec((0u32..16, 0u32..16, 0i64..30), 1..70)
+        .prop_map(InteractionNetwork::from_triples)
+}
+
+/// Seed sets drawn over the same node-id range as the networks.
+fn seed_sets() -> impl Strategy<Value = Vec<Vec<NodeId>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u32..16).prop_map(NodeId), 0..6),
+        0..12,
+    )
+}
+
+proptest! {
+    /// `influence_many` and `individuals` are bit-identical to the serial
+    /// query loop at every thread count, on both oracles.
+    #[test]
+    fn batch_queries_match_serial(
+        net in networks(),
+        seeds in seed_sets(),
+        w in 1i64..40,
+    ) {
+        let n = net.num_nodes() as u32;
+        let seeds: Vec<Vec<NodeId>> = seeds
+            .into_iter()
+            .map(|s| s.into_iter().filter(|v| v.0 < n).collect())
+            .collect();
+        let exact = ExactIrs::compute(&net, Window(w));
+        let approx = ApproxIrs::compute_with_precision(&net, Window(w), 5);
+        let eo = exact.oracle();
+        let ao = approx.oracle();
+
+        let e_serial: Vec<f64> = seeds.iter().map(|s| eo.influence(s)).collect();
+        let a_serial: Vec<f64> = seeds.iter().map(|s| ao.influence(s)).collect();
+        let e_ind: Vec<f64> = (0..eo.num_nodes())
+            .map(|i| eo.individual(NodeId::from_index(i)))
+            .collect();
+        let a_ind: Vec<f64> = (0..ao.num_nodes())
+            .map(|i| ao.individual(NodeId::from_index(i)))
+            .collect();
+        for threads in THREAD_COUNTS {
+            prop_assert_eq!(&eo.influence_many(&seeds, threads), &e_serial);
+            prop_assert_eq!(&ao.influence_many(&seeds, threads), &a_serial);
+            prop_assert_eq!(&eo.individuals(threads), &e_ind);
+            prop_assert_eq!(&ao.individuals(threads), &a_ind);
+        }
+    }
+
+    /// Thread-fanned greedy selection (both the CELF path and the paper's
+    /// Algorithm 4) picks the same seeds with the same gains as serial
+    /// greedy at every thread count.
+    #[test]
+    fn parallel_greedy_matches_serial(net in networks(), w in 1i64..40, k in 0usize..8) {
+        let exact = ExactIrs::compute(&net, Window(w));
+        let approx = ApproxIrs::compute_with_precision(&net, Window(w), 5);
+        let eo = exact.oracle();
+        let ao = approx.oracle();
+        let e_lazy = greedy_top_k(&eo, k);
+        let e_paper = greedy_top_k_paper(&eo, k);
+        let a_lazy = greedy_top_k(&ao, k);
+        let a_paper = greedy_top_k_paper(&ao, k);
+        for threads in THREAD_COUNTS {
+            prop_assert_eq!(&greedy_top_k_threads(&eo, k, threads), &e_lazy);
+            prop_assert_eq!(&greedy_top_k_paper_threads(&eo, k, threads), &e_paper);
+            prop_assert_eq!(&greedy_top_k_threads(&ao, k, threads), &a_lazy);
+            prop_assert_eq!(&greedy_top_k_paper_threads(&ao, k, threads), &a_paper);
+        }
+    }
+
+    /// Parallel `validate_all` agrees with serial validation — `Ok` on clean
+    /// stores, and the *same first* violation on corrupted ones — at every
+    /// thread count.
+    #[test]
+    fn parallel_validate_all_matches_serial(
+        net in networks(),
+        w in 1i64..40,
+        victim_seed in any::<usize>(),
+    ) {
+        let store = ReversePassEngine::run(
+            &net,
+            Window(w),
+            ExactStore::with_nodes(net.num_nodes()),
+        );
+        let frontier = net.interactions().first().map(|i| i.time);
+        let serial = store.validate(frontier);
+        prop_assert_eq!(&serial, &Ok(()));
+        for threads in THREAD_COUNTS {
+            prop_assert_eq!(&validate_all(&store, frontier, threads), &serial);
+        }
+
+        // Plant a self-entry and re-check: every thread count reports the
+        // same violation the serial sweep finds first.
+        let n = store.num_nodes();
+        if n > 0 {
+            let mut summaries = store.into_summaries();
+            let victim = victim_seed % n;
+            summaries[victim] = vec![(
+                NodeId::from_index(victim),
+                frontier.unwrap_or(infprop_temporal_graph::Timestamp(0)),
+            )];
+            let corrupt = ExactStore::from_summaries(summaries);
+            let serial = invariants::validate(&corrupt, frontier);
+            prop_assert!(serial.is_err());
+            for threads in THREAD_COUNTS {
+                prop_assert_eq!(&validate_all(&corrupt, frontier, threads), &serial);
+            }
+        }
+    }
+}

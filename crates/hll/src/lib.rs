@@ -39,4 +39,6 @@ mod vhll;
 
 pub use hyperloglog::HyperLogLog;
 pub use serialize::{CodecError, FORMAT_VERSION};
-pub use vhll::{check_entries, EntryError, SketchInvariantError, VersionEntry, VersionedHll};
+pub use vhll::{
+    check_entries, EntryError, SketchInvariantError, VersionEntry, VersionList, VersionedHll,
+};

@@ -154,11 +154,185 @@ pub struct VersionEntry {
     pub rho: u8,
 }
 
+const ZERO_ENTRY: VersionEntry = VersionEntry { time: 0, rho: 0 };
+
+/// Storage of one register's version list: inline up to
+/// [`VersionList::INLINE_CAP`] entries, spilled to a heap vector beyond.
+#[derive(Clone, Debug)]
+enum ListRepr {
+    /// The common short-list case (Lemma 4: expected length `O(log ω)`)
+    /// lives entirely inside the sketch's cell array — no heap allocation.
+    Inline {
+        /// Number of live entries in `buf[..len]`.
+        len: u8,
+        /// Fixed-capacity entry buffer; `buf[len..]` is unspecified filler.
+        buf: [VersionEntry; VersionList::INLINE_CAP],
+    },
+    /// Lists that outgrow the inline buffer move to an ordinary vector.
+    Spilled(Vec<VersionEntry>),
+}
+
+/// A register's dominance-pruned version list with a hand-rolled inline
+/// small-buffer: lists of up to [`Self::INLINE_CAP`] entries are stored
+/// inside the cell array itself, so the common short-list case (paper
+/// Lemma 4 bounds the expected length by `O(log ω)`) performs zero heap
+/// allocations. Longer lists spill to a heap vector transparently.
+///
+/// Equality compares the logical entry sequence, not the representation, so
+/// an inline list and a spilled list with the same entries are equal.
+#[derive(Clone, Debug)]
+pub struct VersionList {
+    repr: ListRepr,
+}
+
+impl Default for VersionList {
+    fn default() -> Self {
+        VersionList::new()
+    }
+}
+
+impl PartialEq for VersionList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for VersionList {}
+
+impl VersionList {
+    /// Entries held without any heap allocation.
+    pub const INLINE_CAP: usize = 3;
+
+    /// An empty (inline) list.
+    pub fn new() -> Self {
+        VersionList {
+            repr: ListRepr::Inline {
+                len: 0,
+                buf: [ZERO_ENTRY; Self::INLINE_CAP],
+            },
+        }
+    }
+
+    /// The live entries as a slice, in list order.
+    #[inline]
+    pub fn as_slice(&self) -> &[VersionEntry] {
+        match &self.repr {
+            ListRepr::Inline { len, buf } => &buf[..usize::from(*len)],
+            ListRepr::Spilled(v) => v,
+        }
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the list holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the list has spilled to a heap vector.
+    #[inline]
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.repr, ListRepr::Spilled(_))
+    }
+
+    /// Heap bytes owned by this list (zero while inline).
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            ListRepr::Inline { .. } => 0,
+            ListRepr::Spilled(v) => v.capacity() * std::mem::size_of::<VersionEntry>(),
+        }
+    }
+
+    /// Replaces the range `lo..hi` with the single entry `e` (the shape of
+    /// every `ApproxAdd` mutation: evict a contiguous dominated run, insert
+    /// the newcomer in its place).
+    fn splice_one(&mut self, lo: usize, hi: usize, e: VersionEntry) {
+        match &mut self.repr {
+            ListRepr::Inline { len, buf } => {
+                let l = usize::from(*len);
+                debug_assert!(lo <= hi && hi <= l);
+                let new_len = l - (hi - lo) + 1;
+                if new_len <= Self::INLINE_CAP {
+                    buf.copy_within(hi..l, lo + 1);
+                    buf[lo] = e;
+                    *len = new_len as u8; // xtask-allow: no-lossy-cast (new_len ≤ INLINE_CAP)
+                } else {
+                    // Only reachable with hi == lo and a full buffer: grow
+                    // into a heap vector.
+                    let mut v = Vec::with_capacity(Self::INLINE_CAP * 2 + 2);
+                    v.extend_from_slice(&buf[..lo]);
+                    v.push(e);
+                    v.extend_from_slice(&buf[lo..l]);
+                    self.repr = ListRepr::Spilled(v);
+                }
+            }
+            ListRepr::Spilled(v) => {
+                v.splice(lo..hi, std::iter::once(e));
+            }
+        }
+    }
+
+    /// Overwrites the list with `src` (used by the merge path to copy a
+    /// scratch-merged chain back). An already-spilled list reuses its heap
+    /// buffer; an inline list stays inline whenever `src` fits.
+    fn replace_from(&mut self, src: &[VersionEntry]) {
+        match &mut self.repr {
+            ListRepr::Inline { len, buf } => {
+                if src.len() <= Self::INLINE_CAP {
+                    buf[..src.len()].copy_from_slice(src);
+                    *len = src.len() as u8; // xtask-allow: no-lossy-cast (src.len() ≤ INLINE_CAP)
+                } else {
+                    self.repr = ListRepr::Spilled(src.to_vec());
+                }
+            }
+            ListRepr::Spilled(v) => {
+                v.clear();
+                v.extend_from_slice(src);
+            }
+        }
+    }
+
+    /// Keeps only the entries satisfying `keep`, preserving order.
+    fn retain(&mut self, mut keep: impl FnMut(&VersionEntry) -> bool) {
+        match &mut self.repr {
+            ListRepr::Inline { len, buf } => {
+                let l = usize::from(*len);
+                let mut w = 0usize;
+                for r in 0..l {
+                    if keep(&buf[r]) {
+                        buf[w] = buf[r];
+                        w += 1;
+                    }
+                }
+                *len = w as u8; // xtask-allow: no-lossy-cast (w ≤ INLINE_CAP)
+            }
+            ListRepr::Spilled(v) => v.retain(keep),
+        }
+    }
+
+    /// Builds a list from an entry vector (codec/constructor entry point).
+    fn from_vec(v: Vec<VersionEntry>) -> Self {
+        let mut list = VersionList::new();
+        list.replace_from(&v);
+        list
+    }
+}
+
 /// A versioned HyperLogLog sketch with `β = 2^precision` registers.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VersionedHll {
     precision: u8,
-    cells: Vec<Vec<VersionEntry>>,
+    cells: Vec<VersionList>,
+    /// Occupancy bitmap: bit `i` is set iff `cells[i]` is non-empty. Real
+    /// sketches populate only a small fraction of their `β` cells (one per
+    /// distinct hash prefix observed), so merge and prune walk the set bits
+    /// instead of streaming the whole cell array — the dominant cost of the
+    /// reverse scan's per-interaction `ApproxMerge`.
+    occupied: Vec<u64>,
 }
 
 impl VersionedHll {
@@ -172,10 +346,18 @@ impl VersionedHll {
             (MIN_PRECISION..=MAX_PRECISION).contains(&precision),
             "precision must be in [{MIN_PRECISION}, {MAX_PRECISION}], got {precision}"
         );
+        let cells = 1usize << precision;
         VersionedHll {
             precision,
-            cells: vec![Vec::new(); 1 << precision],
+            cells: vec![VersionList::new(); cells],
+            occupied: vec![0; cells.div_ceil(64)],
         }
+    }
+
+    /// Marks cell `idx` as non-empty in the occupancy bitmap.
+    #[inline]
+    fn mark_occupied(occupied: &mut [u64], idx: usize) {
+        occupied[idx / 64] |= 1 << (idx % 64);
     }
 
     /// The precision `k` (so `β = 2^k`).
@@ -196,7 +378,11 @@ impl VersionedHll {
     #[inline]
     pub fn add_hash(&mut self, h: u64, time: i64) -> bool {
         let (idx, rho) = split_hash(h, self.precision);
-        Self::insert_entry(&mut self.cells[idx], rho, time)
+        let changed = Self::insert_entry(&mut self.cells[idx], rho, time);
+        if changed {
+            Self::mark_occupied(&mut self.occupied, idx);
+        }
+        changed
     }
 
     /// Hashes and adds a `u64` item observed at `time`.
@@ -209,22 +395,22 @@ impl VersionedHll {
     /// cell list unless dominated; removes every pair the new one dominates.
     ///
     /// The list is kept sorted by strictly increasing time with strictly
-    /// increasing ρ, so both checks are binary searches plus a bounded scan.
-    fn insert_entry(cell: &mut Vec<VersionEntry>, rho: u8, time: i64) -> bool {
+    /// increasing ρ, so both checks are binary searches (`O(log² ω)` per
+    /// insertion over the Lemma 4 expected list length) plus a bounded scan.
+    fn insert_entry(cell: &mut VersionList, rho: u8, time: i64) -> bool {
+        let entries = cell.as_slice();
         // Dominated? Some (ρ′, t′) with t′ ≤ time has ρ′ ≥ rho. Since ρ grows
         // with t, the strongest candidate is the last entry with t′ ≤ time.
-        let pos_le = cell.partition_point(|e| e.time <= time);
-        if pos_le > 0 && cell[pos_le - 1].rho >= rho {
+        let pos_le = entries.partition_point(|e| e.time <= time);
+        if pos_le > 0 && entries[pos_le - 1].rho >= rho {
             return false;
         }
         // Remove pairs the newcomer dominates: t′ ≥ time and ρ′ ≤ rho — a
-        // contiguous run starting at the first entry with t′ ≥ time.
-        let pos_lt = cell.partition_point(|e| e.time < time);
-        let mut end = pos_lt;
-        while end < cell.len() && cell[end].rho <= rho {
-            end += 1;
-        }
-        cell.splice(pos_lt..end, std::iter::once(VersionEntry { time, rho }));
+        // contiguous run starting at the first entry with t′ ≥ time. The
+        // run's end is found by binary search too (ρ increases with time).
+        let pos_lt = entries.partition_point(|e| e.time < time);
+        let end = pos_lt + entries[pos_lt..].partition_point(|e| e.rho <= rho);
+        cell.splice_one(pos_lt, end, VersionEntry { time, rho });
         true
     }
 
@@ -240,16 +426,92 @@ impl VersionedHll {
     ///
     /// Panics on precision mismatch.
     pub fn merge_from(&mut self, other: &VersionedHll, anchor: i64, window: i64) {
+        let mut scratch = Vec::new();
+        self.merge_from_with(other, anchor, window, &mut scratch);
+    }
+
+    /// [`merge_from`](Self::merge_from) with a caller-provided scratch
+    /// buffer, so a long run of merges (the IRS reverse scan performs one
+    /// per interaction) allocates nothing in the steady state.
+    ///
+    /// Each cell pair is combined with a **linear dominance merge**: both
+    /// chains are sorted by strictly increasing time and ρ, so one pass that
+    /// visits entries in time order (ties: larger ρ first) and keeps an
+    /// entry exactly when its ρ exceeds the running maximum reproduces the
+    /// canonical non-dominated set — the same list repeated `ApproxAdd`
+    /// calls would build, in `O(|a| + |b|)` instead of `O(|b| log² ω)`.
+    ///
+    /// Only `other`'s occupied cells are visited (via its occupancy bitmap),
+    /// so the per-merge cost scales with the number of *populated* cells
+    /// rather than with `β`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on precision mismatch.
+    pub fn merge_from_with(
+        &mut self,
+        other: &VersionedHll,
+        anchor: i64,
+        window: i64,
+        scratch: &mut Vec<VersionEntry>,
+    ) {
         assert_eq!(
             self.precision, other.precision,
             "cannot merge vHLL sketches of different precision"
         );
         let limit = anchor.saturating_add(window);
-        for (mine, theirs) in self.cells.iter_mut().zip(&other.cells) {
-            // Times are increasing, so the in-window pairs form a prefix.
-            let take = theirs.partition_point(|e| e.time < limit);
-            for e in &theirs[..take] {
-                Self::insert_entry(mine, e.rho, e.time);
+        let VersionedHll {
+            cells, occupied, ..
+        } = self;
+        // Walk only `other`'s occupied cells: a sketch populates one cell per
+        // distinct hash prefix observed, so most of the β cells are empty and
+        // never need to be touched.
+        for (wi, &word) in other.occupied.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let idx = wi * 64 + bits.trailing_zeros() as usize; // xtask-allow: no-lossy-cast (bit index < 64 fits usize)
+                bits &= bits - 1;
+                let theirs = other.cells[idx].as_slice();
+                // Times are increasing, so the in-window pairs form a prefix.
+                let take = theirs.partition_point(|e| e.time < limit);
+                if take == 0 {
+                    continue;
+                }
+                let b = &theirs[..take];
+                let mine = &mut cells[idx];
+                let a = mine.as_slice();
+                if a.is_empty() {
+                    // b is already a valid dominance chain: copy it wholesale.
+                    mine.replace_from(b);
+                    Self::mark_occupied(occupied, idx);
+                    continue;
+                }
+                scratch.clear();
+                let (mut i, mut j) = (0usize, 0usize);
+                let mut max_rho = 0u8;
+                while i < a.len() || j < b.len() {
+                    // Next entry in (time asc, ρ desc) order: at equal times
+                    // the larger ρ goes first so the smaller is seen as
+                    // dominated.
+                    let from_a = j >= b.len()
+                        || (i < a.len()
+                            && (a[i].time < b[j].time
+                                || (a[i].time == b[j].time && a[i].rho >= b[j].rho)));
+                    let e = if from_a {
+                        i += 1;
+                        a[i - 1]
+                    } else {
+                        j += 1;
+                        b[j - 1]
+                    };
+                    if e.rho > max_rho {
+                        max_rho = e.rho;
+                        scratch.push(e);
+                    }
+                }
+                if scratch.as_slice() != a {
+                    mine.replace_from(scratch);
+                }
             }
         }
     }
@@ -268,7 +530,7 @@ impl VersionedHll {
         let registers: Vec<u8> = self
             .cells
             .iter()
-            .map(|c| c.last().map_or(0, |e| e.rho))
+            .map(|c| c.as_slice().last().map_or(0, |e| e.rho))
             .collect();
         estimate_from_registers(&registers)
     }
@@ -293,6 +555,7 @@ impl VersionedHll {
             .cells
             .iter()
             .map(|c| {
+                let c = c.as_slice();
                 let lo = c.partition_point(|e| e.time < anchor);
                 let hi = c.partition_point(|e| e.time < limit);
                 if hi > lo {
@@ -312,7 +575,7 @@ impl VersionedHll {
         HyperLogLog::from_registers(
             self.cells
                 .iter()
-                .map(|c| c.last().map_or(0, |e| e.rho))
+                .map(|c| c.as_slice().last().map_or(0, |e| e.rho))
                 .collect(),
         )
     }
@@ -325,35 +588,54 @@ impl VersionedHll {
     /// the anchors already processed), but part of the sliding-window sketch.
     pub fn prune_outside(&mut self, anchor: i64, window: i64) {
         let limit = anchor.saturating_add(window);
-        for cell in &mut self.cells {
-            cell.retain(|e| e.time < limit);
+        let VersionedHll {
+            cells, occupied, ..
+        } = self;
+        for wi in 0..occupied.len() {
+            let mut bits = occupied[wi];
+            while bits != 0 {
+                let idx = wi * 64 + bits.trailing_zeros() as usize; // xtask-allow: no-lossy-cast (bit index < 64 fits usize)
+                bits &= bits - 1;
+                let cell = &mut cells[idx];
+                cell.retain(|e| e.time < limit);
+                if cell.is_empty() {
+                    occupied[wi] &= !(1u64 << (idx % 64));
+                }
+            }
         }
     }
 
     /// Total number of version pairs across all cells.
     pub fn total_entries(&self) -> usize {
-        self.cells.iter().map(Vec::len).sum()
+        self.cells.iter().map(VersionList::len).sum()
     }
 
     /// Whether no item was ever retained.
     pub fn is_empty(&self) -> bool {
-        self.cells.iter().all(Vec::is_empty)
+        self.cells.iter().all(VersionList::is_empty)
     }
 
-    /// Heap bytes held by the sketch (cell headers + version pairs), used by
-    /// the Table 4 memory accounting.
+    /// Heap bytes held by the sketch (cell headers + spilled version lists),
+    /// used by the Table 4 memory accounting. Inline lists cost nothing
+    /// beyond the cell array itself.
     pub fn heap_bytes(&self) -> usize {
-        self.cells.capacity() * std::mem::size_of::<Vec<VersionEntry>>()
+        self.cells.capacity() * std::mem::size_of::<VersionList>()
             + self
                 .cells
                 .iter()
-                .map(|c| c.capacity() * std::mem::size_of::<VersionEntry>())
+                .map(VersionList::heap_bytes)
                 .sum::<usize>()
+    }
+
+    /// Number of cells whose version list has spilled past the inline
+    /// buffer to the heap (memory diagnostics).
+    pub fn spilled_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_spilled()).count()
     }
 
     /// Read-only view of a cell's version list (tests, debugging).
     pub fn cell(&self, idx: usize) -> &[VersionEntry] {
-        &self.cells[idx]
+        self.cells[idx].as_slice()
     }
 
     /// The maximal legal ρ for this precision: `64 − k + 1` (a `k`-bit
@@ -386,7 +668,7 @@ impl VersionedHll {
         }
         let max_rho = self.max_rho();
         for (i, cell) in self.cells.iter().enumerate() {
-            check_entries(cell, max_rho)
+            check_entries(cell.as_slice(), max_rho)
                 .map_err(|error| SketchInvariantError::Cell { cell: i, error })?;
         }
         Ok(())
@@ -416,7 +698,18 @@ impl VersionedHll {
         precision: u8,
         cells: Vec<Vec<VersionEntry>>,
     ) -> Result<Self, SketchInvariantError> {
-        let sketch = VersionedHll { precision, cells };
+        let cells: Vec<VersionList> = cells.into_iter().map(VersionList::from_vec).collect();
+        let mut occupied = vec![0u64; cells.len().div_ceil(64)];
+        for (i, c) in cells.iter().enumerate() {
+            if !c.is_empty() {
+                Self::mark_occupied(&mut occupied, i);
+            }
+        }
+        let sketch = VersionedHll {
+            precision,
+            cells,
+            occupied,
+        };
         sketch.check_dominance_chain()?;
         Ok(sketch)
     }
@@ -424,7 +717,11 @@ impl VersionedHll {
     /// Direct cell-level insertion for tests that need to script exact
     /// `(cell, ρ, time)` sequences (like the paper's worked examples).
     pub fn insert_raw(&mut self, cell_idx: usize, rho: u8, time: i64) -> bool {
-        Self::insert_entry(&mut self.cells[cell_idx], rho, time)
+        let changed = Self::insert_entry(&mut self.cells[cell_idx], rho, time);
+        if changed {
+            Self::mark_occupied(&mut self.occupied, cell_idx);
+        }
+        changed
     }
 }
 
@@ -744,6 +1041,128 @@ mod tests {
         s.insert_raw(2, 2, 1);
         s.insert_raw(2, 3, 2);
         assert_eq!(s.cell(2).len(), 3);
+        // Three entries still fit the inline buffer: no heap growth yet.
+        assert_eq!(s.spilled_cells(), 0);
+        assert_eq!(s.heap_bytes(), before);
+        // A fourth chain entry spills the cell to the heap.
+        s.insert_raw(2, 4, 3);
+        assert_eq!(s.cell(2).len(), 4);
+        assert_eq!(s.spilled_cells(), 1);
         assert!(s.heap_bytes() > before);
+    }
+
+    #[test]
+    fn inline_buffer_spills_and_stays_correct() {
+        let mut list_like = VersionedHll::new(4);
+        // Build a long chain in one cell: times 0..8 with rho 1..=8.
+        for i in 0..8u8 {
+            assert!(list_like.insert_raw(5, i + 1, i64::from(i)));
+        }
+        assert_eq!(
+            entries(&list_like, 5),
+            (0..8).map(|i| (i + 1, i64::from(i))).collect::<Vec<_>>()
+        );
+        assert!(list_like.check_dominance_chain().is_ok());
+        // A dominating newcomer prunes the spilled list back down.
+        assert!(list_like.insert_raw(5, 7, -1));
+        assert_eq!(entries(&list_like, 5), vec![(7, -1), (8, 7)]);
+        assert!(list_like.check_dominance_chain().is_ok());
+    }
+
+    #[test]
+    fn equality_ignores_spill_representation() {
+        // Same logical chain, one built inline, one via a spilled list that
+        // was pruned back under the inline capacity.
+        let mut a = VersionedHll::new(4);
+        a.insert_raw(0, 7, -1);
+        a.insert_raw(0, 8, 7);
+        let mut b = VersionedHll::new(4);
+        for i in 0..8u8 {
+            b.insert_raw(0, i + 1, i64::from(i));
+        }
+        b.insert_raw(0, 7, -1);
+        assert_eq!(a, b);
+        assert_eq!(b.spilled_cells(), 1); // representation differs…
+        assert_eq!(a.spilled_cells(), 0); // …but equality is logical
+    }
+
+    /// The linear dominance merge (scratch path) must produce exactly the
+    /// chain repeated `ApproxAdd` insertions would: merge results are the
+    /// canonical non-dominated set either way.
+    #[test]
+    fn merge_with_scratch_matches_insert_loop() {
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for round in 0..50 {
+            let mut a = VersionedHll::new(4);
+            let mut b = VersionedHll::new(4);
+            for _ in 0..30 {
+                let r = next();
+                a.add_u64(r, (r % 64) as i64); // xtask-allow: no-lossy-cast (value < 64)
+                let r2 = next();
+                b.add_u64(r2, (r2 % 64) as i64); // xtask-allow: no-lossy-cast (value < 64)
+            }
+            let anchor = (round % 32) as i64;
+            let window = 1 + (round % 40) as i64;
+            // Reference: per-entry insert loop over the window prefix.
+            let mut reference = a.clone();
+            for cell in 0..b.num_cells() {
+                let limit = anchor + window;
+                for e in b.cell(cell).iter().filter(|e| e.time < limit) {
+                    reference.insert_raw(cell, e.rho, e.time);
+                }
+            }
+            let mut scratch = Vec::new();
+            a.merge_from_with(&b, anchor, window, &mut scratch);
+            assert_eq!(a, reference, "round {round}");
+            assert!(a.check_dominance_chain().is_ok());
+        }
+    }
+
+    /// The occupancy bitmap mirrors cell non-emptiness through every
+    /// mutation path: insert, merge, prune, and the validating constructor.
+    #[test]
+    fn occupancy_bitmap_tracks_non_empty_cells() {
+        fn check(s: &VersionedHll) {
+            for (i, c) in s.cells.iter().enumerate() {
+                let bit = (s.occupied[i / 64] >> (i % 64)) & 1 == 1;
+                assert_eq!(bit, !c.is_empty(), "cell {i}");
+            }
+        }
+        let mut s = VersionedHll::new(4);
+        assert!(s.occupied.iter().all(|&w| w == 0));
+        s.insert_raw(3, 2, 5);
+        s.insert_raw(9, 1, 2);
+        check(&s);
+
+        // Merging into an empty sketch must set bits for the copied cells.
+        let mut t = VersionedHll::new(4);
+        t.merge_from(&s, 0, 100);
+        check(&t);
+        assert_eq!(t, s);
+
+        // Pruning a cell to empty must clear its bit.
+        t.prune_outside(0, 1);
+        check(&t);
+        assert!(t.is_empty());
+
+        // The validating constructor rebuilds the bitmap from the lists.
+        let raw: Vec<Vec<VersionEntry>> = (0..16)
+            .map(|i| {
+                if i == 3 {
+                    vec![VersionEntry { time: 5, rho: 2 }]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let u = VersionedHll::from_cells(4, raw).unwrap();
+        check(&u);
+        assert_eq!(u.total_entries(), 1);
     }
 }
