@@ -59,7 +59,7 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["exact", "help"];
+const BOOLEAN_FLAGS: &[&str] = &["exact", "help", "metrics"];
 
 /// Splits raw arguments (without the program name) into a [`ParsedArgs`].
 pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {

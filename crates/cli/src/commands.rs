@@ -6,8 +6,10 @@ use infprop_baselines::{
     degree_discount, high_degree, pagerank_top_k, smart_high_degree, ConTinEst, ConTinEstConfig,
     PageRankConfig, Skim, SkimConfig,
 };
+use infprop_core::obs::{metric_u64, Counter, Gauge, Span};
 use infprop_core::{
-    find_channel, greedy_top_k_threads, ApproxIrs, ApproxOracle, ExactIrs, InfluenceOracle,
+    find_channel, greedy_top_k_recorded, greedy_top_k_threads, ApproxIrs, ApproxOracle, ExactIrs,
+    HeapBytes, InfluenceOracle, MetricsRecorder, Recorder, DEFAULT_PRECISION,
 };
 use infprop_datasets::profiles;
 use infprop_diffusion::{tcic_spread, tclt_spread, LtWeights, TcicConfig};
@@ -19,6 +21,27 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 type CmdResult = Result<(), Box<dyn Error>>;
+
+/// True when the command should run with a live [`MetricsRecorder`]
+/// (`--metrics` prints the snapshot to stdout, `--metrics-out <path>`
+/// writes it to a file; giving only the path implies `--metrics`).
+fn metrics_requested(args: &ParsedArgs) -> bool {
+    args.boolean("metrics") || args.optional("metrics-out").is_some()
+}
+
+/// Drains `rec` into a [`MetricsSnapshot`](infprop_core::MetricsSnapshot)
+/// and emits its JSON per the `--metrics`/`--metrics-out` flags.
+fn emit_metrics(args: &ParsedArgs, rec: &MetricsRecorder) -> CmdResult {
+    let json = rec.snapshot().to_json();
+    match args.optional("metrics-out") {
+        Some(path) => {
+            std::fs::write(path, format!("{json}\n"))?;
+            println!("wrote metrics snapshot to {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
 
 /// Validates a `--beta` value and converts it to a sketch precision.
 fn beta_to_precision(beta: usize) -> Result<u8, ArgError> {
@@ -138,7 +161,12 @@ pub fn irs(args: &ParsedArgs) -> CmdResult {
     Ok(())
 }
 
-/// `infprop topk <file> --k K --window-pct P [--method M] [--seed S]`
+/// `infprop topk <file> --k K --window-pct P [--method M] [--seed S]
+///  [--metrics] [--metrics-out PATH]`
+///
+/// With `--metrics`, the `irs`/`irs-exact` methods run the IRS build and
+/// the greedy selection against a live recorder; baseline methods still
+/// emit a snapshot, but only the sections they exercise are nonzero.
 pub fn topk(args: &ParsedArgs) -> CmdResult {
     let path = args.one_positional("expected exactly one input path")?;
     let loaded = load(path)?;
@@ -148,15 +176,37 @@ pub fn topk(args: &ParsedArgs) -> CmdResult {
     let seed: u64 = args.parse_or("seed", 42, "an integer")?;
     let threads = threads_of(args)?;
     let method = args.optional("method").unwrap_or("irs");
+    let recorder = metrics_requested(args).then(MetricsRecorder::new);
     let seeds: Vec<NodeId> = match method {
-        "irs" => greedy_top_k_threads(&ApproxIrs::compute(net, window).oracle(), k, threads)
-            .into_iter()
-            .map(|s| s.node)
-            .collect(),
-        "irs-exact" => greedy_top_k_threads(&ExactIrs::compute(net, window).oracle(), k, threads)
-            .into_iter()
-            .map(|s| s.node)
-            .collect(),
+        "irs" => {
+            let picks = match &recorder {
+                Some(rec) => {
+                    let irs = ApproxIrs::compute_with_precision_recorded(
+                        net,
+                        window,
+                        DEFAULT_PRECISION,
+                        rec,
+                    );
+                    let oracle = irs.oracle();
+                    rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
+                    greedy_top_k_recorded(&oracle, k, threads, rec)
+                }
+                None => greedy_top_k_threads(&ApproxIrs::compute(net, window).oracle(), k, threads),
+            };
+            picks.into_iter().map(|s| s.node).collect()
+        }
+        "irs-exact" => {
+            let picks = match &recorder {
+                Some(rec) => {
+                    let irs = ExactIrs::compute_recorded(net, window, rec);
+                    let oracle = irs.oracle();
+                    rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
+                    greedy_top_k_recorded(&oracle, k, threads, rec)
+                }
+                None => greedy_top_k_threads(&ExactIrs::compute(net, window).oracle(), k, threads),
+            };
+            picks.into_iter().map(|s| s.node).collect()
+        }
         "pagerank" => pagerank_top_k(&net.to_static(), k, &PageRankConfig::default()),
         "hd" => high_degree(&net.to_static(), k),
         "shd" => smart_high_degree(&net.to_static(), k),
@@ -189,11 +239,19 @@ pub fn topk(args: &ParsedArgs) -> CmdResult {
         let label = loaded.interner.label(*u).unwrap_or("?");
         println!("{:>3}. {label}", rank + 1);
     }
+    if let Some(rec) = &recorder {
+        emit_metrics(args, rec)?;
+    }
     Ok(())
 }
 
 /// `infprop simulate <file> --seeds a,b,c --window-pct P [--p F] [--runs N]
-///  [--model tcic|tclt] [--seed S]`
+///  [--model tcic|tclt] [--seed S] [--metrics] [--metrics-out PATH]`
+///
+/// With `--metrics`, the Monte-Carlo spread is timed under `sim.run`, an
+/// approximate IRS oracle is built with a live recorder, and the oracle's
+/// `Inf(S)` estimate is printed next to the simulated spread so the two
+/// can be compared from one invocation.
 pub fn simulate(args: &ParsedArgs) -> CmdResult {
     let path = args.one_positional("expected exactly one input path")?;
     let loaded = load(path)?;
@@ -215,6 +273,8 @@ pub fn simulate(args: &ParsedArgs) -> CmdResult {
     let seed: u64 = args.parse_or("seed", 42, "an integer")?;
     let threads = threads_of(args)?;
     let model = args.optional("model").unwrap_or("tcic");
+    let recorder = metrics_requested(args).then(MetricsRecorder::new);
+    let sim_start = recorder.as_ref().map(|rec| rec.span_start());
     let spread = match model {
         "tcic" => {
             let cfg = TcicConfig::new(window, p)
@@ -240,6 +300,18 @@ pub fn simulate(args: &ParsedArgs) -> CmdResult {
         seeds.len(),
         window.get()
     );
+    if let Some(rec) = &recorder {
+        if let Some(start) = sim_start {
+            rec.span_end(Span::SimRun, start);
+        }
+        rec.add(Counter::SimRuns, metric_u64(runs));
+        let irs = ApproxIrs::compute_with_precision_recorded(net, window, DEFAULT_PRECISION, rec);
+        let oracle = irs.oracle();
+        rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
+        let estimate = oracle.influence_recorded(&seeds, rec);
+        println!("irs oracle estimate Inf(S) = {estimate:.1}");
+        emit_metrics(args, rec)?;
+    }
     Ok(())
 }
 
@@ -298,17 +370,29 @@ pub fn generate(args: &ParsedArgs) -> CmdResult {
     Ok(())
 }
 
-/// `infprop oracle-build <file> --window-pct P --out oracle.bin
-///  [--beta B | --exact]`
+/// `infprop build <file> --window-pct P --out oracle.bin
+///  [--beta B | --exact] [--metrics] [--metrics-out PATH]`
+///
+/// (Also reachable under its historical name `oracle-build`.)
+///
+/// With `--metrics`, the IRS build runs against a live recorder and — after
+/// the oracle is written — one recorded individual-influence sweep probes
+/// the oracle, so the snapshot carries nonzero `engine.*`, store, and
+/// `oracle.*` sections.
 pub fn oracle_build(args: &ParsedArgs) -> CmdResult {
     let path = args.one_positional("expected exactly one input path")?;
     let loaded = load(path)?;
     let net = &loaded.network;
     let window = window_of(args, net)?;
     let out = args.required("out")?;
+    let threads = threads_of(args)?;
+    let recorder = metrics_requested(args).then(MetricsRecorder::new);
     let mut w = BufWriter::new(File::create(out)?);
     if args.boolean("exact") {
-        let irs = ExactIrs::compute(net, window);
+        let irs = match &recorder {
+            Some(rec) => ExactIrs::compute_recorded(net, window, rec),
+            None => ExactIrs::compute(net, window),
+        };
         irs.write_to(&mut w)?;
         println!(
             "wrote {out}: exact summaries for {} nodes ({} entries), window = {}",
@@ -316,15 +400,32 @@ pub fn oracle_build(args: &ParsedArgs) -> CmdResult {
             irs.total_entries(),
             window.get()
         );
+        if let Some(rec) = &recorder {
+            let oracle = irs.oracle();
+            rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
+            let _ = oracle.individuals_recorded(threads, rec);
+        }
     } else {
         let beta: usize = args.parse_or("beta", 512, "a power of two in [16, 65536]")?;
-        let irs = ApproxIrs::compute_with_precision(net, window, beta_to_precision(beta)?);
-        irs.oracle().write_to(&mut w)?;
+        let precision = beta_to_precision(beta)?;
+        let irs = match &recorder {
+            Some(rec) => ApproxIrs::compute_with_precision_recorded(net, window, precision, rec),
+            None => ApproxIrs::compute_with_precision(net, window, precision),
+        };
+        let oracle = irs.oracle();
+        oracle.write_to(&mut w)?;
         println!(
             "wrote {out}: {} node sketches, beta = {beta}, window = {}",
             net.num_nodes(),
             window.get()
         );
+        if let Some(rec) = &recorder {
+            rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
+            let _ = oracle.individuals_recorded(threads, rec);
+        }
+    }
+    if let Some(rec) = &recorder {
+        emit_metrics(args, rec)?;
     }
     Ok(())
 }
@@ -382,16 +483,20 @@ USAGE:
   infprop irs <file> (--window-pct P | --window W) [--exact] [--beta B] [--top K]
   infprop topk <file> --k K (--window-pct P | --window W)
                  [--method irs|irs-exact|pagerank|hd|shd|degree-discount|skim|cte]
-                 [--seed S] [--threads T]
+                 [--seed S] [--threads T] [--metrics] [--metrics-out FILE]
   infprop simulate <file> --seeds a,b,c (--window-pct P | --window W)
                  [--p F] [--runs N] [--model tcic|tclt] [--seed S] [--threads T]
+                 [--metrics] [--metrics-out FILE]
   infprop channel <file> --from U --to V (--window-pct P | --window W)
   infprop generate --profile enron|lkml|facebook|higgs|slashdot|us2016
                  --scale S --out FILE [--seed N]
-  infprop oracle-build <file> (--window-pct P | --window W) --out FILE [--beta B | --exact]
+  infprop build <file> (--window-pct P | --window W) --out FILE [--beta B | --exact]
+                 [--metrics] [--metrics-out FILE]   (alias: oracle-build)
   infprop oracle-query <oracle-file> --seeds a,b,c
 
 Input files are SNAP-style edge lists: `src dst time` per line, `#` comments.
+`--metrics` prints a JSON metrics snapshot (counters, gauges, histograms,
+span timings) for the run; `--metrics-out FILE` writes it to a file instead.
 ";
 
 /// Dispatches a parsed command line.
@@ -403,7 +508,7 @@ pub fn dispatch(parsed: &ParsedArgs) -> CmdResult {
         "simulate" => simulate(parsed),
         "channel" => channel(parsed),
         "generate" => generate(parsed),
-        "oracle-build" => oracle_build(parsed),
+        "build" | "oracle-build" => oracle_build(parsed),
         "oracle-query" => oracle_query(parsed),
         "help" => {
             println!("{USAGE}");

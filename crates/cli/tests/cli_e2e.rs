@@ -291,6 +291,127 @@ fn invalid_beta_rejected_everywhere() {
     std::fs::remove_dir_all(dir).ok();
 }
 
+/// Extracts the integer following `"key": ` in a flat JSON snapshot.
+fn json_u64(text: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    let at = text
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{key} missing in {text}"));
+    text[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn build_metrics_snapshot_has_live_counters() {
+    let dir = tempdir("build-metrics");
+    let net = sample_network(&dir);
+    let oracle_path = dir.join("o.bin").to_string_lossy().into_owned();
+    // `build` is the documented name; `oracle-build` stays as an alias.
+    let out = run(&[
+        "build",
+        &net,
+        "--window-pct",
+        "30",
+        "--out",
+        &oracle_path,
+        "--metrics",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    for section in ["\"counters\"", "\"gauges\"", "\"histograms\"", "\"spans\""] {
+        assert!(text.contains(section), "missing {section}: {text}");
+    }
+    assert!(json_u64(&text, "engine.interactions") > 0, "{text}");
+    assert!(json_u64(&text, "vhll.merge_calls") > 0, "{text}");
+    assert!(json_u64(&text, "oracle.queries") > 0, "{text}");
+    assert!(json_u64(&text, "store.heap_bytes") > 0, "{text}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn build_metrics_out_writes_file_and_exact_counters() {
+    let dir = tempdir("build-metrics-out");
+    let net = sample_network(&dir);
+    let oracle_path = dir.join("o.bin").to_string_lossy().into_owned();
+    let snap_path = dir.join("metrics.json").to_string_lossy().into_owned();
+    let out = run(&[
+        "build",
+        &net,
+        "--window-pct",
+        "30",
+        "--exact",
+        "--out",
+        &oracle_path,
+        "--metrics-out",
+        &snap_path,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = std::fs::read_to_string(&snap_path).unwrap();
+    assert!(json_u64(&text, "engine.interactions") > 0, "{text}");
+    assert!(json_u64(&text, "exact.merge_calls") > 0, "{text}");
+    assert!(json_u64(&text, "oracle.queries") > 0, "{text}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn metrics_flag_does_not_change_topk_output() {
+    let dir = tempdir("topk-metrics");
+    let net = sample_network(&dir);
+    let base = &[
+        "topk",
+        &net,
+        "--k",
+        "3",
+        "--window-pct",
+        "20",
+        "--threads",
+        "1",
+    ];
+    let plain = run(base);
+    let mut with_metrics: Vec<&str> = base.to_vec();
+    with_metrics.push("--metrics");
+    let recorded = run(&with_metrics);
+    assert!(plain.status.success() && recorded.status.success());
+    let recorded_text = stdout(&recorded);
+    // Seed picks are identical; the recorded run appends the snapshot.
+    assert!(
+        recorded_text.starts_with(&stdout(&plain)),
+        "{recorded_text}"
+    );
+    assert!(
+        json_u64(&recorded_text, "greedy.rounds") >= 3,
+        "{recorded_text}"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn simulate_metrics_reports_sim_and_oracle() {
+    let dir = tempdir("sim-metrics");
+    let net = sample_network(&dir);
+    let out = run(&[
+        "simulate",
+        &net,
+        "--seeds",
+        "0,1",
+        "--window-pct",
+        "20",
+        "--runs",
+        "10",
+        "--metrics",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("oracle estimate Inf(S)"), "{text}");
+    assert_eq!(json_u64(&text, "sim.runs"), 10, "{text}");
+    assert!(json_u64(&text, "oracle.queries") > 0, "{text}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
 #[test]
 fn stats_reports_shape_metrics() {
     let dir = tempdir("shape-stats");

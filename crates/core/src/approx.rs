@@ -8,6 +8,7 @@
 //! with relative error `≈ 1.04/√β`.
 
 use crate::engine::{ReversePassEngine, VhllStore};
+use crate::obs::{metric_u64, Gauge, HeapBytes, Recorder};
 use infprop_hll::{HyperLogLog, VersionedHll};
 use infprop_temporal_graph::{InteractionNetwork, NodeId, Window};
 
@@ -57,6 +58,36 @@ impl ApproxIrs {
             precision,
             sketches: store.into_sketches(),
         }
+    }
+
+    /// [`compute_with_precision`](Self::compute_with_precision) with full
+    /// instrumentation: the engine and the [`VhllStore`] merge path report
+    /// into `rec` (the `engine.*` and `vhll.*` catalogues in
+    /// [`crate::obs`]), and the finished store's size is published through
+    /// the `store.*` gauges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 1` or `precision ∉ [4, 16]`.
+    pub fn compute_with_precision_recorded<R: Recorder>(
+        net: &InteractionNetwork,
+        window: Window,
+        precision: u8,
+        rec: &R,
+    ) -> Self {
+        let store = VhllStore::with_nodes_recorded(precision, net.num_nodes(), rec);
+        let store = ReversePassEngine::run_recorded(net, window, store, rec);
+        let irs = ApproxIrs {
+            window,
+            precision,
+            sketches: store.into_sketches(),
+        };
+        if R::ENABLED {
+            rec.gauge(Gauge::StoreHeapBytes, metric_u64(irs.heap_bytes()));
+            rec.gauge(Gauge::StoreNodes, metric_u64(irs.num_nodes()));
+            rec.gauge(Gauge::StoreEntries, metric_u64(irs.total_entries()));
+        }
+        irs
     }
 
     /// Reassembles sketch state from its parts (the persistence codec's and
@@ -132,6 +163,12 @@ impl ApproxIrs {
     /// verification layer.
     pub fn validate(&self) -> Result<(), crate::InvariantViolation> {
         crate::invariants::validate_sketches(&self.sketches, None)
+    }
+}
+
+impl HeapBytes for ApproxIrs {
+    fn heap_bytes(&self) -> usize {
+        ApproxIrs::heap_bytes(self)
     }
 }
 

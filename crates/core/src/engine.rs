@@ -31,7 +31,8 @@
 //! can never chain two hops with equal timestamps. With distinct timestamps
 //! every batch has size one and the engine follows the paper verbatim.
 
-use infprop_hll::{VersionEntry, VersionedHll};
+use crate::obs::{metric_u64, Counter, HeapBytes, Hist, NoopRecorder, Recorder, Span};
+use infprop_hll::{MergeObserver, VersionEntry, VersionedHll};
 use infprop_temporal_graph::{Interaction, InteractionNetwork, NodeId, Timestamp, Window};
 use std::fmt;
 
@@ -185,10 +186,17 @@ pub type ExactSummary = Vec<(NodeId, Timestamp)>;
 /// Exact dense summaries: `φ(u) = {v → λ(u, v)}` (paper Algorithm 2), one
 /// NodeId-sorted vec per node slot plus a store-level scratch buffer so the
 /// merge path allocates nothing in the steady state.
+///
+/// The recorder type parameter defaults to [`NoopRecorder`], so existing
+/// call sites compile unchanged and pay nothing; pass a live recorder via
+/// [`with_nodes_recorded`](Self::with_nodes_recorded) to see inside merges
+/// (path taken, splice lengths, entries touched — the `exact.*` catalogue
+/// in [`crate::obs`]).
 #[derive(Clone, Debug, Default)]
-pub struct ExactStore {
+pub struct ExactStore<R: Recorder = NoopRecorder> {
     summaries: Vec<ExactSummary>,
     scratch: ExactSummary,
+    recorder: R,
 }
 
 /// `Add(φ(u), (v, t))` from Algorithm 2: insert or lower the end time.
@@ -214,24 +222,39 @@ fn exact_admissible(x: NodeId, tx: Timestamp, u: NodeId, t: Timestamp, window: W
     x != u && tx.delta(t) < window.get()
 }
 
+/// Small-side heuristic threshold: the per-entry binary-search + backward
+/// splice path is taken when `|src| · factor ≤ |φ(u)|`. Instrumented via
+/// `exact.merge_small_side` / `exact.splice_len` so the trade-off is
+/// measurable (see the PR 3→4 hub-profile regression analysis in
+/// `BENCH_core.json` notes).
+const SMALL_SIDE_FACTOR: usize = 4;
+
 /// The merge kernel both [`SummaryStore::merge`] paths share: folds the
 /// admissible entries of `src` into `phi_u` with one two-pointer sweep over
 /// the two sorted runs, building the result in `scratch` and swapping the
 /// buffers, so the steady state moves entries without allocating.
-fn exact_merge_filtered(
+fn exact_merge_filtered<R: Recorder>(
     phi_u: &mut ExactSummary,
     src: &[(NodeId, Timestamp)],
     u: NodeId,
     t: Timestamp,
     window: Window,
     scratch: &mut ExactSummary,
+    rec: &R,
 ) {
+    if R::ENABLED {
+        rec.add(Counter::ExactMergeCalls, 1);
+        rec.record(Hist::ExactMergeSrcLen, metric_u64(src.len()));
+    }
     if phi_u.is_empty() {
         phi_u.extend(
             src.iter()
                 .copied()
                 .filter(|&(x, tx)| exact_admissible(x, tx, u, t, window)),
         );
+        if R::ENABLED {
+            rec.add(Counter::ExactEntriesTouched, metric_u64(phi_u.len()));
+        }
         return;
     }
     // Small-side path: when the source contributes far fewer entries than
@@ -239,7 +262,10 @@ fn exact_merge_filtered(
     // many small neighbour summaries), per-entry binary searches beat a full
     // rebuild: hits update a timestamp in place, and only genuinely new ids
     // pay for insertion, via one backward in-place merge.
-    if src.len() * 4 <= phi_u.len() {
+    if src.len() * SMALL_SIDE_FACTOR <= phi_u.len() {
+        if R::ENABLED {
+            rec.add(Counter::ExactMergeSmallSide, 1);
+        }
         scratch.clear();
         for &(x, tx) in src {
             if !exact_admissible(x, tx, u, t, window) {
@@ -254,7 +280,13 @@ fn exact_merge_filtered(
                 Err(_) => scratch.push((x, tx)),
             }
         }
+        if R::ENABLED {
+            rec.record(Hist::ExactSpliceLen, metric_u64(scratch.len()));
+        }
         if scratch.is_empty() {
+            if R::ENABLED {
+                rec.add(Counter::ExactEntriesTouched, metric_u64(src.len()));
+            }
             return;
         }
         // `scratch` is sorted (a filtered subset of the sorted `src`) and
@@ -273,13 +305,27 @@ fn exact_merge_filtered(
             }
             w -= 1;
         }
+        if R::ENABLED {
+            // Probes plus the tail of φ(u) the backward splice actually moved
+            // (`old_len − i` old entries shifted right) plus the new entries.
+            rec.add(
+                Counter::ExactEntriesTouched,
+                metric_u64(src.len() + (old_len - i) + new),
+            );
+        }
         return;
     }
     if !src
         .iter()
         .any(|&(x, tx)| exact_admissible(x, tx, u, t, window))
     {
+        if R::ENABLED {
+            rec.add(Counter::ExactEntriesTouched, metric_u64(src.len()));
+        }
         return;
+    }
+    if R::ENABLED {
+        rec.add(Counter::ExactMergeRebuild, 1);
     }
     scratch.clear();
     scratch.reserve(phi_u.len() + src.len());
@@ -302,15 +348,18 @@ fn exact_merge_filtered(
     scratch.extend_from_slice(&phi_u[i..]);
     // The old φ(u) buffer becomes the next merge's scratch.
     std::mem::swap(phi_u, scratch);
+    if R::ENABLED {
+        rec.add(
+            Counter::ExactEntriesTouched,
+            metric_u64(src.len() + phi_u.len()),
+        );
+    }
 }
 
 impl ExactStore {
     /// An empty store with `n` pre-allocated node slots.
     pub fn with_nodes(n: usize) -> Self {
-        ExactStore {
-            summaries: vec![Vec::new(); n],
-            scratch: Vec::new(),
-        }
+        Self::with_nodes_recorded(n, NoopRecorder)
     }
 
     /// Rebuilds a store around existing summaries (codec entry point). Each
@@ -323,6 +372,20 @@ impl ExactStore {
         ExactStore {
             summaries,
             scratch: Vec::new(),
+            recorder: NoopRecorder,
+        }
+    }
+}
+
+impl<R: Recorder> ExactStore<R> {
+    /// An empty store with `n` pre-allocated node slots whose merge kernel
+    /// reports into `recorder` (typically a borrowed
+    /// [`MetricsRecorder`](crate::MetricsRecorder)).
+    pub fn with_nodes_recorded(n: usize, recorder: R) -> Self {
+        ExactStore {
+            summaries: vec![Vec::new(); n],
+            scratch: Vec::new(),
+            recorder,
         }
     }
 
@@ -338,7 +401,20 @@ impl ExactStore {
     }
 }
 
-impl SummaryStore for ExactStore {
+impl<R: Recorder> HeapBytes for ExactStore<R> {
+    fn heap_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(NodeId, Timestamp)>();
+        self.summaries.capacity() * std::mem::size_of::<ExactSummary>()
+            + self
+                .summaries
+                .iter()
+                .map(|s| s.capacity() * entry)
+                .sum::<usize>()
+            + self.scratch.capacity() * entry
+    }
+}
+
+impl<R: Recorder> SummaryStore for ExactStore<R> {
     type Snapshot = ExactSummary;
 
     fn num_nodes(&self) -> usize {
@@ -357,9 +433,13 @@ impl SummaryStore for ExactStore {
     }
 
     fn merge(&mut self, u: NodeId, v: NodeId, t: Timestamp, window: Window) {
-        let ExactStore { summaries, scratch } = self;
+        let ExactStore {
+            summaries,
+            scratch,
+            recorder,
+        } = self;
         let (phi_u, phi_v) = src_and_dst(summaries, u.index(), v.index());
-        exact_merge_filtered(phi_u, phi_v, u, t, window, scratch);
+        exact_merge_filtered(phi_u, phi_v, u, t, window, scratch, recorder);
     }
 
     fn snapshot(&self, d: NodeId) -> Self::Snapshot {
@@ -367,8 +447,20 @@ impl SummaryStore for ExactStore {
     }
 
     fn merge_snapshot(&mut self, u: NodeId, snap: &Self::Snapshot, t: Timestamp, window: Window) {
-        let ExactStore { summaries, scratch } = self;
-        exact_merge_filtered(&mut summaries[u.index()], snap, u, t, window, scratch);
+        let ExactStore {
+            summaries,
+            scratch,
+            recorder,
+        } = self;
+        exact_merge_filtered(
+            &mut summaries[u.index()],
+            snap,
+            u,
+            t,
+            window,
+            scratch,
+            recorder,
+        );
     }
 
     fn validate_node(
@@ -387,10 +479,45 @@ impl SummaryStore for ExactStore {
 /// itself — an overcount of at most one, far below the sketch's own
 /// `≈ 1.04/√β` error. The paper's Algorithm 3 has the same behaviour.
 #[derive(Clone, Debug)]
-pub struct VhllStore {
+pub struct VhllStore<R: Recorder = NoopRecorder> {
     precision: u8,
     sketches: Vec<VersionedHll>,
     scratch: Vec<VersionEntry>,
+    recorder: R,
+}
+
+/// Adapts a [`Recorder`] to the [`MergeObserver`] callbacks the hll crate
+/// exposes (the dependency points hll ← core, so the sketch crate defines
+/// its own observer trait and core maps it onto the metric catalogue here).
+struct RecorderMergeObserver<'a, R: Recorder>(&'a R);
+
+impl<R: Recorder> MergeObserver for RecorderMergeObserver<'_, R> {
+    const ENABLED: bool = R::ENABLED;
+
+    #[inline]
+    fn cells_visited(&mut self, n: u64) {
+        self.0.add(Counter::VhllCellsVisited, n);
+    }
+
+    #[inline]
+    fn cells_skipped(&mut self, n: u64) {
+        self.0.add(Counter::VhllCellsSkipped, n);
+    }
+
+    #[inline]
+    fn entries_scanned(&mut self, n: u64) {
+        self.0.add(Counter::VhllRegisterTouches, n);
+    }
+
+    #[inline]
+    fn entries_pruned(&mut self, n: u64) {
+        self.0.add(Counter::VhllDominancePrunes, n);
+    }
+
+    #[inline]
+    fn spills(&mut self, n: u64) {
+        self.0.add(Counter::VhllSpills, n);
+    }
 }
 
 /// Stable per-node sketch hash: nodes are hashed once per add via the
@@ -405,11 +532,7 @@ impl VhllStore {
     /// An empty store with `β = 2^precision` cells per node and `n`
     /// pre-allocated node slots.
     pub fn with_nodes(precision: u8, n: usize) -> Self {
-        VhllStore {
-            precision,
-            sketches: (0..n).map(|_| VersionedHll::new(precision)).collect(),
-            scratch: Vec::new(),
-        }
+        Self::with_nodes_recorded(precision, n, NoopRecorder)
     }
 
     /// Rebuilds a store around existing sketches (codec entry point; all
@@ -420,6 +543,22 @@ impl VhllStore {
             precision,
             sketches,
             scratch: Vec::new(),
+            recorder: NoopRecorder,
+        }
+    }
+}
+
+impl<R: Recorder> VhllStore<R> {
+    /// An empty store with `β = 2^precision` cells per node and `n`
+    /// pre-allocated node slots whose merge path reports into `recorder`
+    /// (dominance prunes, spills, bitmap skip rate — the `vhll.*`
+    /// catalogue in [`crate::obs`]).
+    pub fn with_nodes_recorded(precision: u8, n: usize, recorder: R) -> Self {
+        VhllStore {
+            precision,
+            sketches: (0..n).map(|_| VersionedHll::new(precision)).collect(),
+            scratch: Vec::new(),
+            recorder,
         }
     }
 
@@ -439,7 +578,19 @@ impl VhllStore {
     }
 }
 
-impl SummaryStore for VhllStore {
+impl<R: Recorder> HeapBytes for VhllStore<R> {
+    fn heap_bytes(&self) -> usize {
+        self.sketches.capacity() * std::mem::size_of::<VersionedHll>()
+            + self
+                .sketches
+                .iter()
+                .map(VersionedHll::heap_bytes)
+                .sum::<usize>()
+            + self.scratch.capacity() * std::mem::size_of::<VersionEntry>()
+    }
+}
+
+impl<R: Recorder> SummaryStore for VhllStore<R> {
     type Snapshot = VersionedHll;
 
     fn num_nodes(&self) -> usize {
@@ -456,15 +607,28 @@ impl SummaryStore for VhllStore {
 
     #[inline]
     fn add(&mut self, u: NodeId, v: NodeId, t: Timestamp) {
-        self.sketches[u.index()].add_hash(node_hash(v), t.get());
+        let changed = self.sketches[u.index()].add_hash(node_hash(v), t.get());
+        if R::ENABLED && !changed {
+            self.recorder.add(Counter::VhllDominatedAdds, 1);
+        }
     }
 
     fn merge(&mut self, u: NodeId, v: NodeId, t: Timestamp, window: Window) {
         let VhllStore {
-            sketches, scratch, ..
+            sketches,
+            scratch,
+            recorder,
+            ..
         } = self;
+        recorder.add(Counter::VhllMergeCalls, 1);
         let (phi_u, phi_v) = src_and_dst(sketches, u.index(), v.index());
-        phi_u.merge_from_with(phi_v, t.get(), window.get(), scratch);
+        phi_u.merge_from_observed(
+            phi_v,
+            t.get(),
+            window.get(),
+            scratch,
+            &mut RecorderMergeObserver(recorder),
+        );
     }
 
     fn snapshot(&self, d: NodeId) -> Self::Snapshot {
@@ -473,9 +637,19 @@ impl SummaryStore for VhllStore {
 
     fn merge_snapshot(&mut self, u: NodeId, snap: &Self::Snapshot, t: Timestamp, window: Window) {
         let VhllStore {
-            sketches, scratch, ..
+            sketches,
+            scratch,
+            recorder,
+            ..
         } = self;
-        sketches[u.index()].merge_from_with(snap, t.get(), window.get(), scratch);
+        recorder.add(Counter::VhllMergeCalls, 1);
+        sketches[u.index()].merge_from_observed(
+            snap,
+            t.get(),
+            window.get(),
+            scratch,
+            &mut RecorderMergeObserver(recorder),
+        );
     }
 
     fn validate_node(
@@ -528,6 +702,25 @@ fn debug_validate_batch<S: SummaryStore>(store: &S, batch: &[Interaction]) {
 /// Applies one equal-timestamp batch to a store (size 1 = the paper's
 /// algorithm verbatim; larger = two-phase tie semantics).
 pub fn apply_batch<S: SummaryStore>(store: &mut S, batch: &[Interaction], window: Window) {
+    apply_batch_recorded(store, batch, window, &NoopRecorder);
+}
+
+/// [`apply_batch`] with engine-level instrumentation: counts interactions
+/// and tie batches and records the batch-size distribution into `rec`
+/// (store-level metrics flow through the store's own recorder).
+pub fn apply_batch_recorded<S: SummaryStore, R: Recorder>(
+    store: &mut S,
+    batch: &[Interaction],
+    window: Window,
+    rec: &R,
+) {
+    if R::ENABLED {
+        rec.add(Counter::EngineInteractions, metric_u64(batch.len()));
+        rec.record(Hist::EngineTieBatchSize, metric_u64(batch.len()));
+        if batch.len() > 1 {
+            rec.add(Counter::EngineTieBatches, 1);
+        }
+    }
     if let [e] = batch {
         if e.src != e.dst {
             store.add(e.src, e.dst, e.time);
@@ -577,12 +770,13 @@ pub fn apply_batch<S: SummaryStore>(store: &mut S, batch: &[Interaction], window
 /// feeds interactions one at a time in non-increasing time order, buffering
 /// timestamp ties so streamed and batch results are identical — a
 /// property-tested guarantee.
-pub struct ReversePassEngine<S: SummaryStore> {
+pub struct ReversePassEngine<S: SummaryStore, R: Recorder = NoopRecorder> {
     window: Window,
     store: S,
     frontier: ReverseFrontier,
     tie_buffer: Vec<Interaction>,
     interactions_seen: usize,
+    recorder: R,
 }
 
 impl<S: SummaryStore> ReversePassEngine<S> {
@@ -592,14 +786,7 @@ impl<S: SummaryStore> ReversePassEngine<S> {
     ///
     /// Panics if `window < 1` (see [`Window::assert_valid`]).
     pub fn new(window: Window, store: S) -> Self {
-        window.assert_valid();
-        ReversePassEngine {
-            window,
-            store,
-            frontier: ReverseFrontier::new(),
-            tie_buffer: Vec::new(),
-            interactions_seen: 0,
-        }
+        Self::with_recorder(window, store, NoopRecorder)
     }
 
     /// Runs the full reverse pass over a materialized network and returns
@@ -610,7 +797,39 @@ impl<S: SummaryStore> ReversePassEngine<S> {
     /// # Panics
     ///
     /// Panics if `window < 1`.
-    pub fn run(net: &InteractionNetwork, window: Window, mut store: S) -> S {
+    pub fn run(net: &InteractionNetwork, window: Window, store: S) -> S {
+        Self::run_recorded(net, window, store, &NoopRecorder)
+    }
+}
+
+impl<S: SummaryStore, R: Recorder> ReversePassEngine<S, R> {
+    /// A streaming engine over `store` whose driver-level metrics
+    /// (interactions, tie batches, out-of-order rejects) report into
+    /// `recorder`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 1` (see [`Window::assert_valid`]).
+    pub fn with_recorder(window: Window, store: S, recorder: R) -> Self {
+        window.assert_valid();
+        ReversePassEngine {
+            window,
+            store,
+            frontier: ReverseFrontier::new(),
+            tie_buffer: Vec::new(),
+            interactions_seen: 0,
+            recorder,
+        }
+    }
+
+    /// [`run`](Self::run) with driver-level instrumentation: wraps the pass
+    /// in the `engine.run` span and counts interactions/tie batches into
+    /// `rec`. The store carries its own recorder for store-level metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 1`.
+    pub fn run_recorded(net: &InteractionNetwork, window: Window, mut store: S, rec: &R) -> S {
         window.assert_valid();
         // The reverse scan (Lemma 1) is only sound over a time-sorted input;
         // InteractionNetwork guarantees this, so a violation here means the
@@ -621,10 +840,12 @@ impl<S: SummaryStore> ReversePassEngine<S> {
                 .all(|w| w[0].time <= w[1].time),
             "interaction network is not sorted by time"
         );
+        let t0 = rec.span_start();
         store.ensure_nodes(net.num_nodes());
         for_each_tie_batch(net.interactions(), |batch| {
-            apply_batch(&mut store, batch, window);
+            apply_batch_recorded(&mut store, batch, window, rec);
         });
+        rec.span_end(Span::EngineRun, t0);
         store
     }
 
@@ -651,13 +872,16 @@ impl<S: SummaryStore> ReversePassEngine<S> {
     /// like the batch path. Self-loops are ignored, mirroring
     /// [`InteractionNetwork`] construction.
     pub fn push(&mut self, i: Interaction) -> Result<(), OutOfOrder> {
-        self.frontier.accept(i.time)?;
+        if let Err(e) = self.frontier.accept(i.time) {
+            self.recorder.add(Counter::EngineOutOfOrderRejects, 1);
+            return Err(e);
+        }
         self.store
             .ensure_nodes(i.src.index().max(i.dst.index()) + 1);
         if let Some(last) = self.tie_buffer.last() {
             if last.time != i.time {
                 let batch = std::mem::take(&mut self.tie_buffer);
-                apply_batch(&mut self.store, &batch, self.window);
+                apply_batch_recorded(&mut self.store, &batch, self.window, &self.recorder);
             }
         }
         self.tie_buffer.push(i);
@@ -669,7 +893,7 @@ impl<S: SummaryStore> ReversePassEngine<S> {
     pub fn finish(mut self) -> S {
         let batch = std::mem::take(&mut self.tie_buffer);
         if !batch.is_empty() {
-            apply_batch(&mut self.store, &batch, self.window);
+            apply_batch_recorded(&mut self.store, &batch, self.window, &self.recorder);
         }
         self.store
     }
@@ -698,7 +922,7 @@ mod tests {
         for w in [1i64, 3, 8] {
             let batch =
                 ReversePassEngine::run(&net, Window(w), ExactStore::with_nodes(net.num_nodes()));
-            let mut engine = ReversePassEngine::new(Window(w), ExactStore::default());
+            let mut engine = ReversePassEngine::new(Window(w), ExactStore::with_nodes(0));
             for i in net.iter_reverse() {
                 engine.push(*i).unwrap();
             }
@@ -732,7 +956,7 @@ mod tests {
 
     #[test]
     fn out_of_order_push_is_rejected_and_recoverable() {
-        let mut engine = ReversePassEngine::new(Window(5), ExactStore::default());
+        let mut engine = ReversePassEngine::new(Window(5), ExactStore::with_nodes(0));
         engine.push(Interaction::from_raw(0, 1, 10)).unwrap();
         engine.push(Interaction::from_raw(1, 2, 10)).unwrap(); // tie ok
         let err = engine.push(Interaction::from_raw(2, 3, 11)).unwrap_err();
@@ -745,7 +969,7 @@ mod tests {
 
     #[test]
     fn self_loops_are_ignored_in_stream() {
-        let mut engine = ReversePassEngine::new(Window(5), ExactStore::default());
+        let mut engine = ReversePassEngine::new(Window(5), ExactStore::with_nodes(0));
         engine.push(Interaction::from_raw(1, 2, 9)).unwrap();
         engine.push(Interaction::from_raw(0, 0, 5)).unwrap();
         let store = engine.finish();
@@ -769,6 +993,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "window must be at least 1")]
     fn zero_window_engine_panics() {
-        let _ = ReversePassEngine::new(Window(0), ExactStore::default());
+        let _ = ReversePassEngine::new(Window(0), ExactStore::with_nodes(0));
     }
 }

@@ -6,6 +6,7 @@
 //! resulting summaries.
 
 use crate::engine::{self, ExactStore, ExactSummary, ReversePassEngine};
+use crate::obs::{metric_u64, Gauge, HeapBytes, Recorder};
 use infprop_temporal_graph::{InteractionNetwork, NodeId, Timestamp, Window};
 
 /// Exact influence-reachability summaries `φω(u)` for every node.
@@ -38,6 +39,29 @@ impl ExactIrs {
             window,
             summaries: store.into_summaries(),
         }
+    }
+
+    /// [`compute`](Self::compute) with full instrumentation: the engine and
+    /// the [`ExactStore`] merge kernel report into `rec` (the `engine.*` and
+    /// `exact.*` catalogues in [`crate::obs`]), and the finished store's
+    /// size is published through the `store.*` gauges.
+    pub fn compute_recorded<R: Recorder>(
+        net: &InteractionNetwork,
+        window: Window,
+        rec: &R,
+    ) -> Self {
+        let store = ExactStore::with_nodes_recorded(net.num_nodes(), rec);
+        let store = ReversePassEngine::run_recorded(net, window, store, rec);
+        let irs = ExactIrs {
+            window,
+            summaries: store.into_summaries(),
+        };
+        if R::ENABLED {
+            rec.gauge(Gauge::StoreHeapBytes, metric_u64(irs.heap_bytes()));
+            rec.gauge(Gauge::StoreNodes, metric_u64(irs.num_nodes()));
+            rec.gauge(Gauge::StoreEntries, metric_u64(irs.total_entries()));
+        }
+        irs
     }
 
     /// Computes exact summaries for several windows in **one** shared
@@ -152,6 +176,12 @@ impl ExactIrs {
     /// of the [`invariants`](crate::invariants) verification layer.
     pub fn validate(&self) -> Result<(), crate::InvariantViolation> {
         crate::invariants::validate_exact_summaries(&self.summaries, None)
+    }
+}
+
+impl HeapBytes for ExactIrs {
+    fn heap_bytes(&self) -> usize {
+        ExactIrs::heap_bytes(self)
     }
 }
 

@@ -81,6 +81,7 @@ pub mod engine;
 mod exact;
 pub mod invariants;
 mod maximize;
+pub mod obs;
 mod oracle;
 pub mod par;
 mod persist;
@@ -106,8 +107,10 @@ pub use engine::{
 pub use exact::ExactIrs;
 pub use invariants::{validate_all, InvariantViolation};
 pub use maximize::{
-    greedy_top_k, greedy_top_k_paper, greedy_top_k_paper_threads, greedy_top_k_threads, Selection,
+    greedy_top_k, greedy_top_k_paper, greedy_top_k_paper_threads, greedy_top_k_recorded,
+    greedy_top_k_threads, Selection,
 };
+pub use obs::{HeapBytes, MetricsRecorder, MetricsSnapshot, NoopRecorder, Recorder};
 pub use oracle::{ApproxOracle, ExactOracle, InfluenceOracle, NodeBitset};
 pub use profile::{ContactDirection, SlidingContacts};
 pub use stream::{ApproxIrsStream, ExactIrsStream};

@@ -17,6 +17,7 @@
 //!   next node's individual size (an upper bound on its gain). Kept for
 //!   fidelity and as a cross-check in tests.
 
+use crate::obs::{Counter, NoopRecorder, Recorder, Span};
 use crate::oracle::InfluenceOracle;
 use infprop_temporal_graph::NodeId;
 use std::cmp::Ordering;
@@ -91,12 +92,41 @@ where
     greedy_top_k_with_individuals(oracle, k, &individuals)
 }
 
+/// [`greedy_top_k_threads`] with full instrumentation: the whole selection
+/// runs inside the `greedy.select` span, the individual-influence sweep
+/// reports per-chunk timings through [`InfluenceOracle::individuals_recorded`],
+/// and the CELF loop counts `greedy.rounds` (seeds picked) and
+/// `greedy.lazy_refreshes` (stale gains recomputed). Selections are
+/// byte-identical to [`greedy_top_k_threads`] at any thread count.
+pub fn greedy_top_k_recorded<O, R>(oracle: &O, k: usize, threads: usize, rec: &R) -> Vec<Selection>
+where
+    O: InfluenceOracle + Sync,
+    R: Recorder,
+{
+    let t0 = rec.span_start();
+    let individuals = oracle.individuals_recorded(threads, rec);
+    let picks = greedy_top_k_with_individuals_recorded(oracle, k, &individuals, rec);
+    rec.span_end(Span::GreedySelect, t0);
+    picks
+}
+
 /// The CELF selection loop proper, seeded with precomputed individual
 /// influences (`individuals[i] = |σω(node i)|`).
 fn greedy_top_k_with_individuals<O: InfluenceOracle>(
     oracle: &O,
     k: usize,
     individuals: &[f64],
+) -> Vec<Selection> {
+    greedy_top_k_with_individuals_recorded(oracle, k, individuals, &NoopRecorder)
+}
+
+/// The CELF loop with round/refresh counting — the single implementation
+/// both the plain and recorded entry points monomorphize from.
+fn greedy_top_k_with_individuals_recorded<O: InfluenceOracle, R: Recorder>(
+    oracle: &O,
+    k: usize,
+    individuals: &[f64],
+    rec: &R,
 ) -> Vec<Selection> {
     let n = oracle.num_nodes();
     let mut heap: BinaryHeap<Candidate> = individuals
@@ -130,6 +160,7 @@ fn greedy_top_k_with_individuals<O: InfluenceOracle>(
                 cumulative,
             });
             round += 1;
+            rec.add(Counter::GreedyRounds, 1);
         } else {
             let gain = oracle.marginal_gain(&covered, top.node);
             heap.push(Candidate {
@@ -138,6 +169,7 @@ fn greedy_top_k_with_individuals<O: InfluenceOracle>(
                 node: top.node,
                 round,
             });
+            rec.add(Counter::GreedyLazyRefreshes, 1);
         }
     }
     picks

@@ -13,6 +13,7 @@
 
 use crate::approx::ApproxIrs;
 use crate::exact::ExactIrs;
+use crate::obs::{metric_f64, metric_u64, Counter, HeapBytes, Hist, Recorder, Span};
 use infprop_hll::HyperLogLog;
 use infprop_temporal_graph::NodeId;
 
@@ -73,6 +74,71 @@ pub trait InfluenceOracle {
         Self: Sync,
     {
         crate::par::map_indexed(seed_sets.len(), threads, |i| self.influence(&seed_sets[i]))
+    }
+
+    /// [`influence`](Self::influence) with instrumentation: bumps
+    /// `oracle.queries` and records the answered union size into the
+    /// `oracle.union_size` histogram of `rec`. The answer is identical to
+    /// the unrecorded path.
+    fn influence_recorded<R: Recorder>(&self, seeds: &[NodeId], rec: &R) -> f64 {
+        let v = self.influence(seeds);
+        if R::ENABLED {
+            rec.add(Counter::OracleQueries, 1);
+            rec.record(Hist::OracleUnionSize, metric_f64(v));
+        }
+        v
+    }
+
+    /// [`individuals`](Self::individuals) wrapped in the `oracle.sweep`
+    /// span, with per-thread chunk timings flowing through the recorded
+    /// [`crate::par`] fan-out. Output is byte-identical to the unrecorded
+    /// sweep at any thread count.
+    fn individuals_recorded<R: Recorder>(&self, threads: usize, rec: &R) -> Vec<f64>
+    where
+        Self: Sync,
+    {
+        let t0 = rec.span_start();
+        let out = crate::par::map_indexed_recorded(
+            self.num_nodes(),
+            threads,
+            |i| self.individual(NodeId::from_index(i)),
+            rec,
+        );
+        if R::ENABLED {
+            rec.add(Counter::OracleQueries, metric_u64(out.len()));
+        }
+        rec.span_end(Span::OracleSweep, t0);
+        out
+    }
+
+    /// [`influence_many`](Self::influence_many) wrapped in the
+    /// `oracle.query_batch` span, counting one `oracle.queries` per seed set
+    /// and recording every answered union size. Answers are byte-identical
+    /// to the unrecorded path at any thread count.
+    fn influence_many_recorded<R: Recorder>(
+        &self,
+        seed_sets: &[Vec<NodeId>],
+        threads: usize,
+        rec: &R,
+    ) -> Vec<f64>
+    where
+        Self: Sync,
+    {
+        let t0 = rec.span_start();
+        let out = crate::par::map_indexed_recorded(
+            seed_sets.len(),
+            threads,
+            |i| self.influence(&seed_sets[i]),
+            rec,
+        );
+        if R::ENABLED {
+            rec.add(Counter::OracleQueries, metric_u64(out.len()));
+            for &v in &out {
+                rec.record(Hist::OracleUnionSize, metric_f64(v));
+            }
+        }
+        rec.span_end(Span::OracleQueryBatch, t0);
+        out
     }
 }
 
@@ -135,6 +201,15 @@ impl<'a> ExactOracle<'a> {
     /// Wraps exact summaries.
     pub fn new(irs: &'a ExactIrs) -> Self {
         ExactOracle { irs }
+    }
+}
+
+impl HeapBytes for ExactOracle<'_> {
+    /// The bytes backing query answers — the borrowed summaries themselves
+    /// (the exact oracle owns no copy; this mirrors
+    /// [`ExactIrs::heap_bytes`]).
+    fn heap_bytes(&self) -> usize {
+        self.irs.heap_bytes()
     }
 }
 
@@ -221,6 +296,18 @@ impl ApproxOracle {
     /// Node count (inherent, codec-facing counterpart of the trait method).
     pub(crate) fn num_nodes_value(&self) -> usize {
         self.sketches.len()
+    }
+}
+
+impl HeapBytes for ApproxOracle {
+    /// Bytes owned by the collapsed per-node sketches (Table 4 accounting).
+    fn heap_bytes(&self) -> usize {
+        self.sketches.capacity() * std::mem::size_of::<HyperLogLog>()
+            + self
+                .sketches
+                .iter()
+                .map(HyperLogLog::heap_bytes)
+                .sum::<usize>()
     }
 }
 

@@ -18,6 +18,8 @@
 //! [`std::thread::scope`], so the module adds no dependencies and borrows
 //! (the oracle, the store) flow into workers without `Arc`.
 
+use crate::obs::{Counter, Hist, NoopRecorder, Recorder};
+
 /// Default worker count: the machine's available parallelism, falling back
 /// to 1 when it cannot be determined.
 pub fn default_threads() -> usize {
@@ -34,9 +36,30 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    map_indexed_recorded(n, threads, f, &NoopRecorder)
+}
+
+/// [`map_indexed`] with per-chunk instrumentation: each worker chunk bumps
+/// `par.chunks` and records its wall time into the `par.chunk_ns` histogram
+/// of `rec` — the per-thread balance view of the query-layer fan-out. The
+/// fan-out and output are byte-identical to the unrecorded path.
+pub fn map_indexed_recorded<T, F, R>(n: usize, threads: usize, f: F, rec: &R) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    R: Recorder,
+{
     let workers = threads.max(1).min(n);
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        let t0 = rec.span_start();
+        let out: Vec<T> = (0..n).map(f).collect();
+        if R::ENABLED {
+            rec.add(Counter::ParChunks, 1);
+            if let Some(ns) = t0.elapsed_ns() {
+                rec.record(Hist::ParChunkNs, ns);
+            }
+        }
+        return out;
     }
     let chunk = n.div_ceil(workers);
     let chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
@@ -45,7 +68,17 @@ where
             .map(|w| {
                 let lo = w * chunk;
                 let hi = ((w + 1) * chunk).min(n);
-                scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+                scope.spawn(move || {
+                    let t0 = rec.span_start();
+                    let out = (lo..hi).map(f).collect::<Vec<T>>();
+                    if R::ENABLED {
+                        rec.add(Counter::ParChunks, 1);
+                        if let Some(ns) = t0.elapsed_ns() {
+                            rec.record(Hist::ParChunkNs, ns);
+                        }
+                    }
+                    out
+                })
             })
             .collect();
         handles

@@ -46,7 +46,7 @@ impl ExactIrsStream {
     /// A builder with an empty node universe (it grows as ids appear).
     pub fn new(window: Window) -> Self {
         ExactIrsStream {
-            engine: ReversePassEngine::new(window, ExactStore::default()),
+            engine: ReversePassEngine::new(window, ExactStore::with_nodes(0)),
         }
     }
 

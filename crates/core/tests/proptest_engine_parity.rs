@@ -88,7 +88,7 @@ proptest! {
         );
         let window = Window(w);
         let batch = ExactIrs::compute(&net, window);
-        let mut engine = ReversePassEngine::new(window, ExactStore::default());
+        let mut engine = ReversePassEngine::new(window, ExactStore::with_nodes(0));
         for i in net.iter_reverse() {
             engine.push(*i).unwrap();
         }

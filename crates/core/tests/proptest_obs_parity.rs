@@ -1,0 +1,113 @@
+//! Observability-parity property tests: running the engine, oracles, and
+//! greedy selection with a live [`MetricsRecorder`] must produce results
+//! byte-identical to the default [`NoopRecorder`] path — instrumentation
+//! observes, it never steers. Sweeps run at 1/2/8 worker threads so the
+//! parallel chunking instrumentation is exercised too.
+
+use infprop_core::engine::{ExactStore, ReversePassEngine, VhllStore};
+use infprop_core::{
+    greedy_top_k_recorded, greedy_top_k_threads, ApproxIrs, ExactIrs, InfluenceOracle,
+    MetricsRecorder,
+};
+use infprop_temporal_graph::{InteractionNetwork, Window};
+use proptest::prelude::*;
+
+/// Tie-heavy networks: up to 12 nodes, up to 80 interactions, timestamps in
+/// `0..6`, so equal-timestamp batches dominate and every merge path runs.
+fn tie_heavy_networks() -> impl Strategy<Value = InteractionNetwork> {
+    prop::collection::vec((0u32..12, 0u32..12, 0i64..6), 0..80)
+        .prop_map(InteractionNetwork::from_triples)
+}
+
+proptest! {
+    /// Exact backend: recorded and noop runs yield identical summaries,
+    /// and the recorded run actually counted the work it saw.
+    #[test]
+    fn exact_recorded_matches_noop(net in tie_heavy_networks(), w in 1i64..12) {
+        let window = Window(w);
+        let plain = ExactIrs::compute(&net, window);
+        let rec = MetricsRecorder::new();
+        let recorded = ExactIrs::compute_recorded(&net, window, &rec);
+        for u in net.node_ids() {
+            prop_assert_eq!(recorded.summary(u), plain.summary(u));
+        }
+        let snap = rec.snapshot();
+        let interactions = snap
+            .counters
+            .iter()
+            .find(|(name, _)| name == "engine.interactions")
+            .map_or(0, |&(_, v)| v);
+        prop_assert_eq!(interactions, net.num_interactions() as u64);
+    }
+
+    /// vHLL backend: recorded and noop runs yield identical sketches.
+    #[test]
+    fn vhll_recorded_matches_noop(net in tie_heavy_networks(), w in 1i64..12) {
+        let window = Window(w);
+        let precision = 6u8;
+        let plain = ApproxIrs::compute_with_precision(&net, window, precision);
+        let rec = MetricsRecorder::new();
+        let recorded = ApproxIrs::compute_with_precision_recorded(&net, window, precision, &rec);
+        for u in net.node_ids() {
+            prop_assert_eq!(recorded.sketch(u), plain.sketch(u));
+        }
+    }
+
+    /// Generic engine front-end: a recorded run over a recorded store is
+    /// entry-identical to the noop-store run.
+    #[test]
+    fn engine_recorded_store_parity(net in tie_heavy_networks(), w in 1i64..12) {
+        let window = Window(w);
+        let rec = MetricsRecorder::new();
+        let noop = ReversePassEngine::run(
+            &net,
+            window,
+            ExactStore::with_nodes(net.num_nodes()),
+        );
+        let live = ReversePassEngine::run_recorded(
+            &net,
+            window,
+            ExactStore::with_nodes_recorded(net.num_nodes(), &rec),
+            &rec,
+        );
+        prop_assert_eq!(live.summaries(), noop.summaries());
+
+        let noop_v = ReversePassEngine::run(
+            &net,
+            window,
+            VhllStore::with_nodes(6, net.num_nodes()),
+        );
+        let live_v = ReversePassEngine::run_recorded(
+            &net,
+            window,
+            VhllStore::with_nodes_recorded(6, net.num_nodes(), &rec),
+            &rec,
+        );
+        prop_assert_eq!(live_v.sketches(), noop_v.sketches());
+    }
+
+    /// Oracle sweeps and greedy selection: recorded vs noop, serial and
+    /// parallel (1/2/8 threads) all byte-identical.
+    #[test]
+    fn oracle_and_greedy_recorded_parity(net in tie_heavy_networks(), w in 1i64..12) {
+        let window = Window(w);
+        let irs = ExactIrs::compute(&net, window);
+        let oracle = irs.oracle();
+        let rec = MetricsRecorder::new();
+        let base = oracle.individuals(1);
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(oracle.individuals_recorded(threads, &rec), base.clone());
+        }
+        let k = 4usize;
+        let noop_picks = greedy_top_k_threads(&oracle, k, 2);
+        for threads in [1usize, 2, 8] {
+            let live_picks = greedy_top_k_recorded(&oracle, k, threads, &rec);
+            prop_assert_eq!(live_picks.len(), noop_picks.len());
+            for (a, b) in live_picks.iter().zip(noop_picks.iter()) {
+                prop_assert_eq!(a.node, b.node);
+                prop_assert_eq!(a.marginal.to_bits(), b.marginal.to_bits());
+                prop_assert_eq!(a.cumulative.to_bits(), b.cumulative.to_bits());
+            }
+        }
+    }
+}

@@ -40,5 +40,6 @@ mod vhll;
 pub use hyperloglog::HyperLogLog;
 pub use serialize::{CodecError, FORMAT_VERSION};
 pub use vhll::{
-    check_entries, EntryError, SketchInvariantError, VersionEntry, VersionList, VersionedHll,
+    check_entries, EntryError, MergeObserver, NoopMergeObserver, SketchInvariantError,
+    VersionEntry, VersionList, VersionedHll,
 };

@@ -145,6 +145,60 @@ pub fn check_entries(entries: &[VersionEntry], max_rho: u8) -> Result<(), EntryE
     Ok(())
 }
 
+/// Hooks into the vHLL merge internals, for observability layers living
+/// above this crate (the dependency arrow points core → hll, so core's
+/// `Recorder` cannot be named here; instead core adapts it to this minimal
+/// trait).
+///
+/// All methods take `&mut self` — a merge has exclusive access to its
+/// observer — and a no-op implementation ([`NoopMergeObserver`]) must
+/// monomorphize to nothing. Any work needed only to *compute* an observed
+/// quantity (bitmap popcounts, before/after spill checks) is gated on
+/// [`MergeObserver::ENABLED`], so the unobserved path pays zero cost.
+pub trait MergeObserver {
+    /// `true` iff the observer records anything; gates metric computation.
+    const ENABLED: bool;
+
+    /// Occupied source cells walked by one merge.
+    fn cells_visited(&mut self, n: u64);
+
+    /// Registers skipped by one merge thanks to the occupancy bitmap
+    /// (`β` minus the source's populated cells).
+    fn cells_skipped(&mut self, n: u64);
+
+    /// Version entries read across both chains of the merged cells.
+    fn entries_scanned(&mut self, n: u64);
+
+    /// Version entries dropped by dominance during the linear merge.
+    fn entries_pruned(&mut self, n: u64);
+
+    /// Destination version lists that spilled inline→heap during the merge.
+    fn spills(&mut self, n: u64);
+}
+
+/// The do-nothing [`MergeObserver`]: compiles away entirely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopMergeObserver;
+
+impl MergeObserver for NoopMergeObserver {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn cells_visited(&mut self, _n: u64) {}
+
+    #[inline(always)]
+    fn cells_skipped(&mut self, _n: u64) {}
+
+    #[inline(always)]
+    fn entries_scanned(&mut self, _n: u64) {}
+
+    #[inline(always)]
+    fn entries_pruned(&mut self, _n: u64) {}
+
+    #[inline(always)]
+    fn spills(&mut self, _n: u64) {}
+}
+
 /// One `(ρ, time)` version pair in a register's list.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct VersionEntry {
@@ -455,6 +509,24 @@ impl VersionedHll {
         window: i64,
         scratch: &mut Vec<VersionEntry>,
     ) {
+        self.merge_from_observed(other, anchor, window, scratch, &mut NoopMergeObserver);
+    }
+
+    /// [`merge_from_with`](Self::merge_from_with) reporting its internals to
+    /// a [`MergeObserver`]. With [`NoopMergeObserver`] this monomorphizes to
+    /// exactly the unobserved merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on precision mismatch.
+    pub fn merge_from_observed<O: MergeObserver>(
+        &mut self,
+        other: &VersionedHll,
+        anchor: i64,
+        window: i64,
+        scratch: &mut Vec<VersionEntry>,
+        obs: &mut O,
+    ) {
         assert_eq!(
             self.precision, other.precision,
             "cannot merge vHLL sketches of different precision"
@@ -463,6 +535,16 @@ impl VersionedHll {
         let VersionedHll {
             cells, occupied, ..
         } = self;
+        if O::ENABLED {
+            let populated: u64 = other
+                .occupied
+                .iter()
+                .map(|w| u64::from(w.count_ones()))
+                .sum();
+            let total = u64::try_from(other.cells.len()).unwrap_or(u64::MAX);
+            obs.cells_visited(populated);
+            obs.cells_skipped(total.saturating_sub(populated));
+        }
         // Walk only `other`'s occupied cells: a sketch populates one cell per
         // distinct hash prefix observed, so most of the β cells are empty and
         // never need to be touched.
@@ -482,6 +564,12 @@ impl VersionedHll {
                 let a = mine.as_slice();
                 if a.is_empty() {
                     // b is already a valid dominance chain: copy it wholesale.
+                    if O::ENABLED {
+                        obs.entries_scanned(u64::try_from(b.len()).unwrap_or(u64::MAX));
+                        if b.len() > VersionList::INLINE_CAP {
+                            obs.spills(1);
+                        }
+                    }
                     mine.replace_from(b);
                     Self::mark_occupied(occupied, idx);
                     continue;
@@ -509,7 +597,18 @@ impl VersionedHll {
                         scratch.push(e);
                     }
                 }
+                if O::ENABLED {
+                    let scanned = a.len() + b.len();
+                    obs.entries_scanned(u64::try_from(scanned).unwrap_or(u64::MAX));
+                    let pruned = scanned.saturating_sub(scratch.len());
+                    if pruned > 0 {
+                        obs.entries_pruned(u64::try_from(pruned).unwrap_or(u64::MAX));
+                    }
+                }
                 if scratch.as_slice() != a {
+                    if O::ENABLED && !mine.is_spilled() && scratch.len() > VersionList::INLINE_CAP {
+                        obs.spills(1);
+                    }
                     mine.replace_from(scratch);
                 }
             }

@@ -16,7 +16,7 @@ Commands:
                         `path:line: [rule] message` diagnostic per finding.
 
 Rules: no-panic, no-lossy-cast, no-default-hashmap, pub-docs,
-       forbid-unsafe, no-print.
+       forbid-unsafe, no-print, no-raw-timing.
 Waive a finding inline with `// xtask-allow: <rule>[, <rule>…]` on the
 offending line or the line before.";
 

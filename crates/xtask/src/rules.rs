@@ -38,6 +38,10 @@ pub enum Rule {
     /// No `println!`-family output in library crates; printing is the CLI's
     /// job, libraries return data.
     NoPrint,
+    /// No raw `std::time::Instant` / `SystemTime` in library code: timing
+    /// belongs to the `infprop_core::obs` recorder (span timers), bench
+    /// code, or tests, so the hot paths stay clock-free by construction.
+    NoRawTiming,
 }
 
 impl Rule {
@@ -50,6 +54,7 @@ impl Rule {
             Rule::PubDocs => "pub-docs",
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::NoPrint => "no-print",
+            Rule::NoRawTiming => "no-raw-timing",
         }
     }
 
@@ -62,12 +67,13 @@ impl Rule {
             "pub-docs" => Some(Rule::PubDocs),
             "forbid-unsafe" => Some(Rule::ForbidUnsafe),
             "no-print" => Some(Rule::NoPrint),
+            "no-raw-timing" => Some(Rule::NoRawTiming),
             _ => None,
         }
     }
 
     /// All rules, for iteration.
-    pub fn all() -> [Rule; 6] {
+    pub fn all() -> [Rule; 7] {
         [
             Rule::NoPanic,
             Rule::NoLossyCast,
@@ -75,6 +81,7 @@ impl Rule {
             Rule::PubDocs,
             Rule::ForbidUnsafe,
             Rule::NoPrint,
+            Rule::NoRawTiming,
         ]
     }
 }
@@ -226,6 +233,21 @@ pub fn lint_file(ctx: &FileContext, source: &str) -> Vec<Violation> {
                 tok.line,
                 format!(
                     "`{}!` in library code; return data and let the CLI print",
+                    tok.text
+                ),
+            );
+        }
+
+        if ctx.rules.contains(&Rule::NoRawTiming)
+            && (tok.is_ident("Instant") || tok.is_ident("SystemTime"))
+        {
+            report(
+                Rule::NoRawTiming,
+                tok.line,
+                format!(
+                    "raw `{}` in library code; route timing through the \
+                     `infprop_core::obs` span recorder (or allow with \
+                     `// xtask-allow: no-raw-timing` and a justification)",
                     tok.text
                 ),
             );
@@ -596,6 +618,26 @@ mod tests {
         // Non-root files do not need the attribute.
         let v = lint_file(&ctx(vec![Rule::ForbidUnsafe], false), without);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn raw_timing_flagged() {
+        let src = "use std::time::Instant;\nfn f() { let t = SystemTime::now(); }";
+        assert_eq!(
+            fired(src, vec![Rule::NoRawTiming]),
+            [(Rule::NoRawTiming, 1), (Rule::NoRawTiming, 2)]
+        );
+    }
+
+    #[test]
+    fn raw_timing_waivable_and_test_exempt() {
+        let waived = "// xtask-allow: no-raw-timing (bench harness)\nlet t0 = Instant::now();";
+        assert!(fired(waived, vec![Rule::NoRawTiming]).is_empty());
+        let test_code = "#[cfg(test)]\nmod tests { fn t() { let _ = Instant::now(); } }";
+        assert!(fired(test_code, vec![Rule::NoRawTiming]).is_empty());
+        // Mentions in comments and strings never fire.
+        let prose = "// Instant is banned here\nfn f() { let s = \"SystemTime\"; }";
+        assert!(fired(prose, vec![Rule::NoRawTiming]).is_empty());
     }
 
     #[test]

@@ -14,7 +14,8 @@ use std::path::{Path, PathBuf};
 /// Which rules apply to a crate, keyed by its directory name under
 /// `crates/` (the facade package at the workspace root is `"infprop"`).
 ///
-/// * `xtask` and `bench` are tooling: only the `forbid-unsafe` floor.
+/// * `xtask` and `bench` are tooling: only the `forbid-unsafe` floor (bench
+///   code times things with `Instant` by design, so no `no-raw-timing`).
 /// * `cli` is a consumer binary: panics are still banned (it must render
 ///   `GraphError` nicely), but it prints by design and binary crates have no
 ///   public API surface to document.
@@ -24,10 +25,14 @@ use std::path::{Path, PathBuf};
 ///   lossy-cast rule applies there too.
 /// * Remaining library crates (`datasets`, `diffusion`, `baselines`, the
 ///   facade) get the portable rules.
+///
+/// All non-tooling crates get `no-raw-timing`: clocks live behind the
+/// `infprop_core::obs` recorder, whose own implementation file (`obs.rs`)
+/// is the one sanctioned call site (see [`collect_crate`]).
 pub fn rules_for_crate(crate_dir: &str) -> Vec<Rule> {
     match crate_dir {
         "xtask" | "bench" => vec![Rule::ForbidUnsafe],
-        "cli" => vec![Rule::NoPanic, Rule::ForbidUnsafe],
+        "cli" => vec![Rule::NoPanic, Rule::ForbidUnsafe, Rule::NoRawTiming],
         "core" | "hll" => vec![
             Rule::NoPanic,
             Rule::NoLossyCast,
@@ -35,6 +40,7 @@ pub fn rules_for_crate(crate_dir: &str) -> Vec<Rule> {
             Rule::PubDocs,
             Rule::ForbidUnsafe,
             Rule::NoPrint,
+            Rule::NoRawTiming,
         ],
         "temporal-graph" => vec![
             Rule::NoPanic,
@@ -42,12 +48,14 @@ pub fn rules_for_crate(crate_dir: &str) -> Vec<Rule> {
             Rule::PubDocs,
             Rule::ForbidUnsafe,
             Rule::NoPrint,
+            Rule::NoRawTiming,
         ],
         _ => vec![
             Rule::NoPanic,
             Rule::PubDocs,
             Rule::ForbidUnsafe,
             Rule::NoPrint,
+            Rule::NoRawTiming,
         ],
     }
 }
@@ -121,12 +129,19 @@ fn collect_crate(
                     .file_name()
                     .is_some_and(|n| n == "lib.rs" || n == "main.rs")
                     && path.parent() == Some(src);
+                // The observability module is where clocks are implemented;
+                // it is the one library file allowed raw `Instant`.
+                let is_obs = crate_dir == "core" && path.file_name().is_some_and(|n| n == "obs.rs");
+                let mut rules = rules.clone();
+                if is_obs {
+                    rules.retain(|r| *r != Rule::NoRawTiming);
+                }
                 let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
                 out.push(SourceFile {
                     abs_path: path.clone(),
                     ctx: FileContext {
                         path: rel,
-                        rules: rules.clone(),
+                        rules,
                         is_crate_root,
                     },
                 });

@@ -68,7 +68,8 @@ pub mod prelude {
     };
     pub use infprop_core::{
         find_channel, greedy_top_k, ApproxIrs, ApproxIrsStream, Channel, ExactIrs, ExactIrsStream,
-        InfluenceOracle, ReversePassEngine, SummaryStore,
+        HeapBytes, InfluenceOracle, MetricsRecorder, MetricsSnapshot, NoopRecorder, Recorder,
+        ReversePassEngine, SummaryStore,
     };
     pub use infprop_datasets::{profiles, toy};
     pub use infprop_diffusion::{tcic_spread, tclt_spread, LtWeights, TcicConfig};
