@@ -59,7 +59,7 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["exact", "help", "metrics"];
+const BOOLEAN_FLAGS: &[&str] = &["exact", "frozen", "help", "metrics"];
 
 /// Splits raw arguments (without the program name) into a [`ParsedArgs`].
 pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
@@ -190,8 +190,17 @@ mod tests {
 
     #[test]
     fn boolean_flags_take_no_value() {
-        let p = parse(&args(&["irs", "net.txt", "--exact", "--window-pct", "5"])).unwrap();
+        let p = parse(&args(&[
+            "irs",
+            "net.txt",
+            "--exact",
+            "--frozen",
+            "--window-pct",
+            "5",
+        ]))
+        .unwrap();
         assert!(p.boolean("exact"));
+        assert!(p.boolean("frozen"));
         assert_eq!(p.required("window-pct").unwrap(), "5");
         assert_eq!(p.positional, vec!["net.txt"]);
     }

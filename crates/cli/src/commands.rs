@@ -9,7 +9,8 @@ use infprop_baselines::{
 use infprop_core::obs::{metric_u64, Counter, Gauge, Span};
 use infprop_core::{
     find_channel, greedy_top_k_recorded, greedy_top_k_threads, ApproxIrs, ApproxOracle, ExactIrs,
-    HeapBytes, InfluenceOracle, MetricsRecorder, Recorder, DEFAULT_PRECISION,
+    FrozenApproxOracle, FrozenExactOracle, HeapBytes, InfluenceOracle, MetricsRecorder, Recorder,
+    DEFAULT_PRECISION,
 };
 use infprop_datasets::profiles;
 use infprop_diffusion::{tcic_spread, tclt_spread, LtWeights, TcicConfig};
@@ -164,9 +165,14 @@ pub fn irs(args: &ParsedArgs) -> CmdResult {
 /// `infprop topk <file> --k K --window-pct P [--method M] [--seed S]
 ///  [--metrics] [--metrics-out PATH]`
 ///
+/// The `irs`/`irs-exact` methods freeze the finished summaries into a
+/// contiguous arena ([`FrozenExactOracle`]/[`FrozenApproxOracle`]) before
+/// the greedy selection — bit-identical picks, contiguous query path.
+///
 /// With `--metrics`, the `irs`/`irs-exact` methods run the IRS build and
-/// the greedy selection against a live recorder; baseline methods still
-/// emit a snapshot, but only the sections they exercise are nonzero.
+/// the greedy selection against a live recorder (including the
+/// `frozen.bytes` gauge); baseline methods still emit a snapshot, but only
+/// the sections they exercise are nonzero.
 pub fn topk(args: &ParsedArgs) -> CmdResult {
     let path = args.one_positional("expected exactly one input path")?;
     let loaded = load(path)?;
@@ -187,11 +193,11 @@ pub fn topk(args: &ParsedArgs) -> CmdResult {
                         DEFAULT_PRECISION,
                         rec,
                     );
-                    let oracle = irs.oracle();
+                    let oracle = irs.freeze_recorded(rec);
                     rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
                     greedy_top_k_recorded(&oracle, k, threads, rec)
                 }
-                None => greedy_top_k_threads(&ApproxIrs::compute(net, window).oracle(), k, threads),
+                None => greedy_top_k_threads(&ApproxIrs::compute(net, window).freeze(), k, threads),
             };
             picks.into_iter().map(|s| s.node).collect()
         }
@@ -199,11 +205,11 @@ pub fn topk(args: &ParsedArgs) -> CmdResult {
             let picks = match &recorder {
                 Some(rec) => {
                     let irs = ExactIrs::compute_recorded(net, window, rec);
-                    let oracle = irs.oracle();
+                    let oracle = irs.freeze_recorded(rec);
                     rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
                     greedy_top_k_recorded(&oracle, k, threads, rec)
                 }
-                None => greedy_top_k_threads(&ExactIrs::compute(net, window).oracle(), k, threads),
+                None => greedy_top_k_threads(&ExactIrs::compute(net, window).freeze(), k, threads),
             };
             picks.into_iter().map(|s| s.node).collect()
         }
@@ -249,9 +255,10 @@ pub fn topk(args: &ParsedArgs) -> CmdResult {
 ///  [--model tcic|tclt] [--seed S] [--metrics] [--metrics-out PATH]`
 ///
 /// With `--metrics`, the Monte-Carlo spread is timed under `sim.run`, an
-/// approximate IRS oracle is built with a live recorder, and the oracle's
-/// `Inf(S)` estimate is printed next to the simulated spread so the two
-/// can be compared from one invocation.
+/// approximate IRS is built with a live recorder and frozen into a
+/// [`FrozenApproxOracle`] arena, and the oracle's `Inf(S)` estimate is
+/// printed next to the simulated spread so the two can be compared from
+/// one invocation.
 pub fn simulate(args: &ParsedArgs) -> CmdResult {
     let path = args.one_positional("expected exactly one input path")?;
     let loaded = load(path)?;
@@ -306,7 +313,7 @@ pub fn simulate(args: &ParsedArgs) -> CmdResult {
         }
         rec.add(Counter::SimRuns, metric_u64(runs));
         let irs = ApproxIrs::compute_with_precision_recorded(net, window, DEFAULT_PRECISION, rec);
-        let oracle = irs.oracle();
+        let oracle = irs.freeze_recorded(rec);
         rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
         let estimate = oracle.influence_recorded(&seeds, rec);
         println!("irs oracle estimate Inf(S) = {estimate:.1}");
@@ -371,14 +378,18 @@ pub fn generate(args: &ParsedArgs) -> CmdResult {
 }
 
 /// `infprop build <file> --window-pct P --out oracle.bin
-///  [--beta B | --exact] [--metrics] [--metrics-out PATH]`
+///  [--beta B | --exact] [--frozen] [--metrics] [--metrics-out PATH]`
 ///
 /// (Also reachable under its historical name `oracle-build`.)
+///
+/// With `--frozen`, the finished summaries are frozen into a contiguous
+/// arena and written in the flat `IPFE` (exact) / `IPFA` (sketch) format,
+/// which `oracle-query` loads with bulk reads and no per-node allocation.
 ///
 /// With `--metrics`, the IRS build runs against a live recorder and — after
 /// the oracle is written — one recorded individual-influence sweep probes
 /// the oracle, so the snapshot carries nonzero `engine.*`, store, and
-/// `oracle.*` sections.
+/// `oracle.*` sections (plus `frozen.bytes` under `--frozen`).
 pub fn oracle_build(args: &ParsedArgs) -> CmdResult {
     let path = args.one_positional("expected exactly one input path")?;
     let loaded = load(path)?;
@@ -386,6 +397,7 @@ pub fn oracle_build(args: &ParsedArgs) -> CmdResult {
     let window = window_of(args, net)?;
     let out = args.required("out")?;
     let threads = threads_of(args)?;
+    let frozen = args.boolean("frozen");
     let recorder = metrics_requested(args).then(MetricsRecorder::new);
     let mut w = BufWriter::new(File::create(out)?);
     if args.boolean("exact") {
@@ -393,17 +405,35 @@ pub fn oracle_build(args: &ParsedArgs) -> CmdResult {
             Some(rec) => ExactIrs::compute_recorded(net, window, rec),
             None => ExactIrs::compute(net, window),
         };
-        irs.write_to(&mut w)?;
-        println!(
-            "wrote {out}: exact summaries for {} nodes ({} entries), window = {}",
-            net.num_nodes(),
-            irs.total_entries(),
-            window.get()
-        );
-        if let Some(rec) = &recorder {
-            let oracle = irs.oracle();
-            rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
-            let _ = oracle.individuals_recorded(threads, rec);
+        if frozen {
+            let arena = match &recorder {
+                Some(rec) => irs.freeze_recorded(rec),
+                None => irs.freeze(),
+            };
+            arena.write_to(&mut w)?;
+            println!(
+                "wrote {out}: frozen exact arena for {} nodes ({} entries), window = {}",
+                net.num_nodes(),
+                arena.total_entries(),
+                window.get()
+            );
+            if let Some(rec) = &recorder {
+                rec.gauge(Gauge::OracleHeapBytes, metric_u64(arena.heap_bytes()));
+                let _ = arena.individuals_recorded(threads, rec);
+            }
+        } else {
+            irs.write_to(&mut w)?;
+            println!(
+                "wrote {out}: exact summaries for {} nodes ({} entries), window = {}",
+                net.num_nodes(),
+                irs.total_entries(),
+                window.get()
+            );
+            if let Some(rec) = &recorder {
+                let oracle = irs.oracle();
+                rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
+                let _ = oracle.individuals_recorded(threads, rec);
+            }
         }
     } else {
         let beta: usize = args.parse_or("beta", 512, "a power of two in [16, 65536]")?;
@@ -412,16 +442,33 @@ pub fn oracle_build(args: &ParsedArgs) -> CmdResult {
             Some(rec) => ApproxIrs::compute_with_precision_recorded(net, window, precision, rec),
             None => ApproxIrs::compute_with_precision(net, window, precision),
         };
-        let oracle = irs.oracle();
-        oracle.write_to(&mut w)?;
-        println!(
-            "wrote {out}: {} node sketches, beta = {beta}, window = {}",
-            net.num_nodes(),
-            window.get()
-        );
-        if let Some(rec) = &recorder {
-            rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
-            let _ = oracle.individuals_recorded(threads, rec);
+        if frozen {
+            let arena = match &recorder {
+                Some(rec) => irs.freeze_recorded(rec),
+                None => irs.freeze(),
+            };
+            arena.write_to(&mut w)?;
+            println!(
+                "wrote {out}: frozen register arena for {} nodes, beta = {beta}, window = {}",
+                net.num_nodes(),
+                window.get()
+            );
+            if let Some(rec) = &recorder {
+                rec.gauge(Gauge::OracleHeapBytes, metric_u64(arena.heap_bytes()));
+                let _ = arena.individuals_recorded(threads, rec);
+            }
+        } else {
+            let oracle = irs.oracle();
+            oracle.write_to(&mut w)?;
+            println!(
+                "wrote {out}: {} node sketches, beta = {beta}, window = {}",
+                net.num_nodes(),
+                window.get()
+            );
+            if let Some(rec) = &recorder {
+                rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
+                let _ = oracle.individuals_recorded(threads, rec);
+            }
         }
     }
     if let Some(rec) = &recorder {
@@ -432,8 +479,9 @@ pub fn oracle_build(args: &ParsedArgs) -> CmdResult {
 
 /// `infprop oracle-query <oracle-file> --seeds a,b,c`
 ///
-/// Detects the on-disk format by magic: `IPAO` sketch oracles and `IPEI`
-/// exact summaries are both accepted.
+/// Detects the on-disk format by magic: `IPAO` sketch oracles, `IPEI`
+/// exact summaries, and the frozen arenas `IPFE` / `IPFA` are all
+/// accepted.
 pub fn oracle_query(args: &ParsedArgs) -> CmdResult {
     let path = args.one_positional("expected exactly one oracle path")?;
     let ids = args.node_list("seeds")?;
@@ -463,6 +511,18 @@ pub fn oracle_query(args: &ParsedArgs) -> CmdResult {
             check_seeds(irs.num_nodes())?;
             irs.oracle().influence(&seeds)
         }
+        b"IPFE" => {
+            let mut r = BufReader::new(File::open(path)?);
+            let arena = FrozenExactOracle::read_from(&mut r)?;
+            check_seeds(arena.num_nodes())?;
+            arena.influence(&seeds)
+        }
+        b"IPFA" => {
+            let mut r = BufReader::new(File::open(path)?);
+            let arena = FrozenApproxOracle::read_from(&mut r)?;
+            check_seeds(arena.num_nodes())?;
+            arena.influence(&seeds)
+        }
         _ => {
             let mut r = BufReader::new(File::open(path)?);
             let oracle = ApproxOracle::read_from(&mut r)?;
@@ -491,7 +551,7 @@ USAGE:
   infprop generate --profile enron|lkml|facebook|higgs|slashdot|us2016
                  --scale S --out FILE [--seed N]
   infprop build <file> (--window-pct P | --window W) --out FILE [--beta B | --exact]
-                 [--metrics] [--metrics-out FILE]   (alias: oracle-build)
+                 [--frozen] [--metrics] [--metrics-out FILE]   (alias: oracle-build)
   infprop oracle-query <oracle-file> --seeds a,b,c
 
 Input files are SNAP-style edge lists: `src dst time` per line, `#` comments.

@@ -157,6 +157,23 @@ impl ApproxIrs {
         crate::ApproxOracle::new(self)
     }
 
+    /// Freezes the sketches into a flat register arena with precomputed
+    /// per-node estimates
+    /// ([`FrozenApproxOracle`](crate::FrozenApproxOracle)). The collapse is
+    /// the same per-cell-maxima projection as [`oracle`](Self::oracle), so
+    /// every query answer is bit-identical to the live oracle.
+    pub fn freeze(&self) -> crate::FrozenApproxOracle {
+        crate::FrozenApproxOracle::from_vhll(self.precision, &self.sketches)
+    }
+
+    /// [`freeze`](Self::freeze), publishing the arena size to the
+    /// `frozen.bytes` gauge of `rec`.
+    pub fn freeze_recorded<R: crate::Recorder>(&self, rec: &R) -> crate::FrozenApproxOracle {
+        let frozen = self.freeze();
+        crate::frozen::record_frozen_bytes(&frozen, rec);
+        frozen
+    }
+
     /// Checks the dominance-chain invariant of every sketch (register lists
     /// sorted by strictly increasing time *and* ρ, with ρ in range) — the
     /// on-demand entry point of the [`invariants`](crate::invariants)

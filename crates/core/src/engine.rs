@@ -399,6 +399,14 @@ impl<R: Recorder> ExactStore<R> {
     pub fn summaries(&self) -> &[ExactSummary] {
         &self.summaries
     }
+
+    /// Freezes the store's summaries into a contiguous CSR arena
+    /// ([`crate::FrozenExactOracle`]) for the read-only query phase. The
+    /// store itself is untouched (freezing copies), so a streaming build
+    /// can keep extending it.
+    pub fn freeze(&self, window: Window) -> crate::FrozenExactOracle {
+        crate::FrozenExactOracle::from_summaries(window, &self.summaries)
+    }
 }
 
 impl<R: Recorder> HeapBytes for ExactStore<R> {
@@ -575,6 +583,14 @@ impl<R: Recorder> VhllStore<R> {
     /// Shared view of the per-node sketches.
     pub fn sketches(&self) -> &[VersionedHll] {
         &self.sketches
+    }
+
+    /// Freezes the store's sketches into a flat register arena with
+    /// precomputed per-node estimates ([`crate::FrozenApproxOracle`]) for
+    /// the read-only query phase. The store itself is untouched (freezing
+    /// collapses into a copy), so a streaming build can keep extending it.
+    pub fn freeze(&self) -> crate::FrozenApproxOracle {
+        crate::FrozenApproxOracle::from_vhll(self.precision, &self.sketches)
     }
 }
 

@@ -171,6 +171,22 @@ impl ExactIrs {
         crate::ExactOracle::new(self)
     }
 
+    /// Freezes the summaries into a contiguous CSR arena
+    /// ([`FrozenExactOracle`](crate::FrozenExactOracle)) — the read-only
+    /// layout the query path prefers. Answers are bit-identical to
+    /// [`oracle`](Self::oracle).
+    pub fn freeze(&self) -> crate::FrozenExactOracle {
+        crate::FrozenExactOracle::from_summaries(self.window, &self.summaries)
+    }
+
+    /// [`freeze`](Self::freeze), publishing the arena size to the
+    /// `frozen.bytes` gauge of `rec`.
+    pub fn freeze_recorded<R: crate::Recorder>(&self, rec: &R) -> crate::FrozenExactOracle {
+        let frozen = self.freeze();
+        crate::frozen::record_frozen_bytes(&frozen, rec);
+        frozen
+    }
+
     /// Checks the structural invariants of every summary (no self-entries,
     /// end times inside the interaction range) — the on-demand entry point
     /// of the [`invariants`](crate::invariants) verification layer.

@@ -61,6 +61,17 @@ pub enum InvariantViolation {
         /// The node whose summary is out of order.
         node: NodeId,
     },
+    /// A frozen register arena holds a ρ value beyond the legal
+    /// `64 − k + 1` bound for its precision — impossible output of
+    /// `ApproxAdd`/`ApproxMerge`, and a silent estimate bias if accepted.
+    RegisterOutOfRange {
+        /// The node whose register slot is corrupt.
+        node: NodeId,
+        /// The offending register value.
+        rho: u8,
+        /// The largest legal ρ for the arena's precision.
+        max_rho: u8,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -84,6 +95,12 @@ impl fmt::Display for InvariantViolation {
                 write!(
                     f,
                     "summary of {node} is not sorted by strictly increasing node id"
+                )
+            }
+            InvariantViolation::RegisterOutOfRange { node, rho, max_rho } => {
+                write!(
+                    f,
+                    "frozen registers of {node} hold ρ = {rho} beyond the legal maximum {max_rho}"
                 )
             }
         }

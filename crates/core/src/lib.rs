@@ -79,6 +79,7 @@ mod brute;
 mod channel;
 pub mod engine;
 mod exact;
+mod frozen;
 pub mod invariants;
 mod maximize;
 pub mod obs;
@@ -105,6 +106,7 @@ pub use engine::{
     ExactStore, ExactSummary, OutOfOrder, ReversePassEngine, SummaryStore, VhllStore,
 };
 pub use exact::ExactIrs;
+pub use frozen::{FrozenApproxOracle, FrozenExactOracle};
 pub use invariants::{validate_all, InvariantViolation};
 pub use maximize::{
     greedy_top_k, greedy_top_k_paper, greedy_top_k_paper_threads, greedy_top_k_recorded,

@@ -84,13 +84,16 @@ pub enum Counter {
     GreedyLazyRefreshes,
     /// Chunks dispatched by the deterministic parallel layer.
     ParChunks,
+    /// Chunks served by an already-initialized per-worker scratch buffer
+    /// (chunks processed minus scratches created by the fan-out).
+    ParScratchReuse,
     /// Monte-Carlo simulation runs executed.
     SimRuns,
 }
 
 impl Counter {
     /// Every counter, in stable catalogue (serialization) order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 20] = [
         Counter::EngineInteractions,
         Counter::EngineTieBatches,
         Counter::EngineOutOfOrderRejects,
@@ -109,6 +112,7 @@ impl Counter {
         Counter::GreedyRounds,
         Counter::GreedyLazyRefreshes,
         Counter::ParChunks,
+        Counter::ParScratchReuse,
         Counter::SimRuns,
     ];
 
@@ -133,6 +137,7 @@ impl Counter {
             Counter::GreedyRounds => "greedy.rounds",
             Counter::GreedyLazyRefreshes => "greedy.lazy_refreshes",
             Counter::ParChunks => "par.chunks",
+            Counter::ParScratchReuse => "par.scratch_reuse",
             Counter::SimRuns => "sim.runs",
         }
     }
@@ -154,15 +159,19 @@ pub enum Gauge {
     StoreEntries,
     /// Heap bytes owned by the influence oracle.
     OracleHeapBytes,
+    /// Heap bytes owned by a frozen oracle arena (offsets + flat entries or
+    /// registers), set when a store or IRS is frozen.
+    FrozenBytes,
 }
 
 impl Gauge {
     /// Every gauge, in stable catalogue (serialization) order.
-    pub const ALL: [Gauge; 4] = [
+    pub const ALL: [Gauge; 5] = [
         Gauge::StoreHeapBytes,
         Gauge::StoreNodes,
         Gauge::StoreEntries,
         Gauge::OracleHeapBytes,
+        Gauge::FrozenBytes,
     ];
 
     /// Stable dotted metric name.
@@ -172,6 +181,7 @@ impl Gauge {
             Gauge::StoreNodes => "store.nodes",
             Gauge::StoreEntries => "store.entries",
             Gauge::OracleHeapBytes => "oracle.heap_bytes",
+            Gauge::FrozenBytes => "frozen.bytes",
         }
     }
 

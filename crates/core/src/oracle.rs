@@ -44,6 +44,14 @@ pub trait InfluenceOracle {
     /// `|σω(node)|` — the individual influence of one node.
     fn individual(&self, node: NodeId) -> f64;
 
+    /// Resets an accumulator to empty, reusing its storage where the
+    /// representation allows (bitset words, sketch registers). Semantically
+    /// identical to `*union = self.empty_union()` — the default — but the
+    /// override lets batch paths recycle one buffer across many queries.
+    fn reset_union(&self, union: &mut Self::Union) {
+        *union = self.empty_union();
+    }
+
     /// `Inf(S) = |⋃_{u∈S} σω(u)|` for an arbitrary seed set.
     fn influence(&self, seeds: &[NodeId]) -> f64 {
         let mut u = self.empty_union();
@@ -51,6 +59,20 @@ pub trait InfluenceOracle {
             self.absorb(&mut u, s);
         }
         self.union_size(&u)
+    }
+
+    /// [`influence`](Self::influence) into a caller-provided accumulator:
+    /// resets `union`, absorbs every seed, and returns the union size. The
+    /// answer never depends on the accumulator's prior contents — the
+    /// determinism requirement of the per-worker scratch fan-out
+    /// ([`crate::par::map_indexed_with`]) that
+    /// [`influence_many`](Self::influence_many) rides on.
+    fn influence_into(&self, seeds: &[NodeId], union: &mut Self::Union) -> f64 {
+        self.reset_union(union);
+        for &s in seeds {
+            self.absorb(union, s);
+        }
+        self.union_size(union)
     }
 
     /// [`individual`](Self::individual) for every node in the universe,
@@ -66,14 +88,21 @@ pub trait InfluenceOracle {
     }
 
     /// [`influence`](Self::influence) for a batch of seed sets, fanned out
-    /// over up to `threads` scoped workers. Each query builds its own
-    /// accumulator, so answers are byte-identical to querying serially, in
-    /// input order, at any thread count.
+    /// over up to `threads` scoped workers. Each *worker* allocates one
+    /// accumulator and reuses it across its queries via
+    /// [`influence_into`](Self::influence_into) — `O(workers)` allocations
+    /// per batch instead of `O(queries)`. Answers are byte-identical to
+    /// querying serially, in input order, at any thread count.
     fn influence_many(&self, seed_sets: &[Vec<NodeId>], threads: usize) -> Vec<f64>
     where
         Self: Sync,
     {
-        crate::par::map_indexed(seed_sets.len(), threads, |i| self.influence(&seed_sets[i]))
+        crate::par::map_indexed_with(
+            seed_sets.len(),
+            threads,
+            || self.empty_union(),
+            |union, i| self.influence_into(&seed_sets[i], union),
+        )
     }
 
     /// [`influence`](Self::influence) with instrumentation: bumps
@@ -125,10 +154,11 @@ pub trait InfluenceOracle {
         Self: Sync,
     {
         let t0 = rec.span_start();
-        let out = crate::par::map_indexed_recorded(
+        let out = crate::par::map_indexed_with_recorded(
             seed_sets.len(),
             threads,
-            |i| self.influence(&seed_sets[i]),
+            || self.empty_union(),
+            |union, i| self.influence_into(&seed_sets[i], union),
             rec,
         );
         if R::ENABLED {
@@ -160,8 +190,17 @@ impl NodeBitset {
         }
     }
 
+    /// Clears every bit in place, keeping the allocated words — the cheap
+    /// reset the per-worker scratch path relies on.
     #[inline]
-    fn insert(&mut self, i: usize) {
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.count = 0;
+    }
+
+    /// Marks node index `i` covered (crate-visible for the frozen arena).
+    #[inline]
+    pub(crate) fn insert(&mut self, i: usize) {
         let (w, mask) = (i / 64, 1u64 << (i % 64));
         if w >= self.words.len() {
             self.words.resize(w + 1, 0);
@@ -172,8 +211,10 @@ impl NodeBitset {
         }
     }
 
+    /// Whether node index `i` is covered (crate-visible for the frozen
+    /// arena).
     #[inline]
-    fn contains(&self, i: usize) -> bool {
+    pub(crate) fn contains(&self, i: usize) -> bool {
         self.words
             .get(i / 64)
             .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
@@ -245,6 +286,10 @@ impl InfluenceOracle for ExactOracle<'_> {
     fn individual(&self, node: NodeId) -> f64 {
         self.irs.irs_size(node) as f64
     }
+
+    fn reset_union(&self, union: &mut Self::Union) {
+        union.clear();
+    }
 }
 
 /// Approximate oracle: `O(β)` unions of collapsed HLL sketches.
@@ -297,6 +342,14 @@ impl ApproxOracle {
     pub(crate) fn num_nodes_value(&self) -> usize {
         self.sketches.len()
     }
+
+    /// Freezes the collapsed sketches into a flat register arena with
+    /// precomputed per-node estimates
+    /// ([`FrozenApproxOracle`](crate::FrozenApproxOracle)); answers are
+    /// bit-identical to this oracle's.
+    pub fn freeze(&self) -> crate::FrozenApproxOracle {
+        crate::FrozenApproxOracle::from_collapsed(self.precision, &self.sketches)
+    }
 }
 
 impl HeapBytes for ApproxOracle {
@@ -336,6 +389,14 @@ impl InfluenceOracle for ApproxOracle {
 
     fn individual(&self, node: NodeId) -> f64 {
         self.sketches[node.index()].estimate()
+    }
+
+    fn reset_union(&self, union: &mut Self::Union) {
+        if union.precision() == self.precision {
+            union.clear();
+        } else {
+            *union = self.empty_union();
+        }
     }
 }
 
@@ -472,6 +533,35 @@ mod tests {
     }
 
     #[test]
+    fn influence_into_is_history_free() {
+        let net = figure1a();
+        let exact = ExactIrs::compute(&net, Window(3));
+        let approx = crate::ApproxIrs::compute(&net, Window(3));
+        let eo = exact.oracle();
+        let ao = approx.oracle();
+        let sets: Vec<Vec<NodeId>> = vec![
+            vec![NodeId(0), NodeId(4)],
+            vec![NodeId(3)],
+            vec![],
+            vec![NodeId(1), NodeId(5)],
+        ];
+        // One dirty accumulator reused across queries must answer exactly
+        // like a fresh accumulator per query.
+        let mut eu = eo.empty_union();
+        let mut au = ao.empty_union();
+        for s in &sets {
+            assert_eq!(
+                eo.influence_into(s, &mut eu).to_bits(),
+                eo.influence(s).to_bits()
+            );
+            assert_eq!(
+                ao.influence_into(s, &mut au).to_bits(),
+                ao.influence(s).to_bits()
+            );
+        }
+    }
+
+    #[test]
     fn node_bitset_counts_distinct_insertions() {
         let mut b = NodeBitset::with_nodes(10);
         assert!(b.is_empty());
@@ -481,5 +571,7 @@ mod tests {
         assert_eq!(b.len(), 2);
         assert!(b.contains(3) && b.contains(200));
         assert!(!b.contains(4) && !b.contains(1000));
+        b.clear();
+        assert!(b.is_empty() && !b.contains(3) && !b.contains(200));
     }
 }

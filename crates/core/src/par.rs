@@ -4,21 +4,46 @@
 //! summary state through time), but everything after it — per-node
 //! `individual()` sweeps, batch oracle queries, invariant validation — is
 //! embarrassingly parallel over the node universe. This module provides the
-//! one fan-out primitive those call sites share, with a hard determinism
+//! fan-out primitives those call sites share, with a hard determinism
 //! contract:
 //!
 //! > For a pure `f`, `map_indexed(n, threads, f)` returns **byte-identical**
 //! > output at every thread count, including 1.
 //!
 //! The contract holds by construction: indices `0..n` are split into
-//! contiguous chunks, each worker maps its chunk in index order into its own
-//! buffer, and the buffers are concatenated in chunk order. No work queue,
-//! no atomics, no ordering races — the same deterministic chunked fan-out
-//! the Monte-Carlo simulator uses for its replicates. Threads come from
-//! [`std::thread::scope`], so the module adds no dependencies and borrows
-//! (the oracle, the store) flow into workers without `Arc`.
+//! contiguous chunks, each chunk is mapped in index order into its own
+//! buffer, and the buffers are concatenated in **chunk order** — so it does
+//! not matter which worker processed which chunk, or in what order. Workers
+//! pull chunks from a shared atomic cursor (work stealing without a queue),
+//! which keeps them balanced when per-index costs are skewed.
+//!
+//! Two further policies matter for performance:
+//!
+//! * **Per-worker scratch** ([`map_indexed_with`]): callers that need a
+//!   reusable buffer (an oracle union, a bitset) get one scratch value per
+//!   *worker*, not per index — the allocation that previously made the
+//!   batch-query path regress under threading is paid `O(workers)` times
+//!   instead of `O(n)`.
+//! * **Hardware clamp**: no matter how many workers a caller requests, at
+//!   most [`default_threads`] OS threads are spawned. Requesting 8 workers
+//!   on a 1-core container previously spawned 8 threads that time-sliced
+//!   one core (pure overhead — the negative scaling in the PR 3/4 bench
+//!   trajectory); now the same request runs inline with zero spawn cost and
+//!   identical output. Chunk *granularity* still follows the requested
+//!   worker count, so `par.chunks` reflects the requested fan-out and the
+//!   `par.chunk_ns` histogram exposes imbalance at any hardware width.
+//!
+//! Threads come from [`std::thread::scope`], so the module adds no
+//! dependencies and borrows (the oracle, the store) flow into workers
+//! without `Arc`.
 
 use crate::obs::{Counter, Hist, NoopRecorder, Recorder};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Chunks carved per requested worker: finer than one-chunk-per-worker so
+/// the atomic cursor can rebalance skewed per-index costs, coarse enough
+/// that per-chunk bookkeeping stays invisible.
+const CHUNKS_PER_WORKER: usize = 4;
 
 /// Default worker count: the machine's available parallelism, falling back
 /// to 1 when it cannot be determined.
@@ -26,11 +51,12 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// Maps `f` over `0..n`, fanning out across up to `threads` scoped workers
-/// in contiguous index chunks. Results come back in index order —
+/// Maps `f` over `0..n`, fanning out across up to `threads` workers in
+/// contiguous index chunks. Results come back in index order —
 /// byte-identical to `(0..n).map(f).collect()` at any thread count.
 ///
-/// `threads <= 1` (or tiny `n`) runs inline on the caller's thread.
+/// `threads <= 1` (or tiny `n`) runs inline on the caller's thread, and at
+/// most [`default_threads`] OS threads are spawned regardless of `threads`.
 pub fn map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -39,9 +65,9 @@ where
     map_indexed_recorded(n, threads, f, &NoopRecorder)
 }
 
-/// [`map_indexed`] with per-chunk instrumentation: each worker chunk bumps
-/// `par.chunks` and records its wall time into the `par.chunk_ns` histogram
-/// of `rec` — the per-thread balance view of the query-layer fan-out. The
+/// [`map_indexed`] with per-chunk instrumentation: each processed chunk
+/// bumps `par.chunks` and records its wall time into the `par.chunk_ns`
+/// histogram of `rec` — the balance view of the query-layer fan-out. The
 /// fan-out and output are byte-identical to the unrecorded path.
 pub fn map_indexed_recorded<T, F, R>(n: usize, threads: usize, f: F, rec: &R) -> Vec<T>
 where
@@ -49,10 +75,55 @@ where
     F: Fn(usize) -> T + Sync,
     R: Recorder,
 {
-    let workers = threads.max(1).min(n);
-    if workers <= 1 {
+    map_indexed_with_recorded(n, threads, || (), move |_: &mut (), i| f(i), rec)
+}
+
+/// Fold-style [`map_indexed`]: `init` builds one scratch value per worker,
+/// and `f(&mut scratch, i)` maps index `i` with that worker's scratch —
+/// the shape of every oracle batch query, where the scratch is a reusable
+/// union buffer that would otherwise be allocated per index.
+///
+/// # Determinism contract
+///
+/// The output is byte-identical to
+/// `{ let mut w = init(); (0..n).map(|i| f(&mut w, i)).collect() }` at any
+/// thread count **provided `f`'s result does not depend on scratch
+/// history** — i.e. `f` must (re)set whatever scratch state it reads, as
+/// [`InfluenceOracle::influence_into`](crate::InfluenceOracle::influence_into)
+/// does. Chunk results are concatenated in chunk order, so which worker ran
+/// which chunk never shows in the output.
+pub fn map_indexed_with<T, W, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> T + Sync,
+{
+    map_indexed_with_recorded(n, threads, init, f, &NoopRecorder)
+}
+
+/// [`map_indexed_with`] with per-chunk instrumentation: bumps `par.chunks`
+/// per processed chunk, records per-chunk wall time into `par.chunk_ns`,
+/// and counts `par.scratch_reuse` — chunks served by an already-initialized
+/// scratch (chunks processed minus scratches created). The fan-out and
+/// output are byte-identical to the unrecorded path.
+pub fn map_indexed_with_recorded<T, W, I, F, R>(
+    n: usize,
+    threads: usize,
+    init: I,
+    f: F,
+    rec: &R,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> T + Sync,
+    R: Recorder,
+{
+    let requested = threads.max(1).min(n);
+    if requested <= 1 {
         let t0 = rec.span_start();
-        let out: Vec<T> = (0..n).map(f).collect();
+        let mut scratch = init();
+        let out: Vec<T> = (0..n).map(|i| f(&mut scratch, i)).collect();
         if R::ENABLED {
             rec.add(Counter::ParChunks, 1);
             if let Some(ns) = t0.elapsed_ns() {
@@ -61,34 +132,68 @@ where
         }
         return out;
     }
-    let chunk = n.div_ceil(workers);
-    let chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(n);
-                scope.spawn(move || {
-                    let t0 = rec.span_start();
-                    let out = (lo..hi).map(f).collect::<Vec<T>>();
-                    if R::ENABLED {
-                        rec.add(Counter::ParChunks, 1);
-                        if let Some(ns) = t0.elapsed_ns() {
-                            rec.record(Hist::ParChunkNs, ns);
-                        }
-                    }
-                    out
+    // Granularity follows the *requested* fan-out (deterministic metrics at
+    // any hardware width); OS threads are clamped to the hardware.
+    let chunk_len = n.div_ceil((requested * CHUNKS_PER_WORKER).min(n));
+    let chunk_count = n.div_ceil(chunk_len);
+    let spawned = requested.min(default_threads()).min(chunk_count);
+    let cursor = AtomicUsize::new(0);
+
+    // One worker body, shared by the inline and spawned paths: pull chunks
+    // from the cursor until drained, reusing one scratch value throughout.
+    let run_worker = |out: &mut Vec<(usize, Vec<T>)>| {
+        let mut scratch = init();
+        let mut chunks_done = 0usize;
+        loop {
+            let c = cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= chunk_count {
+                break;
+            }
+            let lo = c * chunk_len;
+            let hi = (lo + chunk_len).min(n);
+            let t0 = rec.span_start();
+            out.push((c, (lo..hi).map(|i| f(&mut scratch, i)).collect()));
+            chunks_done += 1;
+            if R::ENABLED {
+                rec.add(Counter::ParChunks, 1);
+                if let Some(ns) = t0.elapsed_ns() {
+                    rec.record(Hist::ParChunkNs, ns);
+                }
+            }
+        }
+        if R::ENABLED && chunks_done > 1 {
+            rec.add(Counter::ParScratchReuse, (chunks_done - 1) as u64); // xtask-allow: no-lossy-cast (chunk count fits u64)
+        }
+    };
+
+    let mut tagged: Vec<(usize, Vec<T>)> = if spawned <= 1 {
+        let mut mine = Vec::with_capacity(chunk_count);
+        run_worker(&mut mine);
+        mine
+    } else {
+        std::thread::scope(|scope| {
+            let run_worker = &run_worker;
+            let handles: Vec<_> = (0..spawned)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        run_worker(&mut mine);
+                        mine
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel map worker panicked")) // xtask-allow: no-panic (re-raising a worker panic is the correct propagation)
-            .collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("parallel map worker panicked")) // xtask-allow: no-panic (re-raising a worker panic is the correct propagation)
+                .collect()
+        })
+    };
+    // Chunk indices from `fetch_add` are unique and cover 0..chunk_count, so
+    // sorting by chunk index restores exact index order.
+    tagged.sort_unstable_by_key(|&(c, _)| c);
     let mut out = Vec::with_capacity(n);
-    for mut c in chunks {
-        out.append(&mut c);
+    for (_, mut part) in tagged {
+        out.append(&mut part);
     }
     out
 }
@@ -96,13 +201,14 @@ where
 /// Runs `check` over `0..n` in contiguous chunks and returns the error of
 /// the **lowest failing index**, exactly as the serial loop would — workers
 /// past the first failure stop at their own chunk's first error, and the
-/// chunk results are inspected in index order.
+/// chunk results are inspected in index order. Spawned OS threads are
+/// clamped to [`default_threads`], like the map primitives.
 pub fn try_for_each_indexed<E, F>(n: usize, threads: usize, check: F) -> Result<(), E>
 where
     E: Send,
     F: Fn(usize) -> Result<(), E> + Sync,
 {
-    let workers = threads.max(1).min(n);
+    let workers = threads.max(1).min(n).min(default_threads());
     if workers <= 1 {
         return (0..n).try_for_each(check);
     }
@@ -127,6 +233,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::obs::MetricsRecorder;
 
     #[test]
     fn map_is_identical_across_thread_counts() {
@@ -142,6 +249,72 @@ mod tests {
         assert!(map_indexed(0, 4, |i| i).is_empty());
         assert_eq!(map_indexed(1, 4, |i| i), vec![0]);
         assert_eq!(map_indexed(3, 8, |i| i * 2), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn map_with_scratch_matches_serial_fold() {
+        // Scratch is a reusable buffer; f resets what it reads, so history
+        // must not show in the output at any thread count.
+        let serial: Vec<usize> = (0..500)
+            .map(|i| {
+                let mut buf = vec![0u8; 64];
+                buf[i % 64] = 1;
+                buf.iter().map(|&b| b as usize).sum::<usize>() + i
+            })
+            .collect();
+        for threads in [1, 2, 5, 16] {
+            let par = map_indexed_with(
+                500,
+                threads,
+                || vec![0u8; 64],
+                |buf, i| {
+                    buf.fill(0); // reset: result independent of scratch history
+                    buf[i % 64] = 1;
+                    buf.iter().map(|&b| b as usize).sum::<usize>() + i
+                },
+            );
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_created_per_worker_not_per_index() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let created = AtomicUsize::new(0);
+        let out = map_indexed_with(
+            1000,
+            4,
+            || {
+                created.fetch_add(1, Ordering::Relaxed);
+            },
+            |_, i| i,
+        );
+        assert_eq!(out.len(), 1000);
+        let made = created.load(Ordering::Relaxed);
+        // One scratch per participating worker — never one per index. (The
+        // exact count depends on the hardware clamp, hence the range.)
+        assert!((1..=4).contains(&made), "scratches created: {made}");
+    }
+
+    #[test]
+    fn recorded_chunk_counters_reflect_requested_fanout() {
+        let rec = MetricsRecorder::new();
+        let out = map_indexed_with_recorded(100, 2, || (), |_, i| i, &rec);
+        assert_eq!(out.len(), 100);
+        let snap = rec.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+        };
+        // 2 requested workers × CHUNKS_PER_WORKER chunks, independent of how
+        // many OS threads the hardware clamp admitted.
+        assert_eq!(counter("par.chunks"), Some(2 * 4));
+        // Every chunk beyond each worker's first reuses that worker's
+        // scratch: at least chunks − workers hits, at most chunks − 1.
+        let reuse = counter("par.scratch_reuse").unwrap_or(0);
+        assert!((4..=7).contains(&reuse), "scratch reuse: {reuse}");
     }
 
     #[test]

@@ -10,14 +10,21 @@
 //! * [`ApproxIrs`]: `"IPAI"` header + window + per-node versioned-HLL
 //!   blocks — the full sketch state, from which the oracle can be rebuilt
 //!   and per-node estimates queried.
+//! * [`FrozenExactOracle`]: `"IPFE"` header + the CSR arena verbatim
+//!   (offset array, then the flat entry array) — loads with two bulk reads
+//!   and **no per-node allocation**.
+//! * [`FrozenApproxOracle`]: `"IPFA"` header + the flat register arena
+//!   (`β` bytes per node) — one bulk read, per-node estimates recomputed
+//!   in a single pass on load.
 //!
 //! Formats are little-endian and validated on read (magic, version,
-//! precision, per-sketch invariants) via [`CodecError`].
+//! precision, per-sketch/per-summary invariants) via [`CodecError`].
 
 use crate::approx::ApproxIrs;
 use crate::engine::ExactSummary;
 use crate::exact::ExactIrs;
-use crate::oracle::ApproxOracle;
+use crate::frozen::{FrozenApproxOracle, FrozenExactOracle};
+use crate::oracle::{ApproxOracle, InfluenceOracle};
 use infprop_hll::{CodecError, HyperLogLog, VersionedHll, FORMAT_VERSION};
 use infprop_temporal_graph::{NodeId, Timestamp, Window};
 use std::io::{Read, Write};
@@ -25,6 +32,8 @@ use std::io::{Read, Write};
 const ORACLE_MAGIC: &[u8; 4] = b"IPAO";
 const IRS_MAGIC: &[u8; 4] = b"IPAI";
 const EXACT_MAGIC: &[u8; 4] = b"IPEI";
+const FROZEN_EXACT_MAGIC: &[u8; 4] = b"IPFE";
+const FROZEN_APPROX_MAGIC: &[u8; 4] = b"IPFA";
 
 fn read_array<const N: usize>(r: &mut impl Read) -> Result<[u8; N], CodecError> {
     let mut buf = [0u8; N];
@@ -192,6 +201,139 @@ impl ExactIrs {
     }
 }
 
+impl FrozenExactOracle {
+    /// Writes the CSR arena verbatim in `IPFE` format: header, the whole
+    /// offset array, then the whole flat entry array — two bulk writes, so
+    /// the file layout mirrors the in-memory arena byte for byte.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), CodecError> {
+        w.write_all(FROZEN_EXACT_MAGIC)?;
+        w.write_all(&[FORMAT_VERSION])?;
+        w.write_all(&self.window().get().to_le_bytes())?;
+        let n = u32::try_from(self.num_nodes())
+            .map_err(|_| CodecError::Corrupt("too many nodes to encode"))?;
+        w.write_all(&n.to_le_bytes())?;
+        let total = u64::try_from(self.total_entries())
+            .map_err(|_| CodecError::Corrupt("too many entries to encode"))?;
+        w.write_all(&total.to_le_bytes())?;
+        let mut buf = Vec::with_capacity(self.offsets().len() * 4);
+        for &o in self.offsets() {
+            buf.extend_from_slice(&o.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+        buf.clear();
+        buf.reserve(self.total_entries() * 12);
+        for &(v, t) in self.entries() {
+            buf.extend_from_slice(&v.0.to_le_bytes());
+            buf.extend_from_slice(&t.get().to_le_bytes());
+        }
+        w.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Reads an arena written by [`write_to`](Self::write_to). The load
+    /// path is two bulk reads straight into the flat arrays — **no
+    /// per-node allocation** — followed by the same invariant validation
+    /// the live summaries get (monotone offsets framing the entry array,
+    /// each node's slice sorted with no self-entry, every target inside
+    /// the universe).
+    pub fn read_from(r: &mut impl Read) -> Result<Self, CodecError> {
+        let header: [u8; 4] = read_array(r)?;
+        if &header != FROZEN_EXACT_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let [version] = read_array::<1>(r)?;
+        if version != FORMAT_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let window = Window::try_new(i64::from_le_bytes(read_array(r)?))
+            .map_err(|_| CodecError::Corrupt("window must be positive"))?;
+        let n = u32::from_le_bytes(read_array(r)?) as usize; // xtask-allow: no-lossy-cast (u32 → usize widens on ≥32-bit targets)
+        let total = u64::from_le_bytes(read_array(r)?);
+        if total > u64::from(u32::MAX) {
+            return Err(CodecError::Corrupt("entry count exceeds arena limit"));
+        }
+        let total = usize::try_from(total)
+            .map_err(|_| CodecError::Corrupt("entry count exceeds arena limit"))?;
+        let mut bytes = vec![0u8; (n + 1) * 4];
+        r.read_exact(&mut bytes)?;
+        let mut offsets = Vec::with_capacity(n + 1);
+        for c in bytes.chunks_exact(4) {
+            offsets.push(u32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+        }
+        let last = offsets.last().map(|&e| e as usize); // xtask-allow: no-lossy-cast (u32 fits usize)
+        if offsets.first() != Some(&0) || last != Some(total) {
+            return Err(CodecError::Corrupt("offsets do not frame the entries"));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(CodecError::Corrupt("offsets not monotone"));
+        }
+        let mut bytes = vec![0u8; total * 12];
+        r.read_exact(&mut bytes)?;
+        let mut entries = Vec::with_capacity(total);
+        for c in bytes.chunks_exact(12) {
+            let v = NodeId(u32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+            if v.index() >= n {
+                return Err(CodecError::Corrupt("entry outside universe"));
+            }
+            let t = Timestamp(i64::from_le_bytes([
+                c[4], c[5], c[6], c[7], c[8], c[9], c[10], c[11],
+            ]));
+            entries.push((v, t));
+        }
+        let arena = FrozenExactOracle::from_parts(window, offsets, entries);
+        arena
+            .validate()
+            .map_err(|_| CodecError::Corrupt("frozen summary violates paper invariants"))?;
+        Ok(arena)
+    }
+}
+
+impl FrozenApproxOracle {
+    /// Writes the flat register arena in `IPFA` format: header + the whole
+    /// `n · β`-byte arena in one bulk write. Per-node estimates are *not*
+    /// stored — they are a pure function of the registers and are
+    /// recomputed on load, keeping the file minimal and unfakeable.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), CodecError> {
+        w.write_all(FROZEN_APPROX_MAGIC)?;
+        w.write_all(&[FORMAT_VERSION, self.precision()])?;
+        let n = u32::try_from(self.num_nodes())
+            .map_err(|_| CodecError::Corrupt("too many nodes to encode"))?;
+        w.write_all(&n.to_le_bytes())?;
+        w.write_all(self.registers())?;
+        Ok(())
+    }
+
+    /// Reads an arena written by [`write_to`](Self::write_to): one bulk
+    /// read into the flat register array (no per-node allocation), a range
+    /// check on every register, then one estimator pass to rebuild the
+    /// per-node `individual` table — bit-identical to the values frozen
+    /// from the live sketches.
+    pub fn read_from(r: &mut impl Read) -> Result<Self, CodecError> {
+        let header: [u8; 4] = read_array(r)?;
+        if &header != FROZEN_APPROX_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let [version, precision] = read_array::<2>(r)?;
+        if version != FORMAT_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        if !(4..=16).contains(&precision) {
+            return Err(CodecError::Corrupt("precision out of range"));
+        }
+        let n = u32::from_le_bytes(read_array(r)?) as usize; // xtask-allow: no-lossy-cast (u32 → usize widens on ≥32-bit targets)
+        let beta = 1usize << precision;
+        let max_rho = 64 - precision + 1;
+        let mut registers = vec![0u8; n * beta];
+        r.read_exact(&mut registers)?;
+        if registers.iter().any(|&b| b > max_rho) {
+            return Err(CodecError::Corrupt("register exceeds maximal rho"));
+        }
+        Ok(FrozenApproxOracle::from_registers_arena(
+            precision, registers,
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +431,109 @@ mod tests {
         bytes[15] = 0;
         bytes[16] = 0;
         assert!(ExactIrs::read_from(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn frozen_exact_roundtrip_preserves_queries() {
+        let net = network();
+        let irs = ExactIrs::compute(&net, Window(300));
+        let frozen = irs.freeze();
+        let mut bytes = Vec::new();
+        frozen.write_to(&mut bytes).unwrap();
+        let back = FrozenExactOracle::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back, frozen);
+        let seeds: Vec<NodeId> = (0..10).map(NodeId).collect();
+        assert_eq!(
+            frozen.influence(&seeds).to_bits(),
+            back.influence(&seeds).to_bits()
+        );
+        for u in net.node_ids() {
+            assert_eq!(frozen.individual(u).to_bits(), back.individual(u).to_bits());
+        }
+        // Byte-deterministic output.
+        let mut again = Vec::new();
+        frozen.write_to(&mut again).unwrap();
+        assert_eq!(bytes, again);
+    }
+
+    #[test]
+    fn frozen_approx_roundtrip_preserves_queries() {
+        let net = network();
+        let irs = ApproxIrs::compute_with_precision(&net, Window(100), 7);
+        let frozen = irs.freeze();
+        let mut bytes = Vec::new();
+        frozen.write_to(&mut bytes).unwrap();
+        let back = FrozenApproxOracle::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back, frozen);
+        let seeds: Vec<NodeId> = (0..10).map(NodeId).collect();
+        assert_eq!(
+            frozen.influence(&seeds).to_bits(),
+            back.influence(&seeds).to_bits()
+        );
+        for u in net.node_ids() {
+            assert_eq!(frozen.individual(u).to_bits(), back.individual(u).to_bits());
+        }
+    }
+
+    #[test]
+    fn frozen_bad_version_rejected() {
+        let frozen = ExactIrs::compute(&network(), Window(50)).freeze();
+        let mut bytes = Vec::new();
+        frozen.write_to(&mut bytes).unwrap();
+        bytes[4] = 99; // the version byte follows the 4-byte magic
+        assert!(matches!(
+            FrozenExactOracle::read_from(&mut bytes.as_slice()),
+            Err(CodecError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn frozen_cross_format_magic_rejected() {
+        let frozen = ExactIrs::compute(&network(), Window(50)).freeze();
+        let mut bytes = Vec::new();
+        frozen.write_to(&mut bytes).unwrap();
+        assert!(matches!(
+            FrozenApproxOracle::read_from(&mut bytes.as_slice()),
+            Err(CodecError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn frozen_exact_corrupt_offsets_rejected() {
+        let frozen = ExactIrs::compute(&network(), Window(50)).freeze();
+        let mut bytes = Vec::new();
+        frozen.write_to(&mut bytes).unwrap();
+        // Offsets start after magic(4) + version(1) + window(8) + n(4) +
+        // total(8) = byte 25; offsets[0] must be zero.
+        bytes[25] = 1;
+        assert!(matches!(
+            FrozenExactOracle::read_from(&mut bytes.as_slice()),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn frozen_approx_corrupt_register_rejected() {
+        let irs = ApproxIrs::compute_with_precision(&network(), Window(100), 7);
+        let frozen = irs.freeze();
+        let mut bytes = Vec::new();
+        frozen.write_to(&mut bytes).unwrap();
+        // Registers start after magic(4) + version/precision(2) + n(4) =
+        // byte 10; max ρ for k = 7 is 58.
+        bytes[10] = 63;
+        assert!(matches!(
+            FrozenApproxOracle::read_from(&mut bytes.as_slice()),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frozen_rejected() {
+        let frozen = ExactIrs::compute(&network(), Window(50)).freeze();
+        let mut bytes = Vec::new();
+        frozen.write_to(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        assert!(FrozenExactOracle::read_from(&mut bytes.as_slice()).is_err());
     }
 
     #[test]

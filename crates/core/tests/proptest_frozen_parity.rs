@@ -1,0 +1,128 @@
+//! Frozen/live parity property tests for the CSR oracle arenas
+//! (`FrozenExactOracle`, `FrozenApproxOracle`): every query-path operation —
+//! `individuals`, `influence_many`, and greedy seed selection — must return
+//! results **byte-identical** to the live per-node-allocation oracles, on
+//! both backends, at 1, 2, and 8 threads, on arbitrary tie-heavy networks.
+//!
+//! The frozen exact oracle answers unions from a contiguous entry arena and
+//! the frozen approx oracle fuses register merging with the harmonic-mean
+//! estimator, so these tests are the guard that neither layout nor kernel
+//! change perturbs a single bit of any estimate the paper's algorithms see.
+
+use infprop_core::{
+    greedy_top_k, greedy_top_k_paper, greedy_top_k_paper_threads, greedy_top_k_threads, ApproxIrs,
+    ExactIrs, InfluenceOracle,
+};
+use infprop_temporal_graph::{InteractionNetwork, NodeId, Window};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Random networks with timestamp ties.
+fn networks() -> impl Strategy<Value = InteractionNetwork> {
+    prop::collection::vec((0u32..16, 0u32..16, 0i64..30), 1..70)
+        .prop_map(InteractionNetwork::from_triples)
+}
+
+/// Seed sets drawn over the same node-id range as the networks.
+fn seed_sets() -> impl Strategy<Value = Vec<Vec<NodeId>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u32..16).prop_map(NodeId), 0..6),
+        0..12,
+    )
+}
+
+proptest! {
+    /// Frozen oracles answer `influence`, `influence_many`, and
+    /// `individuals` bit-identically to the live oracles at every thread
+    /// count, on both backends. This covers the fused block-merge estimator
+    /// in `FrozenApproxOracle::influence` against the live materialized
+    /// union, including the empty-seed and duplicate-seed shapes.
+    #[test]
+    fn frozen_batch_queries_match_live(
+        net in networks(),
+        seeds in seed_sets(),
+        w in 1i64..40,
+    ) {
+        let n = net.num_nodes() as u32;
+        let seeds: Vec<Vec<NodeId>> = seeds
+            .into_iter()
+            .map(|s| s.into_iter().filter(|v| v.0 < n).collect())
+            .collect();
+        let exact = ExactIrs::compute(&net, Window(w));
+        let approx = ApproxIrs::compute_with_precision(&net, Window(w), 5);
+        let eo = exact.oracle();
+        let ao = approx.oracle();
+        let fe = exact.freeze();
+        let fa = approx.freeze();
+
+        let e_serial: Vec<f64> = seeds.iter().map(|s| eo.influence(s)).collect();
+        let a_serial: Vec<f64> = seeds.iter().map(|s| ao.influence(s)).collect();
+        let fe_serial: Vec<f64> = seeds.iter().map(|s| fe.influence(s)).collect();
+        let fa_serial: Vec<f64> = seeds.iter().map(|s| fa.influence(s)).collect();
+        prop_assert_eq!(&fe_serial, &e_serial);
+        prop_assert_eq!(&fa_serial, &a_serial);
+
+        let e_ind: Vec<f64> = (0..eo.num_nodes())
+            .map(|i| eo.individual(NodeId::from_index(i)))
+            .collect();
+        let a_ind: Vec<f64> = (0..ao.num_nodes())
+            .map(|i| ao.individual(NodeId::from_index(i)))
+            .collect();
+        for threads in THREAD_COUNTS {
+            prop_assert_eq!(&fe.influence_many(&seeds, threads), &e_serial);
+            prop_assert_eq!(&fa.influence_many(&seeds, threads), &a_serial);
+            prop_assert_eq!(&fe.individuals(threads), &e_ind);
+            prop_assert_eq!(&fa.individuals(threads), &a_ind);
+        }
+    }
+
+    /// Greedy seed selection over frozen oracles — both the CELF path and
+    /// the paper's Algorithm 4, serial and thread-fanned — picks the same
+    /// seeds with the same gains as the live oracles.
+    #[test]
+    fn frozen_greedy_matches_live(net in networks(), w in 1i64..40, k in 0usize..8) {
+        let exact = ExactIrs::compute(&net, Window(w));
+        let approx = ApproxIrs::compute_with_precision(&net, Window(w), 5);
+        let eo = exact.oracle();
+        let ao = approx.oracle();
+        let fe = exact.freeze();
+        let fa = approx.freeze();
+
+        let e_lazy = greedy_top_k(&eo, k);
+        let e_paper = greedy_top_k_paper(&eo, k);
+        let a_lazy = greedy_top_k(&ao, k);
+        let a_paper = greedy_top_k_paper(&ao, k);
+        prop_assert_eq!(&greedy_top_k(&fe, k), &e_lazy);
+        prop_assert_eq!(&greedy_top_k_paper(&fe, k), &e_paper);
+        prop_assert_eq!(&greedy_top_k(&fa, k), &a_lazy);
+        prop_assert_eq!(&greedy_top_k_paper(&fa, k), &a_paper);
+        for threads in THREAD_COUNTS {
+            prop_assert_eq!(&greedy_top_k_threads(&fe, k, threads), &e_lazy);
+            prop_assert_eq!(&greedy_top_k_paper_threads(&fe, k, threads), &e_paper);
+            prop_assert_eq!(&greedy_top_k_threads(&fa, k, threads), &a_lazy);
+            prop_assert_eq!(&greedy_top_k_paper_threads(&fa, k, threads), &a_paper);
+        }
+    }
+
+    /// Freezing preserves the paper invariants the live stores satisfy: the
+    /// frozen exact arena re-validates cleanly (serial and fanned), and the
+    /// frozen register arena round-trips every per-node summary estimate.
+    #[test]
+    fn frozen_arenas_validate_clean(net in networks(), w in 1i64..40) {
+        let exact = ExactIrs::compute(&net, Window(w));
+        let approx = ApproxIrs::compute_with_precision(&net, Window(w), 5);
+        let fe = exact.freeze();
+        let fa = approx.freeze();
+        prop_assert_eq!(fe.validate(), Ok(()));
+        prop_assert_eq!(fa.validate(), Ok(()));
+        for threads in THREAD_COUNTS {
+            prop_assert_eq!(fe.validate_threads(threads), Ok(()));
+        }
+        let ao = approx.oracle();
+        for i in 0..ao.num_nodes() {
+            let v = NodeId::from_index(i);
+            prop_assert_eq!(fa.individual(v).to_bits(), ao.individual(v).to_bits());
+        }
+    }
+}

@@ -57,20 +57,32 @@ fn alpha(num_registers: usize) -> f64 {
     }
 }
 
-/// Estimates cardinality from a register array (shared by [`HyperLogLog`]
-/// and the versioned sketch, whose per-cell maxima form the same array).
-pub(crate) fn estimate_from_registers(registers: &[u8]) -> f64 {
-    let m = registers.len() as f64;
-    let mut sum = 0.0f64;
-    let mut zeros = 0usize;
-    for &r in registers {
-        // r ≤ 64 − k + 1 ≤ 61, so the shift cannot overflow.
-        sum += 1.0 / (1u64 << r) as f64;
-        if r == 0 {
-            zeros += 1;
-        }
+/// `INV_POW2[r] = 2^-r`, exact in `f64` (exponent-only bit patterns).
+///
+/// Every register value `r ≤ 64 − k + 1 ≤ 61` indexes in range. The table
+/// is **bit-identical** to the previous `1.0 / (1u64 << r) as f64` form:
+/// `1u64 << r` is a power of two ≤ 2^61, exactly representable in `f64`,
+/// and dividing 1.0 by an exact power of two yields the exact power
+/// `2^-r` — the same value `f64::from_bits((1023 − r) << 52)` encodes
+/// directly. The lookup replaces an int→float convert plus a divide per
+/// register on the estimator hot loop without perturbing any estimate.
+const INV_POW2: [f64; 64] = {
+    let mut table = [0.0f64; 64];
+    let mut r = 0usize;
+    while r < 64 {
+        // r < 64 so the cast is lossless and the biased exponent positive.
+        table[r] = f64::from_bits((1023 - r as u64) << 52); // xtask-allow: no-lossy-cast (r < 64)
+        r += 1;
     }
-    let raw = alpha(registers.len()) * m * m / sum;
+    table
+};
+
+/// Applies the harmonic-mean estimator with small-range correction to an
+/// accumulated `(Σ 2^-r, #zero registers)` pair for `m` registers.
+#[inline]
+fn finish_estimate(m_usize: usize, sum: f64, zeros: usize) -> f64 {
+    let m = m_usize as f64;
+    let raw = alpha(m_usize) * m * m / sum;
     // Small-range correction: fall back to linear counting while registers
     // remain empty. (No large-range correction is needed with 64-bit hashes.)
     if raw <= 2.5 * m && zeros > 0 {
@@ -78,6 +90,91 @@ pub(crate) fn estimate_from_registers(registers: &[u8]) -> f64 {
     } else {
         raw
     }
+}
+
+/// Estimates cardinality from a register array (shared by [`HyperLogLog`],
+/// the versioned sketch — whose per-cell maxima form the same array — and
+/// the frozen oracle arenas, which store registers as flat slices).
+pub fn estimate_from_registers(registers: &[u8]) -> f64 {
+    let mut sum = 0.0f64;
+    let mut zeros = 0usize;
+    for &r in registers {
+        // r ≤ 64 − k + 1 ≤ 61, so the table lookup is in range.
+        sum += INV_POW2[usize::from(r)];
+        if r == 0 {
+            zeros += 1;
+        }
+    }
+    finish_estimate(registers.len(), sum, zeros)
+}
+
+/// Streaming version of [`estimate_from_registers`]: absorb merged
+/// registers in ascending position order — in chunks of any size — then
+/// [`finish`](Self::finish). Because the per-register accumulation and the
+/// final harmonic-mean correction are the exact same operations in the
+/// exact same order, the result is bit-identical to materializing all the
+/// registers and calling [`estimate_from_registers`].
+///
+/// This is the estimator kernel for callers that compute a k-way union on
+/// the fly (e.g. the frozen oracle arena merging seed slices block by
+/// block) and never want to allocate the merged register array.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunningEstimator {
+    sum: f64,
+    zeros: usize,
+    m: usize,
+}
+
+impl RunningEstimator {
+    /// An estimator that has absorbed no registers yet.
+    #[inline]
+    pub fn new() -> Self {
+        RunningEstimator::default()
+    }
+
+    /// Absorbs the next `regs.len()` registers (positions
+    /// `self.count()..`).
+    #[inline]
+    pub fn absorb_registers(&mut self, regs: &[u8]) {
+        for &r in regs {
+            // r ≤ 64 − k + 1 ≤ 61, so the table lookup is in range.
+            self.sum += INV_POW2[usize::from(r)];
+            if r == 0 {
+                self.zeros += 1;
+            }
+        }
+        self.m += regs.len();
+    }
+
+    /// Registers absorbed so far.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.m
+    }
+
+    /// The cardinality estimate over every register absorbed so far.
+    #[inline]
+    pub fn finish(&self) -> f64 {
+        finish_estimate(self.m, self.sum, self.zeros)
+    }
+}
+
+/// Estimates the cardinality of the union of two register arrays without
+/// materializing the merged array. Lengths must match; summation order is
+/// the sequential register order, identical to
+/// [`estimate_from_registers`] over the register-wise maxima.
+fn estimate_union_slices(a: &[u8], b: &[u8]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut sum = 0.0f64;
+    let mut zeros = 0usize;
+    for (&x, &y) in a.iter().zip(b) {
+        let r = x.max(y);
+        sum += INV_POW2[usize::from(r)];
+        if r == 0 {
+            zeros += 1;
+        }
+    }
+    finish_estimate(a.len(), sum, zeros)
 }
 
 impl HyperLogLog {
@@ -163,22 +260,42 @@ impl HyperLogLog {
             self.precision, other.precision,
             "cannot union HLL sketches of different precision"
         );
-        let m = self.registers.len() as f64;
-        let mut sum = 0.0f64;
-        let mut zeros = 0usize;
-        for (&a, &b) in self.registers.iter().zip(&other.registers) {
-            let r = a.max(b);
-            sum += 1.0 / (1u64 << r) as f64;
-            if r == 0 {
-                zeros += 1;
+        estimate_union_slices(&self.registers, &other.registers)
+    }
+
+    /// Union with a raw register slice (register-wise maximum) — the absorb
+    /// operation of the frozen oracle arena, where per-node registers live
+    /// in one flat array and are never materialized as sketches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers.len()` differs from this sketch's `β`.
+    pub fn merge_registers(&mut self, registers: &[u8]) {
+        assert_eq!(
+            self.registers.len(),
+            registers.len(),
+            "cannot merge a register slice of different length"
+        );
+        for (a, &b) in self.registers.iter_mut().zip(registers) {
+            if b > *a {
+                *a = b;
             }
         }
-        let raw = alpha(self.registers.len()) * m * m / sum;
-        if raw <= 2.5 * m && zeros > 0 {
-            m * (m / zeros as f64).ln()
-        } else {
-            raw
-        }
+    }
+
+    /// [`estimate_union`](Self::estimate_union) against a raw register
+    /// slice — the marginal-gain probe of the frozen oracle arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers.len()` differs from this sketch's `β`.
+    pub fn estimate_union_registers(&self, registers: &[u8]) -> f64 {
+        assert_eq!(
+            self.registers.len(),
+            registers.len(),
+            "cannot union a register slice of different length"
+        );
+        estimate_union_slices(&self.registers, registers)
     }
 
     /// Whether no item has ever been added.
@@ -302,6 +419,68 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, u);
+    }
+
+    #[test]
+    fn inv_pow2_table_is_bit_identical_to_divide() {
+        for r in 0..64u32 {
+            let divide = 1.0 / (1u64 << r) as f64;
+            assert_eq!(
+                INV_POW2[r as usize].to_bits(), // xtask-allow: no-lossy-cast (r < 64)
+                divide.to_bits(),
+                "2^-{r} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn register_slice_apis_match_sketch_apis() {
+        let mut a = HyperLogLog::new(8);
+        let mut b = HyperLogLog::new(8);
+        for v in 0..2500u64 {
+            a.add_u64(v);
+        }
+        for v in 2000..7000u64 {
+            b.add_u64(v);
+        }
+        assert_eq!(
+            a.estimate_union_registers(b.registers()).to_bits(),
+            a.estimate_union(&b).to_bits()
+        );
+        let mut via_slice = a.clone();
+        via_slice.merge_registers(b.registers());
+        let mut via_sketch = a.clone();
+        via_sketch.merge(&b);
+        assert_eq!(via_slice, via_sketch);
+        assert_eq!(
+            estimate_from_registers(via_slice.registers()).to_bits(),
+            via_sketch.estimate().to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different length")]
+    fn merge_registers_length_mismatch_panics() {
+        let mut a = HyperLogLog::new(8);
+        a.merge_registers(&[0u8; 16]);
+    }
+
+    #[test]
+    fn running_estimator_matches_batch_in_any_chunking() {
+        let mut a = HyperLogLog::new(8);
+        for v in 0..5000u64 {
+            a.add_u64(v);
+        }
+        let regs = a.registers();
+        let batch = estimate_from_registers(regs).to_bits();
+        for chunk in [1usize, 7, 64, 256, regs.len()] {
+            let mut est = RunningEstimator::new();
+            for block in regs.chunks(chunk) {
+                est.absorb_registers(block);
+            }
+            assert_eq!(est.count(), regs.len());
+            assert_eq!(est.finish().to_bits(), batch, "chunk size {chunk}");
+        }
     }
 
     #[test]

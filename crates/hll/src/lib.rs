@@ -37,7 +37,7 @@ mod hyperloglog;
 mod serialize;
 mod vhll;
 
-pub use hyperloglog::HyperLogLog;
+pub use hyperloglog::{estimate_from_registers, HyperLogLog, RunningEstimator};
 pub use serialize::{CodecError, FORMAT_VERSION};
 pub use vhll::{
     check_entries, EntryError, MergeObserver, NoopMergeObserver, SketchInvariantError,

@@ -679,6 +679,25 @@ impl VersionedHll {
         )
     }
 
+    /// Writes the per-cell maxima of [`to_hyperloglog`](Self::to_hyperloglog)
+    /// into a caller-provided slice instead of allocating — the export used
+    /// when freezing a store of versioned sketches into one flat register
+    /// arena (`β` bytes per node, no per-node `Vec`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the cell count `2^precision`.
+    pub fn collapse_registers_into(&self, out: &mut [u8]) {
+        assert_eq!(
+            out.len(),
+            self.cells.len(),
+            "collapse target length must equal the cell count"
+        );
+        for (slot, cell) in out.iter_mut().zip(&self.cells) {
+            *slot = cell.as_slice().last().map_or(0, |e| e.rho);
+        }
+    }
+
     /// Streaming-window maintenance (paper §3.2.2: "periodically entries
     /// (r, t) with t − tcurrent + 1 > ω are removed"): drops pairs too far in
     /// the future of `anchor` to ever fall inside the window again.
