@@ -116,6 +116,16 @@ struct ProfileReport {
     greedy_last_cumulative: f64,
     exact_sweep_checksum: f64,
     exact_greedy_last_cumulative: f64,
+    /// Overlay rebuild (refresh) after appending the last 10% of the
+    /// history onto a frozen base over the first 90%.
+    layered_refresh_ms: f64,
+    /// 8-seed query cost through the layered base ⊕ delta merge path,
+    /// asserted bit-identical to the frozen full-history arena first.
+    layered_query_ns: f64,
+    /// One LSM-style re-freeze over the window-surviving log.
+    compaction_ms: f64,
+    /// Interactions surviving the window cut at compaction.
+    compaction_survivors: usize,
     /// Metrics snapshot JSON from one recorded (untimed) pass over the
     /// profile: exact + vHLL builds and a serial oracle sweep.
     metrics_json: String,
@@ -196,6 +206,47 @@ fn run_profile(
     let exact_sweep_checksum: f64 = esweep.iter().sum();
     let (_, epicks) = best_of(3, || infprop_core::greedy_top_k(&frozen_exact, 16));
 
+    // Layered-oracle rows: rebuild the same history as `frozen base over
+    // the first 90% + forward appends of the last 10%`, then measure the
+    // overlay rebuild, the base ⊕ delta query path (bit-identical to the
+    // frozen full-history arena by the layered-correctness theorem), and
+    // one LSM-style compaction.
+    let ints = net.interactions();
+    let split = ints.len() * 9 / 10;
+    let base_net = InteractionNetwork::from_triples(
+        ints[..split]
+            .iter()
+            .map(|i| (i.src.0, i.dst.0, i.time.get())),
+    );
+    let mut layered = ApproxIrs::compute_with_precision(&base_net, window, 9).layered(&base_net);
+    for &i in &ints[split..] {
+        layered
+            .append(i)
+            .expect("history suffix moves forward in time");
+    }
+    let (t_lrefresh, _) = best_of(3, || layered.refresh());
+    let (t_lq, lq_total) = best_of(5, || {
+        let mut acc = 0.0;
+        for q in &queries {
+            acc += layered.influence(q);
+        }
+        acc
+    });
+    assert_eq!(
+        lq_total.to_bits(),
+        q_total.to_bits(),
+        "layered queries must be bit-identical to the frozen arena"
+    );
+    let t0 = Instant::now();
+    layered.compact();
+    let t_compact = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        layered.generation(),
+        1,
+        "one compaction advances one generation"
+    );
+    let compaction_survivors = layered.delta().tail().len();
+
     // One recorded pass, outside the timed best-of loops, captures the
     // counter profile of this workload (merge-path mix, entries touched,
     // dominance prunes, union sizes, freeze footprint, parallel chunk
@@ -230,6 +281,10 @@ fn run_profile(
         greedy_last_cumulative: picks.last().map(|p| p.cumulative).unwrap_or(0.0),
         exact_sweep_checksum,
         exact_greedy_last_cumulative: epicks.last().map(|p| p.cumulative).unwrap_or(0.0),
+        layered_refresh_ms: t_lrefresh * 1e3,
+        layered_query_ns: t_lq * 1e9 / 64.0,
+        compaction_ms: t_compact * 1e3,
+        compaction_survivors,
         metrics_json,
     }
 }
@@ -261,6 +316,8 @@ fn profile_json(r: &ProfileReport) -> String {
          \"greedy_k16_ms\": {:.3},\n      \"greedy_k16_live_ms\": {:.3},\n      \
          \"greedy_last_cumulative\": {:.1},\n      \
          \"exact_sweep_checksum\": {:.1},\n      \"exact_greedy_last_cumulative\": {:.1},\n      \
+         \"layered_refresh_ms\": {:.3},\n      \"layered_query_ns\": {:.1},\n      \
+         \"compaction_ms\": {:.3},\n      \"compaction_survivors\": {},\n      \
          \"metrics\": {}\n    }}",
         r.name,
         r.nodes,
@@ -283,6 +340,10 @@ fn profile_json(r: &ProfileReport) -> String {
         r.greedy_last_cumulative,
         r.exact_sweep_checksum,
         r.exact_greedy_last_cumulative,
+        r.layered_refresh_ms,
+        r.layered_query_ns,
+        r.compaction_ms,
+        r.compaction_survivors,
         metrics,
     )
 }
@@ -329,7 +390,19 @@ const REFERENCE_PR4: &str = r#"{
 
 /// Free-form attribution notes carried in the JSON so a regression number
 /// is never separated from its explanation.
-const NOTES: &str = "Frozen-arena PR: query rows (oracle_query_ns, sweep_parallel, greedy_k16_ms) \
+const NOTES: &str = "Layered-oracle PR: new rows layered_refresh_ms / layered_query_ns / \
+compaction_ms / compaction_survivors measure the forward-delta overlay (frozen base over the \
+first 90% of the history, last 10% appended then refreshed). layered_query_ns is asserted \
+bit-identical to oracle_query_ns's frozen full-history arena before timing — the layered merge \
+path (register-wise max of base and overlay blocks streamed into the same estimator) adds one \
+extra max_into per seed block over the frozen kernel, so it should track oracle_query_ns within \
+a small constant factor; a widening gap is a merge-path regression, not noise. \
+layered_refresh_ms is a full overlay rebuild over tail+pending (the refresh contract re-runs \
+the one-pass engine over the delta log, so it scales with window tail size, not total history). \
+compaction_ms covers the expiry cut plus the re-freeze engine run over survivors. All \
+pre-existing rows and checksums are unchanged from the frozen-arena PR; its analysis (fused \
+block merge, thread clamping, hub merge traffic) lives in git history. \
+Frozen-arena PR: query rows (oracle_query_ns, sweep_parallel, greedy_k16_ms) \
 now measure the frozen CSR/register arenas, the production query path; the *_live_* rows keep \
 the per-node-alloc oracles visible, and every frozen result is asserted bit-identical to live \
 before timing. oracle_query_ns dropped ~6x vs PR 4 because the frozen arena answers influence() \

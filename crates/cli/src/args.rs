@@ -59,7 +59,7 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["exact", "frozen", "help", "metrics"];
+const BOOLEAN_FLAGS: &[&str] = &["exact", "frozen", "help", "layered", "metrics", "no-freeze"];
 
 /// Splits raw arguments (without the program name) into a [`ParsedArgs`].
 pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
@@ -101,6 +101,14 @@ impl ParsedArgs {
     pub fn one_positional(&self, what: &'static str) -> Result<&str, ArgError> {
         match self.positional.as_slice() {
             [only] => Ok(only),
+            _ => Err(ArgError::Positional(what)),
+        }
+    }
+
+    /// Two required positional arguments (e.g. a directory and a file).
+    pub fn two_positional(&self, what: &'static str) -> Result<(&str, &str), ArgError> {
+        match self.positional.as_slice() {
+            [first, second] => Ok((first, second)),
             _ => Err(ArgError::Positional(what)),
         }
     }

@@ -9,17 +9,19 @@ use infprop_baselines::{
 use infprop_core::obs::{metric_u64, Counter, Gauge, Span};
 use infprop_core::{
     find_channel, greedy_top_k_recorded, greedy_top_k_threads, ApproxIrs, ApproxOracle, ExactIrs,
-    FrozenApproxOracle, FrozenExactOracle, HeapBytes, InfluenceOracle, MetricsRecorder, Recorder,
+    FrozenApproxOracle, FrozenExactOracle, HeapBytes, InfluenceOracle, LayeredApproxOracle,
+    LayeredExactOracle, LayeredKind, LayeredManifest, MetricsRecorder, NoopRecorder, Recorder,
     DEFAULT_PRECISION,
 };
 use infprop_datasets::profiles;
 use infprop_diffusion::{tcic_spread, tclt_spread, LtWeights, TcicConfig};
 use infprop_temporal_graph::{
-    io, metrics, InteractionNetwork, NetworkStats, NodeId, WeightedStaticGraph, Window,
+    io, metrics, Interaction, InteractionNetwork, NetworkStats, NodeId, WeightedStaticGraph, Window,
 };
 use std::error::Error;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::Path;
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -182,6 +184,7 @@ pub fn topk(args: &ParsedArgs) -> CmdResult {
     let seed: u64 = args.parse_or("seed", 42, "an integer")?;
     let threads = threads_of(args)?;
     let method = args.optional("method").unwrap_or("irs");
+    let no_freeze = args.boolean("no-freeze");
     let recorder = metrics_requested(args).then(MetricsRecorder::new);
     let seeds: Vec<NodeId> = match method {
         "irs" => {
@@ -193,11 +196,24 @@ pub fn topk(args: &ParsedArgs) -> CmdResult {
                         DEFAULT_PRECISION,
                         rec,
                     );
-                    let oracle = irs.freeze_recorded(rec);
-                    rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
-                    greedy_top_k_recorded(&oracle, k, threads, rec)
+                    if no_freeze {
+                        let oracle = irs.oracle();
+                        rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
+                        greedy_top_k_recorded(&oracle, k, threads, rec)
+                    } else {
+                        let oracle = irs.freeze_recorded(rec);
+                        rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
+                        greedy_top_k_recorded(&oracle, k, threads, rec)
+                    }
                 }
-                None => greedy_top_k_threads(&ApproxIrs::compute(net, window).freeze(), k, threads),
+                None => {
+                    let irs = ApproxIrs::compute(net, window);
+                    if no_freeze {
+                        greedy_top_k_threads(&irs.oracle(), k, threads)
+                    } else {
+                        greedy_top_k_threads(&irs.freeze(), k, threads)
+                    }
+                }
             };
             picks.into_iter().map(|s| s.node).collect()
         }
@@ -205,11 +221,24 @@ pub fn topk(args: &ParsedArgs) -> CmdResult {
             let picks = match &recorder {
                 Some(rec) => {
                     let irs = ExactIrs::compute_recorded(net, window, rec);
-                    let oracle = irs.freeze_recorded(rec);
-                    rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
-                    greedy_top_k_recorded(&oracle, k, threads, rec)
+                    if no_freeze {
+                        let oracle = irs.oracle();
+                        rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
+                        greedy_top_k_recorded(&oracle, k, threads, rec)
+                    } else {
+                        let oracle = irs.freeze_recorded(rec);
+                        rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
+                        greedy_top_k_recorded(&oracle, k, threads, rec)
+                    }
                 }
-                None => greedy_top_k_threads(&ExactIrs::compute(net, window).freeze(), k, threads),
+                None => {
+                    let irs = ExactIrs::compute(net, window);
+                    if no_freeze {
+                        greedy_top_k_threads(&irs.oracle(), k, threads)
+                    } else {
+                        greedy_top_k_threads(&irs.freeze(), k, threads)
+                    }
+                }
             };
             picks.into_iter().map(|s| s.node).collect()
         }
@@ -313,9 +342,15 @@ pub fn simulate(args: &ParsedArgs) -> CmdResult {
         }
         rec.add(Counter::SimRuns, metric_u64(runs));
         let irs = ApproxIrs::compute_with_precision_recorded(net, window, DEFAULT_PRECISION, rec);
-        let oracle = irs.freeze_recorded(rec);
-        rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
-        let estimate = oracle.influence_recorded(&seeds, rec);
+        let estimate = if args.boolean("no-freeze") {
+            let oracle = irs.oracle();
+            rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
+            oracle.influence_recorded(&seeds, rec)
+        } else {
+            let oracle = irs.freeze_recorded(rec);
+            rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
+            oracle.influence_recorded(&seeds, rec)
+        };
         println!("irs oracle estimate Inf(S) = {estimate:.1}");
         emit_metrics(args, rec)?;
     }
@@ -399,6 +434,13 @@ pub fn oracle_build(args: &ParsedArgs) -> CmdResult {
     let threads = threads_of(args)?;
     let frozen = args.boolean("frozen");
     let recorder = metrics_requested(args).then(MetricsRecorder::new);
+    if args.boolean("layered") {
+        build_layered(args, net, window, out, &recorder)?;
+        if let Some(rec) = &recorder {
+            emit_metrics(args, rec)?;
+        }
+        return Ok(());
+    }
     let mut w = BufWriter::new(File::create(out)?);
     if args.boolean("exact") {
         let irs = match &recorder {
@@ -477,23 +519,286 @@ pub fn oracle_build(args: &ParsedArgs) -> CmdResult {
     Ok(())
 }
 
-/// `infprop oracle-query <oracle-file> --seeds a,b,c`
-///
-/// Detects the on-disk format by magic: `IPAO` sketch oracles, `IPEI`
-/// exact summaries, and the frozen arenas `IPFE` / `IPFA` are all
-/// accepted.
-pub fn oracle_query(args: &ParsedArgs) -> CmdResult {
-    let path = args.one_positional("expected exactly one oracle path")?;
-    let ids = args.node_list("seeds")?;
-    let seeds: Vec<NodeId> = ids.into_iter().map(NodeId).collect();
+/// `build --layered`: builds the base arena from the network, seeds the
+/// delta with the window tail, and saves the generation-0 layered
+/// directory (see `append` / `compact`).
+fn build_layered(
+    args: &ParsedArgs,
+    net: &InteractionNetwork,
+    window: Window,
+    out: &str,
+    recorder: &Option<MetricsRecorder>,
+) -> CmdResult {
+    let dir = Path::new(out);
+    if args.boolean("exact") {
+        let irs = match recorder {
+            Some(rec) => ExactIrs::compute_recorded(net, window, rec),
+            None => ExactIrs::compute(net, window),
+        };
+        let oracle = irs.layered(net);
+        oracle.save_layered(dir)?;
+        println!(
+            "wrote {out}: layered exact oracle (generation 0) for {} nodes, window = {}, tail = {} interactions",
+            net.num_nodes(),
+            window.get(),
+            oracle.delta().tail().len()
+        );
+    } else {
+        let beta: usize = args.parse_or("beta", 512, "a power of two in [16, 65536]")?;
+        let precision = beta_to_precision(beta)?;
+        let irs = match recorder {
+            Some(rec) => ApproxIrs::compute_with_precision_recorded(net, window, precision, rec),
+            None => ApproxIrs::compute_with_precision(net, window, precision),
+        };
+        let oracle = irs.layered(net);
+        oracle.save_layered(dir)?;
+        println!(
+            "wrote {out}: layered sketch oracle (generation 0) for {} nodes, beta = {beta}, window = {}, tail = {} interactions",
+            net.num_nodes(),
+            window.get(),
+            oracle.delta().tail().len()
+        );
+    }
+    Ok(())
+}
 
+/// Reads a forward-append file: `src dst time` per line with **raw numeric
+/// node ids** in the oracle's id space (`#` comments and blank lines
+/// skipped; new ids grow the universe). Returns the batch sorted by time.
+fn read_append_file(path: &str) -> Result<Vec<Interaction>, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut batch = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split([' ', '\t', ',']).filter(|p| !p.is_empty());
+        let (Some(s), Some(d), Some(t)) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!("{path}:{}: expected `src dst time`", idx + 1).into());
+        };
+        let src: u32 = s
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad src node id {s:?}", idx + 1))?;
+        let dst: u32 = d
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad dst node id {d:?}", idx + 1))?;
+        let time: i64 = t
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad timestamp {t:?}", idx + 1))?;
+        batch.push(Interaction::from_raw(src, dst, time));
+    }
+    batch.sort_by_key(|i| i.time);
+    Ok(batch)
+}
+
+/// `infprop append <dir> <file> [--metrics] [--metrics-out PATH]`
+///
+/// Buffers the file's interactions (which must not move behind the
+/// oracle's frontier) into the layered directory's pending log. Only the
+/// `gen-N.pending` file is rewritten — the frozen base arena, tail, and
+/// manifest stay untouched until the next `compact`.
+pub fn append(args: &ParsedArgs) -> CmdResult {
+    let (dir, file) = args.two_positional("expected an oracle directory and an append file")?;
+    let batch = read_append_file(file)?;
+    let recorder = metrics_requested(args).then(MetricsRecorder::new);
+    let dir_path = Path::new(dir);
+    let manifest = LayeredManifest::read_from_dir(dir_path)?;
+    let (generation, pending) = match manifest.kind {
+        LayeredKind::Exact => {
+            let mut oracle = LayeredExactOracle::open_layered(dir_path)?;
+            match &recorder {
+                Some(rec) => oracle.append_batch_recorded(&batch, rec)?,
+                None => oracle.append_batch_recorded(&batch, &NoopRecorder)?,
+            }
+            oracle.persist_pending(dir_path)?;
+            (oracle.generation(), oracle.delta().pending().len())
+        }
+        LayeredKind::Approx => {
+            let mut oracle = LayeredApproxOracle::open_layered(dir_path)?;
+            match &recorder {
+                Some(rec) => oracle.append_batch_recorded(&batch, rec)?,
+                None => oracle.append_batch_recorded(&batch, &NoopRecorder)?,
+            }
+            oracle.persist_pending(dir_path)?;
+            (oracle.generation(), oracle.delta().pending().len())
+        }
+    };
+    println!(
+        "appended {} interactions to {dir} (generation {generation}, {pending} pending)",
+        batch.len()
+    );
+    if let Some(rec) = &recorder {
+        emit_metrics(args, rec)?;
+    }
+    Ok(())
+}
+
+/// `infprop compact <dir> [--metrics] [--metrics-out PATH]`
+///
+/// LSM-style re-freeze: expires interactions outside the window of the
+/// frontier, rebuilds a fresh base arena over the survivors, and commits
+/// the next generation (previous generation files are swept only after
+/// the manifest rename, so an interrupted compaction leaves the old
+/// generation loadable).
+pub fn compact(args: &ParsedArgs) -> CmdResult {
+    let dir = args.one_positional("expected exactly one oracle directory")?;
+    let recorder = metrics_requested(args).then(MetricsRecorder::new);
+    let dir_path = Path::new(dir);
+    let manifest = LayeredManifest::read_from_dir(dir_path)?;
+    let (generation, expired, tail) = match manifest.kind {
+        LayeredKind::Exact => {
+            let mut oracle = LayeredExactOracle::open_layered(dir_path)?;
+            let before = oracle.delta().log().len();
+            match &recorder {
+                Some(rec) => oracle.compact_recorded(rec),
+                None => oracle.compact(),
+            }
+            oracle.save_layered(dir_path)?;
+            let tail = oracle.delta().tail().len();
+            (oracle.generation(), before - tail, tail)
+        }
+        LayeredKind::Approx => {
+            let mut oracle = LayeredApproxOracle::open_layered(dir_path)?;
+            let before = oracle.delta().log().len();
+            match &recorder {
+                Some(rec) => oracle.compact_recorded(rec),
+                None => oracle.compact(),
+            }
+            oracle.save_layered(dir_path)?;
+            let tail = oracle.delta().tail().len();
+            (oracle.generation(), before - tail, tail)
+        }
+    };
+    println!(
+        "compacted {dir}: generation {generation}, {expired} interactions expired, {tail} in tail"
+    );
+    if let Some(rec) = &recorder {
+        emit_metrics(args, rec)?;
+    }
+    Ok(())
+}
+
+/// One loaded oracle of any supported on-disk format, unified for the
+/// query loop of [`oracle_query`].
+enum LoadedOracle {
+    ExactSummaries(ExactIrs),
+    FrozenExact(FrozenExactOracle),
+    FrozenApprox(FrozenApproxOracle),
+    Sketches(ApproxOracle),
+    LayeredExact(Box<LayeredExactOracle>),
+    LayeredApprox(Box<LayeredApproxOracle>),
+}
+
+impl LoadedOracle {
+    /// Human-readable description of the detected on-disk format.
+    fn format(&self) -> String {
+        match self {
+            LoadedOracle::ExactSummaries(_) => "IPEI exact summaries (live)".into(),
+            LoadedOracle::FrozenExact(_) => "IPFE frozen exact arena".into(),
+            LoadedOracle::FrozenApprox(_) => "IPFA frozen register arena".into(),
+            LoadedOracle::Sketches(_) => "IPAO sketch oracle (live)".into(),
+            LoadedOracle::LayeredExact(o) => {
+                format!(
+                    "layered exact oracle directory (generation {}, {} pending)",
+                    o.generation(),
+                    o.delta().pending().len()
+                )
+            }
+            LoadedOracle::LayeredApprox(o) => {
+                format!(
+                    "layered sketch oracle directory (generation {}, {} pending)",
+                    o.generation(),
+                    o.delta().pending().len()
+                )
+            }
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        match self {
+            LoadedOracle::ExactSummaries(v) => v.num_nodes(),
+            LoadedOracle::FrozenExact(v) => v.num_nodes(),
+            LoadedOracle::FrozenApprox(v) => v.num_nodes(),
+            LoadedOracle::Sketches(v) => v.num_nodes(),
+            LoadedOracle::LayeredExact(v) => InfluenceOracle::num_nodes(v.as_ref()),
+            LoadedOracle::LayeredApprox(v) => InfluenceOracle::num_nodes(v.as_ref()),
+        }
+    }
+
+    fn influence(&self, seeds: &[NodeId], rec: Option<&MetricsRecorder>) -> f64 {
+        match rec {
+            Some(rec) => match self {
+                LoadedOracle::ExactSummaries(v) => v.oracle().influence_recorded(seeds, rec),
+                LoadedOracle::FrozenExact(v) => v.influence_recorded(seeds, rec),
+                LoadedOracle::FrozenApprox(v) => v.influence_recorded(seeds, rec),
+                LoadedOracle::Sketches(v) => v.influence_recorded(seeds, rec),
+                LoadedOracle::LayeredExact(v) => v.influence_recorded(seeds, rec),
+                LoadedOracle::LayeredApprox(v) => v.influence_recorded(seeds, rec),
+            },
+            None => match self {
+                LoadedOracle::ExactSummaries(v) => v.oracle().influence(seeds),
+                LoadedOracle::FrozenExact(v) => v.influence(seeds),
+                LoadedOracle::FrozenApprox(v) => v.influence(seeds),
+                LoadedOracle::Sketches(v) => v.influence(seeds),
+                LoadedOracle::LayeredExact(v) => v.influence(seeds),
+                LoadedOracle::LayeredApprox(v) => v.influence(seeds),
+            },
+        }
+    }
+}
+
+/// Loads any supported oracle artefact: a layered directory (dispatched
+/// through its `MANIFEST`) or a single file (format detected by magic).
+fn load_oracle(path: &str) -> Result<LoadedOracle, Box<dyn Error>> {
+    if std::fs::metadata(path)?.is_dir() {
+        let dir = Path::new(path);
+        let manifest = LayeredManifest::read_from_dir(dir)?;
+        return Ok(match manifest.kind {
+            LayeredKind::Exact => {
+                LoadedOracle::LayeredExact(Box::new(LayeredExactOracle::open_layered(dir)?))
+            }
+            LayeredKind::Approx => {
+                LoadedOracle::LayeredApprox(Box::new(LayeredApproxOracle::open_layered(dir)?))
+            }
+        });
+    }
     let mut magic = [0u8; 4];
     {
         use std::io::Read;
         File::open(path)?.read_exact(&mut magic)?;
     }
-    let check_seeds = |n: usize| -> Result<(), ArgError> {
-        for s in &seeds {
+    let mut r = BufReader::new(File::open(path)?);
+    Ok(match &magic {
+        b"IPEI" => LoadedOracle::ExactSummaries(ExactIrs::read_from(&mut r)?),
+        b"IPFE" => LoadedOracle::FrozenExact(FrozenExactOracle::read_from(&mut r)?),
+        b"IPFA" => LoadedOracle::FrozenApprox(FrozenApproxOracle::read_from(&mut r)?),
+        _ => LoadedOracle::Sketches(ApproxOracle::read_from(&mut r)?),
+    })
+}
+
+/// `infprop oracle-query <oracle-path> (--seeds a,b,c | --queries FILE)
+///  [--metrics] [--metrics-out PATH]`
+///
+/// `<oracle-path>` is a single-file oracle (format detected by magic:
+/// `IPAO` sketches, `IPEI` exact summaries, frozen arenas `IPFE`/`IPFA`)
+/// or a layered oracle directory written by `build --layered` (detected
+/// by its `MANIFEST`). `--queries FILE` answers one seed set per line
+/// (comma-separated node ids). With `--metrics`, the detected format is
+/// printed, the load is timed under the `oracle.load` span, and every
+/// query is counted in the `oracle.*` section of the snapshot.
+pub fn oracle_query(args: &ParsedArgs) -> CmdResult {
+    let path = args.one_positional("expected exactly one oracle path")?;
+    let recorder = metrics_requested(args).then(MetricsRecorder::new);
+    let load_start = recorder.as_ref().map(|rec| rec.span_start());
+    let oracle = load_oracle(path)?;
+    if let (Some(rec), Some(start)) = (&recorder, load_start) {
+        rec.span_end(Span::OracleLoad, start);
+        println!("format: {}", oracle.format());
+    }
+    let n = oracle.num_nodes();
+    let check_seeds = |seeds: &[NodeId]| -> Result<(), ArgError> {
+        for s in seeds {
             if s.index() >= n {
                 return Err(ArgError::BadValue {
                     flag: "seeds".into(),
@@ -504,33 +809,35 @@ pub fn oracle_query(args: &ParsedArgs) -> CmdResult {
         }
         Ok(())
     };
-    let influence = match &magic {
-        b"IPEI" => {
-            let mut r = BufReader::new(File::open(path)?);
-            let irs = ExactIrs::read_from(&mut r)?;
-            check_seeds(irs.num_nodes())?;
-            irs.oracle().influence(&seeds)
+    if let Some(queries) = args.optional("queries") {
+        let text = std::fs::read_to_string(queries)?;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut seeds = Vec::new();
+            for tok in line.split(',').filter(|t| !t.trim().is_empty()) {
+                let id: u32 = tok
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("{queries}: bad node id {tok:?}"))?;
+                seeds.push(NodeId(id));
+            }
+            check_seeds(&seeds)?;
+            let influence = oracle.influence(&seeds, recorder.as_ref());
+            println!("Inf({line}) = {influence:.1}");
         }
-        b"IPFE" => {
-            let mut r = BufReader::new(File::open(path)?);
-            let arena = FrozenExactOracle::read_from(&mut r)?;
-            check_seeds(arena.num_nodes())?;
-            arena.influence(&seeds)
-        }
-        b"IPFA" => {
-            let mut r = BufReader::new(File::open(path)?);
-            let arena = FrozenApproxOracle::read_from(&mut r)?;
-            check_seeds(arena.num_nodes())?;
-            arena.influence(&seeds)
-        }
-        _ => {
-            let mut r = BufReader::new(File::open(path)?);
-            let oracle = ApproxOracle::read_from(&mut r)?;
-            check_seeds(oracle.num_nodes())?;
-            oracle.influence(&seeds)
-        }
-    };
-    println!("Inf(S) = {influence:.1}");
+    } else {
+        let ids = args.node_list("seeds")?;
+        let seeds: Vec<NodeId> = ids.into_iter().map(NodeId).collect();
+        check_seeds(&seeds)?;
+        let influence = oracle.influence(&seeds, recorder.as_ref());
+        println!("Inf(S) = {influence:.1}");
+    }
+    if let Some(rec) = &recorder {
+        emit_metrics(args, rec)?;
+    }
     Ok(())
 }
 
@@ -543,20 +850,34 @@ USAGE:
   infprop irs <file> (--window-pct P | --window W) [--exact] [--beta B] [--top K]
   infprop topk <file> --k K (--window-pct P | --window W)
                  [--method irs|irs-exact|pagerank|hd|shd|degree-discount|skim|cte]
-                 [--seed S] [--threads T] [--metrics] [--metrics-out FILE]
+                 [--seed S] [--threads T] [--no-freeze]
+                 [--metrics] [--metrics-out FILE]
   infprop simulate <file> --seeds a,b,c (--window-pct P | --window W)
                  [--p F] [--runs N] [--model tcic|tclt] [--seed S] [--threads T]
-                 [--metrics] [--metrics-out FILE]
+                 [--no-freeze] [--metrics] [--metrics-out FILE]
   infprop channel <file> --from U --to V (--window-pct P | --window W)
   infprop generate --profile enron|lkml|facebook|higgs|slashdot|us2016
                  --scale S --out FILE [--seed N]
   infprop build <file> (--window-pct P | --window W) --out FILE [--beta B | --exact]
-                 [--frozen] [--metrics] [--metrics-out FILE]   (alias: oracle-build)
-  infprop oracle-query <oracle-file> --seeds a,b,c
+                 [--frozen | --layered] [--metrics] [--metrics-out FILE]
+                 (alias: oracle-build)
+  infprop append <oracle-dir> <file> [--metrics] [--metrics-out FILE]
+  infprop compact <oracle-dir> [--metrics] [--metrics-out FILE]
+  infprop oracle-query <oracle-path> (--seeds a,b,c | --queries FILE)
+                 [--metrics] [--metrics-out FILE]
 
 Input files are SNAP-style edge lists: `src dst time` per line, `#` comments.
 `--metrics` prints a JSON metrics snapshot (counters, gauges, histograms,
 span timings) for the run; `--metrics-out FILE` writes it to a file instead.
+
+`build --layered` writes a layered oracle *directory* (frozen base arena +
+forward-delta log + MANIFEST). `append` buffers new interactions (raw
+numeric node ids in the oracle's id space, at or after the frontier) into
+its pending log; `compact` expires interactions outside the window and
+re-freezes the base (LSM-style, crash-safe: the previous generation stays
+loadable until the new MANIFEST commits). `oracle-query` accepts both
+single-file oracles and layered directories; `--queries FILE` answers one
+comma-separated seed set per line.
 ";
 
 /// Dispatches a parsed command line.
@@ -569,6 +890,8 @@ pub fn dispatch(parsed: &ParsedArgs) -> CmdResult {
         "channel" => channel(parsed),
         "generate" => generate(parsed),
         "build" | "oracle-build" => oracle_build(parsed),
+        "append" => append(parsed),
+        "compact" => compact(parsed),
         "oracle-query" => oracle_query(parsed),
         "help" => {
             println!("{USAGE}");

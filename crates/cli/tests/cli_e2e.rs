@@ -412,6 +412,168 @@ fn simulate_metrics_reports_sim_and_oracle() {
     std::fs::remove_dir_all(dir).ok();
 }
 
+/// Extracts the `Inf(...) = X` value from an `oracle-query` stdout line.
+fn influence_of(text: &str) -> f64 {
+    text.lines()
+        .find_map(|l| l.split(" = ").nth(1))
+        .unwrap_or_else(|| panic!("no influence line in {text}"))
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn layered_build_append_compact_roundtrip() {
+    let dir = tempdir("layered");
+    let net = sample_network(&dir);
+    let oracle_dir = dir.join("layered-oracle").to_string_lossy().into_owned();
+
+    let built = run(&[
+        "build",
+        &net,
+        "--window",
+        "60",
+        "--exact",
+        "--layered",
+        "--out",
+        &oracle_dir,
+    ]);
+    assert!(built.status.success(), "{}", stderr(&built));
+    assert!(stdout(&built).contains("layered exact oracle (generation 0)"));
+    assert!(Path::new(&oracle_dir).join("MANIFEST").is_file());
+
+    // Baseline answer over the base alone.
+    let q0 = run(&["oracle-query", &oracle_dir, "--seeds", "0,1"]);
+    assert!(q0.status.success(), "{}", stderr(&q0));
+    let base_inf = influence_of(&stdout(&q0));
+
+    // Forward-append a batch that extends node 0's reach (raw ids).
+    let batch = dir.join("batch.txt");
+    std::fs::write(&batch, "# forward batch\n0 5 200\n5 9 201\n9 12 202\n").unwrap();
+    let appended = run(&["append", &oracle_dir, &batch.to_string_lossy()]);
+    assert!(appended.status.success(), "{}", stderr(&appended));
+    assert!(
+        stdout(&appended).contains("appended 3 interactions"),
+        "{}",
+        stdout(&appended)
+    );
+
+    let q1 = run(&["oracle-query", &oracle_dir, "--seeds", "0,1"]);
+    assert!(q1.status.success(), "{}", stderr(&q1));
+    let layered_inf = influence_of(&stdout(&q1));
+    assert!(
+        layered_inf >= base_inf,
+        "appends cannot shrink influence: {layered_inf} < {base_inf}"
+    );
+
+    // Compaction re-freezes; answers over the surviving window still work
+    // and the generation advances.
+    let compacted = run(&["compact", &oracle_dir, "--metrics"]);
+    assert!(compacted.status.success(), "{}", stderr(&compacted));
+    let ctext = stdout(&compacted);
+    assert!(ctext.contains("generation 1"), "{ctext}");
+    assert!(json_u64(&ctext, "compaction.runs") == 1, "{ctext}");
+    assert!(
+        ctext.contains("\"compaction.input_interactions\": {\"count\": 1"),
+        "{ctext}"
+    );
+
+    let q2 = run(&["oracle-query", &oracle_dir, "--seeds", "0,1", "--metrics"]);
+    assert!(q2.status.success(), "{}", stderr(&q2));
+    let qtext = stdout(&q2);
+    assert!(
+        qtext.contains("format: layered exact oracle directory (generation 1, 0 pending)"),
+        "{qtext}"
+    );
+    assert!(qtext.contains("\"oracle.load\": {\"count\": 1"), "{qtext}");
+
+    // Stale (behind-frontier) appends are rejected without corrupting state.
+    let stale = dir.join("stale.txt");
+    std::fs::write(&stale, "0 1 5\n").unwrap();
+    let rejected = run(&["append", &oracle_dir, &stale.to_string_lossy()]);
+    assert!(!rejected.status.success());
+    assert!(
+        stderr(&rejected).contains("frontier"),
+        "{}",
+        stderr(&rejected)
+    );
+    let q3 = run(&["oracle-query", &oracle_dir, "--seeds", "0,1"]);
+    assert!(q3.status.success(), "{}", stderr(&q3));
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn layered_sketch_oracle_and_query_batches() {
+    let dir = tempdir("layered-approx");
+    let net = sample_network(&dir);
+    let oracle_dir = dir.join("sketch-oracle").to_string_lossy().into_owned();
+
+    let built = run(&[
+        "build",
+        &net,
+        "--window",
+        "60",
+        "--layered",
+        "--beta",
+        "256",
+        "--out",
+        &oracle_dir,
+    ]);
+    assert!(built.status.success(), "{}", stderr(&built));
+    assert!(stdout(&built).contains("layered sketch oracle (generation 0)"));
+
+    // Batch queries: one seed set per line, comments skipped.
+    let queries = dir.join("queries.txt");
+    std::fs::write(&queries, "# batch\n0\n0,1\n3,4,5\n").unwrap();
+    let out = run(&[
+        "oracle-query",
+        &oracle_dir,
+        "--queries",
+        &queries.to_string_lossy(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert_eq!(text.lines().count(), 3, "{text}");
+    assert!(text.contains("Inf(0,1) = "), "{text}");
+
+    // Appends flow through the sketch path too.
+    let batch = dir.join("batch.txt");
+    std::fs::write(&batch, "1 2 300\n").unwrap();
+    let appended = run(&["append", &oracle_dir, &batch.to_string_lossy()]);
+    assert!(appended.status.success(), "{}", stderr(&appended));
+
+    // Out-of-range seeds still fail cleanly against a directory oracle.
+    let bad = run(&["oracle-query", &oracle_dir, "--seeds", "100000"]);
+    assert!(!bad.status.success());
+    assert!(stderr(&bad).contains("inside the oracle"));
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn no_freeze_matches_frozen_answers() {
+    let dir = tempdir("no-freeze");
+    let net = sample_network(&dir);
+    let base = &[
+        "topk",
+        &net,
+        "--k",
+        "3",
+        "--window-pct",
+        "20",
+        "--threads",
+        "1",
+    ];
+    let frozen = run(base);
+    let mut live: Vec<&str> = base.to_vec();
+    live.push("--no-freeze");
+    let live_out = run(&live);
+    assert!(frozen.status.success() && live_out.status.success());
+    assert_eq!(stdout(&frozen), stdout(&live_out));
+    std::fs::remove_dir_all(dir).ok();
+}
+
 #[test]
 fn stats_reports_shape_metrics() {
     let dir = tempdir("shape-stats");

@@ -174,6 +174,21 @@ impl ApproxIrs {
         frozen
     }
 
+    /// Freezes the sketches into the base arena of a
+    /// [`LayeredApproxOracle`](crate::LayeredApproxOracle), exporting the
+    /// window tail of `net` as the delta seed; see
+    /// [`ExactIrs::layered`](crate::ExactIrs::layered). `net` must be the
+    /// network this IRS was computed from.
+    pub fn layered(&self, net: &InteractionNetwork) -> crate::LayeredApproxOracle {
+        let base = self.freeze();
+        let frontier = net.interactions().last().map(|i| i.time);
+        let tail = match frontier {
+            Some(f) => crate::delta::window_tail(net.interactions(), f, self.window),
+            None => Vec::new(),
+        };
+        crate::LayeredApproxOracle::from_parts(base, self.window, frontier, tail, Vec::new(), 0)
+    }
+
     /// Checks the dominance-chain invariant of every sketch (register lists
     /// sorted by strictly increasing time *and* ρ, with ρ in range) — the
     /// on-demand entry point of the [`invariants`](crate::invariants)

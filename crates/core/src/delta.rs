@@ -1,0 +1,1311 @@
+//! Layered oracle architecture: a forward-delta overlay stacked on a frozen
+//! base arena, with LSM-style re-freeze compaction.
+//!
+//! The frozen arenas ([`FrozenExactOracle`] / [`FrozenApproxOracle`]) are
+//! immutable by design: queries run over contiguous memory, but a single
+//! new interaction would force a full rebuild. This module adds the
+//! incremental tier on top:
+//!
+//! * [`DeltaOverlay`] buffers **forward-time** interactions (`t ≥` the
+//!   frontier of the base arena) in an append log, together with the
+//!   *window tail* of the base history — the suffix of already-frozen
+//!   interactions that can still combine with future ones.
+//! * [`LayeredExactOracle`] / [`LayeredApproxOracle`] answer every
+//!   [`InfluenceOracle`] query from `base ⊕ overlay`, where the overlay is
+//!   a small frozen arena rebuilt from the delta log on
+//!   [`refresh`](LayeredExactOracle::refresh).
+//! * [`compact`](LayeredExactOracle::compact) re-runs the one-pass
+//!   [`ReversePassEngine`] over the delta log (minus expired entries) into
+//!   a **fresh base arena** — an LSM-style re-freeze that starts the next
+//!   generation with an empty pending log.
+//!
+//! # Why the layering is exact
+//!
+//! Let `T` be the base frontier (the newest base interaction) and `ω` the
+//! window. Every information channel of the full history is either
+//!
+//! 1. **pure-base** — all its interactions were frozen into the base
+//!    arena, so the base summaries already cover it; or
+//! 2. **delta-touching** — it contains at least one pending interaction at
+//!    time `t_p ≥ T`. A channel's interactions all lie within `ω` of its
+//!    end time, so each of its base interactions has `T − t < ω`: they are
+//!    all in the retained window tail, and the channel is rediscovered in
+//!    full by the overlay build over `tail ++ pending`.
+//!
+//! Dominance-correct merge then makes `base ⊕ overlay` *bit-identical* to
+//! a from-scratch build: exact summaries keep the per-target **minimum
+//! end time** (`min` across the two layers), and collapsed vHLL registers
+//! keep the per-cell **maximum ρ** (`max` across the two layers). Overlay
+//! channels that happen to be pure-tail are genuine full-history channels
+//! too, so merging them in is the identity, never an overcount.
+//!
+//! # Compaction semantics
+//!
+//! Compaction slides the window forward: interactions with
+//! `T' − t ≥ ω` (where `T'` is the new frontier) can never share a channel
+//! with anything appended at `t ≥ T'`, so they are dropped and the
+//! surviving suffix is re-frozen. The compacted oracle therefore answers
+//! over the **retained trailing window** of history — channels that ended
+//! before it are gone, which is exactly the LSM/TTL contract. The result
+//! is bit-identical to a from-scratch build over the surviving
+//! interactions with the same node universe (the universe never shrinks).
+
+use crate::approx::DEFAULT_PRECISION;
+use crate::engine::{ExactStore, ReversePassEngine, SummaryStore, VhllStore};
+use crate::frozen::{FrozenApproxOracle, FrozenExactOracle};
+use crate::obs::{metric_u64, Counter, Gauge, Hist, NoopRecorder, Recorder, Span};
+use crate::oracle::{InfluenceOracle, NodeBitset};
+use infprop_hll::{estimate_from_registers, HyperLogLog, RunningEstimator};
+use infprop_temporal_graph::{Interaction, InteractionNetwork, NodeId, Timestamp, Window};
+use std::fmt;
+
+/// An append moved backwards in time: layered oracles only accept
+/// interactions at or after the current [frontier](DeltaOverlay::frontier)
+/// (the forward-streaming contract, mirroring
+/// [`OutOfOrder`](crate::OutOfOrder) on the engine's reverse side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleAppend {
+    /// Timestamp of the rejected interaction.
+    pub got: Timestamp,
+    /// The frontier it fell behind (newest accepted timestamp).
+    pub frontier: Timestamp,
+}
+
+impl fmt::Display for StaleAppend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stale append: interaction at t={} is behind the layered frontier t={}",
+            self.got.get(),
+            self.frontier.get()
+        )
+    }
+}
+
+impl std::error::Error for StaleAppend {}
+
+/// The suffix of a time-sorted interaction slice still inside the window
+/// of `frontier`: everything with `frontier − t < ω`. This is precisely
+/// the set of frozen interactions that can share a channel with an
+/// interaction appended at `t ≥ frontier`.
+pub(crate) fn window_tail(
+    ints: &[Interaction],
+    frontier: Timestamp,
+    window: Window,
+) -> Vec<Interaction> {
+    let cut = ints.partition_point(|i| frontier.delta(i.time) >= window.get());
+    ints[cut..].to_vec()
+}
+
+/// Register-wise maximum folded into `acc` — the dominance merge of
+/// collapsed HLL rows (same loop shape as
+/// [`HyperLogLog::merge_registers`], kept local so block-sized slices of
+/// the flat arenas merge without constructing sketches).
+#[inline]
+fn max_into(acc: &mut [u8], src: &[u8]) {
+    for (a, &b) in acc.iter_mut().zip(src) {
+        if b > *a {
+            *a = b;
+        }
+    }
+}
+
+/// Forward-time delta buffer on top of a frozen base arena.
+///
+/// Holds the interactions the frozen base cannot see — the **pending**
+/// appends — plus the **window tail** of base history they may combine
+/// with, as one contiguous time-sorted log (`tail ++ pending`). The
+/// overlay store is rebuilt from that log with the re-entrant
+/// [`ReversePassEngine::run_slice`] pass; tie batches spanning the
+/// tail/pending boundary land in one contiguous run, so the two-phase tie
+/// semantics of the engine hold across the split.
+///
+/// `S` is the summary backend the overlay is built into ([`ExactStore`]
+/// or [`VhllStore`]); the layered oracles own the corresponding frozen
+/// arena types.
+#[derive(Clone)]
+pub struct DeltaOverlay<S> {
+    window: Window,
+    /// Node-universe floor: the base arena's `num_nodes`. Overlay builds
+    /// and compactions never produce a smaller universe.
+    min_nodes: usize,
+    /// Newest timestamp frozen into the base arena (`None` for an empty
+    /// base).
+    base_frontier: Option<Timestamp>,
+    /// `tail ++ pending`, ascending in time.
+    log: Vec<Interaction>,
+    /// Length of the tail prefix of `log`.
+    tail_len: usize,
+    /// Empty store cloned as the seed of every overlay rebuild (carries
+    /// backend parameters such as the sketch precision).
+    template: S,
+}
+
+impl<S: SummaryStore + Clone> DeltaOverlay<S> {
+    /// An empty delta on top of a base arena with `min_nodes` nodes whose
+    /// newest interaction is `base_frontier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 1`.
+    pub fn new(
+        window: Window,
+        min_nodes: usize,
+        base_frontier: Option<Timestamp>,
+        template: S,
+    ) -> Self {
+        Self::from_log(window, min_nodes, base_frontier, Vec::new(), 0, template)
+    }
+
+    /// A delta seeded with the base's window tail (see [`DeltaOverlay`]):
+    /// the first `tail_len` entries of `log` are the tail, the rest are
+    /// pending appends.
+    pub(crate) fn from_log(
+        window: Window,
+        min_nodes: usize,
+        base_frontier: Option<Timestamp>,
+        log: Vec<Interaction>,
+        tail_len: usize,
+        template: S,
+    ) -> Self {
+        window.assert_valid();
+        debug_assert!(tail_len <= log.len());
+        debug_assert!(
+            log.windows(2).all(|w| w[0].time <= w[1].time),
+            "delta log is not sorted by time"
+        );
+        DeltaOverlay {
+            window,
+            min_nodes,
+            base_frontier,
+            log,
+            tail_len,
+            template,
+        }
+    }
+
+    /// The channel window `ω` shared with the base arena.
+    pub fn window(&self) -> Window {
+        self.window
+    }
+
+    /// The node-universe floor (the base arena's node count).
+    pub fn min_nodes(&self) -> usize {
+        self.min_nodes
+    }
+
+    /// Newest timestamp frozen into the base arena.
+    pub fn base_frontier(&self) -> Option<Timestamp> {
+        self.base_frontier
+    }
+
+    /// Newest timestamp known to the layered oracle: the last log entry,
+    /// falling back to the base frontier. `None` only when both base and
+    /// delta are empty. Appends must be at or after this.
+    pub fn frontier(&self) -> Option<Timestamp> {
+        self.log.last().map(|i| i.time).or(self.base_frontier)
+    }
+
+    /// The retained window tail of base history.
+    pub fn tail(&self) -> &[Interaction] {
+        &self.log[..self.tail_len]
+    }
+
+    /// Interactions appended since the base arena was frozen.
+    pub fn pending(&self) -> &[Interaction] {
+        &self.log[self.tail_len..]
+    }
+
+    /// The full time-sorted overlay input, `tail ++ pending`.
+    pub fn log(&self) -> &[Interaction] {
+        &self.log
+    }
+
+    /// The node universe an overlay build (or compaction) must cover:
+    /// every id mentioned by the log, but never smaller than the base
+    /// arena's universe.
+    pub fn universe(&self) -> usize {
+        let log_max = self
+            .log
+            .iter()
+            .map(|i| i.src.index().max(i.dst.index()) + 1)
+            .max()
+            .unwrap_or(0);
+        self.min_nodes.max(log_max)
+    }
+
+    /// Buffers one forward-time interaction.
+    ///
+    /// Ties with the frontier are allowed (they join its tie batch on the
+    /// next rebuild); moving backwards is a [`StaleAppend`].
+    pub fn append(&mut self, i: Interaction) -> Result<(), StaleAppend> {
+        if let Some(f) = self.frontier() {
+            if i.time < f {
+                return Err(StaleAppend {
+                    got: i.time,
+                    frontier: f,
+                });
+            }
+        }
+        self.log.push(i);
+        Ok(())
+    }
+
+    /// Rebuilds the overlay store from the whole log over the current
+    /// [`universe`](Self::universe). Engine-level metrics of the pass flow
+    /// into `rec`.
+    pub fn build_overlay_recorded<R: Recorder>(&self, rec: &R) -> S {
+        self.build_slice_recorded(0, self.universe(), rec)
+    }
+
+    /// Runs the re-entrant reverse pass over `log[from..]` into a fresh
+    /// clone of the template store covering `universe` nodes.
+    pub(crate) fn build_slice_recorded<R: Recorder>(
+        &self,
+        from: usize,
+        universe: usize,
+        rec: &R,
+    ) -> S {
+        let mut store = self.template.clone();
+        store.ensure_nodes(universe);
+        ReversePassEngine::run_slice_recorded(&self.log[from..], self.window, store, rec)
+    }
+
+    /// Index of the first log entry that survives a compaction at
+    /// `frontier`: entries with `frontier − t ≥ ω` can never share a
+    /// channel with anything appended at `t ≥ frontier` and are expired.
+    pub(crate) fn expiry_cut(&self, frontier: Timestamp) -> usize {
+        self.log
+            .partition_point(|i| frontier.delta(i.time) >= self.window.get())
+    }
+
+    /// Applies a finished compaction: the surviving log suffix becomes the
+    /// new generation's tail, pending empties, and the universe floor
+    /// rises to the compacted arena's node count.
+    pub(crate) fn roll_base(
+        &mut self,
+        new_frontier: Option<Timestamp>,
+        cut: usize,
+        universe: usize,
+    ) {
+        self.min_nodes = universe;
+        self.base_frontier = new_frontier;
+        self.log.drain(..cut);
+        self.tail_len = self.log.len();
+    }
+}
+
+/// Walks the dominance-correct merge of two exact summaries (both sorted
+/// by target id, one entry per target): targets present in both layers
+/// keep the **minimum** end time, matching what a from-scratch build
+/// records.
+fn merged_exact_for_each(
+    base: &[(NodeId, Timestamp)],
+    over: &[(NodeId, Timestamp)],
+    mut f: impl FnMut(NodeId, Timestamp),
+) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < base.len() && j < over.len() {
+        let (bv, bt) = base[i];
+        let (ov, ot) = over[j];
+        match bv.cmp(&ov) {
+            std::cmp::Ordering::Less => {
+                f(bv, bt);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                f(ov, ot);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                f(bv, if ot < bt { ot } else { bt });
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for &(v, t) in &base[i..] {
+        f(v, t);
+    }
+    for &(v, t) in &over[j..] {
+        f(v, t);
+    }
+}
+
+/// An exact influence oracle layered as `frozen base arena ⊕ delta
+/// overlay`.
+///
+/// Queries merge the two frozen arenas entry-wise (see the module docs for
+/// why the merge is bit-identical to a from-scratch rebuild). Appends
+/// buffer into the [`DeltaOverlay`] and mark the oracle
+/// [stale](Self::is_stale); an explicit [`refresh`](Self::refresh) folds
+/// them into the overlay arena — until then queries answer as of the last
+/// refresh.
+#[derive(Clone)]
+pub struct LayeredExactOracle {
+    base: FrozenExactOracle,
+    delta: DeltaOverlay<ExactStore>,
+    overlay: FrozenExactOracle,
+    generation: u64,
+    stale: bool,
+}
+
+impl LayeredExactOracle {
+    /// Builds the base arena from `net` and seeds the delta with its
+    /// window tail, ready for forward appends.
+    pub fn from_network(net: &InteractionNetwork, window: Window) -> Self {
+        Self::from_network_recorded(net, window, &NoopRecorder)
+    }
+
+    /// [`from_network`](Self::from_network) with engine metrics reporting
+    /// into `rec`.
+    pub fn from_network_recorded<R: Recorder>(
+        net: &InteractionNetwork,
+        window: Window,
+        rec: &R,
+    ) -> Self {
+        let store = ReversePassEngine::run_recorded(
+            net,
+            window,
+            ExactStore::with_nodes(net.num_nodes()),
+            rec,
+        );
+        let base = store.freeze(window);
+        let frontier = net.interactions().last().map(|i| i.time);
+        let tail = match frontier {
+            Some(f) => window_tail(net.interactions(), f, window),
+            None => Vec::new(),
+        };
+        Self::from_parts(base, frontier, tail, Vec::new(), 0)
+    }
+
+    /// Reassembles a layered oracle from persisted parts: the frozen base
+    /// arena, its frontier, the window tail retained at freeze time, the
+    /// pending appends, and the compaction generation.
+    ///
+    /// `tail ++ pending` must be ascending in time; the tail must be the
+    /// base suffix within the window of `base_frontier`.
+    pub fn from_parts(
+        base: FrozenExactOracle,
+        base_frontier: Option<Timestamp>,
+        tail: Vec<Interaction>,
+        pending: Vec<Interaction>,
+        generation: u64,
+    ) -> Self {
+        let window = base.window();
+        let min_nodes = InfluenceOracle::num_nodes(&base);
+        let mut log = tail;
+        let tail_len = log.len();
+        log.extend(pending);
+        let delta = DeltaOverlay::from_log(
+            window,
+            min_nodes,
+            base_frontier,
+            log,
+            tail_len,
+            ExactStore::with_nodes(0),
+        );
+        let overlay = delta.build_overlay_recorded(&NoopRecorder).freeze(window);
+        LayeredExactOracle {
+            base,
+            delta,
+            overlay,
+            generation,
+            stale: false,
+        }
+    }
+
+    /// The channel window `ω`.
+    pub fn window(&self) -> Window {
+        self.delta.window()
+    }
+
+    /// Compaction generation of the current base arena (starts at 0,
+    /// increments per [`compact`](Self::compact)).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// `true` when appends have not yet been folded into the overlay —
+    /// queries answer as of the last [`refresh`](Self::refresh).
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    /// Newest timestamp accepted so far (base or delta).
+    pub fn frontier(&self) -> Option<Timestamp> {
+        self.delta.frontier()
+    }
+
+    /// The frozen base arena of the current generation.
+    pub fn base(&self) -> &FrozenExactOracle {
+        &self.base
+    }
+
+    /// The frozen overlay arena of the last refresh.
+    pub fn overlay(&self) -> &FrozenExactOracle {
+        &self.overlay
+    }
+
+    /// The delta buffer (window tail + pending appends).
+    pub fn delta(&self) -> &DeltaOverlay<ExactStore> {
+        &self.delta
+    }
+
+    /// Buffers one forward-time interaction and marks the oracle stale.
+    pub fn append(&mut self, i: Interaction) -> Result<(), StaleAppend> {
+        self.append_recorded(i, &NoopRecorder)
+    }
+
+    /// [`append`](Self::append) counting into `delta.appends`.
+    pub fn append_recorded<R: Recorder>(
+        &mut self,
+        i: Interaction,
+        rec: &R,
+    ) -> Result<(), StaleAppend> {
+        self.delta.append(i)?;
+        self.stale = true;
+        if R::ENABLED {
+            rec.add(Counter::DeltaAppends, 1);
+            rec.gauge(Gauge::DeltaPending, metric_u64(self.delta.pending().len()));
+        }
+        Ok(())
+    }
+
+    /// Appends a time-sorted batch, recording its size into the
+    /// `delta.append_batch` histogram. Stops at (and returns) the first
+    /// stale interaction; earlier ones stay appended.
+    pub fn append_batch_recorded<R: Recorder>(
+        &mut self,
+        batch: &[Interaction],
+        rec: &R,
+    ) -> Result<(), StaleAppend> {
+        for &i in batch {
+            self.append_recorded(i, rec)?;
+        }
+        if R::ENABLED {
+            rec.record(Hist::DeltaAppendBatch, metric_u64(batch.len()));
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the overlay arena from the delta log, folding in every
+    /// pending append. Queries afterwards see the full appended history.
+    pub fn refresh(&mut self) {
+        self.refresh_recorded(&NoopRecorder);
+    }
+
+    /// [`refresh`](Self::refresh) timed under the `delta.refresh` span,
+    /// with the tail/pending gauges updated.
+    pub fn refresh_recorded<R: Recorder>(&mut self, rec: &R) {
+        let t0 = rec.span_start();
+        self.overlay = self
+            .delta
+            .build_overlay_recorded(rec)
+            .freeze(self.delta.window());
+        self.stale = false;
+        if R::ENABLED {
+            rec.add(Counter::DeltaRefreshes, 1);
+            rec.gauge(Gauge::DeltaPending, metric_u64(self.delta.pending().len()));
+            rec.gauge(Gauge::DeltaTail, metric_u64(self.delta.tail().len()));
+        }
+        rec.span_end(Span::DeltaRefresh, t0);
+    }
+
+    /// LSM-style re-freeze: expires log entries outside the window of the
+    /// new frontier, rebuilds a fresh base arena over the survivors with
+    /// the one-pass engine, and starts the next generation with an empty
+    /// pending log (the survivors become its window tail).
+    ///
+    /// Post-compaction answers are bit-identical to a from-scratch build
+    /// over the surviving interactions with the same node universe; see
+    /// the module docs for the retained-window semantics.
+    pub fn compact(&mut self) {
+        self.compact_recorded(&NoopRecorder);
+    }
+
+    /// [`compact`](Self::compact) timed under the `compaction.run` span,
+    /// counting expired interactions and the surviving input size, and
+    /// publishing the new generation to the `compaction.generation` gauge.
+    pub fn compact_recorded<R: Recorder>(&mut self, rec: &R) {
+        let t0 = rec.span_start();
+        let new_frontier = self.delta.frontier();
+        let universe = self.delta.universe();
+        let cut = new_frontier.map_or(0, |f| self.delta.expiry_cut(f));
+        if R::ENABLED {
+            rec.add(Counter::CompactionRuns, 1);
+            rec.add(Counter::CompactionExpired, metric_u64(cut));
+            rec.record(
+                Hist::CompactionInput,
+                metric_u64(self.delta.log().len() - cut),
+            );
+        }
+        let store = self.delta.build_slice_recorded(cut, universe, rec);
+        self.base = store.freeze(self.delta.window());
+        self.delta.roll_base(new_frontier, cut, universe);
+        self.generation += 1;
+        if R::ENABLED {
+            rec.gauge(Gauge::CompactionGeneration, self.generation);
+        }
+        self.refresh_recorded(rec);
+        rec.span_end(Span::CompactionRun, t0);
+    }
+
+    /// Entries of `φω(u)` as answered by the layered merge, sorted by
+    /// target id with the per-target minimum end time — bit-identical to
+    /// the summary a from-scratch arena over the same history stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is outside the universe.
+    pub fn summary(&self, u: NodeId) -> Vec<(NodeId, Timestamp)> {
+        assert!(
+            u.index() < InfluenceOracle::num_nodes(self),
+            "node {} outside the layered universe",
+            u.index()
+        );
+        let mut out = Vec::new();
+        merged_exact_for_each(self.base_summary(u), self.overlay_summary(u), |v, t| {
+            out.push((v, t));
+        });
+        out
+    }
+
+    /// The base layer's summary, empty for nodes the base arena predates.
+    fn base_summary(&self, u: NodeId) -> &[(NodeId, Timestamp)] {
+        if u.index() < InfluenceOracle::num_nodes(&self.base) {
+            self.base.summary(u)
+        } else {
+            &[]
+        }
+    }
+
+    /// The overlay layer's summary, empty for nodes past the overlay
+    /// universe (possible only for base nodes never touched by the log).
+    fn overlay_summary(&self, u: NodeId) -> &[(NodeId, Timestamp)] {
+        if u.index() < InfluenceOracle::num_nodes(&self.overlay) {
+            self.overlay.summary(u)
+        } else {
+            &[]
+        }
+    }
+}
+
+impl InfluenceOracle for LayeredExactOracle {
+    type Union = NodeBitset;
+
+    fn num_nodes(&self) -> usize {
+        InfluenceOracle::num_nodes(&self.overlay).max(InfluenceOracle::num_nodes(&self.base))
+    }
+
+    fn empty_union(&self) -> Self::Union {
+        NodeBitset::with_nodes(self.num_nodes())
+    }
+
+    fn union_size(&self, union: &Self::Union) -> f64 {
+        union.len() as f64
+    }
+
+    fn absorb(&self, union: &mut Self::Union, node: NodeId) {
+        // Distinct-target union: layer order is irrelevant, so no merge
+        // walk is needed — both layers' targets just land in the bitset.
+        for &(v, _) in self.base_summary(node) {
+            union.insert(v.index());
+        }
+        for &(v, _) in self.overlay_summary(node) {
+            union.insert(v.index());
+        }
+    }
+
+    fn marginal_gain(&self, union: &Self::Union, node: NodeId) -> f64 {
+        let mut gain = 0usize;
+        merged_exact_for_each(
+            self.base_summary(node),
+            self.overlay_summary(node),
+            |v, _| {
+                if !union.contains(v.index()) {
+                    gain += 1;
+                }
+            },
+        );
+        gain as f64
+    }
+
+    fn individual(&self, node: NodeId) -> f64 {
+        let mut count = 0usize;
+        merged_exact_for_each(
+            self.base_summary(node),
+            self.overlay_summary(node),
+            |_, _| {
+                count += 1;
+            },
+        );
+        count as f64
+    }
+
+    fn reset_union(&self, union: &mut Self::Union) {
+        union.clear();
+    }
+}
+
+/// Per-node estimates over the register-wise maximum of the two layers —
+/// the same estimator (and summation order) a from-scratch arena
+/// precomputes at freeze time, so reads are bit-identical.
+fn merged_individuals(base: &FrozenApproxOracle, overlay: &FrozenApproxOracle) -> Vec<f64> {
+    let beta = 1usize << overlay.precision();
+    let base_n = InfluenceOracle::num_nodes(base);
+    let n = InfluenceOracle::num_nodes(overlay).max(base_n);
+    let mut row = vec![0u8; beta];
+    let mut out = Vec::with_capacity(n);
+    for u in 0..n {
+        row.copy_from_slice(overlay.node_registers(NodeId::from_index(u)));
+        if u < base_n {
+            max_into(&mut row, base.node_registers(NodeId::from_index(u)));
+        }
+        out.push(estimate_from_registers(&row));
+    }
+    out
+}
+
+/// A sketch-based influence oracle layered as `frozen base arena ⊕ delta
+/// overlay`.
+///
+/// Queries reuse the fused block-merge kernel of [`FrozenApproxOracle`]:
+/// per-seed register blocks are the register-wise maximum of the base and
+/// overlay rows, streamed straight into the shared
+/// [`RunningEstimator`] — bit-identical to querying a from-scratch arena,
+/// because the merged registers *are* the from-scratch registers (see the
+/// module docs). Append/refresh/compact mirror [`LayeredExactOracle`].
+#[derive(Clone)]
+pub struct LayeredApproxOracle {
+    base: FrozenApproxOracle,
+    delta: DeltaOverlay<VhllStore>,
+    overlay: FrozenApproxOracle,
+    /// Merged per-node estimates, recomputed on refresh (the frozen-arena
+    /// analog precomputes these at freeze time).
+    individuals: Vec<f64>,
+    generation: u64,
+    stale: bool,
+}
+
+impl LayeredApproxOracle {
+    /// Builds the base arena from `net` at [`DEFAULT_PRECISION`] and seeds
+    /// the delta with its window tail.
+    pub fn from_network(net: &InteractionNetwork, window: Window) -> Self {
+        Self::from_network_with_precision(net, window, DEFAULT_PRECISION)
+    }
+
+    /// [`from_network`](Self::from_network) at an explicit sketch
+    /// precision.
+    pub fn from_network_with_precision(
+        net: &InteractionNetwork,
+        window: Window,
+        precision: u8,
+    ) -> Self {
+        Self::from_network_with_precision_recorded(net, window, precision, &NoopRecorder)
+    }
+
+    /// [`from_network_with_precision`](Self::from_network_with_precision)
+    /// with engine metrics reporting into `rec`.
+    pub fn from_network_with_precision_recorded<R: Recorder>(
+        net: &InteractionNetwork,
+        window: Window,
+        precision: u8,
+        rec: &R,
+    ) -> Self {
+        let store = ReversePassEngine::run_recorded(
+            net,
+            window,
+            VhllStore::with_nodes(precision, net.num_nodes()),
+            rec,
+        );
+        let base = store.freeze();
+        let frontier = net.interactions().last().map(|i| i.time);
+        let tail = match frontier {
+            Some(f) => window_tail(net.interactions(), f, window),
+            None => Vec::new(),
+        };
+        Self::from_parts(base, window, frontier, tail, Vec::new(), 0)
+    }
+
+    /// Reassembles a layered oracle from persisted parts. Unlike the exact
+    /// arena the register arena does not carry the window, so it is passed
+    /// explicitly; everything else mirrors
+    /// [`LayeredExactOracle::from_parts`].
+    pub fn from_parts(
+        base: FrozenApproxOracle,
+        window: Window,
+        base_frontier: Option<Timestamp>,
+        tail: Vec<Interaction>,
+        pending: Vec<Interaction>,
+        generation: u64,
+    ) -> Self {
+        let min_nodes = InfluenceOracle::num_nodes(&base);
+        let precision = base.precision();
+        let mut log = tail;
+        let tail_len = log.len();
+        log.extend(pending);
+        let delta = DeltaOverlay::from_log(
+            window,
+            min_nodes,
+            base_frontier,
+            log,
+            tail_len,
+            VhllStore::with_nodes(precision, 0),
+        );
+        let overlay = delta.build_overlay_recorded(&NoopRecorder).freeze();
+        let individuals = merged_individuals(&base, &overlay);
+        LayeredApproxOracle {
+            base,
+            delta,
+            overlay,
+            individuals,
+            generation,
+            stale: false,
+        }
+    }
+
+    /// The channel window `ω`.
+    pub fn window(&self) -> Window {
+        self.delta.window()
+    }
+
+    /// The sketch precision `k` (so `β = 2^k`).
+    pub fn precision(&self) -> u8 {
+        self.base.precision()
+    }
+
+    /// Compaction generation of the current base arena.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// `true` when appends have not yet been folded into the overlay.
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    /// Newest timestamp accepted so far (base or delta).
+    pub fn frontier(&self) -> Option<Timestamp> {
+        self.delta.frontier()
+    }
+
+    /// The frozen base arena of the current generation.
+    pub fn base(&self) -> &FrozenApproxOracle {
+        &self.base
+    }
+
+    /// The frozen overlay arena of the last refresh.
+    pub fn overlay(&self) -> &FrozenApproxOracle {
+        &self.overlay
+    }
+
+    /// The delta buffer (window tail + pending appends).
+    pub fn delta(&self) -> &DeltaOverlay<VhllStore> {
+        &self.delta
+    }
+
+    /// Buffers one forward-time interaction and marks the oracle stale.
+    pub fn append(&mut self, i: Interaction) -> Result<(), StaleAppend> {
+        self.append_recorded(i, &NoopRecorder)
+    }
+
+    /// [`append`](Self::append) counting into `delta.appends`.
+    pub fn append_recorded<R: Recorder>(
+        &mut self,
+        i: Interaction,
+        rec: &R,
+    ) -> Result<(), StaleAppend> {
+        self.delta.append(i)?;
+        self.stale = true;
+        if R::ENABLED {
+            rec.add(Counter::DeltaAppends, 1);
+            rec.gauge(Gauge::DeltaPending, metric_u64(self.delta.pending().len()));
+        }
+        Ok(())
+    }
+
+    /// Appends a time-sorted batch, recording its size into the
+    /// `delta.append_batch` histogram. Stops at (and returns) the first
+    /// stale interaction; earlier ones stay appended.
+    pub fn append_batch_recorded<R: Recorder>(
+        &mut self,
+        batch: &[Interaction],
+        rec: &R,
+    ) -> Result<(), StaleAppend> {
+        for &i in batch {
+            self.append_recorded(i, rec)?;
+        }
+        if R::ENABLED {
+            rec.record(Hist::DeltaAppendBatch, metric_u64(batch.len()));
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the overlay arena (and the merged per-node estimates)
+    /// from the delta log, folding in every pending append.
+    pub fn refresh(&mut self) {
+        self.refresh_recorded(&NoopRecorder);
+    }
+
+    /// [`refresh`](Self::refresh) timed under the `delta.refresh` span,
+    /// with the tail/pending gauges updated.
+    pub fn refresh_recorded<R: Recorder>(&mut self, rec: &R) {
+        let t0 = rec.span_start();
+        self.overlay = self.delta.build_overlay_recorded(rec).freeze();
+        self.individuals = merged_individuals(&self.base, &self.overlay);
+        self.stale = false;
+        if R::ENABLED {
+            rec.add(Counter::DeltaRefreshes, 1);
+            rec.gauge(Gauge::DeltaPending, metric_u64(self.delta.pending().len()));
+            rec.gauge(Gauge::DeltaTail, metric_u64(self.delta.tail().len()));
+        }
+        rec.span_end(Span::DeltaRefresh, t0);
+    }
+
+    /// LSM-style re-freeze; see [`LayeredExactOracle::compact`].
+    pub fn compact(&mut self) {
+        self.compact_recorded(&NoopRecorder);
+    }
+
+    /// [`compact`](Self::compact) timed under the `compaction.run` span;
+    /// see [`LayeredExactOracle::compact_recorded`].
+    pub fn compact_recorded<R: Recorder>(&mut self, rec: &R) {
+        let t0 = rec.span_start();
+        let new_frontier = self.delta.frontier();
+        let universe = self.delta.universe();
+        let cut = new_frontier.map_or(0, |f| self.delta.expiry_cut(f));
+        if R::ENABLED {
+            rec.add(Counter::CompactionRuns, 1);
+            rec.add(Counter::CompactionExpired, metric_u64(cut));
+            rec.record(
+                Hist::CompactionInput,
+                metric_u64(self.delta.log().len() - cut),
+            );
+        }
+        let store = self.delta.build_slice_recorded(cut, universe, rec);
+        self.base = store.freeze();
+        self.delta.roll_base(new_frontier, cut, universe);
+        self.generation += 1;
+        if R::ENABLED {
+            rec.gauge(Gauge::CompactionGeneration, self.generation);
+        }
+        self.refresh_recorded(rec);
+        rec.span_end(Span::CompactionRun, t0);
+    }
+
+    /// The base layer's register row, or `None` for nodes the base arena
+    /// predates (their registers are all-zero by definition).
+    fn base_registers(&self, node: NodeId) -> Option<&[u8]> {
+        (node.index() < InfluenceOracle::num_nodes(&self.base))
+            .then(|| self.base.node_registers(node))
+    }
+}
+
+impl InfluenceOracle for LayeredApproxOracle {
+    type Union = HyperLogLog;
+
+    fn num_nodes(&self) -> usize {
+        self.individuals.len()
+    }
+
+    /// Fused k-way union over the *layered* rows: per-seed blocks are the
+    /// register-wise maximum of the base and overlay slices, merged block
+    /// by block in a small stack buffer and streamed into the shared
+    /// estimator kernel — the same loop as the frozen arena, fed the same
+    /// merged bytes in the same order, hence bit-identical answers.
+    fn influence(&self, seeds: &[NodeId]) -> f64 {
+        const BLOCK: usize = 64;
+        let beta = 1usize << self.precision();
+        let step = BLOCK.min(beta);
+        let mut est = RunningEstimator::new();
+        let mut block = [0u8; BLOCK];
+        let mut base = 0usize;
+        while base < beta {
+            let blk = &mut block[..step];
+            if let Some((&first, rest)) = seeds.split_first() {
+                blk.copy_from_slice(&self.overlay.node_registers(first)[base..base + step]);
+                if let Some(row) = self.base_registers(first) {
+                    max_into(blk, &row[base..base + step]);
+                }
+                for &s in rest {
+                    max_into(blk, &self.overlay.node_registers(s)[base..base + step]);
+                    if let Some(row) = self.base_registers(s) {
+                        max_into(blk, &row[base..base + step]);
+                    }
+                }
+            } else {
+                blk.fill(0);
+            }
+            est.absorb_registers(blk);
+            base += step;
+        }
+        est.finish()
+    }
+
+    fn empty_union(&self) -> Self::Union {
+        HyperLogLog::new(self.precision())
+    }
+
+    fn union_size(&self, union: &Self::Union) -> f64 {
+        union.estimate()
+    }
+
+    fn absorb(&self, union: &mut Self::Union, node: NodeId) {
+        // Register max is associative and commutative, so folding the two
+        // layers in sequence equals folding their merged row.
+        union.merge_registers(self.overlay.node_registers(node));
+        if let Some(row) = self.base_registers(node) {
+            union.merge_registers(row);
+        }
+    }
+
+    /// Streams `max(union, base row, overlay row)` block by block through
+    /// the estimator kernel — the same register sequence (and therefore
+    /// the same float summation order) as the frozen arena probing the
+    /// merged row, with no allocation.
+    fn marginal_gain(&self, union: &Self::Union, node: NodeId) -> f64 {
+        const BLOCK: usize = 64;
+        let beta = 1usize << self.precision();
+        let step = BLOCK.min(beta);
+        let regs = union.registers();
+        let over = self.overlay.node_registers(node);
+        let base_row = self.base_registers(node);
+        let mut est = RunningEstimator::new();
+        let mut block = [0u8; BLOCK];
+        let mut base = 0usize;
+        while base < beta {
+            let blk = &mut block[..step];
+            blk.copy_from_slice(&regs[base..base + step]);
+            max_into(blk, &over[base..base + step]);
+            if let Some(row) = base_row {
+                max_into(blk, &row[base..base + step]);
+            }
+            est.absorb_registers(blk);
+            base += step;
+        }
+        est.finish() - union.estimate()
+    }
+
+    fn individual(&self, node: NodeId) -> f64 {
+        self.individuals[node.index()]
+    }
+
+    fn reset_union(&self, union: &mut Self::Union) {
+        if union.precision() == self.precision() {
+            union.clear();
+        } else {
+            *union = self.empty_union();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ReversePassEngine;
+
+    const PRECISION: u8 = 6;
+
+    /// Deterministic dense network: distinct ascending timestamps, every
+    /// node id in [0, 13) appears early.
+    fn triples(n: usize) -> Vec<(u32, u32, i64)> {
+        (0..n as u32)
+            .map(|i| (i % 13, (i * 5 + 1) % 13, i as i64))
+            .filter(|&(s, d, _)| s != d)
+            .collect()
+    }
+
+    /// Triples with heavy timestamp ties (pairs share a time), including
+    /// across any prefix/suffix split.
+    fn tied_triples(n: usize) -> Vec<(u32, u32, i64)> {
+        (0..n as u32)
+            .map(|i| (i % 13, (i * 5 + 1) % 13, (i / 2) as i64))
+            .filter(|&(s, d, _)| s != d)
+            .collect()
+    }
+
+    fn interactions(triples: &[(u32, u32, i64)]) -> Vec<Interaction> {
+        triples
+            .iter()
+            .map(|&(s, d, t)| Interaction::from_raw(s, d, t))
+            .collect()
+    }
+
+    fn layered_exact_at_split(
+        all: &[(u32, u32, i64)],
+        split: usize,
+        w: Window,
+    ) -> LayeredExactOracle {
+        let base_net = InteractionNetwork::from_triples(all[..split].iter().copied());
+        let mut layered = LayeredExactOracle::from_network(&base_net, w);
+        for i in interactions(&all[split..]) {
+            layered.append(i).unwrap();
+        }
+        layered.refresh();
+        layered
+    }
+
+    fn scratch_exact(all: &[(u32, u32, i64)], w: Window) -> FrozenExactOracle {
+        let net = InteractionNetwork::from_triples(all.iter().copied());
+        ReversePassEngine::run(&net, w, ExactStore::with_nodes(net.num_nodes())).freeze(w)
+    }
+
+    fn assert_exact_parity(layered: &LayeredExactOracle, scratch: &FrozenExactOracle) {
+        let n = InfluenceOracle::num_nodes(scratch);
+        assert_eq!(InfluenceOracle::num_nodes(layered), n);
+        for u in 0..n {
+            let u = NodeId::from_index(u);
+            assert_eq!(
+                layered.summary(u),
+                scratch.summary(u).to_vec(),
+                "node {u:?}"
+            );
+            assert_eq!(layered.individual(u), scratch.individual(u));
+        }
+        let seeds: Vec<NodeId> = (0..n.min(4)).map(NodeId::from_index).collect();
+        assert_eq!(layered.influence(&seeds), scratch.influence(&seeds));
+        // Marginal gains against a partially-filled union.
+        let mut lu = layered.empty_union();
+        let mut su = scratch.empty_union();
+        if n > 0 {
+            layered.absorb(&mut lu, NodeId(0));
+            scratch.absorb(&mut su, NodeId(0));
+            for u in 0..n {
+                let u = NodeId::from_index(u);
+                assert_eq!(layered.marginal_gain(&lu, u), scratch.marginal_gain(&su, u));
+            }
+        }
+    }
+
+    #[test]
+    fn append_behind_frontier_is_rejected() {
+        let all = triples(40);
+        let base_net = InteractionNetwork::from_triples(all.iter().copied());
+        let mut layered = LayeredExactOracle::from_network(&base_net, Window(10));
+        let frontier = layered.frontier().unwrap();
+        let err = layered
+            .append(Interaction::from_raw(0, 1, frontier.get() - 1))
+            .unwrap_err();
+        assert_eq!(err.frontier, frontier);
+        assert_eq!(err.got, Timestamp(frontier.get() - 1));
+        // Ties with the frontier are accepted.
+        layered
+            .append(Interaction::from_raw(0, 1, frontier.get()))
+            .unwrap();
+        assert!(layered.is_stale());
+    }
+
+    #[test]
+    fn exact_layered_matches_scratch_across_splits() {
+        let all = triples(60);
+        let scratch = scratch_exact(&all, Window(15));
+        for split in [1, 17, 30, all.len() - 1] {
+            let layered = layered_exact_at_split(&all, split, Window(15));
+            assert_exact_parity(&layered, &scratch);
+        }
+    }
+
+    #[test]
+    fn exact_layered_matches_scratch_with_tie_spanning_split() {
+        let all = tied_triples(60);
+        let scratch = scratch_exact(&all, Window(8));
+        // Split 31 lands mid tie-batch (times i/2 pair up entries).
+        for split in [21, 31] {
+            let layered = layered_exact_at_split(&all, split, Window(8));
+            assert_exact_parity(&layered, &scratch);
+        }
+    }
+
+    #[test]
+    fn tail_only_overlay_is_identity() {
+        let all = triples(50);
+        let net = InteractionNetwork::from_triples(all.iter().copied());
+        let layered = LayeredExactOracle::from_network(&net, Window(12));
+        let scratch = scratch_exact(&all, Window(12));
+        assert!(!layered.is_stale());
+        assert_exact_parity(&layered, &scratch);
+    }
+
+    #[test]
+    fn stale_queries_answer_as_of_last_refresh() {
+        let all = triples(50);
+        let split = 30;
+        let base_net = InteractionNetwork::from_triples(all[..split].iter().copied());
+        let mut layered = LayeredExactOracle::from_network(&base_net, Window(12));
+        let before = layered.influence(&[NodeId(0)]);
+        for i in interactions(&all[split..]) {
+            layered.append(i).unwrap();
+        }
+        assert!(layered.is_stale());
+        assert_eq!(layered.influence(&[NodeId(0)]), before);
+        layered.refresh();
+        assert!(!layered.is_stale());
+        assert_exact_parity(&layered, &scratch_exact(&all, Window(12)));
+    }
+
+    #[test]
+    fn approx_layered_matches_scratch_bit_identically() {
+        let all = tied_triples(60);
+        let w = Window(9);
+        let net = InteractionNetwork::from_triples(all.iter().copied());
+        let scratch =
+            ReversePassEngine::run(&net, w, VhllStore::with_nodes(PRECISION, net.num_nodes()))
+                .freeze();
+        for split in [1, 25, 44] {
+            let base_net = InteractionNetwork::from_triples(all[..split].iter().copied());
+            let mut layered =
+                LayeredApproxOracle::from_network_with_precision(&base_net, w, PRECISION);
+            for i in interactions(&all[split..]) {
+                layered.append(i).unwrap();
+            }
+            layered.refresh();
+            let n = InfluenceOracle::num_nodes(&scratch);
+            assert_eq!(InfluenceOracle::num_nodes(&layered), n);
+            for u in 0..n {
+                let u = NodeId::from_index(u);
+                assert_eq!(layered.individual(u), scratch.individual(u), "node {u:?}");
+            }
+            let seeds: Vec<NodeId> = (0..4).map(NodeId::from_index).collect();
+            assert_eq!(layered.influence(&seeds), scratch.influence(&seeds));
+            assert_eq!(layered.influence(&[]), scratch.influence(&[]));
+            let mut lu = layered.empty_union();
+            let mut su = scratch.empty_union();
+            layered.absorb(&mut lu, NodeId(2));
+            scratch.absorb(&mut su, NodeId(2));
+            assert_eq!(lu.registers(), su.registers());
+            for u in 0..n {
+                let u = NodeId::from_index(u);
+                assert_eq!(layered.marginal_gain(&lu, u), scratch.marginal_gain(&su, u));
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_is_bit_identical_to_scratch_over_survivors() {
+        let all = triples(60);
+        let w = Window(15);
+        let mut layered = layered_exact_at_split(&all, 35, w);
+        let universe = layered.delta().universe();
+        // Reference: from-scratch one-pass build over the window-surviving
+        // suffix with the same universe.
+        let ints = interactions(&all);
+        let frontier = ints.last().unwrap().time;
+        let surviving = window_tail(&ints, frontier, w);
+        let mut store = ExactStore::with_nodes(universe);
+        store.ensure_nodes(universe);
+        let reference = ReversePassEngine::run_slice(&surviving, w, store).freeze(w);
+
+        layered.compact();
+        assert_eq!(layered.generation(), 1);
+        assert_eq!(layered.delta().pending().len(), 0);
+        assert_eq!(layered.delta().tail().len(), surviving.len());
+        assert_eq!(layered.base().offsets(), reference.offsets());
+        assert_eq!(layered.base().entries(), reference.entries());
+        // Tail-only overlay merges to identity: queries equal the new base.
+        assert_exact_parity(&layered, &reference);
+
+        // Appends keep working across the generation boundary.
+        let t = layered.frontier().unwrap().get();
+        layered.append(Interaction::from_raw(1, 2, t + 1)).unwrap();
+        layered.refresh();
+        assert!(layered.individual(NodeId(1)) >= 1.0);
+    }
+
+    #[test]
+    fn compaction_expires_interactions_outside_window() {
+        let all = triples(30);
+        let w = Window(10);
+        let mut layered = layered_exact_at_split(&all, 20, w);
+        // One append far beyond the window expires the whole old log.
+        layered.append(Interaction::from_raw(3, 7, 1_000)).unwrap();
+        layered.compact();
+        assert_eq!(layered.delta().tail().len(), 1);
+        // Only the 3 → 7 channel survives.
+        assert_eq!(layered.individual(NodeId(3)), 1.0);
+        assert_eq!(
+            layered.summary(NodeId(3)),
+            vec![(NodeId(7), Timestamp(1_000))]
+        );
+        for u in 0..InfluenceOracle::num_nodes(&layered) {
+            if u != 3 {
+                assert_eq!(layered.individual(NodeId::from_index(u)), 0.0, "node {u}");
+            }
+        }
+        // The universe never shrinks at compaction.
+        assert_eq!(InfluenceOracle::num_nodes(&layered), 13);
+    }
+
+    #[test]
+    fn approx_compaction_matches_scratch_over_survivors() {
+        let all = tied_triples(50);
+        let w = Window(7);
+        let base_net = InteractionNetwork::from_triples(all[..30].iter().copied());
+        let mut layered = LayeredApproxOracle::from_network_with_precision(&base_net, w, PRECISION);
+        for i in interactions(&all[30..]) {
+            layered.append(i).unwrap();
+        }
+        layered.refresh();
+        let universe = layered.delta().universe();
+        let ints = interactions(&all);
+        let frontier = ints.last().unwrap().time;
+        let surviving = window_tail(&ints, frontier, w);
+        let mut store = VhllStore::with_nodes(PRECISION, 0);
+        store.ensure_nodes(universe);
+        let reference = ReversePassEngine::run_slice(&surviving, w, store).freeze();
+
+        layered.compact();
+        assert_eq!(layered.base().registers(), reference.registers());
+        let seeds: Vec<NodeId> = (0..5).map(NodeId::from_index).collect();
+        assert_eq!(layered.influence(&seeds), reference.influence(&seeds));
+        for u in 0..InfluenceOracle::num_nodes(&reference) {
+            let u = NodeId::from_index(u);
+            assert_eq!(layered.individual(u), reference.individual(u));
+        }
+    }
+
+    #[test]
+    fn universe_grows_with_appended_node_ids() {
+        let all = triples(30);
+        let base_net = InteractionNetwork::from_triples(all[..20].iter().copied());
+        let mut layered = LayeredExactOracle::from_network(&base_net, Window(10));
+        let t = layered.frontier().unwrap().get();
+        // Self-loop on a brand-new id pads the universe without edges.
+        layered
+            .append(Interaction::from_raw(40, 40, t + 1))
+            .unwrap();
+        layered.refresh();
+        assert_eq!(InfluenceOracle::num_nodes(&layered), 41);
+        assert_eq!(layered.individual(NodeId(40)), 0.0);
+        assert_eq!(layered.summary(NodeId(40)), Vec::new());
+    }
+
+    #[test]
+    fn delta_overlay_metrics_flow() {
+        use crate::obs::MetricsRecorder;
+        let all = triples(40);
+        let base_net = InteractionNetwork::from_triples(all[..25].iter().copied());
+        let rec = MetricsRecorder::new();
+        let mut layered = LayeredExactOracle::from_network(&base_net, Window(10));
+        layered
+            .append_batch_recorded(&interactions(&all[25..]), &rec)
+            .unwrap();
+        layered.refresh_recorded(&rec);
+        layered.compact_recorded(&rec);
+        let snapshot = rec.snapshot().to_json();
+        for key in [
+            "delta.appends",
+            "delta.refreshes",
+            "delta.append_batch",
+            "delta.pending_interactions",
+            "delta.tail_interactions",
+            "delta.refresh",
+            "compaction.runs",
+            "compaction.generation",
+            "compaction.input_interactions",
+            "compaction.run",
+        ] {
+            assert!(snapshot.contains(key), "missing {key}: {snapshot}");
+        }
+    }
+}

@@ -816,6 +816,21 @@ impl<S: SummaryStore> ReversePassEngine<S> {
     pub fn run(net: &InteractionNetwork, window: Window, store: S) -> S {
         Self::run_recorded(net, window, store, &NoopRecorder)
     }
+
+    /// Re-entrant variant of [`run`](Self::run) over a raw time-sorted
+    /// slice: the reverse pass is applied on top of whatever summaries
+    /// `store` already holds, growing the node universe as needed but never
+    /// shrinking it. This is the compaction/overlay entry point of the
+    /// layered oracle ([`crate::DeltaOverlay`]) — a seeded store can be
+    /// extended with a tail of newer interactions without materializing an
+    /// [`InteractionNetwork`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 1`.
+    pub fn run_slice(ints: &[Interaction], window: Window, store: S) -> S {
+        Self::run_slice_recorded(ints, window, store, &NoopRecorder)
+    }
 }
 
 impl<S: SummaryStore, R: Recorder> ReversePassEngine<S, R> {
@@ -859,6 +874,34 @@ impl<S: SummaryStore, R: Recorder> ReversePassEngine<S, R> {
         let t0 = rec.span_start();
         store.ensure_nodes(net.num_nodes());
         for_each_tie_batch(net.interactions(), |batch| {
+            apply_batch_recorded(&mut store, batch, window, rec);
+        });
+        rec.span_end(Span::EngineRun, t0);
+        store
+    }
+
+    /// [`run_slice`](Self::run_slice) with driver-level instrumentation —
+    /// the same `engine.run` span and interaction/tie-batch counters as
+    /// [`run_recorded`](Self::run_recorded), applied over a raw ascending
+    /// slice on top of a (possibly pre-seeded) store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 1`.
+    pub fn run_slice_recorded(ints: &[Interaction], window: Window, mut store: S, rec: &R) -> S {
+        window.assert_valid();
+        debug_assert!(
+            ints.windows(2).all(|w| w[0].time <= w[1].time),
+            "interaction slice is not sorted by time"
+        );
+        let t0 = rec.span_start();
+        let min_nodes = ints
+            .iter()
+            .map(|i| i.src.index().max(i.dst.index()) + 1)
+            .max()
+            .unwrap_or(0);
+        store.ensure_nodes(min_nodes);
+        for_each_tie_batch(ints, |batch| {
             apply_batch_recorded(&mut store, batch, window, rec);
         });
         rec.span_end(Span::EngineRun, t0);
@@ -1004,6 +1047,32 @@ mod tests {
         vs.ensure_nodes(3);
         assert_eq!(vs.num_nodes(), 3);
         assert_eq!(vs.precision(), 5);
+    }
+
+    #[test]
+    fn run_slice_matches_run_over_full_network() {
+        let net = figure1a();
+        for w in [1i64, 3, 8] {
+            let via_net =
+                ReversePassEngine::run(&net, Window(w), ExactStore::with_nodes(net.num_nodes()));
+            let via_slice = ReversePassEngine::run_slice(
+                net.interactions(),
+                Window(w),
+                ExactStore::with_nodes(0),
+            );
+            assert_eq!(via_net.summaries(), via_slice.summaries(), "ω={w}");
+        }
+    }
+
+    #[test]
+    fn run_slice_grows_but_never_shrinks_seeded_store() {
+        let net = figure1a();
+        // A store pre-seeded with more slots than the slice mentions keeps
+        // them; the extra slots simply stay empty.
+        let store =
+            ReversePassEngine::run_slice(net.interactions(), Window(3), ExactStore::with_nodes(10));
+        assert_eq!(store.num_nodes(), 10);
+        assert!(store.summaries()[8].is_empty());
     }
 
     #[test]

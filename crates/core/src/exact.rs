@@ -187,6 +187,22 @@ impl ExactIrs {
         frozen
     }
 
+    /// Freezes the summaries into the base arena of a
+    /// [`LayeredExactOracle`](crate::LayeredExactOracle), exporting the
+    /// window tail of `net` (the suffix still inside `ω` of the last
+    /// interaction) as the delta seed so forward appends can combine with
+    /// frozen history. `net` must be the network this IRS was computed
+    /// from.
+    pub fn layered(&self, net: &InteractionNetwork) -> crate::LayeredExactOracle {
+        let base = self.freeze();
+        let frontier = net.interactions().last().map(|i| i.time);
+        let tail = match frontier {
+            Some(f) => crate::delta::window_tail(net.interactions(), f, self.window),
+            None => Vec::new(),
+        };
+        crate::LayeredExactOracle::from_parts(base, frontier, tail, Vec::new(), 0)
+    }
+
     /// Checks the structural invariants of every summary (no self-entries,
     /// end times inside the interaction range) — the on-demand entry point
     /// of the [`invariants`](crate::invariants) verification layer.

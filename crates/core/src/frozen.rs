@@ -252,7 +252,7 @@ impl FrozenApproxOracle {
     pub fn from_registers_arena(precision: u8, registers: Vec<u8>) -> Self {
         let beta = 1usize << precision;
         assert!(
-            registers.len() % beta == 0,
+            registers.len().is_multiple_of(beta),
             "register arena must hold whole β-sized node slots"
         );
         let individuals = registers

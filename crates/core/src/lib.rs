@@ -77,6 +77,7 @@
 mod approx;
 mod brute;
 mod channel;
+mod delta;
 pub mod engine;
 mod exact;
 mod frozen;
@@ -102,6 +103,7 @@ pub type FastSet<K> = infprop_hll::hash::FastHashSet<K>;
 pub use approx::{ApproxIrs, DEFAULT_PRECISION};
 pub use brute::{brute_force_irs, brute_force_irs_all};
 pub use channel::{channels_from, find_channel, Channel};
+pub use delta::{DeltaOverlay, LayeredApproxOracle, LayeredExactOracle, StaleAppend};
 pub use engine::{
     ExactStore, ExactSummary, OutOfOrder, ReversePassEngine, SummaryStore, VhllStore,
 };
@@ -114,5 +116,6 @@ pub use maximize::{
 };
 pub use obs::{HeapBytes, MetricsRecorder, MetricsSnapshot, NoopRecorder, Recorder};
 pub use oracle::{ApproxOracle, ExactOracle, InfluenceOracle, NodeBitset};
+pub use persist::{LayeredKind, LayeredManifest, MANIFEST_FILE};
 pub use profile::{ContactDirection, SlidingContacts};
 pub use stream::{ApproxIrsStream, ExactIrsStream};

@@ -89,11 +89,19 @@ pub enum Counter {
     ParScratchReuse,
     /// Monte-Carlo simulation runs executed.
     SimRuns,
+    /// Forward-time interactions appended to a delta overlay.
+    DeltaAppends,
+    /// Overlay rebuilds (`LayeredOracle::refresh`) executed.
+    DeltaRefreshes,
+    /// LSM-style re-freeze compactions executed.
+    CompactionRuns,
+    /// Interactions dropped by sliding-window expiry at compaction.
+    CompactionExpired,
 }
 
 impl Counter {
     /// Every counter, in stable catalogue (serialization) order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 24] = [
         Counter::EngineInteractions,
         Counter::EngineTieBatches,
         Counter::EngineOutOfOrderRejects,
@@ -114,6 +122,10 @@ impl Counter {
         Counter::ParChunks,
         Counter::ParScratchReuse,
         Counter::SimRuns,
+        Counter::DeltaAppends,
+        Counter::DeltaRefreshes,
+        Counter::CompactionRuns,
+        Counter::CompactionExpired,
     ];
 
     /// Stable dotted metric name.
@@ -139,6 +151,10 @@ impl Counter {
             Counter::ParChunks => "par.chunks",
             Counter::ParScratchReuse => "par.scratch_reuse",
             Counter::SimRuns => "sim.runs",
+            Counter::DeltaAppends => "delta.appends",
+            Counter::DeltaRefreshes => "delta.refreshes",
+            Counter::CompactionRuns => "compaction.runs",
+            Counter::CompactionExpired => "compaction.expired_interactions",
         }
     }
 
@@ -162,16 +178,27 @@ pub enum Gauge {
     /// Heap bytes owned by a frozen oracle arena (offsets + flat entries or
     /// registers), set when a store or IRS is frozen.
     FrozenBytes,
+    /// Forward-time interactions buffered in the delta overlay but not yet
+    /// folded into the overlay arena (delta depth awaiting refresh).
+    DeltaPending,
+    /// Window-surviving base-tail interactions the overlay replays on each
+    /// refresh.
+    DeltaTail,
+    /// Current base-arena generation of a layered oracle.
+    CompactionGeneration,
 }
 
 impl Gauge {
     /// Every gauge, in stable catalogue (serialization) order.
-    pub const ALL: [Gauge; 5] = [
+    pub const ALL: [Gauge; 8] = [
         Gauge::StoreHeapBytes,
         Gauge::StoreNodes,
         Gauge::StoreEntries,
         Gauge::OracleHeapBytes,
         Gauge::FrozenBytes,
+        Gauge::DeltaPending,
+        Gauge::DeltaTail,
+        Gauge::CompactionGeneration,
     ];
 
     /// Stable dotted metric name.
@@ -182,6 +209,9 @@ impl Gauge {
             Gauge::StoreEntries => "store.entries",
             Gauge::OracleHeapBytes => "oracle.heap_bytes",
             Gauge::FrozenBytes => "frozen.bytes",
+            Gauge::DeltaPending => "delta.pending_interactions",
+            Gauge::DeltaTail => "delta.tail_interactions",
+            Gauge::CompactionGeneration => "compaction.generation",
         }
     }
 
@@ -204,16 +234,22 @@ pub enum Hist {
     OracleUnionSize,
     /// Wall time per parallel chunk (unit: nanoseconds).
     ParChunkNs,
+    /// Interactions per delta-overlay append batch (unit: interactions).
+    DeltaAppendBatch,
+    /// Interactions fed to each compaction rebuild (unit: interactions).
+    CompactionInput,
 }
 
 impl Hist {
     /// Every histogram, in stable catalogue (serialization) order.
-    pub const ALL: [Hist; 5] = [
+    pub const ALL: [Hist; 7] = [
         Hist::EngineTieBatchSize,
         Hist::ExactMergeSrcLen,
         Hist::ExactSpliceLen,
         Hist::OracleUnionSize,
         Hist::ParChunkNs,
+        Hist::DeltaAppendBatch,
+        Hist::CompactionInput,
     ];
 
     /// Stable dotted metric name.
@@ -224,6 +260,8 @@ impl Hist {
             Hist::ExactSpliceLen => "exact.splice_len",
             Hist::OracleUnionSize => "oracle.union_size",
             Hist::ParChunkNs => "par.chunk_ns",
+            Hist::DeltaAppendBatch => "delta.append_batch",
+            Hist::CompactionInput => "compaction.input_interactions",
         }
     }
 
@@ -246,16 +284,25 @@ pub enum Span {
     GreedySelect,
     /// One Monte-Carlo simulation batch.
     SimRun,
+    /// One delta-overlay rebuild (`LayeredOracle::refresh`).
+    DeltaRefresh,
+    /// One LSM-style re-freeze compaction.
+    CompactionRun,
+    /// One oracle file/directory load (CLI `oracle-query`).
+    OracleLoad,
 }
 
 impl Span {
     /// Every span, in stable catalogue (serialization) order.
-    pub const ALL: [Span; 5] = [
+    pub const ALL: [Span; 8] = [
         Span::EngineRun,
         Span::OracleSweep,
         Span::OracleQueryBatch,
         Span::GreedySelect,
         Span::SimRun,
+        Span::DeltaRefresh,
+        Span::CompactionRun,
+        Span::OracleLoad,
     ];
 
     /// Stable dotted metric name.
@@ -266,6 +313,9 @@ impl Span {
             Span::OracleQueryBatch => "oracle.query_batch",
             Span::GreedySelect => "greedy.select",
             Span::SimRun => "sim.run",
+            Span::DeltaRefresh => "delta.refresh",
+            Span::CompactionRun => "compaction.run",
+            Span::OracleLoad => "oracle.load",
         }
     }
 

@@ -19,21 +19,48 @@
 //!
 //! Formats are little-endian and validated on read (magic, version,
 //! precision, per-sketch/per-summary invariants) via [`CodecError`].
+//!
+//! # Layered oracle directories
+//!
+//! A [`LayeredExactOracle`]/[`LayeredApproxOracle`] persists as a
+//! *directory* of generation-stamped files rather than a single blob:
+//!
+//! * `gen-N.arena` — the frozen base arena of generation `N` (`IPFE` or
+//!   `IPFA`, unchanged formats);
+//! * `gen-N.tail` / `gen-N.pending` — interaction logs (`"IPIL"`: 16-byte
+//!   little-endian `(src, dst, time)` records) holding the window tail and
+//!   the forward appends;
+//! * `MANIFEST` — the `"IPMF"` commit record naming the live generation,
+//!   the oracle kind, the base frontier, and the window.
+//!
+//! Every file is written to a `.tmp` sibling and atomically renamed into
+//! place, and the `MANIFEST` is written **last**: a crash anywhere during a
+//! save or compaction leaves the previous manifest pointing at the
+//! previous generation's complete files, which remain loadable. Stale
+//! generations are swept only after the manifest commit.
 
 use crate::approx::ApproxIrs;
+use crate::delta::{LayeredApproxOracle, LayeredExactOracle};
 use crate::engine::ExactSummary;
 use crate::exact::ExactIrs;
 use crate::frozen::{FrozenApproxOracle, FrozenExactOracle};
 use crate::oracle::{ApproxOracle, InfluenceOracle};
-use infprop_hll::{CodecError, HyperLogLog, VersionedHll, FORMAT_VERSION};
-use infprop_temporal_graph::{NodeId, Timestamp, Window};
+use infprop_hll::{validate_version, CodecError, HyperLogLog, VersionedHll, FORMAT_VERSION};
+use infprop_temporal_graph::{Interaction, NodeId, Timestamp, Window};
+use std::fs;
 use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
 
 const ORACLE_MAGIC: &[u8; 4] = b"IPAO";
 const IRS_MAGIC: &[u8; 4] = b"IPAI";
 const EXACT_MAGIC: &[u8; 4] = b"IPEI";
 const FROZEN_EXACT_MAGIC: &[u8; 4] = b"IPFE";
 const FROZEN_APPROX_MAGIC: &[u8; 4] = b"IPFA";
+const MANIFEST_MAGIC: &[u8; 4] = b"IPMF";
+const LOG_MAGIC: &[u8; 4] = b"IPIL";
+
+/// File name of the layered-directory commit record.
+pub const MANIFEST_FILE: &str = "MANIFEST";
 
 fn read_array<const N: usize>(r: &mut impl Read) -> Result<[u8; N], CodecError> {
     let mut buf = [0u8; N];
@@ -66,9 +93,7 @@ impl ApproxOracle {
             return Err(CodecError::BadMagic);
         }
         let [version, precision] = read_array::<2>(r)?;
-        if version != FORMAT_VERSION {
-            return Err(CodecError::BadVersion(version));
-        }
+        validate_version(version)?;
         if !(4..=16).contains(&precision) {
             return Err(CodecError::Corrupt("precision out of range"));
         }
@@ -115,9 +140,7 @@ impl ApproxIrs {
             return Err(CodecError::BadMagic);
         }
         let [version, precision] = read_array::<2>(r)?;
-        if version != FORMAT_VERSION {
-            return Err(CodecError::BadVersion(version));
-        }
+        validate_version(version)?;
         let window = Window::try_new(i64::from_le_bytes(read_array(r)?))
             .map_err(|_| CodecError::Corrupt("window must be positive"))?;
         let n = u32::from_le_bytes(read_array(r)?) as usize; // xtask-allow: no-lossy-cast (u32 → usize widens on ≥32-bit targets)
@@ -165,9 +188,7 @@ impl ExactIrs {
             return Err(CodecError::BadMagic);
         }
         let [version] = read_array::<1>(r)?;
-        if version != FORMAT_VERSION {
-            return Err(CodecError::BadVersion(version));
-        }
+        validate_version(version)?;
         let window = Window::try_new(i64::from_le_bytes(read_array(r)?))
             .map_err(|_| CodecError::Corrupt("window must be positive"))?;
         let n = u32::from_le_bytes(read_array(r)?) as usize; // xtask-allow: no-lossy-cast (u32 → usize widens on ≥32-bit targets)
@@ -242,9 +263,7 @@ impl FrozenExactOracle {
             return Err(CodecError::BadMagic);
         }
         let [version] = read_array::<1>(r)?;
-        if version != FORMAT_VERSION {
-            return Err(CodecError::BadVersion(version));
-        }
+        validate_version(version)?;
         let window = Window::try_new(i64::from_le_bytes(read_array(r)?))
             .map_err(|_| CodecError::Corrupt("window must be positive"))?;
         let n = u32::from_le_bytes(read_array(r)?) as usize; // xtask-allow: no-lossy-cast (u32 → usize widens on ≥32-bit targets)
@@ -314,9 +333,7 @@ impl FrozenApproxOracle {
             return Err(CodecError::BadMagic);
         }
         let [version, precision] = read_array::<2>(r)?;
-        if version != FORMAT_VERSION {
-            return Err(CodecError::BadVersion(version));
-        }
+        validate_version(version)?;
         if !(4..=16).contains(&precision) {
             return Err(CodecError::Corrupt("precision out of range"));
         }
@@ -330,6 +347,319 @@ impl FrozenApproxOracle {
         }
         Ok(FrozenApproxOracle::from_registers_arena(
             precision, registers,
+        ))
+    }
+}
+
+/// Which layered oracle family a directory holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayeredKind {
+    /// [`LayeredExactOracle`] over an `IPFE` base arena.
+    Exact,
+    /// [`LayeredApproxOracle`] over an `IPFA` base arena.
+    Approx,
+}
+
+/// The `MANIFEST` commit record of a layered oracle directory (`"IPMF"`).
+///
+/// Naming the live generation here — and writing the manifest last — is
+/// what makes saves and compactions crash-safe: until the manifest rename
+/// lands, readers keep resolving the previous generation's files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayeredManifest {
+    /// Which oracle family the directory holds.
+    pub kind: LayeredKind,
+    /// Newest timestamp frozen into the base arena (`None` for an empty
+    /// base). Appends only touch the pending log, so this changes only at
+    /// compaction.
+    pub base_frontier: Option<Timestamp>,
+    /// The live generation: `gen-N.{arena,tail,pending}` are the current
+    /// files.
+    pub generation: u64,
+    /// The channel window `ω` (the `IPFA` arena does not carry it).
+    pub window: Window,
+}
+
+impl LayeredManifest {
+    /// Writes the commit record in `IPMF` format.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), CodecError> {
+        w.write_all(MANIFEST_MAGIC)?;
+        let kind = match self.kind {
+            LayeredKind::Exact => 0u8,
+            LayeredKind::Approx => 1u8,
+        };
+        w.write_all(&[FORMAT_VERSION, kind, u8::from(self.base_frontier.is_some())])?;
+        w.write_all(&self.base_frontier.map_or(0, |t| t.get()).to_le_bytes())?;
+        w.write_all(&self.generation.to_le_bytes())?;
+        w.write_all(&self.window.get().to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a record written by [`write_to`](Self::write_to).
+    pub fn read_from(r: &mut impl Read) -> Result<Self, CodecError> {
+        let magic: [u8; 4] = read_array(r)?;
+        if &magic != MANIFEST_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let [version, kind, has_frontier] = read_array::<3>(r)?;
+        validate_version(version)?;
+        let kind = match kind {
+            0 => LayeredKind::Exact,
+            1 => LayeredKind::Approx,
+            _ => return Err(CodecError::Corrupt("unknown layered oracle kind")),
+        };
+        let frontier_raw = i64::from_le_bytes(read_array(r)?);
+        let base_frontier = match has_frontier {
+            0 => None,
+            1 => Some(Timestamp(frontier_raw)),
+            _ => return Err(CodecError::Corrupt("manifest frontier flag must be 0 or 1")),
+        };
+        let generation = u64::from_le_bytes(read_array(r)?);
+        let window = Window::try_new(i64::from_le_bytes(read_array(r)?))
+            .map_err(|_| CodecError::Corrupt("window must be positive"))?;
+        Ok(LayeredManifest {
+            kind,
+            base_frontier,
+            generation,
+            window,
+        })
+    }
+
+    /// Reads the `MANIFEST` of a layered directory — the cheap probe the
+    /// CLI uses to detect the stored format before loading the arenas.
+    pub fn read_from_dir(dir: &Path) -> Result<Self, CodecError> {
+        Self::read_from(&mut fs::read(dir.join(MANIFEST_FILE))?.as_slice())
+    }
+}
+
+/// Writes a time-sorted interaction log in `IPIL` format: header + count +
+/// 16-byte `(src: u32, dst: u32, time: i64)` little-endian records.
+fn write_interactions(w: &mut impl Write, ints: &[Interaction]) -> Result<(), CodecError> {
+    w.write_all(LOG_MAGIC)?;
+    w.write_all(&[FORMAT_VERSION])?;
+    let n = u64::try_from(ints.len())
+        .map_err(|_| CodecError::Corrupt("too many interactions to encode"))?;
+    w.write_all(&n.to_le_bytes())?;
+    let mut buf = Vec::with_capacity(ints.len() * 16);
+    for i in ints {
+        buf.extend_from_slice(&i.src.0.to_le_bytes());
+        buf.extend_from_slice(&i.dst.0.to_le_bytes());
+        buf.extend_from_slice(&i.time.get().to_le_bytes());
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads a log written by [`write_interactions`], validating the explicit
+/// count (truncation detection) and ascending time order.
+fn read_interactions(r: &mut impl Read) -> Result<Vec<Interaction>, CodecError> {
+    let magic: [u8; 4] = read_array(r)?;
+    if &magic != LOG_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let [version] = read_array::<1>(r)?;
+    validate_version(version)?;
+    let n = u64::from_le_bytes(read_array(r)?);
+    let n = usize::try_from(n).map_err(|_| CodecError::Corrupt("log too large for this target"))?;
+    let mut bytes = vec![0u8; n * 16];
+    r.read_exact(&mut bytes)?;
+    let mut ints = Vec::with_capacity(n);
+    for c in bytes.chunks_exact(16) {
+        let src = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        let dst = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        let time = i64::from_le_bytes([c[8], c[9], c[10], c[11], c[12], c[13], c[14], c[15]]);
+        let i = Interaction::from_raw(src, dst, time);
+        if let Some(prev) = ints.last() {
+            let prev: &Interaction = prev;
+            if i.time < prev.time {
+                return Err(CodecError::Corrupt("interaction log is not sorted by time"));
+            }
+        }
+        ints.push(i);
+    }
+    Ok(ints)
+}
+
+/// Path of one generation-stamped file inside a layered directory.
+fn gen_file(dir: &Path, generation: u64, suffix: &str) -> PathBuf {
+    dir.join(format!("gen-{generation}.{suffix}"))
+}
+
+/// Writes `bytes` to `path` via a `.tmp` sibling and an atomic rename, so
+/// readers only ever observe complete files.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CodecError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Best-effort removal of files from generations other than `keep` (and of
+/// orphaned `.tmp` files): crash leftovers and the pre-compaction
+/// generation, swept only *after* the manifest commit. Errors are ignored —
+/// a stale file is wasted disk, never a correctness problem.
+fn sweep_stale_generations(dir: &Path, keep: u64) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let keep_prefix = format!("gen-{keep}.");
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else {
+            continue;
+        };
+        let stale_gen = name.starts_with("gen-") && !name.starts_with(&keep_prefix);
+        let orphan_tmp = name.ends_with(".tmp");
+        if (stale_gen || orphan_tmp) && name != MANIFEST_FILE {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Validates that `tail ++ pending` is one ascending log across the file
+/// boundary (each file is already internally sorted).
+fn validate_log_boundary(tail: &[Interaction], pending: &[Interaction]) -> Result<(), CodecError> {
+    if let (Some(last), Some(first)) = (tail.last(), pending.first()) {
+        if first.time < last.time {
+            return Err(CodecError::Corrupt(
+                "pending log starts before the tail ends",
+            ));
+        }
+    }
+    Ok(())
+}
+
+impl LayeredExactOracle {
+    /// Saves the full layered state into `dir` (created if missing):
+    /// `gen-N.arena`, `gen-N.tail`, `gen-N.pending`, then the `MANIFEST`
+    /// commit; previous generations are swept after the commit. Safe to
+    /// call while [stale](Self::is_stale) — the logs carry the un-refreshed
+    /// appends and [`open_layered`](Self::open_layered) rebuilds the
+    /// overlay.
+    pub fn save_layered(&self, dir: &Path) -> Result<(), CodecError> {
+        fs::create_dir_all(dir)?;
+        let g = self.generation();
+        let mut bytes = Vec::new();
+        self.base().write_to(&mut bytes)?;
+        write_atomic(&gen_file(dir, g, "arena"), &bytes)?;
+        bytes.clear();
+        write_interactions(&mut bytes, self.delta().tail())?;
+        write_atomic(&gen_file(dir, g, "tail"), &bytes)?;
+        self.persist_pending(dir)?;
+        let manifest = LayeredManifest {
+            kind: LayeredKind::Exact,
+            base_frontier: self.delta().base_frontier(),
+            generation: g,
+            window: self.window(),
+        };
+        bytes.clear();
+        manifest.write_to(&mut bytes)?;
+        write_atomic(&dir.join(MANIFEST_FILE), &bytes)?;
+        sweep_stale_generations(dir, g);
+        Ok(())
+    }
+
+    /// Rewrites only `gen-N.pending` — the cheap per-append persistence
+    /// path. The arena, tail, and manifest are immutable between
+    /// compactions, so buffered appends are durable after this one atomic
+    /// file swap.
+    pub fn persist_pending(&self, dir: &Path) -> Result<(), CodecError> {
+        let mut bytes = Vec::new();
+        write_interactions(&mut bytes, self.delta().pending())?;
+        write_atomic(&gen_file(dir, self.generation(), "pending"), &bytes)
+    }
+
+    /// Opens a directory written by [`save_layered`](Self::save_layered),
+    /// resolving the live generation through the `MANIFEST` and rebuilding
+    /// the overlay from the persisted logs.
+    pub fn open_layered(dir: &Path) -> Result<Self, CodecError> {
+        let manifest = LayeredManifest::read_from_dir(dir)?;
+        if manifest.kind != LayeredKind::Exact {
+            return Err(CodecError::Corrupt(
+                "directory holds an approx layered oracle",
+            ));
+        }
+        let g = manifest.generation;
+        let base =
+            FrozenExactOracle::read_from(&mut fs::read(gen_file(dir, g, "arena"))?.as_slice())?;
+        if base.window() != manifest.window {
+            return Err(CodecError::Corrupt(
+                "manifest window disagrees with the arena",
+            ));
+        }
+        let tail = read_interactions(&mut fs::read(gen_file(dir, g, "tail"))?.as_slice())?;
+        let pending = read_interactions(&mut fs::read(gen_file(dir, g, "pending"))?.as_slice())?;
+        validate_log_boundary(&tail, &pending)?;
+        Ok(Self::from_parts(
+            base,
+            manifest.base_frontier,
+            tail,
+            pending,
+            g,
+        ))
+    }
+}
+
+impl LayeredApproxOracle {
+    /// Saves the full layered state into `dir`; see
+    /// [`LayeredExactOracle::save_layered`] — identical layout with an
+    /// `IPFA` arena and `kind = Approx`.
+    pub fn save_layered(&self, dir: &Path) -> Result<(), CodecError> {
+        fs::create_dir_all(dir)?;
+        let g = self.generation();
+        let mut bytes = Vec::new();
+        self.base().write_to(&mut bytes)?;
+        write_atomic(&gen_file(dir, g, "arena"), &bytes)?;
+        bytes.clear();
+        write_interactions(&mut bytes, self.delta().tail())?;
+        write_atomic(&gen_file(dir, g, "tail"), &bytes)?;
+        self.persist_pending(dir)?;
+        let manifest = LayeredManifest {
+            kind: LayeredKind::Approx,
+            base_frontier: self.delta().base_frontier(),
+            generation: g,
+            window: self.window(),
+        };
+        bytes.clear();
+        manifest.write_to(&mut bytes)?;
+        write_atomic(&dir.join(MANIFEST_FILE), &bytes)?;
+        sweep_stale_generations(dir, g);
+        Ok(())
+    }
+
+    /// Rewrites only `gen-N.pending`; see
+    /// [`LayeredExactOracle::persist_pending`].
+    pub fn persist_pending(&self, dir: &Path) -> Result<(), CodecError> {
+        let mut bytes = Vec::new();
+        write_interactions(&mut bytes, self.delta().pending())?;
+        write_atomic(&gen_file(dir, self.generation(), "pending"), &bytes)
+    }
+
+    /// Opens a directory written by [`save_layered`](Self::save_layered).
+    /// The window comes from the manifest (the register arena does not
+    /// carry one).
+    pub fn open_layered(dir: &Path) -> Result<Self, CodecError> {
+        let manifest = LayeredManifest::read_from_dir(dir)?;
+        if manifest.kind != LayeredKind::Approx {
+            return Err(CodecError::Corrupt(
+                "directory holds an exact layered oracle",
+            ));
+        }
+        let g = manifest.generation;
+        let base =
+            FrozenApproxOracle::read_from(&mut fs::read(gen_file(dir, g, "arena"))?.as_slice())?;
+        let tail = read_interactions(&mut fs::read(gen_file(dir, g, "tail"))?.as_slice())?;
+        let pending = read_interactions(&mut fs::read(gen_file(dir, g, "pending"))?.as_slice())?;
+        validate_log_boundary(&tail, &pending)?;
+        Ok(Self::from_parts(
+            base,
+            manifest.window,
+            manifest.base_frontier,
+            tail,
+            pending,
+            g,
         ))
     }
 }
@@ -476,14 +806,28 @@ mod tests {
     }
 
     #[test]
-    fn frozen_bad_version_rejected() {
+    fn frozen_future_version_rejected() {
         let frozen = ExactIrs::compute(&network(), Window(50)).freeze();
         let mut bytes = Vec::new();
         frozen.write_to(&mut bytes).unwrap();
         bytes[4] = 99; // the version byte follows the 4-byte magic
+                       // Newer-than-this-build is FutureVersion ("upgrade the binary"),
+                       // not corruption.
         assert!(matches!(
             FrozenExactOracle::read_from(&mut bytes.as_slice()),
-            Err(CodecError::BadVersion(99))
+            Err(CodecError::FutureVersion(99))
+        ));
+    }
+
+    #[test]
+    fn frozen_unknown_old_version_rejected() {
+        let frozen = ExactIrs::compute(&network(), Window(50)).freeze();
+        let mut bytes = Vec::new();
+        frozen.write_to(&mut bytes).unwrap();
+        bytes[4] = 0; // below the oldest version this build ever wrote
+        assert!(matches!(
+            FrozenExactOracle::read_from(&mut bytes.as_slice()),
+            Err(CodecError::BadVersion(0))
         ));
     }
 
@@ -544,5 +888,176 @@ mod tests {
         irs.write_to(&mut bytes).unwrap();
         bytes.truncate(bytes.len() / 2);
         assert!(ApproxIrs::read_from(&mut bytes.as_slice()).is_err());
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("infprop-persist-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn layered_exact_dir_roundtrip_preserves_queries() {
+        let net = network();
+        let mut oracle = LayeredExactOracle::from_network(&net, Window(120));
+        let t = oracle.frontier().unwrap().get();
+        oracle.append(Interaction::from_raw(1, 2, t + 5)).unwrap();
+        let dir = tempdir("exact-roundtrip");
+        // Saved while stale: the pending log carries the append.
+        oracle.save_layered(&dir).unwrap();
+        let back = LayeredExactOracle::open_layered(&dir).unwrap();
+        assert_eq!(back.generation(), oracle.generation());
+        assert_eq!(back.delta().pending(), oracle.delta().pending());
+        assert_eq!(back.delta().tail(), oracle.delta().tail());
+        assert_eq!(back.delta().base_frontier(), oracle.delta().base_frontier());
+        oracle.refresh();
+        for u in net.node_ids() {
+            assert_eq!(back.summary(u), oracle.summary(u));
+        }
+        let seeds: Vec<NodeId> = (0..10).map(NodeId).collect();
+        assert_eq!(
+            back.influence(&seeds).to_bits(),
+            oracle.influence(&seeds).to_bits()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn layered_approx_dir_roundtrip_preserves_registers() {
+        let net = network();
+        let mut oracle = LayeredApproxOracle::from_network_with_precision(&net, Window(120), 6);
+        let t = oracle.frontier().unwrap().get();
+        oracle.append(Interaction::from_raw(3, 4, t + 1)).unwrap();
+        oracle.refresh();
+        let dir = tempdir("approx-roundtrip");
+        oracle.save_layered(&dir).unwrap();
+        let back = LayeredApproxOracle::open_layered(&dir).unwrap();
+        assert_eq!(back.generation(), oracle.generation());
+        assert_eq!(back.window(), oracle.window());
+        assert_eq!(back.base().registers(), oracle.base().registers());
+        assert_eq!(back.overlay().registers(), oracle.overlay().registers());
+        for u in net.node_ids() {
+            assert_eq!(back.individual(u).to_bits(), oracle.individual(u).to_bits());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn layered_manifest_roundtrip_and_kind_mismatch() {
+        let manifest = LayeredManifest {
+            kind: LayeredKind::Approx,
+            base_frontier: Some(Timestamp(-7)),
+            generation: 3,
+            window: Window(42),
+        };
+        let mut bytes = Vec::new();
+        manifest.write_to(&mut bytes).unwrap();
+        assert_eq!(
+            LayeredManifest::read_from(&mut bytes.as_slice()).unwrap(),
+            manifest
+        );
+
+        let net = network();
+        let oracle = LayeredExactOracle::from_network(&net, Window(60));
+        let dir = tempdir("kind-mismatch");
+        oracle.save_layered(&dir).unwrap();
+        assert_eq!(
+            LayeredManifest::read_from_dir(&dir).unwrap().kind,
+            LayeredKind::Exact
+        );
+        assert!(matches!(
+            LayeredApproxOracle::open_layered(&dir),
+            Err(CodecError::Corrupt(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_pending_is_durable_without_full_save() {
+        let net = network();
+        let mut oracle = LayeredExactOracle::from_network(&net, Window(90));
+        let dir = tempdir("pending-only");
+        oracle.save_layered(&dir).unwrap();
+        let t = oracle.frontier().unwrap().get();
+        oracle.append(Interaction::from_raw(5, 6, t + 2)).unwrap();
+        oracle.persist_pending(&dir).unwrap();
+        let back = LayeredExactOracle::open_layered(&dir).unwrap();
+        assert_eq!(back.delta().pending(), oracle.delta().pending());
+        assert!(!back.is_stale());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_compaction_leaves_previous_generation_loadable() {
+        let net = network();
+        let mut oracle = LayeredExactOracle::from_network(&net, Window(90));
+        let t = oracle.frontier().unwrap().get();
+        oracle.append(Interaction::from_raw(7, 8, t + 3)).unwrap();
+        oracle.refresh();
+        let dir = tempdir("crash-safety");
+        oracle.save_layered(&dir).unwrap();
+
+        // Simulate a compaction that crashed after writing the next
+        // generation's arena but before the manifest commit: a partial
+        // (truncated) gen-1 arena plus an orphaned tmp file.
+        let mut compacted = oracle.clone();
+        compacted.compact();
+        let mut arena = Vec::new();
+        compacted.base().write_to(&mut arena).unwrap();
+        arena.truncate(arena.len() / 2);
+        fs::write(gen_file(&dir, 1, "arena"), &arena).unwrap();
+        fs::write(dir.join("gen-1.tail.tmp"), b"junk").unwrap();
+
+        // The manifest still names generation 0, whose files are intact.
+        let back = LayeredExactOracle::open_layered(&dir).unwrap();
+        assert_eq!(back.generation(), 0);
+        let seeds: Vec<NodeId> = (0..10).map(NodeId).collect();
+        assert_eq!(
+            back.influence(&seeds).to_bits(),
+            oracle.influence(&seeds).to_bits()
+        );
+
+        // Completing the compaction commits generation 1 and sweeps the
+        // stale generation-0 files and tmp leftovers.
+        compacted.save_layered(&dir).unwrap();
+        let back = LayeredExactOracle::open_layered(&dir).unwrap();
+        assert_eq!(back.generation(), 1);
+        assert!(!gen_file(&dir, 0, "arena").exists());
+        assert!(!dir.join("gen-1.tail.tmp").exists());
+        assert_eq!(
+            back.influence(&seeds).to_bits(),
+            compacted.influence(&seeds).to_bits()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interaction_log_truncation_and_future_version_rejected() {
+        let ints: Vec<Interaction> = (0..10)
+            .map(|i| Interaction::from_raw(i, i + 1, i64::from(i)))
+            .collect();
+        let mut bytes = Vec::new();
+        write_interactions(&mut bytes, &ints).unwrap();
+        assert_eq!(read_interactions(&mut bytes.as_slice()).unwrap(), ints);
+        let mut truncated = bytes.clone();
+        truncated.truncate(bytes.len() - 8);
+        assert!(read_interactions(&mut truncated.as_slice()).is_err());
+        let mut future = bytes.clone();
+        future[4] = 99; // version byte
+        assert!(matches!(
+            read_interactions(&mut future.as_slice()),
+            Err(CodecError::FutureVersion(99))
+        ));
+        // Unsorted logs are corruption, not silently accepted.
+        let mut unsorted = ints.clone();
+        unsorted.swap(0, 9);
+        let mut bytes = Vec::new();
+        write_interactions(&mut bytes, &unsorted).unwrap();
+        assert!(matches!(
+            read_interactions(&mut bytes.as_slice()),
+            Err(CodecError::Corrupt(_))
+        ));
     }
 }

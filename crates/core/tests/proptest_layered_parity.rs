@@ -1,0 +1,222 @@
+//! Layered/from-scratch parity property tests for the delta-overlay
+//! architecture (`DeltaOverlay` + `LayeredExactOracle` /
+//! `LayeredApproxOracle`): splitting an arbitrary tie-heavy history at a
+//! random point into `frozen base + forward appends` must answer every
+//! query **bit-identically** to a from-scratch build over the full
+//! history, serially and at 1, 2, and 8 threads, before and after
+//! LSM-style compaction.
+
+use infprop_core::{
+    ApproxIrs, ExactIrs, ExactStore, InfluenceOracle, LayeredApproxOracle, LayeredExactOracle,
+    ReversePassEngine, SummaryStore, VhllStore,
+};
+use infprop_temporal_graph::{Interaction, InteractionNetwork, NodeId, Timestamp, Window};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const PRECISION: u8 = 5;
+
+/// Random networks with timestamp ties (and self-loops, which pad the
+/// universe without producing summary entries).
+fn networks() -> impl Strategy<Value = InteractionNetwork> {
+    prop::collection::vec((0u32..16, 0u32..16, 0i64..30), 1..70)
+        .prop_map(InteractionNetwork::from_triples)
+}
+
+/// Seed sets drawn over the same node-id range as the networks.
+fn seed_sets() -> impl Strategy<Value = Vec<Vec<NodeId>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u32..16).prop_map(NodeId), 0..6),
+        0..12,
+    )
+}
+
+/// Splits the (time-sorted) history of `net` at `split` and rebuilds it as
+/// `frozen base over the prefix + appended suffix`, refreshed.
+fn layered_exact_at(net: &InteractionNetwork, split: usize, w: Window) -> LayeredExactOracle {
+    let ints = net.interactions();
+    let base = InteractionNetwork::from_triples(
+        ints[..split]
+            .iter()
+            .map(|i| (i.src.0, i.dst.0, i.time.get())),
+    );
+    let mut layered = LayeredExactOracle::from_network(&base, w);
+    for &i in &ints[split..] {
+        layered
+            .append(i)
+            .expect("suffix appends move forward in time");
+    }
+    layered.refresh();
+    layered
+}
+
+/// The approx counterpart of [`layered_exact_at`].
+fn layered_approx_at(net: &InteractionNetwork, split: usize, w: Window) -> LayeredApproxOracle {
+    let ints = net.interactions();
+    let base = InteractionNetwork::from_triples(
+        ints[..split]
+            .iter()
+            .map(|i| (i.src.0, i.dst.0, i.time.get())),
+    );
+    let mut layered = LayeredApproxOracle::from_network_with_precision(&base, w, PRECISION);
+    for &i in &ints[split..] {
+        layered
+            .append(i)
+            .expect("suffix appends move forward in time");
+    }
+    layered.refresh();
+    layered
+}
+
+/// Asserts bit-identical answers between a layered oracle and a reference
+/// oracle across the whole query surface, serially and thread-fanned.
+fn assert_query_parity<L, F>(
+    layered: &L,
+    reference: &F,
+    seeds: &[Vec<NodeId>],
+) -> Result<(), TestCaseError>
+where
+    L: InfluenceOracle + Sync,
+    F: InfluenceOracle + Sync,
+{
+    let n = reference.num_nodes();
+    prop_assert_eq!(layered.num_nodes(), n);
+    let ind: Vec<f64> = (0..n)
+        .map(|i| reference.individual(NodeId::from_index(i)))
+        .collect();
+    let inf: Vec<f64> = seeds.iter().map(|s| reference.influence(s)).collect();
+    for i in 0..n {
+        prop_assert_eq!(
+            layered.individual(NodeId::from_index(i)).to_bits(),
+            ind[i].to_bits(),
+            "individual({i})"
+        );
+    }
+    for (s, expect) in seeds.iter().zip(&inf) {
+        prop_assert_eq!(layered.influence(s).to_bits(), expect.to_bits());
+    }
+    for threads in THREAD_COUNTS {
+        prop_assert_eq!(&layered.individuals(threads), &ind);
+        prop_assert_eq!(&layered.influence_many(seeds, threads), &inf);
+    }
+    Ok(())
+}
+
+/// Clamps generated seed sets to the network universe.
+fn clamp_seeds(seeds: Vec<Vec<NodeId>>, n: usize) -> Vec<Vec<NodeId>> {
+    seeds
+        .into_iter()
+        .map(|s| s.into_iter().filter(|v| v.index() < n).collect())
+        .collect()
+}
+
+proptest! {
+    /// A layered oracle split at a random point (including mid tie-batch)
+    /// answers bit-identically to the from-scratch frozen arena, for both
+    /// the exact and sketch backends, at every thread count.
+    #[test]
+    fn layered_matches_scratch_at_random_splits(
+        net in networks(),
+        seeds in seed_sets(),
+        w in 1i64..40,
+        split_seed in any::<usize>(),
+    ) {
+        let w = Window(w);
+        let split = split_seed % (net.interactions().len() + 1);
+        let seeds = clamp_seeds(seeds, net.num_nodes());
+
+        let exact_ref = ExactIrs::compute(&net, w).freeze();
+        let exact = layered_exact_at(&net, split, w);
+        prop_assert!(!exact.is_stale());
+        assert_query_parity(&exact, &exact_ref, &seeds)?;
+        for u in 0..exact_ref.num_nodes() {
+            let u = NodeId::from_index(u);
+            prop_assert_eq!(exact.summary(u), exact_ref.summary(u).to_vec());
+        }
+
+        let approx_ref = ApproxIrs::compute_with_precision(&net, w, PRECISION).freeze();
+        let approx = layered_approx_at(&net, split, w);
+        assert_query_parity(&approx, &approx_ref, &seeds)?;
+    }
+
+    /// Compacting a layered oracle produces a base arena — and answers —
+    /// bit-identical to a from-scratch engine run over the
+    /// window-surviving suffix with the same node universe, at every
+    /// split point and thread count.
+    #[test]
+    fn compaction_matches_scratch_over_survivors(
+        net in networks(),
+        seeds in seed_sets(),
+        w in 1i64..40,
+        split_seed in any::<usize>(),
+    ) {
+        let w = Window(w);
+        let ints = net.interactions();
+        let split = split_seed % (ints.len() + 1);
+        let mut exact = layered_exact_at(&net, split, w);
+        let mut approx = layered_approx_at(&net, split, w);
+        let universe = exact.delta().universe();
+        let seeds = clamp_seeds(seeds, universe);
+
+        let frontier = ints.last().map(|i| i.time).unwrap_or(Timestamp(0));
+        let cut = ints.partition_point(|i| frontier.delta(i.time) >= w.get());
+        let surviving = &ints[cut..];
+
+        let mut store = ExactStore::with_nodes(0);
+        store.ensure_nodes(universe);
+        let exact_ref = ReversePassEngine::run_slice(surviving, w, store).freeze(w);
+        let mut store = VhllStore::with_nodes(PRECISION, 0);
+        store.ensure_nodes(universe);
+        let approx_ref = ReversePassEngine::run_slice(surviving, w, store).freeze();
+
+        exact.compact();
+        approx.compact();
+        prop_assert_eq!(exact.generation(), 1);
+        prop_assert_eq!(exact.base().offsets(), exact_ref.offsets());
+        prop_assert_eq!(exact.base().entries(), exact_ref.entries());
+        prop_assert_eq!(approx.base().registers(), approx_ref.registers());
+        // The survivors become the next generation's tail; pending empties.
+        prop_assert_eq!(exact.delta().pending().len(), 0);
+        prop_assert_eq!(exact.delta().tail(), surviving);
+        assert_query_parity(&exact, &exact_ref, &seeds)?;
+        assert_query_parity(&approx, &approx_ref, &seeds)?;
+    }
+
+    /// Expiry correctness: every retained log entry is inside the window
+    /// of the new frontier, everything expired is outside it, and appends
+    /// behind the frontier are rejected with the offending timestamps.
+    #[test]
+    fn expiry_and_stale_append_contracts(
+        net in networks(),
+        w in 1i64..40,
+        gap in 0i64..100,
+    ) {
+        let w = Window(w);
+        let mut layered = LayeredExactOracle::from_network(&net, w);
+        let frontier = layered.frontier().unwrap_or(Timestamp(0));
+
+        // Backwards appends are rejected and leave the oracle untouched.
+        let behind = Interaction::from_raw(0, 1, frontier.get() - 1);
+        let err = layered.append(behind).unwrap_err();
+        prop_assert_eq!(err.got, behind.time);
+        prop_assert_eq!(err.frontier, frontier);
+        prop_assert!(!layered.is_stale());
+
+        // A forward append `gap` past the frontier, then compaction:
+        // survivors are exactly the entries within `w` of the new frontier.
+        let ahead = Interaction::from_raw(2, 3, frontier.get() + gap);
+        layered.append(ahead).unwrap();
+        let expected: Vec<Interaction> = layered
+            .delta()
+            .log()
+            .iter()
+            .copied()
+            .filter(|i| ahead.time.delta(i.time) < w.get())
+            .collect();
+        layered.compact();
+        prop_assert_eq!(layered.delta().tail(), expected.as_slice());
+        prop_assert_eq!(layered.frontier(), Some(ahead.time));
+        prop_assert_eq!(layered.delta().base_frontier(), Some(ahead.time));
+    }
+}

@@ -38,7 +38,7 @@ mod serialize;
 mod vhll;
 
 pub use hyperloglog::{estimate_from_registers, HyperLogLog, RunningEstimator};
-pub use serialize::{CodecError, FORMAT_VERSION};
+pub use serialize::{validate_version, CodecError, FORMAT_VERSION};
 pub use vhll::{
     check_entries, EntryError, MergeObserver, NoopMergeObserver, SketchInvariantError,
     VersionEntry, VersionList, VersionedHll,

@@ -34,6 +34,11 @@ pub enum CodecError {
     BadMagic,
     /// The input uses an unsupported format version.
     BadVersion(u8),
+    /// The input was written by a *newer* major format version than this
+    /// build supports. Distinct from [`BadVersion`](Self::BadVersion) so
+    /// callers (and operators staring at generation-stamped arena files) can
+    /// tell "upgrade the binary" apart from "the file is broken".
+    FutureVersion(u8),
     /// Structurally invalid content (precision out of range, broken
     /// invariants, implausible lengths).
     Corrupt(&'static str),
@@ -45,6 +50,11 @@ impl fmt::Display for CodecError {
             CodecError::Io(e) => write!(f, "i/o error: {e}"),
             CodecError::BadMagic => write!(f, "bad magic bytes (not a sketch file)"),
             CodecError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            CodecError::FutureVersion(v) => write!(
+                f,
+                "format version {v} is newer than this build supports \
+                 (max {FORMAT_VERSION}); upgrade the binary to read this file"
+            ),
             CodecError::Corrupt(what) => write!(f, "corrupt sketch data: {what}"),
         }
     }
@@ -71,15 +81,28 @@ fn read_exact<const N: usize>(r: &mut impl Read) -> Result<[u8; N], CodecError> 
     Ok(buf)
 }
 
+/// Checks a decoded format version against [`FORMAT_VERSION`]: versions
+/// newer than this build map to [`CodecError::FutureVersion`] (the file is
+/// fine, the binary is old), every other mismatch to
+/// [`CodecError::BadVersion`]. Shared by every `IP??` codec in the
+/// workspace, so the distinction stays uniform across file formats.
+pub fn validate_version(version: u8) -> Result<(), CodecError> {
+    if version == FORMAT_VERSION {
+        Ok(())
+    } else if version > FORMAT_VERSION {
+        Err(CodecError::FutureVersion(version))
+    } else {
+        Err(CodecError::BadVersion(version))
+    }
+}
+
 fn check_header(r: &mut impl Read, magic: &[u8; 4]) -> Result<u8, CodecError> {
     let got: [u8; 4] = read_exact(r)?;
     if &got != magic {
         return Err(CodecError::BadMagic);
     }
     let [version] = read_exact::<1>(r)?;
-    if version != FORMAT_VERSION {
-        return Err(CodecError::BadVersion(version));
-    }
+    validate_version(version)?;
     let [precision] = read_exact::<1>(r)?;
     if !(MIN_PRECISION..=MAX_PRECISION).contains(&precision) {
         return Err(CodecError::Corrupt("precision out of range"));
@@ -231,12 +254,34 @@ mod tests {
 
     #[test]
     fn wrong_version_is_rejected() {
+        // A version newer than this build is a FutureVersion, not corruption.
         let mut bytes = VersionedHll::new(5).to_bytes();
         bytes[4] = 99;
         assert!(matches!(
             VersionedHll::from_bytes(&bytes),
-            Err(CodecError::BadVersion(99))
+            Err(CodecError::FutureVersion(99))
         ));
+        // Version 0 predates every release: plain BadVersion.
+        bytes[4] = 0;
+        assert!(matches!(
+            VersionedHll::from_bytes(&bytes),
+            Err(CodecError::BadVersion(0))
+        ));
+    }
+
+    #[test]
+    fn validate_version_splits_past_and_future() {
+        assert!(validate_version(FORMAT_VERSION).is_ok());
+        assert!(matches!(
+            validate_version(FORMAT_VERSION + 1),
+            Err(CodecError::FutureVersion(v)) if v == FORMAT_VERSION + 1
+        ));
+        assert!(matches!(
+            validate_version(0),
+            Err(CodecError::BadVersion(0))
+        ));
+        let msg = CodecError::FutureVersion(9).to_string();
+        assert!(msg.contains("newer") && msg.contains('9'));
     }
 
     #[test]

@@ -709,15 +709,15 @@ impl VersionedHll {
         let VersionedHll {
             cells, occupied, ..
         } = self;
-        for wi in 0..occupied.len() {
-            let mut bits = occupied[wi];
+        for (wi, word) in occupied.iter_mut().enumerate() {
+            let mut bits = *word;
             while bits != 0 {
                 let idx = wi * 64 + bits.trailing_zeros() as usize; // xtask-allow: no-lossy-cast (bit index < 64 fits usize)
                 bits &= bits - 1;
                 let cell = &mut cells[idx];
                 cell.retain(|e| e.time < limit);
                 if cell.is_empty() {
-                    occupied[wi] &= !(1u64 << (idx % 64));
+                    *word &= !(1u64 << (idx % 64));
                 }
             }
         }

@@ -121,6 +121,11 @@ pub struct FileContext {
     pub path: PathBuf,
     /// The rules active for this file.
     pub rules: Vec<Rule>,
+    /// Rules for which `xtask-allow` waivers are **ignored** in this file:
+    /// violations fire unconditionally. Used for files whose contract is
+    /// load-bearing (e.g. `no-raw-timing` in `core/src/delta.rs`, whose
+    /// append/compact hot path must stay clock-free by construction).
+    pub unwaivable: Vec<Rule>,
     /// Whether this file is a crate root (`src/lib.rs` / `src/main.rs`),
     /// which is where [`Rule::ForbidUnsafe`] applies.
     pub is_crate_root: bool,
@@ -142,9 +147,13 @@ pub fn lint_file(ctx: &FileContext, source: &str) -> Vec<Violation> {
     let skipped = test_region_mask(&toks, &code);
 
     let mut out = Vec::new();
-    let mut report = |rule: Rule, line: u32, message: String| {
-        let allowed = allows.get(&line).is_some_and(|set| set.contains(&rule));
+    let mut report = |rule: Rule, line: u32, mut message: String| {
+        let waivable = !ctx.unwaivable.contains(&rule);
+        let allowed = waivable && allows.get(&line).is_some_and(|set| set.contains(&rule));
         if !allowed {
+            if !waivable && allows.get(&line).is_some_and(|set| set.contains(&rule)) {
+                message.push_str(" (xtask-allow is ignored: this rule is unwaivable here)");
+            }
             out.push(Violation {
                 file: ctx.path.clone(),
                 line,
@@ -499,6 +508,7 @@ mod tests {
         FileContext {
             path: PathBuf::from("test.rs"),
             rules,
+            unwaivable: Vec::new(),
             is_crate_root: root,
         }
     }
@@ -638,6 +648,22 @@ mod tests {
         // Mentions in comments and strings never fire.
         let prose = "// Instant is banned here\nfn f() { let s = \"SystemTime\"; }";
         assert!(fired(prose, vec![Rule::NoRawTiming]).is_empty());
+    }
+
+    #[test]
+    fn unwaivable_rule_ignores_allow_comments() {
+        let src = "// xtask-allow: no-raw-timing (should not help)\nlet t0 = Instant::now();";
+        let mut c = ctx(vec![Rule::NoRawTiming], false);
+        c.unwaivable = vec![Rule::NoRawTiming];
+        let v = lint_file(&c, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("unwaivable"), "{}", v[0].message);
+        // Other rules in the same file stay waivable.
+        let src = "// xtask-allow: no-panic (fixture)\nfn f() { x.unwrap(); }";
+        assert!(lint_file(&c, src).is_empty());
+        // Test regions stay exempt even from unwaivable rules.
+        let test_code = "#[cfg(test)]\nmod tests { fn t() { let _ = Instant::now(); } }";
+        assert!(lint_file(&c, test_code).is_empty());
     }
 
     #[test]

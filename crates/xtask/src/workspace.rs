@@ -136,12 +136,20 @@ fn collect_crate(
                 if is_obs {
                     rules.retain(|r| *r != Rule::NoRawTiming);
                 }
+                // The layered-oracle delta path promises clock-free appends
+                // and compactions; there `no-raw-timing` cannot be waived
+                // even with an `xtask-allow` comment.
+                let mut unwaivable = Vec::new();
+                if crate_dir == "core" && path.file_name().is_some_and(|n| n == "delta.rs") {
+                    unwaivable.push(Rule::NoRawTiming);
+                }
                 let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
                 out.push(SourceFile {
                     abs_path: path.clone(),
                     ctx: FileContext {
                         path: rel,
                         rules,
+                        unwaivable,
                         is_crate_root,
                     },
                 });

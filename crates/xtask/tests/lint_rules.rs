@@ -186,10 +186,52 @@ fn hashmap_flagged_in_core_but_not_datasets() {
 }
 
 #[test]
+fn delta_rs_raw_timing_cannot_be_waived() {
+    // An `xtask-allow: no-raw-timing` comment silences the rule in ordinary
+    // core files, but `core/src/delta.rs` is unwaivable: the append/compact
+    // path must stay clock-free, so the violation fires anyway.
+    let src = concat!(
+        "#![forbid(unsafe_code)]\n",
+        "//! Delta.\n\n",
+        "/// Ticks.\n",
+        "pub fn tick() {\n",
+        "    let _t = std::time::Instant::now(); // xtask-allow: no-raw-timing (nope)\n",
+        "}\n",
+    );
+    let violations = lint_fixture(&[
+        (
+            "crates/core/Cargo.toml",
+            "[package]\nname = \"infprop-core\"\n",
+        ),
+        (
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n//! Core.\npub mod delta;\npub mod engine;\n",
+        ),
+        ("crates/core/src/delta.rs", src),
+        (
+            "crates/core/src/engine.rs",
+            src.replace("Delta", "Engine").leak(),
+        ),
+    ]);
+    let timing: Vec<&Violation> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::NoRawTiming)
+        .collect();
+    assert_eq!(timing.len(), 1, "{violations:?}");
+    assert_eq!(timing[0].file, Path::new("crates/core/src/delta.rs"));
+    assert!(
+        timing[0].message.contains("unwaivable"),
+        "{}",
+        timing[0].message
+    );
+}
+
+#[test]
 fn lint_file_is_usable_as_a_library() {
     let ctx = FileContext {
         path: "x.rs".into(),
         rules: vec![Rule::NoPanic],
+        unwaivable: Vec::new(),
         is_crate_root: false,
     };
     let violations = xtask::lint_file(&ctx, "fn f() { todo!() }");
