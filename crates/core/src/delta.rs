@@ -102,6 +102,7 @@ pub(crate) fn window_tail(
 /// [`HyperLogLog::merge_registers`], kept local so block-sized slices of
 /// the flat arenas merge without constructing sketches).
 #[inline]
+// xtask-contract: alloc-free, no-panic
 fn max_into(acc: &mut [u8], src: &[u8]) {
     for (a, &b) in acc.iter_mut().zip(src) {
         if b > *a {
@@ -299,6 +300,7 @@ impl<S: SummaryStore + Clone> DeltaOverlay<S> {
 /// by target id, one entry per target): targets present in both layers
 /// keep the **minimum** end time, matching what a from-scratch build
 /// records.
+// xtask-contract: alloc-free, kernel
 fn merged_exact_for_each(
     base: &[(NodeId, Timestamp)],
     over: &[(NodeId, Timestamp)],
@@ -606,6 +608,7 @@ impl InfluenceOracle for LayeredExactOracle {
         union.len() as f64
     }
 
+    // xtask-contract: alloc-free, kernel
     fn absorb(&self, union: &mut Self::Union, node: NodeId) {
         // Distinct-target union: layer order is irrelevant, so no merge
         // walk is needed — both layers' targets just land in the bitset.
@@ -617,6 +620,7 @@ impl InfluenceOracle for LayeredExactOracle {
         }
     }
 
+    // xtask-contract: alloc-free, kernel
     fn marginal_gain(&self, union: &Self::Union, node: NodeId) -> f64 {
         let mut gain = 0usize;
         merged_exact_for_each(
@@ -631,6 +635,7 @@ impl InfluenceOracle for LayeredExactOracle {
         gain as f64
     }
 
+    // xtask-contract: alloc-free, kernel
     fn individual(&self, node: NodeId) -> f64 {
         let mut count = 0usize;
         merged_exact_for_each(
@@ -896,6 +901,7 @@ impl LayeredApproxOracle {
 
     /// The base layer's register row, or `None` for nodes the base arena
     /// predates (their registers are all-zero by definition).
+    // xtask-contract: alloc-free, kernel
     fn base_registers(&self, node: NodeId) -> Option<&[u8]> {
         (node.index() < InfluenceOracle::num_nodes(&self.base))
             .then(|| self.base.node_registers(node))
@@ -914,6 +920,7 @@ impl InfluenceOracle for LayeredApproxOracle {
     /// by block in a small stack buffer and streamed into the shared
     /// estimator kernel — the same loop as the frozen arena, fed the same
     /// merged bytes in the same order, hence bit-identical answers.
+    // xtask-contract: alloc-free, kernel
     fn influence(&self, seeds: &[NodeId]) -> f64 {
         const BLOCK: usize = 64;
         let beta = 1usize << self.precision();
@@ -951,6 +958,7 @@ impl InfluenceOracle for LayeredApproxOracle {
         union.estimate()
     }
 
+    // xtask-contract: alloc-free, kernel
     fn absorb(&self, union: &mut Self::Union, node: NodeId) {
         // Register max is associative and commutative, so folding the two
         // layers in sequence equals folding their merged row.
@@ -964,6 +972,7 @@ impl InfluenceOracle for LayeredApproxOracle {
     /// the estimator kernel — the same register sequence (and therefore
     /// the same float summation order) as the frozen arena probing the
     /// merged row, with no allocation.
+    // xtask-contract: alloc-free, kernel
     fn marginal_gain(&self, union: &Self::Union, node: NodeId) -> f64 {
         const BLOCK: usize = 64;
         let beta = 1usize << self.precision();
@@ -987,6 +996,7 @@ impl InfluenceOracle for LayeredApproxOracle {
         est.finish() - union.estimate()
     }
 
+    // xtask-contract: alloc-free, kernel
     fn individual(&self, node: NodeId) -> f64 {
         self.individuals[node.index()]
     }

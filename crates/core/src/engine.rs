@@ -74,6 +74,7 @@ impl ReverseFrontier {
     /// Accepts `t` if it does not exceed the frontier, then lowers the
     /// frontier to it.
     #[inline]
+    // xtask-contract: alloc-free, no-panic
     pub fn accept(&mut self, t: Timestamp) -> Result<(), OutOfOrder> {
         if let Some(f) = self.frontier {
             if t > f {
@@ -167,6 +168,7 @@ pub trait SummaryStore {
 /// split-borrow trick that lets `Merge` read `φ(v)` while writing `φ(u)`
 /// without cloning.
 #[inline]
+// xtask-contract: alloc-free, kernel
 fn src_and_dst<T>(slots: &mut [T], u: usize, v: usize) -> (&mut T, &T) {
     debug_assert_ne!(u, v);
     if u < v {
@@ -218,6 +220,7 @@ fn exact_add(summary: &mut ExactSummary, v: NodeId, t: Timestamp) {
 /// paper's Example 2 trace, where the admissible channel e → b → e is not
 /// recorded in φ(e)).
 #[inline]
+// xtask-contract: alloc-free, no-panic
 fn exact_admissible(x: NodeId, tx: Timestamp, u: NodeId, t: Timestamp, window: Window) -> bool {
     x != u && tx.delta(t) < window.get()
 }
@@ -681,6 +684,7 @@ impl<R: Recorder> SummaryStore for VhllStore<R> {
 /// each maximal equal-timestamp run — the reverse scan both `compute` paths
 /// share. [`ExactIrs::compute_many`](crate::ExactIrs::compute_many) uses it
 /// directly to amortize one scan across several windows.
+// xtask-contract: alloc-free, kernel
 pub fn for_each_tie_batch(ints: &[Interaction], mut f: impl FnMut(&[Interaction])) {
     let mut hi = ints.len();
     while hi > 0 {

@@ -108,6 +108,7 @@ impl FrozenExactOracle {
     /// Node `u`'s frozen summary — sorted by `NodeId`, identical content
     /// to the live summary it was frozen from.
     #[inline]
+    // xtask-contract: alloc-free, kernel
     pub fn summary(&self, node: NodeId) -> &[(NodeId, Timestamp)] {
         let i = node.index();
         let lo = self.offsets[i] as usize; // xtask-allow: no-lossy-cast (u32 fits usize)
@@ -174,12 +175,14 @@ impl InfluenceOracle for FrozenExactOracle {
         union.len() as f64
     }
 
+    // xtask-contract: alloc-free, kernel
     fn absorb(&self, union: &mut Self::Union, node: NodeId) {
         for &(v, _) in self.summary(node) {
             union.insert(v.index());
         }
     }
 
+    // xtask-contract: alloc-free, kernel
     fn marginal_gain(&self, union: &Self::Union, node: NodeId) -> f64 {
         self.summary(node)
             .iter()
@@ -187,6 +190,7 @@ impl InfluenceOracle for FrozenExactOracle {
             .count() as f64
     }
 
+    // xtask-contract: alloc-free, kernel
     fn individual(&self, node: NodeId) -> f64 {
         self.summary(node).len() as f64
     }
@@ -274,6 +278,7 @@ impl FrozenApproxOracle {
 
     /// Node `u`'s register slice in the arena.
     #[inline]
+    // xtask-contract: alloc-free, kernel
     pub fn node_registers(&self, node: NodeId) -> &[u8] {
         let beta = 1usize << self.precision;
         let lo = node.index() * beta;
@@ -330,6 +335,7 @@ impl InfluenceOracle for FrozenApproxOracle {
     /// ascending order, so the result is bit-identical to materializing
     /// the union like the live oracle does (~6× faster per 8-seed query
     /// on the bench profiles).
+    // xtask-contract: alloc-free, kernel
     fn influence(&self, seeds: &[NodeId]) -> f64 {
         const BLOCK: usize = 64;
         let beta = 1usize << self.precision;
@@ -368,14 +374,17 @@ impl InfluenceOracle for FrozenApproxOracle {
         union.estimate()
     }
 
+    // xtask-contract: alloc-free, kernel
     fn absorb(&self, union: &mut Self::Union, node: NodeId) {
         union.merge_registers(self.node_registers(node));
     }
 
+    // xtask-contract: alloc-free, kernel
     fn marginal_gain(&self, union: &Self::Union, node: NodeId) -> f64 {
         union.estimate_union_registers(self.node_registers(node)) - union.estimate()
     }
 
+    // xtask-contract: alloc-free, kernel
     fn individual(&self, node: NodeId) -> f64 {
         self.individuals[node.index()]
     }

@@ -203,6 +203,9 @@ impl NodeBitset {
     pub(crate) fn insert(&mut self, i: usize) {
         let (w, mask) = (i / 64, 1u64 << (i % 64));
         if w >= self.words.len() {
+            // Unions are preallocated by `with_nodes` for the node
+            // universe, so this growth path is unreachable for valid ids.
+            // xtask-allow: contract-alloc-free, contract-kernel (unreachable growth)
             self.words.resize(w + 1, 0);
         }
         if self.words[w] & mask == 0 {

@@ -47,6 +47,7 @@ const CHUNKS_PER_WORKER: usize = 4;
 
 /// Default worker count: the machine's available parallelism, falling back
 /// to 1 when it cannot be determined.
+// xtask-contract: alloc-free, no-panic
 pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }

@@ -80,6 +80,7 @@ const INV_POW2: [f64; 64] = {
 /// Applies the harmonic-mean estimator with small-range correction to an
 /// accumulated `(Σ 2^-r, #zero registers)` pair for `m` registers.
 #[inline]
+// xtask-contract: alloc-free, kernel
 fn finish_estimate(m_usize: usize, sum: f64, zeros: usize) -> f64 {
     let m = m_usize as f64;
     let raw = alpha(m_usize) * m * m / sum;
@@ -95,6 +96,7 @@ fn finish_estimate(m_usize: usize, sum: f64, zeros: usize) -> f64 {
 /// Estimates cardinality from a register array (shared by [`HyperLogLog`],
 /// the versioned sketch — whose per-cell maxima form the same array — and
 /// the frozen oracle arenas, which store registers as flat slices).
+// xtask-contract: alloc-free, kernel
 pub fn estimate_from_registers(registers: &[u8]) -> f64 {
     let mut sum = 0.0f64;
     let mut zeros = 0usize;
@@ -128,6 +130,7 @@ pub struct RunningEstimator {
 impl RunningEstimator {
     /// An estimator that has absorbed no registers yet.
     #[inline]
+    // xtask-contract: alloc-free, no-panic
     pub fn new() -> Self {
         RunningEstimator::default()
     }
@@ -135,6 +138,7 @@ impl RunningEstimator {
     /// Absorbs the next `regs.len()` registers (positions
     /// `self.count()..`).
     #[inline]
+    // xtask-contract: alloc-free, kernel
     pub fn absorb_registers(&mut self, regs: &[u8]) {
         for &r in regs {
             // r ≤ 64 − k + 1 ≤ 61, so the table lookup is in range.
@@ -148,12 +152,14 @@ impl RunningEstimator {
 
     /// Registers absorbed so far.
     #[inline]
+    // xtask-contract: alloc-free, no-panic
     pub fn count(&self) -> usize {
         self.m
     }
 
     /// The cardinality estimate over every register absorbed so far.
     #[inline]
+    // xtask-contract: alloc-free, kernel
     pub fn finish(&self) -> f64 {
         finish_estimate(self.m, self.sum, self.zeros)
     }
@@ -163,6 +169,7 @@ impl RunningEstimator {
 /// materializing the merged array. Lengths must match; summation order is
 /// the sequential register order, identical to
 /// [`estimate_from_registers`] over the register-wise maxima.
+// xtask-contract: alloc-free, kernel
 fn estimate_union_slices(a: &[u8], b: &[u8]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     let mut sum = 0.0f64;
@@ -426,7 +433,7 @@ mod tests {
         for r in 0..64u32 {
             let divide = 1.0 / (1u64 << r) as f64;
             assert_eq!(
-                INV_POW2[r as usize].to_bits(), // xtask-allow: no-lossy-cast (r < 64)
+                INV_POW2[r as usize].to_bits(),
                 divide.to_bits(),
                 "2^-{r} mismatch"
             );

@@ -1131,7 +1131,7 @@ mod tests {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            let time = (x % 1_000) as i64; // xtask-allow: no-lossy-cast (value < 1000)
+            let time = (x % 1_000) as i64;
             s.add_u64(x, time);
             debug_assert!(s.check_dominance_chain().is_ok());
         }
@@ -1221,9 +1221,9 @@ mod tests {
             let mut b = VersionedHll::new(4);
             for _ in 0..30 {
                 let r = next();
-                a.add_u64(r, (r % 64) as i64); // xtask-allow: no-lossy-cast (value < 64)
+                a.add_u64(r, (r % 64) as i64);
                 let r2 = next();
-                b.add_u64(r2, (r2 % 64) as i64); // xtask-allow: no-lossy-cast (value < 64)
+                b.add_u64(r2, (r2 % 64) as i64);
             }
             let anchor = (round % 32) as i64;
             let window = 1 + (round % 40) as i64;

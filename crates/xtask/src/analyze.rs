@@ -1,0 +1,650 @@
+//! `cargo xtask analyze` — call-graph-aware semantic passes.
+//!
+//! Four passes run over the parsed workspace (see DESIGN.md §12):
+//!
+//! 1. **alloc-free** — functions contracted `// xtask-contract: alloc-free`
+//!    must not reach an allocating construct (`Vec::new`, `push`,
+//!    `collect`, `vec!`, `format!`, `Box::new`, `String` construction, …)
+//!    transitively through the call graph. Diagnostics print the violating
+//!    call chain.
+//! 2. **no-panic** — contracted functions must be transitively panic-free:
+//!    no `unwrap`/`expect`, no `panic!`-family or `assert!`-family macros
+//!    (`debug_assert!` is compiled out and stays legal), no indexing.
+//! 3. **metrics** — the metric registry declared in `obs.rs` must be
+//!    internally consistent, every metric-shaped string literal in library
+//!    code and CI workflows must be registered, and no variant may be
+//!    orphaned.
+//! 4. **stale-waiver** — `// xtask-allow:` comments that no longer suppress
+//!    any lint or analyzer finding (or name an unknown rule) are
+//!    themselves diagnostics.
+//!
+//! The `kernel` contract sits between 1 and 2: allocation, `unwrap`/
+//! `expect` and `panic!`-family macros are banned, but indexing and
+//! `assert!` stay legal — hot kernels index arenas and guard invariants.
+//!
+//! Banned names are *resolution-first*: a call like `union.insert(…)` whose
+//! receiver type is recovered (here via the impl's `type Union = …`
+//! binding) and resolves to a workspace function becomes a call-graph edge
+//! and is judged by that callee's own body; a banned name that stays
+//! unresolved is conservatively a violation. The unique-name fallback never
+//! blesses a banned name.
+
+use crate::callgraph::{self, CallGraph, FnFacts, Resolution};
+use crate::items::{self, Contract, ParsedFile};
+use crate::registry::{self, MetricRegistry};
+use crate::rules::{collect_allow_entries, lint_file_consuming, Rule};
+use crate::workspace::{discover, SourceFile};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which analyzer pass produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    /// Transitive allocation-freedom (`xtask-contract: alloc-free`).
+    AllocFree,
+    /// Transitive panic-freedom (`xtask-contract: no-panic`).
+    NoPanic,
+    /// Hot-path kernel contract (`xtask-contract: kernel`).
+    Kernel,
+    /// Metrics-registry consistency and literal cross-check.
+    Metrics,
+    /// Stale or unknown `xtask-allow` waivers.
+    StaleWaiver,
+    /// Malformed contract comments (unknown contract names).
+    Contract,
+}
+
+impl Pass {
+    /// The pass name used in diagnostics and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::AllocFree => "alloc-free",
+            Pass::NoPanic => "no-panic",
+            Pass::Kernel => "kernel",
+            Pass::Metrics => "metrics",
+            Pass::StaleWaiver => "stale-waiver",
+            Pass::Contract => "contract",
+        }
+    }
+
+    /// The `xtask-allow` name that waives this pass's findings, if any.
+    /// The stale-waiver pass is itself unwaivable by construction.
+    fn waiver_name(self) -> Option<&'static str> {
+        match self {
+            Pass::AllocFree => Some("contract-alloc-free"),
+            Pass::NoPanic => Some("contract-no-panic"),
+            Pass::Kernel => Some("contract-kernel"),
+            Pass::Metrics => Some("metric-registry"),
+            Pass::StaleWaiver | Pass::Contract => None,
+        }
+    }
+}
+
+/// Waiver names the analyzer understands in `xtask-allow` comments, beyond
+/// the lint [`Rule`] names.
+pub const ANALYZER_WAIVERS: [&str; 5] = [
+    "contract-alloc-free",
+    "contract-no-panic",
+    "contract-kernel",
+    "metric-registry",
+    "metric-orphan",
+];
+
+/// One analyzer diagnostic.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// The pass that fired.
+    pub pass: Pass,
+    /// Human-readable explanation.
+    pub message: String,
+    /// For contract passes: the call chain from the contracted root to the
+    /// violating function, as `Owner::name (path:line)` frames.
+    pub chain: Vec<String>,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [analyze/{}] {}",
+            self.file.display(),
+            self.line,
+            self.pass.name(),
+            self.message
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, "\n    via {}", self.chain.join("\n     -> "))?;
+        }
+        Ok(())
+    }
+}
+
+/// The analyzer's result: diagnostics plus the extracted metric registry
+/// (empty when the workspace has no `obs.rs`).
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// All diagnostics, sorted by file, line, pass.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The metric registry, for `--emit-registry`.
+    pub registry: MetricRegistry,
+}
+
+impl AnalysisReport {
+    /// Serializes the diagnostics as JSON for `--format json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!(
+                "\"file\": \"{}\", \"line\": {}, \"pass\": \"{}\", \"message\": \"{}\"",
+                json_escape(&d.file.display().to_string()),
+                d.line,
+                d.pass.name(),
+                json_escape(&d.message)
+            ));
+            if !d.chain.is_empty() {
+                out.push_str(", \"chain\": [");
+                for (j, frame) in d.chain.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{}\"", json_escape(frame)));
+                }
+                out.push(']');
+            }
+            out.push('}');
+            out.push_str(if i + 1 < self.diagnostics.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str(&format!(
+            "  ],\n  \"count\": {}\n}}\n",
+            self.diagnostics.len()
+        ));
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Names whose *unresolved* method call allocates (or may reallocate).
+const ALLOC_METHODS: [&str; 17] = [
+    "push",
+    "push_str",
+    "collect",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "extend",
+    "extend_from_slice",
+    "reserve",
+    "reserve_exact",
+    "resize",
+    "resize_with",
+    "insert",
+    "append",
+    "split_off",
+    "into_vec",
+    "into_boxed_slice",
+];
+
+/// Allocating-container path heads: `Vec::new(…)`, `Box::new(…)`, ….
+const ALLOC_OWNERS: [&str; 12] = [
+    "Vec", "VecDeque", "Box", "String", "BTreeMap", "BTreeSet", "HashMap", "HashSet", "FastMap",
+    "FastSet", "Rc", "Arc",
+];
+
+/// Constructor names that allocate when the owner is an allocating
+/// container.
+const ALLOC_CTORS: [&str; 5] = ["new", "with_capacity", "from", "from_iter", "default"];
+
+/// Macros that allocate.
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+/// Macros that abort under `no-panic` and `kernel`.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Macros additionally banned under strict `no-panic` (`debug_assert!` is
+/// compiled out in release and stays legal everywhere).
+const ASSERT_MACROS: [&str; 3] = ["assert", "assert_eq", "assert_ne"];
+
+/// Methods that panic on `None`/`Err`.
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+/// Analyzes the workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> io::Result<AnalysisReport> {
+    let files = discover(root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for f in &files {
+        sources.push(fs::read_to_string(&f.abs_path)?);
+    }
+    let parsed: Vec<ParsedFile> = sources.iter().map(|s| items::parse_file(s)).collect();
+    let graph = callgraph::build(&parsed);
+
+    let mut diagnostics = Vec::new();
+    // Waivers actually consumed, keyed `(file index, line, waiver name)`.
+    let mut consumed: BTreeSet<(usize, u32, String)> = BTreeSet::new();
+    // Allow entries per file: line → names in force on that line.
+    let allows: Vec<BTreeMap<u32, BTreeSet<String>>> = sources
+        .iter()
+        .map(|s| {
+            let mut map: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+            for e in collect_allow_entries(s) {
+                map.entry(e.line).or_default().insert(e.name.clone());
+                map.entry(e.line + 1).or_default().insert(e.name);
+            }
+            map
+        })
+        .collect();
+
+    contract_passes(
+        &files,
+        &parsed,
+        &graph,
+        &allows,
+        &mut consumed,
+        &mut diagnostics,
+    );
+    let registry = metrics_pass(
+        root,
+        &files,
+        &sources,
+        &allows,
+        &mut consumed,
+        &mut diagnostics,
+    )?;
+    stale_pass(&files, &sources, &consumed, &mut diagnostics)?;
+
+    diagnostics.sort_by(|a, b| {
+        (&a.file, a.line, a.pass, &a.message).cmp(&(&b.file, b.line, b.pass, &b.message))
+    });
+    Ok(AnalysisReport {
+        diagnostics,
+        registry,
+    })
+}
+
+/// Runs passes 1 and 2 (and the kernel contract) over every contracted fn.
+fn contract_passes(
+    files: &[SourceFile],
+    parsed: &[ParsedFile],
+    graph: &CallGraph,
+    allows: &[BTreeMap<u32, BTreeSet<String>>],
+    consumed: &mut BTreeSet<(usize, u32, String)>,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    // Unknown contract names are diagnostics regardless of contracts.
+    for (fi, p) in parsed.iter().enumerate() {
+        for f in &p.fns {
+            for (line, name) in &f.unknown_contracts {
+                diagnostics.push(Diagnostic {
+                    file: files[fi].ctx.path.clone(),
+                    line: *line,
+                    pass: Pass::Contract,
+                    message: format!(
+                        "unknown contract `{name}` on fn `{}` (known: alloc-free, no-panic, kernel)",
+                        qualified(f)
+                    ),
+                    chain: Vec::new(),
+                });
+            }
+        }
+    }
+
+    // Deduplicate violations shared by several contracted roots.
+    let mut seen: BTreeSet<(Pass, usize, u32, String)> = BTreeSet::new();
+
+    for root_id in 0..graph.fns.len() {
+        let (fi, k) = graph.locate(root_id);
+        let root_fn = &parsed[fi].fns[k];
+        if root_fn.in_test_region || root_fn.contracts.is_empty() {
+            continue;
+        }
+        for &contract in &root_fn.contracts {
+            let pass = match contract {
+                Contract::AllocFree => Pass::AllocFree,
+                Contract::NoPanic => Pass::NoPanic,
+                Contract::Kernel => Pass::Kernel,
+            };
+            // BFS with parent pointers for chain reconstruction.
+            let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+            let mut queue = VecDeque::from([root_id]);
+            let mut visited = BTreeSet::from([root_id]);
+            while let Some(id) = queue.pop_front() {
+                let (vfi, vk) = graph.locate(id);
+                let vfn = &parsed[vfi].fns[vk];
+                let facts = &graph.facts[id];
+                for (line, what) in scan_fn(contract, facts) {
+                    let waived = pass.waiver_name().is_some_and(|w| {
+                        allows[vfi]
+                            .get(&line)
+                            .is_some_and(|names| names.contains(w))
+                    });
+                    if waived {
+                        let w = pass.waiver_name().unwrap_or_default().to_string();
+                        consumed.insert((vfi, line, w.clone()));
+                        if let Some(prev) = line.checked_sub(1) {
+                            consumed.insert((vfi, prev, w));
+                        }
+                        continue;
+                    }
+                    let key = (pass, vfi, line, what.clone());
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                    let chain = chain_frames(files, parsed, graph, &parent, root_id, id);
+                    diagnostics.push(Diagnostic {
+                        file: files[vfi].ctx.path.clone(),
+                        line,
+                        pass,
+                        message: format!(
+                            "{what} inside `{}`, reached from `{}` contracted `{}`",
+                            qualified(vfn),
+                            qualified(root_fn),
+                            contract.name()
+                        ),
+                        chain,
+                    });
+                }
+                for call in &facts.calls {
+                    let next = match call.resolution {
+                        Resolution::Resolved(id) | Resolution::Fallback(id) => id,
+                        _ => continue,
+                    };
+                    if visited.insert(next) {
+                        parent.insert(next, id);
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The banned constructs a single function body exhibits under `contract`.
+fn scan_fn(contract: Contract, facts: &FnFacts) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    let alloc = matches!(contract, Contract::AllocFree | Contract::Kernel);
+    let panic_strict = matches!(contract, Contract::NoPanic);
+    let panic_any = matches!(contract, Contract::NoPanic | Contract::Kernel);
+
+    for c in &facts.calls {
+        let name = c.name.as_str();
+        match c.resolution {
+            Resolution::Macro => {
+                if alloc && ALLOC_MACROS.contains(&name) {
+                    out.push((c.line, format!("allocating macro `{name}!`")));
+                }
+                if panic_any && PANIC_MACROS.contains(&name) {
+                    out.push((c.line, format!("panicking macro `{name}!`")));
+                }
+                if panic_strict && ASSERT_MACROS.contains(&name) {
+                    out.push((c.line, format!("asserting macro `{name}!`")));
+                }
+            }
+            Resolution::Resolved(_) => {} // judged via the callee's own body
+            Resolution::Fallback(_) | Resolution::External | Resolution::Ambiguous => {
+                if alloc && ALLOC_METHODS.contains(&name) {
+                    out.push((c.line, format!("allocating call `{name}`")));
+                }
+                if alloc
+                    && ALLOC_CTORS.contains(&name)
+                    && c.qualifier
+                        .as_deref()
+                        .is_some_and(|q| ALLOC_OWNERS.contains(&q))
+                {
+                    out.push((
+                        c.line,
+                        format!(
+                            "allocating constructor `{}::{name}`",
+                            c.qualifier.as_deref().unwrap_or_default()
+                        ),
+                    ));
+                }
+                if panic_any && PANIC_METHODS.contains(&name) {
+                    out.push((c.line, format!("panicking call `.{name}()`")));
+                }
+            }
+            Resolution::Local => {}
+        }
+    }
+    if panic_strict {
+        for &line in &facts.index_sites {
+            out.push((
+                line,
+                "indexing expression (may panic out of bounds)".to_string(),
+            ));
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// `Owner::name` for diagnostics.
+fn qualified(f: &items::FnItem) -> String {
+    match &f.owner {
+        Some(o) => format!("{o}::{}", f.name),
+        None => f.name.clone(),
+    }
+}
+
+/// Reconstructs the BFS chain from `root` to `target` as display frames.
+fn chain_frames(
+    files: &[SourceFile],
+    parsed: &[ParsedFile],
+    graph: &CallGraph,
+    parent: &BTreeMap<usize, usize>,
+    root: usize,
+    target: usize,
+) -> Vec<String> {
+    if root == target {
+        return Vec::new();
+    }
+    let mut path = vec![target];
+    let mut cur = target;
+    while let Some(&p) = parent.get(&cur) {
+        path.push(p);
+        if p == root {
+            break;
+        }
+        cur = p;
+    }
+    path.reverse();
+    path.iter()
+        .map(|&id| {
+            let (fi, k) = graph.locate(id);
+            let f = &parsed[fi].fns[k];
+            format!(
+                "{} ({}:{})",
+                qualified(f),
+                files[fi].ctx.path.display(),
+                f.line
+            )
+        })
+        .collect()
+}
+
+/// Pass 3: registry consistency, literal cross-check, orphan detection.
+fn metrics_pass(
+    root: &Path,
+    files: &[SourceFile],
+    sources: &[String],
+    allows: &[BTreeMap<u32, BTreeSet<String>>],
+    consumed: &mut BTreeSet<(usize, u32, String)>,
+    diagnostics: &mut Vec<Diagnostic>,
+) -> io::Result<MetricRegistry> {
+    let obs_idx = files
+        .iter()
+        .position(|f| f.ctx.path.ends_with(Path::new("core/src/obs.rs")));
+    let Some(obs_idx) = obs_idx else {
+        // Mini-workspaces (fixtures) without an observability layer skip
+        // the metrics pass entirely.
+        return Ok(MetricRegistry::default());
+    };
+    let reg = registry::extract_registry(&sources[obs_idx]);
+    let obs_path = files[obs_idx].ctx.path.clone();
+
+    for (line, message) in registry::check_registry(&reg) {
+        diagnostics.push(Diagnostic {
+            file: obs_path.clone(),
+            line,
+            pass: Pass::Metrics,
+            message,
+            chain: Vec::new(),
+        });
+    }
+
+    // Literal cross-check over library sources…
+    for (fi, src) in sources.iter().enumerate() {
+        for (line, lit) in registry::unregistered_literals(src, &reg) {
+            let waived = allows[fi]
+                .get(&line)
+                .is_some_and(|names| names.contains("metric-registry"));
+            if waived {
+                consumed.insert((fi, line, "metric-registry".to_string()));
+                if let Some(prev) = line.checked_sub(1) {
+                    consumed.insert((fi, prev, "metric-registry".to_string()));
+                }
+                continue;
+            }
+            diagnostics.push(Diagnostic {
+                file: files[fi].ctx.path.clone(),
+                line,
+                pass: Pass::Metrics,
+                message: format!("metric-shaped literal `\"{lit}\"` is not in the obs registry"),
+                chain: Vec::new(),
+            });
+        }
+    }
+    // …and over CI workflow files (quoted strings in YAML / embedded
+    // python), so bench-smoke's assertions cannot drift from the registry.
+    let wf_dir = root.join(".github").join("workflows");
+    if wf_dir.is_dir() {
+        let mut wf: Vec<PathBuf> = fs::read_dir(&wf_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "yml" || e == "yaml"))
+            .collect();
+        wf.sort();
+        for path in wf {
+            let text = fs::read_to_string(&path)?;
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            for (line, lit) in registry::unregistered_literals_text(&text, &reg) {
+                diagnostics.push(Diagnostic {
+                    file: rel.clone(),
+                    line,
+                    pass: Pass::Metrics,
+                    message: format!(
+                        "metric-shaped literal `\"{lit}\"` in CI is not in the obs registry"
+                    ),
+                    chain: Vec::new(),
+                });
+            }
+        }
+    }
+
+    // Orphan detection: variants never referenced outside obs.rs.
+    let mut referenced: BTreeSet<(String, String)> = BTreeSet::new();
+    for (fi, src) in sources.iter().enumerate() {
+        if fi == obs_idx {
+            continue;
+        }
+        referenced.extend(registry::variant_references(src));
+    }
+    for m in &reg.metrics {
+        if referenced.contains(&(m.kind.clone(), m.variant.clone())) {
+            continue;
+        }
+        let waived = allows[obs_idx]
+            .get(&m.line)
+            .is_some_and(|names| names.contains("metric-orphan"));
+        if waived {
+            consumed.insert((obs_idx, m.line, "metric-orphan".to_string()));
+            if let Some(prev) = m.line.checked_sub(1) {
+                consumed.insert((obs_idx, prev, "metric-orphan".to_string()));
+            }
+            continue;
+        }
+        diagnostics.push(Diagnostic {
+            file: obs_path.clone(),
+            line: m.line,
+            pass: Pass::Metrics,
+            message: format!(
+                "orphaned metric `{}::{}` (`{}`): no reference outside obs.rs",
+                m.kind, m.variant, m.name
+            ),
+            chain: Vec::new(),
+        });
+    }
+
+    Ok(reg)
+}
+
+/// Pass 4: every `xtask-allow` must either suppress a lint finding, be
+/// consumed by an analyzer pass, or it is stale; unknown names are errors.
+fn stale_pass(
+    files: &[SourceFile],
+    sources: &[String],
+    consumed: &BTreeSet<(usize, u32, String)>,
+    diagnostics: &mut Vec<Diagnostic>,
+) -> io::Result<()> {
+    for (fi, src) in sources.iter().enumerate() {
+        // Re-run the lint engine to learn which waivers it consumed.
+        let mut lint_consumed: BTreeSet<(u32, String)> = BTreeSet::new();
+        let _ = lint_file_consuming(&files[fi].ctx, src, &mut lint_consumed);
+
+        for entry in collect_allow_entries(src) {
+            let known = Rule::from_name(&entry.name).is_some()
+                || ANALYZER_WAIVERS.contains(&entry.name.as_str());
+            if !known {
+                diagnostics.push(Diagnostic {
+                    file: files[fi].ctx.path.clone(),
+                    line: entry.line,
+                    pass: Pass::StaleWaiver,
+                    message: format!(
+                        "`xtask-allow: {}` names no known rule or analyzer waiver",
+                        entry.name
+                    ),
+                    chain: Vec::new(),
+                });
+                continue;
+            }
+            let used = lint_consumed.contains(&(entry.line, entry.name.clone()))
+                || consumed.contains(&(fi, entry.line, entry.name.clone()));
+            if !used {
+                diagnostics.push(Diagnostic {
+                    file: files[fi].ctx.path.clone(),
+                    line: entry.line,
+                    pass: Pass::StaleWaiver,
+                    message: format!(
+                        "stale waiver: `xtask-allow: {}` suppresses nothing on this line",
+                        entry.name
+                    ),
+                    chain: Vec::new(),
+                });
+            }
+        }
+    }
+    Ok(())
+}

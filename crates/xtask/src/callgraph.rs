@@ -1,0 +1,621 @@
+//! Name-resolved intra-workspace call graph over [`crate::items`].
+//!
+//! For each parsed function body this module extracts every call site —
+//! method calls, qualified-path calls, bare calls, and macro invocations —
+//! and resolves callees to workspace functions where the token stream gives
+//! enough evidence:
+//!
+//! * `self.method()` → methods of the enclosing impl's self type,
+//! * `self.field.method()` → via the owner struct's field-type map,
+//! * `local.method()` → via `let local: Type` / `let local = Type::new(…)`
+//!   hints and typed parameters (including `&mut Self::Union` through the
+//!   impl's associated-type bindings),
+//! * `Type::func(…)` / `module::func(…)` / bare `func(…)` by path head.
+//!
+//! Resolution is deliberately conservative and its limits are explicit in
+//! the [`Resolution`] variants: a receiver whose type cannot be recovered
+//! resolves through a unique-name fallback ([`Resolution::Fallback`]) only
+//! when exactly one workspace function bears the name; multiple candidates
+//! yield [`Resolution::Ambiguous`] (skipped by traversal — a documented
+//! soundness limit); everything else is [`Resolution::External`]. The
+//! semantic passes in [`crate::analyze`] treat *banned* names (`push`,
+//! `collect`, `unwrap`, …) as violations unless they resolve through a
+//! *typed* lookup, so the fallback can never bless an allocation.
+
+use crate::items::{FnItem, ParsedFile};
+use crate::lexer::{Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// How a call site's callee was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Resolved to a workspace function through receiver/path *type*
+    /// evidence (global fn id).
+    Resolved(usize),
+    /// Resolved through the unique-name fallback: the receiver's type is
+    /// unknown but exactly one workspace function bears the name.
+    Fallback(usize),
+    /// Not a workspace function (std / external crate / unknown method of a
+    /// non-workspace type).
+    External,
+    /// Several workspace candidates and no type evidence — traversal skips
+    /// the edge (soundness limit, see DESIGN.md §12).
+    Ambiguous,
+    /// A macro invocation `name!(…)`.
+    Macro,
+    /// A call of a local binding or parameter (closure call) — no edge.
+    Local,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// 1-based line of the callee name token.
+    pub line: u32,
+    /// The callee name as written (`push`, `format`, `map_indexed_with`).
+    pub name: String,
+    /// The path head or recovered receiver type (`Vec` in `Vec::new(…)`,
+    /// `NodeBitset` for `union.insert(…)` with a typed receiver), when
+    /// known. Lets the passes recognize `Vec::new`-style constructions.
+    pub qualifier: Option<String>,
+    /// Resolution outcome.
+    pub resolution: Resolution,
+}
+
+/// Per-function facts the passes consume.
+#[derive(Debug, Clone, Default)]
+pub struct FnFacts {
+    /// Every call site, in source order.
+    pub calls: Vec<CallSite>,
+    /// Lines with an indexing/slicing expression (`expr[…]`).
+    pub index_sites: Vec<u32>,
+}
+
+/// The workspace call graph: one node per parsed function.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Global fn id → (file index, fn index within that file).
+    pub fns: Vec<(usize, usize)>,
+    /// Global fn id → extracted facts.
+    pub facts: Vec<FnFacts>,
+    /// `(file index, fn index)` → global fn id (dense prefix offsets).
+    base: Vec<usize>,
+}
+
+impl CallGraph {
+    /// The global id of file `fi`'s `k`-th function.
+    pub fn id(&self, fi: usize, k: usize) -> usize {
+        self.base[fi] + k
+    }
+
+    /// The `(file index, fn index)` behind a global id.
+    pub fn locate(&self, id: usize) -> (usize, usize) {
+        self.fns[id]
+    }
+}
+
+/// Keywords that look like bare calls (`if (…)`, `match (…)`) or must not
+/// be treated as receivers.
+const CALL_KEYWORDS: [&str; 16] = [
+    "if", "else", "match", "while", "for", "in", "loop", "return", "break", "continue", "move",
+    "ref", "mut", "as", "await", "unsafe",
+];
+
+/// Builds the call graph over all parsed files.
+pub fn build(files: &[ParsedFile]) -> CallGraph {
+    // Global function table and name indexes.
+    let mut fns: Vec<(usize, usize)> = Vec::new();
+    let mut base = Vec::with_capacity(files.len());
+    for (fi, file) in files.iter().enumerate() {
+        base.push(fns.len());
+        for k in 0..file.fns.len() {
+            fns.push((fi, k));
+        }
+    }
+    // (owner type, method name) → ids; free name → ids; any name → ids.
+    let mut typed: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut any: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (id, &(fi, k)) in fns.iter().enumerate() {
+        let f = &files[fi].fns[k];
+        if f.in_test_region {
+            continue; // test helpers must not capture workspace names
+        }
+        any.entry(&f.name).or_default().push(id);
+        match &f.owner {
+            Some(owner) => typed.entry((owner, &f.name)).or_default().push(id),
+            None => free.entry(&f.name).or_default().push(id),
+        }
+    }
+
+    let mut facts = vec![FnFacts::default(); fns.len()];
+    for (id, &(fi, k)) in fns.iter().enumerate() {
+        let file = &files[fi];
+        let f = &file.fns[k];
+        if let Some((body_open, body_close)) = f.body {
+            facts[id] = extract(
+                file,
+                f,
+                fi,
+                body_open,
+                body_close,
+                &Indexes {
+                    typed: &typed,
+                    free: &free,
+                    any: &any,
+                    fns: &fns,
+                },
+            );
+        }
+    }
+
+    CallGraph { fns, facts, base }
+}
+
+struct Indexes<'a> {
+    typed: &'a BTreeMap<(&'a str, &'a str), Vec<usize>>,
+    free: &'a BTreeMap<&'a str, Vec<usize>>,
+    any: &'a BTreeMap<&'a str, Vec<usize>>,
+    fns: &'a [(usize, usize)],
+}
+
+impl Indexes<'_> {
+    /// Typed lookup: one candidate resolves, several are ambiguous.
+    fn lookup_typed(&self, owner: &str, name: &str) -> Resolution {
+        match self.typed.get(&(owner, name)).map(Vec::as_slice) {
+            Some([id]) => Resolution::Resolved(*id),
+            Some(_) => Resolution::Ambiguous,
+            None => Resolution::External,
+        }
+    }
+
+    /// Free-function lookup with same-file preference.
+    fn lookup_free(&self, name: &str, file: usize) -> Resolution {
+        match self.free.get(name).map(Vec::as_slice) {
+            Some([id]) => Resolution::Resolved(*id),
+            Some(ids) => {
+                let here: Vec<usize> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.fns[id].0 == file)
+                    .collect();
+                match here.as_slice() {
+                    [id] => Resolution::Resolved(*id),
+                    _ => Resolution::Ambiguous,
+                }
+            }
+            None => Resolution::External,
+        }
+    }
+
+    /// Unknown-receiver fallback over every workspace fn name.
+    fn lookup_any(&self, name: &str) -> Resolution {
+        match self.any.get(name).map(Vec::as_slice) {
+            Some([id]) => Resolution::Fallback(*id),
+            Some(_) => Resolution::Ambiguous,
+            None => Resolution::External,
+        }
+    }
+}
+
+/// Extracts call sites and indexing sites from one function body.
+fn extract(
+    file: &ParsedFile,
+    f: &FnItem,
+    fi: usize,
+    body_open: usize,
+    body_close: usize,
+    ix: &Indexes<'_>,
+) -> FnFacts {
+    let toks = &file.toks;
+    let code = &file.code;
+    let tok = |ci: usize| -> &Token { &toks[code[ci]] };
+
+    // Local type hints: parameters first, then `let` bindings.
+    let mut locals: BTreeMap<String, Option<String>> = BTreeMap::new();
+    for p in &f.params {
+        locals.insert(p.name.clone(), p.ty.clone());
+    }
+    let mut ci = body_open + 1;
+    while ci < body_close {
+        if tok(ci).is_ident("let") {
+            let mut j = ci + 1;
+            if j < body_close && tok(j).is_ident("mut") {
+                j += 1;
+            }
+            if j < body_close && tok(j).kind == TokenKind::Ident {
+                let name = tok(j).text.clone();
+                let ty = if tok(j + 1).is_punct(':') && !tok(j + 2).is_punct(':') {
+                    // `let x: Type` — head ident of the ascription.
+                    head_type_after(file, j + 2, body_close, f)
+                } else if tok(j + 1).is_punct('=')
+                    && tok(j + 2).kind == TokenKind::Ident
+                    && starts_upper(&tok(j + 2).text)
+                    && tok(j + 3).is_punct(':')
+                    && tok(j + 4).is_punct(':')
+                {
+                    // `let x = Type::ctor(…)` — the constructor's type.
+                    resolve_type_name(&tok(j + 2).text, f)
+                } else {
+                    None
+                };
+                locals.insert(name, ty);
+            }
+        }
+        ci += 1;
+    }
+
+    let mut facts = FnFacts::default();
+    let mut ci = body_open + 1;
+    while ci < body_close {
+        let t = tok(ci);
+        // Skip attribute groups: `#[derive(…)]` contents mimic calls.
+        if t.is_punct('#') && ci + 1 < body_close && tok(ci + 1).is_punct('[') {
+            if let Some(close) = crate::rules::matching(toks, code, ci + 1, '[', ']') {
+                ci = close + 1;
+                continue;
+            }
+        }
+        // Indexing: `expr[…]` — `[` whose previous code token closes an
+        // expression (identifier, `)`, `]`, or a literal).
+        if t.is_punct('[') {
+            let prev = tok(ci - 1);
+            let is_index = match prev.kind {
+                TokenKind::Ident => !CALL_KEYWORDS.contains(&prev.text.as_str()),
+                TokenKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+                TokenKind::Number | TokenKind::Str => true,
+                _ => false,
+            };
+            if is_index {
+                facts.index_sites.push(t.line);
+            }
+            ci += 1;
+            continue;
+        }
+        if t.kind != TokenKind::Ident || CALL_KEYWORDS.contains(&t.text.as_str()) {
+            ci += 1;
+            continue;
+        }
+        // Macro invocation: `name!(…)` / `name![…]` / `name!{…}`.
+        if ci + 2 < body_close
+            && tok(ci + 1).is_punct('!')
+            && (tok(ci + 2).is_punct('(') || tok(ci + 2).is_punct('[') || tok(ci + 2).is_punct('{'))
+        {
+            facts.calls.push(CallSite {
+                line: t.line,
+                name: t.text.clone(),
+                qualifier: None,
+                resolution: Resolution::Macro,
+            });
+            ci += 2;
+            continue;
+        }
+        // Call head: `name(` directly, or `name::<…>(` with a turbofish.
+        let after = call_paren_after(file, ci, body_close);
+        let Some(_paren) = after else {
+            ci += 1;
+            continue;
+        };
+        let name = t.text.clone();
+        let (resolution, qualifier) = resolve_call(file, f, fi, ci, &name, &locals, ix);
+        facts.calls.push(CallSite {
+            line: t.line,
+            name,
+            qualifier,
+            resolution,
+        });
+        ci += 1;
+    }
+    facts
+}
+
+/// If the ident at `ci` heads a call, the code index of its `(`:
+/// either directly adjacent or after a `::<…>` turbofish.
+fn call_paren_after(file: &ParsedFile, ci: usize, end: usize) -> Option<usize> {
+    let tok = |i: usize| -> &Token { &file.toks[file.code[i]] };
+    if ci + 1 < end && tok(ci + 1).is_punct('(') {
+        return Some(ci + 1);
+    }
+    if ci + 3 < end
+        && tok(ci + 1).is_punct(':')
+        && tok(ci + 2).is_punct(':')
+        && tok(ci + 3).is_punct('<')
+    {
+        // Balance the turbofish generics.
+        let mut depth = 0i32;
+        let mut j = ci + 3;
+        while j < end {
+            let t = tok(j);
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') && !tok(j - 1).is_punct('-') {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1 < end && tok(j + 1).is_punct('(')).then_some(j + 1);
+                }
+            }
+            j += 1;
+        }
+    }
+    None
+}
+
+/// True if the name starts with an uppercase letter (type-like path head).
+fn starts_upper(name: &str) -> bool {
+    name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+/// Resolves `Self`/associated-type names against the enclosing fn's impl.
+fn resolve_type_name(name: &str, f: &FnItem) -> Option<String> {
+    if name == "Self" {
+        return f.owner.clone();
+    }
+    Some(name.to_string())
+}
+
+/// Head type of a type ascription starting at code index `from`.
+fn head_type_after(file: &ParsedFile, from: usize, end: usize, f: &FnItem) -> Option<String> {
+    let tok = |i: usize| -> &Token { &file.toks[file.code[i]] };
+    let mut segs: Vec<String> = Vec::new();
+    let mut ci = from;
+    while ci < end {
+        let t = tok(ci);
+        match t.kind {
+            TokenKind::Ident if t.text == "mut" || t.text == "dyn" => ci += 1,
+            TokenKind::Ident if t.text == "impl" => return None,
+            TokenKind::Ident => {
+                segs.push(t.text.clone());
+                if ci + 2 < end && tok(ci + 1).is_punct(':') && tok(ci + 2).is_punct(':') {
+                    ci += 3;
+                } else {
+                    break;
+                }
+            }
+            TokenKind::Punct if t.text == "&" => ci += 1,
+            TokenKind::Lifetime => ci += 1,
+            _ => return None,
+        }
+    }
+    let last = segs.last()?.clone();
+    if segs.len() >= 2 && segs[segs.len() - 2] == "Self" {
+        return f.assoc_types.get(&last).cloned();
+    }
+    if last == "Self" {
+        return f.owner.clone();
+    }
+    Some(last)
+}
+
+/// Resolves the call whose name ident sits at code index `ci`. Returns the
+/// resolution plus the path head / receiver type when one was recovered.
+#[allow(clippy::too_many_arguments)]
+fn resolve_call(
+    file: &ParsedFile,
+    f: &FnItem,
+    fi: usize,
+    ci: usize,
+    name: &str,
+    locals: &BTreeMap<String, Option<String>>,
+    ix: &Indexes<'_>,
+) -> (Resolution, Option<String>) {
+    let tok = |i: usize| -> &Token { &file.toks[file.code[i]] };
+    let prev = |i: usize| (i > 0).then(|| tok(i - 1));
+
+    // Method call: `.name(`.
+    if prev(ci).is_some_and(|p| p.is_punct('.')) {
+        let recv_ty = receiver_type(file, f, ci - 1, locals);
+        return match recv_ty {
+            ReceiverType::Known(ty) => {
+                let r = ix.lookup_typed(&ty, name);
+                (r, Some(ty))
+            }
+            ReceiverType::Unknown => (ix.lookup_any(name), None),
+        };
+    }
+
+    // Qualified path: `…::name(`.
+    if ci >= 2 && tok(ci - 1).is_punct(':') && tok(ci - 2).is_punct(':') {
+        // Collect path segments backward (stopping at a turbofish `>`),
+        // e.g. `crate :: par :: map_indexed_with`.
+        let mut segs: Vec<String> = Vec::new();
+        let mut j = ci - 2;
+        loop {
+            if j == 0 || tok(j - 1).kind != TokenKind::Ident {
+                break;
+            }
+            segs.push(tok(j - 1).text.clone());
+            if j >= 3 && tok(j - 2).is_punct(':') && tok(j - 3).is_punct(':') {
+                j -= 3;
+            } else {
+                break;
+            }
+        }
+        let Some(owner) = segs.first() else {
+            // `<T as Trait>::name(…)` and similar — no usable head.
+            return (ix.lookup_any(name), None);
+        };
+        if owner == "Self" {
+            return match &f.owner {
+                Some(ty) => (ix.lookup_typed(ty, name), Some(ty.clone())),
+                None => (Resolution::External, None),
+            };
+        }
+        if starts_upper(owner) {
+            return (ix.lookup_typed(owner, name), Some(owner.clone()));
+        }
+        // Module path (`par::f`, `crate::par::f`): a free-function lookup.
+        (ix.lookup_free(name, fi), Some(owner.clone()))
+    } else {
+        // Bare call: `name(…)`.
+        if locals.contains_key(name) {
+            return (Resolution::Local, None); // closure/param call
+        }
+        if starts_upper(name) {
+            return (Resolution::External, None); // tuple-struct / enum ctor
+        }
+        (ix.lookup_free(name, fi), None)
+    }
+}
+
+enum ReceiverType {
+    Known(String),
+    Unknown,
+}
+
+/// The receiver type of a method call whose `.` sits at code index `dot`.
+fn receiver_type(
+    file: &ParsedFile,
+    f: &FnItem,
+    dot: usize,
+    locals: &BTreeMap<String, Option<String>>,
+) -> ReceiverType {
+    let tok = |i: usize| -> &Token { &file.toks[file.code[i]] };
+    if dot == 0 {
+        return ReceiverType::Unknown;
+    }
+    let r = tok(dot - 1);
+    if r.kind != TokenKind::Ident {
+        return ReceiverType::Unknown; // chained call `…).f()`, index `…].f()`
+    }
+    let is_self_recv = r.text == "self" && !(dot >= 2 && tok(dot - 2).is_punct('.'));
+    if is_self_recv {
+        return match &f.owner {
+            Some(ty) => ReceiverType::Known(ty.clone()),
+            None => ReceiverType::Unknown,
+        };
+    }
+    // `self.field.method()` — field type via the owner struct.
+    if dot >= 3 && tok(dot - 2).is_punct('.') && tok(dot - 3).is_ident("self") {
+        if let Some(owner) = &f.owner {
+            if let Some(fields) = file.structs.get(owner) {
+                if let Some(ty) = fields.get(&r.text) {
+                    return ReceiverType::Known(ty.clone());
+                }
+            }
+        }
+        return ReceiverType::Unknown;
+    }
+    if dot >= 2 && tok(dot - 2).is_punct('.') {
+        return ReceiverType::Unknown; // deeper chains: `a.b.c.method()`
+    }
+    match locals.get(&r.text) {
+        Some(Some(ty)) => ReceiverType::Known(ty.clone()),
+        _ => ReceiverType::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+
+    fn graph_of(src: &str) -> (Vec<ParsedFile>, CallGraph) {
+        let files = vec![parse_file(src)];
+        let g = build(&files);
+        (files, g)
+    }
+
+    fn calls_of<'g>(g: &'g CallGraph, files: &[ParsedFile], name: &str) -> &'g FnFacts {
+        let id = (0..g.fns.len())
+            .find(|&id| {
+                let (fi, k) = g.locate(id);
+                files[fi].fns[k].name == name
+            })
+            .unwrap();
+        &g.facts[id]
+    }
+
+    #[test]
+    fn self_method_resolves_to_impl() {
+        let src = "struct S;\nimpl S {\n    fn a(&self) { self.b(); }\n    fn b(&self) {}\n}\n";
+        let (files, g) = graph_of(src);
+        let facts = calls_of(&g, &files, "a");
+        assert_eq!(facts.calls.len(), 1);
+        match facts.calls[0].resolution {
+            Resolution::Resolved(id) => {
+                let (fi, k) = g.locate(id);
+                assert_eq!(files[fi].fns[k].name, "b");
+            }
+            ref other => panic!("expected Resolved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assoc_type_param_resolves_method() {
+        let src = "struct Bits;\nimpl Bits {\n    fn insert(&mut self, v: usize) {}\n}\n\
+                   struct F;\nimpl Oracle for F {\n    type Union = Bits;\n\
+                   fn absorb(&self, union: &mut Self::Union) { union.insert(1); }\n}\n";
+        let (files, g) = graph_of(src);
+        let facts = calls_of(&g, &files, "absorb");
+        let ins = facts.calls.iter().find(|c| c.name == "insert").unwrap();
+        assert!(matches!(ins.resolution, Resolution::Resolved(_)), "{ins:?}");
+    }
+
+    #[test]
+    fn field_and_let_hints_resolve() {
+        let src = "struct Inner;\nimpl Inner {\n    fn go(&self) {}\n}\n\
+                   struct Outer { inner: Inner }\nimpl Outer {\n\
+                   fn a(&self) { self.inner.go(); }\n\
+                   fn b(&self) { let x = Inner::make(); x.go(); let y: Inner = z; y.go(); }\n}\n";
+        let (files, g) = graph_of(src);
+        for fun in ["a", "b"] {
+            let facts = calls_of(&g, &files, fun);
+            for c in facts.calls.iter().filter(|c| c.name == "go") {
+                assert!(
+                    matches!(c.resolution, Resolution::Resolved(_)),
+                    "{fun}: {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_receiver_banned_name_stays_external() {
+        let src = "fn f(v: &mut Vec<u8>) { v.push(1); }\n";
+        let (files, g) = graph_of(src);
+        let facts = calls_of(&g, &files, "f");
+        // `Vec` is not a workspace type: push is External, never Fallback.
+        assert!(matches!(facts.calls[0].resolution, Resolution::External));
+    }
+
+    #[test]
+    fn macros_locals_and_indexing_detected() {
+        let src = "fn f(cb: impl Fn(u8), xs: &[u8]) -> u8 {\n    cb(1);\n    vec![0u8; 4];\n    xs[0]\n}\n";
+        let (files, g) = graph_of(src);
+        let facts = calls_of(&g, &files, "f");
+        let cb = facts.calls.iter().find(|c| c.name == "cb").unwrap();
+        assert!(matches!(cb.resolution, Resolution::Local));
+        let v = facts.calls.iter().find(|c| c.name == "vec").unwrap();
+        assert!(matches!(v.resolution, Resolution::Macro));
+        assert_eq!(facts.index_sites, vec![4]);
+    }
+
+    #[test]
+    fn module_path_and_bare_calls_resolve_free_fns() {
+        let src = "fn helper() {}\nfn f() { helper(); crate::inner::helper(); }\n";
+        let (files, g) = graph_of(src);
+        let facts = calls_of(&g, &files, "f");
+        assert_eq!(facts.calls.len(), 2);
+        for c in &facts.calls {
+            assert!(matches!(c.resolution, Resolution::Resolved(_)), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn test_region_fns_do_not_capture_names() {
+        let src = "fn f() { helper(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let (files, g) = graph_of(src);
+        let facts = calls_of(&g, &files, "f");
+        assert!(matches!(facts.calls[0].resolution, Resolution::External));
+    }
+
+    #[test]
+    fn turbofish_call_detected() {
+        let src = "fn f(it: It) { let v = it.collect::<Vec<u8>>(); }\n";
+        let (files, g) = graph_of(src);
+        let facts = calls_of(&g, &files, "f");
+        let c = facts.calls.iter().find(|c| c.name == "collect").unwrap();
+        assert!(matches!(c.resolution, Resolution::External));
+    }
+}

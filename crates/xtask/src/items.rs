@@ -1,0 +1,812 @@
+//! A brace-aware item parser layered on [`crate::lexer`].
+//!
+//! The semantic passes in [`crate::analyze`] need more structure than the
+//! flat token stream the lint rules use: which function a token belongs to,
+//! which `impl` block owns a method, what the declared parameter types are,
+//! and which contract comments (`// xtask-contract: alloc-free`) annotate an
+//! item. This module recovers exactly that much structure — function items
+//! with signature/body spans, impl blocks with associated-type bindings
+//! (`type Union = NodeBitset;`), struct field types, and trait blocks — by
+//! tracking brace depth over the code-token view.
+//!
+//! It is deliberately *not* a Rust parser: expressions inside bodies stay
+//! token soup (the call-graph pass re-scans them), generics are skipped
+//! wholesale, and anything unrecognized is stepped over. The contract is
+//! best-effort extraction that never panics on valid Rust and degrades to
+//! "fewer items found" rather than wrong spans.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::{matching, test_region_mask};
+use std::collections::BTreeMap;
+
+/// A contract a function item declares via `// xtask-contract: …`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Contract {
+    /// The function (and everything it transitively calls inside the
+    /// workspace) must not allocate: no `Vec`/`Box`/`String` construction,
+    /// no growth methods, no `vec!`/`format!`.
+    AllocFree,
+    /// The function must be transitively panic-free: no `unwrap`/`expect`,
+    /// no `panic!`-family macros, no `assert!`-family, no indexing.
+    NoPanic,
+    /// Hot-path kernel: [`Contract::AllocFree`] plus `unwrap`/`expect` and
+    /// `panic!`-family bans, but indexing and `assert!` are permitted
+    /// (kernels index arenas and guard invariants).
+    Kernel,
+}
+
+/// The single source of truth pairing each [`Contract`] with its name in
+/// `xtask-contract:` comments, mirroring the rule table in [`crate::rules`].
+const CONTRACT_TABLE: [(Contract, &str); 3] = [
+    (Contract::AllocFree, "alloc-free"),
+    (Contract::NoPanic, "no-panic"),
+    (Contract::Kernel, "kernel"),
+];
+
+impl Contract {
+    /// The contract's name as written in `xtask-contract:` comments.
+    pub fn name(self) -> &'static str {
+        CONTRACT_TABLE[self as usize].1
+    }
+
+    /// Parses a contract name from an `xtask-contract:` comment.
+    pub fn from_name(name: &str) -> Option<Contract> {
+        CONTRACT_TABLE
+            .iter()
+            .find(|(_, n)| *n == name)
+            .map(|&(c, _)| c)
+    }
+}
+
+/// One parameter of a function signature.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// The binding name (`self` for receivers).
+    pub name: String,
+    /// The resolved head type name, when the type is a plain (possibly
+    /// referenced) path: `&mut Self::Union` with an impl binding
+    /// `type Union = NodeBitset` yields `NodeBitset`; `&[u8]`, generics and
+    /// `impl Trait` yield `None`.
+    pub ty: Option<String>,
+}
+
+/// One `fn` item (free function, inherent/trait-impl method, or trait
+/// default method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The owning type for methods (`impl NodeBitset` → `NodeBitset`; for
+    /// trait impls the *implementing* type, for trait declarations the
+    /// trait's name). `None` for free functions.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Code-index range `[start, end]` of the whole item: `fn` keyword
+    /// through closing `}` (or `;` for bodyless trait methods).
+    pub span: (usize, usize),
+    /// Code-index range of the body's `{` … `}`, if the item has a body.
+    pub body: Option<(usize, usize)>,
+    /// Contracts declared on this item, sorted and deduplicated.
+    pub contracts: Vec<Contract>,
+    /// Unknown names written in this item's `xtask-contract:` comments,
+    /// with the comment line — surfaced as diagnostics by the analyzer.
+    pub unknown_contracts: Vec<(u32, String)>,
+    /// Parameters in declaration order (receiver included).
+    pub params: Vec<Param>,
+    /// Associated-type bindings inherited from the enclosing impl block
+    /// (`type Union = NodeBitset;` → `Union` ↦ `NodeBitset`).
+    pub assoc_types: BTreeMap<String, String>,
+    /// Whether the item sits inside a `#[cfg(test)]` / `#[test]` region.
+    pub in_test_region: bool,
+}
+
+/// Field name → head type name for one `struct` with named fields.
+pub type FieldTypes = BTreeMap<String, String>;
+
+/// Everything the parser recovered from one source file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// The full token stream, comments included.
+    pub toks: Vec<Token>,
+    /// Indices (into `toks`) of non-comment tokens.
+    pub code: Vec<usize>,
+    /// All function items found, in source order.
+    pub fns: Vec<FnItem>,
+    /// Struct name → field types, for receiver resolution of
+    /// `self.field.method()` call sites.
+    pub structs: BTreeMap<String, FieldTypes>,
+}
+
+/// Parses one file's source into items. Never fails: unparseable regions
+/// yield fewer items, not errors.
+pub fn parse_file(source: &str) -> ParsedFile {
+    let toks = lex(source);
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let mask = test_region_mask(&toks, &code);
+    let mut parser = Parser {
+        toks: &toks,
+        code: &code,
+        mask: &mask,
+        fns: Vec::new(),
+        structs: BTreeMap::new(),
+    };
+    parser.scan(0, code.len(), None, &BTreeMap::new());
+    let (fns, structs) = (parser.fns, parser.structs);
+    ParsedFile {
+        toks,
+        code,
+        fns,
+        structs,
+    }
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    code: &'a [usize],
+    mask: &'a [bool],
+    fns: Vec<FnItem>,
+    structs: BTreeMap<String, FieldTypes>,
+}
+
+/// Qualifiers that may precede `fn` and are stepped over when walking
+/// backward to find contract comments.
+const FN_QUALIFIERS: [&str; 8] = [
+    "pub", "const", "async", "unsafe", "extern", "crate", "super", "default",
+];
+
+impl Parser<'_> {
+    fn tok(&self, ci: usize) -> &Token {
+        &self.toks[self.code[ci]]
+    }
+
+    /// Scans `[start, end)` at item level, collecting fns/structs. `owner`
+    /// and `assoc` describe the enclosing impl/trait block, if any.
+    fn scan(
+        &mut self,
+        start: usize,
+        end: usize,
+        owner: Option<&str>,
+        assoc: &BTreeMap<String, String>,
+    ) {
+        let mut ci = start;
+        while ci < end {
+            let t = self.tok(ci);
+            if t.is_punct('#') && ci + 1 < end && self.tok(ci + 1).is_punct('[') {
+                // Attribute (outer or inner): skip the group so `derive(…)`
+                // contents are not mistaken for items.
+                let close = matching(self.toks, self.code, ci + 1, '[', ']');
+                ci = close.map_or(end, |c| c + 1);
+                continue;
+            }
+            if t.kind != TokenKind::Ident {
+                ci += 1;
+                continue;
+            }
+            match t.text.as_str() {
+                "impl" if owner.is_none() => ci = self.impl_block(ci, end),
+                "trait" if owner.is_none() => ci = self.trait_block(ci, end),
+                "fn" => ci = self.fn_item(ci, end, owner, assoc),
+                "struct" if owner.is_none() => ci = self.struct_item(ci, end),
+                "mod" => {
+                    // Inline module: descend into its body at item level.
+                    if let Some(open) = self.find_punct(ci, end, '{', ';') {
+                        match matching(self.toks, self.code, open, '{', '}') {
+                            Some(close) => {
+                                self.scan(open + 1, close, owner, assoc);
+                                ci = close + 1;
+                            }
+                            None => ci = end,
+                        }
+                    } else {
+                        ci += 1; // `mod name;` — find_punct hit the `;`
+                        while ci < end && !self.tok(ci - 1).is_punct(';') {
+                            ci += 1;
+                        }
+                    }
+                }
+                _ => ci += 1,
+            }
+        }
+    }
+
+    /// The first occurrence of `want` at depth 0 (w.r.t. `(<[{`) in
+    /// `[from, end)`, or `None` if `stop` is seen first. The `<`/`>` depth
+    /// uses an arrow guard so `-> T` does not unbalance generics.
+    fn find_punct(&self, from: usize, end: usize, want: char, stop: char) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut ci = from;
+        while ci < end {
+            let t = self.tok(ci);
+            if t.kind == TokenKind::Punct {
+                let c = t.text.chars().next().unwrap_or(' ');
+                if c == want && depth <= 0 {
+                    return Some(ci);
+                }
+                if c == stop && depth <= 0 {
+                    return None;
+                }
+                match c {
+                    '(' | '[' | '<' => depth += 1,
+                    ')' | ']' => depth -= 1,
+                    '>' => {
+                        // `->` is an arrow, not a generic close.
+                        let arrow = ci > from && self.tok(ci - 1).is_punct('-');
+                        if !arrow {
+                            depth -= 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            ci += 1;
+        }
+        None
+    }
+
+    /// Parses `impl …` starting at `ci` (the `impl` keyword); returns the
+    /// code index just past the block.
+    fn impl_block(&mut self, ci: usize, end: usize) -> usize {
+        let Some(open) = self.find_punct(ci + 1, end, '{', ';') else {
+            return ci + 1;
+        };
+        let Some(close) = matching(self.toks, self.code, open, '{', '}') else {
+            return end;
+        };
+        // Header idents between `impl` and `{`: the self type is the path
+        // head after `for` (trait impls) or the first path head (inherent).
+        let mut after_for = false;
+        let mut ty: Option<String> = None;
+        let mut j = ci + 1;
+        while j < open {
+            let t = self.tok(j);
+            if t.is_ident("for") {
+                after_for = true;
+                ty = None;
+            } else if t.kind == TokenKind::Ident && ty.is_none() {
+                // Skip generic parameter lists `<…>` — find_punct treats
+                // them as depth, but here we walk token by token, so step
+                // over an immediately following generic group instead.
+                ty = Some(t.text.clone());
+            } else if t.is_punct(':') && !after_for {
+                // `impl<S: SummaryStore>` — the bound's idents must not
+                // shadow the self type; reset only if we are still inside
+                // the generic parameter list (ty was a generic param name).
+            }
+            j += 1;
+        }
+        // Resolve `impl<S> DeltaOverlay<S>`: the first ident is the generic
+        // parameter, not the type. Re-derive: take the ident immediately
+        // preceding the body brace's path position — i.e. the last path
+        // head before `{`, after `for` when present.
+        let ty = self.impl_self_type(ci + 1, open).or(ty);
+        let assoc = self.assoc_bindings(open + 1, close);
+        if let Some(ty) = ty {
+            self.scan(open + 1, close, Some(&ty), &assoc);
+        }
+        close + 1
+    }
+
+    /// The self-type head of an impl header in `[from, open)`: the first
+    /// path-head ident after `for` if present, else the first ident at
+    /// angle-depth 0 (skipping the `impl<…>` generic parameter list).
+    fn impl_self_type(&self, from: usize, open: usize) -> Option<String> {
+        let mut depth = 0i32;
+        let mut first: Option<String> = None;
+        let mut after_for: Option<String> = None;
+        let mut saw_for = false;
+        let mut ci = from;
+        while ci < open {
+            let t = self.tok(ci);
+            if t.kind == TokenKind::Punct {
+                match t.text.chars().next().unwrap_or(' ') {
+                    '<' => depth += 1,
+                    '>' if !(ci > from && self.tok(ci - 1).is_punct('-')) => depth -= 1,
+                    _ => {}
+                }
+            } else if t.kind == TokenKind::Ident && depth == 0 {
+                if t.text == "for" {
+                    saw_for = true;
+                } else if t.text == "where" {
+                    break;
+                } else if saw_for {
+                    if after_for.is_none() {
+                        after_for = Some(t.text.clone());
+                    }
+                } else if first.is_none() {
+                    first = Some(t.text.clone());
+                }
+            }
+            ci += 1;
+        }
+        after_for.or(first)
+    }
+
+    /// Collects `type Name = Head;` bindings at depth 0 of an impl body.
+    fn assoc_bindings(&self, start: usize, end: usize) -> BTreeMap<String, String> {
+        let mut out = BTreeMap::new();
+        let mut depth = 0usize;
+        let mut ci = start;
+        while ci < end {
+            let t = self.tok(ci);
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.is_ident("type") && ci + 2 < end {
+                let name = self.tok(ci + 1);
+                if name.kind == TokenKind::Ident && self.tok(ci + 2).is_punct('=') {
+                    // Head of the bound type: first ident after `=`.
+                    let mut j = ci + 3;
+                    while j < end && !self.tok(j).is_punct(';') {
+                        if self.tok(j).kind == TokenKind::Ident {
+                            out.insert(name.text.clone(), self.tok(j).text.clone());
+                            break;
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            ci += 1;
+        }
+        out
+    }
+
+    /// Parses `trait Name { … }`, treating default methods as owned by the
+    /// trait. Returns the code index just past the block.
+    fn trait_block(&mut self, ci: usize, end: usize) -> usize {
+        let name = match self.code.get(ci + 1) {
+            Some(&j) if self.toks[j].kind == TokenKind::Ident => self.toks[j].text.clone(),
+            _ => return ci + 1,
+        };
+        let Some(open) = self.find_punct(ci + 2, end, '{', ';') else {
+            return ci + 1;
+        };
+        let Some(close) = matching(self.toks, self.code, open, '{', '}') else {
+            return end;
+        };
+        self.scan(open + 1, close, Some(&name), &BTreeMap::new());
+        close + 1
+    }
+
+    /// Parses `struct Name { fields }` field types; tuple/unit structs are
+    /// recorded with no fields. Returns the index just past the item.
+    fn struct_item(&mut self, ci: usize, end: usize) -> usize {
+        let name = match self.code.get(ci + 1) {
+            Some(&j) if self.toks[j].kind == TokenKind::Ident => self.toks[j].text.clone(),
+            _ => return ci + 1,
+        };
+        let Some(open) = self.find_punct(ci + 2, end, '{', ';') else {
+            // `struct Name;` or `struct Name(…);` — no named fields.
+            self.structs.entry(name).or_default();
+            return ci + 2;
+        };
+        let Some(close) = matching(self.toks, self.code, open, '{', '}') else {
+            return end;
+        };
+        let mut fields = FieldTypes::new();
+        // Fields are `vis? name : Type ,` at depth 0 of the body.
+        let mut depth = 0i32;
+        let mut j = open + 1;
+        while j < close {
+            let t = self.tok(j);
+            if t.kind == TokenKind::Punct {
+                match t.text.chars().next().unwrap_or(' ') {
+                    '(' | '[' | '{' | '<' => depth += 1,
+                    ')' | ']' | '}' => depth -= 1,
+                    '>' if !self.tok(j - 1).is_punct('-') => depth -= 1,
+                    _ => {}
+                }
+            }
+            if depth == 0
+                && t.kind == TokenKind::Ident
+                && j + 1 < close
+                && self.tok(j + 1).is_punct(':')
+                && !self.tok(j + 1 + 1).is_punct(':')
+                && (j == open + 1 || !self.tok(j - 1).is_punct(':'))
+            {
+                // Head type: first ident after the colon.
+                let mut k = j + 2;
+                while k < close {
+                    let tk = self.tok(k);
+                    if tk.kind == TokenKind::Ident
+                        && !matches!(tk.text.as_str(), "mut" | "dyn" | "pub" | "crate")
+                    {
+                        fields.insert(t.text.clone(), tk.text.clone());
+                        break;
+                    }
+                    if tk.is_punct(',') {
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+            j += 1;
+        }
+        self.structs.insert(name, fields);
+        close + 1
+    }
+
+    /// Parses one `fn` item starting at `ci` (the `fn` keyword). Returns
+    /// the code index just past the item.
+    fn fn_item(
+        &mut self,
+        ci: usize,
+        end: usize,
+        owner: Option<&str>,
+        assoc: &BTreeMap<String, String>,
+    ) -> usize {
+        let name_tok = match self.code.get(ci + 1) {
+            Some(&j) if self.toks[j].kind == TokenKind::Ident => &self.toks[j],
+            _ => return ci + 1,
+        };
+        let name = name_tok.text.clone();
+        let line = self.tok(ci).line;
+
+        // Parameter list: the first `(` at angle-depth 0 after the name
+        // (skipping a generic parameter list).
+        let Some(paren_open) = self.find_punct(ci + 2, end, '(', '{') else {
+            return ci + 1;
+        };
+        let Some(paren_close) = matching(self.toks, self.code, paren_open, '(', ')') else {
+            return end;
+        };
+        let params = self.params(paren_open + 1, paren_close, owner, assoc);
+
+        // Body: the first `{` at depth 0 after the params (skipping return
+        // type and where clause), or `;` for bodyless trait methods.
+        let (body, span_end) = match self.find_punct(paren_close + 1, end, '{', ';') {
+            Some(open) => match matching(self.toks, self.code, open, '{', '}') {
+                Some(close) => (Some((open, close)), close),
+                None => (None, end.saturating_sub(1)),
+            },
+            None => {
+                // Bodyless: span runs to the terminating `;`.
+                let mut j = paren_close + 1;
+                while j < end && !self.tok(j).is_punct(';') {
+                    j += 1;
+                }
+                (None, j.min(end.saturating_sub(1)))
+            }
+        };
+
+        let (contracts, unknown_contracts) = self.contracts_before(ci);
+        self.fns.push(FnItem {
+            name,
+            owner: owner.map(str::to_string),
+            line,
+            span: (ci, span_end),
+            body,
+            contracts,
+            unknown_contracts,
+            params,
+            assoc_types: assoc.clone(),
+            in_test_region: self.mask.get(ci).copied().unwrap_or(false),
+        });
+        span_end + 1
+    }
+
+    /// Parses the parameter list in `(from, to)` into names and head types.
+    fn params(
+        &self,
+        from: usize,
+        to: usize,
+        owner: Option<&str>,
+        assoc: &BTreeMap<String, String>,
+    ) -> Vec<Param> {
+        // Split on top-level commas.
+        let mut out = Vec::new();
+        let mut depth = 0i32;
+        let mut seg_start = from;
+        let mut ci = from;
+        while ci <= to {
+            let at_end = ci == to;
+            let is_sep = !at_end
+                && self.tok(ci).kind == TokenKind::Punct
+                && self.tok(ci).text == ","
+                && depth == 0;
+            if !at_end && !is_sep {
+                let t = self.tok(ci);
+                if t.kind == TokenKind::Punct {
+                    match t.text.chars().next().unwrap_or(' ') {
+                        '(' | '[' | '<' => depth += 1,
+                        ')' | ']' => depth -= 1,
+                        '>' if !(ci > from && self.tok(ci - 1).is_punct('-')) => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            if is_sep || at_end {
+                if seg_start < ci {
+                    if let Some(p) = self.param(seg_start, ci, owner, assoc) {
+                        out.push(p);
+                    }
+                }
+                seg_start = ci + 1;
+            }
+            ci += 1;
+        }
+        out
+    }
+
+    /// One parameter segment `[from, to)`: `mut? name : Type` or a `self`
+    /// receiver form.
+    fn param(
+        &self,
+        from: usize,
+        to: usize,
+        owner: Option<&str>,
+        assoc: &BTreeMap<String, String>,
+    ) -> Option<Param> {
+        // Binding name: first ident that is not `mut`, skipping `&`/lifetimes.
+        let mut ci = from;
+        let name = loop {
+            if ci >= to {
+                return None;
+            }
+            let t = self.tok(ci);
+            if t.kind == TokenKind::Ident && t.text != "mut" {
+                break t.text.clone();
+            }
+            ci += 1;
+        };
+        if name == "self" {
+            return Some(Param {
+                name,
+                ty: owner.map(str::to_string),
+            });
+        }
+        // Type: everything after the first `:` — resolve its head.
+        let mut colon = ci + 1;
+        while colon < to && !self.tok(colon).is_punct(':') {
+            colon += 1;
+        }
+        if colon >= to {
+            return None; // pattern params (`(a, b): (u8, u8)`) — skip
+        }
+        let ty = self.type_head(colon + 1, to, owner, assoc);
+        Some(Param { name, ty })
+    }
+
+    /// Resolves the head type name of the type tokens in `[from, to)`.
+    ///
+    /// `&mut Self::Union` with a binding `Union ↦ NodeBitset` resolves to
+    /// `NodeBitset`; `crate::par::Chunks` to `Chunks`; slices, tuples,
+    /// `impl Trait`, `dyn Trait` and bare generics resolve to `None`.
+    fn type_head(
+        &self,
+        from: usize,
+        to: usize,
+        owner: Option<&str>,
+        assoc: &BTreeMap<String, String>,
+    ) -> Option<String> {
+        // Collect the leading path segments, skipping `&`, `mut`, lifetimes.
+        let mut segs: Vec<String> = Vec::new();
+        let mut ci = from;
+        while ci < to {
+            let t = self.tok(ci);
+            match t.kind {
+                TokenKind::Ident if t.text == "mut" || t.text == "dyn" => ci += 1,
+                TokenKind::Ident if t.text == "impl" => return None,
+                TokenKind::Ident => {
+                    segs.push(t.text.clone());
+                    // Continue only through `::`.
+                    if ci + 2 < to
+                        && self.tok(ci + 1).is_punct(':')
+                        && self.tok(ci + 2).is_punct(':')
+                    {
+                        ci += 3;
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Punct if t.text == "&" => ci += 1,
+                TokenKind::Lifetime => ci += 1,
+                _ => return None, // slice `[`, tuple `(`, fn pointers, …
+            }
+        }
+        let last = segs.last()?.clone();
+        if segs.len() >= 2 && segs[segs.len() - 2] == "Self" {
+            // `Self::Union` → the impl's associated-type binding.
+            return assoc.get(&last).cloned();
+        }
+        if last == "Self" {
+            return owner.map(str::to_string);
+        }
+        // Bare lowercase heads are generic params / primitives — still
+        // useful (`u64` etc. resolve no methods), return as-is.
+        Some(last)
+    }
+
+    /// Walks backward from the `fn` keyword at code index `ci` over
+    /// qualifiers, attributes and comments, collecting `xtask-contract:`
+    /// names from plain line comments.
+    fn contracts_before(&self, ci: usize) -> (Vec<Contract>, Vec<(u32, String)>) {
+        let mut contracts = Vec::new();
+        let mut unknown = Vec::new();
+        // Step back over qualifier tokens in the code view to find the
+        // item's first code token.
+        let mut c = ci;
+        while c > 0 {
+            let prev = self.tok(c - 1);
+            let is_qual = (prev.kind == TokenKind::Ident
+                && FN_QUALIFIERS.contains(&prev.text.as_str()))
+                || prev.is_punct('(')
+                || prev.is_punct(')')
+                || prev.kind == TokenKind::Str; // `extern "C"`
+            if is_qual {
+                c -= 1;
+            } else {
+                break;
+            }
+        }
+        // Now walk the *full* token stream backward from that code token,
+        // over comments and attribute groups.
+        let mut ti = self.code[c];
+        while ti > 0 {
+            ti -= 1;
+            let t = &self.toks[ti];
+            if t.is_comment() {
+                if !t.is_doc_comment() {
+                    if let Some(idx) = t.text.find("xtask-contract:") {
+                        let rest = crate::rules::strip_justifications(
+                            &t.text[idx + "xtask-contract:".len()..],
+                        );
+                        for item in rest.split(',') {
+                            let name = item.trim().split_whitespace().next().unwrap_or("");
+                            if name.is_empty() {
+                                continue;
+                            }
+                            match Contract::from_name(name) {
+                                Some(contract) => contracts.push(contract),
+                                None => unknown.push((t.line, name.to_string())),
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            if t.is_punct(']') {
+                // Walk back over the attribute group.
+                let mut depth = 1usize;
+                while ti > 0 && depth > 0 {
+                    ti -= 1;
+                    if self.toks[ti].is_punct(']') {
+                        depth += 1;
+                    } else if self.toks[ti].is_punct('[') {
+                        depth -= 1;
+                    }
+                }
+                // Step over the introducing `#` (and inner-attribute `!`).
+                while ti > 0 && (self.toks[ti - 1].is_punct('#') || self.toks[ti - 1].is_punct('!'))
+                {
+                    ti -= 1;
+                }
+                continue;
+            }
+            break;
+        }
+        contracts.sort();
+        contracts.dedup();
+        (contracts, unknown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(src)
+    }
+
+    #[test]
+    fn free_fn_and_method_extraction() {
+        let src = "fn free(a: u64) {}\n\
+                   struct S { v: Vec<u8>, n: NodeId }\n\
+                   impl S {\n    fn method(&self, x: &mut Other) -> u8 { 0 }\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "free");
+        assert_eq!(p.fns[0].owner, None);
+        assert_eq!(p.fns[1].name, "method");
+        assert_eq!(p.fns[1].owner.as_deref(), Some("S"));
+        assert_eq!(p.fns[1].params[0].name, "self");
+        assert_eq!(p.fns[1].params[0].ty.as_deref(), Some("S"));
+        assert_eq!(p.fns[1].params[1].ty.as_deref(), Some("Other"));
+        let fields = &p.structs["S"];
+        assert_eq!(fields["v"], "Vec");
+        assert_eq!(fields["n"], "NodeId");
+    }
+
+    #[test]
+    fn trait_impl_self_type_and_assoc_binding() {
+        let src = "impl InfluenceOracle for Frozen {\n\
+                       type Union = NodeBitset;\n\
+                       fn absorb(&self, union: &mut Self::Union) {}\n\
+                   }\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 1);
+        let f = &p.fns[0];
+        assert_eq!(f.owner.as_deref(), Some("Frozen"));
+        assert_eq!(f.params[1].ty.as_deref(), Some("NodeBitset"));
+        assert_eq!(f.assoc_types["Union"], "NodeBitset");
+    }
+
+    #[test]
+    fn generic_impl_resolves_self_type_not_parameter() {
+        let src = "impl<S: Store> Overlay<S> {\n    fn go(&self) {}\n}\n";
+        let p = parse(src);
+        // The generic parameter list is skipped; `Overlay` is the type.
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Overlay"));
+    }
+
+    #[test]
+    fn contracts_parsed_with_unknown_names() {
+        let src = "/// Docs.\n\
+                   // xtask-contract: alloc-free, kernel\n\
+                   #[inline]\n\
+                   pub fn hot(&self) {}\n\
+                   // xtask-contract: not-a-contract\n\
+                   fn other() {}\n";
+        let p = parse(src);
+        assert_eq!(
+            p.fns[0].contracts,
+            vec![Contract::AllocFree, Contract::Kernel]
+        );
+        assert!(p.fns[0].unknown_contracts.is_empty());
+        assert!(p.fns[1].contracts.is_empty());
+        assert_eq!(
+            p.fns[1].unknown_contracts,
+            vec![(5, "not-a-contract".into())]
+        );
+    }
+
+    #[test]
+    fn doc_comment_contract_mention_is_prose() {
+        let src = "/// Use `// xtask-contract: alloc-free` to annotate.\nfn f() {}\n";
+        let p = parse(src);
+        assert!(p.fns[0].contracts.is_empty());
+        assert!(p.fns[0].unknown_contracts.is_empty());
+    }
+
+    #[test]
+    fn impl_trait_in_signature_is_not_an_impl_block() {
+        let src = "fn each(base: &[u8], mut f: impl FnMut(u8)) { }\nfn after() {}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].params.len(), 2);
+        assert_eq!(p.fns[0].params[1].ty, None);
+        assert_eq!(p.fns[1].name, "after");
+    }
+
+    #[test]
+    fn generics_and_where_clauses_skipped() {
+        let src = "fn g<T: Into<u64>>(slots: &mut [T], u: usize) -> (u64, u64)\nwhere T: Copy {\n    (0, 0)\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "g");
+        assert_eq!(p.fns[0].params[0].name, "slots");
+        assert_eq!(p.fns[0].params[0].ty, None);
+        assert_eq!(p.fns[0].params[1].ty.as_deref(), Some("usize"));
+    }
+
+    #[test]
+    fn test_region_fns_are_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        assert!(!p.fns[0].in_test_region);
+        assert!(p.fns[1].in_test_region);
+    }
+
+    #[test]
+    fn trait_default_methods_owned_by_trait() {
+        let src = "trait Oracle {\n    fn influence(&self) -> f64;\n    fn many(&self) -> f64 { self.influence() }\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Oracle"));
+        assert!(p.fns[0].body.is_none());
+        assert!(p.fns[1].body.is_some());
+    }
+}

@@ -3,15 +3,24 @@
 
 //! Workspace automation for the `infprop` project.
 //!
-//! The only subcommand today is `lint`: a project-specific static-analysis
-//! pass enforcing rules clippy cannot express — the paper's structural
-//! invariants start in the source code (no panicking paths in library code,
-//! no lossy timestamp casts, no slow default hashers on the IRS hot path,
-//! a documented public API, and `#![forbid(unsafe_code)]` everywhere).
+//! Two subcommands:
 //!
-//! Run it as `cargo xtask lint` (the alias lives in `.cargo/config.toml`).
-//! Each violation prints as `path:line: [rule] message` and the process
-//! exits non-zero if any rule fired, so CI can gate on it.
+//! - `lint` — a project-specific static-analysis pass enforcing
+//!   token-level rules clippy cannot express (no panicking paths in
+//!   library code, no lossy timestamp casts, no slow default hashers on
+//!   the IRS hot path, a documented public API, and
+//!   `#![forbid(unsafe_code)]` everywhere).
+//! - `analyze` — call-graph-aware semantic passes: functions annotated
+//!   `// xtask-contract: alloc-free | no-panic | kernel` are verified
+//!   *transitively* against allocation and panic constructs, the metric
+//!   registry in `obs.rs` is cross-checked against every metric-shaped
+//!   string literal in the workspace and CI, and stale `xtask-allow`
+//!   waivers are flagged.
+//!
+//! Run them as `cargo xtask lint` / `cargo xtask analyze` (the alias
+//! lives in `.cargo/config.toml`). Each finding prints as
+//! `path:line: [rule] message` and the process exits non-zero if anything
+//! fired, so CI can gate on both.
 //!
 //! Individual findings can be waived with an inline comment naming the
 //! rule(s), on the offending line or the line before:
@@ -23,12 +32,21 @@
 //! The engine is dependency-free by design: [`lexer`] is a hand-rolled
 //! token scanner with just enough Rust lexical structure (comments, string
 //! fences, raw identifiers, lifetimes) to make the token-sequence rules in
-//! [`rules`] sound, and [`workspace`] maps each crate to the rule set it
-//! must satisfy.
+//! [`rules`] sound, [`workspace`] maps each crate to the rule set it must
+//! satisfy, [`items`] layers a brace-aware item parser on the token
+//! stream, [`callgraph`] name-resolves an intra-workspace call graph over
+//! the parsed items, [`registry`] extracts the metric catalogue from
+//! `obs.rs`, and [`analyze`] runs the semantic passes over all of it.
 
 pub mod lexer;
 pub mod rules;
 pub mod workspace;
 
+pub mod analyze;
+pub mod callgraph;
+pub mod items;
+pub mod registry;
+
+pub use analyze::{analyze_workspace, AnalysisReport, Diagnostic, Pass};
 pub use rules::{lint_file, FileContext, Rule, Violation};
 pub use workspace::{find_workspace_root, lint_workspace};

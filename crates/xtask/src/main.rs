@@ -5,7 +5,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask::{find_workspace_root, lint_workspace};
+use xtask::{analyze_workspace, find_workspace_root, lint_workspace};
 
 const USAGE: &str = "\
 Usage: cargo xtask <command>
@@ -14,9 +14,17 @@ Commands:
   lint [--root <dir>]   Run the project lint rules over the workspace.
                         Exits 1 if any rule fires, printing one
                         `path:line: [rule] message` diagnostic per finding.
+  analyze [--root <dir>] [--format text|json] [--emit-registry <path>]
+                        Run the call-graph-aware semantic passes:
+                        transitive alloc-free / no-panic / kernel contract
+                        verification, metrics-registry consistency, and
+                        stale-waiver detection. Exits 1 on any diagnostic.
+                        --emit-registry writes the metric catalogue
+                        extracted from obs.rs as JSON (for CI cross-checks).
 
-Rules: no-panic, no-lossy-cast, no-default-hashmap, pub-docs,
-       forbid-unsafe, no-print, no-raw-timing.
+Lint rules: no-panic, no-lossy-cast, no-default-hashmap, pub-docs,
+            forbid-unsafe, no-print, no-raw-timing.
+Contracts:  // xtask-contract: alloc-free | no-panic | kernel
 Waive a finding inline with `// xtask-allow: <rule>[, <rule>…]` on the
 offending line or the line before.";
 
@@ -24,6 +32,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -31,6 +40,33 @@ fn main() -> ExitCode {
         Some(other) => {
             eprintln!("error: unknown xtask command `{other}`\n\n{USAGE}");
             ExitCode::from(2)
+        }
+    }
+}
+
+/// Resolves `--root` (explicit or discovered from the current directory),
+/// returning an error exit code on failure.
+fn resolve_root(root: Option<PathBuf>) -> Result<PathBuf, ExitCode> {
+    match root {
+        Some(r) => Ok(r),
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot determine current directory: {e}");
+                    return Err(ExitCode::from(2));
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => Ok(r),
+                None => {
+                    eprintln!(
+                        "error: no workspace root (Cargo.toml with [workspace]) above {}",
+                        cwd.display()
+                    );
+                    Err(ExitCode::from(2))
+                }
+            }
         }
     }
 }
@@ -56,27 +92,9 @@ fn lint(args: &[String]) -> ExitCode {
         }
     }
 
-    let root = match root {
-        Some(r) => r,
-        None => {
-            let cwd = match std::env::current_dir() {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("error: cannot determine current directory: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            match find_workspace_root(&cwd) {
-                Some(r) => r,
-                None => {
-                    eprintln!(
-                        "error: no workspace root (Cargo.toml with [workspace]) above {}",
-                        cwd.display()
-                    );
-                    return ExitCode::from(2);
-                }
-            }
-        }
+    let root = match resolve_root(root) {
+        Ok(r) => r,
+        Err(code) => return code,
     };
 
     match lint_workspace(&root) {
@@ -95,5 +113,87 @@ fn lint(args: &[String]) -> ExitCode {
             eprintln!("error: lint walk failed: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = "text".to_string();
+    let mut emit_registry: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                if let Some(dir) = args.get(i + 1) {
+                    root = Some(PathBuf::from(dir));
+                    i += 2;
+                } else {
+                    eprintln!("error: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            }
+            "--format" => match args.get(i + 1).map(String::as_str) {
+                Some(f @ ("text" | "json")) => {
+                    format = f.to_string();
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("error: --format requires `text` or `json`");
+                    return ExitCode::from(2);
+                }
+            },
+            "--emit-registry" => {
+                if let Some(path) = args.get(i + 1) {
+                    emit_registry = Some(PathBuf::from(path));
+                    i += 2;
+                } else {
+                    eprintln!("error: --emit-registry requires a file argument");
+                    return ExitCode::from(2);
+                }
+            }
+            other => {
+                eprintln!("error: unknown analyze option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match resolve_root(root) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+
+    let report = match analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: analyze walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = emit_registry {
+        if let Err(e) = std::fs::write(&path, report.registry.to_json()) {
+            eprintln!("error: cannot write registry to {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if format == "json" {
+        print!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+    }
+    if report.diagnostics.is_empty() {
+        if format == "text" {
+            println!("xtask analyze: clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        if format == "text" {
+            println!("xtask analyze: {} diagnostic(s)", report.diagnostics.len());
+        }
+        ExitCode::FAILURE
     }
 }

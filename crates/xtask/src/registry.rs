@@ -1,0 +1,488 @@
+//! Static extraction and cross-checking of the metrics registry.
+//!
+//! `infprop_core::obs` declares every metric the project can record as an
+//! enum variant (`Counter` / `Gauge` / `Hist` / `Span`) paired with a dotted
+//! string name in the kind's `name()` match and an `ALL` roster array. This
+//! module recovers that registry *statically* from the `obs.rs` token
+//! stream, so `cargo xtask analyze` can:
+//!
+//! * verify the registry's internal consistency (every variant named
+//!   exactly once, present in `ALL`, and globally unique),
+//! * cross-check every metric-shaped string literal in the workspace and in
+//!   CI scripts against the registry (typos and unregistered names fail),
+//! * flag orphaned variants that no production code references, and
+//! * export the registry as JSON — the single source of truth CI
+//!   bench-smoke validates metric snapshots against, instead of a
+//!   hard-coded key list.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The four metric kinds `obs.rs` declares.
+pub const KINDS: [&str; 4] = ["Counter", "Gauge", "Hist", "Span"];
+
+/// One metric: its kind, variant identifier, declared name, and the
+/// declaration line (of the variant inside the enum).
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Enum kind: `Counter`, `Gauge`, `Hist`, or `Span`.
+    pub kind: String,
+    /// Variant identifier (`EngineInteractions`).
+    pub variant: String,
+    /// Dotted metric name (`engine.interactions`), empty if the `name()`
+    /// match has no arm for this variant.
+    pub name: String,
+    /// 1-based line of the variant declaration in `obs.rs`.
+    pub line: u32,
+}
+
+/// The registry recovered from `obs.rs`.
+#[derive(Debug, Default)]
+pub struct MetricRegistry {
+    /// All metrics in declaration order.
+    pub metrics: Vec<Metric>,
+    /// Per-kind `ALL` roster lengths as declared (`[Counter; 24]` → 24).
+    pub roster_len: BTreeMap<String, usize>,
+    /// Per-kind variant lists found inside the `ALL` arrays.
+    pub roster: BTreeMap<String, Vec<String>>,
+}
+
+impl MetricRegistry {
+    /// Every declared metric name, sorted.
+    pub fn names(&self) -> BTreeSet<&str> {
+        self.metrics.iter().map(|m| m.name.as_str()).collect()
+    }
+
+    /// The set of leading name segments (`engine`, `oracle`, …) — used to
+    /// decide which string literals look like metric names at all.
+    pub fn prefixes(&self) -> BTreeSet<&str> {
+        self.metrics
+            .iter()
+            .filter_map(|m| m.name.split('.').next())
+            .collect()
+    }
+
+    /// Serializes the registry as JSON: `{"counter": ["engine.run", …], …}`
+    /// with kinds lowercased and names sorted. Hand-rolled (the analyzer is
+    /// dependency-free), escaping is unnecessary because names are
+    /// validated dotted identifiers.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, kind) in KINDS.iter().enumerate() {
+            let mut names: Vec<&str> = self
+                .metrics
+                .iter()
+                .filter(|m| m.kind == *kind && !m.name.is_empty())
+                .map(|m| m.name.as_str())
+                .collect();
+            names.sort_unstable();
+            out.push_str(&format!("  \"{}\": [", kind.to_lowercase()));
+            for (j, n) in names.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{n}\""));
+            }
+            out.push(']');
+            out.push_str(if i + 1 < KINDS.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Extracts the registry from `obs.rs` source text.
+pub fn extract_registry(obs_source: &str) -> MetricRegistry {
+    let toks = lex(obs_source);
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let tok = |ci: usize| -> &Token { &toks[code[ci]] };
+
+    let mut registry = MetricRegistry::default();
+    // Variant declarations: `enum Kind { A, B, … }` at any position.
+    for kind in KINDS {
+        let mut ci = 0;
+        while ci + 2 < code.len() {
+            if tok(ci).is_ident("enum") && tok(ci + 1).is_ident(kind) && tok(ci + 2).is_punct('{') {
+                if let Some(close) = crate::rules::matching(&toks, &code, ci + 2, '{', '}') {
+                    let mut j = ci + 3;
+                    while j < close {
+                        let t = tok(j);
+                        // Variants are idents followed by `,` or the close
+                        // brace (attributes are rare here; skip groups).
+                        if t.is_punct('#') && tok(j + 1).is_punct('[') {
+                            j = crate::rules::matching(&toks, &code, j + 1, '[', ']')
+                                .map_or(close, |c| c + 1);
+                            continue;
+                        }
+                        if t.kind == TokenKind::Ident
+                            && (j + 1 >= close || tok(j + 1).is_punct(','))
+                        {
+                            registry.metrics.push(Metric {
+                                kind: kind.to_string(),
+                                variant: t.text.clone(),
+                                name: String::new(),
+                                line: t.line,
+                            });
+                        }
+                        j += 1;
+                    }
+                }
+                break;
+            }
+            ci += 1;
+        }
+    }
+
+    // Name arms: `Kind :: Variant => "name"`.
+    let mut ci = 0;
+    while ci + 5 < code.len() {
+        let is_arm = tok(ci).kind == TokenKind::Ident
+            && KINDS.contains(&tok(ci).text.as_str())
+            && tok(ci + 1).is_punct(':')
+            && tok(ci + 2).is_punct(':')
+            && tok(ci + 3).kind == TokenKind::Ident
+            && tok(ci + 4).is_punct('=')
+            && tok(ci + 5).is_punct('>');
+        if is_arm {
+            if let Some(&si) = code.get(ci + 6) {
+                if toks[si].kind == TokenKind::Str {
+                    let kind = tok(ci).text.clone();
+                    let variant = tok(ci + 3).text.clone();
+                    let name = toks[si].text.trim_matches('"').to_string();
+                    match registry
+                        .metrics
+                        .iter_mut()
+                        .find(|m| m.kind == kind && m.variant == variant)
+                    {
+                        Some(m) if m.name.is_empty() => m.name = name,
+                        Some(_) => {} // duplicate arm — consistency check catches it
+                        None => {
+                            // Arm for an undeclared variant: record it so the
+                            // consistency check can flag it.
+                            registry.metrics.push(Metric {
+                                kind,
+                                variant,
+                                name,
+                                line: tok(ci + 3).line,
+                            });
+                        }
+                    }
+                }
+            }
+            ci += 6;
+            continue;
+        }
+        ci += 1;
+    }
+
+    // Rosters: `const ALL : [ Kind ; N ] = [ Variant, … ]`.
+    let mut ci = 0;
+    while ci + 7 < code.len() {
+        let is_roster = tok(ci).is_ident("const")
+            && tok(ci + 1).is_ident("ALL")
+            && tok(ci + 2).is_punct(':')
+            && tok(ci + 3).is_punct('[')
+            && tok(ci + 4).kind == TokenKind::Ident
+            && KINDS.contains(&tok(ci + 4).text.as_str());
+        if is_roster {
+            let kind = tok(ci + 4).text.clone();
+            if let Some(&ni) = code.get(ci + 6) {
+                if toks[ni].kind == TokenKind::Number {
+                    if let Ok(n) = toks[ni].text.parse::<usize>() {
+                        registry.roster_len.insert(kind.clone(), n);
+                    }
+                }
+            }
+            // The initializer array: variants appear as `Kind::Variant`.
+            if let Some(open) = (ci + 7..code.len()).find(|&j| tok(j).is_punct('[')) {
+                if let Some(close) = crate::rules::matching(&toks, &code, open, '[', ']') {
+                    let mut items = Vec::new();
+                    let mut j = open + 1;
+                    while j + 2 < close {
+                        if tok(j).is_ident(&kind)
+                            && tok(j + 1).is_punct(':')
+                            && tok(j + 2).is_punct(':')
+                            && tok(j + 3).kind == TokenKind::Ident
+                        {
+                            items.push(tok(j + 3).text.clone());
+                            j += 4;
+                            continue;
+                        }
+                        j += 1;
+                    }
+                    registry.roster.insert(kind, items);
+                    ci = close;
+                }
+            }
+        }
+        ci += 1;
+    }
+
+    registry
+}
+
+/// Internal-consistency findings for a registry: each is a `(line, message)`
+/// pair pointing into `obs.rs`.
+pub fn check_registry(reg: &MetricRegistry) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    let mut seen_names: BTreeMap<&str, &Metric> = BTreeMap::new();
+    for m in &reg.metrics {
+        if m.name.is_empty() {
+            out.push((
+                m.line,
+                format!(
+                    "metric variant `{}::{}` has no `name()` arm",
+                    m.kind, m.variant
+                ),
+            ));
+            continue;
+        }
+        if let Some(prev) = seen_names.insert(m.name.as_str(), m) {
+            out.push((
+                m.line,
+                format!(
+                    "metric name `{}` declared twice: `{}::{}` and `{}::{}`",
+                    m.name, prev.kind, prev.variant, m.kind, m.variant
+                ),
+            ));
+        }
+        let shaped = m.name.split('.').count() >= 2
+            && m.name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_');
+        if !shaped {
+            out.push((
+                m.line,
+                format!(
+                    "metric name `{}` is not dotted lower_snake (`prefix.name`)",
+                    m.name
+                ),
+            ));
+        }
+    }
+    for kind in KINDS {
+        let declared: Vec<&Metric> = reg.metrics.iter().filter(|m| m.kind == kind).collect();
+        let roster = reg.roster.get(kind).cloned().unwrap_or_default();
+        if let Some(&n) = reg.roster_len.get(kind) {
+            if n != roster.len() {
+                out.push((
+                    1,
+                    format!(
+                        "`{kind}::ALL` declares length {n} but lists {} variants",
+                        roster.len()
+                    ),
+                ));
+            }
+        }
+        for m in &declared {
+            if !roster.iter().any(|v| *v == m.variant) {
+                out.push((
+                    m.line,
+                    format!(
+                        "metric variant `{kind}::{}` missing from `{kind}::ALL`",
+                        m.variant
+                    ),
+                ));
+            }
+        }
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for v in &roster {
+            *counts.entry(v.as_str()).or_default() += 1;
+        }
+        for (v, c) in counts {
+            if c > 1 {
+                out.push((1, format!("`{kind}::ALL` lists `{v}` {c} times")));
+            }
+            if !declared.iter().any(|m| m.variant == v) {
+                out.push((1, format!("`{kind}::ALL` lists undeclared variant `{v}`")));
+            }
+        }
+    }
+    out
+}
+
+/// File-name extensions that make a dotted literal a *path*, not a metric
+/// (`"delta.rs"` must not be flagged as an unregistered `delta.*` metric).
+const PATH_SUFFIXES: [&str; 12] = [
+    "rs", "json", "txt", "toml", "md", "yml", "yaml", "lock", "gz", "csv", "bin", "tmp",
+];
+
+/// True if a string literal's contents look like a metric name the registry
+/// should know: dotted lower_snake with a registered prefix and no
+/// file-extension tail.
+pub fn is_metric_shaped(text: &str, prefixes: &BTreeSet<&str>) -> bool {
+    let mut parts = text.split('.');
+    let Some(head) = parts.next() else {
+        return false;
+    };
+    let rest: Vec<&str> = parts.collect();
+    if rest.is_empty() || !prefixes.contains(head) {
+        return false;
+    }
+    if let Some(last) = rest.last() {
+        if PATH_SUFFIXES.contains(last) {
+            return false;
+        }
+    }
+    text.chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+}
+
+/// Scans Rust source for metric-shaped string literals not present in the
+/// registry. Returns `(line, literal)` pairs.
+pub fn unregistered_literals(source: &str, reg: &MetricRegistry) -> Vec<(u32, String)> {
+    let names = reg.names();
+    let prefixes = reg.prefixes();
+    let toks = lex(source);
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    // Test modules routinely hold deliberately-bogus metric strings
+    // (typo fixtures); only library code is held to the registry.
+    let mask = crate::rules::test_region_mask(&toks, &code);
+    code.iter()
+        .enumerate()
+        .filter(|&(ci, &i)| toks[i].kind == TokenKind::Str && !mask[ci])
+        .filter_map(|(_, &i)| {
+            let t = &toks[i];
+            let inner = t
+                .text
+                .trim_start_matches(['r', 'b', 'c', '#'])
+                .trim_matches(['#', '"']);
+            (is_metric_shaped(inner, &prefixes) && !names.contains(inner))
+                .then(|| (t.line, inner.to_string()))
+        })
+        .collect()
+}
+
+/// Scans a non-Rust text file (CI YAML, embedded python) for quoted
+/// metric-shaped literals not present in the registry.
+pub fn unregistered_literals_text(source: &str, reg: &MetricRegistry) -> Vec<(u32, String)> {
+    let names = reg.names();
+    let prefixes = reg.prefixes();
+    let mut out = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        for quote in ['"', '\''] {
+            let mut rest = line;
+            while let Some(start) = rest.find(quote) {
+                let after = &rest[start + 1..];
+                let Some(end) = after.find(quote) else {
+                    break;
+                };
+                let lit = &after[..end];
+                if is_metric_shaped(lit, &prefixes) && !names.contains(lit) {
+                    out.push((u32::try_from(i + 1).unwrap_or(u32::MAX), lit.to_string()));
+                }
+                rest = &after[end + 1..];
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Scans Rust source for `Kind::Variant` references; returns the referenced
+/// `(kind, variant)` pairs. Used for orphan detection (a variant never
+/// referenced outside `obs.rs` is dead weight).
+pub fn variant_references(source: &str) -> BTreeSet<(String, String)> {
+    let toks = lex(source);
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let mut out = BTreeSet::new();
+    for w in code.windows(4) {
+        let [a, b, c, d] = [&toks[w[0]], &toks[w[1]], &toks[w[2]], &toks[w[3]]];
+        if a.kind == TokenKind::Ident
+            && KINDS.contains(&a.text.as_str())
+            && b.is_punct(':')
+            && c.is_punct(':')
+            && d.kind == TokenKind::Ident
+        {
+            out.insert((a.text.clone(), d.text.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OBS: &str = r#"
+pub enum Counter { EngineRuns, OracleHits, }
+impl Counter {
+    pub const ALL: [Counter; 2] = [Counter::EngineRuns, Counter::OracleHits];
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::EngineRuns => "engine.runs",
+            Counter::OracleHits => "oracle.hits",
+        }
+    }
+}
+pub enum Gauge { EngineDepth, }
+impl Gauge {
+    pub const ALL: [Gauge; 1] = [Gauge::EngineDepth];
+    pub fn name(self) -> &'static str {
+        match self { Gauge::EngineDepth => "engine.depth" }
+    }
+}
+"#;
+
+    #[test]
+    fn extracts_variants_names_and_rosters() {
+        let reg = extract_registry(OBS);
+        assert_eq!(reg.metrics.len(), 3);
+        let names = reg.names();
+        assert!(names.contains("engine.runs"));
+        assert!(names.contains("engine.depth"));
+        assert_eq!(reg.roster_len["Counter"], 2);
+        assert_eq!(reg.roster["Counter"], vec!["EngineRuns", "OracleHits"]);
+        assert!(check_registry(&reg).is_empty());
+    }
+
+    #[test]
+    fn consistency_catches_missing_arm_and_roster_drift() {
+        let broken = OBS.replace("Counter::OracleHits => \"oracle.hits\",", "");
+        let reg = extract_registry(&broken);
+        let msgs: Vec<String> = check_registry(&reg).into_iter().map(|(_, m)| m).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("no `name()` arm")),
+            "{msgs:?}"
+        );
+        let drifted = OBS.replace("[Counter; 2]", "[Counter; 3]");
+        let reg = extract_registry(&drifted);
+        let msgs: Vec<String> = check_registry(&reg).into_iter().map(|(_, m)| m).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("declares length 3")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn literal_scan_flags_typos_not_paths() {
+        let reg = extract_registry(OBS);
+        let src = "fn f() {\n    let a = \"engine.rns\";\n    let p = \"engine.rs\";\n    let ok = \"engine.runs\";\n}\n";
+        let bad = unregistered_literals(src, &reg);
+        assert_eq!(bad, vec![(2, "engine.rns".to_string())]);
+    }
+
+    #[test]
+    fn text_scan_finds_quoted_typos() {
+        let reg = extract_registry(OBS);
+        let yaml = "          assert \"oracle.hits\" in keys\n          assert 'oracle.hit_rate' in keys\n";
+        let bad = unregistered_literals_text(yaml, &reg);
+        assert_eq!(bad, vec![(2, "oracle.hit_rate".to_string())]);
+    }
+
+    #[test]
+    fn variant_reference_scan() {
+        let refs = variant_references("fn f(r: &R) { r.incr(Counter::EngineRuns, 1); }");
+        assert!(refs.contains(&("Counter".to_string(), "EngineRuns".to_string())));
+    }
+
+    #[test]
+    fn json_export_is_sorted_and_grouped() {
+        let reg = extract_registry(OBS);
+        let json = reg.to_json();
+        assert!(json.contains("\"counter\": [\"engine.runs\", \"oracle.hits\"]"));
+        assert!(json.contains("\"gauge\": [\"engine.depth\"]"));
+        assert!(json.contains("\"hist\": []"));
+    }
+}

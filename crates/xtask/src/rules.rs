@@ -44,45 +44,43 @@ pub enum Rule {
     NoRawTiming,
 }
 
+/// The single source of truth pairing each [`Rule`] with its kebab-case
+/// name, in discriminant order. `name()`, `from_name()` and `all()` all
+/// derive from this table, so adding a rule means adding exactly one row
+/// (the `rule_table_is_consistent` test pins rows to discriminants).
+const RULE_TABLE: [(Rule, &str); 7] = [
+    (Rule::NoPanic, "no-panic"),
+    (Rule::NoLossyCast, "no-lossy-cast"),
+    (Rule::NoDefaultHashmap, "no-default-hashmap"),
+    (Rule::PubDocs, "pub-docs"),
+    (Rule::ForbidUnsafe, "forbid-unsafe"),
+    (Rule::NoPrint, "no-print"),
+    (Rule::NoRawTiming, "no-raw-timing"),
+];
+
 impl Rule {
     /// The kebab-case rule name used in diagnostics and `xtask-allow`.
     pub fn name(self) -> &'static str {
-        match self {
-            Rule::NoPanic => "no-panic",
-            Rule::NoLossyCast => "no-lossy-cast",
-            Rule::NoDefaultHashmap => "no-default-hashmap",
-            Rule::PubDocs => "pub-docs",
-            Rule::ForbidUnsafe => "forbid-unsafe",
-            Rule::NoPrint => "no-print",
-            Rule::NoRawTiming => "no-raw-timing",
-        }
+        RULE_TABLE[self as usize].1
     }
 
     /// Parses a rule name as written in an `xtask-allow` comment.
     pub fn from_name(name: &str) -> Option<Rule> {
-        match name {
-            "no-panic" => Some(Rule::NoPanic),
-            "no-lossy-cast" => Some(Rule::NoLossyCast),
-            "no-default-hashmap" => Some(Rule::NoDefaultHashmap),
-            "pub-docs" => Some(Rule::PubDocs),
-            "forbid-unsafe" => Some(Rule::ForbidUnsafe),
-            "no-print" => Some(Rule::NoPrint),
-            "no-raw-timing" => Some(Rule::NoRawTiming),
-            _ => None,
-        }
+        RULE_TABLE
+            .iter()
+            .find(|(_, n)| *n == name)
+            .map(|&(rule, _)| rule)
     }
 
     /// All rules, for iteration.
-    pub fn all() -> [Rule; 7] {
-        [
-            Rule::NoPanic,
-            Rule::NoLossyCast,
-            Rule::NoDefaultHashmap,
-            Rule::PubDocs,
-            Rule::ForbidUnsafe,
-            Rule::NoPrint,
-            Rule::NoRawTiming,
-        ]
+    pub fn all() -> [Rule; RULE_TABLE.len()] {
+        let mut out = [Rule::NoPanic; RULE_TABLE.len()];
+        let mut i = 0;
+        while i < RULE_TABLE.len() {
+            out[i] = RULE_TABLE[i].0;
+            i += 1;
+        }
+        out
     }
 }
 
@@ -138,8 +136,76 @@ const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 const PRINT_MACROS: [&str; 5] = ["println", "print", "eprintln", "eprint", "dbg"];
 
+/// One `xtask-allow` waiver as written in the source: the comment's line
+/// and the raw rule name it grants. Collected by
+/// [`collect_allow_entries`] for the analyzer's stale-waiver pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// 1-based line of the waiver comment.
+    pub line: u32,
+    /// The rule name as written (may be unknown — the stale pass flags it).
+    pub name: String,
+}
+
+/// Strips parenthesized justification prose from the tail of an
+/// `xtask-allow:` comment, so commas inside a justification — as in
+/// `no-lossy-cast (exact below 2^53, saturating)` — are not mistaken for
+/// name separators (and a rule name quoted inside one is not a grant).
+pub(crate) fn strip_justifications(rest: &str) -> String {
+    let mut out = String::with_capacity(rest.len());
+    let mut depth = 0usize;
+    for c in rest.chars() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            c if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Every waiver written in `source`, in order. Only plain `//` comments
+/// count: an `xtask-allow:` inside a doc comment is prose (an example in
+/// documentation), not a grant — matching [`collect_allows`].
+pub fn collect_allow_entries(source: &str) -> Vec<AllowEntry> {
+    let toks = lex(source);
+    let mut out = Vec::new();
+    for tok in toks
+        .iter()
+        .filter(|t| t.is_comment() && !t.is_doc_comment())
+    {
+        let Some(idx) = tok.text.find("xtask-allow:") else {
+            continue;
+        };
+        let rest = strip_justifications(&tok.text[idx + "xtask-allow:".len()..]);
+        for item in rest.split(',') {
+            let name = item.trim().split_whitespace().next().unwrap_or("");
+            if !name.is_empty() {
+                out.push(AllowEntry {
+                    line: tok.line,
+                    name: name.to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Lints one file's source under the given context.
 pub fn lint_file(ctx: &FileContext, source: &str) -> Vec<Violation> {
+    lint_file_consuming(ctx, source, &mut BTreeSet::new())
+}
+
+/// [`lint_file`], additionally recording into `consumed` every
+/// `(waiver-comment line, rule name)` pair whose allowance actually
+/// suppressed a violation — the ground truth the analyzer's stale-waiver
+/// pass compares [`collect_allow_entries`] against.
+pub fn lint_file_consuming(
+    ctx: &FileContext,
+    source: &str,
+    consumed: &mut BTreeSet<(u32, String)>,
+) -> Vec<Violation> {
     let toks = lex(source);
     let allows = collect_allows(&toks);
     // Indices (into `toks`) of non-comment tokens: the structural view.
@@ -150,7 +216,14 @@ pub fn lint_file(ctx: &FileContext, source: &str) -> Vec<Violation> {
     let mut report = |rule: Rule, line: u32, mut message: String| {
         let waivable = !ctx.unwaivable.contains(&rule);
         let allowed = waivable && allows.get(&line).is_some_and(|set| set.contains(&rule));
-        if !allowed {
+        if allowed {
+            // The grant may sit on the violation's own line or the line
+            // above; credit both placements as used.
+            consumed.insert((line, rule.name().to_string()));
+            if let Some(prev) = line.checked_sub(1) {
+                consumed.insert((prev, rule.name().to_string()));
+            }
+        } else {
             if !waivable && allows.get(&line).is_some_and(|set| set.contains(&rule)) {
                 message.push_str(" (xtask-allow is ignored: this rule is unwaivable here)");
             }
@@ -303,13 +376,18 @@ pub fn lint_file(ctx: &FileContext, source: &str) -> Vec<Violation> {
 
 /// Parses every `xtask-allow:` comment into a line → rules map. An allowance
 /// covers the comment's starting line and the immediately following line.
+/// Doc comments do not grant: an `xtask-allow:` inside `///`/`//!` text is
+/// documentation prose, not a waiver.
 fn collect_allows(toks: &[Token]) -> BTreeMap<u32, BTreeSet<Rule>> {
     let mut map: BTreeMap<u32, BTreeSet<Rule>> = BTreeMap::new();
-    for tok in toks.iter().filter(|t| t.is_comment()) {
+    for tok in toks
+        .iter()
+        .filter(|t| t.is_comment() && !t.is_doc_comment())
+    {
         let Some(idx) = tok.text.find("xtask-allow:") else {
             continue;
         };
-        let rest = &tok.text[idx + "xtask-allow:".len()..];
+        let rest = strip_justifications(&tok.text[idx + "xtask-allow:".len()..]);
         // Rule names are comma-separated; anything after the name within an
         // item (whitespace-delimited) is justification prose.
         for item in rest.split(',') {
@@ -329,7 +407,7 @@ fn collect_allows(toks: &[Token]) -> BTreeMap<u32, BTreeSet<Rule>> {
 /// bare identifier `test` (and not `not`, so `#[cfg(not(test))]` stays
 /// linted), the attribute and the item it annotates — through the matching
 /// close brace, or the first `;` for brace-less items — are masked out.
-fn test_region_mask(toks: &[Token], code: &[usize]) -> Vec<bool> {
+pub(crate) fn test_region_mask(toks: &[Token], code: &[usize]) -> Vec<bool> {
     let mut mask = vec![false; code.len()];
     let mut ci = 0usize;
     while ci < code.len() {
@@ -370,7 +448,7 @@ fn test_region_mask(toks: &[Token], code: &[usize]) -> Vec<bool> {
 
 /// Finds the close index (in `code` coordinates) matching the opener at
 /// `open_ci`.
-fn matching(
+pub(crate) fn matching(
     toks: &[Token],
     code: &[usize],
     open_ci: usize,
@@ -518,6 +596,50 @@ mod tests {
             .into_iter()
             .map(|v| (v.rule, v.line))
             .collect()
+    }
+
+    #[test]
+    fn rule_table_is_consistent() {
+        // Rows sit at their discriminant index, so `name()`'s direct index
+        // is safe, and the name/from_name pair round-trips for every rule.
+        for (i, &(rule, name)) in RULE_TABLE.iter().enumerate() {
+            assert_eq!(rule as usize, i, "RULE_TABLE row {i} out of order");
+            assert_eq!(rule.name(), name);
+            assert_eq!(Rule::from_name(name), Some(rule));
+        }
+        assert_eq!(Rule::all().len(), RULE_TABLE.len());
+        assert_eq!(Rule::from_name("no-such-rule"), None);
+    }
+
+    #[test]
+    fn allow_entries_collected_with_unknown_names() {
+        let src = "fn f() {} // xtask-allow: no-panic, not-a-rule (prose)\n\
+                   /// doc example: // xtask-allow: no-print\n\
+                   fn g() {}\n";
+        let entries = collect_allow_entries(src);
+        assert_eq!(
+            entries,
+            vec![
+                AllowEntry {
+                    line: 1,
+                    name: "no-panic".into()
+                },
+                AllowEntry {
+                    line: 1,
+                    name: "not-a-rule".into()
+                },
+            ],
+            "doc-comment mentions must not count as waivers"
+        );
+    }
+
+    #[test]
+    fn consumed_allows_are_reported() {
+        let src = "// xtask-allow: no-panic (fixture)\nfn f() { x.unwrap(); }";
+        let mut consumed = BTreeSet::new();
+        let v = lint_file_consuming(&ctx(vec![Rule::NoPanic], false), src, &mut consumed);
+        assert!(v.is_empty());
+        assert!(consumed.contains(&(1, "no-panic".to_string())));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Golden-file tests for `cargo xtask analyze`.
+//!
+//! Each directory under `tests/fixtures/analyze/` is a mini-workspace with
+//! one seeded violation class (or none, for `clean`). The analyzer's
+//! rendered diagnostics must match the committed `expected.txt` byte for
+//! byte — covering the item parser, call-graph resolution, and all four
+//! semantic passes end to end.
+
+use std::path::{Path, PathBuf};
+use xtask::analyze::analyze_workspace;
+
+fn fixture_root(case: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/analyze")
+        .join(case)
+}
+
+/// Runs the analyzer over a fixture and renders its diagnostics the way
+/// the CLI does.
+fn rendered(case: &str) -> String {
+    let report = analyze_workspace(&fixture_root(case)).expect("fixture analyzes");
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn golden(case: &str) {
+    let expected = std::fs::read_to_string(fixture_root(case).join("expected.txt"))
+        .expect("fixture has expected.txt");
+    let actual = rendered(case);
+    assert_eq!(
+        actual, expected,
+        "analyzer output for `{case}` diverged from expected.txt\n--- actual ---\n{actual}"
+    );
+}
+
+#[test]
+fn alloc_chain_reports_transitive_allocation_with_chain() {
+    golden("alloc_chain");
+    // The two-hop chain must name both frames.
+    let out = rendered("alloc_chain");
+    assert!(out.contains("via Acc::tally"));
+    assert!(out.contains("-> Acc::note"));
+    assert!(out.contains("allocating constructor `Vec::new`"));
+}
+
+#[test]
+fn panic_chain_reports_unwrap_and_indexing() {
+    golden("panic_chain");
+    let out = rendered("panic_chain");
+    assert!(out.contains("panicking call `.unwrap()`"));
+    assert!(out.contains("indexing expression"));
+}
+
+#[test]
+fn kernel_contract_permits_assert_and_indexing_but_not_panic() {
+    golden("kernel_macro");
+    let out = rendered("kernel_macro");
+    assert!(out.contains("panicking macro `panic!`"));
+    // `assert!` and `xs[0]` inside the contracted kernel are legal.
+    assert!(!out.contains("assert"));
+    assert!(!out.contains("indexing"));
+}
+
+#[test]
+fn metric_typo_and_orphan_are_reported_but_waived_spare_is_not() {
+    golden("metric_typo");
+    let out = rendered("metric_typo");
+    assert!(out.contains("`\"engine.rns\"` is not in the obs registry"));
+    assert!(out.contains("orphaned metric `Counter::EngineIdle`"));
+    assert!(
+        !out.contains("EngineSpare"),
+        "metric-orphan waiver must hold"
+    );
+}
+
+#[test]
+fn stale_and_unknown_waivers_are_reported() {
+    golden("stale_waiver");
+    let out = rendered("stale_waiver");
+    assert!(out.contains("suppresses nothing"));
+    assert!(out.contains("`xtask-allow: no-pannic` names no known rule"));
+}
+
+#[test]
+fn clean_fixture_has_no_diagnostics() {
+    golden("clean");
+    assert!(rendered("clean").is_empty());
+}
+
+#[test]
+fn json_output_carries_pass_and_chain() {
+    let report = analyze_workspace(&fixture_root("alloc_chain")).expect("fixture analyzes");
+    let json = report.to_json();
+    assert!(json.contains("\"pass\": \"alloc-free\""));
+    assert!(json.contains("\"chain\": ["));
+    assert!(json.contains("\"count\": 2"));
+}
+
+#[test]
+fn registry_json_is_emitted_from_fixture_obs() {
+    let report = analyze_workspace(&fixture_root("metric_typo")).expect("fixture analyzes");
+    let json = report.registry.to_json();
+    assert!(json.contains("engine.runs"));
+    assert!(json.contains("engine.idle"));
+    assert!(json.contains("engine.spare"));
+}

@@ -1,0 +1,25 @@
+//! Seeded violation: a contracted fn reaches allocation two hops away,
+//! plus a direct allocating constructor.
+
+/// Accumulates samples.
+pub struct Acc {
+    vals: Vec<u64>,
+}
+
+impl Acc {
+    /// Contracted entry point; the allocation hides in `note`.
+    // xtask-contract: alloc-free
+    pub fn tally(&mut self, x: u64) {
+        self.note(x);
+    }
+
+    fn note(&mut self, x: u64) {
+        self.vals.push(x);
+    }
+}
+
+/// Allocates a fresh buffer despite its contract.
+// xtask-contract: alloc-free
+pub fn scratch() -> Vec<u64> {
+    Vec::new()
+}

@@ -1,0 +1,17 @@
+//! Clean fixture: contracts hold and the one waiver is consumed by lint.
+
+/// Register-wise maximum, alloc- and panic-free by construction.
+// xtask-contract: alloc-free, kernel
+pub fn fold_max(acc: &mut [u8], src: &[u8]) {
+    for (a, &b) in acc.iter_mut().zip(src) {
+        if b > *a {
+            *a = b;
+        }
+    }
+}
+
+/// Deliberate truncation; the waiver below is consumed by `no-lossy-cast`.
+pub fn low_byte(x: u64) -> u8 {
+    // xtask-allow: no-lossy-cast (deliberate truncation)
+    x as u8
+}

@@ -1,0 +1,17 @@
+//! Seeded violation: a `kernel` contract reaching `panic!`. The assert
+//! and the indexing in the contracted fn itself are *legal* under
+//! `kernel` and must not be reported.
+
+/// Contracted kernel; indexing and assert are fine, `step`'s panic is not.
+// xtask-contract: kernel
+pub fn kernel_probe(xs: &[u64]) -> u64 {
+    assert!(!xs.is_empty());
+    step(xs[0])
+}
+
+fn step(x: u64) -> u64 {
+    if x > 10 {
+        panic!("too big");
+    }
+    x + 1
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: a metric-shaped literal with a typo.
+
+pub mod obs;
+
+/// Returns a typo'd metric key next to the real variant.
+pub fn run() -> (&'static str, obs::Counter) {
+    ("engine.rns", obs::Counter::EngineRuns)
+}

@@ -1,0 +1,27 @@
+//! Mini metric registry: one live variant, one orphan, one waived spare.
+
+/// Fixture counters.
+#[derive(Clone, Copy)]
+pub enum Counter {
+    /// Referenced from `lib.rs`.
+    EngineRuns,
+    /// Never referenced outside this file — the seeded orphan.
+    EngineIdle,
+    /// Also unreferenced, but explicitly reserved.
+    // xtask-allow: metric-orphan (reserved for the next fixture revision)
+    EngineSpare,
+}
+
+impl Counter {
+    /// The dotted metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::EngineRuns => "engine.runs",
+            Counter::EngineIdle => "engine.idle",
+            Counter::EngineSpare => "engine.spare",
+        }
+    }
+}
+
+/// Roster of every counter.
+pub const ALL: [Counter; 3] = [Counter::EngineRuns, Counter::EngineIdle, Counter::EngineSpare];

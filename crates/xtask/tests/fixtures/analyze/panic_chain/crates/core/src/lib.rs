@@ -1,0 +1,13 @@
+//! Seeded violation: a `no-panic` contract reaching `unwrap` and an
+//! indexing expression through a helper.
+
+/// Contracted entry point; the panics hide in `helper`.
+// xtask-contract: no-panic
+pub fn entry(xs: &[u64]) -> u64 {
+    helper(xs)
+}
+
+fn helper(xs: &[u64]) -> u64 {
+    let first = xs.first().unwrap();
+    first + xs[0]
+}

@@ -1,0 +1,14 @@
+//! Seeded violations: a waiver that suppresses nothing and a waiver
+//! naming an unknown rule.
+
+/// Adds one.
+pub fn add_one(x: u64) -> u64 {
+    // xtask-allow: no-panic (nothing here panics)
+    x + 1
+}
+
+/// Doubles.
+pub fn double(x: u64) -> u64 {
+    // xtask-allow: no-pannic (typo in the rule name)
+    x * 2
+}
