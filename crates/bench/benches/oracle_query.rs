@@ -28,6 +28,40 @@ fn bench_oracle_query(c: &mut Criterion) {
     group.finish();
 }
 
+/// Frozen-arena queries: the per-query kernel versus the true batch API
+/// (`influence_many_frozen`) over the same fixed query file, so the
+/// dedup/scratch/ILP amortization of the batch path is measured directly
+/// against its per-query floor.
+fn bench_frozen_batch(c: &mut Criterion) {
+    let net = SyntheticConfig::new(3_000, 30_000, 300_000)
+        .with_seed(4)
+        .generate();
+    let window = net.window_from_percent(20.0);
+    let frozen = ApproxIrs::compute(&net, window).freeze();
+    let mut rng = SmallRng::seed_from_u64(9);
+    let queries: Vec<Vec<NodeId>> = (0..64)
+        .map(|_| (0..8).map(|_| NodeId(rng.gen_range(0..3_000))).collect())
+        .collect();
+    let mut group = c.benchmark_group("frozen_oracle_influence");
+    group.bench_function("per_query_x64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for q in &queries {
+                acc += frozen.influence(q);
+            }
+            black_box(acc)
+        })
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("batch_x64", threads),
+            &threads,
+            |b, &threads| b.iter(|| black_box(frozen.influence_many_frozen(&queries, threads))),
+        );
+    }
+    group.finish();
+}
+
 fn bench_marginal_gain(c: &mut Criterion) {
     let net = SyntheticConfig::new(2_000, 20_000, 200_000)
         .with_seed(5)
@@ -54,5 +88,10 @@ fn bench_marginal_gain(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_oracle_query, bench_marginal_gain);
+criterion_group!(
+    benches,
+    bench_oracle_query,
+    bench_frozen_batch,
+    bench_marginal_gain
+);
 criterion_main!(benches);

@@ -100,6 +100,10 @@ struct ProfileReport {
     /// Same queries against the live (per-node-alloc) oracle.
     oracle_query_live_ns: f64,
     oracle_query_checksum: f64,
+    /// `(threads, ns_per_query)` rows for the same 64 queries answered in
+    /// one `influence_many_frozen` call (dedup + scratch amortized, GROUP
+    /// interleaving), asserted bit-identical to per-query before timing.
+    oracle_batch_query_ns: Vec<(usize, f64)>,
     /// Serial sweep over the live oracle — the pre-freeze baseline every
     /// speedup below is measured against.
     sweep_serial_ns_per_node: f64,
@@ -158,13 +162,32 @@ fn run_profile(
                 .collect()
         })
         .collect();
-    let (t_q, q_total) = best_of(5, || {
+    // The frozen per-query loop and the true batch API run interleaved
+    // under one rep loop: each iteration times the per-query pass and
+    // every batch fan-out back to back, and each measurement keeps its
+    // own minimum. Interleaving keeps the single-vs-batch comparison
+    // honest when the box's effective clock drifts mid-run — both sides
+    // sample the same machine states instead of whichever phase their
+    // own timing block happened to land in.
+    let mut t_q = f64::INFINITY;
+    let mut q_total = 0.0;
+    let mut t_batch = vec![f64::INFINITY; thread_counts.len()];
+    let mut batch_answers: Vec<Vec<f64>> = vec![Vec::new(); thread_counts.len()];
+    for _ in 0..25 {
+        let start = Instant::now();
         let mut acc = 0.0;
         for q in &queries {
             acc += frozen.influence(q);
         }
-        acc
-    });
+        t_q = t_q.min(start.elapsed().as_secs_f64());
+        q_total = acc;
+        for (slot, &threads) in thread_counts.iter().enumerate() {
+            let start = Instant::now();
+            let batch = frozen.influence_many_frozen(&queries, threads);
+            t_batch[slot] = t_batch[slot].min(start.elapsed().as_secs_f64());
+            batch_answers[slot] = batch;
+        }
+    }
     let (t_q_live, q_total_live) = best_of(5, || {
         let mut acc = 0.0;
         for q in &queries {
@@ -177,6 +200,22 @@ fn run_profile(
         q_total_live.to_bits(),
         "frozen queries must be bit-identical to live"
     );
+
+    // Per-answer bits from the batch API must match the per-query loop at
+    // every fan-out before any timing is reported.
+    let per_query_bits: Vec<u64> = queries
+        .iter()
+        .map(|q| frozen.influence(q).to_bits())
+        .collect();
+    let mut oracle_batch_query_ns = Vec::new();
+    for (slot, &threads) in thread_counts.iter().enumerate() {
+        let batch_bits: Vec<u64> = batch_answers[slot].iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            batch_bits, per_query_bits,
+            "batch queries must be bit-identical to per-query at {threads} threads"
+        );
+        oracle_batch_query_ns.push((threads, t_batch[slot] * 1e9 / 64.0));
+    }
 
     let (t_sweep, sweep) = best_of(3, || oracle.individuals(1));
     let sweep_checksum: f64 = sweep.iter().sum();
@@ -225,7 +264,7 @@ fn run_profile(
             .expect("history suffix moves forward in time");
     }
     let (t_lrefresh, _) = best_of(3, || layered.refresh());
-    let (t_lq, lq_total) = best_of(5, || {
+    let (t_lq, lq_total) = best_of(25, || {
         let mut acc = 0.0;
         for q in &queries {
             acc += layered.influence(q);
@@ -236,6 +275,15 @@ fn run_profile(
         lq_total.to_bits(),
         q_total.to_bits(),
         "layered queries must be bit-identical to the frozen arena"
+    );
+    let layered_batch: Vec<u64> = layered
+        .influence_many_frozen(&queries, 2)
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(
+        layered_batch, per_query_bits,
+        "layered batch queries must be bit-identical to the frozen arena"
     );
     let t0 = Instant::now();
     layered.compact();
@@ -257,6 +305,7 @@ fn run_profile(
     let recorded_frozen = recorded_approx.freeze_recorded(&rec);
     let _ = recorded_exact.oracle().individuals_recorded(1, &rec);
     let _ = recorded_frozen.influence_many_recorded(&queries, 2, &rec);
+    let _ = recorded_frozen.influence_many_frozen_recorded(&queries, 2, &rec);
     let metrics_json = rec.snapshot().to_json();
 
     ProfileReport {
@@ -272,6 +321,7 @@ fn run_profile(
         oracle_query_ns: t_q * 1e9 / 64.0,
         oracle_query_live_ns: t_q_live * 1e9 / 64.0,
         oracle_query_checksum: q_total,
+        oracle_batch_query_ns,
         sweep_serial_ns_per_node: t_sweep * 1e9 / n.max(1) as f64,
         sweep_frozen_ns_per_node: t_fsweep * 1e9 / n.max(1) as f64,
         sweep_checksum,
@@ -300,6 +350,13 @@ fn profile_json(r: &ProfileReport) -> String {
             "{{\"threads\": {threads}, \"ns_per_node\": {ns:.1}, \"speedup\": {speedup:.2}}}"
         );
     }
+    let mut bq = String::new();
+    for (i, &(threads, ns)) in r.oracle_batch_query_ns.iter().enumerate() {
+        if i > 0 {
+            bq.push_str(", ");
+        }
+        let _ = write!(bq, "{{\"threads\": {threads}, \"ns_per_query\": {ns:.1}}}");
+    }
     // Re-indent the snapshot so the nested block lines up with the
     // surrounding profile object.
     let metrics = r.metrics_json.replace('\n', "\n      ");
@@ -310,6 +367,7 @@ fn profile_json(r: &ProfileReport) -> String {
          \"freeze_ms\": {:.3},\n      \"frozen_bytes\": {},\n      \
          \"oracle_query_ns\": {:.1},\n      \"oracle_query_live_ns\": {:.1},\n      \
          \"oracle_query_checksum\": {:.1},\n      \
+         \"oracle_batch_query_ns\": [{}],\n      \
          \"sweep_serial_ns_per_node\": {:.1},\n      \"sweep_frozen_ns_per_node\": {:.1},\n      \
          \"sweep_checksum\": {:.1},\n      \
          \"sweep_parallel\": [{}],\n      \
@@ -331,6 +389,7 @@ fn profile_json(r: &ProfileReport) -> String {
         r.oracle_query_ns,
         r.oracle_query_live_ns,
         r.oracle_query_checksum,
+        bq,
         r.sweep_serial_ns_per_node,
         r.sweep_frozen_ns_per_node,
         r.sweep_checksum,
@@ -388,9 +447,39 @@ const REFERENCE_PR4: &str = r#"{
     }
   }"#;
 
+/// Hot-path numbers committed by the PR 7 tree (scalar auto-vectorized
+/// merge loop, per-query-only API) at scale 1.0 on a 1-core container —
+/// the direct "before" of the vectorized-kernel/batch-API PR.
+const REFERENCE_PR7: &str = r#"{
+    "captured": "pre-vectorized-kernel tree (PR 7), scale 1.0, 1 core, rustc -O",
+    "uniform": {
+      "oracle_query_ns": 542.2,
+      "layered_query_ns": 756.3,
+      "greedy_k16_ms": 0.117
+    },
+    "hub": {
+      "oracle_query_ns": 865.0,
+      "layered_query_ns": 1216.3,
+      "greedy_k16_ms": 4.020
+    }
+  }"#;
+
 /// Free-form attribution notes carried in the JSON so a regression number
 /// is never separated from its explanation.
-const NOTES: &str = "Layered-oracle PR: new rows layered_refresh_ms / layered_query_ns / \
+const NOTES: &str = "Vectorized-kernel PR: the frozen register merge is now vectorized by \
+construction (portable 16-byte-lane byte-max always on, optional runtime-dispatched AVX2 under \
+--features simd-avx2, both asserted bit-identical to the scalar reference); query kernels read \
+node-major rows through compile-time-sized 64-byte tiles with beta-literal dispatch per common \
+precision, a tile-major transposed arena is built alongside for column-order scans, and the new \
+oracle_batch_query_ns rows measure influence_many_frozen: the \
+same 64 queries answered in one call with seed dedup, per-worker scratch, and GROUP=4 \
+query interleaving whose four estimator chains run in one out-of-line absorb loop (keeping the \
+running sums register-resident is where the single-core batch win comes from — thread rows only \
+help on multi-core runners). The per-query loop and every batch fan-out are timed interleaved \
+in one rep loop so the single-vs-batch comparison samples the same machine states. Batch answers \
+are asserted bit-identical to per-query answers at every fan-out, and all checksums are \
+unchanged from PR 7 (reference_pr7 holds its query rows). \
+Layered-oracle PR: rows layered_refresh_ms / layered_query_ns / \
 compaction_ms / compaction_survivors measure the forward-delta overlay (frozen base over the \
 first 90% of the history, last 10% appended then refreshed). layered_query_ns is asserted \
 bit-identical to oracle_query_ns's frozen full-history arena before timing — the layered merge \
@@ -466,11 +555,12 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"trajectory\",\n  \"scale\": {scale},\n  \"cores\": {cores},\n  \
          \"thread_counts\": [1, 2, 4, 8],\n  \"notes\": \"{}\",\n  \"profiles\": [\n{}\n  ],\n  \
-         \"reference\": {},\n  \"reference_pr4\": {}\n}}\n",
+         \"reference\": {},\n  \"reference_pr4\": {},\n  \"reference_pr7\": {}\n}}\n",
         NOTES,
         profiles.join(",\n"),
         REFERENCE,
         REFERENCE_PR4,
+        REFERENCE_PR7,
     );
     std::fs::write(&out, &json).expect("failed to write output file");
     eprintln!("wrote {out}");

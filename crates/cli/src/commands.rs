@@ -6,7 +6,7 @@ use infprop_baselines::{
     degree_discount, high_degree, pagerank_top_k, smart_high_degree, ConTinEst, ConTinEstConfig,
     PageRankConfig, Skim, SkimConfig,
 };
-use infprop_core::obs::{metric_u64, Counter, Gauge, Span};
+use infprop_core::obs::{metric_u64, Counter, Gauge, Hist, Span};
 use infprop_core::{
     find_channel, greedy_top_k_recorded, greedy_top_k_threads, ApproxIrs, ApproxOracle, ExactIrs,
     FrozenApproxOracle, FrozenExactOracle, HeapBytes, InfluenceOracle, LayeredApproxOracle,
@@ -746,6 +746,58 @@ impl LoadedOracle {
             },
         }
     }
+
+    /// Answers every seed set through the true batch API where the format
+    /// has one (frozen arenas and layered oracles), amortizing seed dedup
+    /// and per-query scratch across the whole file and fanning out over
+    /// `threads` workers. The live single-file formats (`IPEI`/`IPAO`)
+    /// have no frozen arena to batch over, so they fall back to the
+    /// per-query path — timed per query under `kernel.query_ns` so the
+    /// latency summary is available for every format.
+    fn influence_many(
+        &self,
+        seed_sets: &[Vec<NodeId>],
+        threads: usize,
+        rec: Option<&MetricsRecorder>,
+    ) -> Vec<f64> {
+        match rec {
+            Some(rec) => match self {
+                LoadedOracle::FrozenExact(v) => {
+                    v.influence_many_frozen_recorded(seed_sets, threads, rec)
+                }
+                LoadedOracle::FrozenApprox(v) => {
+                    v.influence_many_frozen_recorded(seed_sets, threads, rec)
+                }
+                LoadedOracle::LayeredExact(v) => {
+                    v.influence_many_frozen_recorded(seed_sets, threads, rec)
+                }
+                LoadedOracle::LayeredApprox(v) => {
+                    v.influence_many_frozen_recorded(seed_sets, threads, rec)
+                }
+                live => seed_sets
+                    .iter()
+                    .map(|seeds| {
+                        let tq = rec.span_start();
+                        let influence = live.influence(seeds, Some(rec));
+                        if let Some(ns) = tq.elapsed_ns() {
+                            rec.record(Hist::KernelQueryNs, ns);
+                        }
+                        influence
+                    })
+                    .collect(),
+            },
+            None => match self {
+                LoadedOracle::FrozenExact(v) => v.influence_many_frozen(seed_sets, threads),
+                LoadedOracle::FrozenApprox(v) => v.influence_many_frozen(seed_sets, threads),
+                LoadedOracle::LayeredExact(v) => v.influence_many_frozen(seed_sets, threads),
+                LoadedOracle::LayeredApprox(v) => v.influence_many_frozen(seed_sets, threads),
+                live => seed_sets
+                    .iter()
+                    .map(|seeds| live.influence(seeds, None))
+                    .collect(),
+            },
+        }
+    }
 }
 
 /// Loads any supported oracle artefact: a layered directory (dispatched
@@ -778,15 +830,20 @@ fn load_oracle(path: &str) -> Result<LoadedOracle, Box<dyn Error>> {
 }
 
 /// `infprop oracle-query <oracle-path> (--seeds a,b,c | --queries FILE)
-///  [--metrics] [--metrics-out PATH]`
+///  [--threads N] [--metrics] [--metrics-out PATH]`
 ///
 /// `<oracle-path>` is a single-file oracle (format detected by magic:
 /// `IPAO` sketches, `IPEI` exact summaries, frozen arenas `IPFE`/`IPFA`)
 /// or a layered oracle directory written by `build --layered` (detected
 /// by its `MANIFEST`). `--queries FILE` answers one seed set per line
-/// (comma-separated node ids). With `--metrics`, the detected format is
-/// printed, the load is timed under the `oracle.load` span, and every
-/// query is counted in the `oracle.*` section of the snapshot.
+/// (comma-separated node ids): the whole file is parsed up front and
+/// answered in one call through the frozen batch API (`--threads N`
+/// controls the fan-out; live formats fall back to a per-query loop).
+/// With `--metrics`, the detected format is printed, the load is timed
+/// under the `oracle.load` span, every query is counted in the
+/// `oracle.*`/`kernel.*` sections of the snapshot, and the batch prints
+/// a per-query p50/p99 latency line from the `kernel.query_ns`
+/// histogram.
 pub fn oracle_query(args: &ParsedArgs) -> CmdResult {
     let path = args.one_positional("expected exactly one oracle path")?;
     let recorder = metrics_requested(args).then(MetricsRecorder::new);
@@ -810,7 +867,13 @@ pub fn oracle_query(args: &ParsedArgs) -> CmdResult {
         Ok(())
     };
     if let Some(queries) = args.optional("queries") {
+        // Parse the whole file up front so every query goes through the
+        // batch API in one call: dedup, scratch, and thread fan-out are
+        // amortized across the file instead of paid per line.
+        let threads = threads_of(args)?;
         let text = std::fs::read_to_string(queries)?;
+        let mut labels: Vec<&str> = Vec::new();
+        let mut seed_sets: Vec<Vec<NodeId>> = Vec::new();
         for line in text.lines() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -825,8 +888,27 @@ pub fn oracle_query(args: &ParsedArgs) -> CmdResult {
                 seeds.push(NodeId(id));
             }
             check_seeds(&seeds)?;
-            let influence = oracle.influence(&seeds, recorder.as_ref());
+            labels.push(line);
+            seed_sets.push(seeds);
+        }
+        let answers = oracle.influence_many(&seed_sets, threads, recorder.as_ref());
+        for (line, influence) in labels.iter().zip(&answers) {
             println!("Inf({line}) = {influence:.1}");
+        }
+        if let Some(rec) = &recorder {
+            let snap = rec.snapshot();
+            if let Some(h) = snap
+                .hists
+                .iter()
+                .find(|h| h.name == Hist::KernelQueryNs.name() && h.count > 0)
+            {
+                println!(
+                    "per-query latency: p50 {} ns, p99 {} ns over {} queries",
+                    h.quantile(0.50),
+                    h.quantile(0.99),
+                    h.count
+                );
+            }
         }
     } else {
         let ids = args.node_list("seeds")?;
@@ -864,7 +946,7 @@ USAGE:
   infprop append <oracle-dir> <file> [--metrics] [--metrics-out FILE]
   infprop compact <oracle-dir> [--metrics] [--metrics-out FILE]
   infprop oracle-query <oracle-path> (--seeds a,b,c | --queries FILE)
-                 [--metrics] [--metrics-out FILE]
+                 [--threads N] [--metrics] [--metrics-out FILE]
 
 Input files are SNAP-style edge lists: `src dst time` per line, `#` comments.
 `--metrics` prints a JSON metrics snapshot (counters, gauges, histograms,
@@ -877,7 +959,8 @@ its pending log; `compact` expires interactions outside the window and
 re-freezes the base (LSM-style, crash-safe: the previous generation stays
 loadable until the new MANIFEST commits). `oracle-query` accepts both
 single-file oracles and layered directories; `--queries FILE` answers one
-comma-separated seed set per line.
+comma-separated seed set per line through the batched frozen kernel
+(`--threads N` fans the batch out; per-query p50/p99 under `--metrics`).
 ";
 
 /// Dispatches a parsed command line.

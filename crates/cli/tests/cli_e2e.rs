@@ -586,3 +586,70 @@ fn stats_reports_shape_metrics() {
     }
     std::fs::remove_dir_all(dir).ok();
 }
+
+#[test]
+fn batch_queries_match_sequential_and_report_latency() {
+    let dir = tempdir("batch-queries");
+    let net = sample_network(&dir);
+    let oracle_path = dir.join("frozen.ipfa").to_string_lossy().into_owned();
+    let built = run(&[
+        "build",
+        &net,
+        "--window",
+        "60",
+        "--frozen",
+        "--beta",
+        "256",
+        "--out",
+        &oracle_path,
+    ]);
+    assert!(built.status.success(), "{}", stderr(&built));
+
+    // One seed set per line: empty set rows are impossible (blank lines are
+    // comments), but duplicates, singletons, and wide unions all appear.
+    let seed_lines = ["0", "0,1", "1,1,2", "3,4,5,6,7", "12,0,8"];
+    let queries = dir.join("queries.txt");
+    std::fs::write(&queries, format!("# parity\n{}\n", seed_lines.join("\n"))).unwrap();
+
+    // The batch path (whole file in one influence_many call, fanned out)
+    // must print exactly what one oracle-query process per line prints.
+    for threads in ["1", "2", "8"] {
+        let batch = run(&[
+            "oracle-query",
+            &oracle_path,
+            "--queries",
+            &queries.to_string_lossy(),
+            "--threads",
+            threads,
+        ]);
+        assert!(batch.status.success(), "{}", stderr(&batch));
+        let batch_lines: Vec<String> = stdout(&batch).lines().map(String::from).collect();
+        assert_eq!(batch_lines.len(), seed_lines.len(), "{batch_lines:?}");
+        for (line, got) in seed_lines.iter().zip(&batch_lines) {
+            let sequential = run(&["oracle-query", &oracle_path, "--seeds", line]);
+            assert!(sequential.status.success(), "{}", stderr(&sequential));
+            let want = stdout(&sequential);
+            assert_eq!(
+                want.trim(),
+                got.replace(&format!("Inf({line})"), "Inf(S)").trim()
+            );
+        }
+    }
+
+    // Under --metrics the batch reports per-query latency quantiles from
+    // the kernel.query_ns histogram and the kernel.* batch counters.
+    let metered = run(&[
+        "oracle-query",
+        &oracle_path,
+        "--queries",
+        &queries.to_string_lossy(),
+        "--metrics",
+    ]);
+    assert!(metered.status.success(), "{}", stderr(&metered));
+    let text = stdout(&metered);
+    assert!(text.contains("per-query latency: p50 "), "{text}");
+    assert_eq!(json_u64(&text, "kernel.batch_queries"), 5, "{text}");
+    assert!(json_u64(&text, "kernel.merge_rows") > 0, "{text}");
+    assert!(text.contains("\"kernel.query_ns\""), "{text}");
+    std::fs::remove_dir_all(dir).ok();
+}

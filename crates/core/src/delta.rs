@@ -98,17 +98,14 @@ pub(crate) fn window_tail(
 }
 
 /// Register-wise maximum folded into `acc` — the dominance merge of
-/// collapsed HLL rows (same loop shape as
-/// [`HyperLogLog::merge_registers`], kept local so block-sized slices of
-/// the flat arenas merge without constructing sketches).
+/// collapsed HLL rows, routed through the wide-lane kernel
+/// ([`crate::kernel::merge_max`]: portable 16-byte lanes always, AVX2 when
+/// compiled in and detected). Bytewise `max` is exact on every path, so the layered
+/// dominance guarantees are untouched.
 #[inline]
 // xtask-contract: alloc-free, no-panic
 fn max_into(acc: &mut [u8], src: &[u8]) {
-    for (a, &b) in acc.iter_mut().zip(src) {
-        if b > *a {
-            *a = b;
-        }
-    }
+    crate::kernel::merge_max(acc, src);
 }
 
 /// Forward-time delta buffer on top of a frozen base arena.
@@ -573,6 +570,53 @@ impl LayeredExactOracle {
         out
     }
 
+    /// True batch query over the layered merge: `Inf(S_i)` for every seed
+    /// set, fanned out over up to `threads` workers. Answers are
+    /// bit-identical to mapping [`InfluenceOracle::influence`] over the
+    /// sets in order; the batch amortizes per-query setup by reusing one
+    /// union bitset and one seed-dedup buffer per worker (insertion is
+    /// idempotent, so deduplicated seeds answer identically with each
+    /// summary absorbed once).
+    pub fn influence_many_frozen(&self, seed_sets: &[Vec<NodeId>], threads: usize) -> Vec<f64> {
+        self.influence_many_frozen_recorded(seed_sets, threads, &NoopRecorder)
+    }
+
+    /// [`influence_many_frozen`](Self::influence_many_frozen) with
+    /// instrumentation: per-query latencies land in `kernel.query_ns`,
+    /// merged-row counts in `kernel.merge_rows`, the whole batch in the
+    /// `oracle.query_batch` span. Answers are identical to the unrecorded
+    /// path.
+    pub fn influence_many_frozen_recorded<R: Recorder>(
+        &self,
+        seed_sets: &[Vec<NodeId>],
+        threads: usize,
+        rec: &R,
+    ) -> Vec<f64> {
+        let t0 = rec.span_start();
+        let out = crate::par::map_ranges_with_recorded(
+            seed_sets.len(),
+            1,
+            threads,
+            || (self.empty_union(), Vec::new()),
+            |(union, dedup), range| {
+                let mut part = Vec::with_capacity(range.len());
+                for q in range {
+                    let tq = rec.span_start();
+                    dedup.clear();
+                    crate::oracle::push_deduped(&seed_sets[q], dedup);
+                    part.push(self.influence_into(dedup, union));
+                    if R::ENABLED {
+                        crate::oracle::record_batch_query(dedup.len(), tq, rec);
+                    }
+                }
+                part
+            },
+            rec,
+        );
+        crate::oracle::finish_batch_recorded(&out, t0, rec);
+        out
+    }
+
     /// The base layer's summary, empty for nodes the base arena predates.
     fn base_summary(&self, u: NodeId) -> &[(NodeId, Timestamp)] {
         if u.index() < InfluenceOracle::num_nodes(&self.base) {
@@ -905,6 +949,53 @@ impl LayeredApproxOracle {
     fn base_registers(&self, node: NodeId) -> Option<&[u8]> {
         (node.index() < InfluenceOracle::num_nodes(&self.base))
             .then(|| self.base.node_registers(node))
+    }
+
+    /// True batch query over the layered merge: `Inf(S_i)` for every seed
+    /// set, fanned out over up to `threads` workers through the fused
+    /// two-layer kernel of [`InfluenceOracle::influence`]. Answers are
+    /// bit-identical to mapping `influence` over the sets in order
+    /// (register `max` is idempotent, so the per-worker seed dedup changes
+    /// no merged byte); the batch amortizes seed dedup and scratch across
+    /// each worker's queries.
+    pub fn influence_many_frozen(&self, seed_sets: &[Vec<NodeId>], threads: usize) -> Vec<f64> {
+        self.influence_many_frozen_recorded(seed_sets, threads, &NoopRecorder)
+    }
+
+    /// [`influence_many_frozen`](Self::influence_many_frozen) with
+    /// instrumentation: per-query latencies land in `kernel.query_ns`,
+    /// merged-row counts in `kernel.merge_rows`, the whole batch in the
+    /// `oracle.query_batch` span. Answers are identical to the unrecorded
+    /// path.
+    pub fn influence_many_frozen_recorded<R: Recorder>(
+        &self,
+        seed_sets: &[Vec<NodeId>],
+        threads: usize,
+        rec: &R,
+    ) -> Vec<f64> {
+        let t0 = rec.span_start();
+        let out = crate::par::map_ranges_with_recorded(
+            seed_sets.len(),
+            1,
+            threads,
+            Vec::new,
+            |dedup: &mut Vec<NodeId>, range| {
+                let mut part = Vec::with_capacity(range.len());
+                for q in range {
+                    let tq = rec.span_start();
+                    dedup.clear();
+                    crate::oracle::push_deduped(&seed_sets[q], dedup);
+                    part.push(self.influence(dedup));
+                    if R::ENABLED {
+                        crate::oracle::record_batch_query(dedup.len(), tq, rec);
+                    }
+                }
+                part
+            },
+            rec,
+        );
+        crate::oracle::finish_batch_recorded(&out, t0, rec);
+        out
     }
 }
 
@@ -1288,6 +1379,39 @@ mod tests {
         assert_eq!(InfluenceOracle::num_nodes(&layered), 41);
         assert_eq!(layered.individual(NodeId(40)), 0.0);
         assert_eq!(layered.summary(NodeId(40)), Vec::new());
+    }
+
+    #[test]
+    fn layered_batch_matches_per_query_bitwise() {
+        let all = tied_triples(60);
+        let w = Window(9);
+        let base_net = InteractionNetwork::from_triples(all[..35].iter().copied());
+        let mut exact = LayeredExactOracle::from_network(&base_net, w);
+        let mut approx = LayeredApproxOracle::from_network_with_precision(&base_net, w, PRECISION);
+        for i in interactions(&all[35..]) {
+            exact.append(i).unwrap();
+            approx.append(i).unwrap();
+        }
+        exact.refresh();
+        approx.refresh();
+        let sets: Vec<Vec<NodeId>> = vec![
+            vec![NodeId(0), NodeId(4)],
+            vec![],
+            vec![NodeId(2), NodeId(2)],
+            (0..7).map(NodeId).collect(),
+            vec![NodeId(5), NodeId(1), NodeId(5)],
+        ];
+        let exact_ref: Vec<f64> = sets.iter().map(|s| exact.influence(s)).collect();
+        let approx_ref: Vec<f64> = sets.iter().map(|s| approx.influence(s)).collect();
+        for threads in [1, 2, 8] {
+            let eb = exact.influence_many_frozen(&sets, threads);
+            let ab = approx.influence_many_frozen(&sets, threads);
+            for ((got, want), (ga, wa)) in eb.iter().zip(&exact_ref).zip(ab.iter().zip(&approx_ref))
+            {
+                assert_eq!(got.to_bits(), want.to_bits(), "exact t={threads}");
+                assert_eq!(ga.to_bits(), wa.to_bits(), "approx t={threads}");
+            }
+        }
     }
 
     #[test]

@@ -27,10 +27,68 @@
 //! path reuses the exact same summation order as the live oracles.
 
 use crate::invariants::{validate_exact_summary, InvariantViolation};
-use crate::obs::{metric_u64, Gauge, HeapBytes, Recorder};
+use crate::kernel;
+use crate::obs::{metric_u64, Gauge, HeapBytes, NoopRecorder, Recorder};
+use crate::oracle::{finish_batch_recorded, push_deduped, record_batch_query};
 use crate::oracle::{InfluenceOracle, NodeBitset};
 use infprop_hll::{estimate_from_registers, HyperLogLog, RunningEstimator, VersionedHll};
 use infprop_temporal_graph::{NodeId, Timestamp, Window};
+use std::ops::Range;
+
+/// Merge-block and transpose-tile width in bytes — one cache line, clamped
+/// to `β` for small precisions (`step = min(TILE, β)`).
+pub(crate) const TILE: usize = 64;
+
+/// Queries interleaved per group by the approx batch kernel. The latency
+/// floor of a single query is the estimator's *serial* dependent-add chain
+/// (β float adds that must stay in ascending register order for
+/// bit-identity); interleaving `GROUP` independent queries tile by tile
+/// lets their chains overlap in the pipeline while the group's merge
+/// blocks and estimators still fit in L1.
+const GROUP: usize = 4;
+
+/// Rewrites a node-major register arena (`β` bytes per node) into the
+/// tile-major layout the frozen query kernels stream: for tile `t` of
+/// `step = min(TILE, β)` registers, node `u`'s registers
+/// `t·step .. (t+1)·step` live at `transposed[(t·n + u)·step ..][..step]`.
+/// A multi-seed union then reads one contiguous `step`-byte chunk per seed
+/// per tile — chunks of id-adjacent seeds share cache lines — instead of
+/// striding `β` bytes apart through the node-major arena.
+pub(crate) fn transpose_registers(precision: u8, registers: &[u8]) -> Vec<u8> {
+    let beta = 1usize << precision;
+    let step = TILE.min(beta);
+    let tiles = beta / step;
+    let n = registers.len() / beta;
+    let mut out = vec![0u8; registers.len()];
+    for u in 0..n {
+        for t in 0..tiles {
+            let src = u * beta + t * step;
+            let dst = (t * n + u) * step;
+            out[dst..dst + step].copy_from_slice(&registers[src..src + step]);
+        }
+    }
+    out
+}
+
+/// Length of the union of two sorted, duplicate-free summary slices,
+/// counted with a two-pointer merge — no union is materialized. The exact
+/// batch path's fast path for two-seed queries.
+// xtask-contract: alloc-free, kernel
+fn sorted_union_len(a: &[(NodeId, Timestamp)], b: &[(NodeId, Timestamp)]) -> usize {
+    let (mut i, mut j, mut len) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        len += 1;
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    len + (a.len() - i) + (b.len() - j)
+}
 
 /// Exact IRS summaries frozen into a CSR arena (see module docs).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -150,6 +208,77 @@ impl FrozenExactOracle {
             validate_exact_summary(node, self.summary(node), None)
         })
     }
+
+    /// True batch query: `Inf(S_i)` for every seed set, fanned out over up
+    /// to `threads` workers. Answers are bit-identical to mapping
+    /// [`InfluenceOracle::influence`] over the sets in order, but the
+    /// per-query setup is amortized: each worker reuses one seed-dedup
+    /// buffer and one union bitset for all its queries, duplicate seeds are
+    /// dropped before any summary row is touched, and deduplicated one- and
+    /// two-seed queries are answered straight off the sorted CSR slices
+    /// without touching the bitset at all.
+    pub fn influence_many_frozen(&self, seed_sets: &[Vec<NodeId>], threads: usize) -> Vec<f64> {
+        self.influence_many_frozen_recorded(seed_sets, threads, &NoopRecorder)
+    }
+
+    /// [`influence_many_frozen`](Self::influence_many_frozen) with
+    /// instrumentation: per-query latencies land in `kernel.query_ns`,
+    /// merged-row counts in `kernel.merge_rows`, and the whole batch in the
+    /// `oracle.query_batch` span. Answers are identical to the unrecorded
+    /// path.
+    pub fn influence_many_frozen_recorded<R: Recorder>(
+        &self,
+        seed_sets: &[Vec<NodeId>],
+        threads: usize,
+        rec: &R,
+    ) -> Vec<f64> {
+        let t0 = rec.span_start();
+        let out = crate::par::map_ranges_with_recorded(
+            seed_sets.len(),
+            1,
+            threads,
+            || (NodeBitset::with_nodes(self.num_nodes()), Vec::new()),
+            |(bits, dedup), range| {
+                let mut part = Vec::with_capacity(range.len());
+                for q in range {
+                    let tq = rec.span_start();
+                    dedup.clear();
+                    push_deduped(&seed_sets[q], dedup);
+                    part.push(self.influence_deduped(dedup, bits));
+                    if R::ENABLED {
+                        record_batch_query(dedup.len(), tq, rec);
+                    }
+                }
+                part
+            },
+            rec,
+        );
+        finish_batch_recorded(&out, t0, rec);
+        out
+    }
+
+    /// One deduplicated query against reusable worker scratch: direct
+    /// arena-slice lengths for zero or one seed, the allocation-free
+    /// two-pointer merge count for two, the recycled bitset union beyond.
+    /// All four arms count exactly `|⋃ σω(s)|` — the same integer the trait
+    /// path's bitset produces.
+    // xtask-contract: kernel
+    fn influence_deduped(&self, seeds: &[NodeId], bits: &mut NodeBitset) -> f64 {
+        match *seeds {
+            [] => 0.0,
+            [s] => self.summary(s).len() as f64,
+            [a, b] => sorted_union_len(self.summary(a), self.summary(b)) as f64,
+            _ => {
+                bits.clear();
+                for &s in seeds {
+                    for &(v, _) in self.summary(s) {
+                        bits.insert(v.index());
+                    }
+                }
+                bits.len() as f64
+            }
+        }
+    }
 }
 
 impl HeapBytes for FrozenExactOracle {
@@ -205,8 +334,13 @@ impl InfluenceOracle for FrozenExactOracle {
 #[derive(Clone, Debug, PartialEq)]
 pub struct FrozenApproxOracle {
     precision: u8,
-    /// `β = 2^precision` bytes per node, nodes concatenated in id order.
+    /// `β = 2^precision` bytes per node, nodes concatenated in id order —
+    /// the layout serialization and whole-row reads
+    /// ([`node_registers`](Self::node_registers)) use.
     registers: Vec<u8>,
+    /// The same register values in tile-major order (see
+    /// [`transpose_registers`]) — the layout the query kernels stream.
+    transposed: Vec<u8>,
     /// `individual(u)` precomputed at freeze time with the same estimator
     /// (and summation order) the live oracle uses — bit-identical reads.
     individuals: Vec<f64>,
@@ -263,9 +397,11 @@ impl FrozenApproxOracle {
             .chunks_exact(beta)
             .map(estimate_from_registers)
             .collect();
+        let transposed = transpose_registers(precision, &registers);
         FrozenApproxOracle {
             precision,
             registers,
+            transposed,
             individuals,
         }
     }
@@ -285,10 +421,234 @@ impl FrozenApproxOracle {
         &self.registers[lo..lo + beta]
     }
 
-    /// The whole flat register arena, for serialization.
+    /// The whole flat register arena (node-major), for serialization.
     #[inline]
     pub fn registers(&self) -> &[u8] {
         &self.registers
+    }
+
+    /// The register-transposed (tile-major) arena the query kernels
+    /// stream — same bytes as [`registers`](Self::registers), reordered by
+    /// [`transpose_registers`]. Exposed for serialization.
+    #[inline]
+    pub fn transposed(&self) -> &[u8] {
+        &self.transposed
+    }
+
+    /// Node `u`'s `step = min(TILE, β)` registers of transpose tile
+    /// `tile` — one contiguous chunk of the tile-major arena. This is the
+    /// tile-major counterpart of [`node_registers`](Self::node_registers):
+    /// consecutive nodes' chunks of one tile are adjacent, so kernels that
+    /// sweep a fixed register range across *many* nodes (column analytics,
+    /// seed-id-local scans) stream it sequentially.
+    #[inline]
+    // xtask-contract: alloc-free, kernel
+    pub fn tile_chunk(&self, tile: usize, node: NodeId) -> &[u8] {
+        let step = TILE.min(1usize << self.precision);
+        let lo = (tile * self.individuals.len() + node.index()) * step;
+        &self.transposed[lo..lo + step]
+    }
+
+    /// Node `u`'s `step = min(TILE, β)` registers of tile `tile`, read from
+    /// the node-major arena — the query kernels' layout of choice: a seed's
+    /// row is one contiguous β-byte run, so the first tile's touch pulls
+    /// the whole row through the hardware prefetcher and every later tile
+    /// hits L1 (the tile-major arena scatters the same bytes 64 B at a
+    /// time across `n · TILE`-byte regions, one cold line per touch).
+    #[inline]
+    // xtask-contract: alloc-free, kernel
+    fn row_chunk(&self, tile: usize, node: NodeId) -> &[u8] {
+        let beta = 1usize << self.precision;
+        let step = TILE.min(beta);
+        let lo = node.index() * beta + tile * step;
+        &self.registers[lo..lo + step]
+    }
+
+    /// [`row_chunk`](Self::row_chunk) for the `β ≥ TILE` case: the slice
+    /// length is the literal [`TILE`], so after inlining the merge loops
+    /// over it compile to full-width vector maxes with no remainder tail.
+    /// `beta` is a parameter (not re-read from `self`) so the β-literal
+    /// dispatch below const-folds the row stride too.
+    #[inline(always)]
+    // xtask-contract: alloc-free, kernel
+    fn row_tile(&self, beta: usize, tile: usize, node: NodeId) -> &[u8] {
+        let lo = node.index() * beta + tile * TILE;
+        &self.registers[lo..lo + TILE]
+    }
+
+    /// The fused merge/absorb loop for one seed set when `β ≥ TILE`.
+    /// Forced inline so the β-literal match arms in
+    /// [`InfluenceOracle::influence`] each stamp out a copy with `beta` (and
+    /// therefore the tile count and every row offset) known at compile
+    /// time — the tile loop fully unrolls and the merge blocks stay in
+    /// vector registers instead of round-tripping through the stack. All
+    /// instantiations run the same operations in the same order, so
+    /// answers are bit-identical regardless of which arm dispatched.
+    #[inline(always)]
+    // xtask-contract: alloc-free, kernel
+    fn influence_tiles(&self, beta: usize, seeds: &[NodeId]) -> f64 {
+        let mut est = RunningEstimator::new();
+        let mut block = [0u8; TILE];
+        for t in 0..beta / TILE {
+            if let Some((&first, rest)) = seeds.split_first() {
+                block.copy_from_slice(self.row_tile(beta, t, first));
+                for &s in rest {
+                    kernel::merge_max(&mut block, self.row_tile(beta, t, s));
+                }
+            } else {
+                block.fill(0);
+            }
+            est.absorb_registers(&block);
+        }
+        est.finish()
+    }
+
+    /// The fused merge/absorb loop for one [`GROUP`] of a batch when
+    /// `β ≥ TILE` — the interleaved counterpart of
+    /// [`influence_tiles`](Self::influence_tiles), forced inline for the
+    /// same β-literal const-folding (see there).
+    #[inline(always)]
+    // xtask-contract: alloc-free, kernel
+    fn group_merge_tiles(
+        &self,
+        beta: usize,
+        dedup: &[NodeId],
+        spans: &[(usize, usize); GROUP],
+        ests: &mut [RunningEstimator; GROUP],
+        qn: usize,
+    ) {
+        let regs: &[u8] = &self.registers;
+        // Lanes past `qn` (and empty seed sets) keep their zero blocks: a
+        // zero register absorbs as `2^-0`, and unused lanes' estimators are
+        // never read, so the wide absorb below stays safe and exact.
+        let mut blocks = [[0u8; TILE]; GROUP];
+        for t in 0..beta / TILE {
+            for (q, block) in blocks.iter_mut().enumerate().take(qn) {
+                let (lo, hi) = spans[q];
+                if let Some((&first, rest)) = dedup[lo..hi].split_first() {
+                    let o = first.index() * beta + t * TILE;
+                    block.copy_from_slice(&regs[o..o + TILE]);
+                    for &s in rest {
+                        let o = s.index() * beta + t * TILE;
+                        kernel::merge_max(block, &regs[o..o + TILE]);
+                    }
+                }
+            }
+            let [b0, b1, b2, b3] = &blocks;
+            RunningEstimator::absorb_x4(ests, [b0, b1, b2, b3]);
+        }
+    }
+
+    /// True batch query: `Inf(S_i)` for every seed set, fanned out over up
+    /// to `threads` workers. Bit-identical to mapping
+    /// [`InfluenceOracle::influence`] over the sets in order (registers are
+    /// merged and absorbed in the same ascending position order), but the
+    /// batch shape is amortized away: workers reuse one seed-dedup buffer
+    /// across their queries, duplicate seeds are dropped before any
+    /// register row is merged, and queries run [`GROUP`] at a time through
+    /// the row-interleaved kernel so their serial estimator chains — the
+    /// latency floor of a single query — overlap in the pipeline.
+    pub fn influence_many_frozen(&self, seed_sets: &[Vec<NodeId>], threads: usize) -> Vec<f64> {
+        self.influence_many_frozen_recorded(seed_sets, threads, &NoopRecorder)
+    }
+
+    /// [`influence_many_frozen`](Self::influence_many_frozen) with
+    /// instrumentation: per-query latencies land in `kernel.query_ns`,
+    /// merged-row counts in `kernel.merge_rows`, the whole batch in the
+    /// `oracle.query_batch` span. Answers are bit-identical to the
+    /// unrecorded path.
+    pub fn influence_many_frozen_recorded<R: Recorder>(
+        &self,
+        seed_sets: &[Vec<NodeId>],
+        threads: usize,
+        rec: &R,
+    ) -> Vec<f64> {
+        let t0 = rec.span_start();
+        let out = crate::par::map_ranges_with_recorded(
+            seed_sets.len(),
+            GROUP,
+            threads,
+            Vec::new,
+            |dedup, range| self.influence_group_range(seed_sets, range, dedup, rec),
+            rec,
+        );
+        finish_batch_recorded(&out, t0, rec);
+        out
+    }
+
+    /// Answers queries `range` of a batch. Groups of up to [`GROUP`]
+    /// queries are interleaved tile by tile: each tile's node-major row
+    /// chunks are merged for all queries in the group (the group's whole
+    /// row working set stays L1-resident across tiles), then the four
+    /// independent estimators absorb their merged blocks back to back,
+    /// overlapping the dependent-add chains a lone query would serialize
+    /// on. The recorded
+    /// variant answers query-at-a-time instead so each latency lands in
+    /// `kernel.query_ns`; both orders merge and absorb every query's
+    /// registers in ascending position order, so answers are bit-identical.
+    fn influence_group_range<R: Recorder>(
+        &self,
+        seed_sets: &[Vec<NodeId>],
+        range: Range<usize>,
+        dedup: &mut Vec<NodeId>,
+        rec: &R,
+    ) -> Vec<f64> {
+        let mut out = Vec::with_capacity(range.len());
+        if R::ENABLED {
+            for q in range {
+                let tq = rec.span_start();
+                dedup.clear();
+                push_deduped(&seed_sets[q], dedup);
+                out.push(self.influence(dedup));
+                record_batch_query(dedup.len(), tq, rec);
+            }
+            return out;
+        }
+        let beta = 1usize << self.precision;
+        let mut group = range.start;
+        while group < range.end {
+            let qn = GROUP.min(range.end - group);
+            dedup.clear();
+            let mut spans = [(0usize, 0usize); GROUP];
+            for (q, span) in spans.iter_mut().enumerate().take(qn) {
+                *span = push_deduped(&seed_sets[group + q], dedup);
+            }
+            let mut ests = [RunningEstimator::new(); GROUP];
+            if beta >= TILE {
+                // β-literal arms for the common precisions (k = 7..10);
+                // see `influence_tiles` for why this wins.
+                match beta {
+                    512 => self.group_merge_tiles(512, dedup, &spans, &mut ests, qn),
+                    256 => self.group_merge_tiles(256, dedup, &spans, &mut ests, qn),
+                    1024 => self.group_merge_tiles(1024, dedup, &spans, &mut ests, qn),
+                    128 => self.group_merge_tiles(128, dedup, &spans, &mut ests, qn),
+                    _ => self.group_merge_tiles(beta, dedup, &spans, &mut ests, qn),
+                }
+            } else {
+                // β < TILE: each query's whole sketch is one sub-tile block.
+                let mut blocks = [[0u8; TILE]; GROUP];
+                for (q, block) in blocks.iter_mut().enumerate().take(qn) {
+                    let blk = &mut block[..beta];
+                    let (lo, hi) = spans[q];
+                    if let Some((&first, rest)) = dedup[lo..hi].split_first() {
+                        blk.copy_from_slice(self.row_chunk(0, first));
+                        for &s in rest {
+                            kernel::merge_max(blk, self.row_chunk(0, s));
+                        }
+                    } else {
+                        blk.fill(0);
+                    }
+                }
+                for (est, block) in ests.iter_mut().zip(&blocks).take(qn) {
+                    est.absorb_registers(&block[..beta]);
+                }
+            }
+            for est in ests.iter().take(qn) {
+                out.push(est.finish());
+            }
+            group += qn;
+        }
+        out
     }
 
     /// Validates every register against the sketch range invariant
@@ -313,10 +673,12 @@ impl FrozenApproxOracle {
 }
 
 impl HeapBytes for FrozenApproxOracle {
-    /// Bytes owned by the arena: flat registers plus precomputed
-    /// estimates.
+    /// Bytes owned by the arena: both register layouts (node-major and
+    /// tile-major) plus the precomputed estimates.
     fn heap_bytes(&self) -> usize {
-        self.registers.capacity() + self.individuals.capacity() * std::mem::size_of::<f64>()
+        self.registers.capacity()
+            + self.transposed.capacity()
+            + self.individuals.capacity() * std::mem::size_of::<f64>()
     }
 }
 
@@ -327,43 +689,43 @@ impl InfluenceOracle for FrozenApproxOracle {
         self.individuals.len()
     }
 
-    /// Fused k-way union estimate: merges the seeds' register slices
-    /// block by block into a small stack buffer (vectorizable max loops,
-    /// the whole working set in L1) and streams each merged block straight
-    /// into the shared estimator kernel — no union allocation, no full
-    /// merged array, no second pass. Register positions are consumed in
-    /// ascending order, so the result is bit-identical to materializing
-    /// the union like the live oracle does (~6× faster per 8-seed query
-    /// on the bench profiles).
+    /// Fused k-way union estimate: merges the seeds' node-major register
+    /// rows tile by tile into a small stack buffer through the wide-lane
+    /// kernel ([`kernel::merge_max`] — portable 16-byte lanes always, AVX2
+    /// when compiled in and detected) and streams each merged tile
+    /// straight into the shared estimator — no union allocation, no full
+    /// merged array, no second pass. When `β ≥ TILE` the accumulator is a
+    /// whole fixed-size tile, so the merge compiles to full-width vector
+    /// maxes with no tail. Register positions are consumed in ascending
+    /// order and every merge path is bytewise exact, so the result is
+    /// bit-identical to materializing the union like the live oracle does.
     // xtask-contract: alloc-free, kernel
     fn influence(&self, seeds: &[NodeId]) -> f64 {
-        const BLOCK: usize = 64;
         let beta = 1usize << self.precision;
-        let step = BLOCK.min(beta);
-        let mut est = RunningEstimator::new();
-        let mut block = [0u8; BLOCK];
-        let mut base = 0usize;
-        while base < beta {
-            let blk = &mut block[..step];
+        if beta >= TILE {
+            // β-literal arms for the common precisions (k = 7..10); see
+            // `influence_tiles` for why this wins.
+            match beta {
+                512 => self.influence_tiles(512, seeds),
+                256 => self.influence_tiles(256, seeds),
+                1024 => self.influence_tiles(1024, seeds),
+                128 => self.influence_tiles(128, seeds),
+                _ => self.influence_tiles(beta, seeds),
+            }
+        } else {
+            // β < TILE: the whole sketch is one sub-tile block.
+            let mut est = RunningEstimator::new();
+            let mut block = [0u8; TILE];
+            let blk = &mut block[..beta];
             if let Some((&first, rest)) = seeds.split_first() {
-                blk.copy_from_slice(&self.node_registers(first)[base..base + step]);
+                blk.copy_from_slice(self.row_chunk(0, first));
                 for &s in rest {
-                    for (a, &b) in blk
-                        .iter_mut()
-                        .zip(&self.node_registers(s)[base..base + step])
-                    {
-                        if b > *a {
-                            *a = b;
-                        }
-                    }
+                    kernel::merge_max(blk, self.row_chunk(0, s));
                 }
-            } else {
-                blk.fill(0);
             }
             est.absorb_registers(blk);
-            base += step;
+            est.finish()
         }
-        est.finish()
     }
 
     fn empty_union(&self) -> Self::Union {
@@ -534,6 +896,108 @@ mod tests {
             arena.validate(),
             Err(InvariantViolation::UnsortedSummary { node: NodeId(0) })
         ));
+    }
+
+    #[test]
+    fn transposed_arena_holds_every_register() {
+        let net = figure1a();
+        for precision in [4u8, 7, 9] {
+            let irs = ApproxIrs::compute_with_precision(&net, Window(3), precision);
+            let frozen = irs.freeze();
+            let beta = 1usize << precision;
+            let step = TILE.min(beta);
+            let n = frozen.num_nodes();
+            assert_eq!(frozen.transposed().len(), frozen.registers().len());
+            for u in 0..n {
+                let node = NodeId::from_index(u);
+                for t in 0..beta / step {
+                    let chunk = frozen.tile_chunk(t, node);
+                    let row = &frozen.node_registers(node)[t * step..(t + 1) * step];
+                    assert_eq!(chunk, row, "k={precision} u={u} t={t}");
+                }
+            }
+        }
+    }
+
+    /// Seed-set shapes that exercise every batch arm: empty sets,
+    /// singletons, duplicates, two-seed fast path, wide unions, and enough
+    /// queries that the GROUP=4 kernel runs a full group plus a remainder.
+    fn batch_seed_sets() -> Vec<Vec<NodeId>> {
+        vec![
+            vec![NodeId(0), NodeId(4)],
+            vec![],
+            vec![NodeId(2)],
+            vec![NodeId(3), NodeId(3), NodeId(3)],
+            (0..6).map(NodeId).collect(),
+            vec![NodeId(5), NodeId(1), NodeId(5), NodeId(0)],
+            vec![NodeId(1), NodeId(2)],
+        ]
+    }
+
+    #[test]
+    fn approx_batch_matches_per_query_bitwise() {
+        let net = figure1a();
+        // precision 4 exercises β = 16 < the 64-byte tile.
+        for precision in [4u8, 9] {
+            let irs = ApproxIrs::compute_with_precision(&net, Window(3), precision);
+            let frozen = irs.freeze();
+            let live = irs.oracle();
+            let sets = batch_seed_sets();
+            let per_query: Vec<f64> = sets.iter().map(|s| frozen.influence(s)).collect();
+            for (s, &want) in sets.iter().zip(&per_query) {
+                assert_eq!(live.influence(s).to_bits(), want.to_bits());
+            }
+            for threads in [1, 2, 8] {
+                let batch = frozen.influence_many_frozen(&sets, threads);
+                for (got, want) in batch.iter().zip(&per_query) {
+                    assert_eq!(got.to_bits(), want.to_bits(), "k={precision} t={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_batch_matches_per_query_bitwise() {
+        let net = figure1a();
+        let irs = ExactIrs::compute(&net, Window(3));
+        let frozen = irs.freeze();
+        let sets = batch_seed_sets();
+        let per_query: Vec<f64> = sets.iter().map(|s| frozen.influence(s)).collect();
+        for threads in [1, 2, 8] {
+            let batch = frozen.influence_many_frozen(&sets, threads);
+            for (got, want) in batch.iter().zip(&per_query) {
+                assert_eq!(got.to_bits(), want.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_batch_matches_unrecorded_and_counts_kernel_metrics() {
+        use crate::obs::MetricsRecorder;
+        let net = figure1a();
+        let irs = ApproxIrs::compute(&net, Window(3));
+        let frozen = irs.freeze();
+        let sets = batch_seed_sets();
+        let rec = MetricsRecorder::new();
+        let recorded = frozen.influence_many_frozen_recorded(&sets, 2, &rec);
+        let plain = frozen.influence_many_frozen(&sets, 2);
+        assert_eq!(
+            recorded.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            plain.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        let snap = rec.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        assert_eq!(counter("kernel.batch_queries"), sets.len() as u64);
+        // Deduplicated rows: 2 + 0 + 1 + 1 + 6 + 3 + 2 = 15.
+        assert_eq!(counter("kernel.merge_rows"), 15);
+        let query_hist = snap.hists.iter().find(|h| h.name == "kernel.query_ns");
+        assert_eq!(query_hist.map(|h| h.count), Some(sets.len() as u64));
     }
 
     #[test]

@@ -97,11 +97,17 @@ pub enum Counter {
     CompactionRuns,
     /// Interactions dropped by sliding-window expiry at compaction.
     CompactionExpired,
+    /// Seed-set queries answered by the batch-first frozen kernel
+    /// (`influence_many_frozen`), a subset of `oracle.queries`.
+    KernelBatchQueries,
+    /// Register rows (seed summaries after dedup) folded by the wide-lane
+    /// merge kernel across batch queries.
+    KernelMergeRows,
 }
 
 impl Counter {
     /// Every counter, in stable catalogue (serialization) order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 26] = [
         Counter::EngineInteractions,
         Counter::EngineTieBatches,
         Counter::EngineOutOfOrderRejects,
@@ -126,6 +132,8 @@ impl Counter {
         Counter::DeltaRefreshes,
         Counter::CompactionRuns,
         Counter::CompactionExpired,
+        Counter::KernelBatchQueries,
+        Counter::KernelMergeRows,
     ];
 
     /// Stable dotted metric name.
@@ -155,6 +163,8 @@ impl Counter {
             Counter::DeltaRefreshes => "delta.refreshes",
             Counter::CompactionRuns => "compaction.runs",
             Counter::CompactionExpired => "compaction.expired_interactions",
+            Counter::KernelBatchQueries => "kernel.batch_queries",
+            Counter::KernelMergeRows => "kernel.merge_rows",
         }
     }
 
@@ -238,11 +248,16 @@ pub enum Hist {
     DeltaAppendBatch,
     /// Interactions fed to each compaction rebuild (unit: interactions).
     CompactionInput,
+    /// Seed sets per batch-kernel call (unit: queries).
+    KernelBatchSize,
+    /// Wall time per query inside a recorded batch-kernel call (unit:
+    /// nanoseconds) — the histogram the CLI's p50/p99 report reads.
+    KernelQueryNs,
 }
 
 impl Hist {
     /// Every histogram, in stable catalogue (serialization) order.
-    pub const ALL: [Hist; 7] = [
+    pub const ALL: [Hist; 9] = [
         Hist::EngineTieBatchSize,
         Hist::ExactMergeSrcLen,
         Hist::ExactSpliceLen,
@@ -250,6 +265,8 @@ impl Hist {
         Hist::ParChunkNs,
         Hist::DeltaAppendBatch,
         Hist::CompactionInput,
+        Hist::KernelBatchSize,
+        Hist::KernelQueryNs,
     ];
 
     /// Stable dotted metric name.
@@ -262,6 +279,8 @@ impl Hist {
             Hist::ParChunkNs => "par.chunk_ns",
             Hist::DeltaAppendBatch => "delta.append_batch",
             Hist::CompactionInput => "compaction.input_interactions",
+            Hist::KernelBatchSize => "kernel.batch_size",
+            Hist::KernelQueryNs => "kernel.query_ns",
         }
     }
 

@@ -13,9 +13,60 @@
 
 use crate::approx::ApproxIrs;
 use crate::exact::ExactIrs;
-use crate::obs::{metric_f64, metric_u64, Counter, HeapBytes, Hist, Recorder, Span};
+use crate::obs::{metric_f64, metric_u64, Counter, HeapBytes, Hist, Recorder, Span, SpanStart};
 use infprop_hll::HyperLogLog;
 use infprop_temporal_graph::NodeId;
+
+/// Appends `seeds` to `buf` sorted ascending with duplicates removed,
+/// returning the `(start, end)` span of the appended run.
+///
+/// Every frozen union kernel is commutative and idempotent (bytewise `max`
+/// on registers, insertion on bitsets), so querying with the deduplicated
+/// run is answer-identical to the raw seed list — bit-identical, since the
+/// merged register/bit contents are equal before any float is computed —
+/// while each summary row is merged exactly once. This is the per-query
+/// redundancy the batch API amortizes away.
+#[inline]
+pub(crate) fn push_deduped(seeds: &[NodeId], buf: &mut Vec<NodeId>) -> (usize, usize) {
+    let start = buf.len();
+    buf.extend_from_slice(seeds);
+    buf[start..].sort_unstable();
+    let mut w = start;
+    for r in start..buf.len() {
+        let v = buf[r];
+        if w == start || buf[w - 1] != v {
+            buf[w] = v;
+            w += 1;
+        }
+    }
+    buf.truncate(w);
+    (start, w)
+}
+
+/// Per-query instrumentation shared by the frozen batch kernels: counts the
+/// deduplicated rows merged and lands the query latency in the
+/// `kernel.query_ns` histogram. Callers gate on `R::ENABLED`.
+pub(crate) fn record_batch_query<R: Recorder>(rows: usize, tq: SpanStart, rec: &R) {
+    rec.add(Counter::KernelMergeRows, metric_u64(rows));
+    if let Some(ns) = tq.elapsed_ns() {
+        rec.record(Hist::KernelQueryNs, ns);
+    }
+}
+
+/// Batch-level instrumentation shared by every `influence_many_frozen`
+/// entry point: query/batch counters, the batch-size histogram, every
+/// answered union size, and the `oracle.query_batch` span.
+pub(crate) fn finish_batch_recorded<R: Recorder>(out: &[f64], t0: SpanStart, rec: &R) {
+    if R::ENABLED {
+        rec.add(Counter::OracleQueries, metric_u64(out.len()));
+        rec.add(Counter::KernelBatchQueries, metric_u64(out.len()));
+        rec.record(Hist::KernelBatchSize, metric_u64(out.len()));
+        for &v in out {
+            rec.record(Hist::OracleUnionSize, metric_f64(v));
+        }
+    }
+    rec.span_end(Span::OracleQueryBatch, t0);
+}
 
 /// A queryable influence oracle with an incremental union accumulator.
 ///

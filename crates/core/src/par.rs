@@ -46,10 +46,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 const CHUNKS_PER_WORKER: usize = 4;
 
 /// Default worker count: the machine's available parallelism, falling back
-/// to 1 when it cannot be determined.
+/// to 1 when it cannot be determined. Cached after the first probe —
+/// `available_parallelism` is a syscall, and this sits on the per-batch
+/// fast path via the worker-count clamp in [`map_ranges_with`].
 // xtask-contract: alloc-free, no-panic
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED
+        .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
 }
 
 /// Maps `f` over `0..n`, fanning out across up to `threads` workers in
@@ -199,6 +203,140 @@ where
     out
 }
 
+/// Range-granular [`map_indexed_with`]: instead of calling `f` once per
+/// index, each worker hands `f` a whole contiguous index range (plus its
+/// per-worker scratch) and receives the range's results as one `Vec` —
+/// the shape of batch kernels that process several indices *together*
+/// (e.g. the frozen batch-query kernel interleaving a group of queries
+/// per register tile). Chunk boundaries are aligned to multiples of
+/// `align`, so a kernel with group size `g` never sees a group split
+/// across workers.
+///
+/// # Determinism contract
+///
+/// `f(&mut scratch, lo..hi)` must return exactly `hi - lo` results, equal
+/// to what any other partition of `0..n` into aligned ranges would
+/// produce for those indices (and independent of scratch history). Under
+/// that contract the output is byte-identical to `f(&mut init(), 0..n)`
+/// at any thread count.
+pub fn map_ranges_with<T, W, I, F>(n: usize, align: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, std::ops::Range<usize>) -> Vec<T> + Sync,
+{
+    map_ranges_with_recorded(n, align, threads, init, f, &NoopRecorder)
+}
+
+/// [`map_ranges_with`] with the same per-chunk instrumentation as
+/// [`map_indexed_with_recorded`] (`par.chunks`, `par.chunk_ns`,
+/// `par.scratch_reuse`). The fan-out and output are byte-identical to the
+/// unrecorded path.
+pub fn map_ranges_with_recorded<T, W, I, F, R>(
+    n: usize,
+    align: usize,
+    threads: usize,
+    init: I,
+    f: F,
+    rec: &R,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, std::ops::Range<usize>) -> Vec<T> + Sync,
+    R: Recorder,
+{
+    let align = align.max(1);
+    let groups = n.div_ceil(align);
+    // Clamp by the machine's parallelism up front: chunking the range for
+    // workers that can never spawn would only pay the worker-pull
+    // bookkeeping (per-chunk result vectors, reassembly) with no fan-out
+    // to show for it. Output is byte-identical either way.
+    let requested = threads
+        .max(1)
+        .min(groups.max(1))
+        .min(default_threads().max(1));
+    if requested <= 1 {
+        let t0 = rec.span_start();
+        let out = f(&mut init(), 0..n);
+        debug_assert_eq!(out.len(), n, "range kernel must yield one result per index");
+        if R::ENABLED {
+            rec.add(Counter::ParChunks, 1);
+            if let Some(ns) = t0.elapsed_ns() {
+                rec.record(Hist::ParChunkNs, ns);
+            }
+        }
+        return out;
+    }
+    // Same chunking policy as `map_indexed_with_recorded`, with chunk
+    // lengths rounded up to the group alignment.
+    let chunk_groups = groups.div_ceil((requested * CHUNKS_PER_WORKER).min(groups));
+    let chunk_len = chunk_groups * align;
+    let chunk_count = n.div_ceil(chunk_len);
+    let spawned = requested.min(default_threads()).min(chunk_count);
+    let cursor = AtomicUsize::new(0);
+
+    let run_worker = |out: &mut Vec<(usize, Vec<T>)>| {
+        let mut scratch = init();
+        let mut chunks_done = 0usize;
+        loop {
+            let c = cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= chunk_count {
+                break;
+            }
+            let lo = c * chunk_len;
+            let hi = (lo + chunk_len).min(n);
+            let t0 = rec.span_start();
+            let part = f(&mut scratch, lo..hi);
+            debug_assert_eq!(
+                part.len(),
+                hi - lo,
+                "range kernel must yield one result per index"
+            );
+            out.push((c, part));
+            chunks_done += 1;
+            if R::ENABLED {
+                rec.add(Counter::ParChunks, 1);
+                if let Some(ns) = t0.elapsed_ns() {
+                    rec.record(Hist::ParChunkNs, ns);
+                }
+            }
+        }
+        if R::ENABLED && chunks_done > 1 {
+            rec.add(Counter::ParScratchReuse, (chunks_done - 1) as u64); // xtask-allow: no-lossy-cast (chunk count fits u64)
+        }
+    };
+
+    let mut tagged: Vec<(usize, Vec<T>)> = if spawned <= 1 {
+        let mut mine = Vec::with_capacity(chunk_count);
+        run_worker(&mut mine);
+        mine
+    } else {
+        std::thread::scope(|scope| {
+            let run_worker = &run_worker;
+            let handles: Vec<_> = (0..spawned)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        run_worker(&mut mine);
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("parallel map worker panicked")) // xtask-allow: no-panic (re-raising a worker panic is the correct propagation)
+                .collect()
+        })
+    };
+    tagged.sort_unstable_by_key(|&(c, _)| c);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut part) in tagged {
+        out.append(&mut part);
+    }
+    out
+}
+
 /// Runs `check` over `0..n` in contiguous chunks and returns the error of
 /// the **lowest failing index**, exactly as the serial loop would — workers
 /// past the first failure stop at their own chunk's first error, and the
@@ -316,6 +454,41 @@ mod tests {
         // scratch: at least chunks − workers hits, at most chunks − 1.
         let reuse = counter("par.scratch_reuse").unwrap_or(0);
         assert!((4..=7).contains(&reuse), "scratch reuse: {reuse}");
+    }
+
+    #[test]
+    fn map_ranges_matches_serial_and_respects_alignment() {
+        let serial: Vec<u64> = (0..997).map(|i| (i as u64).wrapping_mul(0xA5A5)).collect();
+        for align in [1, 4, 64] {
+            for threads in [1, 2, 3, 8, 64] {
+                let par = map_ranges_with(
+                    997,
+                    align,
+                    threads,
+                    || (),
+                    |_, range| {
+                        // Every chunk must start on a group boundary so
+                        // kernels never see a split group.
+                        assert_eq!(range.start % align, 0, "align={align}");
+                        range.map(|i| (i as u64).wrapping_mul(0xA5A5)).collect()
+                    },
+                );
+                assert_eq!(par, serial, "align={align} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_ranges_handles_edge_sizes() {
+        assert!(map_ranges_with(0, 4, 8, || (), |_, r| r.collect::<Vec<_>>()).is_empty());
+        assert_eq!(
+            map_ranges_with(1, 4, 8, || (), |_, r| r.collect::<Vec<_>>()),
+            vec![0]
+        );
+        assert_eq!(
+            map_ranges_with(5, 4, 2, || (), |_, r| r.collect::<Vec<_>>()),
+            vec![0, 1, 2, 3, 4]
+        );
     }
 
     #[test]

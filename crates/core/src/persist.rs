@@ -13,9 +13,11 @@
 //! * [`FrozenExactOracle`]: `"IPFE"` header + the CSR arena verbatim
 //!   (offset array, then the flat entry array) — loads with two bulk reads
 //!   and **no per-node allocation**.
-//! * [`FrozenApproxOracle`]: `"IPFA"` header + the flat register arena
-//!   (`β` bytes per node) — one bulk read, per-node estimates recomputed
-//!   in a single pass on load.
+//! * [`FrozenApproxOracle`]: `"IPFA"` header + the flat node-major
+//!   register arena (`β` bytes per node) + the register-transposed
+//!   (tile-major) arena the query kernels stream (layout version 2; the
+//!   transposed section is verified, version-1 files still load) —
+//!   bulk reads, per-node estimates recomputed in a single pass on load.
 //!
 //! Formats are little-endian and validated on read (magic, version,
 //! precision, per-sketch/per-summary invariants) via [`CodecError`].
@@ -307,33 +309,52 @@ impl FrozenExactOracle {
     }
 }
 
+/// `IPFA` layout version. Version 1 stored only the node-major register
+/// arena; version 2 (this build) appends the register-transposed
+/// (tile-major) section the query kernels stream, so the on-disk artefact
+/// captures the full query-ready layout and its integrity is checkable.
+/// Version-1 files remain loadable (the transposed arena is a pure
+/// function of the registers and is recomputed); versions beyond 2 are
+/// rejected as [`CodecError::FutureVersion`]. Local to the `IPFA` format —
+/// every other codec stays at the workspace-wide [`FORMAT_VERSION`].
+const FROZEN_APPROX_LAYOUT_VERSION: u8 = 2;
+
 impl FrozenApproxOracle {
-    /// Writes the flat register arena in `IPFA` format: header + the whole
-    /// `n · β`-byte arena in one bulk write. Per-node estimates are *not*
-    /// stored — they are a pure function of the registers and are
-    /// recomputed on load, keeping the file minimal and unfakeable.
+    /// Writes both register layouts in `IPFA` layout-version-2 format:
+    /// header, the `n · β`-byte node-major arena, then the equally-sized
+    /// tile-major (register-transposed) arena — two bulk writes. Per-node
+    /// estimates are *not* stored — they are a pure function of the
+    /// registers and are recomputed on load, keeping the file unfakeable.
     pub fn write_to(&self, w: &mut impl Write) -> Result<(), CodecError> {
         w.write_all(FROZEN_APPROX_MAGIC)?;
-        w.write_all(&[FORMAT_VERSION, self.precision()])?;
+        w.write_all(&[FROZEN_APPROX_LAYOUT_VERSION, self.precision()])?;
         let n = u32::try_from(self.num_nodes())
             .map_err(|_| CodecError::Corrupt("too many nodes to encode"))?;
         w.write_all(&n.to_le_bytes())?;
         w.write_all(self.registers())?;
+        w.write_all(self.transposed())?;
         Ok(())
     }
 
-    /// Reads an arena written by [`write_to`](Self::write_to): one bulk
-    /// read into the flat register array (no per-node allocation), a range
-    /// check on every register, then one estimator pass to rebuild the
-    /// per-node `individual` table — bit-identical to the values frozen
-    /// from the live sketches.
+    /// Reads an arena written by [`write_to`](Self::write_to) (layout
+    /// version 2) or by the PR 5 writer (version 1, node-major only): bulk
+    /// reads with no per-node allocation, a range check on every register,
+    /// then one estimator pass to rebuild the per-node `individual`
+    /// table — bit-identical to the values frozen from the live sketches.
+    /// A version-2 transposed section must match the node-major registers
+    /// byte for byte (it is rederived, never trusted); a truncated or
+    /// mismatched section is rejected.
     pub fn read_from(r: &mut impl Read) -> Result<Self, CodecError> {
         let header: [u8; 4] = read_array(r)?;
         if &header != FROZEN_APPROX_MAGIC {
             return Err(CodecError::BadMagic);
         }
         let [version, precision] = read_array::<2>(r)?;
-        validate_version(version)?;
+        match version {
+            1 | FROZEN_APPROX_LAYOUT_VERSION => {}
+            v if v > FROZEN_APPROX_LAYOUT_VERSION => return Err(CodecError::FutureVersion(v)),
+            v => return Err(CodecError::BadVersion(v)),
+        }
         if !(4..=16).contains(&precision) {
             return Err(CodecError::Corrupt("precision out of range"));
         }
@@ -344,6 +365,15 @@ impl FrozenApproxOracle {
         r.read_exact(&mut registers)?;
         if registers.iter().any(|&b| b > max_rho) {
             return Err(CodecError::Corrupt("register exceeds maximal rho"));
+        }
+        if version == FROZEN_APPROX_LAYOUT_VERSION {
+            let mut transposed = vec![0u8; n * beta];
+            r.read_exact(&mut transposed)?;
+            if transposed != crate::frozen::transpose_registers(precision, &registers) {
+                return Err(CodecError::Corrupt(
+                    "transposed section does not match the node-major registers",
+                ));
+            }
         }
         Ok(FrozenApproxOracle::from_registers_arena(
             precision, registers,
@@ -803,6 +833,68 @@ mod tests {
         for u in net.node_ids() {
             assert_eq!(frozen.individual(u).to_bits(), back.individual(u).to_bits());
         }
+    }
+
+    #[test]
+    fn frozen_approx_v1_file_still_loads() {
+        let irs = ApproxIrs::compute_with_precision(&network(), Window(100), 7);
+        let frozen = irs.freeze();
+        // A layout-version-1 file: header with version byte 1, node-major
+        // registers, no transposed section — exactly what PR 5 wrote.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(b"IPFA");
+        v1.extend_from_slice(&[1, frozen.precision()]);
+        v1.extend_from_slice(&u32::try_from(frozen.num_nodes()).unwrap().to_le_bytes());
+        v1.extend_from_slice(frozen.registers());
+        let back = FrozenApproxOracle::read_from(&mut v1.as_slice()).unwrap();
+        assert_eq!(back, frozen); // transposed arena recomputed on load
+    }
+
+    #[test]
+    fn frozen_approx_truncated_transposed_rejected() {
+        let irs = ApproxIrs::compute_with_precision(&network(), Window(100), 7);
+        let frozen = irs.freeze();
+        let mut bytes = Vec::new();
+        frozen.write_to(&mut bytes).unwrap();
+        // Chop half of the trailing transposed section: the v2 header
+        // promises a full second arena, so the load must fail, not fall
+        // back to recomputing.
+        bytes.truncate(bytes.len() - frozen.transposed().len() / 2);
+        assert!(FrozenApproxOracle::read_from(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn frozen_approx_mismatched_transposed_rejected() {
+        let irs = ApproxIrs::compute_with_precision(&network(), Window(100), 7);
+        let frozen = irs.freeze();
+        let mut bytes = Vec::new();
+        frozen.write_to(&mut bytes).unwrap();
+        // Flip a byte inside the transposed section only (keep it within
+        // the valid register range so the mismatch check must catch it).
+        let t0 = bytes.len() - frozen.transposed().len();
+        bytes[t0] = if bytes[t0] == 1 { 2 } else { 1 };
+        assert!(matches!(
+            FrozenApproxOracle::read_from(&mut bytes.as_slice()),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn frozen_approx_future_layout_version_rejected() {
+        let irs = ApproxIrs::compute_with_precision(&network(), Window(100), 7);
+        let frozen = irs.freeze();
+        let mut bytes = Vec::new();
+        frozen.write_to(&mut bytes).unwrap();
+        bytes[4] = 3; // one past FROZEN_APPROX_LAYOUT_VERSION
+        assert!(matches!(
+            FrozenApproxOracle::read_from(&mut bytes.as_slice()),
+            Err(CodecError::FutureVersion(3))
+        ));
+        bytes[4] = 0; // below the oldest layout ever written
+        assert!(matches!(
+            FrozenApproxOracle::read_from(&mut bytes.as_slice()),
+            Err(CodecError::BadVersion(0))
+        ));
     }
 
     #[test]

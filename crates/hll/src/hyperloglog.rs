@@ -150,6 +150,56 @@ impl RunningEstimator {
         self.m += regs.len();
     }
 
+    /// Absorbs one register block into each of four estimators at once —
+    /// the batch kernel's GROUP-interleaved absorb. Per estimator this
+    /// performs exactly the operations of
+    /// [`absorb_registers`](Self::absorb_registers) on its own block, in
+    /// the same order, so every estimator's state is bit-identical to four
+    /// separate calls. Fusing the loops interleaves the four serial `sum`
+    /// dependency chains — the latency floor of a lone absorb — so the
+    /// adds issue back to back instead of waiting on one chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the four blocks differ in length.
+    ///
+    /// Deliberately **not** inlined: inside the callers' merge loops the
+    /// four running sums' live ranges cross the vector-register-hungry
+    /// merge phase and get spilled to stack slots, serializing the adds
+    /// through one register and a store-forward round trip each. As a
+    /// standalone function the loop owns the register file and the four
+    /// chains stay resident (one call per tile amortizes to noise).
+    #[inline(never)]
+    // xtask-contract: alloc-free, kernel
+    pub fn absorb_x4(ests: &mut [RunningEstimator; 4], blocks: [&[u8]; 4]) {
+        let [b0, b1, b2, b3] = blocks;
+        assert!(
+            b0.len() == b1.len() && b0.len() == b2.len() && b0.len() == b3.len(),
+            "absorb_x4 blocks must share one length"
+        );
+        let [e0, e1, e2, e3] = ests;
+        let (mut s0, mut s1, mut s2, mut s3) = (e0.sum, e1.sum, e2.sum, e3.sum);
+        let (mut z0, mut z1, mut z2, mut z3) = (e0.zeros, e1.zeros, e2.zeros, e3.zeros);
+        for (i, &r0) in b0.iter().enumerate() {
+            // Registers are ≤ 64 − k + 1 ≤ 61, so the lookups are in range.
+            let (r1, r2, r3) = (b1[i], b2[i], b3[i]);
+            s0 += INV_POW2[usize::from(r0)];
+            s1 += INV_POW2[usize::from(r1)];
+            s2 += INV_POW2[usize::from(r2)];
+            s3 += INV_POW2[usize::from(r3)];
+            z0 += usize::from(r0 == 0);
+            z1 += usize::from(r1 == 0);
+            z2 += usize::from(r2 == 0);
+            z3 += usize::from(r3 == 0);
+        }
+        (e0.sum, e1.sum, e2.sum, e3.sum) = (s0, s1, s2, s3);
+        (e0.zeros, e1.zeros, e2.zeros, e3.zeros) = (z0, z1, z2, z3);
+        e0.m += b0.len();
+        e1.m += b1.len();
+        e2.m += b2.len();
+        e3.m += b3.len();
+    }
+
     /// Registers absorbed so far.
     #[inline]
     // xtask-contract: alloc-free, no-panic
