@@ -28,7 +28,9 @@
 //! dense-store PR. Compare apples to apples: same scale, same machine
 //! class.
 
-use infprop_core::{ApproxIrs, ExactIrs, HeapBytes, InfluenceOracle, MetricsRecorder};
+use infprop_core::{
+    ApproxIrs, ExactIrs, HeapBytes, InfluenceOracle, MetricsRecorder, NoopRecorder, RingTracer,
+};
 use infprop_temporal_graph::{InteractionNetwork, NodeId, Window};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -104,6 +106,14 @@ struct ProfileReport {
     /// one `influence_many_frozen` call (dedup + scratch amortized, GROUP
     /// interleaving), asserted bit-identical to per-query before timing.
     oracle_batch_query_ns: Vec<(usize, f64)>,
+    /// The same 64-query batch answered through
+    /// `influence_many_frozen_traced` with a live ring tracer at 1 thread,
+    /// asserted bit-identical before timing. Per-element spans are lap
+    /// records — one ring emit and one clock read per element, the
+    /// information floor (N contiguous spans need N+1 boundary
+    /// timestamps) — so the overhead over `oracle_query_ns` is dominated
+    /// by one monotonic clock read per query; see NOTES.
+    oracle_query_traced_ns: f64,
     /// Serial sweep over the live oracle — the pre-freeze baseline every
     /// speedup below is measured against.
     sweep_serial_ns_per_node: f64,
@@ -169,10 +179,18 @@ fn run_profile(
     // honest when the box's effective clock drifts mid-run — both sides
     // sample the same machine states instead of whichever phase their
     // own timing block happened to land in.
+    // The traced row rides the same rep loop for the same reason: its
+    // headline is the overhead *ratio* against the per-query loop, which
+    // clock drift between two separate phase loops would corrupt. The
+    // ring is allocated once outside the loop (the CLI does the same for
+    // `--trace-out`), so the row isolates per-span emit cost.
+    let ring = RingTracer::new(1);
     let mut t_q = f64::INFINITY;
     let mut q_total = 0.0;
     let mut t_batch = vec![f64::INFINITY; thread_counts.len()];
     let mut batch_answers: Vec<Vec<f64>> = vec![Vec::new(); thread_counts.len()];
+    let mut t_traced = f64::INFINITY;
+    let mut traced_answers: Vec<f64> = Vec::new();
     for _ in 0..25 {
         let start = Instant::now();
         let mut acc = 0.0;
@@ -187,6 +205,10 @@ fn run_profile(
             t_batch[slot] = t_batch[slot].min(start.elapsed().as_secs_f64());
             batch_answers[slot] = batch;
         }
+        let start = Instant::now();
+        let batch = frozen.influence_many_frozen_traced(&queries, 1, &NoopRecorder, ring.lane(0));
+        t_traced = t_traced.min(start.elapsed().as_secs_f64());
+        traced_answers = batch;
     }
     let (t_q_live, q_total_live) = best_of(5, || {
         let mut acc = 0.0;
@@ -216,6 +238,14 @@ fn run_profile(
         );
         oracle_batch_query_ns.push((threads, t_batch[slot] * 1e9 / 64.0));
     }
+
+    // Traced answers must be bit-identical to the untraced per-query loop
+    // before the timing is reported.
+    let traced_bits: Vec<u64> = traced_answers.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(
+        traced_bits, per_query_bits,
+        "traced batch queries must be bit-identical to untraced"
+    );
 
     let (t_sweep, sweep) = best_of(3, || oracle.individuals(1));
     let sweep_checksum: f64 = sweep.iter().sum();
@@ -322,6 +352,7 @@ fn run_profile(
         oracle_query_live_ns: t_q_live * 1e9 / 64.0,
         oracle_query_checksum: q_total,
         oracle_batch_query_ns,
+        oracle_query_traced_ns: t_traced * 1e9 / 64.0,
         sweep_serial_ns_per_node: t_sweep * 1e9 / n.max(1) as f64,
         sweep_frozen_ns_per_node: t_fsweep * 1e9 / n.max(1) as f64,
         sweep_checksum,
@@ -368,6 +399,7 @@ fn profile_json(r: &ProfileReport) -> String {
          \"oracle_query_ns\": {:.1},\n      \"oracle_query_live_ns\": {:.1},\n      \
          \"oracle_query_checksum\": {:.1},\n      \
          \"oracle_batch_query_ns\": [{}],\n      \
+         \"oracle_query_traced_ns\": {:.1},\n      \
          \"sweep_serial_ns_per_node\": {:.1},\n      \"sweep_frozen_ns_per_node\": {:.1},\n      \
          \"sweep_checksum\": {:.1},\n      \
          \"sweep_parallel\": [{}],\n      \
@@ -390,6 +422,7 @@ fn profile_json(r: &ProfileReport) -> String {
         r.oracle_query_live_ns,
         r.oracle_query_checksum,
         bq,
+        r.oracle_query_traced_ns,
         r.sweep_serial_ns_per_node,
         r.sweep_frozen_ns_per_node,
         r.sweep_checksum,
@@ -466,7 +499,20 @@ const REFERENCE_PR7: &str = r#"{
 
 /// Free-form attribution notes carried in the JSON so a regression number
 /// is never separated from its explanation.
-const NOTES: &str = "Vectorized-kernel PR: the frozen register merge is now vectorized by \
+const NOTES: &str = "Causal-tracing PR: oracle_query_traced_ns answers the same 64-query batch \
+through influence_many_frozen_traced with a live per-thread ring tracer (1 thread, ring \
+allocated outside the rep loop, answers asserted bit-identical to the untraced loop first). \
+Each query.element span is one lap record — one relaxed fetch_add, four relaxed stores, and \
+ONE monotonic clock read (element i's end instant is element i+1's begin, so N contiguous \
+spans need only N+1 timestamps; the begin/end pair is reconstructed at decode). That clock \
+read is the whole story of the overhead: stubbing it out leaves +3% over oracle_query_ns \
+(ring emit + loop bookkeeping), and one clock_gettime is ~55 ns on this virtualized runner — \
+13% of a ~420 ns query by itself, so the <10% target is out of reach here by clock cost \
+alone and the committed ~18% sits ~5% above the per-element-tracing floor; on hardware \
+with a <=25 ns monotonic clock the same code meets the target. The untraced rows are \
+unchanged because the NoopTracer instantiation compiles to the PR 8 code (proven \
+allocation-free by the counting-allocator test in core). \
+Vectorized-kernel PR: the frozen register merge is now vectorized by \
 construction (portable 16-byte-lane byte-max always on, optional runtime-dispatched AVX2 under \
 --features simd-avx2, both asserted bit-identical to the scalar reference); query kernels read \
 node-major rows through compile-time-sized 64-byte tiles with beta-literal dispatch per common \

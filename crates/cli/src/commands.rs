@@ -7,11 +7,13 @@ use infprop_baselines::{
     PageRankConfig, Skim, SkimConfig,
 };
 use infprop_core::obs::{metric_u64, Counter, Gauge, Hist, Span};
+use infprop_core::trace::{SpanId, TraceEvent, TraceId};
 use infprop_core::{
-    find_channel, greedy_top_k_recorded, greedy_top_k_threads, ApproxIrs, ApproxOracle, ExactIrs,
-    FrozenApproxOracle, FrozenExactOracle, HeapBytes, InfluenceOracle, LayeredApproxOracle,
-    LayeredExactOracle, LayeredKind, LayeredManifest, MetricsRecorder, NoopRecorder, Recorder,
-    DEFAULT_PRECISION,
+    attribution, find_channel, greedy_top_k_threads, greedy_top_k_traced, trace_to_json,
+    validate_trace_json, ApproxIrs, ApproxOracle, ExactIrs, FlightRecorder, FrozenApproxOracle,
+    FrozenExactOracle, HeapBytes, InfluenceOracle, LaneTracer, LayeredApproxOracle,
+    LayeredExactOracle, LayeredKind, LayeredManifest, MetricsRecorder, NoopRecorder, NoopTracer,
+    Recorder, RingTracer, Selection, Tracer, DEFAULT_PRECISION,
 };
 use infprop_datasets::profiles;
 use infprop_diffusion::{tcic_spread, tclt_spread, LtWeights, TcicConfig};
@@ -44,6 +46,64 @@ fn emit_metrics(args: &ParsedArgs, rec: &MetricsRecorder) -> CmdResult {
         None => println!("{json}"),
     }
     Ok(())
+}
+
+/// Creates the live ring tracer when `--trace-out FILE` was given; every
+/// traced command sizes the ring for its `--threads` fan-out (one lane per
+/// worker plus the caller's lane 0).
+fn trace_requested(args: &ParsedArgs, threads: usize) -> Option<RingTracer> {
+    args.optional("trace-out").map(|_| RingTracer::new(threads))
+}
+
+/// Harvests `ring`, validates the Chrome-trace export in process (the CLI
+/// never writes a file Perfetto would reject), and writes it to the
+/// `--trace-out` path.
+fn emit_trace(args: &ParsedArgs, ring: &RingTracer) -> CmdResult {
+    let Some(path) = args.optional("trace-out") else {
+        return Ok(());
+    };
+    let json = trace_to_json(&ring.records());
+    let stats = validate_trace_json(&json)
+        .map_err(|e| format!("internal: exported trace failed validation: {e}"))?;
+    std::fs::write(path, json)?;
+    println!(
+        "wrote Chrome trace to {path} ({} spans, {} instants)",
+        stats.spans, stats.instants
+    );
+    Ok(())
+}
+
+/// Begins a CLI-level span on its own fresh trace (no-op without a ring).
+fn begin_root(ring: Option<&RingTracer>, ev: TraceEvent) -> Option<(LaneTracer<'_>, SpanId)> {
+    ring.map(|r| {
+        let t = r.lane(0);
+        let trace = TraceId(t.alloc_traces(1));
+        (t, t.begin(trace, SpanId::NONE, ev))
+    })
+}
+
+/// Closes a span opened by [`begin_root`].
+fn end_root(span: Option<(LaneTracer<'_>, SpanId)>, ev: TraceEvent, payload: u64) {
+    if let Some((t, sp)) = span {
+        t.end(sp, ev, payload);
+    }
+}
+
+/// Greedy selection against the optional recorder and tracer — all four
+/// combinations monomorphize from `greedy_top_k_traced`.
+fn greedy(
+    oracle: &(impl InfluenceOracle + Sync),
+    k: usize,
+    threads: usize,
+    rec: Option<&MetricsRecorder>,
+    ring: Option<&RingTracer>,
+) -> Vec<Selection> {
+    match (rec, ring) {
+        (Some(rec), Some(r)) => greedy_top_k_traced(oracle, k, threads, rec, r.lane(0)),
+        (Some(rec), None) => greedy_top_k_traced(oracle, k, threads, rec, NoopTracer),
+        (None, Some(r)) => greedy_top_k_traced(oracle, k, threads, &NoopRecorder, r.lane(0)),
+        (None, None) => greedy_top_k_threads(oracle, k, threads),
+    }
 }
 
 /// Validates a `--beta` value and converts it to a sketch precision.
@@ -186,59 +246,69 @@ pub fn topk(args: &ParsedArgs) -> CmdResult {
     let method = args.optional("method").unwrap_or("irs");
     let no_freeze = args.boolean("no-freeze");
     let recorder = metrics_requested(args).then(MetricsRecorder::new);
+    let tracer = trace_requested(args, threads);
     let seeds: Vec<NodeId> = match method {
         "irs" => {
-            let picks = match &recorder {
+            let scan = begin_root(tracer.as_ref(), TraceEvent::BuildReverseScan);
+            let irs = match &recorder {
                 Some(rec) => {
-                    let irs = ApproxIrs::compute_with_precision_recorded(
-                        net,
-                        window,
-                        DEFAULT_PRECISION,
-                        rec,
-                    );
-                    if no_freeze {
-                        let oracle = irs.oracle();
-                        rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
-                        greedy_top_k_recorded(&oracle, k, threads, rec)
-                    } else {
-                        let oracle = irs.freeze_recorded(rec);
-                        rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
-                        greedy_top_k_recorded(&oracle, k, threads, rec)
-                    }
+                    ApproxIrs::compute_with_precision_recorded(net, window, DEFAULT_PRECISION, rec)
                 }
-                None => {
-                    let irs = ApproxIrs::compute(net, window);
-                    if no_freeze {
-                        greedy_top_k_threads(&irs.oracle(), k, threads)
-                    } else {
-                        greedy_top_k_threads(&irs.freeze(), k, threads)
-                    }
+                None => ApproxIrs::compute(net, window),
+            };
+            end_root(
+                scan,
+                TraceEvent::BuildReverseScan,
+                metric_u64(net.interactions().len()),
+            );
+            let picks = if no_freeze {
+                let oracle = irs.oracle();
+                if let Some(rec) = &recorder {
+                    rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
                 }
+                greedy(&oracle, k, threads, recorder.as_ref(), tracer.as_ref())
+            } else {
+                let fz = begin_root(tracer.as_ref(), TraceEvent::BuildFreeze);
+                let oracle = match &recorder {
+                    Some(rec) => irs.freeze_recorded(rec),
+                    None => irs.freeze(),
+                };
+                end_root(fz, TraceEvent::BuildFreeze, metric_u64(oracle.num_nodes()));
+                if let Some(rec) = &recorder {
+                    rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
+                }
+                greedy(&oracle, k, threads, recorder.as_ref(), tracer.as_ref())
             };
             picks.into_iter().map(|s| s.node).collect()
         }
         "irs-exact" => {
-            let picks = match &recorder {
-                Some(rec) => {
-                    let irs = ExactIrs::compute_recorded(net, window, rec);
-                    if no_freeze {
-                        let oracle = irs.oracle();
-                        rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
-                        greedy_top_k_recorded(&oracle, k, threads, rec)
-                    } else {
-                        let oracle = irs.freeze_recorded(rec);
-                        rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
-                        greedy_top_k_recorded(&oracle, k, threads, rec)
-                    }
+            let scan = begin_root(tracer.as_ref(), TraceEvent::BuildReverseScan);
+            let irs = match &recorder {
+                Some(rec) => ExactIrs::compute_recorded(net, window, rec),
+                None => ExactIrs::compute(net, window),
+            };
+            end_root(
+                scan,
+                TraceEvent::BuildReverseScan,
+                metric_u64(net.interactions().len()),
+            );
+            let picks = if no_freeze {
+                let oracle = irs.oracle();
+                if let Some(rec) = &recorder {
+                    rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
                 }
-                None => {
-                    let irs = ExactIrs::compute(net, window);
-                    if no_freeze {
-                        greedy_top_k_threads(&irs.oracle(), k, threads)
-                    } else {
-                        greedy_top_k_threads(&irs.freeze(), k, threads)
-                    }
+                greedy(&oracle, k, threads, recorder.as_ref(), tracer.as_ref())
+            } else {
+                let fz = begin_root(tracer.as_ref(), TraceEvent::BuildFreeze);
+                let oracle = match &recorder {
+                    Some(rec) => irs.freeze_recorded(rec),
+                    None => irs.freeze(),
+                };
+                end_root(fz, TraceEvent::BuildFreeze, metric_u64(oracle.num_nodes()));
+                if let Some(rec) = &recorder {
+                    rec.gauge(Gauge::OracleHeapBytes, metric_u64(oracle.heap_bytes()));
                 }
+                greedy(&oracle, k, threads, recorder.as_ref(), tracer.as_ref())
             };
             picks.into_iter().map(|s| s.node).collect()
         }
@@ -277,6 +347,9 @@ pub fn topk(args: &ParsedArgs) -> CmdResult {
     if let Some(rec) = &recorder {
         emit_metrics(args, rec)?;
     }
+    if let Some(ring) = &tracer {
+        emit_trace(args, ring)?;
+    }
     Ok(())
 }
 
@@ -310,7 +383,9 @@ pub fn simulate(args: &ParsedArgs) -> CmdResult {
     let threads = threads_of(args)?;
     let model = args.optional("model").unwrap_or("tcic");
     let recorder = metrics_requested(args).then(MetricsRecorder::new);
+    let tracer = trace_requested(args, threads);
     let sim_start = recorder.as_ref().map(|rec| rec.span_start());
+    let run = begin_root(tracer.as_ref(), TraceEvent::SimulateRun);
     let spread = match model {
         "tcic" => {
             let cfg = TcicConfig::new(window, p)
@@ -331,6 +406,7 @@ pub fn simulate(args: &ParsedArgs) -> CmdResult {
             }))
         }
     };
+    end_root(run, TraceEvent::SimulateRun, metric_u64(runs));
     println!(
         "{model} spread of {} seeds over {runs} runs (w = {}, p = {p}): {spread:.2}",
         seeds.len(),
@@ -353,6 +429,9 @@ pub fn simulate(args: &ParsedArgs) -> CmdResult {
         };
         println!("irs oracle estimate Inf(S) = {estimate:.1}");
         emit_metrics(args, rec)?;
+    }
+    if let Some(ring) = &tracer {
+        emit_trace(args, ring)?;
     }
     Ok(())
 }
@@ -434,24 +513,36 @@ pub fn oracle_build(args: &ParsedArgs) -> CmdResult {
     let threads = threads_of(args)?;
     let frozen = args.boolean("frozen");
     let recorder = metrics_requested(args).then(MetricsRecorder::new);
+    let tracer = trace_requested(args, threads);
     if args.boolean("layered") {
-        build_layered(args, net, window, out, &recorder)?;
+        build_layered(args, net, window, out, &recorder, tracer.as_ref())?;
         if let Some(rec) = &recorder {
             emit_metrics(args, rec)?;
+        }
+        if let Some(ring) = &tracer {
+            emit_trace(args, ring)?;
         }
         return Ok(());
     }
     let mut w = BufWriter::new(File::create(out)?);
     if args.boolean("exact") {
+        let scan = begin_root(tracer.as_ref(), TraceEvent::BuildReverseScan);
         let irs = match &recorder {
             Some(rec) => ExactIrs::compute_recorded(net, window, rec),
             None => ExactIrs::compute(net, window),
         };
+        end_root(
+            scan,
+            TraceEvent::BuildReverseScan,
+            metric_u64(net.interactions().len()),
+        );
         if frozen {
+            let fz = begin_root(tracer.as_ref(), TraceEvent::BuildFreeze);
             let arena = match &recorder {
                 Some(rec) => irs.freeze_recorded(rec),
                 None => irs.freeze(),
             };
+            end_root(fz, TraceEvent::BuildFreeze, metric_u64(net.num_nodes()));
             arena.write_to(&mut w)?;
             println!(
                 "wrote {out}: frozen exact arena for {} nodes ({} entries), window = {}",
@@ -480,15 +571,23 @@ pub fn oracle_build(args: &ParsedArgs) -> CmdResult {
     } else {
         let beta: usize = args.parse_or("beta", 512, "a power of two in [16, 65536]")?;
         let precision = beta_to_precision(beta)?;
+        let scan = begin_root(tracer.as_ref(), TraceEvent::BuildReverseScan);
         let irs = match &recorder {
             Some(rec) => ApproxIrs::compute_with_precision_recorded(net, window, precision, rec),
             None => ApproxIrs::compute_with_precision(net, window, precision),
         };
+        end_root(
+            scan,
+            TraceEvent::BuildReverseScan,
+            metric_u64(net.interactions().len()),
+        );
         if frozen {
+            let fz = begin_root(tracer.as_ref(), TraceEvent::BuildFreeze);
             let arena = match &recorder {
                 Some(rec) => irs.freeze_recorded(rec),
                 None => irs.freeze(),
             };
+            end_root(fz, TraceEvent::BuildFreeze, metric_u64(net.num_nodes()));
             arena.write_to(&mut w)?;
             println!(
                 "wrote {out}: frozen register arena for {} nodes, beta = {beta}, window = {}",
@@ -516,6 +615,9 @@ pub fn oracle_build(args: &ParsedArgs) -> CmdResult {
     if let Some(rec) = &recorder {
         emit_metrics(args, rec)?;
     }
+    if let Some(ring) = &tracer {
+        emit_trace(args, ring)?;
+    }
     Ok(())
 }
 
@@ -528,14 +630,23 @@ fn build_layered(
     window: Window,
     out: &str,
     recorder: &Option<MetricsRecorder>,
+    tracer: Option<&RingTracer>,
 ) -> CmdResult {
     let dir = Path::new(out);
     if args.boolean("exact") {
+        let scan = begin_root(tracer, TraceEvent::BuildReverseScan);
         let irs = match recorder {
             Some(rec) => ExactIrs::compute_recorded(net, window, rec),
             None => ExactIrs::compute(net, window),
         };
+        end_root(
+            scan,
+            TraceEvent::BuildReverseScan,
+            metric_u64(net.interactions().len()),
+        );
+        let fz = begin_root(tracer, TraceEvent::BuildFreeze);
         let oracle = irs.layered(net);
+        end_root(fz, TraceEvent::BuildFreeze, metric_u64(net.num_nodes()));
         oracle.save_layered(dir)?;
         println!(
             "wrote {out}: layered exact oracle (generation 0) for {} nodes, window = {}, tail = {} interactions",
@@ -546,11 +657,19 @@ fn build_layered(
     } else {
         let beta: usize = args.parse_or("beta", 512, "a power of two in [16, 65536]")?;
         let precision = beta_to_precision(beta)?;
+        let scan = begin_root(tracer, TraceEvent::BuildReverseScan);
         let irs = match recorder {
             Some(rec) => ApproxIrs::compute_with_precision_recorded(net, window, precision, rec),
             None => ApproxIrs::compute_with_precision(net, window, precision),
         };
+        end_root(
+            scan,
+            TraceEvent::BuildReverseScan,
+            metric_u64(net.interactions().len()),
+        );
+        let fz = begin_root(tracer, TraceEvent::BuildFreeze);
         let oracle = irs.layered(net);
+        end_root(fz, TraceEvent::BuildFreeze, metric_u64(net.num_nodes()));
         oracle.save_layered(dir)?;
         println!(
             "wrote {out}: layered sketch oracle (generation 0) for {} nodes, beta = {beta}, window = {}, tail = {} interactions",
@@ -602,8 +721,10 @@ pub fn append(args: &ParsedArgs) -> CmdResult {
     let (dir, file) = args.two_positional("expected an oracle directory and an append file")?;
     let batch = read_append_file(file)?;
     let recorder = metrics_requested(args).then(MetricsRecorder::new);
+    let tracer = trace_requested(args, 1);
     let dir_path = Path::new(dir);
     let manifest = LayeredManifest::read_from_dir(dir_path)?;
+    let sp = begin_root(tracer.as_ref(), TraceEvent::AppendBatch);
     let (generation, pending) = match manifest.kind {
         LayeredKind::Exact => {
             let mut oracle = LayeredExactOracle::open_layered(dir_path)?;
@@ -624,12 +745,16 @@ pub fn append(args: &ParsedArgs) -> CmdResult {
             (oracle.generation(), oracle.delta().pending().len())
         }
     };
+    end_root(sp, TraceEvent::AppendBatch, metric_u64(batch.len()));
     println!(
         "appended {} interactions to {dir} (generation {generation}, {pending} pending)",
         batch.len()
     );
     if let Some(rec) = &recorder {
         emit_metrics(args, rec)?;
+    }
+    if let Some(ring) = &tracer {
+        emit_trace(args, ring)?;
     }
     Ok(())
 }
@@ -644,15 +769,18 @@ pub fn append(args: &ParsedArgs) -> CmdResult {
 pub fn compact(args: &ParsedArgs) -> CmdResult {
     let dir = args.one_positional("expected exactly one oracle directory")?;
     let recorder = metrics_requested(args).then(MetricsRecorder::new);
+    let tracer = trace_requested(args, 1);
     let dir_path = Path::new(dir);
     let manifest = LayeredManifest::read_from_dir(dir_path)?;
     let (generation, expired, tail) = match manifest.kind {
         LayeredKind::Exact => {
             let mut oracle = LayeredExactOracle::open_layered(dir_path)?;
             let before = oracle.delta().log().len();
-            match &recorder {
-                Some(rec) => oracle.compact_recorded(rec),
-                None => oracle.compact(),
+            match (&recorder, &tracer) {
+                (Some(rec), Some(r)) => oracle.compact_traced(rec, r.lane(0)),
+                (Some(rec), None) => oracle.compact_recorded(rec),
+                (None, Some(r)) => oracle.compact_traced(&NoopRecorder, r.lane(0)),
+                (None, None) => oracle.compact(),
             }
             oracle.save_layered(dir_path)?;
             let tail = oracle.delta().tail().len();
@@ -661,9 +789,11 @@ pub fn compact(args: &ParsedArgs) -> CmdResult {
         LayeredKind::Approx => {
             let mut oracle = LayeredApproxOracle::open_layered(dir_path)?;
             let before = oracle.delta().log().len();
-            match &recorder {
-                Some(rec) => oracle.compact_recorded(rec),
-                None => oracle.compact(),
+            match (&recorder, &tracer) {
+                (Some(rec), Some(r)) => oracle.compact_traced(rec, r.lane(0)),
+                (Some(rec), None) => oracle.compact_recorded(rec),
+                (None, Some(r)) => oracle.compact_traced(&NoopRecorder, r.lane(0)),
+                (None, None) => oracle.compact(),
             }
             oracle.save_layered(dir_path)?;
             let tail = oracle.delta().tail().len();
@@ -675,6 +805,9 @@ pub fn compact(args: &ParsedArgs) -> CmdResult {
     );
     if let Some(rec) = &recorder {
         emit_metrics(args, rec)?;
+    }
+    if let Some(ring) = &tracer {
+        emit_trace(args, ring)?;
     }
     Ok(())
 }
@@ -759,7 +892,11 @@ impl LoadedOracle {
         seed_sets: &[Vec<NodeId>],
         threads: usize,
         rec: Option<&MetricsRecorder>,
+        ring: Option<&RingTracer>,
     ) -> Vec<f64> {
+        if let Some(r) = ring {
+            return self.influence_many_traced(seed_sets, threads, rec, r);
+        }
         match rec {
             Some(rec) => match self {
                 LoadedOracle::FrozenExact(v) => {
@@ -796,6 +933,63 @@ impl LoadedOracle {
                     .map(|seeds| live.influence(seeds, None))
                     .collect(),
             },
+        }
+    }
+
+    /// Traced twin of [`LoadedOracle::influence_many`]: frozen and layered
+    /// formats answer through the traced batch kernel (one trace per batch
+    /// element, `query.batch` + `query.element` spans on lane 0); live
+    /// single-file formats keep their per-query fallback, wrapped in a
+    /// CLI-level `query.batch` span with one `query.element` span per line.
+    fn influence_many_traced(
+        &self,
+        seed_sets: &[Vec<NodeId>],
+        threads: usize,
+        rec: Option<&MetricsRecorder>,
+        ring: &RingTracer,
+    ) -> Vec<f64> {
+        macro_rules! frozen_traced {
+            ($v:expr) => {
+                match rec {
+                    Some(rec) => {
+                        $v.influence_many_frozen_traced(seed_sets, threads, rec, ring.lane(0))
+                    }
+                    None => $v.influence_many_frozen_traced(
+                        seed_sets,
+                        threads,
+                        &NoopRecorder,
+                        ring.lane(0),
+                    ),
+                }
+            };
+        }
+        match self {
+            LoadedOracle::FrozenExact(v) => frozen_traced!(v),
+            LoadedOracle::FrozenApprox(v) => frozen_traced!(v),
+            LoadedOracle::LayeredExact(v) => frozen_traced!(v),
+            LoadedOracle::LayeredApprox(v) => frozen_traced!(v),
+            live => {
+                let t = ring.lane(0);
+                let trace = TraceId(t.alloc_traces(1));
+                let batch = t.begin(trace, SpanId::NONE, TraceEvent::QueryBatch);
+                let answers = seed_sets
+                    .iter()
+                    .map(|seeds| {
+                        let sp = t.begin(trace, batch, TraceEvent::QueryElement);
+                        let tq = rec.map(|rec| rec.span_start());
+                        let influence = live.influence(seeds, rec);
+                        if let (Some(rec), Some(tq)) = (rec, tq) {
+                            if let Some(ns) = tq.elapsed_ns() {
+                                rec.record(Hist::KernelQueryNs, ns);
+                            }
+                        }
+                        t.end(sp, TraceEvent::QueryElement, metric_u64(seeds.len()));
+                        influence
+                    })
+                    .collect();
+                t.end(batch, TraceEvent::QueryBatch, metric_u64(seed_sets.len()));
+                answers
+            }
         }
     }
 }
@@ -842,13 +1036,23 @@ fn load_oracle(path: &str) -> Result<LoadedOracle, Box<dyn Error>> {
 /// With `--metrics`, the detected format is printed, the load is timed
 /// under the `oracle.load` span, every query is counted in the
 /// `oracle.*`/`kernel.*` sections of the snapshot, and the batch prints
-/// a per-query p50/p99 latency line from the `kernel.query_ns`
-/// histogram.
+/// a per-query p50/p99/p999/mean latency line from the
+/// `kernel.query_ns` histogram. With `--trace-out FILE`, the load and
+/// every query run under the causal tracer and the run is exported as
+/// Chrome Trace Event JSON.
 pub fn oracle_query(args: &ParsedArgs) -> CmdResult {
     let path = args.one_positional("expected exactly one oracle path")?;
+    let threads = threads_of(args)?;
     let recorder = metrics_requested(args).then(MetricsRecorder::new);
+    let tracer = trace_requested(args, threads);
     let load_start = recorder.as_ref().map(|rec| rec.span_start());
+    let load_sp = begin_root(tracer.as_ref(), TraceEvent::LoadOracle);
     let oracle = load_oracle(path)?;
+    end_root(
+        load_sp,
+        TraceEvent::LoadOracle,
+        metric_u64(oracle.num_nodes()),
+    );
     if let (Some(rec), Some(start)) = (&recorder, load_start) {
         rec.span_end(Span::OracleLoad, start);
         println!("format: {}", oracle.format());
@@ -870,7 +1074,6 @@ pub fn oracle_query(args: &ParsedArgs) -> CmdResult {
         // Parse the whole file up front so every query goes through the
         // batch API in one call: dedup, scratch, and thread fan-out are
         // amortized across the file instead of paid per line.
-        let threads = threads_of(args)?;
         let text = std::fs::read_to_string(queries)?;
         let mut labels: Vec<&str> = Vec::new();
         let mut seed_sets: Vec<Vec<NodeId>> = Vec::new();
@@ -891,7 +1094,8 @@ pub fn oracle_query(args: &ParsedArgs) -> CmdResult {
             labels.push(line);
             seed_sets.push(seeds);
         }
-        let answers = oracle.influence_many(&seed_sets, threads, recorder.as_ref());
+        let answers =
+            oracle.influence_many(&seed_sets, threads, recorder.as_ref(), tracer.as_ref());
         for (line, influence) in labels.iter().zip(&answers) {
             println!("Inf({line}) = {influence:.1}");
         }
@@ -903,9 +1107,11 @@ pub fn oracle_query(args: &ParsedArgs) -> CmdResult {
                 .find(|h| h.name == Hist::KernelQueryNs.name() && h.count > 0)
             {
                 println!(
-                    "per-query latency: p50 {} ns, p99 {} ns over {} queries",
+                    "per-query latency: p50 {} ns, p99 {} ns, p999 {} ns, mean {:.1} ns over {} queries",
                     h.quantile(0.50),
                     h.quantile(0.99),
+                    h.quantile(0.999),
+                    h.mean(),
                     h.count
                 );
             }
@@ -914,12 +1120,169 @@ pub fn oracle_query(args: &ParsedArgs) -> CmdResult {
         let ids = args.node_list("seeds")?;
         let seeds: Vec<NodeId> = ids.into_iter().map(NodeId).collect();
         check_seeds(&seeds)?;
+        let q = begin_root(tracer.as_ref(), TraceEvent::QueryBatch);
         let influence = oracle.influence(&seeds, recorder.as_ref());
+        end_root(q, TraceEvent::QueryBatch, 1);
         println!("Inf(S) = {influence:.1}");
     }
     if let Some(rec) = &recorder {
         emit_metrics(args, rec)?;
     }
+    if let Some(ring) = &tracer {
+        emit_trace(args, ring)?;
+    }
+    Ok(())
+}
+
+/// Greedy selection over any loaded oracle format (used by `profile`).
+fn greedy_any(
+    oracle: &LoadedOracle,
+    k: usize,
+    threads: usize,
+    rec: Option<&MetricsRecorder>,
+    ring: Option<&RingTracer>,
+) -> Vec<Selection> {
+    match oracle {
+        LoadedOracle::ExactSummaries(v) => greedy(&v.oracle(), k, threads, rec, ring),
+        LoadedOracle::FrozenExact(v) => greedy(v, k, threads, rec, ring),
+        LoadedOracle::FrozenApprox(v) => greedy(v, k, threads, rec, ring),
+        LoadedOracle::Sketches(v) => greedy(v, k, threads, rec, ring),
+        LoadedOracle::LayeredExact(v) => greedy(v.as_ref(), k, threads, rec, ring),
+        LoadedOracle::LayeredApprox(v) => greedy(v.as_ref(), k, threads, rec, ring),
+    }
+}
+
+/// `infprop profile <oracle-path> [--queries FILE | --rounds N] [--k K]
+///  [--threads N] [--slowest K] [--metrics] [--metrics-out FILE]
+///  [--trace-out FILE]`
+///
+/// Always-on profiler: loads an oracle, replays a query workload against
+/// it with the ring tracer live (the workload is either `--queries FILE`,
+/// one comma-separated seed set per line, or a synthesized deterministic
+/// set of `--rounds` three-seed queries), optionally runs a greedy
+/// `--k`-seed selection, then prints a per-phase self/total time
+/// attribution table and the `--slowest` traces by wall time from the
+/// flight recorder. `--trace-out FILE` additionally exports the full
+/// Chrome trace for Perfetto.
+pub fn profile(args: &ParsedArgs) -> CmdResult {
+    let path = args.one_positional("expected exactly one oracle path")?;
+    let threads = threads_of(args)?;
+    let recorder = metrics_requested(args).then(MetricsRecorder::new);
+    let ring = RingTracer::new(threads);
+    let t = ring.lane(0);
+    let root_trace = TraceId(t.alloc_traces(1));
+    let root = t.begin(root_trace, SpanId::NONE, TraceEvent::ProfileRun);
+
+    let load_start = recorder.as_ref().map(|rec| rec.span_start());
+    let load_sp = t.begin(root_trace, root, TraceEvent::LoadOracle);
+    let oracle = load_oracle(path)?;
+    t.end(
+        load_sp,
+        TraceEvent::LoadOracle,
+        metric_u64(oracle.num_nodes()),
+    );
+    if let (Some(rec), Some(start)) = (&recorder, load_start) {
+        rec.span_end(Span::OracleLoad, start);
+    }
+    println!("format: {}", oracle.format());
+    let n = oracle.num_nodes();
+
+    let seed_sets: Vec<Vec<NodeId>> = match args.optional("queries") {
+        Some(queries) => {
+            let text = std::fs::read_to_string(queries)?;
+            let mut sets = Vec::new();
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let mut seeds = Vec::new();
+                for tok in line.split(',').filter(|tk| !tk.trim().is_empty()) {
+                    let id: u32 = tok
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("{queries}: bad node id {tok:?}"))?;
+                    if (id as usize) >= n {
+                        return Err(Box::new(ArgError::BadValue {
+                            flag: "queries".into(),
+                            value: id.to_string(),
+                            expected: "node ids inside the oracle",
+                        }));
+                    }
+                    seeds.push(NodeId(id));
+                }
+                sets.push(seeds);
+            }
+            sets
+        }
+        None => {
+            // Deterministic synthetic workload: `--rounds` three-seed
+            // queries striding the id space so repeated runs are
+            // comparable without a query file.
+            let rounds: usize = args.parse_or("rounds", 64, "an integer")?;
+            (0..rounds)
+                .map(|q| {
+                    if n == 0 {
+                        Vec::new()
+                    } else {
+                        (0..3)
+                            .map(|j| NodeId(((q * 7 + j * 11 + 1) % n) as u32))
+                            .collect()
+                    }
+                })
+                .collect()
+        }
+    };
+    let answers = oracle.influence_many(&seed_sets, threads, recorder.as_ref(), Some(&ring));
+    let total: f64 = answers.iter().sum();
+    println!(
+        "answered {} queries (sum of Inf = {total:.1})",
+        seed_sets.len()
+    );
+
+    let k: usize = args.parse_or("k", 0, "an integer")?;
+    if k > 0 {
+        let picks = greedy_any(&oracle, k, threads, recorder.as_ref(), Some(&ring));
+        let ids: Vec<String> = picks.iter().map(|s| s.node.0.to_string()).collect();
+        println!("greedy top-{k}: [{}]", ids.join(", "));
+    }
+    t.end(root, TraceEvent::ProfileRun, metric_u64(seed_sets.len()));
+
+    let records = ring.records();
+    println!("phase attribution (total includes children, self excludes them):");
+    println!(
+        "{:<24} {:>8} {:>14} {:>14}",
+        "event", "count", "total ms", "self ms"
+    );
+    for stat in attribution(&records) {
+        println!(
+            "{:<24} {:>8} {:>14.3} {:>14.3}",
+            stat.event.name(),
+            stat.count,
+            stat.total_ns as f64 / 1e6,
+            stat.self_ns as f64 / 1e6
+        );
+    }
+    let slowest: usize = args.parse_or("slowest", 8, "an integer")?;
+    let mut flight = FlightRecorder::new(slowest);
+    flight.absorb(&records);
+    let kept = flight.slowest();
+    if !kept.is_empty() {
+        println!("slowest {} traces by wall time:", kept.len());
+        for s in kept {
+            println!(
+                "  trace {:>4}  {:<20} wall {:>12.3} ms  ({} spans)",
+                s.trace.0,
+                s.root.name(),
+                s.wall_ns as f64 / 1e6,
+                s.spans
+            );
+        }
+    }
+    if let Some(rec) = &recorder {
+        emit_metrics(args, rec)?;
+    }
+    emit_trace(args, &ring)?;
     Ok(())
 }
 
@@ -933,24 +1296,30 @@ USAGE:
   infprop topk <file> --k K (--window-pct P | --window W)
                  [--method irs|irs-exact|pagerank|hd|shd|degree-discount|skim|cte]
                  [--seed S] [--threads T] [--no-freeze]
-                 [--metrics] [--metrics-out FILE]
+                 [--metrics] [--metrics-out FILE] [--trace-out FILE]
   infprop simulate <file> --seeds a,b,c (--window-pct P | --window W)
                  [--p F] [--runs N] [--model tcic|tclt] [--seed S] [--threads T]
-                 [--no-freeze] [--metrics] [--metrics-out FILE]
+                 [--no-freeze] [--metrics] [--metrics-out FILE] [--trace-out FILE]
   infprop channel <file> --from U --to V (--window-pct P | --window W)
   infprop generate --profile enron|lkml|facebook|higgs|slashdot|us2016
                  --scale S --out FILE [--seed N]
   infprop build <file> (--window-pct P | --window W) --out FILE [--beta B | --exact]
                  [--frozen | --layered] [--metrics] [--metrics-out FILE]
-                 (alias: oracle-build)
+                 [--trace-out FILE] (alias: oracle-build)
   infprop append <oracle-dir> <file> [--metrics] [--metrics-out FILE]
-  infprop compact <oracle-dir> [--metrics] [--metrics-out FILE]
+                 [--trace-out FILE]
+  infprop compact <oracle-dir> [--metrics] [--metrics-out FILE] [--trace-out FILE]
   infprop oracle-query <oracle-path> (--seeds a,b,c | --queries FILE)
-                 [--threads N] [--metrics] [--metrics-out FILE]
+                 [--threads N] [--metrics] [--metrics-out FILE] [--trace-out FILE]
+  infprop profile <oracle-path> [--queries FILE | --rounds N] [--k K]
+                 [--threads N] [--slowest K] [--metrics] [--metrics-out FILE]
+                 [--trace-out FILE]
 
 Input files are SNAP-style edge lists: `src dst time` per line, `#` comments.
 `--metrics` prints a JSON metrics snapshot (counters, gauges, histograms,
 span timings) for the run; `--metrics-out FILE` writes it to a file instead.
+`--trace-out FILE` turns on the causal ring tracer and exports the run as
+Chrome Trace Event JSON (open it at ui.perfetto.dev or chrome://tracing).
 
 `build --layered` writes a layered oracle *directory* (frozen base arena +
 forward-delta log + MANIFEST). `append` buffers new interactions (raw
@@ -960,7 +1329,11 @@ re-freezes the base (LSM-style, crash-safe: the previous generation stays
 loadable until the new MANIFEST commits). `oracle-query` accepts both
 single-file oracles and layered directories; `--queries FILE` answers one
 comma-separated seed set per line through the batched frozen kernel
-(`--threads N` fans the batch out; per-query p50/p99 under `--metrics`).
+(`--threads N` fans the batch out; per-query p50/p99/p999/mean under
+`--metrics`). `profile` traces unconditionally: it replays a query
+workload (`--queries FILE`, or `--rounds N` synthesized queries), then
+prints a per-phase self/total time attribution table and the `--slowest K`
+traces by wall time from the flight recorder.
 ";
 
 /// Dispatches a parsed command line.
@@ -976,6 +1349,7 @@ pub fn dispatch(parsed: &ParsedArgs) -> CmdResult {
         "append" => append(parsed),
         "compact" => compact(parsed),
         "oracle-query" => oracle_query(parsed),
+        "profile" => profile(parsed),
         "help" => {
             println!("{USAGE}");
             Ok(())

@@ -648,8 +648,277 @@ fn batch_queries_match_sequential_and_report_latency() {
     assert!(metered.status.success(), "{}", stderr(&metered));
     let text = stdout(&metered);
     assert!(text.contains("per-query latency: p50 "), "{text}");
+    // The tail of the latency report: p999 and the histogram mean ride
+    // along with the p50/p99 quantiles.
+    assert!(text.contains(" p999 "), "{text}");
+    assert!(text.contains(" mean "), "{text}");
     assert_eq!(json_u64(&text, "kernel.batch_queries"), 5, "{text}");
     assert!(json_u64(&text, "kernel.merge_rows") > 0, "{text}");
     assert!(text.contains("\"kernel.query_ns\""), "{text}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Structural sanity check on an exported Chrome trace file: a JSON array
+/// of complete begin/end pairs (plus instants) that names `needle`.
+fn assert_trace_file(path: &Path, needle: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|_| panic!("trace file {} missing", path.display()));
+    assert!(
+        text.trim_start().starts_with('['),
+        "not a JSON array: {text}"
+    );
+    assert!(text.trim_end().ends_with(']'), "unterminated array: {text}");
+    assert_eq!(
+        text.matches("\"ph\":\"B\"").count(),
+        text.matches("\"ph\":\"E\"").count(),
+        "unbalanced begin/end events: {text}"
+    );
+    assert!(
+        text.contains(&format!("\"name\":\"{needle}\"")),
+        "missing {needle} in {text}"
+    );
+}
+
+#[test]
+fn trace_out_does_not_change_primary_output() {
+    let dir = tempdir("trace-parity");
+    let net = sample_network(&dir);
+    let oracle_path = dir.join("frozen.ipfa").to_string_lossy().into_owned();
+    let built = run(&[
+        "build",
+        &net,
+        "--window",
+        "60",
+        "--frozen",
+        "--out",
+        &oracle_path,
+    ]);
+    assert!(built.status.success(), "{}", stderr(&built));
+
+    let queries = dir.join("queries.txt");
+    std::fs::write(&queries, "0\n0,1\n3,4,5\n").unwrap();
+    let trace_path = dir.join("trace.json");
+    let plain = run(&[
+        "oracle-query",
+        &oracle_path,
+        "--queries",
+        &queries.to_string_lossy(),
+    ]);
+    let traced = run(&[
+        "oracle-query",
+        &oracle_path,
+        "--queries",
+        &queries.to_string_lossy(),
+        "--trace-out",
+        &trace_path.to_string_lossy(),
+    ]);
+    assert!(plain.status.success() && traced.status.success());
+    // Tracing adds exactly one trailing status line; the answers above it
+    // are byte-identical to the untraced run.
+    let traced_text = stdout(&traced);
+    assert!(traced_text.starts_with(&stdout(&plain)), "{traced_text}");
+    assert!(
+        traced_text.contains("wrote Chrome trace to"),
+        "{traced_text}"
+    );
+    assert_trace_file(&trace_path, "query.batch");
+    assert_trace_file(&trace_path, "query.element");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn trace_out_works_on_every_traced_subcommand() {
+    let dir = tempdir("trace-all");
+    let net = sample_network(&dir);
+
+    // build --frozen
+    let frozen_path = dir.join("frozen.ipfa").to_string_lossy().into_owned();
+    let t_build = dir.join("build.json");
+    let built = run(&[
+        "build",
+        &net,
+        "--window",
+        "60",
+        "--frozen",
+        "--out",
+        &frozen_path,
+        "--trace-out",
+        &t_build.to_string_lossy(),
+    ]);
+    assert!(built.status.success(), "{}", stderr(&built));
+    assert_trace_file(&t_build, "build.reverse_scan");
+    assert_trace_file(&t_build, "build.freeze");
+
+    // build --layered, then append and compact against the directory.
+    let oracle_dir = dir.join("layered").to_string_lossy().into_owned();
+    let t_layered = dir.join("layered.json");
+    let layered = run(&[
+        "build",
+        &net,
+        "--window",
+        "60",
+        "--exact",
+        "--layered",
+        "--out",
+        &oracle_dir,
+        "--trace-out",
+        &t_layered.to_string_lossy(),
+    ]);
+    assert!(layered.status.success(), "{}", stderr(&layered));
+    assert_trace_file(&t_layered, "build.reverse_scan");
+
+    let batch = dir.join("batch.txt");
+    std::fs::write(&batch, "0 5 200\n5 9 201\n").unwrap();
+    let t_append = dir.join("append.json");
+    let appended = run(&[
+        "append",
+        &oracle_dir,
+        &batch.to_string_lossy(),
+        "--trace-out",
+        &t_append.to_string_lossy(),
+    ]);
+    assert!(appended.status.success(), "{}", stderr(&appended));
+    assert_trace_file(&t_append, "append.batch");
+
+    let t_compact = dir.join("compact.json");
+    let compacted = run(&[
+        "compact",
+        &oracle_dir,
+        "--trace-out",
+        &t_compact.to_string_lossy(),
+    ]);
+    assert!(compacted.status.success(), "{}", stderr(&compacted));
+    assert_trace_file(&t_compact, "compact.run");
+    assert_trace_file(&t_compact, "compact.rebuild");
+
+    // oracle-query --seeds against the compacted directory.
+    let t_query = dir.join("query.json");
+    let queried = run(&[
+        "oracle-query",
+        &oracle_dir,
+        "--seeds",
+        "0,1",
+        "--trace-out",
+        &t_query.to_string_lossy(),
+    ]);
+    assert!(queried.status.success(), "{}", stderr(&queried));
+    assert_trace_file(&t_query, "load.oracle");
+    assert_trace_file(&t_query, "query.batch");
+
+    // topk and simulate trace their build and run phases.
+    let t_topk = dir.join("topk.json");
+    let topk = run(&[
+        "topk",
+        &net,
+        "--k",
+        "2",
+        "--window-pct",
+        "20",
+        "--threads",
+        "1",
+        "--trace-out",
+        &t_topk.to_string_lossy(),
+    ]);
+    assert!(topk.status.success(), "{}", stderr(&topk));
+    assert_trace_file(&t_topk, "build.reverse_scan");
+    assert_trace_file(&t_topk, "greedy.selection");
+
+    let t_sim = dir.join("sim.json");
+    let sim = run(&[
+        "simulate",
+        &net,
+        "--seeds",
+        "0,1",
+        "--window-pct",
+        "20",
+        "--runs",
+        "5",
+        "--trace-out",
+        &t_sim.to_string_lossy(),
+    ]);
+    assert!(sim.status.success(), "{}", stderr(&sim));
+    assert_trace_file(&t_sim, "simulate.run");
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn profile_reports_attribution_and_slowest_traces() {
+    let dir = tempdir("profile");
+    let net = sample_network(&dir);
+    let oracle_path = dir.join("frozen.ipfa").to_string_lossy().into_owned();
+    let built = run(&[
+        "build",
+        &net,
+        "--window",
+        "60",
+        "--frozen",
+        "--out",
+        &oracle_path,
+    ]);
+    assert!(built.status.success(), "{}", stderr(&built));
+
+    let trace_path = dir.join("profile.json");
+    let out = run(&[
+        "profile",
+        &oracle_path,
+        "--rounds",
+        "16",
+        "--k",
+        "2",
+        "--threads",
+        "1",
+        "--slowest",
+        "4",
+        "--trace-out",
+        &trace_path.to_string_lossy(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("format: IPFA frozen register arena"),
+        "{text}"
+    );
+    assert!(text.contains("answered 16 queries"), "{text}");
+    assert!(text.contains("greedy top-2: ["), "{text}");
+    assert!(text.contains("phase attribution"), "{text}");
+    for event in ["profile.run", "load.oracle", "query.batch", "query.element"] {
+        assert!(
+            text.contains(event),
+            "missing {event} in attribution: {text}"
+        );
+    }
+    assert!(text.contains("slowest 4 traces by wall time:"), "{text}");
+    assert_trace_file(&trace_path, "profile.run");
+    assert_trace_file(&trace_path, "query.element");
+
+    // A query workload file drives the same pipeline.
+    let queries = dir.join("queries.txt");
+    std::fs::write(&queries, "0\n1,2\n").unwrap();
+    let from_file = run(&[
+        "profile",
+        &oracle_path,
+        "--queries",
+        &queries.to_string_lossy(),
+    ]);
+    assert!(from_file.status.success(), "{}", stderr(&from_file));
+    assert!(stdout(&from_file).contains("answered 2 queries"));
+
+    // Out-of-range workload ids fail cleanly.
+    let bad_q = dir.join("bad.txt");
+    std::fs::write(&bad_q, "999999\n").unwrap();
+    let bad = run(&[
+        "profile",
+        &oracle_path,
+        "--queries",
+        &bad_q.to_string_lossy(),
+    ]);
+    assert!(!bad.status.success());
+    assert!(
+        stderr(&bad).contains("inside the oracle"),
+        "{}",
+        stderr(&bad)
+    );
+
     std::fs::remove_dir_all(dir).ok();
 }

@@ -55,6 +55,7 @@ use crate::engine::{ExactStore, ReversePassEngine, SummaryStore, VhllStore};
 use crate::frozen::{FrozenApproxOracle, FrozenExactOracle};
 use crate::obs::{metric_u64, Counter, Gauge, Hist, NoopRecorder, Recorder, Span};
 use crate::oracle::{InfluenceOracle, NodeBitset};
+use crate::trace::{NoopTracer, SpanId, TraceEvent, TraceId, Tracer};
 use infprop_hll::{estimate_from_registers, HyperLogLog, RunningEstimator};
 use infprop_temporal_graph::{Interaction, InteractionNetwork, NodeId, Timestamp, Window};
 use std::fmt;
@@ -264,9 +265,33 @@ impl<S: SummaryStore + Clone> DeltaOverlay<S> {
         universe: usize,
         rec: &R,
     ) -> S {
+        self.build_slice_traced(from, universe, rec, NoopTracer, TraceId::NONE, SpanId::NONE)
+    }
+
+    /// [`build_slice_recorded`](Self::build_slice_recorded) with causal
+    /// tracing: the engine pass becomes a `build.reverse_scan` span of
+    /// `trace` under `parent` — how a compaction's rebuild nests inside its
+    /// `compact.rebuild` span.
+    pub(crate) fn build_slice_traced<R: Recorder, T: Tracer>(
+        &self,
+        from: usize,
+        universe: usize,
+        rec: &R,
+        tracer: T,
+        trace: TraceId,
+        parent: SpanId,
+    ) -> S {
         let mut store = self.template.clone();
         store.ensure_nodes(universe);
-        ReversePassEngine::run_slice_recorded(&self.log[from..], self.window, store, rec)
+        ReversePassEngine::run_slice_traced(
+            &self.log[from..],
+            self.window,
+            store,
+            rec,
+            tracer,
+            trace,
+            parent,
+        )
     }
 
     /// Index of the first log entry that survives a compaction at
@@ -527,27 +552,52 @@ impl LayeredExactOracle {
     /// counting expired interactions and the surviving input size, and
     /// publishing the new generation to the `compaction.generation` gauge.
     pub fn compact_recorded<R: Recorder>(&mut self, rec: &R) {
+        self.compact_traced(rec, NoopTracer);
+    }
+
+    /// [`compact_recorded`](Self::compact_recorded) with causal tracing:
+    /// the whole compaction is one `compact.run` trace whose tree nests a
+    /// `compact.rebuild` span (the survivors' engine pass, with its
+    /// `build.reverse_scan` child) and an `overlay.refresh` span (the
+    /// post-roll overlay rebuild). Payloads carry the surviving input size
+    /// and pending-append counts.
+    pub fn compact_traced<R: Recorder, T: Tracer>(&mut self, rec: &R, tracer: T) {
+        let trace = TraceId(if T::ENABLED {
+            tracer.alloc_traces(1)
+        } else {
+            0
+        });
+        let sp = tracer.begin(trace, SpanId::NONE, TraceEvent::CompactRun);
         let t0 = rec.span_start();
         let new_frontier = self.delta.frontier();
         let universe = self.delta.universe();
         let cut = new_frontier.map_or(0, |f| self.delta.expiry_cut(f));
+        let survivors = self.delta.log().len() - cut;
         if R::ENABLED {
             rec.add(Counter::CompactionRuns, 1);
             rec.add(Counter::CompactionExpired, metric_u64(cut));
-            rec.record(
-                Hist::CompactionInput,
-                metric_u64(self.delta.log().len() - cut),
-            );
+            rec.record(Hist::CompactionInput, metric_u64(survivors));
         }
-        let store = self.delta.build_slice_recorded(cut, universe, rec);
+        let rb = tracer.begin(trace, sp, TraceEvent::CompactRebuild);
+        let store = self
+            .delta
+            .build_slice_traced(cut, universe, rec, tracer, trace, rb);
         self.base = store.freeze(self.delta.window());
+        tracer.end(rb, TraceEvent::CompactRebuild, metric_u64(survivors));
         self.delta.roll_base(new_frontier, cut, universe);
         self.generation += 1;
         if R::ENABLED {
             rec.gauge(Gauge::CompactionGeneration, self.generation);
         }
+        let rf = tracer.begin(trace, sp, TraceEvent::OverlayRefresh);
         self.refresh_recorded(rec);
+        tracer.end(
+            rf,
+            TraceEvent::OverlayRefresh,
+            metric_u64(self.delta.tail().len()),
+        );
         rec.span_end(Span::CompactionRun, t0);
+        tracer.end(sp, TraceEvent::CompactRun, metric_u64(survivors));
     }
 
     /// Entries of `φω(u)` as answered by the layered merge, sorted by
@@ -592,19 +642,48 @@ impl LayeredExactOracle {
         threads: usize,
         rec: &R,
     ) -> Vec<f64> {
+        self.influence_many_frozen_traced(seed_sets, threads, rec, NoopTracer)
+    }
+
+    /// [`influence_many_frozen_recorded`](Self::influence_many_frozen_recorded)
+    /// with causal tracing: one `query.batch` span plus a `query.element`
+    /// span per element (a [`Tracer::lap`] chain — one ring record and one
+    /// clock read each), each element with its own trace id (consecutive in
+    /// seed-set order) and the deduplicated seed-row count as payload.
+    /// Answers are bit-identical with any tracer.
+    pub fn influence_many_frozen_traced<R: Recorder, T: Tracer>(
+        &self,
+        seed_sets: &[Vec<NodeId>],
+        threads: usize,
+        rec: &R,
+        tracer: T,
+    ) -> Vec<f64> {
         let t0 = rec.span_start();
+        let base = if T::ENABLED {
+            tracer.alloc_traces(metric_u64(seed_sets.len()) + 1)
+        } else {
+            0
+        };
+        let batch_span = tracer.begin(TraceId(base), SpanId::NONE, TraceEvent::QueryBatch);
         let out = crate::par::map_ranges_with_recorded(
             seed_sets.len(),
             1,
             threads,
-            || (self.empty_union(), Vec::new()),
-            |(union, dedup), range| {
+            || (self.empty_union(), Vec::new(), tracer.worker()),
+            |(union, dedup, tr), range| {
                 let mut part = Vec::with_capacity(range.len());
+                tr.mark(TraceEvent::QueryElement);
                 for q in range {
                     let tq = rec.span_start();
                     dedup.clear();
                     crate::oracle::push_deduped(&seed_sets[q], dedup);
                     part.push(self.influence_into(dedup, union));
+                    tr.lap(
+                        TraceId(base + 1 + metric_u64(q)),
+                        batch_span,
+                        TraceEvent::QueryElement,
+                        metric_u64(dedup.len()),
+                    );
                     if R::ENABLED {
                         crate::oracle::record_batch_query(dedup.len(), tq, rec);
                     }
@@ -612,6 +691,11 @@ impl LayeredExactOracle {
                 part
             },
             rec,
+        );
+        tracer.end(
+            batch_span,
+            TraceEvent::QueryBatch,
+            metric_u64(seed_sets.len()),
         );
         crate::oracle::finish_batch_recorded(&out, t0, rec);
         out
@@ -920,27 +1004,50 @@ impl LayeredApproxOracle {
     /// [`compact`](Self::compact) timed under the `compaction.run` span;
     /// see [`LayeredExactOracle::compact_recorded`].
     pub fn compact_recorded<R: Recorder>(&mut self, rec: &R) {
+        self.compact_traced(rec, NoopTracer);
+    }
+
+    /// [`compact_recorded`](Self::compact_recorded) with causal tracing;
+    /// same span tree as [`LayeredExactOracle::compact_traced`]
+    /// (`compact.run` ⊃ `compact.rebuild` ⊃ `build.reverse_scan`, then
+    /// `overlay.refresh`).
+    pub fn compact_traced<R: Recorder, T: Tracer>(&mut self, rec: &R, tracer: T) {
+        let trace = TraceId(if T::ENABLED {
+            tracer.alloc_traces(1)
+        } else {
+            0
+        });
+        let sp = tracer.begin(trace, SpanId::NONE, TraceEvent::CompactRun);
         let t0 = rec.span_start();
         let new_frontier = self.delta.frontier();
         let universe = self.delta.universe();
         let cut = new_frontier.map_or(0, |f| self.delta.expiry_cut(f));
+        let survivors = self.delta.log().len() - cut;
         if R::ENABLED {
             rec.add(Counter::CompactionRuns, 1);
             rec.add(Counter::CompactionExpired, metric_u64(cut));
-            rec.record(
-                Hist::CompactionInput,
-                metric_u64(self.delta.log().len() - cut),
-            );
+            rec.record(Hist::CompactionInput, metric_u64(survivors));
         }
-        let store = self.delta.build_slice_recorded(cut, universe, rec);
+        let rb = tracer.begin(trace, sp, TraceEvent::CompactRebuild);
+        let store = self
+            .delta
+            .build_slice_traced(cut, universe, rec, tracer, trace, rb);
         self.base = store.freeze();
+        tracer.end(rb, TraceEvent::CompactRebuild, metric_u64(survivors));
         self.delta.roll_base(new_frontier, cut, universe);
         self.generation += 1;
         if R::ENABLED {
             rec.gauge(Gauge::CompactionGeneration, self.generation);
         }
+        let rf = tracer.begin(trace, sp, TraceEvent::OverlayRefresh);
         self.refresh_recorded(rec);
+        tracer.end(
+            rf,
+            TraceEvent::OverlayRefresh,
+            metric_u64(self.delta.tail().len()),
+        );
         rec.span_end(Span::CompactionRun, t0);
+        tracer.end(sp, TraceEvent::CompactRun, metric_u64(survivors));
     }
 
     /// The base layer's register row, or `None` for nodes the base arena
@@ -973,19 +1080,48 @@ impl LayeredApproxOracle {
         threads: usize,
         rec: &R,
     ) -> Vec<f64> {
+        self.influence_many_frozen_traced(seed_sets, threads, rec, NoopTracer)
+    }
+
+    /// [`influence_many_frozen_recorded`](Self::influence_many_frozen_recorded)
+    /// with causal tracing: one `query.batch` span plus one `query.element`
+    /// span per element (a [`Tracer::lap`] chain — one ring record and one
+    /// clock read each), each with its own consecutive trace id and the
+    /// deduplicated seed-row count as payload. Answers stay bit-identical
+    /// with any tracer.
+    pub fn influence_many_frozen_traced<R: Recorder, T: Tracer>(
+        &self,
+        seed_sets: &[Vec<NodeId>],
+        threads: usize,
+        rec: &R,
+        tracer: T,
+    ) -> Vec<f64> {
         let t0 = rec.span_start();
+        let base = if T::ENABLED {
+            tracer.alloc_traces(metric_u64(seed_sets.len()) + 1)
+        } else {
+            0
+        };
+        let batch_span = tracer.begin(TraceId(base), SpanId::NONE, TraceEvent::QueryBatch);
         let out = crate::par::map_ranges_with_recorded(
             seed_sets.len(),
             1,
             threads,
-            Vec::new,
-            |dedup: &mut Vec<NodeId>, range| {
+            || (Vec::new(), tracer.worker()),
+            |(dedup, tr): &mut (Vec<NodeId>, T), range| {
                 let mut part = Vec::with_capacity(range.len());
+                tr.mark(TraceEvent::QueryElement);
                 for q in range {
                     let tq = rec.span_start();
                     dedup.clear();
                     crate::oracle::push_deduped(&seed_sets[q], dedup);
                     part.push(self.influence(dedup));
+                    tr.lap(
+                        TraceId(base + 1 + metric_u64(q)),
+                        batch_span,
+                        TraceEvent::QueryElement,
+                        metric_u64(dedup.len()),
+                    );
                     if R::ENABLED {
                         crate::oracle::record_batch_query(dedup.len(), tq, rec);
                     }
@@ -993,6 +1129,11 @@ impl LayeredApproxOracle {
                 part
             },
             rec,
+        );
+        tracer.end(
+            batch_span,
+            TraceEvent::QueryBatch,
+            metric_u64(seed_sets.len()),
         );
         crate::oracle::finish_batch_recorded(&out, t0, rec);
         out

@@ -32,6 +32,7 @@
 //! every batch has size one and the engine follows the paper verbatim.
 
 use crate::obs::{metric_u64, Counter, HeapBytes, Hist, NoopRecorder, Recorder, Span};
+use crate::trace::{NoopTracer, SpanId, TraceEvent, TraceId, Tracer};
 use infprop_hll::{MergeObserver, VersionEntry, VersionedHll};
 use infprop_temporal_graph::{Interaction, InteractionNetwork, NodeId, Timestamp, Window};
 use std::fmt;
@@ -864,7 +865,36 @@ impl<S: SummaryStore, R: Recorder> ReversePassEngine<S, R> {
     /// # Panics
     ///
     /// Panics if `window < 1`.
-    pub fn run_recorded(net: &InteractionNetwork, window: Window, mut store: S, rec: &R) -> S {
+    pub fn run_recorded(net: &InteractionNetwork, window: Window, store: S, rec: &R) -> S {
+        Self::run_traced(
+            net,
+            window,
+            store,
+            rec,
+            NoopTracer,
+            TraceId::NONE,
+            SpanId::NONE,
+        )
+    }
+
+    /// [`run_recorded`](Self::run_recorded) with causal tracing: the whole
+    /// reverse pass additionally becomes one `build.reverse_scan` span of
+    /// `trace` under `parent` (payload: interactions scanned). With
+    /// [`NoopTracer`] this monomorphizes back to the untraced pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 1`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_traced<T: Tracer>(
+        net: &InteractionNetwork,
+        window: Window,
+        mut store: S,
+        rec: &R,
+        tracer: T,
+        trace: TraceId,
+        parent: SpanId,
+    ) -> S {
         window.assert_valid();
         // The reverse scan (Lemma 1) is only sound over a time-sorted input;
         // InteractionNetwork guarantees this, so a violation here means the
@@ -876,10 +906,16 @@ impl<S: SummaryStore, R: Recorder> ReversePassEngine<S, R> {
             "interaction network is not sorted by time"
         );
         let t0 = rec.span_start();
+        let sp = tracer.begin(trace, parent, TraceEvent::BuildReverseScan);
         store.ensure_nodes(net.num_nodes());
         for_each_tie_batch(net.interactions(), |batch| {
             apply_batch_recorded(&mut store, batch, window, rec);
         });
+        tracer.end(
+            sp,
+            TraceEvent::BuildReverseScan,
+            metric_u64(net.interactions().len()),
+        );
         rec.span_end(Span::EngineRun, t0);
         store
     }
@@ -892,13 +928,44 @@ impl<S: SummaryStore, R: Recorder> ReversePassEngine<S, R> {
     /// # Panics
     ///
     /// Panics if `window < 1`.
-    pub fn run_slice_recorded(ints: &[Interaction], window: Window, mut store: S, rec: &R) -> S {
+    pub fn run_slice_recorded(ints: &[Interaction], window: Window, store: S, rec: &R) -> S {
+        Self::run_slice_traced(
+            ints,
+            window,
+            store,
+            rec,
+            NoopTracer,
+            TraceId::NONE,
+            SpanId::NONE,
+        )
+    }
+
+    /// [`run_slice_recorded`](Self::run_slice_recorded) with causal tracing
+    /// — the slice pass becomes one `build.reverse_scan` span of `trace`
+    /// under `parent` (payload: interactions scanned). This is how a
+    /// compaction's rebuild pass shows up inside its `compact.rebuild`
+    /// span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 1`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_slice_traced<T: Tracer>(
+        ints: &[Interaction],
+        window: Window,
+        mut store: S,
+        rec: &R,
+        tracer: T,
+        trace: TraceId,
+        parent: SpanId,
+    ) -> S {
         window.assert_valid();
         debug_assert!(
             ints.windows(2).all(|w| w[0].time <= w[1].time),
             "interaction slice is not sorted by time"
         );
         let t0 = rec.span_start();
+        let sp = tracer.begin(trace, parent, TraceEvent::BuildReverseScan);
         let min_nodes = ints
             .iter()
             .map(|i| i.src.index().max(i.dst.index()) + 1)
@@ -908,6 +975,7 @@ impl<S: SummaryStore, R: Recorder> ReversePassEngine<S, R> {
         for_each_tie_batch(ints, |batch| {
             apply_batch_recorded(&mut store, batch, window, rec);
         });
+        tracer.end(sp, TraceEvent::BuildReverseScan, metric_u64(ints.len()));
         rec.span_end(Span::EngineRun, t0);
         store
     }

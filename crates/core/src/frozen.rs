@@ -31,6 +31,7 @@ use crate::kernel;
 use crate::obs::{metric_u64, Gauge, HeapBytes, NoopRecorder, Recorder};
 use crate::oracle::{finish_batch_recorded, push_deduped, record_batch_query};
 use crate::oracle::{InfluenceOracle, NodeBitset};
+use crate::trace::{NoopTracer, SpanId, TraceEvent, TraceId, Tracer};
 use infprop_hll::{estimate_from_registers, HyperLogLog, RunningEstimator, VersionedHll};
 use infprop_temporal_graph::{NodeId, Timestamp, Window};
 use std::ops::Range;
@@ -232,19 +233,56 @@ impl FrozenExactOracle {
         threads: usize,
         rec: &R,
     ) -> Vec<f64> {
+        self.influence_many_frozen_traced(seed_sets, threads, rec, NoopTracer)
+    }
+
+    /// [`influence_many_frozen_recorded`](Self::influence_many_frozen_recorded)
+    /// with causal tracing: the batch becomes one `query.batch` span and
+    /// every element gets its **own trace id** (consecutive from one
+    /// [`Tracer::alloc_traces`] reservation, in seed-set order) under a
+    /// `query.element` span, emitted on the worker lane that answered it
+    /// (payload: deduplicated seed rows merged). With [`NoopTracer`] this
+    /// monomorphizes back to the recorded path; answers are bit-identical
+    /// either way.
+    pub fn influence_many_frozen_traced<R: Recorder, T: Tracer>(
+        &self,
+        seed_sets: &[Vec<NodeId>],
+        threads: usize,
+        rec: &R,
+        tracer: T,
+    ) -> Vec<f64> {
         let t0 = rec.span_start();
+        let base = if T::ENABLED {
+            tracer.alloc_traces(metric_u64(seed_sets.len()) + 1)
+        } else {
+            0
+        };
+        let batch_span = tracer.begin(TraceId(base), SpanId::NONE, TraceEvent::QueryBatch);
         let out = crate::par::map_ranges_with_recorded(
             seed_sets.len(),
             1,
             threads,
-            || (NodeBitset::with_nodes(self.num_nodes()), Vec::new()),
-            |(bits, dedup), range| {
+            || {
+                (
+                    NodeBitset::with_nodes(self.num_nodes()),
+                    Vec::new(),
+                    tracer.worker(),
+                )
+            },
+            |(bits, dedup, tr), range| {
                 let mut part = Vec::with_capacity(range.len());
+                tr.mark(TraceEvent::QueryElement);
                 for q in range {
                     let tq = rec.span_start();
                     dedup.clear();
                     push_deduped(&seed_sets[q], dedup);
                     part.push(self.influence_deduped(dedup, bits));
+                    tr.lap(
+                        TraceId(base + 1 + metric_u64(q)),
+                        batch_span,
+                        TraceEvent::QueryElement,
+                        metric_u64(dedup.len()),
+                    );
                     if R::ENABLED {
                         record_batch_query(dedup.len(), tq, rec);
                     }
@@ -252,6 +290,11 @@ impl FrozenExactOracle {
                 part
             },
             rec,
+        );
+        tracer.end(
+            batch_span,
+            TraceEvent::QueryBatch,
+            metric_u64(seed_sets.len()),
         );
         finish_batch_recorded(&out, t0, rec);
         out
@@ -563,14 +606,49 @@ impl FrozenApproxOracle {
         threads: usize,
         rec: &R,
     ) -> Vec<f64> {
+        self.influence_many_frozen_traced(seed_sets, threads, rec, NoopTracer)
+    }
+
+    /// [`influence_many_frozen_recorded`](Self::influence_many_frozen_recorded)
+    /// with causal tracing: one `query.batch` span for the batch and one
+    /// `query.element` span **per element with its own trace id**
+    /// (consecutive from one [`Tracer::alloc_traces`] reservation, in
+    /// seed-set order), emitted on the answering worker's lane as a
+    /// [`Tracer::lap`] chain — one ring record and one clock read per
+    /// element, the per-element floor. The payload is the seed-row count
+    /// merged (deduplicated when metrics recording is also on; raw
+    /// otherwise — max-merge is idempotent, so duplicates cannot change
+    /// the answer). Tracing (like recording) answers query-at-a-time so
+    /// each element's span is honest; both orders merge and absorb
+    /// registers identically, so answers stay bit-identical.
+    pub fn influence_many_frozen_traced<R: Recorder, T: Tracer>(
+        &self,
+        seed_sets: &[Vec<NodeId>],
+        threads: usize,
+        rec: &R,
+        tracer: T,
+    ) -> Vec<f64> {
         let t0 = rec.span_start();
+        let base = if T::ENABLED {
+            tracer.alloc_traces(metric_u64(seed_sets.len()) + 1)
+        } else {
+            0
+        };
+        let batch_span = tracer.begin(TraceId(base), SpanId::NONE, TraceEvent::QueryBatch);
         let out = crate::par::map_ranges_with_recorded(
             seed_sets.len(),
             GROUP,
             threads,
-            Vec::new,
-            |dedup, range| self.influence_group_range(seed_sets, range, dedup, rec),
+            || (Vec::new(), tracer.worker()),
+            |(dedup, tr), range| {
+                self.influence_group_range(seed_sets, range, dedup, rec, *tr, (base, batch_span))
+            },
             rec,
+        );
+        tracer.end(
+            batch_span,
+            TraceEvent::QueryBatch,
+            metric_u64(seed_sets.len()),
         );
         finish_batch_recorded(&out, t0, rec);
         out
@@ -582,25 +660,49 @@ impl FrozenApproxOracle {
     /// row working set stays L1-resident across tiles), then the four
     /// independent estimators absorb their merged blocks back to back,
     /// overlapping the dependent-add chains a lone query would serialize
-    /// on. The recorded
-    /// variant answers query-at-a-time instead so each latency lands in
-    /// `kernel.query_ns`; both orders merge and absorb every query's
-    /// registers in ascending position order, so answers are bit-identical.
-    fn influence_group_range<R: Recorder>(
+    /// on. The recorded and traced
+    /// variants answer query-at-a-time instead so each latency lands in
+    /// `kernel.query_ns` (and each element's `query.element` span is
+    /// honest); both orders merge and absorb every query's registers in
+    /// ascending position order, so answers are bit-identical.
+    /// `batch_trace` is the batch's `(first trace id, batch span)` pair
+    /// from the traced entry point.
+    fn influence_group_range<R: Recorder, T: Tracer>(
         &self,
         seed_sets: &[Vec<NodeId>],
         range: Range<usize>,
         dedup: &mut Vec<NodeId>,
         rec: &R,
+        tracer: T,
+        batch_trace: (u64, SpanId),
     ) -> Vec<f64> {
         let mut out = Vec::with_capacity(range.len());
-        if R::ENABLED {
+        if R::ENABLED || T::ENABLED {
+            let (base, batch_span) = batch_trace;
+            tracer.mark(TraceEvent::QueryElement);
             for q in range {
                 let tq = rec.span_start();
-                dedup.clear();
-                push_deduped(&seed_sets[q], dedup);
-                out.push(self.influence(dedup));
-                record_batch_query(dedup.len(), tq, rec);
+                // Metrics want the deduplicated row count; a trace-only run
+                // skips the dedup pass entirely — register max-merge is
+                // idempotent, so duplicate seed rows can't change a bit of
+                // the answer, and the lap payload reports raw seed rows.
+                let seeds: &[NodeId] = if R::ENABLED {
+                    dedup.clear();
+                    push_deduped(&seed_sets[q], dedup);
+                    dedup
+                } else {
+                    &seed_sets[q]
+                };
+                out.push(self.influence(seeds));
+                tracer.lap(
+                    TraceId(base + 1 + metric_u64(q)),
+                    batch_span,
+                    TraceEvent::QueryElement,
+                    metric_u64(seeds.len()),
+                );
+                if R::ENABLED {
+                    record_batch_query(seeds.len(), tq, rec);
+                }
             }
             return out;
         }

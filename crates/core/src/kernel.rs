@@ -33,6 +33,15 @@
 //! (`max` on `u8` is exact — there is no float in sight until the merged
 //! registers reach the estimator), so callers may dispatch freely without
 //! perturbing the frozen-vs-live parity guarantees.
+//!
+//! The kernels themselves carry no instrumentation: both the recorder
+//! ([`crate::obs`]) and the causal tracer ([`crate::trace`]) observe the
+//! query path from its *callers* (`query.batch`/`query.element` spans
+//! around the batch drivers in `frozen`/`delta`), so the merge inner loop
+//! stays alloc-free and branch-free with or without tracing. The zero-cost
+//! claim is enforced, not assumed — `trace_noop_alloc.rs` proves the
+//! `NoopTracer` path never allocates, and the parity proptests re-check
+//! bit-identical answers with the live ring tracer attached.
 
 /// Byte width of one SWAR lane group (one `u64` word).
 pub const SWAR_LANES: usize = 8;

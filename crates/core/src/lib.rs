@@ -96,6 +96,7 @@ pub mod par;
 mod persist;
 mod profile;
 mod stream;
+pub mod trace;
 
 /// The deterministic fast hash map used on every IRS hot path (an Fx-style
 /// integer hasher instead of SipHash; HashDoS is not a threat model for an
@@ -119,10 +120,14 @@ pub use frozen::{FrozenApproxOracle, FrozenExactOracle};
 pub use invariants::{validate_all, InvariantViolation};
 pub use maximize::{
     greedy_top_k, greedy_top_k_paper, greedy_top_k_paper_threads, greedy_top_k_recorded,
-    greedy_top_k_threads, Selection,
+    greedy_top_k_threads, greedy_top_k_traced, Selection,
 };
 pub use obs::{HeapBytes, MetricsRecorder, MetricsSnapshot, NoopRecorder, Recorder};
 pub use oracle::{ApproxOracle, ExactOracle, InfluenceOracle, NodeBitset};
 pub use persist::{LayeredKind, LayeredManifest, MANIFEST_FILE};
 pub use profile::{ContactDirection, SlidingContacts};
 pub use stream::{ApproxIrsStream, ExactIrsStream};
+pub use trace::{
+    attribution, trace_to_json, validate_trace_json, FlightRecorder, LaneTracer, NoopTracer,
+    PhaseStat, RingTracer, SpanId, TraceEvent, TraceId, TraceRecord, Tracer,
+};

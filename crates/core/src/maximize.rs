@@ -17,8 +17,9 @@
 //!   next node's individual size (an upper bound on its gain). Kept for
 //!   fidelity and as a cross-check in tests.
 
-use crate::obs::{Counter, NoopRecorder, Recorder, Span};
+use crate::obs::{metric_u64, Counter, NoopRecorder, Recorder, Span};
 use crate::oracle::InfluenceOracle;
+use crate::trace::{NoopTracer, SpanId, TraceEvent, TraceId, Tracer};
 use infprop_temporal_graph::NodeId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -103,10 +104,37 @@ where
     O: InfluenceOracle + Sync,
     R: Recorder,
 {
+    greedy_top_k_traced(oracle, k, threads, rec, NoopTracer)
+}
+
+/// [`greedy_top_k_recorded`] with causal tracing: the whole selection is
+/// one `greedy.selection` span (its own trace; payload: seeds picked), and
+/// every fresh pick fires a `greedy.round` instant carrying the round
+/// number. Selections stay byte-identical with any tracer.
+pub fn greedy_top_k_traced<O, R, T>(
+    oracle: &O,
+    k: usize,
+    threads: usize,
+    rec: &R,
+    tracer: T,
+) -> Vec<Selection>
+where
+    O: InfluenceOracle + Sync,
+    R: Recorder,
+    T: Tracer,
+{
+    let trace = TraceId(if T::ENABLED {
+        tracer.alloc_traces(1)
+    } else {
+        0
+    });
+    let sp = tracer.begin(trace, SpanId::NONE, TraceEvent::GreedySelection);
     let t0 = rec.span_start();
     let individuals = oracle.individuals_recorded(threads, rec);
-    let picks = greedy_top_k_with_individuals_recorded(oracle, k, &individuals, rec);
+    let picks =
+        greedy_top_k_with_individuals_traced(oracle, k, &individuals, rec, tracer, trace, sp);
     rec.span_end(Span::GreedySelect, t0);
+    tracer.end(sp, TraceEvent::GreedySelection, metric_u64(picks.len()));
     picks
 }
 
@@ -127,6 +155,29 @@ fn greedy_top_k_with_individuals_recorded<O: InfluenceOracle, R: Recorder>(
     k: usize,
     individuals: &[f64],
     rec: &R,
+) -> Vec<Selection> {
+    greedy_top_k_with_individuals_traced(
+        oracle,
+        k,
+        individuals,
+        rec,
+        NoopTracer,
+        TraceId::NONE,
+        SpanId::NONE,
+    )
+}
+
+/// The CELF loop with round/refresh counting *and* per-pick `greedy.round`
+/// instants under the caller's `greedy.selection` span — the single
+/// implementation every greedy entry point monomorphizes from.
+fn greedy_top_k_with_individuals_traced<O: InfluenceOracle, R: Recorder, T: Tracer>(
+    oracle: &O,
+    k: usize,
+    individuals: &[f64],
+    rec: &R,
+    tracer: T,
+    trace: TraceId,
+    parent: SpanId,
 ) -> Vec<Selection> {
     let n = oracle.num_nodes();
     let mut heap: BinaryHeap<Candidate> = individuals
@@ -160,6 +211,7 @@ fn greedy_top_k_with_individuals_recorded<O: InfluenceOracle, R: Recorder>(
                 cumulative,
             });
             round += 1;
+            tracer.instant(trace, parent, TraceEvent::GreedyRound, metric_u64(round));
             rec.add(Counter::GreedyRounds, 1);
         } else {
             let gain = oracle.marginal_gain(&covered, top.node);

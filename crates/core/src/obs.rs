@@ -663,6 +663,17 @@ impl HistSnapshot {
         bucket_upper(self.buckets.len().saturating_sub(1))
     }
 
+    /// Mean observed value (`sum / count`), zero when empty. Derived from
+    /// the exact running sum, so unlike [`quantile`](Self::quantile) it is
+    /// not quantized to bucket edges.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        // u64 → f64 rounds (never traps) beyond 2^53; fine for a mean.
+        self.sum as f64 / self.count_as_f64()
+    }
+
     fn count_as_f64(&self) -> f64 {
         // u64 → f64 is exact for every count a test run can reach and only
         // rounds (never traps) beyond 2^53; float targets are lint-exempt.
@@ -1027,6 +1038,65 @@ mod tests {
             buckets: vec![0; HIST_BUCKETS],
         };
         assert_eq!(h.quantile(0.5), 0);
+        // Degenerate q on the empty histogram stays zero too.
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(-1.0), 0);
+        assert_eq!(h.quantile(2.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_degenerate_q_clamps_to_rank_bounds() {
+        let rec = MetricsRecorder::new();
+        for v in [1, 1500] {
+            rec.record(Hist::OracleUnionSize, v);
+        }
+        let snap = rec.snapshot();
+        let h = snap
+            .hists
+            .iter()
+            .find(|h| h.name == "oracle.union_size")
+            .unwrap();
+        // q ≤ 0 clamps to rank 1 (the smallest bucket), q > 1 to rank
+        // `count` (the largest) — never a panic, never an out-of-range rank.
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(-3.5), 1);
+        assert_eq!(h.quantile(1.0), 2047);
+        assert_eq!(h.quantile(7.0), 2047);
+    }
+
+    #[test]
+    fn quantile_all_in_one_bucket_is_flat() {
+        let rec = MetricsRecorder::new();
+        // All 50 observations land in bucket 6 (32..63).
+        for _ in 0..50 {
+            rec.record(Hist::OracleUnionSize, 40);
+        }
+        let snap = rec.snapshot();
+        let h = snap
+            .hists
+            .iter()
+            .find(|h| h.name == "oracle.union_size")
+            .unwrap();
+        // Every quantile reports the same bucket edge.
+        for q in [0.0, 0.01, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 63, "q={q}");
+        }
+        assert_eq!(h.mean(), 40.0);
+    }
+
+    #[test]
+    fn mean_is_exact_not_bucketed() {
+        let rec = MetricsRecorder::new();
+        rec.record(Hist::OracleUnionSize, 10);
+        rec.record(Hist::OracleUnionSize, 21);
+        let snap = rec.snapshot();
+        let h = snap
+            .hists
+            .iter()
+            .find(|h| h.name == "oracle.union_size")
+            .unwrap();
+        assert_eq!(h.mean(), 15.5);
     }
 
     #[test]

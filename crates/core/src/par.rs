@@ -88,6 +88,12 @@ where
 /// the shape of every oracle batch query, where the scratch is a reusable
 /// union buffer that would otherwise be allocated per index.
 ///
+/// `init` is also the per-worker identity seam: it runs exactly once on
+/// each worker before its first chunk, so callers that need a per-thread
+/// handle — the traced batch queries claim a
+/// [`Tracer::worker`](crate::trace::Tracer::worker) ring lane this way —
+/// put it in the scratch tuple, with no fan-out API of its own.
+///
 /// # Determinism contract
 ///
 /// The output is byte-identical to

@@ -10,10 +10,10 @@
 //! 2. **no-panic** — contracted functions must be transitively panic-free:
 //!    no `unwrap`/`expect`, no `panic!`-family or `assert!`-family macros
 //!    (`debug_assert!` is compiled out and stays legal), no indexing.
-//! 3. **metrics** — the metric registry declared in `obs.rs` must be
-//!    internally consistent, every metric-shaped string literal in library
-//!    code and CI workflows must be registered, and no variant may be
-//!    orphaned.
+//! 3. **metrics** — the metric registry declared in `obs.rs` (merged with
+//!    the `TraceEvent` roster declared in `trace.rs`) must be internally
+//!    consistent, every metric-shaped string literal in library code and
+//!    CI workflows must be registered, and no variant may be orphaned.
 //! 4. **stale-waiver** — `// xtask-allow:` comments that no longer suppress
 //!    any lint or analyzer finding (or name an unknown rule) are
 //!    themselves diagnostics.
@@ -503,17 +503,60 @@ fn metrics_pass(
         // the metrics pass entirely.
         return Ok(MetricRegistry::default());
     };
-    let reg = registry::extract_registry(&sources[obs_idx]);
-    let obs_path = files[obs_idx].ctx.path.clone();
+    let trace_idx = files
+        .iter()
+        .position(|f| f.ctx.path.ends_with(Path::new("core/src/trace.rs")));
 
-    for (line, message) in registry::check_registry(&reg) {
-        diagnostics.push(Diagnostic {
-            file: obs_path.clone(),
-            line,
-            pass: Pass::Metrics,
-            message,
-            chain: Vec::new(),
-        });
+    // Per-file registries first — internal-consistency findings point at
+    // the declaring file — then one merged registry for every cross-check
+    // and for `--emit-registry`.
+    let mut declaring: Vec<usize> = vec![obs_idx];
+    declaring.extend(trace_idx);
+    let mut reg = MetricRegistry::default();
+    // Declaring file of each merged metric, parallel to `reg.metrics`.
+    let mut decl_file: Vec<usize> = Vec::new();
+    for &fi in &declaring {
+        let part = registry::extract_registry(&sources[fi]);
+        for (line, message) in registry::check_registry(&part) {
+            diagnostics.push(Diagnostic {
+                file: files[fi].ctx.path.clone(),
+                line,
+                pass: Pass::Metrics,
+                message,
+                chain: Vec::new(),
+            });
+        }
+        decl_file.extend(std::iter::repeat(fi).take(part.metrics.len()));
+        reg.merge(part);
+    }
+    // Cross-file collisions: a trace event may not reuse a metric name
+    // (intra-file duplicates were already reported above).
+    let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, m) in reg.metrics.iter().enumerate() {
+        if m.name.is_empty() {
+            continue;
+        }
+        match seen.get(m.name.as_str()) {
+            Some(&prev) if decl_file[prev] != decl_file[i] => {
+                diagnostics.push(Diagnostic {
+                    file: files[decl_file[i]].ctx.path.clone(),
+                    line: m.line,
+                    pass: Pass::Metrics,
+                    message: format!(
+                        "name `{}` (`{}::{}`) is already declared in {}",
+                        m.name,
+                        m.kind,
+                        m.variant,
+                        files[decl_file[prev]].ctx.path.display()
+                    ),
+                    chain: Vec::new(),
+                });
+            }
+            Some(_) => {}
+            None => {
+                seen.insert(m.name.as_str(), i);
+            }
+        }
     }
 
     // Literal cross-check over library sources…
@@ -564,34 +607,36 @@ fn metrics_pass(
         }
     }
 
-    // Orphan detection: variants never referenced outside obs.rs.
+    // Orphan detection: variants never referenced outside their declaring
+    // file (obs.rs for metrics, trace.rs for trace events).
     let mut referenced: BTreeSet<(String, String)> = BTreeSet::new();
     for (fi, src) in sources.iter().enumerate() {
-        if fi == obs_idx {
+        if declaring.contains(&fi) {
             continue;
         }
         referenced.extend(registry::variant_references(src));
     }
-    for m in &reg.metrics {
+    for (i, m) in reg.metrics.iter().enumerate() {
         if referenced.contains(&(m.kind.clone(), m.variant.clone())) {
             continue;
         }
-        let waived = allows[obs_idx]
+        let fi = decl_file[i];
+        let waived = allows[fi]
             .get(&m.line)
             .is_some_and(|names| names.contains("metric-orphan"));
         if waived {
-            consumed.insert((obs_idx, m.line, "metric-orphan".to_string()));
+            consumed.insert((fi, m.line, "metric-orphan".to_string()));
             if let Some(prev) = m.line.checked_sub(1) {
-                consumed.insert((obs_idx, prev, "metric-orphan".to_string()));
+                consumed.insert((fi, prev, "metric-orphan".to_string()));
             }
             continue;
         }
         diagnostics.push(Diagnostic {
-            file: obs_path.clone(),
+            file: files[fi].ctx.path.clone(),
             line: m.line,
             pass: Pass::Metrics,
             message: format!(
-                "orphaned metric `{}::{}` (`{}`): no reference outside obs.rs",
+                "orphaned metric `{}::{}` (`{}`): no reference outside its declaring file",
                 m.kind, m.variant, m.name
             ),
             chain: Vec::new(),

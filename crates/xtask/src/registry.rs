@@ -2,9 +2,11 @@
 //!
 //! `infprop_core::obs` declares every metric the project can record as an
 //! enum variant (`Counter` / `Gauge` / `Hist` / `Span`) paired with a dotted
-//! string name in the kind's `name()` match and an `ALL` roster array. This
-//! module recovers that registry *statically* from the `obs.rs` token
-//! stream, so `cargo xtask analyze` can:
+//! string name in the kind's `name()` match and an `ALL` roster array, and
+//! `infprop_core::trace` declares every causal-trace span/instant name the
+//! same way (`TraceEvent`). This module recovers that registry *statically*
+//! from the `obs.rs` / `trace.rs` token streams, so `cargo xtask analyze`
+//! can:
 //!
 //! * verify the registry's internal consistency (every variant named
 //!   exactly once, present in `ALL`, and globally unique),
@@ -18,25 +20,26 @@
 use crate::lexer::{lex, Token, TokenKind};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// The four metric kinds `obs.rs` declares.
-pub const KINDS: [&str; 4] = ["Counter", "Gauge", "Hist", "Span"];
+/// The registered name kinds: the four metric enums `obs.rs` declares plus
+/// the trace-event roster `trace.rs` declares in the same idiom.
+pub const KINDS: [&str; 5] = ["Counter", "Gauge", "Hist", "Span", "TraceEvent"];
 
 /// One metric: its kind, variant identifier, declared name, and the
 /// declaration line (of the variant inside the enum).
 #[derive(Debug, Clone)]
 pub struct Metric {
-    /// Enum kind: `Counter`, `Gauge`, `Hist`, or `Span`.
+    /// Enum kind: `Counter`, `Gauge`, `Hist`, `Span`, or `TraceEvent`.
     pub kind: String,
     /// Variant identifier (`EngineInteractions`).
     pub variant: String,
     /// Dotted metric name (`engine.interactions`), empty if the `name()`
     /// match has no arm for this variant.
     pub name: String,
-    /// 1-based line of the variant declaration in `obs.rs`.
+    /// 1-based line of the variant declaration in its declaring file.
     pub line: u32,
 }
 
-/// The registry recovered from `obs.rs`.
+/// The registry recovered from `obs.rs` (and, merged in, `trace.rs`).
 #[derive(Debug, Default)]
 pub struct MetricRegistry {
     /// All metrics in declaration order.
@@ -62,10 +65,18 @@ impl MetricRegistry {
             .collect()
     }
 
-    /// Serializes the registry as JSON: `{"counter": ["engine.run", …], …}`
-    /// with kinds lowercased and names sorted. Hand-rolled (the analyzer is
-    /// dependency-free), escaping is unnecessary because names are
-    /// validated dotted identifiers.
+    /// Folds another file's extraction into this registry (used to merge
+    /// the `trace.rs` event roster into the `obs.rs` metric catalogue).
+    pub fn merge(&mut self, other: MetricRegistry) {
+        self.metrics.extend(other.metrics);
+        self.roster_len.extend(other.roster_len);
+        self.roster.extend(other.roster);
+    }
+
+    /// Serializes the registry as JSON: `{"counter": ["engine.run", …], …,
+    /// "trace_event": […]}` with kinds snake_cased and names sorted.
+    /// Hand-rolled (the analyzer is dependency-free), escaping is
+    /// unnecessary because names are validated dotted identifiers.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         for (i, kind) in KINDS.iter().enumerate() {
@@ -76,7 +87,7 @@ impl MetricRegistry {
                 .map(|m| m.name.as_str())
                 .collect();
             names.sort_unstable();
-            out.push_str(&format!("  \"{}\": [", kind.to_lowercase()));
+            out.push_str(&format!("  \"{}\": [", kind_json_key(kind)));
             for (j, n) in names.iter().enumerate() {
                 if j > 0 {
                     out.push_str(", ");
@@ -91,7 +102,23 @@ impl MetricRegistry {
     }
 }
 
-/// Extracts the registry from `obs.rs` source text.
+/// CamelCase kind → snake_case JSON key (`TraceEvent` → `trace_event`).
+fn kind_json_key(kind: &str) -> String {
+    let mut out = String::with_capacity(kind.len() + 2);
+    for (i, c) in kind.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Extracts the registry from `obs.rs` (or `trace.rs`) source text.
 pub fn extract_registry(obs_source: &str) -> MetricRegistry {
     let toks = lex(obs_source);
     let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
@@ -484,5 +511,49 @@ impl Gauge {
         assert!(json.contains("\"counter\": [\"engine.runs\", \"oracle.hits\"]"));
         assert!(json.contains("\"gauge\": [\"engine.depth\"]"));
         assert!(json.contains("\"hist\": []"));
+    }
+
+    const TRACE: &str = r#"
+pub enum TraceEvent { QueryBatch, QueryElement, }
+impl TraceEvent {
+    pub const ALL: [TraceEvent; 2] = [TraceEvent::QueryBatch, TraceEvent::QueryElement];
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceEvent::QueryBatch => "query.batch",
+            TraceEvent::QueryElement => "query.element",
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn extracts_and_merges_trace_events() {
+        let mut reg = extract_registry(OBS);
+        reg.merge(extract_registry(TRACE));
+        assert!(check_registry(&reg).is_empty());
+        assert!(reg.names().contains("query.batch"));
+        assert_eq!(reg.roster["TraceEvent"], vec!["QueryBatch", "QueryElement"]);
+        let json = reg.to_json();
+        assert!(
+            json.contains("\"trace_event\": [\"query.batch\", \"query.element\"]"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn trace_event_roster_drift_is_caught() {
+        let drifted = TRACE.replace("TraceEvent::QueryElement => \"query.element\",", "");
+        let reg = extract_registry(&drifted);
+        let msgs: Vec<String> = check_registry(&reg).into_iter().map(|(_, m)| m).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("no `name()` arm")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn trace_event_references_count_for_orphan_detection() {
+        let refs = variant_references("let sp = tracer.begin(t, p, TraceEvent::QueryBatch);");
+        assert!(refs.contains(&("TraceEvent".to_string(), "QueryBatch".to_string())));
     }
 }

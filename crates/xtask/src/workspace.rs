@@ -27,8 +27,9 @@ use std::path::{Path, PathBuf};
 ///   facade) get the portable rules.
 ///
 /// All non-tooling crates get `no-raw-timing`: clocks live behind the
-/// `infprop_core::obs` recorder, whose own implementation file (`obs.rs`)
-/// is the one sanctioned call site (see [`collect_crate`]).
+/// `infprop_core::obs` recorder and the `infprop_core::trace` ring tracer,
+/// whose implementation files (`obs.rs`, `trace.rs`) are the sanctioned
+/// call sites (see [`collect_crate`]).
 pub fn rules_for_crate(crate_dir: &str) -> Vec<Rule> {
     match crate_dir {
         "xtask" | "bench" => vec![Rule::ForbidUnsafe],
@@ -129,11 +130,16 @@ fn collect_crate(
                     .file_name()
                     .is_some_and(|n| n == "lib.rs" || n == "main.rs")
                     && path.parent() == Some(src);
-                // The observability module is where clocks are implemented;
-                // it is the one library file allowed raw `Instant`.
-                let is_obs = crate_dir == "core" && path.file_name().is_some_and(|n| n == "obs.rs");
+                // The observability and tracing modules are where clocks
+                // are implemented; they are the only library files allowed
+                // raw `Instant` (everything else reads time through the
+                // recorder or a tracer).
+                let is_clock_impl = crate_dir == "core"
+                    && path
+                        .file_name()
+                        .is_some_and(|n| n == "obs.rs" || n == "trace.rs");
                 let mut rules = rules.clone();
-                if is_obs {
+                if is_clock_impl {
                     rules.retain(|r| *r != Rule::NoRawTiming);
                 }
                 // The layered-oracle delta path promises clock-free appends
