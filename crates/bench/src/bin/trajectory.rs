@@ -28,12 +28,15 @@
 //! dense-store PR. Compare apples to apples: same scale, same machine
 //! class.
 
+use infprop_core::serve::{Client, ServedOracle, Server, ServerConfig};
 use infprop_core::{
-    ApproxIrs, ExactIrs, HeapBytes, InfluenceOracle, MetricsRecorder, NoopRecorder, RingTracer,
+    ApproxIrs, ArenaBytes, ExactIrs, FrozenExactOracle, HeapBytes, InfluenceOracle,
+    MetricsRecorder, NoopRecorder, NoopTracer, RingTracer,
 };
 use infprop_temporal_graph::{InteractionNetwork, NodeId, Window};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -440,6 +443,222 @@ fn profile_json(r: &ProfileReport) -> String {
     )
 }
 
+/// Exact-rank percentile over an ascending latency sample.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// One closed-loop serving measurement: `clients` concurrent connections,
+/// each answering `BATCHES` influence frames of the same `queries` batch.
+/// Every served answer is asserted bit-identical to `expected` (connect and
+/// warm-up frames sit outside the timed window). Returns aggregate
+/// queries/s plus the merged ascending per-frame latency sample.
+fn drive_clients(
+    sock: &Path,
+    clients: usize,
+    queries: &[Vec<NodeId>],
+    expected: &[f64],
+) -> (f64, Vec<u64>) {
+    const BATCHES: usize = 128;
+    const WARMUP: usize = 4;
+    let per_client: Vec<(u64, Vec<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = connect_with_retry(sock);
+                    for _ in 0..WARMUP {
+                        client.influence_many(0, queries).expect("warm-up frame");
+                    }
+                    let mut lats = Vec::with_capacity(BATCHES);
+                    let t0 = Instant::now();
+                    for _ in 0..BATCHES {
+                        let t = Instant::now();
+                        let got = client.influence_many(0, queries).expect("timed frame");
+                        lats.push(t.elapsed().as_nanos() as u64);
+                        for (g, e) in got.iter().zip(expected) {
+                            assert_eq!(g.to_bits(), e.to_bits(), "served answer diverged");
+                        }
+                    }
+                    (t0.elapsed().as_nanos() as u64, lats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let total_queries = (clients * BATCHES * queries.len()) as f64;
+    let slowest_s = per_client.iter().map(|(wall, _)| *wall).max().unwrap_or(1) as f64 / 1e9;
+    let mut lats: Vec<u64> = per_client.into_iter().flat_map(|(_, l)| l).collect();
+    lats.sort_unstable();
+    (total_queries / slowest_s, lats)
+}
+
+fn connect_with_retry(sock: &Path) -> Client {
+    for _ in 0..400 {
+        if let Ok(c) = Client::connect_unix(sock) {
+            return c;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("server socket never came up at {}", sock.display());
+}
+
+struct ServeRow {
+    clients: usize,
+    qps: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+    p999_ns: f64,
+}
+
+/// Serving-tier rows: the zero-copy load path against the unconditional
+/// bulk copy and the streamed decoder, then closed-loop `serve_qps` /
+/// `serve_query_ns` percentiles for 1, 2 and 4 concurrent clients over an
+/// in-process Unix-socket server answering the uniform profile's exact
+/// arena.
+fn run_serving(net: &InteractionNetwork, window: Window) -> String {
+    eprintln!("serving: load paths + closed-loop qps");
+    let exact = ExactIrs::compute(net, window);
+    let frozen = exact.freeze();
+    let mut image = Vec::new();
+    frozen.write_to(&mut image).expect("arena image");
+
+    let dir = std::env::temp_dir().join(format!("infprop-bench-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    // tmp+rename: the mmap safety argument rests on never mutating a
+    // published arena file in place.
+    let tmp = dir.join("arena.ipfe.tmp");
+    let path = dir.join("arena.ipfe");
+    std::fs::write(&tmp, &image).expect("write arena");
+    std::fs::rename(&tmp, &path).expect("publish arena");
+
+    // Byte-path rows: `open` is the zero-copy mapping (`mmap(2)` under
+    // --features mmap, one aligned bulk read otherwise); `read` is the
+    // unconditional full copy. The oracle rows add structural decode on
+    // top: `load` rides `open`, `read_from` is the legacy streamed decoder.
+    let (t_open, mapped) = best_of(25, || ArenaBytes::open(&path).expect("arena open"));
+    let mmap_backend = mapped.is_mapped();
+    assert_eq!(
+        mapped.as_slice(),
+        image.as_slice(),
+        "mapped bytes must equal the published file"
+    );
+    drop(mapped);
+    let (t_read, bulk) = best_of(25, || ArenaBytes::read(&path).expect("arena read"));
+    assert_eq!(bulk.as_slice(), image.as_slice());
+    drop(bulk);
+    let (t_load, loaded) = best_of(25, || FrozenExactOracle::load(&path).expect("oracle load"));
+    loaded.validate().expect("loaded arena validates");
+    let (t_streamed, streamed) = best_of(25, || {
+        let f = std::fs::File::open(&path).expect("open arena file");
+        FrozenExactOracle::read_from(&mut std::io::BufReader::new(f)).expect("streamed decode")
+    });
+
+    // 16 fixed 8-seed queries; both load paths and every served answer must
+    // agree with the freshly frozen oracle bit for bit before any serving
+    // number is reported.
+    let n = loaded.num_nodes().max(1) as u64;
+    let mut s = 0x5EED_CAFEu64;
+    let queries: Vec<Vec<NodeId>> = (0..16)
+        .map(|_| {
+            (0..8)
+                .map(|_| NodeId((splitmix64(&mut s) % n) as u32))
+                .collect()
+        })
+        .collect();
+    let expected = frozen.influence_many_frozen(&queries, 1);
+    let expected_bits: Vec<u64> = expected.iter().map(|v| v.to_bits()).collect();
+    for oracle in [&loaded, &streamed] {
+        let bits: Vec<u64> = oracle
+            .influence_many_frozen(&queries, 1)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(
+            bits, expected_bits,
+            "load paths must answer bit-identically"
+        );
+    }
+
+    let sock: PathBuf = dir.join("serving-socket");
+    let config = ServerConfig {
+        unix_path: Some(sock.clone()),
+        tcp_addr: None,
+        threads: 1,
+    };
+    let served = ServedOracle::open_recorded(&path, &NoopRecorder).expect("served oracle");
+    let server = Server::bind(&config, vec![served]).expect("server bind");
+    let server_thread = std::thread::spawn(move || {
+        server.run(&NoopRecorder, NoopTracer).expect("server run");
+    });
+
+    // Probe connection: assert bit-identity through the wire before timing.
+    let mut probe = connect_with_retry(&sock);
+    let over_wire: Vec<u64> = probe
+        .influence_many(0, &queries)
+        .expect("probe frame")
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(
+        over_wire, expected_bits,
+        "served answers must be bit-identical to in-process"
+    );
+    drop(probe);
+
+    let mut rows = Vec::new();
+    for &clients in &[1usize, 2, 4] {
+        let (qps, lats) = drive_clients(&sock, clients, &queries, &expected);
+        let per_query = |q: f64| percentile(&lats, q) as f64 / queries.len() as f64;
+        rows.push(ServeRow {
+            clients,
+            qps,
+            p50_ns: per_query(0.50),
+            p99_ns: per_query(0.99),
+            p999_ns: per_query(0.999),
+        });
+    }
+
+    connect_with_retry(&sock)
+        .shutdown()
+        .expect("shutdown frame");
+    server_thread.join().expect("server thread");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut cj = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            cj.push_str(",\n      ");
+        }
+        let _ = write!(
+            cj,
+            "{{\"clients\": {}, \"serve_qps\": {:.0}, \"serve_query_ns\": \
+             {{\"p50\": {:.1}, \"p99\": {:.1}, \"p999\": {:.1}}}}}",
+            r.clients, r.qps, r.p50_ns, r.p99_ns, r.p999_ns
+        );
+    }
+    format!(
+        "{{\n    \"arena_bytes\": {},\n    \"mmap_backend\": {},\n    \
+         \"arena_open_ns\": {:.0},\n    \"arena_bulk_read_ns\": {:.0},\n    \
+         \"oracle_load_ns\": {:.0},\n    \"oracle_load_streamed_ns\": {:.0},\n    \
+         \"queries_per_frame\": {},\n    \"clients\": [\n      {}\n    ]\n  }}",
+        image.len(),
+        mmap_backend,
+        t_open * 1e9,
+        t_read * 1e9,
+        t_load * 1e9,
+        t_streamed * 1e9,
+        queries.len(),
+        cj,
+    )
+}
+
 /// Pre-change baseline (hash-map stores, allocating vHLL merges, serial
 /// sweeps) measured at scale 1.0, 1 core, opt-level 3 — the "before" the
 /// dense-store PR is compared against.
@@ -499,7 +718,22 @@ const REFERENCE_PR7: &str = r#"{
 
 /// Free-form attribution notes carried in the JSON so a regression number
 /// is never separated from its explanation.
-const NOTES: &str = "Causal-tracing PR: oracle_query_traced_ns answers the same 64-query batch \
+const NOTES: &str = "Serving-tier PR: the serving block measures the zero-copy load path and the \
+batched socket server. arena_open_ns is ArenaBytes::open (mmap(2) under --features mmap, one \
+aligned bulk read otherwise — mmap_backend records which); arena_bulk_read_ns is the \
+unconditional full copy; oracle_load_ns rides open plus structural decode (the production \
+load), oracle_load_streamed_ns is the legacy streamed decoder over a BufReader. With the mmap \
+feature on, oracle_load_ns sits orders of magnitude below arena_bulk_read_ns because the map \
+defers page-in to first access and the decode only reads headers/offsets. The clients rows are \
+closed-loop: N concurrent Unix-socket connections each answer 128 influence frames of the same \
+16x8-seed batch against an in-process server (threads=1 — this container has 1 core); \
+serve_qps aggregates over the slowest client's timed window, serve_query_ns divides per-frame \
+latency percentiles by the 16 queries/frame. Every served answer is asserted bit-identical to \
+the in-process influence_many_frozen result (probe connection plus every timed frame) before \
+any number is reported, and both load paths are asserted bit-identical to the freshly frozen \
+oracle. Per-query serving cost sits well above oracle_query_ns: a frame pays two syscall \
+round-trips plus encode/decode, amortized across the batch — which is the point of batching. \
+Causal-tracing PR: oracle_query_traced_ns answers the same 64-query batch \
 through influence_many_frozen_traced with a live per-thread ring tracer (1 thread, ring \
 allocated outside the rep loop, answers asserted bit-identical to the untraced loop first). \
 Each query.element span is one lap record — one relaxed fetch_add, four relaxed stores, and \
@@ -597,13 +831,17 @@ fn main() {
         run_profile("hub", &hub, hub_window, &thread_counts),
     ];
 
+    let serving = run_serving(&uni, uni_window);
+
     let profiles: Vec<String> = reports.iter().map(profile_json).collect();
     let json = format!(
         "{{\n  \"bench\": \"trajectory\",\n  \"scale\": {scale},\n  \"cores\": {cores},\n  \
          \"thread_counts\": [1, 2, 4, 8],\n  \"notes\": \"{}\",\n  \"profiles\": [\n{}\n  ],\n  \
+         \"serving\": {},\n  \
          \"reference\": {},\n  \"reference_pr4\": {},\n  \"reference_pr7\": {}\n}}\n",
         NOTES,
         profiles.join(",\n"),
+        serving,
         REFERENCE,
         REFERENCE_PR4,
         REFERENCE_PR7,

@@ -7,16 +7,19 @@ use infprop_baselines::{
     PageRankConfig, Skim, SkimConfig,
 };
 use infprop_core::obs::{metric_u64, Counter, Gauge, Hist, Span};
+use infprop_core::serve as serving;
 use infprop_core::trace::{SpanId, TraceEvent, TraceId};
 use infprop_core::{
     attribution, find_channel, greedy_top_k_threads, greedy_top_k_traced, trace_to_json,
     validate_trace_json, ApproxIrs, ApproxOracle, ExactIrs, FlightRecorder, FrozenApproxOracle,
     FrozenExactOracle, HeapBytes, InfluenceOracle, LaneTracer, LayeredApproxOracle,
     LayeredExactOracle, LayeredKind, LayeredManifest, MetricsRecorder, NoopRecorder, NoopTracer,
-    Recorder, RingTracer, Selection, Tracer, DEFAULT_PRECISION,
+    Recorder, RingTracer, Selection, Tracer, DEFAULT_PRECISION, FROZEN_APPROX_LAYOUT_VERSION,
+    FROZEN_EXACT_LAYOUT_VERSION,
 };
 use infprop_datasets::profiles;
 use infprop_diffusion::{tcic_spread, tclt_spread, LtWeights, TcicConfig};
+use infprop_hll::CodecError;
 use infprop_temporal_graph::{
     io, metrics, Interaction, InteractionNetwork, NetworkStats, NodeId, WeightedStaticGraph, Window,
 };
@@ -994,8 +997,32 @@ impl LoadedOracle {
     }
 }
 
+/// Rewrites a [`CodecError`] from a frozen-arena load into a precise,
+/// format-aware message: which format was detected, which layout version
+/// the file carries, and which versions this build reads. Three on-disk
+/// versions exist now, so "corrupt file" is no longer a useful diagnosis
+/// for what is usually just a build/file version skew.
+fn describe_arena_error(format: &str, current: u8, err: CodecError) -> Box<dyn Error> {
+    match err {
+        CodecError::FutureVersion(found) => format!(
+            "{format}: file has layout version {found}, but this build reads versions 1..={current} \
+             (rebuild the arena or upgrade infprop)"
+        )
+        .into(),
+        CodecError::BadVersion(found) => format!(
+            "{format}: file has unknown layout version {found}, expected 1..={current}"
+        )
+        .into(),
+        other => format!("{format}: {other}").into(),
+    }
+}
+
 /// Loads any supported oracle artefact: a layered directory (dispatched
 /// through its `MANIFEST`) or a single file (format detected by magic).
+/// Frozen arenas load zero-copy through
+/// [`ArenaBytes`](infprop_core::ArenaBytes) — `mmap(2)` when built with
+/// `--features mmap`, one aligned bulk read otherwise — then get the deep
+/// per-byte validation the structural load skips.
 fn load_oracle(path: &str) -> Result<LoadedOracle, Box<dyn Error>> {
     if std::fs::metadata(path)?.is_dir() {
         let dir = Path::new(path);
@@ -1014,12 +1041,37 @@ fn load_oracle(path: &str) -> Result<LoadedOracle, Box<dyn Error>> {
         use std::io::Read;
         File::open(path)?.read_exact(&mut magic)?;
     }
-    let mut r = BufReader::new(File::open(path)?);
     Ok(match &magic {
-        b"IPEI" => LoadedOracle::ExactSummaries(ExactIrs::read_from(&mut r)?),
-        b"IPFE" => LoadedOracle::FrozenExact(FrozenExactOracle::read_from(&mut r)?),
-        b"IPFA" => LoadedOracle::FrozenApprox(FrozenApproxOracle::read_from(&mut r)?),
-        _ => LoadedOracle::Sketches(ApproxOracle::read_from(&mut r)?),
+        b"IPEI" => {
+            let mut r = BufReader::new(File::open(path)?);
+            LoadedOracle::ExactSummaries(ExactIrs::read_from(&mut r)?)
+        }
+        b"IPFE" => {
+            let oracle = FrozenExactOracle::load(Path::new(path)).map_err(|e| {
+                describe_arena_error("IPFE frozen exact arena", FROZEN_EXACT_LAYOUT_VERSION, e)
+            })?;
+            oracle
+                .validate()
+                .map_err(|v| format!("IPFE frozen exact arena: {v}"))?;
+            LoadedOracle::FrozenExact(oracle)
+        }
+        b"IPFA" => {
+            let oracle = FrozenApproxOracle::load(Path::new(path)).map_err(|e| {
+                describe_arena_error(
+                    "IPFA frozen register arena",
+                    FROZEN_APPROX_LAYOUT_VERSION,
+                    e,
+                )
+            })?;
+            oracle
+                .validate()
+                .map_err(|v| format!("IPFA frozen register arena: {v}"))?;
+            LoadedOracle::FrozenApprox(oracle)
+        }
+        _ => {
+            let mut r = BufReader::new(File::open(path)?);
+            LoadedOracle::Sketches(ApproxOracle::read_from(&mut r)?)
+        }
     })
 }
 
@@ -1054,6 +1106,10 @@ pub fn oracle_query(args: &ParsedArgs) -> CmdResult {
         metric_u64(oracle.num_nodes()),
     );
     if let (Some(rec), Some(start)) = (&recorder, load_start) {
+        if let Some(ns) = start.elapsed_ns() {
+            rec.record(Hist::OracleLoadNs, ns);
+            println!("load latency: {:.3} ms", ns as f64 / 1e6);
+        }
         rec.span_end(Span::OracleLoad, start);
         println!("format: {}", oracle.format());
     }
@@ -1182,6 +1238,9 @@ pub fn profile(args: &ParsedArgs) -> CmdResult {
         metric_u64(oracle.num_nodes()),
     );
     if let (Some(rec), Some(start)) = (&recorder, load_start) {
+        if let Some(ns) = start.elapsed_ns() {
+            rec.record(Hist::OracleLoadNs, ns);
+        }
         rec.span_end(Span::OracleLoad, start);
     }
     println!("format: {}", oracle.format());
@@ -1286,6 +1345,241 @@ pub fn profile(args: &ParsedArgs) -> CmdResult {
     Ok(())
 }
 
+/// Parses the `--socket`/`--tcp` listener flags shared by `serve` and
+/// `bench-serve` (at least one required for `serve`; exactly the server's
+/// address for `bench-serve`).
+fn listener_flags(args: &ParsedArgs) -> (Option<String>, Option<String>) {
+    (
+        args.optional("socket").map(str::to_owned),
+        args.optional("tcp").map(str::to_owned),
+    )
+}
+
+/// `infprop serve <oracle-path>… (--socket PATH | --tcp ADDR) [--threads N]
+///  [--metrics] [--metrics-out FILE] [--trace-out FILE]`
+///
+/// Maps one or more frozen arenas / layered directories zero-copy and
+/// serves `influence`/`topk`/`summary` requests over the length-prefixed
+/// binary protocol (see DESIGN.md §15) until a client sends a `SHUTDOWN`
+/// frame. Oracle indices in requests follow the positional order given
+/// here. Each arena's load is timed into the `oracle.load_ns` histogram
+/// and printed as a latency line; with `--metrics` the final snapshot
+/// (including the `serve.*` counters and request latency histograms) is
+/// emitted on shutdown, and `--trace-out` exports every `serve.request`
+/// span from the flight ring.
+pub fn serve(args: &ParsedArgs) -> CmdResult {
+    if args.positional.is_empty() {
+        return Err(ArgError::Positional("expected at least one oracle path").into());
+    }
+    let threads = threads_of(args)?;
+    let (socket, tcp) = listener_flags(args);
+    if socket.is_none() && tcp.is_none() {
+        return Err(ArgError::MissingFlag("socket (or --tcp)").into());
+    }
+    let recorder = metrics_requested(args).then(MetricsRecorder::new);
+    let ring = trace_requested(args, threads);
+    // Loads always run timed: the latency line is part of the serve
+    // contract, not a `--metrics` extra.
+    let load_clock = MetricsRecorder::new();
+    let mut oracles = Vec::with_capacity(args.positional.len());
+    for path in &args.positional {
+        let t0 = load_clock.span_start();
+        let oracle = match &recorder {
+            Some(rec) => serving::ServedOracle::open_recorded(Path::new(path), rec),
+            None => serving::ServedOracle::open_recorded(Path::new(path), &NoopRecorder),
+        }
+        .map_err(|e| format!("{path}: {e}"))?;
+        let ns = t0.elapsed_ns().unwrap_or(0);
+        println!(
+            "oracle {}: {path}: {} — load latency: {:.3} ms",
+            oracles.len(),
+            oracle.describe(),
+            ns as f64 / 1e6
+        );
+        oracles.push(oracle);
+    }
+    let config = serving::ServerConfig {
+        unix_path: socket.map(Into::into),
+        tcp_addr: tcp,
+        threads,
+    };
+    let server = serving::Server::bind(&config, oracles)?;
+    if let Some(path) = &config.unix_path {
+        println!("listening on unix socket {}", path.display());
+    }
+    if let Some(addr) = server.tcp_addr() {
+        println!("listening on tcp {addr}");
+    }
+    println!(
+        "serving {} oracle(s); send a SHUTDOWN frame to stop",
+        server.oracles().len()
+    );
+    match (&recorder, &ring) {
+        (Some(rec), Some(r)) => server.run(rec, r.lane(0))?,
+        (Some(rec), None) => server.run(rec, NoopTracer)?,
+        (None, Some(r)) => server.run(&NoopRecorder, r.lane(0))?,
+        (None, None) => server.run(&NoopRecorder, NoopTracer)?,
+    }
+    println!("server drained");
+    if let Some(rec) = &recorder {
+        let snap = rec.snapshot();
+        if let Some(h) = snap
+            .hists
+            .iter()
+            .find(|h| h.name == Hist::ServeRequestNs.name() && h.count > 0)
+        {
+            println!(
+                "per-request latency: p50 {} ns, p99 {} ns, p999 {} ns, mean {:.1} ns over {} requests",
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.quantile(0.999),
+                h.mean(),
+                h.count
+            );
+        }
+        emit_metrics(args, rec)?;
+    }
+    if let Some(r) = &ring {
+        emit_trace(args, r)?;
+    }
+    Ok(())
+}
+
+/// Exact quantile from a sorted latency sample (the bench client keeps raw
+/// nanosecond samples, so unlike the bucketed histogram quantiles these
+/// are not quantized to power-of-two edges).
+fn sample_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// `infprop bench-serve <oracle-path> (--socket PATH | --tcp ADDR)
+///  --clients N [--batches B] [--batch-size Q] [--oracle I]`
+///
+/// Load-generating client for a running `infprop serve` instance. Loads
+/// the same oracle in-process, synthesizes a deterministic workload
+/// (strided three-seed sets, the `profile` recipe), and first asserts that
+/// the served answers are **bit-identical** to the in-process
+/// `influence_many_frozen` answers — only then does it time anything. Each
+/// of the `--clients` connections then drives `--batches` influence frames
+/// of `--batch-size` seed sets back-to-back; the report prints aggregate
+/// queries/s plus exact p50/p99/p999 per-request latencies.
+pub fn bench_serve(args: &ParsedArgs) -> CmdResult {
+    let path = args.one_positional("expected exactly one oracle path")?;
+    let (socket, tcp) = listener_flags(args);
+    let clients: usize = args.parse_required("clients", "a client count of at least 1")?;
+    if clients == 0 || (socket.is_none() && tcp.is_none()) {
+        return Err(ArgError::BadValue {
+            flag: "clients".into(),
+            value: clients.to_string(),
+            expected: "at least 1 client and a --socket or --tcp address",
+        }
+        .into());
+    }
+    let batches: usize = args.parse_or("batches", 32, "an integer")?;
+    let batch_size: usize = args.parse_or("batch-size", 16, "an integer")?;
+    let oracle_idx: u8 = args.parse_or("oracle", 0, "an oracle index")?;
+
+    let connect = || -> Result<serving::Client, std::io::Error> {
+        match (&socket, &tcp) {
+            (Some(path), _) => serving::Client::connect_unix(Path::new(path)),
+            (_, Some(addr)) => serving::Client::connect_tcp(addr),
+            (None, None) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "no server address",
+            )),
+        }
+    };
+
+    // The in-process reference the served answers must match bit-for-bit.
+    let reference = load_oracle(path)?;
+    let n = reference.num_nodes();
+    if n == 0 {
+        return Err("cannot bench an empty oracle".into());
+    }
+    let seed_sets: Vec<Vec<NodeId>> = (0..batch_size)
+        .map(|q| {
+            (0..3usize)
+                .map(|j| NodeId(((q * 7 + j * 11 + 1) % n) as u32))
+                .collect()
+        })
+        .collect();
+    let expected = reference.influence_many(&seed_sets, 1, None, None);
+
+    let mut probe = connect()?;
+    let served = probe.influence_many(oracle_idx, &seed_sets)?;
+    if served.len() != expected.len()
+        || served
+            .iter()
+            .zip(&expected)
+            .any(|(s, e)| s.to_bits() != e.to_bits())
+    {
+        return Err("served answers are NOT bit-identical to in-process answers".into());
+    }
+    println!(
+        "verified: {} served answers bit-identical to in-process influence_many_frozen",
+        served.len()
+    );
+    drop(probe);
+
+    // Timed run: every client connection answers `batches` frames; raw
+    // per-frame latencies are collected for exact quantiles.
+    let clock = MetricsRecorder::new();
+    let t0 = clock.span_start();
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(clients * batches);
+    let lat_results: Vec<Result<Vec<u64>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let seed_sets = &seed_sets;
+                let clock = &clock;
+                let connect = &connect;
+                scope.spawn(move || -> Result<Vec<u64>, String> {
+                    let mut client = connect().map_err(|e| e.to_string())?;
+                    let mut lats = Vec::with_capacity(batches);
+                    for _ in 0..batches {
+                        let tq = clock.span_start();
+                        let got = client
+                            .influence_many(oracle_idx, seed_sets)
+                            .map_err(|e| e.to_string())?;
+                        lats.push(tq.elapsed_ns().unwrap_or(0));
+                        if got.len() != seed_sets.len() {
+                            return Err("short response".into());
+                        }
+                    }
+                    Ok(lats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("client panicked".into())))
+            .collect()
+    });
+    let wall_ns = t0.elapsed_ns().unwrap_or(1).max(1);
+    for r in lat_results {
+        all_latencies.extend(r.map_err(|e| -> Box<dyn Error> { e.into() })?);
+    }
+    all_latencies.sort_unstable();
+    let frames = all_latencies.len() as u64;
+    let queries = frames * seed_sets.len() as u64;
+    let qps = queries as f64 * 1e9 / wall_ns as f64;
+    println!(
+        "{clients} client(s) × {batches} batches × {} queries/batch over {:.3} ms",
+        seed_sets.len(),
+        wall_ns as f64 / 1e6
+    );
+    println!(
+        "throughput: {qps:.0} queries/s — per-frame latency: p50 {} ns, p99 {} ns, p999 {} ns",
+        sample_quantile(&all_latencies, 0.50),
+        sample_quantile(&all_latencies, 0.99),
+        sample_quantile(&all_latencies, 0.999)
+    );
+    Ok(())
+}
+
 /// Usage text printed on `--help`, no command, or errors.
 pub const USAGE: &str = "\
 infprop — information propagation in interaction networks (EDBT 2017)
@@ -1314,6 +1608,10 @@ USAGE:
   infprop profile <oracle-path> [--queries FILE | --rounds N] [--k K]
                  [--threads N] [--slowest K] [--metrics] [--metrics-out FILE]
                  [--trace-out FILE]
+  infprop serve <oracle-path>… (--socket PATH | --tcp ADDR) [--threads N]
+                 [--metrics] [--metrics-out FILE] [--trace-out FILE]
+  infprop bench-serve <oracle-path> (--socket PATH | --tcp ADDR) --clients N
+                 [--batches B] [--batch-size Q] [--oracle I]
 
 Input files are SNAP-style edge lists: `src dst time` per line, `#` comments.
 `--metrics` prints a JSON metrics snapshot (counters, gauges, histograms,
@@ -1334,6 +1632,14 @@ comma-separated seed set per line through the batched frozen kernel
 workload (`--queries FILE`, or `--rounds N` synthesized queries), then
 prints a per-phase self/total time attribution table and the `--slowest K`
 traces by wall time from the flight recorder.
+
+`serve` maps one or more oracle artefacts (zero-copy via mmap when built
+with `--features mmap`) and answers influence/topk/summary requests over a
+length-prefixed binary protocol on a Unix socket and/or TCP listener; one
+INFLUENCE frame carries a whole batch of seed sets, answered through the
+batched frozen kernel. `bench-serve` drives a running server: it asserts
+the served answers bit-identical to in-process answers, then reports
+queries/s and exact p50/p99/p999 per-frame latencies.
 ";
 
 /// Dispatches a parsed command line.
@@ -1350,6 +1656,8 @@ pub fn dispatch(parsed: &ParsedArgs) -> CmdResult {
         "compact" => compact(parsed),
         "oracle-query" => oracle_query(parsed),
         "profile" => profile(parsed),
+        "serve" => serve(parsed),
+        "bench-serve" => bench_serve(parsed),
         "help" => {
             println!("{USAGE}");
             Ok(())

@@ -922,3 +922,136 @@ fn profile_reports_attribution_and_slowest_traces() {
 
     std::fs::remove_dir_all(dir).ok();
 }
+
+#[test]
+fn serve_answers_byte_exact_and_drains_cleanly() {
+    use infprop_core::serve::Client;
+    use infprop_core::{FrozenExactOracle, InfluenceOracle};
+    use infprop_temporal_graph::NodeId;
+    use std::time::Duration;
+
+    let dir = tempdir("serve");
+    let net = sample_network(&dir);
+    let oracle_path = dir.join("oracle.ipfe").to_string_lossy().into_owned();
+    let built = run(&[
+        "build",
+        &net,
+        "--window",
+        "60",
+        "--exact",
+        "--frozen",
+        "--out",
+        &oracle_path,
+    ]);
+    assert!(built.status.success(), "{}", stderr(&built));
+
+    // The in-process reference every served answer must match bit-for-bit.
+    let reference = FrozenExactOracle::load(Path::new(&oracle_path)).unwrap();
+    let n = reference.num_nodes() as u32;
+    let seed_sets: Vec<Vec<NodeId>> = vec![
+        vec![NodeId(0)],
+        vec![NodeId(1 % n), NodeId(5 % n)],
+        vec![NodeId(2 % n), NodeId(3 % n), NodeId(7 % n)],
+        vec![],
+    ];
+    let expected = reference.influence_many_frozen(&seed_sets, 1);
+
+    let sock = dir.join("serve.sock");
+    let mut child = bin()
+        .args([
+            "serve",
+            &oracle_path,
+            "--socket",
+            &sock.to_string_lossy(),
+            "--threads",
+            "1",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+
+    // Wait for the listener, then batch queries through it.
+    let mut client = None;
+    for _ in 0..400 {
+        match Client::connect_unix(&sock) {
+            Ok(c) => {
+                client = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let mut client = client.expect("server socket never came up");
+    let got = client.influence_many(0, &seed_sets).unwrap();
+    assert_eq!(got.len(), expected.len());
+    for (g, e) in got.iter().zip(&expected) {
+        assert_eq!(g.to_bits(), e.to_bits(), "served answer diverged");
+    }
+    let summary = client.summary(0, NodeId(0)).unwrap();
+    assert_eq!(
+        summary.individual.to_bits(),
+        reference.individual(NodeId(0)).to_bits()
+    );
+    assert_eq!(
+        summary.entries.as_deref().unwrap(),
+        &reference.summary(NodeId(0)).to_vec()[..]
+    );
+
+    // Dropping a connection (clean EOF) must not take the server down.
+    drop(client);
+    let mut second = Client::connect_unix(&sock).expect("server survives client EOF");
+    let again = second.influence_many(0, &seed_sets).unwrap();
+    for (g, e) in again.iter().zip(&expected) {
+        assert_eq!(g.to_bits(), e.to_bits());
+    }
+
+    // bench-serve drives the same server and asserts bit-identity itself.
+    let bench = run(&[
+        "bench-serve",
+        &oracle_path,
+        "--socket",
+        &sock.to_string_lossy(),
+        "--clients",
+        "2",
+        "--batches",
+        "3",
+        "--batch-size",
+        "4",
+    ]);
+    assert!(bench.status.success(), "{}", stderr(&bench));
+    let bench_text = stdout(&bench);
+    assert!(bench_text.contains("bit-identical"), "{bench_text}");
+    assert!(bench_text.contains("throughput:"), "{bench_text}");
+
+    // A SHUTDOWN frame drains the server and the process exits cleanly.
+    second.shutdown().unwrap();
+    let mut status = None;
+    for _ in 0..400 {
+        if let Some(s) = child.try_wait().unwrap() {
+            status = Some(s);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let status = match status {
+        Some(s) => s,
+        None => {
+            let _ = child.kill();
+            panic!("serve did not exit after SHUTDOWN");
+        }
+    };
+    assert!(status.success(), "serve exited non-zero");
+    let mut out = String::new();
+    use std::io::Read as _;
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut out)
+        .unwrap();
+    assert!(out.contains("load latency:"), "{out}");
+    assert!(out.contains("server drained"), "{out}");
+    assert!(!sock.exists(), "socket file not cleaned up");
+
+    std::fs::remove_dir_all(dir).ok();
+}

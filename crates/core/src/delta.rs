@@ -52,7 +52,7 @@
 
 use crate::approx::DEFAULT_PRECISION;
 use crate::engine::{ExactStore, ReversePassEngine, SummaryStore, VhllStore};
-use crate::frozen::{FrozenApproxOracle, FrozenExactOracle};
+use crate::frozen::{EntriesSlice, FrozenApproxOracle, FrozenExactOracle};
 use crate::obs::{metric_u64, Counter, Gauge, Hist, NoopRecorder, Recorder, Span};
 use crate::oracle::{InfluenceOracle, NodeBitset};
 use crate::trace::{NoopTracer, SpanId, TraceEvent, TraceId, Tracer};
@@ -324,14 +324,14 @@ impl<S: SummaryStore + Clone> DeltaOverlay<S> {
 /// records.
 // xtask-contract: alloc-free, kernel
 fn merged_exact_for_each(
-    base: &[(NodeId, Timestamp)],
-    over: &[(NodeId, Timestamp)],
+    base: EntriesSlice<'_>,
+    over: EntriesSlice<'_>,
     mut f: impl FnMut(NodeId, Timestamp),
 ) {
     let (mut i, mut j) = (0usize, 0usize);
     while i < base.len() && j < over.len() {
-        let (bv, bt) = base[i];
-        let (ov, ot) = over[j];
+        let (bv, bt) = base.get(i);
+        let (ov, ot) = over.get(j);
         match bv.cmp(&ov) {
             std::cmp::Ordering::Less => {
                 f(bv, bt);
@@ -348,11 +348,15 @@ fn merged_exact_for_each(
             }
         }
     }
-    for &(v, t) in &base[i..] {
+    while i < base.len() {
+        let (v, t) = base.get(i);
         f(v, t);
+        i += 1;
     }
-    for &(v, t) in &over[j..] {
+    while j < over.len() {
+        let (v, t) = over.get(j);
         f(v, t);
+        j += 1;
     }
 }
 
@@ -702,21 +706,21 @@ impl LayeredExactOracle {
     }
 
     /// The base layer's summary, empty for nodes the base arena predates.
-    fn base_summary(&self, u: NodeId) -> &[(NodeId, Timestamp)] {
+    fn base_summary(&self, u: NodeId) -> EntriesSlice<'_> {
         if u.index() < InfluenceOracle::num_nodes(&self.base) {
             self.base.summary(u)
         } else {
-            &[]
+            EntriesSlice::empty()
         }
     }
 
     /// The overlay layer's summary, empty for nodes past the overlay
     /// universe (possible only for base nodes never touched by the log).
-    fn overlay_summary(&self, u: NodeId) -> &[(NodeId, Timestamp)] {
+    fn overlay_summary(&self, u: NodeId) -> EntriesSlice<'_> {
         if u.index() < InfluenceOracle::num_nodes(&self.overlay) {
             self.overlay.summary(u)
         } else {
-            &[]
+            EntriesSlice::empty()
         }
     }
 }
@@ -740,10 +744,10 @@ impl InfluenceOracle for LayeredExactOracle {
     fn absorb(&self, union: &mut Self::Union, node: NodeId) {
         // Distinct-target union: layer order is irrelevant, so no merge
         // walk is needed — both layers' targets just land in the bitset.
-        for &(v, _) in self.base_summary(node) {
+        for (v, _) in self.base_summary(node).iter() {
             union.insert(v.index());
         }
-        for &(v, _) in self.overlay_summary(node) {
+        for (v, _) in self.overlay_summary(node).iter() {
             union.insert(v.index());
         }
     }

@@ -8,25 +8,40 @@
 //! heap allocation. Queries have the opposite access pattern — read-only
 //! sweeps over every node — and pay for the build layout with pointer
 //! chasing and per-node cache misses (the ~3.6 µs oracle queries of the
-//! PR 4 bench trajectory). Freezing rewrites the summaries into two flat
-//! arrays:
+//! PR 4 bench trajectory). Freezing rewrites the summaries into flat
+//! arenas:
 //!
 //! * [`FrozenExactOracle`] — CSR: `offsets[u] .. offsets[u + 1]` indexes a
-//!   single flat `entries` array of `(NodeId, Timestamp)` pairs, each
-//!   node's slice sorted by `NodeId` exactly like its live summary.
+//!   single flat entry section of encoded `(NodeId, Timestamp)` pairs,
+//!   each node's slice sorted by `NodeId` exactly like its live summary.
 //! * [`FrozenApproxOracle`] — one flat `β`-bytes-per-node register arena
 //!   (the per-cell maxima of the versioned sketches, i.e. the same
-//!   collapse [`ApproxOracle`](crate::ApproxOracle) performs), plus the
-//!   per-node estimates **precomputed at freeze time**, turning the
-//!   `individuals` sweep and every CELF first-round probe into a table
-//!   read.
+//!   collapse [`ApproxOracle`](crate::ApproxOracle) performs), its
+//!   tile-major transpose, plus the per-node estimates **precomputed at
+//!   freeze time**, turning the `individuals` sweep and every CELF
+//!   first-round probe into a table read.
 //!
-//! Both implement [`InfluenceOracle`], so `individuals`, `influence_many`
-//! and `greedy_top_k` run unchanged — and bit-identically: the frozen
-//! layouts preserve entry order and register values, and every estimator
-//! path reuses the exact same summation order as the live oracles.
+//! # One image, in memory and on disk
+//!
+//! Since IPFE layout v2 / IPFA layout v3 each arena *is* its on-disk
+//! image: one contiguous [`ArenaBytes`] buffer holding the format header
+//! followed by every section, each section padded to start on an
+//! [`ARENA_ALIGN`]-byte boundary (see [`layout`]). The persist layer
+//! writes the image verbatim and loads by validating the header + section
+//! framing and wrapping the bytes — which is what makes `mmap` loading
+//! zero-copy: a mapped file is queryable as-is, with zero per-node
+//! allocation or decoding pass. Exact entries are decoded on the fly
+//! through [`EntriesSlice`] (12-byte little-endian records); register
+//! sections are raw bytes and borrow directly.
+//!
+//! Both oracles implement [`InfluenceOracle`], so `individuals`,
+//! `influence_many` and `greedy_top_k` run unchanged — and bit-identically:
+//! the frozen layouts preserve entry order and register values, and every
+//! estimator path reuses the exact same summation order as the live
+//! oracles.
 
-use crate::invariants::{validate_exact_summary, InvariantViolation};
+use crate::arena::ArenaBytes;
+use crate::invariants::InvariantViolation;
 use crate::kernel;
 use crate::obs::{metric_u64, Gauge, HeapBytes, NoopRecorder, Recorder};
 use crate::oracle::{finish_batch_recorded, push_deduped, record_batch_query};
@@ -34,6 +49,7 @@ use crate::oracle::{InfluenceOracle, NodeBitset};
 use crate::trace::{NoopTracer, SpanId, TraceEvent, TraceId, Tracer};
 use infprop_hll::{estimate_from_registers, HyperLogLog, RunningEstimator, VersionedHll};
 use infprop_temporal_graph::{NodeId, Timestamp, Window};
+use std::fmt;
 use std::ops::Range;
 
 /// Merge-block and transpose-tile width in bytes — one cache line, clamped
@@ -48,38 +64,224 @@ pub(crate) const TILE: usize = 64;
 /// blocks and estimators still fit in L1.
 const GROUP: usize = 4;
 
-/// Rewrites a node-major register arena (`β` bytes per node) into the
-/// tile-major layout the frozen query kernels stream: for tile `t` of
-/// `step = min(TILE, β)` registers, node `u`'s registers
-/// `t·step .. (t+1)·step` live at `transposed[(t·n + u)·step ..][..step]`.
-/// A multi-seed union then reads one contiguous `step`-byte chunk per seed
-/// per tile — chunks of id-adjacent seeds share cache lines — instead of
-/// striding `β` bytes apart through the node-major arena.
-pub(crate) fn transpose_registers(precision: u8, registers: &[u8]) -> Vec<u8> {
-    let beta = 1usize << precision;
-    let step = TILE.min(beta);
-    let tiles = beta / step;
-    let n = registers.len() / beta;
-    let mut out = vec![0u8; registers.len()];
-    for u in 0..n {
-        for t in 0..tiles {
-            let src = u * beta + t * step;
-            let dst = (t * n + u) * step;
-            out[dst..dst + step].copy_from_slice(&registers[src..src + step]);
-        }
+/// The arena image layout shared by the in-memory oracles and the persist
+/// codecs: IPFE layout v2 and IPFA layout v3 place every section on an
+/// [`ARENA_ALIGN`]-byte boundary (gaps zero-filled) so a file loaded — or
+/// mapped — into an aligned buffer can serve each section as a borrowed
+/// slice.
+///
+/// * IPFE v2: `header (25 B) | pad | offsets ((n+1)×4 B u32 LE) | pad |
+///   entries (total×12 B)` — header = magic `IPFE`, version, window `i64`,
+///   `n` `u32`, `total` `u64`, all little-endian.
+/// * IPFA v3: `header (10 B) | pad | registers (n·β B) | pad |
+///   transposed (n·β B) | pad | individuals (n×8 B f64 LE bits)` —
+///   header = magic `IPFA`, version, precision, `n` `u32`.
+pub(crate) mod layout {
+    use crate::arena::ARENA_ALIGN;
+
+    /// Magic prefix of the frozen exact (CSR) arena image.
+    pub(crate) const EXACT_MAGIC: &[u8; 4] = b"IPFE";
+    /// Magic prefix of the frozen approx (register) arena image.
+    pub(crate) const APPROX_MAGIC: &[u8; 4] = b"IPFA";
+    /// Current IPFE layout version: aligned sections, image == arena.
+    pub(crate) const EXACT_VERSION: u8 = 2;
+    /// Current IPFA layout version: aligned sections plus the precomputed
+    /// per-node estimates stored after the register sections.
+    pub(crate) const APPROX_VERSION: u8 = 3;
+    /// IPFE header bytes: magic, version, window, `n`, `total`.
+    pub(crate) const EXACT_HEADER: usize = 25;
+    /// IPFA header bytes: magic, version, precision, `n`.
+    pub(crate) const APPROX_HEADER: usize = 10;
+    /// Encoded bytes per exact entry: `u32` target id + `i64` end time.
+    pub(crate) const ENTRY_BYTES: usize = 12;
+
+    /// Rounds `at` up to the next section boundary.
+    pub(crate) fn align_up(at: usize) -> usize {
+        at.div_ceil(ARENA_ALIGN) * ARENA_ALIGN
     }
-    out
+
+    /// IPFE v2 section positions for an `n`-node, `total`-entry arena:
+    /// `(offsets_at, entries_at, image_len)`.
+    pub(crate) fn exact_sections(num_nodes: usize, total: usize) -> (usize, usize, usize) {
+        let offsets_at = align_up(EXACT_HEADER);
+        let entries_at = align_up(offsets_at + (num_nodes + 1) * 4);
+        (offsets_at, entries_at, entries_at + total * ENTRY_BYTES)
+    }
+
+    /// IPFA v3 section positions for an `n`-node, `β`-register arena:
+    /// `(registers_at, transposed_at, individuals_at, image_len)`.
+    pub(crate) fn approx_sections(num_nodes: usize, beta: usize) -> (usize, usize, usize, usize) {
+        let regs_at = align_up(APPROX_HEADER);
+        let trans_at = align_up(regs_at + num_nodes * beta);
+        let indiv_at = align_up(trans_at + num_nodes * beta);
+        (regs_at, trans_at, indiv_at, indiv_at + num_nodes * 8)
+    }
+}
+
+/// Decodes one image entry: `u32` target id, `i64` end time, little-endian.
+#[inline]
+// xtask-contract: alloc-free, kernel
+fn decode_entry(b: &[u8]) -> (NodeId, Timestamp) {
+    (
+        NodeId(u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        Timestamp(i64::from_le_bytes([
+            b[4], b[5], b[6], b[7], b[8], b[9], b[10], b[11],
+        ])),
+    )
+}
+
+/// Encodes one entry at image position `at`.
+fn put_entry(img: &mut [u8], at: usize, v: NodeId, t: Timestamp) {
+    img[at..at + 4].copy_from_slice(&v.0.to_le_bytes());
+    img[at + 4..at + layout::ENTRY_BYTES].copy_from_slice(&t.0.to_le_bytes());
+}
+
+/// Encodes one `u32` at image position `at`, little-endian.
+fn put_u32(img: &mut [u8], at: usize, v: u32) {
+    img[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Writes the 25-byte IPFE v2 header. Callers have checked that `n` fits
+/// `u32` (the format's node field).
+fn write_exact_header(img: &mut [u8], window: Window, n: usize, total: usize) {
+    img[..4].copy_from_slice(layout::EXACT_MAGIC);
+    img[4] = layout::EXACT_VERSION;
+    img[5..13].copy_from_slice(&window.0.to_le_bytes());
+    img[13..17].copy_from_slice(&(n as u32).to_le_bytes()); // xtask-allow: no-lossy-cast (callers assert n fits u32)
+    img[17..25].copy_from_slice(&metric_u64(total).to_le_bytes());
+}
+
+/// Writes the 10-byte IPFA v3 header. Callers have checked that `n` fits
+/// `u32` (the format's node field).
+fn write_approx_header(img: &mut [u8], precision: u8, n: usize) {
+    img[..4].copy_from_slice(layout::APPROX_MAGIC);
+    img[4] = layout::APPROX_VERSION;
+    img[5] = precision;
+    img[6..10].copy_from_slice(&(n as u32).to_le_bytes()); // xtask-allow: no-lossy-cast (callers assert n fits u32)
+}
+
+/// A node's frozen summary, borrowed directly from the arena image as
+/// encoded 12-byte little-endian records and decoded entry-by-entry on
+/// the fly — the zero-copy replacement for the `&[(NodeId, Timestamp)]`
+/// slices the pre-v2 arenas materialized at load time. Decoding is two
+/// `from_le_bytes` per entry (free next to the cache miss that fetches
+/// the record), and a mapped arena never pays a per-node allocation.
+///
+/// Compares equal to the entry slice it encodes, so assertions and merge
+/// code read naturally on either representation.
+#[derive(Clone, Copy)]
+pub struct EntriesSlice<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> EntriesSlice<'a> {
+    /// Wraps an image region holding whole encoded entries.
+    #[inline]
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        debug_assert!(bytes.len().is_multiple_of(layout::ENTRY_BYTES));
+        EntriesSlice { bytes }
+    }
+
+    /// The empty summary — what layered lookups answer for nodes outside
+    /// a layer's universe.
+    #[inline]
+    pub fn empty() -> EntriesSlice<'static> {
+        EntriesSlice { bytes: &[] }
+    }
+
+    /// Number of entries.
+    #[inline]
+    // xtask-contract: alloc-free, kernel
+    pub fn len(&self) -> usize {
+        self.bytes.len() / layout::ENTRY_BYTES
+    }
+
+    /// True when the summary holds no entries.
+    #[inline]
+    // xtask-contract: alloc-free, kernel
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Entry `i`, decoded.
+    #[inline]
+    // xtask-contract: alloc-free, kernel
+    pub fn get(&self, i: usize) -> (NodeId, Timestamp) {
+        let at = i * layout::ENTRY_BYTES;
+        decode_entry(&self.bytes[at..at + layout::ENTRY_BYTES])
+    }
+
+    /// Entry `i`'s target id alone — the two-pointer merge's inner loop
+    /// never reads end times, so it skips the second decode.
+    #[inline]
+    // xtask-contract: alloc-free, kernel
+    pub fn target(&self, i: usize) -> NodeId {
+        let at = i * layout::ENTRY_BYTES;
+        NodeId(u32::from_le_bytes([
+            self.bytes[at],
+            self.bytes[at + 1],
+            self.bytes[at + 2],
+            self.bytes[at + 3],
+        ]))
+    }
+
+    /// Iterates the decoded entries in arena order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Timestamp)> + 'a {
+        self.bytes
+            .chunks_exact(layout::ENTRY_BYTES)
+            .map(decode_entry)
+    }
+
+    /// Decodes the whole summary into an owned vector (diagnostics and
+    /// tests; query paths iterate the image directly).
+    pub fn to_vec(&self) -> Vec<(NodeId, Timestamp)> {
+        self.iter().collect()
+    }
+}
+
+impl PartialEq for EntriesSlice<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        // The encoding is canonical, so equal entries ⇔ equal bytes.
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for EntriesSlice<'_> {}
+
+impl PartialEq<[(NodeId, Timestamp)]> for EntriesSlice<'_> {
+    fn eq(&self, other: &[(NodeId, Timestamp)]) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter().copied()).all(|(a, b)| a == b)
+    }
+}
+
+impl PartialEq<&[(NodeId, Timestamp)]> for EntriesSlice<'_> {
+    fn eq(&self, other: &&[(NodeId, Timestamp)]) -> bool {
+        *self == **other
+    }
+}
+
+impl PartialEq<Vec<(NodeId, Timestamp)>> for EntriesSlice<'_> {
+    fn eq(&self, other: &Vec<(NodeId, Timestamp)>) -> bool {
+        *self == other[..]
+    }
+}
+
+impl fmt::Debug for EntriesSlice<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
 }
 
 /// Length of the union of two sorted, duplicate-free summary slices,
 /// counted with a two-pointer merge — no union is materialized. The exact
 /// batch path's fast path for two-seed queries.
 // xtask-contract: alloc-free, kernel
-fn sorted_union_len(a: &[(NodeId, Timestamp)], b: &[(NodeId, Timestamp)]) -> usize {
+fn sorted_union_len(a: EntriesSlice<'_>, b: EntriesSlice<'_>) -> usize {
     let (mut i, mut j, mut len) = (0usize, 0usize, 0usize);
     while i < a.len() && j < b.len() {
         len += 1;
-        match a[i].0.cmp(&b[j].0) {
+        match a.target(i).cmp(&b.target(j)) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
@@ -91,14 +293,19 @@ fn sorted_union_len(a: &[(NodeId, Timestamp)], b: &[(NodeId, Timestamp)]) -> usi
     len + (a.len() - i) + (b.len() - j)
 }
 
-/// Exact IRS summaries frozen into a CSR arena (see module docs).
+/// Exact IRS summaries frozen into a CSR arena over one contiguous
+/// [`ArenaBytes`] image in the IPFE v2 layout (see the module docs and
+/// [`layout`]): header, aligned offset section, aligned entry section.
+/// The image is the on-disk format — persisting writes it verbatim, and
+/// loading (or mapping) wraps the file bytes without copying a section.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FrozenExactOracle {
     window: Window,
-    /// `offsets.len() == num_nodes + 1`; node `u`'s summary is
-    /// `entries[offsets[u] .. offsets[u + 1]]`.
-    offsets: Vec<u32>,
-    entries: Vec<(NodeId, Timestamp)>,
+    num_nodes: usize,
+    total: usize,
+    offsets_at: usize,
+    entries_at: usize,
+    data: ArenaBytes,
 }
 
 impl FrozenExactOracle {
@@ -109,38 +316,46 @@ impl FrozenExactOracle {
     /// # Panics
     ///
     /// Panics if the total entry count exceeds `u32::MAX` (≈ 4.3 G
-    /// entries — beyond any in-memory summary set this crate targets).
+    /// entries — beyond any in-memory summary set this crate targets) or
+    /// the node count exceeds `u32::MAX`.
     pub fn from_summaries(window: Window, summaries: &[Vec<(NodeId, Timestamp)>]) -> Self {
         let total: usize = summaries.iter().map(Vec::len).sum();
         assert!(
             u32::try_from(total).is_ok(),
             "frozen arena limited to u32::MAX entries, got {total}"
         );
-        let mut offsets = Vec::with_capacity(summaries.len() + 1);
-        let mut entries = Vec::with_capacity(total);
+        let n = summaries.len();
+        assert!(
+            u32::try_from(n).is_ok(),
+            "frozen arena limited to u32::MAX nodes, got {n}"
+        );
+        let (offsets_at, entries_at, image_len) = layout::exact_sections(n, total);
+        let mut img = vec![0u8; image_len];
+        write_exact_header(&mut img, window, n, total);
+        put_u32(&mut img, offsets_at, 0);
         let mut running = 0u32;
-        offsets.push(0);
-        for summary in summaries {
-            entries.extend_from_slice(summary);
+        let mut at = entries_at;
+        for (i, summary) in summaries.iter().enumerate() {
             // Fits: the sum of all lengths was checked against u32 above.
             running += summary.len() as u32; // xtask-allow: no-lossy-cast (total checked against u32::MAX)
-            offsets.push(running);
+            put_u32(&mut img, offsets_at + (i + 1) * 4, running);
+            for &(v, t) in summary {
+                put_entry(&mut img, at, v, t);
+                at += layout::ENTRY_BYTES;
+            }
         }
-        FrozenExactOracle {
-            window,
-            offsets,
-            entries,
-        }
+        Self::from_image(window, n, total, ArenaBytes::from_vec(img))
     }
 
-    /// Reassembles an arena from its raw parts (the persist layer's load
-    /// path — no per-node allocation). The caller must have validated the
-    /// CSR shape; this constructor only asserts the cheap global frame.
+    /// Reassembles an arena from decoded CSR parts (legacy-format loads
+    /// and tests). The caller must have validated the CSR shape; this
+    /// constructor only asserts the cheap global frame, then re-encodes
+    /// the parts into a canonical v2 image.
     ///
     /// # Panics
     ///
-    /// Panics if `offsets` is empty, does not start at 0, or does not end
-    /// at `entries.len()`.
+    /// Panics if `offsets` is empty, does not start at 0, does not end at
+    /// `entries.len()`, or frames more than `u32::MAX` nodes.
     pub fn from_parts(
         window: Window,
         offsets: Vec<u32>,
@@ -151,11 +366,56 @@ impl FrozenExactOracle {
                 && offsets.last().map(|&e| e as usize) == Some(entries.len()), // xtask-allow: no-lossy-cast (u32 fits usize)
             "offsets must frame the entries array"
         );
+        let n = offsets.len() - 1;
+        assert!(
+            u32::try_from(n).is_ok(),
+            "frozen arena limited to u32::MAX nodes, got {n}"
+        );
+        let total = entries.len();
+        let (offsets_at, entries_at, image_len) = layout::exact_sections(n, total);
+        let mut img = vec![0u8; image_len];
+        write_exact_header(&mut img, window, n, total);
+        for (i, &o) in offsets.iter().enumerate() {
+            put_u32(&mut img, offsets_at + i * 4, o);
+        }
+        for (i, &(v, t)) in entries.iter().enumerate() {
+            put_entry(&mut img, entries_at + i * layout::ENTRY_BYTES, v, t);
+        }
+        Self::from_image(window, n, total, ArenaBytes::from_vec(img))
+    }
+
+    /// Wraps an already-validated IPFE v2 image: `data` must hold exactly
+    /// the sections [`layout::exact_sections`] describes for
+    /// (`num_nodes`, `total`) under a header matching `window`. The
+    /// constructors above build such images from trusted parts; the
+    /// persist layer validates untrusted bytes before calling this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data`'s length does not match the layout.
+    pub(crate) fn from_image(
+        window: Window,
+        num_nodes: usize,
+        total: usize,
+        data: ArenaBytes,
+    ) -> Self {
+        let (offsets_at, entries_at, image_len) = layout::exact_sections(num_nodes, total);
+        assert_eq!(data.len(), image_len, "image length must match its header");
         FrozenExactOracle {
             window,
-            offsets,
-            entries,
+            num_nodes,
+            total,
+            offsets_at,
+            entries_at,
+            data,
         }
+    }
+
+    /// The arena's whole image — the exact bytes the persist layer
+    /// writes, exposed so callers can inspect the load backend (owned vs
+    /// mapped) and account heap usage.
+    pub fn image(&self) -> &ArenaBytes {
+        &self.data
     }
 
     /// The window `ω` the summaries were computed under.
@@ -164,39 +424,53 @@ impl FrozenExactOracle {
         self.window
     }
 
-    /// Node `u`'s frozen summary — sorted by `NodeId`, identical content
-    /// to the live summary it was frozen from.
+    /// CSR offset `i`, decoded from the image.
     #[inline]
     // xtask-contract: alloc-free, kernel
-    pub fn summary(&self, node: NodeId) -> &[(NodeId, Timestamp)] {
+    fn offset(&self, i: usize) -> usize {
+        let at = self.offsets_at + i * 4;
+        let b = self.data.as_slice();
+        u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]]) as usize // xtask-allow: no-lossy-cast (u32 fits usize)
+    }
+
+    /// Node `u`'s frozen summary — sorted by `NodeId`, identical content
+    /// to the live summary it was frozen from, borrowed straight from the
+    /// arena image.
+    #[inline]
+    // xtask-contract: alloc-free, kernel
+    pub fn summary(&self, node: NodeId) -> EntriesSlice<'_> {
         let i = node.index();
-        let lo = self.offsets[i] as usize; // xtask-allow: no-lossy-cast (u32 fits usize)
-        let hi = self.offsets[i + 1] as usize; // xtask-allow: no-lossy-cast (u32 fits usize)
-        &self.entries[lo..hi]
+        let lo = self.entries_at + self.offset(i) * layout::ENTRY_BYTES;
+        let hi = self.entries_at + self.offset(i + 1) * layout::ENTRY_BYTES;
+        EntriesSlice::new(&self.data.as_slice()[lo..hi])
     }
 
-    /// The CSR offset array (`num_nodes + 1` entries), for serialization.
-    #[inline]
-    pub fn offsets(&self) -> &[u32] {
-        &self.offsets
+    /// The CSR offset array (`num_nodes + 1` entries), decoded from the
+    /// image. Allocates — diagnostics and tests; query paths read the
+    /// image directly.
+    pub fn offsets(&self) -> Vec<u32> {
+        (0..=self.num_nodes)
+            .map(|i| self.offset(i) as u32) // xtask-allow: no-lossy-cast (decoded from a u32 field)
+            .collect()
     }
 
-    /// The flat entry array, for serialization.
-    #[inline]
-    pub fn entries(&self) -> &[(NodeId, Timestamp)] {
-        &self.entries
+    /// The flat entry array, decoded from the image. Allocates —
+    /// diagnostics and tests; query paths read the image directly.
+    pub fn entries(&self) -> Vec<(NodeId, Timestamp)> {
+        let lo = self.entries_at;
+        EntriesSlice::new(&self.data.as_slice()[lo..lo + self.total * layout::ENTRY_BYTES]).to_vec()
     }
 
     /// Total entries across all nodes.
     #[inline]
     pub fn total_entries(&self) -> usize {
-        self.entries.len()
+        self.total
     }
 
     /// Validates every frozen summary against the paper invariants
-    /// (sorted, no self-entry) — the same checks as
-    /// [`ExactIrs::validate`](crate::ExactIrs::validate), read off the
-    /// arena.
+    /// (sorted, no self-entry, every target inside the universe) — the
+    /// deep counterpart of the persist layer's cheap structural load
+    /// checks, read off the arena.
     pub fn validate(&self) -> Result<(), InvariantViolation> {
         self.validate_threads(1)
     }
@@ -204,9 +478,27 @@ impl FrozenExactOracle {
     /// [`validate`](Self::validate) fanned out over up to `threads`
     /// workers; reports the lowest failing node, like the serial loop.
     pub fn validate_threads(&self, threads: usize) -> Result<(), InvariantViolation> {
-        crate::par::try_for_each_indexed(self.num_nodes(), threads, |i| {
+        let n = self.num_nodes;
+        crate::par::try_for_each_indexed(n, threads, |i| {
             let node = NodeId::from_index(i);
-            validate_exact_summary(node, self.summary(node), None)
+            let mut prev: Option<NodeId> = None;
+            for (x, _) in self.summary(node).iter() {
+                if prev.is_some_and(|p| p >= x) {
+                    return Err(InvariantViolation::UnsortedSummary { node });
+                }
+                prev = Some(x);
+                if x == node {
+                    return Err(InvariantViolation::SelfEntry { node });
+                }
+                if x.index() >= n {
+                    return Err(InvariantViolation::TargetOutOfUniverse {
+                        node,
+                        target: x,
+                        num_nodes: n,
+                    });
+                }
+            }
+            Ok(())
         })
     }
 
@@ -314,7 +606,7 @@ impl FrozenExactOracle {
             _ => {
                 bits.clear();
                 for &s in seeds {
-                    for &(v, _) in self.summary(s) {
+                    for (v, _) in self.summary(s).iter() {
                         bits.insert(v.index());
                     }
                 }
@@ -325,10 +617,10 @@ impl FrozenExactOracle {
 }
 
 impl HeapBytes for FrozenExactOracle {
-    /// Bytes owned by the arena: the offset array plus the flat entries.
+    /// Heap bytes owned by the arena image — zero when the image is a
+    /// file mapping rather than owned memory.
     fn heap_bytes(&self) -> usize {
-        self.offsets.capacity() * std::mem::size_of::<u32>()
-            + self.entries.capacity() * std::mem::size_of::<(NodeId, Timestamp)>()
+        self.data.heap_bytes()
     }
 }
 
@@ -336,7 +628,7 @@ impl InfluenceOracle for FrozenExactOracle {
     type Union = NodeBitset;
 
     fn num_nodes(&self) -> usize {
-        self.offsets.len() - 1
+        self.num_nodes
     }
 
     fn empty_union(&self) -> Self::Union {
@@ -349,7 +641,7 @@ impl InfluenceOracle for FrozenExactOracle {
 
     // xtask-contract: alloc-free, kernel
     fn absorb(&self, union: &mut Self::Union, node: NodeId) {
-        for &(v, _) in self.summary(node) {
+        for (v, _) in self.summary(node).iter() {
             union.insert(v.index());
         }
     }
@@ -358,7 +650,7 @@ impl InfluenceOracle for FrozenExactOracle {
     fn marginal_gain(&self, union: &Self::Union, node: NodeId) -> f64 {
         self.summary(node)
             .iter()
-            .filter(|&&(v, _)| !union.contains(v.index()))
+            .filter(|&(v, _)| !union.contains(v.index()))
             .count() as f64
     }
 
@@ -373,20 +665,19 @@ impl InfluenceOracle for FrozenExactOracle {
 }
 
 /// Collapsed vHLL sketches frozen into a flat register arena with
-/// precomputed per-node estimates (see module docs).
+/// precomputed per-node estimates, all backed by one contiguous
+/// [`ArenaBytes`] image in the IPFA v3 layout (see the module docs and
+/// [`layout`]). The node-major registers, the tile-major transpose, and
+/// the stored estimates are borrowed sections of the image — a mapped
+/// file is queryable without copying or recomputing any of them.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FrozenApproxOracle {
     precision: u8,
-    /// `β = 2^precision` bytes per node, nodes concatenated in id order —
-    /// the layout serialization and whole-row reads
-    /// ([`node_registers`](Self::node_registers)) use.
-    registers: Vec<u8>,
-    /// The same register values in tile-major order (see
-    /// [`transpose_registers`]) — the layout the query kernels stream.
-    transposed: Vec<u8>,
-    /// `individual(u)` precomputed at freeze time with the same estimator
-    /// (and summation order) the live oracle uses — bit-identical reads.
-    individuals: Vec<f64>,
+    num_nodes: usize,
+    regs_at: usize,
+    trans_at: usize,
+    indiv_at: usize,
+    data: ArenaBytes,
 }
 
 impl FrozenApproxOracle {
@@ -423,30 +714,67 @@ impl FrozenApproxOracle {
         Self::from_registers_arena(precision, registers)
     }
 
-    /// Builds the arena from a flat register array (`β` bytes per node) —
-    /// the persist layer's load path. Per-node estimates are recomputed
-    /// here in one pass; nothing else is allocated per node.
+    /// Builds the arena from a flat register array (`β` bytes per node):
+    /// the transpose and per-node estimates are computed once here and
+    /// stored in the image, so loading the persisted arena recomputes
+    /// neither.
     ///
     /// # Panics
     ///
-    /// Panics if `registers.len()` is not a multiple of `β = 2^precision`.
+    /// Panics if `registers.len()` is not a multiple of `β = 2^precision`
+    /// or holds more than `u32::MAX` node slots.
     pub fn from_registers_arena(precision: u8, registers: Vec<u8>) -> Self {
         let beta = 1usize << precision;
         assert!(
             registers.len().is_multiple_of(beta),
             "register arena must hold whole β-sized node slots"
         );
-        let individuals = registers
-            .chunks_exact(beta)
-            .map(estimate_from_registers)
-            .collect();
+        let n = registers.len() / beta;
+        assert!(
+            u32::try_from(n).is_ok(),
+            "frozen arena limited to u32::MAX nodes, got {n}"
+        );
         let transposed = transpose_registers(precision, &registers);
+        let (regs_at, trans_at, indiv_at, image_len) = layout::approx_sections(n, beta);
+        let mut img = vec![0u8; image_len];
+        write_approx_header(&mut img, precision, n);
+        img[regs_at..regs_at + n * beta].copy_from_slice(&registers);
+        img[trans_at..trans_at + n * beta].copy_from_slice(&transposed);
+        for (i, row) in registers.chunks_exact(beta).enumerate() {
+            let at = indiv_at + i * 8;
+            img[at..at + 8].copy_from_slice(&estimate_from_registers(row).to_le_bytes());
+        }
+        Self::from_image(precision, n, ArenaBytes::from_vec(img))
+    }
+
+    /// Wraps an already-validated IPFA v3 image: `data` must hold exactly
+    /// the sections [`layout::approx_sections`] describes for
+    /// (`num_nodes`, `β = 2^precision`) under a matching header. The
+    /// constructors above build such images from trusted registers; the
+    /// persist layer validates untrusted bytes before calling this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data`'s length does not match the layout.
+    pub(crate) fn from_image(precision: u8, num_nodes: usize, data: ArenaBytes) -> Self {
+        let beta = 1usize << precision;
+        let (regs_at, trans_at, indiv_at, image_len) = layout::approx_sections(num_nodes, beta);
+        assert_eq!(data.len(), image_len, "image length must match its header");
         FrozenApproxOracle {
             precision,
-            registers,
-            transposed,
-            individuals,
+            num_nodes,
+            regs_at,
+            trans_at,
+            indiv_at,
+            data,
         }
+    }
+
+    /// The arena's whole image — the exact bytes the persist layer
+    /// writes, exposed so callers can inspect the load backend (owned vs
+    /// mapped) and account heap usage.
+    pub fn image(&self) -> &ArenaBytes {
+        &self.data
     }
 
     /// Sketch precision `k` (`β = 2^k` registers per node).
@@ -460,36 +788,62 @@ impl FrozenApproxOracle {
     // xtask-contract: alloc-free, kernel
     pub fn node_registers(&self, node: NodeId) -> &[u8] {
         let beta = 1usize << self.precision;
-        let lo = node.index() * beta;
-        &self.registers[lo..lo + beta]
+        let lo = self.regs_at + node.index() * beta;
+        &self.data.as_slice()[lo..lo + beta]
     }
 
-    /// The whole flat register arena (node-major), for serialization.
+    /// The whole flat register arena (node-major), borrowed from the
+    /// image.
     #[inline]
+    // xtask-contract: alloc-free, kernel
     pub fn registers(&self) -> &[u8] {
-        &self.registers
+        let len = self.num_nodes << self.precision;
+        &self.data.as_slice()[self.regs_at..self.regs_at + len]
     }
 
     /// The register-transposed (tile-major) arena the query kernels
     /// stream — same bytes as [`registers`](Self::registers), reordered by
-    /// [`transpose_registers`]. Exposed for serialization.
+    /// [`transpose_registers`], borrowed from the image.
     #[inline]
+    // xtask-contract: alloc-free, kernel
     pub fn transposed(&self) -> &[u8] {
-        &self.transposed
+        let len = self.num_nodes << self.precision;
+        &self.data.as_slice()[self.trans_at..self.trans_at + len]
+    }
+
+    /// The stored estimate of node index `i`, decoded from the image's
+    /// individuals section — the exact bits `estimate_from_registers`
+    /// produced at freeze time.
+    #[inline]
+    // xtask-contract: alloc-free, kernel
+    fn individual_at(&self, i: usize) -> f64 {
+        let at = self.indiv_at + i * 8;
+        let b = self.data.as_slice();
+        f64::from_le_bytes([
+            b[at],
+            b[at + 1],
+            b[at + 2],
+            b[at + 3],
+            b[at + 4],
+            b[at + 5],
+            b[at + 6],
+            b[at + 7],
+        ])
     }
 
     /// Node `u`'s `step = min(TILE, β)` registers of transpose tile
-    /// `tile` — one contiguous chunk of the tile-major arena. This is the
-    /// tile-major counterpart of [`node_registers`](Self::node_registers):
-    /// consecutive nodes' chunks of one tile are adjacent, so kernels that
-    /// sweep a fixed register range across *many* nodes (column analytics,
-    /// seed-id-local scans) stream it sequentially.
+    /// `tile` — one contiguous `step`-byte chunk of the tile-major arena.
+    /// This is the tile-major counterpart of
+    /// [`node_registers`](Self::node_registers): consecutive nodes' chunks
+    /// of one tile are adjacent, so kernels that sweep a fixed register
+    /// range across *many* nodes (column analytics, seed-id-local scans)
+    /// stream it sequentially.
     #[inline]
     // xtask-contract: alloc-free, kernel
     pub fn tile_chunk(&self, tile: usize, node: NodeId) -> &[u8] {
         let step = TILE.min(1usize << self.precision);
-        let lo = (tile * self.individuals.len() + node.index()) * step;
-        &self.transposed[lo..lo + step]
+        let lo = (tile * self.num_nodes + node.index()) * step;
+        &self.transposed()[lo..lo + step]
     }
 
     /// Node `u`'s `step = min(TILE, β)` registers of tile `tile`, read from
@@ -504,7 +858,7 @@ impl FrozenApproxOracle {
         let beta = 1usize << self.precision;
         let step = TILE.min(beta);
         let lo = node.index() * beta + tile * step;
-        &self.registers[lo..lo + step]
+        &self.registers()[lo..lo + step]
     }
 
     /// [`row_chunk`](Self::row_chunk) for the `β ≥ TILE` case: the slice
@@ -516,7 +870,7 @@ impl FrozenApproxOracle {
     // xtask-contract: alloc-free, kernel
     fn row_tile(&self, beta: usize, tile: usize, node: NodeId) -> &[u8] {
         let lo = node.index() * beta + tile * TILE;
-        &self.registers[lo..lo + TILE]
+        &self.registers()[lo..lo + TILE]
     }
 
     /// The fused merge/absorb loop for one seed set when `β ≥ TILE`.
@@ -560,7 +914,7 @@ impl FrozenApproxOracle {
         ests: &mut [RunningEstimator; GROUP],
         qn: usize,
     ) {
-        let regs: &[u8] = &self.registers;
+        let regs: &[u8] = self.registers();
         // Lanes past `qn` (and empty seed sets) keep their zero blocks: a
         // zero register absorbs as `2^-0`, and unused lanes' estimators are
         // never read, so the wide absorb below stays safe and exact.
@@ -753,9 +1107,12 @@ impl FrozenApproxOracle {
         out
     }
 
-    /// Validates every register against the sketch range invariant
-    /// `ρ ≤ 64 − k + 1` — any larger value cannot have been produced by
-    /// `ApproxAdd`/`ApproxMerge` and would bias estimates.
+    /// Validates the arena: every register within the sketch range
+    /// invariant `ρ ≤ 64 − k + 1` (any larger value cannot have been
+    /// produced by `ApproxAdd`/`ApproxMerge` and would bias estimates),
+    /// and the image's derived sections — the tile-major transpose and
+    /// the stored per-node estimates — consistent with the node-major
+    /// registers they were computed from.
     pub fn validate(&self) -> Result<(), InvariantViolation> {
         self.validate_threads(1)
     }
@@ -764,23 +1121,39 @@ impl FrozenApproxOracle {
     /// workers; reports the lowest failing node, like the serial loop.
     pub fn validate_threads(&self, threads: usize) -> Result<(), InvariantViolation> {
         let max_rho = 64 - self.precision + 1;
-        crate::par::try_for_each_indexed(self.num_nodes(), threads, |i| {
+        let beta = 1usize << self.precision;
+        let step = TILE.min(beta);
+        crate::par::try_for_each_indexed(self.num_nodes, threads, |i| {
             let node = NodeId::from_index(i);
-            match self.node_registers(node).iter().find(|&&r| r > max_rho) {
-                Some(&rho) => Err(InvariantViolation::RegisterOutOfRange { node, rho, max_rho }),
-                None => Ok(()),
+            let row = self.node_registers(node);
+            if let Some(&rho) = row.iter().find(|&&r| r > max_rho) {
+                return Err(InvariantViolation::RegisterOutOfRange { node, rho, max_rho });
             }
+            for t in 0..beta / step {
+                if self.tile_chunk(t, node) != &row[t * step..(t + 1) * step] {
+                    return Err(InvariantViolation::FrozenSectionMismatch {
+                        node,
+                        section: "transposed",
+                    });
+                }
+            }
+            if self.individual_at(i).to_bits() != estimate_from_registers(row).to_bits() {
+                return Err(InvariantViolation::FrozenSectionMismatch {
+                    node,
+                    section: "individuals",
+                });
+            }
+            Ok(())
         })
     }
 }
 
 impl HeapBytes for FrozenApproxOracle {
-    /// Bytes owned by the arena: both register layouts (node-major and
-    /// tile-major) plus the precomputed estimates.
+    /// Heap bytes owned by the arena image (both register layouts plus the
+    /// stored estimates) — zero when the image is a file mapping rather
+    /// than owned memory.
     fn heap_bytes(&self) -> usize {
-        self.registers.capacity()
-            + self.transposed.capacity()
-            + self.individuals.capacity() * std::mem::size_of::<f64>()
+        self.data.heap_bytes()
     }
 }
 
@@ -788,7 +1161,7 @@ impl InfluenceOracle for FrozenApproxOracle {
     type Union = HyperLogLog;
 
     fn num_nodes(&self) -> usize {
-        self.individuals.len()
+        self.num_nodes
     }
 
     /// Fused k-way union estimate: merges the seeds' node-major register
@@ -850,7 +1223,7 @@ impl InfluenceOracle for FrozenApproxOracle {
 
     // xtask-contract: alloc-free, kernel
     fn individual(&self, node: NodeId) -> f64 {
-        self.individuals[node.index()]
+        self.individual_at(node.index())
     }
 
     fn reset_union(&self, union: &mut Self::Union) {
@@ -860,6 +1233,29 @@ impl InfluenceOracle for FrozenApproxOracle {
             *union = self.empty_union();
         }
     }
+}
+
+/// Rewrites a node-major register arena (`β` bytes per node) into the
+/// tile-major layout the frozen query kernels stream: for tile `t` of
+/// `step = min(TILE, β)` registers, node `u`'s registers
+/// `t·step .. (t+1)·step` live at `transposed[(t·n + u)·step ..][..step]`.
+/// A multi-seed union then reads one contiguous `step`-byte chunk per seed
+/// per tile — chunks of id-adjacent seeds share cache lines — instead of
+/// striding `β` bytes apart through the node-major arena.
+pub(crate) fn transpose_registers(precision: u8, registers: &[u8]) -> Vec<u8> {
+    let beta = 1usize << precision;
+    let step = TILE.min(beta);
+    let tiles = beta / step;
+    let n = registers.len() / beta;
+    let mut out = vec![0u8; registers.len()];
+    for u in 0..n {
+        for t in 0..tiles {
+            let src = u * beta + t * step;
+            let dst = (t * n + u) * step;
+            out[dst..dst + step].copy_from_slice(&registers[src..src + step]);
+        }
+    }
+    out
 }
 
 /// Publishes a frozen arena's size to the `frozen.bytes` gauge — shared by
@@ -873,6 +1269,7 @@ pub(crate) fn record_frozen_bytes<R: Recorder, O: HeapBytes>(oracle: &O, rec: &R
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arena::ARENA_ALIGN;
     use crate::{ApproxIrs, ExactIrs, InfluenceOracle};
     use infprop_temporal_graph::InteractionNetwork;
 
@@ -975,6 +1372,51 @@ mod tests {
     }
 
     #[test]
+    fn image_sections_are_aligned_and_framed() {
+        let net = figure1a();
+        let exact = ExactIrs::compute(&net, Window(3)).freeze();
+        let (o_at, e_at, len) = layout::exact_sections(exact.num_nodes(), exact.total_entries());
+        assert_eq!(exact.image().len(), len);
+        assert_eq!(o_at % ARENA_ALIGN, 0);
+        assert_eq!(e_at % ARENA_ALIGN, 0);
+        assert_eq!(&exact.image().as_slice()[..4], layout::EXACT_MAGIC);
+        assert_eq!(exact.image().as_slice()[4], layout::EXACT_VERSION);
+
+        let approx = ApproxIrs::compute(&net, Window(3)).freeze();
+        let beta = 1usize << approx.precision();
+        let (r_at, t_at, i_at, alen) = layout::approx_sections(approx.num_nodes(), beta);
+        assert_eq!(approx.image().len(), alen);
+        assert_eq!(r_at % ARENA_ALIGN, 0);
+        assert_eq!(t_at % ARENA_ALIGN, 0);
+        assert_eq!(i_at % ARENA_ALIGN, 0);
+        assert_eq!(&approx.image().as_slice()[..4], layout::APPROX_MAGIC);
+        assert_eq!(approx.image().as_slice()[4], layout::APPROX_VERSION);
+
+        // The empty universe is a legal (header-only) image.
+        let empty = FrozenExactOracle::from_summaries(Window(1), &[]);
+        assert_eq!(empty.num_nodes(), 0);
+        assert!(empty.validate().is_ok());
+    }
+
+    #[test]
+    fn entries_slice_decodes_and_compares() {
+        let entries = vec![(NodeId(1), Timestamp(5)), (NodeId(3), Timestamp(-2))];
+        let arena = FrozenExactOracle::from_parts(Window(3), vec![0, 2, 2, 2, 2], entries.clone());
+        let s = arena.summary(NodeId(0));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.get(1), (NodeId(3), Timestamp(-2)));
+        assert_eq!(s.target(0), NodeId(1));
+        assert_eq!(s, entries);
+        assert_eq!(s.to_vec(), entries);
+        assert_eq!(s, arena.summary(NodeId(0)));
+        assert!(arena.summary(NodeId(1)).is_empty());
+        assert_eq!(arena.summary(NodeId(1)), EntriesSlice::empty());
+        assert_eq!(arena.entries(), entries);
+        assert_eq!(arena.offsets(), vec![0, 2, 2, 2, 2]);
+    }
+
+    #[test]
     fn validate_rejects_out_of_range_register() {
         let arena = FrozenApproxOracle::from_registers_arena(4, vec![0u8; 32]);
         assert!(arena.validate().is_ok());
@@ -997,6 +1439,57 @@ mod tests {
         assert!(matches!(
             arena.validate(),
             Err(InvariantViolation::UnsortedSummary { node: NodeId(0) })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_target_outside_universe() {
+        let entries = vec![(NodeId(9), Timestamp(5))];
+        let arena = FrozenExactOracle::from_parts(Window(3), vec![0, 1, 1], entries);
+        assert_eq!(
+            arena.validate(),
+            Err(InvariantViolation::TargetOutOfUniverse {
+                node: NodeId(0),
+                target: NodeId(9),
+                num_nodes: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_derived_sections() {
+        let net = figure1a();
+        let frozen = ApproxIrs::compute(&net, Window(3)).freeze();
+        assert!(frozen.validate().is_ok());
+
+        let mut img = frozen.image().as_slice().to_vec();
+        img[frozen.trans_at] ^= 1;
+        let bad = FrozenApproxOracle::from_image(
+            frozen.precision(),
+            frozen.num_nodes(),
+            ArenaBytes::from_vec(img),
+        );
+        assert!(matches!(
+            bad.validate(),
+            Err(InvariantViolation::FrozenSectionMismatch {
+                section: "transposed",
+                ..
+            })
+        ));
+
+        let mut img = frozen.image().as_slice().to_vec();
+        img[frozen.indiv_at] ^= 1;
+        let bad = FrozenApproxOracle::from_image(
+            frozen.precision(),
+            frozen.num_nodes(),
+            ArenaBytes::from_vec(img),
+        );
+        assert!(matches!(
+            bad.validate(),
+            Err(InvariantViolation::FrozenSectionMismatch {
+                section: "individuals",
+                ..
+            })
         ));
     }
 

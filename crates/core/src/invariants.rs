@@ -72,6 +72,28 @@ pub enum InvariantViolation {
         /// The largest legal ρ for the arena's precision.
         max_rho: u8,
     },
+    /// A frozen exact summary references a target node outside the arena's
+    /// universe — the CSR image frames `num_nodes` nodes, so any entry id
+    /// at or beyond that count indexes past every per-node structure built
+    /// from the arena.
+    TargetOutOfUniverse {
+        /// The node whose summary is corrupt.
+        node: NodeId,
+        /// The out-of-universe target id.
+        target: NodeId,
+        /// The arena's universe size.
+        num_nodes: usize,
+    },
+    /// A derived section of a frozen arena image (the tile-major transpose
+    /// or the stored per-node estimates) disagrees with the node-major
+    /// registers it was computed from — the sections answer interchangeable
+    /// queries, so a mismatch means silently divergent answers.
+    FrozenSectionMismatch {
+        /// The first node whose derived data is inconsistent.
+        node: NodeId,
+        /// The inconsistent section (`"transposed"` or `"individuals"`).
+        section: &'static str,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -103,6 +125,18 @@ impl fmt::Display for InvariantViolation {
                     "frozen registers of {node} hold ρ = {rho} beyond the legal maximum {max_rho}"
                 )
             }
+            InvariantViolation::TargetOutOfUniverse {
+                node,
+                target,
+                num_nodes,
+            } => write!(
+                f,
+                "summary of {node} references {target} outside the {num_nodes}-node universe"
+            ),
+            InvariantViolation::FrozenSectionMismatch { node, section } => write!(
+                f,
+                "frozen arena's {section} section disagrees with the registers of {node}"
+            ),
         }
     }
 }

@@ -1,4 +1,4 @@
-// xtask-allow: forbid-unsafe (the literal forbid below is conditional: builds without the opt-in `simd-avx2` feature keep `#![forbid(unsafe_code)]`; with it, unsafe is denied crate-wide except the one allow-scoped AVX2 kernel module)
+// xtask-allow: forbid-unsafe (the literal forbid below is conditional: builds without the opt-in `simd-avx2`/`mmap` features keep `#![forbid(unsafe_code)]`; with either, unsafe is denied crate-wide except the allow-scoped AVX2 kernel and mmap arena modules)
 //! The paper's primary contribution: influence-reachability sets (IRS) over
 //! time-constrained information channels, computed in **one pass** over an
 //! interaction network — exactly or with versioned-HyperLogLog sketches —
@@ -74,13 +74,15 @@
 
 #![warn(missing_docs)]
 // Default builds stay `forbid(unsafe_code)`-clean. The opt-in `simd-avx2`
-// feature downgrades the crate-wide lint to `deny` so the single
-// `#[allow(unsafe_code)]` AVX2 dispatch module in [`kernel`] can exist;
-// every other module is still rejected at compile time if it tries.
-#![cfg_attr(not(feature = "simd-avx2"), forbid(unsafe_code))]
-#![cfg_attr(feature = "simd-avx2", deny(unsafe_code))]
+// and `mmap` features downgrade the crate-wide lint to `deny` so their one
+// `#[allow(unsafe_code)]` module each — the AVX2 dispatch in [`kernel`] and
+// the mapping wrapper in `arena` — can exist; every other module is still
+// rejected at compile time if it tries.
+#![cfg_attr(not(any(feature = "simd-avx2", feature = "mmap")), forbid(unsafe_code))]
+#![cfg_attr(any(feature = "simd-avx2", feature = "mmap"), deny(unsafe_code))]
 
 mod approx;
+mod arena;
 mod brute;
 mod channel;
 mod delta;
@@ -95,6 +97,7 @@ mod oracle;
 pub mod par;
 mod persist;
 mod profile;
+pub mod serve;
 mod stream;
 pub mod trace;
 
@@ -109,6 +112,7 @@ pub type FastMap<K, V> = infprop_hll::hash::FastHashMap<K, V>;
 pub type FastSet<K> = infprop_hll::hash::FastHashSet<K>;
 
 pub use approx::{ApproxIrs, DEFAULT_PRECISION};
+pub use arena::{ArenaBytes, ARENA_ALIGN};
 pub use brute::{brute_force_irs, brute_force_irs_all};
 pub use channel::{channels_from, find_channel, Channel};
 pub use delta::{DeltaOverlay, LayeredApproxOracle, LayeredExactOracle, StaleAppend};
@@ -116,7 +120,7 @@ pub use engine::{
     ExactStore, ExactSummary, OutOfOrder, ReversePassEngine, SummaryStore, VhllStore,
 };
 pub use exact::ExactIrs;
-pub use frozen::{FrozenApproxOracle, FrozenExactOracle};
+pub use frozen::{EntriesSlice, FrozenApproxOracle, FrozenExactOracle};
 pub use invariants::{validate_all, InvariantViolation};
 pub use maximize::{
     greedy_top_k, greedy_top_k_paper, greedy_top_k_paper_threads, greedy_top_k_recorded,
@@ -124,7 +128,10 @@ pub use maximize::{
 };
 pub use obs::{HeapBytes, MetricsRecorder, MetricsSnapshot, NoopRecorder, Recorder};
 pub use oracle::{ApproxOracle, ExactOracle, InfluenceOracle, NodeBitset};
-pub use persist::{LayeredKind, LayeredManifest, MANIFEST_FILE};
+pub use persist::{
+    LayeredKind, LayeredManifest, FROZEN_APPROX_LAYOUT_VERSION, FROZEN_EXACT_LAYOUT_VERSION,
+    MANIFEST_FILE,
+};
 pub use profile::{ContactDirection, SlidingContacts};
 pub use stream::{ApproxIrsStream, ExactIrsStream};
 pub use trace::{

@@ -103,11 +103,18 @@ pub enum Counter {
     /// Register rows (seed summaries after dedup) folded by the wide-lane
     /// merge kernel across batch queries.
     KernelMergeRows,
+    /// Client connections accepted by the serving tier.
+    ServeConnections,
+    /// Request frames decoded by the serving tier (one per protocol frame).
+    ServeRequests,
+    /// Individual influence queries answered by the serving tier (a batched
+    /// `influence` frame counts each seed set).
+    ServeQueries,
 }
 
 impl Counter {
     /// Every counter, in stable catalogue (serialization) order.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 29] = [
         Counter::EngineInteractions,
         Counter::EngineTieBatches,
         Counter::EngineOutOfOrderRejects,
@@ -134,6 +141,9 @@ impl Counter {
         Counter::CompactionExpired,
         Counter::KernelBatchQueries,
         Counter::KernelMergeRows,
+        Counter::ServeConnections,
+        Counter::ServeRequests,
+        Counter::ServeQueries,
     ];
 
     /// Stable dotted metric name.
@@ -165,6 +175,9 @@ impl Counter {
             Counter::CompactionExpired => "compaction.expired_interactions",
             Counter::KernelBatchQueries => "kernel.batch_queries",
             Counter::KernelMergeRows => "kernel.merge_rows",
+            Counter::ServeConnections => "serve.connections",
+            Counter::ServeRequests => "serve.requests",
+            Counter::ServeQueries => "serve.queries",
         }
     }
 
@@ -253,11 +266,20 @@ pub enum Hist {
     /// Wall time per query inside a recorded batch-kernel call (unit:
     /// nanoseconds) — the histogram the CLI's p50/p99 report reads.
     KernelQueryNs,
+    /// Wall time per oracle file/directory load (unit: nanoseconds) — fed
+    /// by the CLI and serve loaders, the histogram behind the load-latency
+    /// line and the mmap-vs-read bench row.
+    OracleLoadNs,
+    /// Wall time per served request frame, decode to flush (unit:
+    /// nanoseconds) — the serving tier's p50/p99/p999 source.
+    ServeRequestNs,
+    /// Influence queries per served batch frame (unit: queries).
+    ServeBatchSize,
 }
 
 impl Hist {
     /// Every histogram, in stable catalogue (serialization) order.
-    pub const ALL: [Hist; 9] = [
+    pub const ALL: [Hist; 12] = [
         Hist::EngineTieBatchSize,
         Hist::ExactMergeSrcLen,
         Hist::ExactSpliceLen,
@@ -267,6 +289,9 @@ impl Hist {
         Hist::CompactionInput,
         Hist::KernelBatchSize,
         Hist::KernelQueryNs,
+        Hist::OracleLoadNs,
+        Hist::ServeRequestNs,
+        Hist::ServeBatchSize,
     ];
 
     /// Stable dotted metric name.
@@ -281,6 +306,9 @@ impl Hist {
             Hist::CompactionInput => "compaction.input_interactions",
             Hist::KernelBatchSize => "kernel.batch_size",
             Hist::KernelQueryNs => "kernel.query_ns",
+            Hist::OracleLoadNs => "oracle.load_ns",
+            Hist::ServeRequestNs => "serve.request_ns",
+            Hist::ServeBatchSize => "serve.batch_size",
         }
     }
 
@@ -1142,16 +1170,18 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn noop_never_reads_the_clock() {
         let rec = NoopRecorder;
         let start = rec.span_start();
         assert!(start.0.is_none());
         rec.span_end(Span::EngineRun, start);
         assert!(!NoopRecorder::ENABLED);
-        assert!(<&NoopRecorder as Recorder>::ENABLED == false);
+        assert!(!<&NoopRecorder as Recorder>::ENABLED);
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn borrowed_recorder_forwards() {
         let rec = MetricsRecorder::new();
         let by_ref = &rec;

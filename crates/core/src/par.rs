@@ -402,7 +402,7 @@ mod tests {
         // must not show in the output at any thread count.
         let serial: Vec<usize> = (0..500)
             .map(|i| {
-                let mut buf = vec![0u8; 64];
+                let mut buf = [0u8; 64];
                 buf[i % 64] = 1;
                 buf.iter().map(|&b| b as usize).sum::<usize>() + i
             })

@@ -10,17 +10,22 @@
 //! * [`ApproxIrs`]: `"IPAI"` header + window + per-node versioned-HLL
 //!   blocks — the full sketch state, from which the oracle can be rebuilt
 //!   and per-node estimates queried.
-//! * [`FrozenExactOracle`]: `"IPFE"` header + the CSR arena verbatim
-//!   (offset array, then the flat entry array) — loads with two bulk reads
-//!   and **no per-node allocation**.
-//! * [`FrozenApproxOracle`]: `"IPFA"` header + the flat node-major
-//!   register arena (`β` bytes per node) + the register-transposed
-//!   (tile-major) arena the query kernels stream (layout version 2; the
-//!   transposed section is verified, version-1 files still load) —
-//!   bulk reads, per-node estimates recomputed in a single pass on load.
+//! * [`FrozenExactOracle`]: `"IPFE"` v2 — the arena image verbatim
+//!   (64-byte-aligned header, offset, and entry sections). The file **is**
+//!   the in-memory arena, so loading borrows it wholesale: one bulk read,
+//!   or a zero-copy memory map under `--features mmap`, with **no
+//!   per-node allocation**. Version-1 (unaligned) files still load.
+//! * [`FrozenApproxOracle`]: `"IPFA"` v3 — the register arena image
+//!   verbatim (aligned header, node-major register, tile-major register,
+//!   and per-node estimate sections), borrowed the same way. Version-1/2
+//!   files still load, their derived sections recomputed.
 //!
 //! Formats are little-endian and validated on read (magic, version,
 //! precision, per-sketch/per-summary invariants) via [`CodecError`].
+//! Current-version frozen arenas get *structural* checks on load; their
+//! deep per-byte invariants are checked by an explicit `validate()` call
+//! on the load paths that consume untrusted files (the layered
+//! `open_layered` readers, the CLI loaders).
 //!
 //! # Layered oracle directories
 //!
@@ -42,11 +47,13 @@
 //! generations are swept only after the manifest commit.
 
 use crate::approx::ApproxIrs;
+use crate::arena::ArenaBytes;
 use crate::delta::{LayeredApproxOracle, LayeredExactOracle};
 use crate::engine::ExactSummary;
 use crate::exact::ExactIrs;
+use crate::frozen::layout;
 use crate::frozen::{FrozenApproxOracle, FrozenExactOracle};
-use crate::oracle::{ApproxOracle, InfluenceOracle};
+use crate::oracle::ApproxOracle;
 use infprop_hll::{validate_version, CodecError, HyperLogLog, VersionedHll, FORMAT_VERSION};
 use infprop_temporal_graph::{Interaction, NodeId, Timestamp, Window};
 use std::fs;
@@ -56,8 +63,6 @@ use std::path::{Path, PathBuf};
 const ORACLE_MAGIC: &[u8; 4] = b"IPAO";
 const IRS_MAGIC: &[u8; 4] = b"IPAI";
 const EXACT_MAGIC: &[u8; 4] = b"IPEI";
-const FROZEN_EXACT_MAGIC: &[u8; 4] = b"IPFE";
-const FROZEN_APPROX_MAGIC: &[u8; 4] = b"IPFA";
 const MANIFEST_MAGIC: &[u8; 4] = b"IPMF";
 const LOG_MAGIC: &[u8; 4] = b"IPIL";
 
@@ -224,48 +229,109 @@ impl ExactIrs {
     }
 }
 
+/// Current `IPFE` layout version. Version 1 packed the sections directly
+/// after the header; version 2 (this build) starts every section on a
+/// 64-byte boundary so the file image **is** the in-memory arena — loads
+/// borrow it wholesale (zero-copy under `--features mmap`). Version-1
+/// files remain loadable (decoded and re-framed into a v2 image); versions
+/// beyond 2 are rejected as [`CodecError::FutureVersion`].
+pub const FROZEN_EXACT_LAYOUT_VERSION: u8 = layout::EXACT_VERSION;
+
+/// Current `IPFA` layout version. Version 1 stored only the node-major
+/// register arena; version 2 appended the register-transposed (tile-major)
+/// section; version 3 (this build) aligns every section to 64 bytes and
+/// appends the per-node estimate table, making the file image identical to
+/// the in-memory arena. Versions 1 and 2 remain loadable (derived sections
+/// are recomputed); versions beyond 3 are rejected as
+/// [`CodecError::FutureVersion`]. Local to the frozen formats — every
+/// other codec stays at the workspace-wide [`FORMAT_VERSION`].
+pub const FROZEN_APPROX_LAYOUT_VERSION: u8 = layout::APPROX_VERSION;
+
 impl FrozenExactOracle {
-    /// Writes the CSR arena verbatim in `IPFE` format: header, the whole
-    /// offset array, then the whole flat entry array — two bulk writes, so
-    /// the file layout mirrors the in-memory arena byte for byte.
+    /// Writes the arena in `IPFE` v2 format — one bulk write of the
+    /// in-memory image, which already is the file layout byte for byte
+    /// (64-byte-aligned header, offset, and entry sections).
     pub fn write_to(&self, w: &mut impl Write) -> Result<(), CodecError> {
-        w.write_all(FROZEN_EXACT_MAGIC)?;
-        w.write_all(&[FORMAT_VERSION])?;
-        w.write_all(&self.window().get().to_le_bytes())?;
-        let n = u32::try_from(self.num_nodes())
-            .map_err(|_| CodecError::Corrupt("too many nodes to encode"))?;
-        w.write_all(&n.to_le_bytes())?;
-        let total = u64::try_from(self.total_entries())
-            .map_err(|_| CodecError::Corrupt("too many entries to encode"))?;
-        w.write_all(&total.to_le_bytes())?;
-        let mut buf = Vec::with_capacity(self.offsets().len() * 4);
-        for &o in self.offsets() {
-            buf.extend_from_slice(&o.to_le_bytes());
-        }
-        w.write_all(&buf)?;
-        buf.clear();
-        buf.reserve(self.total_entries() * 12);
-        for &(v, t) in self.entries() {
-            buf.extend_from_slice(&v.0.to_le_bytes());
-            buf.extend_from_slice(&t.get().to_le_bytes());
-        }
-        w.write_all(&buf)?;
+        w.write_all(self.image())?;
         Ok(())
     }
 
-    /// Reads an arena written by [`write_to`](Self::write_to). The load
-    /// path is two bulk reads straight into the flat arrays — **no
-    /// per-node allocation** — followed by the same invariant validation
-    /// the live summaries get (monotone offsets framing the entry array,
-    /// each node's slice sorted with no self-entry, every target inside
-    /// the universe).
+    /// Reads an arena written by [`write_to`](Self::write_to) (layout
+    /// version 2) or by the pre-alignment writer (version 1).
+    ///
+    /// A v2 image is adopted wholesale after *structural* validation —
+    /// magic, version, section framing, monotone offsets — with **no
+    /// per-node work and no decode pass**. The deeper per-entry invariants
+    /// (sorted summaries, no self-entries, targets inside the universe)
+    /// are deliberately left to an explicit [`validate`] call, which the
+    /// layered [`open_layered`] paths and the CLI loaders make; callers
+    /// handing queries untrusted bytes should do the same. A v1 file is
+    /// decoded, deep-checked, and re-framed into a canonical v2 image.
+    ///
+    /// [`validate`]: FrozenExactOracle::validate
+    /// [`open_layered`]: LayeredExactOracle::open_layered
     pub fn read_from(r: &mut impl Read) -> Result<Self, CodecError> {
-        let header: [u8; 4] = read_array(r)?;
-        if &header != FROZEN_EXACT_MAGIC {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        Self::from_arena_bytes(ArenaBytes::from_vec(bytes))
+    }
+
+    /// Loads an `IPFE` file for querying: the image is acquired through
+    /// [`ArenaBytes::open`] — a borrowed memory map under `--features
+    /// mmap`, one aligned bulk read otherwise — and adopted with the same
+    /// structural checks as [`read_from`](Self::read_from).
+    pub fn load(path: &Path) -> Result<Self, CodecError> {
+        Self::from_arena_bytes(ArenaBytes::open(path)?)
+    }
+
+    /// The shared load path: validates the header and section framing of
+    /// `data`, then borrows it as the arena.
+    fn from_arena_bytes(data: ArenaBytes) -> Result<Self, CodecError> {
+        let mut r: &[u8] = &data;
+        let magic: [u8; 4] = read_array(&mut r)?;
+        if &magic != layout::EXACT_MAGIC {
             return Err(CodecError::BadMagic);
         }
-        let [version] = read_array::<1>(r)?;
-        validate_version(version)?;
+        let [version] = read_array::<1>(&mut r)?;
+        match version {
+            1 => return Self::read_v1_body(&mut r),
+            layout::EXACT_VERSION => {}
+            v if v > layout::EXACT_VERSION => return Err(CodecError::FutureVersion(v)),
+            v => return Err(CodecError::BadVersion(v)),
+        }
+        let window = Window::try_new(i64::from_le_bytes(read_array(&mut r)?))
+            .map_err(|_| CodecError::Corrupt("window must be positive"))?;
+        let n = u32::from_le_bytes(read_array(&mut r)?) as usize; // xtask-allow: no-lossy-cast (u32 → usize widens on ≥32-bit targets)
+        let total = u64::from_le_bytes(read_array(&mut r)?);
+        if total > u64::from(u32::MAX) {
+            return Err(CodecError::Corrupt("entry count exceeds arena limit"));
+        }
+        let total = usize::try_from(total)
+            .map_err(|_| CodecError::Corrupt("entry count exceeds arena limit"))?;
+        let (offsets_at, _, image_len) = layout::exact_sections(n, total);
+        if data.len() != image_len {
+            return Err(CodecError::Corrupt(
+                "arena length disagrees with its header",
+            ));
+        }
+        let off = &data[offsets_at..offsets_at + (n + 1) * 4];
+        let at = |i: usize| {
+            u32::from_le_bytes([off[4 * i], off[4 * i + 1], off[4 * i + 2], off[4 * i + 3]])
+        };
+        let end = at(n) as usize; // xtask-allow: no-lossy-cast (u32 fits usize)
+        if at(0) != 0 || end != total {
+            return Err(CodecError::Corrupt("offsets do not frame the entries"));
+        }
+        if (1..=n).any(|i| at(i - 1) > at(i)) {
+            return Err(CodecError::Corrupt("offsets not monotone"));
+        }
+        Ok(FrozenExactOracle::from_image(window, n, total, data))
+    }
+
+    /// Decodes the body of a layout-version-1 file (sections packed
+    /// directly after the header) with the deep per-entry checks the v1
+    /// reader always made, then re-frames it into a canonical v2 image.
+    fn read_v1_body(r: &mut impl Read) -> Result<Self, CodecError> {
         let window = Window::try_new(i64::from_le_bytes(read_array(r)?))
             .map_err(|_| CodecError::Corrupt("window must be positive"))?;
         let n = u32::from_le_bytes(read_array(r)?) as usize; // xtask-allow: no-lossy-cast (u32 → usize widens on ≥32-bit targets)
@@ -309,52 +375,79 @@ impl FrozenExactOracle {
     }
 }
 
-/// `IPFA` layout version. Version 1 stored only the node-major register
-/// arena; version 2 (this build) appends the register-transposed
-/// (tile-major) section the query kernels stream, so the on-disk artefact
-/// captures the full query-ready layout and its integrity is checkable.
-/// Version-1 files remain loadable (the transposed arena is a pure
-/// function of the registers and is recomputed); versions beyond 2 are
-/// rejected as [`CodecError::FutureVersion`]. Local to the `IPFA` format —
-/// every other codec stays at the workspace-wide [`FORMAT_VERSION`].
-const FROZEN_APPROX_LAYOUT_VERSION: u8 = 2;
-
 impl FrozenApproxOracle {
-    /// Writes both register layouts in `IPFA` layout-version-2 format:
-    /// header, the `n · β`-byte node-major arena, then the equally-sized
-    /// tile-major (register-transposed) arena — two bulk writes. Per-node
-    /// estimates are *not* stored — they are a pure function of the
-    /// registers and are recomputed on load, keeping the file unfakeable.
+    /// Writes the arena in `IPFA` v3 format — one bulk write of the
+    /// in-memory image (64-byte-aligned header, node-major register,
+    /// tile-major register, and per-node estimate sections).
     pub fn write_to(&self, w: &mut impl Write) -> Result<(), CodecError> {
-        w.write_all(FROZEN_APPROX_MAGIC)?;
-        w.write_all(&[FROZEN_APPROX_LAYOUT_VERSION, self.precision()])?;
-        let n = u32::try_from(self.num_nodes())
-            .map_err(|_| CodecError::Corrupt("too many nodes to encode"))?;
-        w.write_all(&n.to_le_bytes())?;
-        w.write_all(self.registers())?;
-        w.write_all(self.transposed())?;
+        w.write_all(self.image())?;
         Ok(())
     }
 
     /// Reads an arena written by [`write_to`](Self::write_to) (layout
-    /// version 2) or by the PR 5 writer (version 1, node-major only): bulk
-    /// reads with no per-node allocation, a range check on every register,
-    /// then one estimator pass to rebuild the per-node `individual`
-    /// table — bit-identical to the values frozen from the live sketches.
-    /// A version-2 transposed section must match the node-major registers
-    /// byte for byte (it is rederived, never trusted); a truncated or
-    /// mismatched section is rejected.
+    /// version 3) or by the earlier writers (versions 1 and 2).
+    ///
+    /// A v3 image is adopted wholesale after *structural* validation —
+    /// magic, version, precision range, section framing — with **no
+    /// per-node work**. The per-byte invariants (register range, the
+    /// derived tile-major and estimate sections matching the registers)
+    /// are deliberately left to an explicit [`validate`] call, which the
+    /// layered [`open_layered`] paths and the CLI loaders make; callers
+    /// handing queries untrusted bytes should do the same. v1/v2 files
+    /// are decoded with their original deep checks and their derived
+    /// sections recomputed into a canonical v3 image.
+    ///
+    /// [`validate`]: FrozenApproxOracle::validate
+    /// [`open_layered`]: LayeredApproxOracle::open_layered
     pub fn read_from(r: &mut impl Read) -> Result<Self, CodecError> {
-        let header: [u8; 4] = read_array(r)?;
-        if &header != FROZEN_APPROX_MAGIC {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        Self::from_arena_bytes(ArenaBytes::from_vec(bytes))
+    }
+
+    /// Loads an `IPFA` file for querying: the image is acquired through
+    /// [`ArenaBytes::open`] — a borrowed memory map under `--features
+    /// mmap`, one aligned bulk read otherwise — and adopted with the same
+    /// structural checks as [`read_from`](Self::read_from).
+    pub fn load(path: &Path) -> Result<Self, CodecError> {
+        Self::from_arena_bytes(ArenaBytes::open(path)?)
+    }
+
+    /// The shared load path: validates the header and section framing of
+    /// `data`, then borrows it as the arena.
+    fn from_arena_bytes(data: ArenaBytes) -> Result<Self, CodecError> {
+        let mut r: &[u8] = &data;
+        let magic: [u8; 4] = read_array(&mut r)?;
+        if &magic != layout::APPROX_MAGIC {
             return Err(CodecError::BadMagic);
         }
-        let [version, precision] = read_array::<2>(r)?;
+        let [version, precision] = read_array::<2>(&mut r)?;
         match version {
-            1 | FROZEN_APPROX_LAYOUT_VERSION => {}
-            v if v > FROZEN_APPROX_LAYOUT_VERSION => return Err(CodecError::FutureVersion(v)),
+            1 | 2 => return Self::read_legacy_body(version, precision, &mut r),
+            layout::APPROX_VERSION => {}
+            v if v > layout::APPROX_VERSION => return Err(CodecError::FutureVersion(v)),
             v => return Err(CodecError::BadVersion(v)),
         }
+        if !(4..=16).contains(&precision) {
+            return Err(CodecError::Corrupt("precision out of range"));
+        }
+        let n = u32::from_le_bytes(read_array(&mut r)?) as usize; // xtask-allow: no-lossy-cast (u32 → usize widens on ≥32-bit targets)
+        let beta = 1usize << precision;
+        let (_, _, _, image_len) = layout::approx_sections(n, beta);
+        if data.len() != image_len {
+            return Err(CodecError::Corrupt(
+                "arena length disagrees with its header",
+            ));
+        }
+        Ok(FrozenApproxOracle::from_image(precision, n, data))
+    }
+
+    /// Decodes the body of a layout-version-1/2 file (unaligned register
+    /// sections after the header) with the deep checks those readers
+    /// always made — register range, and for v2 the stored transposed
+    /// section matching the node-major registers — then recomputes the
+    /// derived sections into a canonical v3 image.
+    fn read_legacy_body(version: u8, precision: u8, r: &mut impl Read) -> Result<Self, CodecError> {
         if !(4..=16).contains(&precision) {
             return Err(CodecError::Corrupt("precision out of range"));
         }
@@ -366,7 +459,7 @@ impl FrozenApproxOracle {
         if registers.iter().any(|&b| b > max_rho) {
             return Err(CodecError::Corrupt("register exceeds maximal rho"));
         }
-        if version == FROZEN_APPROX_LAYOUT_VERSION {
+        if version == 2 {
             let mut transposed = vec![0u8; n * beta];
             r.read_exact(&mut transposed)?;
             if transposed != crate::frozen::transpose_registers(precision, &registers) {
@@ -612,8 +705,9 @@ impl LayeredExactOracle {
             ));
         }
         let g = manifest.generation;
-        let base =
-            FrozenExactOracle::read_from(&mut fs::read(gen_file(dir, g, "arena"))?.as_slice())?;
+        let base = FrozenExactOracle::load(&gen_file(dir, g, "arena"))?;
+        base.validate()
+            .map_err(|_| CodecError::Corrupt("frozen arena violates paper invariants"))?;
         if base.window() != manifest.window {
             return Err(CodecError::Corrupt(
                 "manifest window disagrees with the arena",
@@ -678,8 +772,9 @@ impl LayeredApproxOracle {
             ));
         }
         let g = manifest.generation;
-        let base =
-            FrozenApproxOracle::read_from(&mut fs::read(gen_file(dir, g, "arena"))?.as_slice())?;
+        let base = FrozenApproxOracle::load(&gen_file(dir, g, "arena"))?;
+        base.validate()
+            .map_err(|_| CodecError::Corrupt("frozen register arena violates its invariants"))?;
         let tail = read_interactions(&mut fs::read(gen_file(dir, g, "tail"))?.as_slice())?;
         let pending = read_interactions(&mut fs::read(gen_file(dir, g, "pending"))?.as_slice())?;
         validate_log_boundary(&tail, &pending)?;
@@ -697,6 +792,7 @@ impl LayeredApproxOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::oracle::InfluenceOracle;
     use infprop_temporal_graph::{InteractionNetwork, NodeId};
 
     fn network() -> InteractionNetwork {
@@ -847,7 +943,45 @@ mod tests {
         v1.extend_from_slice(&u32::try_from(frozen.num_nodes()).unwrap().to_le_bytes());
         v1.extend_from_slice(frozen.registers());
         let back = FrozenApproxOracle::read_from(&mut v1.as_slice()).unwrap();
-        assert_eq!(back, frozen); // transposed arena recomputed on load
+        assert_eq!(back, frozen); // derived sections recomputed on load
+    }
+
+    #[test]
+    fn frozen_approx_v2_file_still_loads() {
+        let irs = ApproxIrs::compute_with_precision(&network(), Window(100), 7);
+        let frozen = irs.freeze();
+        // A layout-version-2 file: unaligned node-major then tile-major
+        // register sections directly after the header — what PR 7 wrote.
+        let mut v2 = Vec::new();
+        v2.extend_from_slice(b"IPFA");
+        v2.extend_from_slice(&[2, frozen.precision()]);
+        v2.extend_from_slice(&u32::try_from(frozen.num_nodes()).unwrap().to_le_bytes());
+        v2.extend_from_slice(frozen.registers());
+        v2.extend_from_slice(frozen.transposed());
+        let back = FrozenApproxOracle::read_from(&mut v2.as_slice()).unwrap();
+        assert_eq!(back, frozen);
+    }
+
+    #[test]
+    fn frozen_exact_v1_file_still_loads() {
+        let frozen = ExactIrs::compute(&network(), Window(300)).freeze();
+        // A layout-version-1 file: offsets and entries packed directly
+        // after the header, no alignment padding — what PR 5 wrote.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(b"IPFE");
+        v1.push(1);
+        v1.extend_from_slice(&frozen.window().get().to_le_bytes());
+        v1.extend_from_slice(&u32::try_from(frozen.num_nodes()).unwrap().to_le_bytes());
+        v1.extend_from_slice(&u64::try_from(frozen.total_entries()).unwrap().to_le_bytes());
+        for o in frozen.offsets() {
+            v1.extend_from_slice(&o.to_le_bytes());
+        }
+        for (v, t) in frozen.entries() {
+            v1.extend_from_slice(&v.0.to_le_bytes());
+            v1.extend_from_slice(&t.get().to_le_bytes());
+        }
+        let back = FrozenExactOracle::read_from(&mut v1.as_slice()).unwrap();
+        assert_eq!(back, frozen); // re-framed into the canonical v2 image
     }
 
     #[test]
@@ -856,27 +990,28 @@ mod tests {
         let frozen = irs.freeze();
         let mut bytes = Vec::new();
         frozen.write_to(&mut bytes).unwrap();
-        // Chop half of the trailing transposed section: the v2 header
-        // promises a full second arena, so the load must fail, not fall
-        // back to recomputing.
+        // Chop half of the transposed section: the header promises the
+        // full aligned section layout, so the structural length check must
+        // fail the load — no silent fallback to recomputing.
         bytes.truncate(bytes.len() - frozen.transposed().len() / 2);
         assert!(FrozenApproxOracle::read_from(&mut bytes.as_slice()).is_err());
     }
 
     #[test]
-    fn frozen_approx_mismatched_transposed_rejected() {
+    fn frozen_approx_mismatched_transposed_fails_validate() {
         let irs = ApproxIrs::compute_with_precision(&network(), Window(100), 7);
         let frozen = irs.freeze();
         let mut bytes = Vec::new();
         frozen.write_to(&mut bytes).unwrap();
         // Flip a byte inside the transposed section only (keep it within
-        // the valid register range so the mismatch check must catch it).
-        let t0 = bytes.len() - frozen.transposed().len();
-        bytes[t0] = if bytes[t0] == 1 { 2 } else { 1 };
-        assert!(matches!(
-            FrozenApproxOracle::read_from(&mut bytes.as_slice()),
-            Err(CodecError::Corrupt(_))
-        ));
+        // the valid register range). The structural load accepts the image;
+        // the explicit deep check — which every untrusted-file path makes —
+        // must catch the disagreement with the node-major registers.
+        let beta = 1usize << frozen.precision();
+        let (_, trans_at, _, _) = layout::approx_sections(frozen.num_nodes(), beta);
+        bytes[trans_at] = if bytes[trans_at] == 1 { 2 } else { 1 };
+        let back = FrozenApproxOracle::read_from(&mut bytes.as_slice()).unwrap();
+        assert!(back.validate().is_err());
     }
 
     #[test]
@@ -885,10 +1020,10 @@ mod tests {
         let frozen = irs.freeze();
         let mut bytes = Vec::new();
         frozen.write_to(&mut bytes).unwrap();
-        bytes[4] = 3; // one past FROZEN_APPROX_LAYOUT_VERSION
+        bytes[4] = 4; // one past FROZEN_APPROX_LAYOUT_VERSION
         assert!(matches!(
             FrozenApproxOracle::read_from(&mut bytes.as_slice()),
-            Err(CodecError::FutureVersion(3))
+            Err(CodecError::FutureVersion(4))
         ));
         bytes[4] = 0; // below the oldest layout ever written
         assert!(matches!(
@@ -939,9 +1074,10 @@ mod tests {
         let frozen = ExactIrs::compute(&network(), Window(50)).freeze();
         let mut bytes = Vec::new();
         frozen.write_to(&mut bytes).unwrap();
-        // Offsets start after magic(4) + version(1) + window(8) + n(4) +
-        // total(8) = byte 25; offsets[0] must be zero.
-        bytes[25] = 1;
+        // The offset section starts at the first 64-byte boundary after
+        // the 25-byte header; offsets[0] must be zero.
+        let (offsets_at, _, _) = layout::exact_sections(frozen.num_nodes(), frozen.total_entries());
+        bytes[offsets_at] = 1;
         assert!(matches!(
             FrozenExactOracle::read_from(&mut bytes.as_slice()),
             Err(CodecError::Corrupt(_))
@@ -949,18 +1085,45 @@ mod tests {
     }
 
     #[test]
-    fn frozen_approx_corrupt_register_rejected() {
+    fn frozen_approx_corrupt_register_fails_validate() {
         let irs = ApproxIrs::compute_with_precision(&network(), Window(100), 7);
         let frozen = irs.freeze();
         let mut bytes = Vec::new();
         frozen.write_to(&mut bytes).unwrap();
-        // Registers start after magic(4) + version/precision(2) + n(4) =
-        // byte 10; max ρ for k = 7 is 58.
-        bytes[10] = 63;
-        assert!(matches!(
-            FrozenApproxOracle::read_from(&mut bytes.as_slice()),
-            Err(CodecError::Corrupt(_))
-        ));
+        // The register section starts at the first 64-byte boundary after
+        // the 10-byte header; max ρ for k = 7 is 58. The structural load
+        // accepts the image; the explicit deep check rejects the register.
+        let beta = 1usize << frozen.precision();
+        let (regs_at, _, _, _) = layout::approx_sections(frozen.num_nodes(), beta);
+        bytes[regs_at] = 63;
+        let back = FrozenApproxOracle::read_from(&mut bytes.as_slice()).unwrap();
+        assert!(back.validate().is_err());
+    }
+
+    #[test]
+    fn frozen_load_from_path_matches_read_from() {
+        let dir = tempdir("load-path");
+        let net = network();
+
+        let exact = ExactIrs::compute(&net, Window(300)).freeze();
+        let mut bytes = Vec::new();
+        exact.write_to(&mut bytes).unwrap();
+        let exact_path = dir.join("exact.arena");
+        fs::write(&exact_path, &bytes).unwrap();
+        let loaded = FrozenExactOracle::load(&exact_path).unwrap();
+        assert_eq!(loaded, exact);
+        loaded.validate().unwrap();
+
+        let approx = ApproxIrs::compute_with_precision(&net, Window(100), 7).freeze();
+        bytes.clear();
+        approx.write_to(&mut bytes).unwrap();
+        let approx_path = dir.join("approx.arena");
+        fs::write(&approx_path, &bytes).unwrap();
+        let loaded = FrozenApproxOracle::load(&approx_path).unwrap();
+        assert_eq!(loaded, approx);
+        loaded.validate().unwrap();
+
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

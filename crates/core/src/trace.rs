@@ -110,12 +110,15 @@ pub enum TraceEvent {
     SimulateRun,
     /// The whole `infprop profile` workload; payload: queries driven.
     ProfileRun,
+    /// One request frame handled by the serving tier, decode to flush;
+    /// payload: influence queries answered in the frame.
+    ServeRequest,
 }
 
 impl TraceEvent {
     /// Every event, in declaration order — the index into this roster is
     /// the on-ring encoding of the event.
-    pub const ALL: [TraceEvent; 13] = [
+    pub const ALL: [TraceEvent; 14] = [
         TraceEvent::BuildReverseScan,
         TraceEvent::BuildFreeze,
         TraceEvent::QueryBatch,
@@ -129,6 +132,7 @@ impl TraceEvent {
         TraceEvent::LoadOracle,
         TraceEvent::SimulateRun,
         TraceEvent::ProfileRun,
+        TraceEvent::ServeRequest,
     ];
 
     /// Stable exported name (`prefix.event`, distinct from every obs metric
@@ -149,6 +153,7 @@ impl TraceEvent {
             TraceEvent::LoadOracle => "load.oracle",
             TraceEvent::SimulateRun => "simulate.run",
             TraceEvent::ProfileRun => "profile.run",
+            TraceEvent::ServeRequest => "serve.request",
         }
     }
 
@@ -1145,6 +1150,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn noop_tracer_is_zero_sized_and_disabled() {
         assert_eq!(std::mem::size_of::<NoopTracer>(), 0);
         assert!(!NoopTracer::ENABLED);

@@ -34,6 +34,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 #[test]
+#[allow(clippy::assertions_on_constants)]
 fn noop_recorder_is_zero_sized() {
     assert_eq!(std::mem::size_of::<NoopRecorder>(), 0);
     assert!(!NoopRecorder::ENABLED);

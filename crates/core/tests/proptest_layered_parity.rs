@@ -86,10 +86,10 @@ where
         .map(|i| reference.individual(NodeId::from_index(i)))
         .collect();
     let inf: Vec<f64> = seeds.iter().map(|s| reference.influence(s)).collect();
-    for i in 0..n {
+    for (i, expected) in ind.iter().enumerate() {
         prop_assert_eq!(
             layered.individual(NodeId::from_index(i)).to_bits(),
-            ind[i].to_bits(),
+            expected.to_bits(),
             "individual({i})"
         );
     }

@@ -36,6 +36,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 #[test]
+#[allow(clippy::assertions_on_constants)]
 fn noop_tracer_is_zero_sized_and_disabled() {
     assert_eq!(std::mem::size_of::<NoopTracer>(), 0);
     assert!(!NoopTracer::ENABLED);

@@ -12,7 +12,7 @@
 //! The simulator is a single forward chronological sweep over the
 //! interaction list — `O(m)` per run — and fully deterministic given a seed
 //! for the random number generator. [`MonteCarlo`] averages many runs,
-//! optionally fanning replicates out across threads with `crossbeam`
+//! optionally fanning replicates out across scoped `std::thread` workers
 //! (replicate `i` always uses RNG seed `base_seed + i`, so the average is
 //! identical whatever the thread count).
 //!

@@ -99,12 +99,12 @@ impl<'a> MonteCarlo<'a> {
         let cfg = &self.config;
         let threads = cfg.threads.min(runs);
         let chunk = runs.div_ceil(threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let lo = t * chunk;
                     let hi = ((t + 1) * chunk).min(runs);
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         (lo..hi)
                             .map(|i| {
                                 let mut rng =
@@ -127,8 +127,6 @@ impl<'a> MonteCarlo<'a> {
                 .map(|h| h.join().expect("worker panicked"))
                 .sum()
         })
-        // xtask-allow: no-panic (scope only errs if a worker panicked; re-raise it)
-        .expect("crossbeam scope failed")
     }
 }
 

@@ -1,0 +1,222 @@
+//! Hermetic in-tree subset of the `criterion` 0.5 API.
+//!
+//! The workspace builds with no registry access, so this crate stands in
+//! for crates-io `criterion`, implementing exactly the harness surface the
+//! workspace's benches use: [`criterion_group!`]/[`criterion_main!`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `bench_function`/`bench_with_input`/`sample_size`/`finish`,
+//! [`BenchmarkId`], [`Bencher::iter`], and [`black_box`].
+//!
+//! It is a deliberately small wall-clock harness: each benchmark runs a
+//! short calibration to size an iteration batch, then reports the best
+//! per-iteration time over a handful of samples on one line. It has no
+//! statistical analysis, HTML reports, or baselines — the repository's
+//! committed benchmark numbers come from the `trajectory` binary
+//! (`BENCH_core.json`), not from this harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+// xtask-allow: no-raw-timing (this crate IS the bench timer; nothing here runs in library code paths)
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent per sample once calibrated.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(40);
+
+/// The benchmark harness handle passed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, 10, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group; the input is
+    /// passed back to the closure by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group. The real harness emits summary output here; the
+    /// shim prints per-benchmark lines eagerly, so this is a no-op.
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The per-benchmark timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`, keeping the result
+    /// alive through [`black_box`] so the work is not optimised away.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now(); // xtask-allow: no-raw-timing (the bench harness is the timer)
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Calibrates an iteration batch to roughly [`SAMPLE_BUDGET`], takes
+/// `samples` timed batches, and prints the best per-iteration time.
+fn run_benchmark<F>(name: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: grow the batch until one batch costs ~the sample budget.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= SAMPLE_BUDGET || iters >= 1 << 30 {
+            break;
+        }
+        let grow = if b.elapsed < SAMPLE_BUDGET / 8 { 8 } else { 2 };
+        iters = iters.saturating_mul(grow);
+    }
+
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed < best {
+            best = b.elapsed;
+        }
+    }
+    let per_iter_ns = best.as_nanos() / u128::from(iters.max(1));
+    // xtask-allow: no-print (bench harness output is its user interface)
+    println!("{name:<48} time: {per_iter_ns} ns/iter ({iters} iters/sample, {samples} samples)");
+}
+
+/// Declares a benchmark group function, mirroring criterion's simple form:
+/// `criterion_group!(benches, target_a, target_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_surface_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(2);
+        group.bench_function("add", |b| b.iter(|| black_box(2u64 * 3)));
+        group.bench_with_input(BenchmarkId::new("param", 4usize), &4usize, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(9u64), &9u64, |b, &n| {
+            b.iter(|| black_box(n + 1))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("batch_x64", 8).id, "batch_x64/8");
+        assert_eq!(BenchmarkId::from_parameter(50u64).id, "50");
+    }
+}

@@ -526,7 +526,7 @@ fn metrics_pass(
                 chain: Vec::new(),
             });
         }
-        decl_file.extend(std::iter::repeat(fi).take(part.metrics.len()));
+        decl_file.extend(std::iter::repeat_n(fi, part.metrics.len()));
         reg.merge(part);
     }
     // Cross-file collisions: a trace event may not reuse a metric name

@@ -653,7 +653,7 @@ impl Parser<'_> {
                             &t.text[idx + "xtask-contract:".len()..],
                         );
                         for item in rest.split(',') {
-                            let name = item.trim().split_whitespace().next().unwrap_or("");
+                            let name = item.split_whitespace().next().unwrap_or("");
                             if name.is_empty() {
                                 continue;
                             }

@@ -302,7 +302,7 @@ pub fn check_registry(reg: &MetricRegistry) -> Vec<(u32, String)> {
             }
         }
         for m in &declared {
-            if !roster.iter().any(|v| *v == m.variant) {
+            if !roster.contains(&m.variant) {
                 out.push((
                     m.line,
                     format!(

@@ -180,7 +180,7 @@ pub fn collect_allow_entries(source: &str) -> Vec<AllowEntry> {
         };
         let rest = strip_justifications(&tok.text[idx + "xtask-allow:".len()..]);
         for item in rest.split(',') {
-            let name = item.trim().split_whitespace().next().unwrap_or("");
+            let name = item.split_whitespace().next().unwrap_or("");
             if !name.is_empty() {
                 out.push(AllowEntry {
                     line: tok.line,
@@ -391,7 +391,7 @@ fn collect_allows(toks: &[Token]) -> BTreeMap<u32, BTreeSet<Rule>> {
         // Rule names are comma-separated; anything after the name within an
         // item (whitespace-delimited) is justification prose.
         for item in rest.split(',') {
-            let name = item.trim().split_whitespace().next().unwrap_or("");
+            let name = item.split_whitespace().next().unwrap_or("");
             if let Some(rule) = Rule::from_name(name) {
                 map.entry(tok.line).or_default().insert(rule);
                 map.entry(tok.line + 1).or_default().insert(rule);

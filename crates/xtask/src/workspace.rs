@@ -149,6 +149,15 @@ fn collect_crate(
                 if crate_dir == "core" && path.file_name().is_some_and(|n| n == "delta.rs") {
                     unwaivable.push(Rule::NoRawTiming);
                 }
+                // `#![forbid(unsafe_code)]` is non-negotiable in every
+                // crate root except core's, which hosts the two cfg-gated
+                // unsafe modules (the AVX2 kernel behind `simd-avx2`, the
+                // mmap arena behind `mmap`) and downgrades to a reviewed
+                // conditional forbid + waiver there. No other crate can
+                // waive its way out of the forbid with a comment.
+                if crate_dir != "core" {
+                    unwaivable.push(Rule::ForbidUnsafe);
+                }
                 let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
                 out.push(SourceFile {
                     abs_path: path.clone(),
